@@ -1,0 +1,173 @@
+// Package biaslab is a laboratory for studying measurement bias in
+// computer-systems performance evaluation. It is a from-scratch, pure-Go
+// reproduction of Mytkowicz, Diwan, Hauswirth and Sweeney, "Producing Wrong
+// Data Without Doing Anything Obviously Wrong!" (ASPLOS 2009).
+//
+// The library contains a complete miniature systems stack — a C-like
+// language and optimizing compiler with gcc/icc personalities, an object
+// format and linker, a Unix-style loader, and cycle-approximate simulators
+// of the paper's three platforms (Pentium 4, Core 2, m5 O3CPU) — plus
+// twelve benchmark programs modelled on the SPEC CPU2006 C suite. On top of
+// that stack it implements the paper's contribution:
+//
+//   - Bias measurement: sweep an "innocuous" setup factor (UNIX environment
+//     size, link order) and watch the measured speedup of -O3 over -O2
+//     swing and even change sign (EnvSweep, LinkSweep, SuiteEnvStudy).
+//   - Setup randomization: evaluate across many randomized setups and
+//     report a confidence interval instead of a biased point
+//     (RandomSetups, EstimateSpeedup).
+//   - Causal analysis: intervene on the suspected cause directly and rank
+//     hardware events by correlation with the effect (CausalStudy).
+//
+// Quick start:
+//
+//	r := biaslab.NewRunner(biaslab.SizeSmall)
+//	b, _ := biaslab.Benchmark("perlbench")
+//	small := biaslab.DefaultSetup("core2")          // 512-byte environment
+//	big := small
+//	big.EnvBytes = 4000                             // a fat shell environment
+//	s1, _, _, _ := r.Speedup(b, small, biaslab.O2, biaslab.O3)
+//	s2, _, _, _ := r.Speedup(b, big, biaslab.O2, biaslab.O3)
+//	// s1 and s2 disagree — possibly about which level is faster.
+//
+// Every table and figure of the paper's evaluation can be regenerated with
+// a Lab (see NewLab) or from the command line with cmd/biaslab.
+package biaslab
+
+import (
+	"biaslab/internal/bench"
+	"biaslab/internal/compiler"
+	"biaslab/internal/core"
+	"biaslab/internal/experiments"
+	"biaslab/internal/machine"
+	"biaslab/internal/stats"
+)
+
+// Workload sizes for the benchmark suite.
+type Size = bench.Size
+
+// Workload size presets.
+const (
+	SizeTest  = bench.SizeTest
+	SizeSmall = bench.SizeSmall
+	SizeRef   = bench.SizeRef
+)
+
+// Optimization levels of the built-in compiler.
+const (
+	O0 = compiler.O0
+	O1 = compiler.O1
+	O2 = compiler.O2
+	O3 = compiler.O3
+)
+
+// Compiler personalities (the paper's two compilers).
+const (
+	GCC = compiler.GCC
+	ICC = compiler.ICC
+)
+
+// Core types, re-exported from the implementation packages.
+type (
+	// Setup is one complete experimental configuration: machine, compiler,
+	// environment size, link order, and the causal-analysis stack shift.
+	Setup = core.Setup
+	// Runner executes benchmarks under setups with object caching and
+	// output-stability checking.
+	Runner = core.Runner
+	// Measurement is one run's cycles, counters and checksum.
+	Measurement = core.Measurement
+	// BiasReport summarizes speedup variation across a setup sweep.
+	BiasReport = core.BiasReport
+	// EnvPoint and LinkPoint are sweep samples.
+	EnvPoint = core.EnvPoint
+	// LinkPoint is one link order's measurement in a sweep.
+	LinkPoint = core.LinkPoint
+	// RobustEstimate is the randomized-setup speedup estimate.
+	RobustEstimate = core.RobustEstimate
+	// CausalReport is the outcome of an intervention study.
+	CausalReport = core.CausalReport
+	// Comparison is a robust A/B toolchain comparison across setups.
+	Comparison = core.Comparison
+	// CompilerConfig selects personality and level.
+	CompilerConfig = compiler.Config
+	// BenchmarkProgram is one suite member.
+	BenchmarkProgram = bench.Benchmark
+	// Counters is the simulated machine's performance-monitor surface.
+	Counters = machine.Counters
+	// Profile is a per-function cycle attribution (see Runner.MeasureProfiled).
+	Profile = machine.Profile
+	// Interval is a confidence interval.
+	Interval = stats.Interval
+	// Lab regenerates the paper's tables and figures.
+	Lab = experiments.Lab
+	// LabOptions tunes experiment cost.
+	LabOptions = experiments.Options
+	// ExperimentResult is one regenerated artifact (text + CSV).
+	ExperimentResult = experiments.Result
+)
+
+// NewRunner builds a Runner at the given workload size.
+func NewRunner(size Size) *Runner { return core.NewRunner(size) }
+
+// NewLab builds a Lab for regenerating the paper's tables and figures.
+func NewLab(opt LabOptions) *Lab { return experiments.NewLab(opt) }
+
+// ExperimentIDs lists the regenerable artifacts (F1–F9, T1–T4).
+func ExperimentIDs() []string { return experiments.IDs() }
+
+// Benchmark looks up a suite member by name ("perlbench", "bzip2", …).
+func Benchmark(name string) (*BenchmarkProgram, bool) { return bench.ByName(name) }
+
+// Benchmarks returns the full suite, sorted by name.
+func Benchmarks() []*BenchmarkProgram { return bench.All() }
+
+// Machines lists the simulated platform names accepted in Setup.Machine.
+func Machines() []string { return []string{"p4", "core2", "m5"} }
+
+// DefaultSetup returns the baseline setup experiments perturb: gcc -O2,
+// 512-byte environment, default link order.
+func DefaultSetup(machineName string) Setup { return core.DefaultSetup(machineName) }
+
+// EnvSweep measures the O3-over-O2 speedup at each environment size.
+func EnvSweep(r *Runner, b *BenchmarkProgram, setup Setup, sizes []uint64) ([]EnvPoint, error) {
+	return core.EnvSweep(r, b, setup, sizes)
+}
+
+// DefaultEnvSizes returns the canonical 0–4 KiB environment sweep.
+func DefaultEnvSizes(step uint64) []uint64 { return core.DefaultEnvSizes(step) }
+
+// LinkSweep measures the speedup under default, alphabetical, and n random
+// link orders.
+func LinkSweep(r *Runner, b *BenchmarkProgram, setup Setup, n int, seed uint64) ([]LinkPoint, error) {
+	return core.LinkSweep(r, b, setup, n, seed)
+}
+
+// EstimateSpeedup runs the paper's remedy: n randomized setups and a
+// confidence interval for the speedup.
+func EstimateSpeedup(r *Runner, b *BenchmarkProgram, base Setup, n int, seed uint64) (*RobustEstimate, error) {
+	return core.EstimateSpeedup(r, b, base, n, seed)
+}
+
+// EstimateSpeedupAdaptive samples randomized setups until the 95% CI
+// half-width falls below tol, answering "how many setups are enough?".
+func EstimateSpeedupAdaptive(r *Runner, b *BenchmarkProgram, base Setup, tol float64, minN, maxN int, seed uint64) (*RobustEstimate, error) {
+	return core.EstimateSpeedupAdaptive(r, b, base, tol, minN, maxN, seed)
+}
+
+// CausalStudy intervenes on the stack displacement directly and correlates
+// hardware events with cycles.
+func CausalStudy(r *Runner, b *BenchmarkProgram, setup Setup, maxShift, step uint64) (*CausalReport, error) {
+	return core.CausalStudy(r, b, setup, maxShift, step)
+}
+
+// CompareConfigs robustly compares two toolchain configurations on one
+// benchmark across shared randomized setups (paired design).
+func CompareConfigs(r *Runner, b *BenchmarkProgram, base Setup, a, bCfg CompilerConfig, n int, seed uint64) (*Comparison, error) {
+	return core.CompareConfigs(r, b, base, a, bCfg, n, seed)
+}
+
+// NewBiasReport summarizes a slice of speedups from any sweep.
+func NewBiasReport(benchName, machineName, factor string, speedups []float64) BiasReport {
+	return core.NewBiasReport(benchName, machineName, factor, speedups)
+}

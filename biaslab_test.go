@@ -1,0 +1,97 @@
+package biaslab_test
+
+import (
+	"testing"
+
+	"biaslab"
+)
+
+func TestFacadeBenchmarks(t *testing.T) {
+	all := biaslab.Benchmarks()
+	if len(all) != 12 {
+		t.Fatalf("suite has %d members, want 12", len(all))
+	}
+	if _, ok := biaslab.Benchmark("perlbench"); !ok {
+		t.Error("perlbench lookup failed")
+	}
+	if _, ok := biaslab.Benchmark("nonesuch"); ok {
+		t.Error("bogus lookup succeeded")
+	}
+	if len(biaslab.Machines()) != 3 {
+		t.Error("want 3 machines")
+	}
+	if len(biaslab.ExperimentIDs()) != 16 {
+		t.Error("want 16 experiments")
+	}
+}
+
+func TestFacadeQuickstartPath(t *testing.T) {
+	r := biaslab.NewRunner(biaslab.SizeTest)
+	b, _ := biaslab.Benchmark("bzip2")
+	setup := biaslab.DefaultSetup("core2")
+	speedup, o2, o3, err := r.Speedup(b, setup, biaslab.O2, biaslab.O3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if speedup <= 0 {
+		t.Errorf("speedup = %v", speedup)
+	}
+	if o2.Checksum != o3.Checksum {
+		t.Error("optimization changed program output")
+	}
+}
+
+func TestFacadeSweeps(t *testing.T) {
+	r := biaslab.NewRunner(biaslab.SizeTest)
+	b, _ := biaslab.Benchmark("milc")
+	setup := biaslab.DefaultSetup("m5")
+	env, err := biaslab.EnvSweep(r, b, setup, []uint64{8, 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(env) != 2 {
+		t.Error("env sweep wrong length")
+	}
+	link, err := biaslab.LinkSweep(r, b, setup, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(link) != 4 {
+		t.Error("link sweep wrong length")
+	}
+	sp := []float64{env[0].Speedup, env[1].Speedup}
+	rep := biaslab.NewBiasReport("milc", "m5", "env", sp)
+	if rep.Speedups.N != 2 {
+		t.Error("bias report wrong")
+	}
+}
+
+func TestFacadeRandomizeAndCausal(t *testing.T) {
+	r := biaslab.NewRunner(biaslab.SizeTest)
+	b, _ := biaslab.Benchmark("hmmer")
+	est, err := biaslab.EstimateSpeedup(r, b, biaslab.DefaultSetup("m5"), 4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.N != 4 {
+		t.Error("estimate sample count wrong")
+	}
+	rep, err := biaslab.CausalStudy(r, b, biaslab.DefaultSetup("m5"), 256, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Points) != 3 {
+		t.Errorf("causal points = %d", len(rep.Points))
+	}
+}
+
+func TestFacadeLab(t *testing.T) {
+	lab := biaslab.NewLab(biaslab.LabOptions{Size: biaslab.SizeTest})
+	res, err := lab.ByID("T3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ID != "T3" || res.Text == "" || res.CSV == "" {
+		t.Error("lab result incomplete")
+	}
+}

@@ -1,0 +1,245 @@
+// Command biasdump is the toolchain inspector: it compiles a benchmark (or
+// a cmini source file) and dumps what the linker and loader will see —
+// section sizes, the symbol table with final addresses, relocations, and
+// disassembly. It exists to make the link-order bias channel *visible*:
+// run it twice with different -order arguments and diff the addresses.
+//
+// Usage:
+//
+//	biasdump -bench perlbench [-O3] [-icc] [-order 3,1,0,2] [-disas main]
+//	biasdump -src prog.cm [-disas main]
+//
+// Subreports can be selected with -sections, -symbols, -relocs (default:
+// all three).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"biaslab/internal/bench"
+	"biaslab/internal/compiler"
+	"biaslab/internal/isa"
+	"biaslab/internal/linker"
+	"biaslab/internal/loader"
+	"biaslab/internal/machine"
+	"biaslab/internal/obj"
+	"biaslab/internal/report"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "biasdump:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	benchName := flag.String("bench", "", "benchmark to inspect")
+	srcPath := flag.String("src", "", "standalone cmini source file to inspect")
+	o3 := flag.Bool("O3", false, "compile at -O3 (default -O2)")
+	icc := flag.Bool("icc", false, "use the icc personality")
+	orderSpec := flag.String("order", "", "link order as comma-separated unit indices (default source order)")
+	disas := flag.String("disas", "", "disassemble one function")
+	sections := flag.Bool("sections", false, "show only the section report")
+	symbols := flag.Bool("symbols", false, "show only the symbol report")
+	relocs := flag.Bool("relocs", false, "show only the relocation report")
+	trace := flag.Uint64("trace", 0, "run on the Core 2 model and print the first N trace lines")
+	mix := flag.Bool("mix", false, "run on the Core 2 model and print the dynamic instruction mix")
+	flag.Parse()
+
+	cfg := compiler.Config{Level: compiler.O2}
+	if *o3 {
+		cfg.Level = compiler.O3
+	}
+	if *icc {
+		cfg.Personality = compiler.ICC
+	}
+
+	var sources []compiler.Source
+	switch {
+	case *benchName != "":
+		b, ok := bench.ByName(*benchName)
+		if !ok {
+			return fmt.Errorf("unknown benchmark %q", *benchName)
+		}
+		sources = b.Sources(bench.SizeTest)
+	case *srcPath != "":
+		text, err := os.ReadFile(*srcPath)
+		if err != nil {
+			return err
+		}
+		sources = []compiler.Source{{Name: *srcPath, Text: string(text)}}
+	default:
+		return fmt.Errorf("need -bench or -src")
+	}
+
+	objs, _, err := compiler.Compile(sources, cfg)
+	if err != nil {
+		return err
+	}
+	if *orderSpec != "" {
+		perm, err := parseOrder(*orderSpec, len(objs))
+		if err != nil {
+			return err
+		}
+		reordered := make([]*obj.Object, len(objs))
+		for i, src := range perm {
+			reordered[i] = objs[src]
+		}
+		objs = reordered
+	}
+	exe, err := linker.Link(objs, linker.Options{})
+	if err != nil {
+		return err
+	}
+
+	all := !*sections && !*symbols && !*relocs
+	if all || *sections {
+		printSections(objs, exe, cfg)
+	}
+	if all || *symbols {
+		printSymbols(exe)
+	}
+	if all || *relocs {
+		printRelocs(objs)
+	}
+	if *disas != "" {
+		if err := printDisas(exe, *disas); err != nil {
+			return err
+		}
+	}
+	if *trace > 0 || *mix {
+		return runTraced(exe, *trace, *mix)
+	}
+	return nil
+}
+
+// runTraced executes the image on the Core 2 model with tracing attached.
+func runTraced(exe *linker.Executable, traceN uint64, mix bool) error {
+	img, err := loader.Load(exe, loader.Options{Env: loader.SyntheticEnv(512)})
+	if err != nil {
+		return err
+	}
+	m := machine.New(machine.Core2())
+	ct := &machine.CountingTracer{}
+	if traceN > 0 {
+		fmt.Printf("trace (first %d instructions, Core 2):\n", traceN)
+		m.SetTracer(multiTracer{&machine.WriterTracer{W: os.Stdout, Limit: traceN}, ct})
+	} else {
+		m.SetTracer(ct)
+	}
+	res, err := m.Run(img, 1<<31)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\nrun: %d instructions, %d cycles, IPC %.2f, checksum %d\n",
+		res.Counters.Instructions, res.Counters.Cycles, res.Counters.IPC(), res.Checksum)
+	if mix {
+		t := &report.Table{Title: "dynamic instruction mix:", Headers: []string{"class", "count", "share"}}
+		classes := ct.Mix()
+		keys := make([]string, 0, len(classes))
+		for k := range classes {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			t.AddRow(k, classes[k], fmt.Sprintf("%.1f%%", 100*float64(classes[k])/float64(res.Counters.Instructions)))
+		}
+		fmt.Print(t.String())
+	}
+	return nil
+}
+
+// multiTracer fans one event out to several tracers.
+type multiTracer []machine.Tracer
+
+func (mt multiTracer) Trace(ev machine.TraceEvent) {
+	for _, t := range mt {
+		t.Trace(ev)
+	}
+}
+
+func parseOrder(spec string, n int) ([]int, error) {
+	parts := strings.Split(spec, ",")
+	if len(parts) != n {
+		return nil, fmt.Errorf("order has %d entries, program has %d units", len(parts), n)
+	}
+	perm := make([]int, n)
+	seen := make([]bool, n)
+	for i, p := range parts {
+		v, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil || v < 0 || v >= n || seen[v] {
+			return nil, fmt.Errorf("bad order entry %q", p)
+		}
+		perm[i] = v
+		seen[v] = true
+	}
+	return perm, nil
+}
+
+func printSections(objs []*obj.Object, exe *linker.Executable, cfg compiler.Config) {
+	t := &report.Table{
+		Title:   fmt.Sprintf("sections (%s; link order as shown):", cfg),
+		Headers: []string{"unit", "text bytes", "data bytes", "bss bytes", "symbols", "relocs"},
+	}
+	for _, o := range objs {
+		t.AddRow(o.Name, len(o.Text), len(o.Data), o.BSSSize, len(o.Symbols), len(o.Relocs))
+	}
+	fmt.Print(t.String())
+	fmt.Printf("\nimage: text %#x+%d, data %#x+%d, bss %#x+%d, entry %#x\n\n",
+		exe.TextBase, len(exe.Text), exe.DataBase, len(exe.Data), exe.BSSBase, exe.BSSSize, exe.Entry)
+}
+
+func printSymbols(exe *linker.Executable) {
+	type row struct {
+		name string
+		addr uint64
+	}
+	rows := make([]row, 0, len(exe.Symbols))
+	for name, addr := range exe.Symbols {
+		rows = append(rows, row{name, addr})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].addr < rows[j].addr })
+	t := &report.Table{Title: "symbols:", Headers: []string{"address", "align16", "name"}}
+	for _, r := range rows {
+		t.AddRow(fmt.Sprintf("%#08x", r.addr), r.addr%16, r.name)
+	}
+	fmt.Print(t.String())
+	fmt.Println()
+}
+
+func printRelocs(objs []*obj.Object) {
+	t := &report.Table{Title: "relocations:", Headers: []string{"unit", "section", "offset", "kind", "symbol", "addend"}}
+	total := 0
+	for _, o := range objs {
+		for _, r := range o.Relocs {
+			total++
+			if total <= 40 {
+				t.AddRow(o.Name, r.Section.String(), fmt.Sprintf("%#x", r.Offset), r.Kind.String(), r.Sym, r.Addend)
+			}
+		}
+	}
+	fmt.Print(t.String())
+	if total > 40 {
+		fmt.Printf("... and %d more\n", total-40)
+	}
+	fmt.Println()
+}
+
+func printDisas(exe *linker.Executable, name string) error {
+	for _, f := range exe.Funcs {
+		if f.Name == name {
+			start := f.Addr - exe.TextBase
+			code := exe.Text[start : start+f.Size]
+			fmt.Printf("disassembly of %s (%d instructions):\n", name, f.Size/uint64(isa.InstSize))
+			fmt.Print(isa.Disassemble(code, f.Addr))
+			return nil
+		}
+	}
+	return fmt.Errorf("no function %q in image", name)
+}

@@ -1,0 +1,451 @@
+// Command biaslab runs measurement-bias experiments from the command line
+// and regenerates every table and figure of the paper's evaluation.
+//
+// Usage:
+//
+//	biaslab run -bench perlbench -machine core2 [-env 512] [-O2|-O3] [-icc]
+//	biaslab sweep-env -bench perlbench -machine core2 [-step 128]
+//	biaslab sweep-link -bench gcc -machine core2 [-orders 16]
+//	biaslab randomize -bench perlbench -machine core2 [-n 16]
+//	biaslab causal -bench perlbench -machine core2
+//	biaslab survey
+//	biaslab experiment F3          # any of F1–F9, T1–T4
+//	biaslab all                    # every experiment, in order
+//	biaslab list                   # benchmarks, machines, experiments
+//
+// Global flags (before the subcommand): -size test|small|ref, -csv.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"biaslab"
+	"biaslab/internal/compiler"
+	"biaslab/internal/report"
+	"biaslab/internal/survey"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "biaslab:", err)
+		os.Exit(1)
+	}
+}
+
+type app struct {
+	size   biaslab.Size
+	csv    bool
+	outDir string
+}
+
+func run(args []string) error {
+	global := flag.NewFlagSet("biaslab", flag.ContinueOnError)
+	sizeName := global.String("size", "small", "workload size: test, small, ref")
+	csv := global.Bool("csv", false, "emit CSV instead of rendered text where available")
+	outDir := global.String("out", "", "also write each experiment artifact (text + CSV) into this directory")
+	global.Usage = usage
+	if err := global.Parse(args); err != nil {
+		return err
+	}
+	rest := global.Args()
+	if len(rest) == 0 {
+		usage()
+		return fmt.Errorf("missing subcommand")
+	}
+	size, err := parseSize(*sizeName)
+	if err != nil {
+		return err
+	}
+	a := &app{size: size, csv: *csv, outDir: *outDir}
+
+	cmd, cmdArgs := rest[0], rest[1:]
+	switch cmd {
+	case "run":
+		return a.cmdRun(cmdArgs)
+	case "sweep-env":
+		return a.cmdSweepEnv(cmdArgs)
+	case "sweep-link":
+		return a.cmdSweepLink(cmdArgs)
+	case "randomize":
+		return a.cmdRandomize(cmdArgs)
+	case "causal":
+		return a.cmdCausal(cmdArgs)
+	case "profile":
+		return a.cmdProfile(cmdArgs)
+	case "compare":
+		return a.cmdCompare(cmdArgs)
+	case "survey":
+		fmt.Print(survey.Summarize(survey.Dataset()).Table())
+		return nil
+	case "experiment", "figure", "table":
+		return a.cmdExperiment(cmdArgs)
+	case "all":
+		return a.cmdAll(cmdArgs)
+	case "list":
+		return a.cmdList()
+	case "help":
+		usage()
+		return nil
+	}
+	return fmt.Errorf("unknown subcommand %q (try 'biaslab help')", cmd)
+}
+
+func usage() {
+	fmt.Fprint(os.Stderr, `biaslab — a measurement-bias laboratory (ASPLOS 2009 reproduction)
+
+subcommands:
+  run        measure one benchmark under one setup
+  sweep-env  vary the UNIX environment size, report the speedup swing
+  sweep-link vary the link order, report the speedup swing
+  randomize  estimate a speedup over randomized setups (the paper's remedy)
+  causal     intervene on stack placement, rank hardware-event correlates
+  profile    per-function cycle attribution for one run
+  compare    robust A/B comparison of two toolchain configs across setups
+  survey     print the 133-paper literature-survey table
+  experiment regenerate one artifact by id (F1..F9, T1..T4)
+  all        regenerate every artifact
+  list       list benchmarks, machines and experiments
+
+global flags: -size test|small|ref   -csv   -out <dir>
+`)
+}
+
+func parseSize(s string) (biaslab.Size, error) {
+	switch s {
+	case "test":
+		return biaslab.SizeTest, nil
+	case "small":
+		return biaslab.SizeSmall, nil
+	case "ref":
+		return biaslab.SizeRef, nil
+	}
+	return 0, fmt.Errorf("unknown size %q", s)
+}
+
+// benchFlag adds and resolves the -bench flag.
+func benchFlag(fs *flag.FlagSet) *string {
+	return fs.String("bench", "perlbench", "benchmark name (see 'biaslab list')")
+}
+
+func machineFlag(fs *flag.FlagSet) *string {
+	return fs.String("machine", "core2", "machine model: p4, core2, m5")
+}
+
+func lookupBench(name string) (*biaslab.BenchmarkProgram, error) {
+	b, ok := biaslab.Benchmark(name)
+	if !ok {
+		return nil, fmt.Errorf("unknown benchmark %q (try 'biaslab list')", name)
+	}
+	return b, nil
+}
+
+func (a *app) cmdRun(args []string) error {
+	fs := flag.NewFlagSet("run", flag.ContinueOnError)
+	benchName := benchFlag(fs)
+	machineName := machineFlag(fs)
+	env := fs.Uint64("env", 512, "environment size in bytes")
+	o3 := fs.Bool("O3", false, "compile at -O3 (default -O2)")
+	icc := fs.Bool("icc", false, "use the icc personality (default gcc)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	b, err := lookupBench(*benchName)
+	if err != nil {
+		return err
+	}
+	setup := biaslab.DefaultSetup(*machineName)
+	setup.EnvBytes = *env
+	if *o3 {
+		setup = setup.WithLevel(biaslab.O3)
+	}
+	if *icc {
+		setup.Compiler.Personality = biaslab.ICC
+	}
+	r := biaslab.NewRunner(a.size)
+	m, err := r.Measure(b, setup)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s under %s (%s workload)\n\n", b.Name, setup, a.size)
+	fmt.Print(m.Counters.String())
+	fmt.Printf("checksum             %12d\n", m.Checksum)
+	return nil
+}
+
+func (a *app) cmdSweepEnv(args []string) error {
+	fs := flag.NewFlagSet("sweep-env", flag.ContinueOnError)
+	benchName := benchFlag(fs)
+	machineName := machineFlag(fs)
+	step := fs.Uint64("step", 128, "environment-size step in bytes")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	b, err := lookupBench(*benchName)
+	if err != nil {
+		return err
+	}
+	r := biaslab.NewRunner(a.size)
+	points, err := biaslab.EnvSweep(r, b, biaslab.DefaultSetup(*machineName), biaslab.DefaultEnvSizes(*step))
+	if err != nil {
+		return err
+	}
+	t := &report.Table{
+		Title:   fmt.Sprintf("O3-over-O2 speedup of %s vs environment size (%s)", b.Name, *machineName),
+		Headers: []string{"env bytes", "cycles O2", "cycles O3", "speedup"},
+	}
+	speedups := make([]float64, 0, len(points))
+	for _, p := range points {
+		t.AddRow(p.EnvBytes, p.CyclesBase, p.CyclesOpt, p.Speedup)
+		speedups = append(speedups, p.Speedup)
+	}
+	if a.csv {
+		fmt.Print(t.CSV())
+	} else {
+		fmt.Print(t.String())
+		fmt.Println()
+		fmt.Println(biaslab.NewBiasReport(b.Name, *machineName, "environment size", speedups))
+	}
+	return nil
+}
+
+func (a *app) cmdSweepLink(args []string) error {
+	fs := flag.NewFlagSet("sweep-link", flag.ContinueOnError)
+	benchName := benchFlag(fs)
+	machineName := machineFlag(fs)
+	orders := fs.Int("orders", 16, "number of random link orders")
+	seed := fs.Uint64("seed", 1, "random seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	b, err := lookupBench(*benchName)
+	if err != nil {
+		return err
+	}
+	r := biaslab.NewRunner(a.size)
+	points, err := biaslab.LinkSweep(r, b, biaslab.DefaultSetup(*machineName), *orders, *seed)
+	if err != nil {
+		return err
+	}
+	t := &report.Table{
+		Title:   fmt.Sprintf("O3-over-O2 speedup of %s vs link order (%s)", b.Name, *machineName),
+		Headers: []string{"order", "cycles O2", "cycles O3", "speedup"},
+	}
+	speedups := make([]float64, 0, len(points))
+	for _, p := range points {
+		t.AddRow(p.Label, p.CyclesBase, p.CyclesOpt, p.Speedup)
+		speedups = append(speedups, p.Speedup)
+	}
+	if a.csv {
+		fmt.Print(t.CSV())
+	} else {
+		fmt.Print(t.String())
+		fmt.Println()
+		fmt.Println(biaslab.NewBiasReport(b.Name, *machineName, "link order", speedups))
+	}
+	return nil
+}
+
+func (a *app) cmdRandomize(args []string) error {
+	fs := flag.NewFlagSet("randomize", flag.ContinueOnError)
+	benchName := benchFlag(fs)
+	machineName := machineFlag(fs)
+	n := fs.Int("n", 16, "number of randomized setups (max, when -tol is set)")
+	seed := fs.Uint64("seed", 1, "random seed")
+	tol := fs.Float64("tol", 0, "adaptive mode: stop when the 95% CI half-width falls below this (e.g. 0.005)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	b, err := lookupBench(*benchName)
+	if err != nil {
+		return err
+	}
+	r := biaslab.NewRunner(a.size)
+	var est *biaslab.RobustEstimate
+	if *tol > 0 {
+		est, err = biaslab.EstimateSpeedupAdaptive(r, b, biaslab.DefaultSetup(*machineName), *tol, 4, *n, *seed)
+	} else {
+		est, err = biaslab.EstimateSpeedup(r, b, biaslab.DefaultSetup(*machineName), *n, *seed)
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Println(est)
+	if est.Conclusive() {
+		fmt.Println("the randomized experiment supports a direction: the interval excludes 1.0")
+	} else {
+		fmt.Println("INCONCLUSIVE: the interval contains 1.0 — a single-setup paper would still have printed a number")
+	}
+	return nil
+}
+
+func (a *app) cmdCausal(args []string) error {
+	fs := flag.NewFlagSet("causal", flag.ContinueOnError)
+	benchName := benchFlag(fs)
+	machineName := machineFlag(fs)
+	maxShift := fs.Uint64("max-shift", 1024, "largest stack displacement in bytes")
+	step := fs.Uint64("step", 128, "displacement step")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	b, err := lookupBench(*benchName)
+	if err != nil {
+		return err
+	}
+	r := biaslab.NewRunner(a.size)
+	rep, err := biaslab.CausalStudy(r, b, biaslab.DefaultSetup(*machineName), *maxShift, *step)
+	if err != nil {
+		return err
+	}
+	fmt.Println(rep)
+	t := &report.Table{Title: "counter correlations:", Headers: []string{"counter", "pearson", "spearman"}}
+	for _, c := range rep.Correlations {
+		t.AddRow(c.Counter, c.Pearson, c.Spearman)
+	}
+	fmt.Print(t.String())
+	return nil
+}
+
+func (a *app) cmdProfile(args []string) error {
+	fs := flag.NewFlagSet("profile", flag.ContinueOnError)
+	benchName := benchFlag(fs)
+	machineName := machineFlag(fs)
+	env := fs.Uint64("env", 512, "environment size in bytes")
+	o3 := fs.Bool("O3", false, "compile at -O3 (default -O2)")
+	top := fs.Int("top", 15, "how many functions to show")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	b, err := lookupBench(*benchName)
+	if err != nil {
+		return err
+	}
+	setup := biaslab.DefaultSetup(*machineName)
+	setup.EnvBytes = *env
+	if *o3 {
+		setup = setup.WithLevel(biaslab.O3)
+	}
+	r := biaslab.NewRunner(a.size)
+	m, prof, err := r.MeasureProfiled(b, setup)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s under %s: %d cycles, %d instructions, IPC %.2f\n\n",
+		b.Name, setup, m.Cycles, m.Counters.Instructions, m.Counters.IPC())
+	fmt.Print(prof.Top(*top).String())
+	return nil
+}
+
+func (a *app) cmdCompare(args []string) error {
+	fs := flag.NewFlagSet("compare", flag.ContinueOnError)
+	benchName := benchFlag(fs)
+	machineName := machineFlag(fs)
+	aSpec := fs.String("a", "gcc:O2", "config A as personality:level (e.g. gcc:O2)")
+	bSpec := fs.String("b", "icc:O2", "config B as personality:level")
+	n := fs.Int("n", 12, "number of randomized setups")
+	seed := fs.Uint64("seed", 1, "random seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	b, err := lookupBench(*benchName)
+	if err != nil {
+		return err
+	}
+	cfgA, err := parseConfigSpec(*aSpec)
+	if err != nil {
+		return err
+	}
+	cfgB, err := parseConfigSpec(*bSpec)
+	if err != nil {
+		return err
+	}
+	r := biaslab.NewRunner(a.size)
+	cmp, err := biaslab.CompareConfigs(r, b, biaslab.DefaultSetup(*machineName), cfgA, cfgB, *n, *seed)
+	if err != nil {
+		return err
+	}
+	fmt.Println(cmp)
+	return nil
+}
+
+// parseConfigSpec parses "gcc:O2" / "icc:O3" style toolchain specs.
+func parseConfigSpec(spec string) (biaslab.CompilerConfig, error) {
+	var cfg biaslab.CompilerConfig
+	parts := strings.SplitN(spec, ":", 2)
+	if len(parts) != 2 {
+		return cfg, fmt.Errorf("config spec %q must look like gcc:O2", spec)
+	}
+	pers, err := compiler.ParsePersonality(parts[0])
+	if err != nil {
+		return cfg, err
+	}
+	lvl, err := compiler.ParseLevel(parts[1])
+	if err != nil {
+		return cfg, err
+	}
+	return biaslab.CompilerConfig{Level: lvl, Personality: pers}, nil
+}
+
+func (a *app) cmdExperiment(args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("experiment needs an id (one of %s)", strings.Join(biaslab.ExperimentIDs(), ", "))
+	}
+	lab := biaslab.NewLab(biaslab.LabOptions{Size: a.size})
+	res, err := lab.ByID(args[0])
+	if err != nil {
+		return err
+	}
+	a.emit(res)
+	return nil
+}
+
+func (a *app) cmdAll(args []string) error {
+	lab := biaslab.NewLab(biaslab.LabOptions{Size: a.size})
+	results, err := lab.All()
+	if err != nil {
+		return err
+	}
+	for _, res := range results {
+		a.emit(res)
+		fmt.Println()
+	}
+	return nil
+}
+
+func (a *app) emit(res *biaslab.ExperimentResult) {
+	if a.outDir != "" {
+		if err := a.save(res); err != nil {
+			fmt.Fprintln(os.Stderr, "biaslab: saving artifact:", err)
+		}
+	}
+	if a.csv {
+		fmt.Printf("# %s: %s\n%s", res.ID, res.Title, res.CSV)
+		return
+	}
+	fmt.Println(res.Text)
+}
+
+// save writes <out>/<id>.txt and <out>/<id>.csv.
+func (a *app) save(res *biaslab.ExperimentResult) error {
+	if err := os.MkdirAll(a.outDir, 0o755); err != nil {
+		return err
+	}
+	base := filepath.Join(a.outDir, strings.ToLower(res.ID))
+	if err := os.WriteFile(base+".txt", []byte(res.Title+"\n\n"+res.Text), 0o644); err != nil {
+		return err
+	}
+	return os.WriteFile(base+".csv", []byte(res.CSV), 0o644)
+}
+
+func (a *app) cmdList() error {
+	fmt.Println("benchmarks (SPEC CPU2006 C analogues):")
+	for _, b := range biaslab.Benchmarks() {
+		fmt.Printf("  %-11s %-15s %s\n", b.Name, b.Spec, b.Kernel)
+	}
+	fmt.Printf("\nmachines: %s\n", strings.Join(biaslab.Machines(), ", "))
+	fmt.Printf("experiments: %s\n", strings.Join(biaslab.ExperimentIDs(), ", "))
+	return nil
+}

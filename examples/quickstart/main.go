@@ -1,0 +1,57 @@
+// Quickstart: the paper's headline result in thirty lines.
+//
+// A researcher wants to know whether -O3 beats -O2 for a benchmark. She
+// measures once, in her own shell. Her colleague repeats the measurement in
+// a shell with a larger environment — more exported variables, a longer
+// PATH — and gets the opposite answer. Neither did anything obviously
+// wrong; the environment block displaced the stack, the stack displacement
+// changed the cache and aliasing behaviour, and the measured "effect of O3"
+// absorbed the difference.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"biaslab"
+)
+
+func main() {
+	r := biaslab.NewRunner(biaslab.SizeSmall)
+	b, ok := biaslab.Benchmark("perlbench")
+	if !ok {
+		log.Fatal("perlbench missing from suite")
+	}
+
+	// Researcher A: modest environment (~1 KiB of exported variables).
+	setupA := biaslab.DefaultSetup("p4")
+	setupA.EnvBytes = 1024
+
+	// Researcher B: comfortable login environment (~4 KiB) — more
+	// variables, a longer PATH, nothing anyone would think to report.
+	setupB := setupA
+	setupB.EnvBytes = 4096
+
+	for _, sc := range []struct {
+		who   string
+		setup biaslab.Setup
+	}{{"researcher A (env = 1024B)", setupA}, {"researcher B (env = 4096B)", setupB}} {
+		speedup, o2, o3, err := r.Speedup(b, sc.setup, biaslab.O2, biaslab.O3)
+		if err != nil {
+			log.Fatal(err)
+		}
+		verdict := "O3 HELPS"
+		if speedup < 1 {
+			verdict = "O3 HURTS"
+		}
+		fmt.Printf("%s: O2 %9d cycles, O3 %9d cycles → speedup %.4f  %s\n",
+			sc.who, o2.Cycles, o3.Cycles, speedup, verdict)
+		// Both measured the same computation: identical output checksums.
+		if o2.Checksum != o3.Checksum {
+			log.Fatal("checksum mismatch — impossible unless the toolchain is broken")
+		}
+	}
+
+	fmt.Println("\nSame program, same machine, same compiler — different conclusion.")
+	fmt.Println("That is measurement bias. See examples/robust-eval for the fix.")
+}

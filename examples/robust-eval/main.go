@@ -1,0 +1,95 @@
+// robust-eval demonstrates the paper's remedies working together.
+//
+// Part 1 — setup randomization: instead of one arbitrary setup, measure the
+// O3 speedup across n randomized setups (random environment size, random
+// link order) and report a confidence interval. Bias becomes visible
+// variance; the interval either excludes 1.0 (a real effect) or contains it
+// (the experiment cannot support a direction, and saying so is the honest
+// result).
+//
+// Part 2 — causal analysis: for the environment-size effect, intervene on
+// the suspected cause (stack displacement) directly and rank hardware
+// events by correlation with cycles, confirming the mechanism instead of
+// guessing it.
+//
+// Usage: robust-eval [-bench perlbench] [-machine core2] [-n 16] [-size small]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"biaslab"
+	"biaslab/internal/report"
+)
+
+func main() {
+	benchName := flag.String("bench", "perlbench", "benchmark to evaluate")
+	machineName := flag.String("machine", "core2", "machine model: p4, core2, m5")
+	n := flag.Int("n", 16, "number of randomized setups")
+	seed := flag.Uint64("seed", 42, "randomization seed")
+	sizeName := flag.String("size", "small", "workload size: test, small, ref")
+	flag.Parse()
+
+	size := biaslab.SizeSmall
+	switch *sizeName {
+	case "test":
+		size = biaslab.SizeTest
+	case "ref":
+		size = biaslab.SizeRef
+	}
+
+	b, ok := biaslab.Benchmark(*benchName)
+	if !ok {
+		log.Fatalf("unknown benchmark %q", *benchName)
+	}
+	r := biaslab.NewRunner(size)
+	base := biaslab.DefaultSetup(*machineName)
+
+	fmt.Printf("== Part 1: setup randomization (%d setups) ==\n\n", *n)
+	est, err := biaslab.EstimateSpeedup(r, b, base, *n, *seed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(est)
+	if est.Conclusive() {
+		fmt.Println("→ the 95% interval excludes 1.0: the O3 effect is real for this benchmark.")
+	} else {
+		fmt.Println("→ the 95% interval CONTAINS 1.0: across realistic setups this")
+		fmt.Println("  experiment does not establish whether O3 helps. A single-setup")
+		fmt.Println("  measurement would still have printed a confident-looking number.")
+	}
+
+	// Show the spread that randomization summarized.
+	s := report.Series{Name: "per-setup speedup"}
+	for i, sp := range est.Speedups {
+		s.X = append(s.X, float64(i))
+		s.Y = append(s.Y, sp)
+	}
+	fmt.Println()
+	fmt.Print(report.LineChart("speedups across randomized setups (---- is 1.0)",
+		[]report.Series{s}, 60, 12, 1.0, true))
+
+	fmt.Printf("\n== Part 2: causal analysis of the environment effect ==\n\n")
+	rep, err := biaslab.CausalStudy(r, b, base, 1024, 128)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(rep)
+	fmt.Println()
+	t := &report.Table{
+		Title:   "hardware events ranked by |correlation| with cycles under the intervention:",
+		Headers: []string{"counter", "pearson", "spearman"},
+	}
+	for i, c := range rep.Correlations {
+		if i >= 6 {
+			break
+		}
+		t.AddRow(c.Counter, c.Pearson, c.Spearman)
+	}
+	fmt.Print(t.String())
+	fmt.Println("\nThe displacement intervention moved cycles without touching the")
+	fmt.Println("environment, and the implicated event tracks the cycles: stack")
+	fmt.Println("placement — not any property of O3 — explains the swing.")
+}

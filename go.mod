@@ -1,0 +1,3 @@
+module biaslab
+
+go 1.22

@@ -1,0 +1,142 @@
+package bench
+
+import (
+	"testing"
+
+	"biaslab/internal/compiler"
+	"biaslab/internal/ir"
+	"biaslab/internal/linker"
+	"biaslab/internal/loader"
+	"biaslab/internal/machine"
+)
+
+func TestRegistry(t *testing.T) {
+	all := All()
+	if len(all) != 12 {
+		t.Fatalf("suite has %d benchmarks, want 12", len(all))
+	}
+	names := map[string]bool{}
+	for _, b := range all {
+		if b.Name == "" || b.Spec == "" || b.Kernel == "" {
+			t.Errorf("benchmark %q missing metadata", b.Name)
+		}
+		if names[b.Name] {
+			t.Errorf("duplicate name %s", b.Name)
+		}
+		names[b.Name] = true
+		for _, sz := range []Size{SizeTest, SizeSmall, SizeRef} {
+			if b.Scale(sz) <= 0 {
+				t.Errorf("%s: no scale for %v", b.Name, sz)
+			}
+		}
+		srcs := b.Sources(SizeTest)
+		if len(srcs) < 3 {
+			t.Errorf("%s: only %d translation units; need ≥3 for link-order experiments", b.Name, len(srcs))
+		}
+	}
+	for _, want := range []string{"perlbench", "bzip2", "gcc", "mcf", "milc", "gobmk", "hmmer", "sjeng", "libquantum", "h264ref", "lbm", "sphinx3"} {
+		if !names[want] {
+			t.Errorf("missing SPEC analogue %s", want)
+		}
+	}
+}
+
+func TestParseSize(t *testing.T) {
+	for s, want := range map[string]Size{"test": SizeTest, "small": SizeSmall, "ref": SizeRef} {
+		got, err := ParseSize(s)
+		if err != nil || got != want {
+			t.Errorf("ParseSize(%s) = %v, %v", s, got, err)
+		}
+		if got.String() != s {
+			t.Errorf("Size.String() = %q, want %q", got.String(), s)
+		}
+	}
+	if _, err := ParseSize("huge"); err == nil {
+		t.Error("ParseSize(huge) should fail")
+	}
+}
+
+// oracleChecksum runs a benchmark's IR through the interpreter.
+func oracleChecksum(t *testing.T, b *Benchmark, cfg compiler.Config) uint64 {
+	t.Helper()
+	_, prog, err := compiler.Compile(b.Sources(SizeTest), cfg)
+	if err != nil {
+		t.Fatalf("%s: compile: %v", b.Name, err)
+	}
+	it, err := ir.NewInterp(prog)
+	if err != nil {
+		t.Fatalf("%s: interp: %v", b.Name, err)
+	}
+	it.SetStepLimit(1 << 28)
+	if err := it.Run(); err != nil {
+		t.Fatalf("%s: interp run: %v", b.Name, err)
+	}
+	return it.Checksum
+}
+
+// TestBenchmarksCompileAndValidate is the suite's core correctness test:
+// every benchmark × optimization level × personality must produce the same
+// checksum under the IR interpreter.
+func TestBenchmarksCompileAndValidate(t *testing.T) {
+	for _, b := range All() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			t.Parallel()
+			base := oracleChecksum(t, b, compiler.Config{Level: compiler.O0})
+			if base == 0 {
+				t.Errorf("%s: checksum is zero; benchmark likely degenerate", b.Name)
+			}
+			for _, cfg := range []compiler.Config{
+				{Level: compiler.O2, Personality: compiler.GCC},
+				{Level: compiler.O3, Personality: compiler.GCC},
+				{Level: compiler.O3, Personality: compiler.ICC},
+			} {
+				if got := oracleChecksum(t, b, cfg); got != base {
+					t.Errorf("%s at %v: checksum %d, want %d", b.Name, cfg, got, base)
+				}
+			}
+		})
+	}
+}
+
+// TestBenchmarksRunOnMachine runs every benchmark end-to-end on the Core 2
+// model at O2 and checks the machine checksum against the oracle.
+func TestBenchmarksRunOnMachine(t *testing.T) {
+	for _, b := range All() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			t.Parallel()
+			cfg := compiler.Config{Level: compiler.O2, Personality: compiler.GCC}
+			objs, prog, err := compiler.Compile(b.Sources(SizeTest), cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			exe, err := linker.Link(objs, linker.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			img, err := loader.Load(exe, loader.Options{Env: []string{"PATH=/usr/bin"}})
+			if err != nil {
+				t.Fatal(err)
+			}
+			m := machine.New(machine.Core2())
+			res, err := m.Run(img, 1<<28)
+			if err != nil {
+				t.Fatalf("%s: %v", b.Name, err)
+			}
+			it, err := ir.NewInterp(prog)
+			if err != nil {
+				t.Fatal(err)
+			}
+			it.SetStepLimit(1 << 28)
+			if err := it.Run(); err != nil {
+				t.Fatal(err)
+			}
+			if res.Checksum != it.Checksum {
+				t.Errorf("%s: machine checksum %d != oracle %d", b.Name, res.Checksum, it.Checksum)
+			}
+			t.Logf("%s: %d instructions, %d cycles, IPC %.2f", b.Name,
+				res.Counters.Instructions, res.Counters.Cycles, res.Counters.IPC())
+		})
+	}
+}

@@ -1,0 +1,164 @@
+package bench
+
+import (
+	"fmt"
+
+	"biaslab/internal/compiler"
+)
+
+// bzip2: analogue of 401.bzip2. The real benchmark is block-sorting
+// compression; its hot loops are run-length encoding, move-to-front
+// transformation and frequency counting over byte buffers. The analogue
+// implements exactly those three stages plus a verifying decoder for the
+// RLE stage.
+func init() {
+	register(&Benchmark{
+		Name:   "bzip2",
+		Spec:   "401.bzip2",
+		Kernel: "run-length encoding, move-to-front, byte histograms",
+		scales: map[Size]int{SizeTest: 1, SizeSmall: 3, SizeRef: 12},
+		sources: func(scale int) []compiler.Source {
+			return []compiler.Source{
+				src("bzip2", "gen", bzipGen),
+				src("bzip2", "rle", bzipRLE),
+				src("bzip2", "mtf", bzipMTF),
+				src("bzip2", "main", fmt.Sprintf(bzipMain, scale)),
+			}
+		},
+	})
+}
+
+const bzipGen = `
+// Input generation: runs of repeated bytes with pseudo-random lengths, the
+// kind of data RLE feeds on.
+byte input[2048];
+int rngstate;
+
+int nextrand() {
+	rngstate = (rngstate * 1103515245 + 12345) & 2147483647;
+	return rngstate >> 7;
+}
+
+void geninput(int seed, int len) {
+	rngstate = seed;
+	int i = 0;
+	while (i < len) {
+		int b = nextrand() % 64 + 'A';
+		int run = nextrand() % 9 + 1;
+		while (run > 0 && i < len) {
+			input[i] = b;
+			i++;
+			run -= 1;
+		}
+	}
+}
+`
+
+const bzipRLE = `
+// Run-length coder: pairs of (byte, count), counts capped at 255.
+byte rlebuf[8192];
+int rlelen;
+
+int rleencode(byte* srcb, int len) {
+	rlelen = 0;
+	int i = 0;
+	while (i < len) {
+		int b = srcb[i];
+		int run = 1;
+		while (i + run < len && srcb[i + run] == b && run < 255) {
+			run++;
+		}
+		rlebuf[rlelen] = b;
+		rlebuf[rlelen + 1] = run;
+		rlelen += 2;
+		i += run;
+	}
+	return rlelen;
+}
+
+int rledecodecheck(byte* srcb, int len) {
+	// Verify the decode reproduces the input; returns mismatch count.
+	int pos = 0;
+	int bad = 0;
+	for (int r = 0; r < rlelen; r += 2) {
+		int b = rlebuf[r];
+		int run = rlebuf[r + 1];
+		for (int k = 0; k < run; k++) {
+			if (pos < len) {
+				if (srcb[pos] != b) {
+					bad++;
+				}
+				pos++;
+			}
+		}
+	}
+	if (pos != len) {
+		bad += 1000;
+	}
+	return bad;
+}
+`
+
+const bzipMTF = `
+// Move-to-front transform plus output histogram, the entropy-model stage.
+byte mtftable[256];
+int freq[256];
+
+void mtfinit() {
+	for (int i = 0; i < 256; i++) {
+		mtftable[i] = i;
+		freq[i] = 0;
+	}
+}
+
+int mtfencode(byte* data, int len) {
+	int acc = 0;
+	for (int i = 0; i < len; i++) {
+		int b = data[i];
+		int j = 0;
+		while (mtftable[j] != b) {
+			j++;
+		}
+		freq[j] += 1;
+		acc = (acc * 17 + j) & 16777215;
+		while (j > 0) {
+			mtftable[j] = mtftable[j - 1];
+			j -= 1;
+		}
+		mtftable[0] = b;
+	}
+	return acc;
+}
+
+int entropyproxy() {
+	// Sum of f*log2ish(f) using integer bit length as a log stand-in.
+	int total = 0;
+	for (int i = 0; i < 256; i++) {
+		int f = freq[i];
+		int bits = 0;
+		while (f > 0) {
+			f = f >> 1;
+			bits++;
+		}
+		total += freq[i] * bits;
+	}
+	return total;
+}
+`
+
+const bzipMain = `
+void main() {
+	int total = 0;
+	int iters = %d;
+	for (int it = 0; it < iters; it++) {
+		geninput(it * 2654435761 + 99, 2048);
+		int enc = rleencode(input, 2048);
+		int bad = rledecodecheck(input, 2048);
+		mtfinit();
+		int acc = mtfencode(rlebuf, enc);
+		int ent = entropyproxy();
+		total = (total * 31 + enc + acc + ent + bad * 7777) & 268435455;
+	}
+	checksum(total);
+}
+`

@@ -1,0 +1,189 @@
+package bench
+
+import (
+	"fmt"
+
+	"biaslab/internal/compiler"
+)
+
+// gcc: analogue of 403.gcc. The real benchmark is a compiler: it builds an
+// IR, runs folding/DCE-style passes with large dispatch switches, and does
+// graph-coloring register allocation. The analogue builds a random
+// expression DAG in arrays, constant-folds it, eliminates dead nodes, and
+// colors an interference graph — big, branchy code with poor locality,
+// which is why the real gcc is I-cache sensitive (and why O3's code growth
+// can hurt it, as the paper observes).
+func init() {
+	register(&Benchmark{
+		Name:   "gcc",
+		Spec:   "403.gcc",
+		Kernel: "IR folding, dead-code elimination, graph coloring",
+		scales: map[Size]int{SizeTest: 1, SizeSmall: 2, SizeRef: 8},
+		sources: func(scale int) []compiler.Source {
+			return []compiler.Source{
+				src("gcc", "ir", gccIR),
+				src("gcc", "fold", gccFold),
+				src("gcc", "color", gccColor),
+				src("gcc", "main", fmt.Sprintf(gccMain, scale)),
+			}
+		},
+	})
+}
+
+const gccIR = `
+// Expression DAG stored in parallel arrays. op 0 = constant leaf,
+// 1..8 = binary operators; lhs/rhs are node indices (always smaller).
+int nodeop[2048];
+int nodelhs[2048];
+int noderhs[2048];
+int nodeval[2048];
+int nodelive[2048];
+int nnodes;
+int irrng;
+
+int irrand() {
+	irrng = (irrng * 1103515245 + 12345) & 2147483647;
+	return irrng >> 7;
+}
+
+void buildir(int seed, int n) {
+	irrng = seed;
+	nnodes = n;
+	for (int i = 0; i < n; i++) {
+		nodelive[i] = 0;
+		if (i < 24) {
+			nodeop[i] = 0;
+			nodeval[i] = irrand() & 1023;
+			nodelhs[i] = 0;
+			noderhs[i] = 0;
+		} else {
+			nodeop[i] = irrand() % 8 + 1;
+			nodelhs[i] = irrand() % i;
+			noderhs[i] = irrand() % i;
+		}
+	}
+}
+`
+
+const gccFold = `
+// Bottom-up constant folding with a big operator switch, the shape of
+// every compiler's simplify pass.
+int applyop(int op, int a, int b) {
+	if (op == 1) { return (a + b) & 16777215; }
+	if (op == 2) { return (a - b) & 16777215; }
+	if (op == 3) { return (a * b) & 16777215; }
+	if (op == 4) {
+		if (b == 0) { return a; }
+		return a / b;
+	}
+	if (op == 5) { return a & b; }
+	if (op == 6) { return a | b; }
+	if (op == 7) { return a ^ b; }
+	return (a << 1 ^ b) & 16777215;
+}
+
+int foldall() {
+	// Every node's operands precede it, so one forward pass folds fully.
+	int folded = 0;
+	for (int i = 0; i < nnodes; i++) {
+		if (nodeop[i] != 0) {
+			int a = nodeval[nodelhs[i]];
+			int b = nodeval[noderhs[i]];
+			nodeval[i] = applyop(nodeop[i], a, b);
+			folded++;
+		}
+	}
+	return folded;
+}
+
+int marklive(int root) {
+	// Iterative DFS using an explicit work stack (compilers do this to
+	// avoid recursion on huge functions).
+	int stack[512];
+	int sp = 0;
+	int live = 0;
+	stack[0] = root;
+	sp = 1;
+	while (sp > 0) {
+		sp -= 1;
+		int n = stack[sp];
+		if (nodelive[n] == 0) {
+			nodelive[n] = 1;
+			live++;
+			if (nodeop[n] != 0 && sp < 510) {
+				stack[sp] = nodelhs[n];
+				stack[sp + 1] = noderhs[n];
+				sp += 2;
+			}
+		}
+	}
+	return live;
+}
+`
+
+const gccColor = `
+// Greedy graph coloring over a synthetic interference graph derived from
+// node liveness — the register-allocation stage.
+int color[2048];
+int degree[2048];
+
+int interferes(int a, int b) {
+	// Two live nodes interfere when their index distance is small or they
+	// share an operand, a cheap stand-in for overlapping live ranges.
+	if (nodelive[a] == 0 || nodelive[b] == 0) { return 0; }
+	int d = a - b;
+	if (d < 0) { d = -d; }
+	if (d < 8) { return 1; }
+	if (nodelhs[a] == nodelhs[b]) { return 1; }
+	return noderhs[a] == noderhs[b];
+}
+
+int colorall(int k) {
+	int spills = 0;
+	for (int i = 0; i < nnodes; i++) {
+		color[i] = 0 - 1;
+		degree[i] = 0;
+	}
+	for (int i = 0; i < nnodes; i++) {
+		if (nodelive[i] == 0) { continue; }
+		int used = 0;
+		int lo = i - 64;
+		if (lo < 0) { lo = 0; }
+		for (int j = lo; j < i; j++) {
+			if (interferes(i, j) && color[j] >= 0) {
+				used = used | 1 << color[j];
+				degree[i]++;
+			}
+		}
+		int c = 0;
+		while (c < k && (used >> c & 1) != 0) {
+			c++;
+		}
+		if (c < k) {
+			color[i] = c;
+		} else {
+			spills++;
+		}
+	}
+	return spills;
+}
+`
+
+const gccMain = `
+void main() {
+	int total = 0;
+	int iters = %d;
+	for (int it = 0; it < iters; it++) {
+		buildir(it * 16807 + 7, 2048);
+		int folded = foldall();
+		int live = marklive(nnodes - 1);
+		int spills = colorall(8);
+		int sum = 0;
+		for (int i = 0; i < nnodes; i += 17) {
+			sum = (sum + nodeval[i] + degree[i]) & 16777215;
+		}
+		total = (total * 31 + folded + live * 3 + spills * 7 + sum) & 268435455;
+	}
+	checksum(total);
+}
+`

@@ -1,0 +1,177 @@
+package bench
+
+import (
+	"fmt"
+
+	"biaslab/internal/compiler"
+)
+
+// gobmk: analogue of 445.gobmk. The real benchmark plays Go: board
+// manipulation, flood-fill liberty counting, and pattern-driven move
+// evaluation — extremely branchy code over a small dense board. The
+// analogue implements a 19×19 board with group/liberty analysis via
+// flood fill and a greedy self-play loop.
+func init() {
+	register(&Benchmark{
+		Name:   "gobmk",
+		Spec:   "445.gobmk",
+		Kernel: "board flood-fill, liberty counting, move evaluation",
+		scales: map[Size]int{SizeTest: 1, SizeSmall: 2, SizeRef: 8},
+		sources: func(scale int) []compiler.Source {
+			return []compiler.Source{
+				src("gobmk", "board", gobmkBoard),
+				src("gobmk", "moves", gobmkMoves),
+				src("gobmk", "main", fmt.Sprintf(gobmkMain, scale)),
+			}
+		},
+	})
+}
+
+const gobmkBoard = `
+// 19x19 board with a one-cell border sentinel (21x21 = 441 cells).
+// 0 empty, 1 black, 2 white, 3 border.
+byte board[441];
+byte marks[441];
+int brng;
+
+int brand() {
+	brng = (brng * 1103515245 + 12345) & 2147483647;
+	return brng >> 7;
+}
+
+void clearboard(int seed) {
+	brng = seed;
+	for (int i = 0; i < 441; i++) {
+		board[i] = 0;
+		int r = i / 21;
+		int c = i % 21;
+		if (r == 0 || r == 20 || c == 0 || c == 20) {
+			board[i] = 3;
+		}
+	}
+}
+
+int libertiesof(int pos) {
+	// Flood fill the group at pos, counting distinct adjacent empties.
+	for (int i = 0; i < 441; i++) {
+		marks[i] = 0;
+	}
+	int who = board[pos];
+	if (who == 0 || who == 3) {
+		return 0;
+	}
+	int stack[441];
+	int sp = 1;
+	stack[0] = pos;
+	marks[pos] = 1;
+	int libs = 0;
+	while (sp > 0) {
+		sp -= 1;
+		int p = stack[sp];
+		int dirs[4];
+		dirs[0] = p - 21;
+		dirs[1] = p + 21;
+		dirs[2] = p - 1;
+		dirs[3] = p + 1;
+		for (int d = 0; d < 4; d++) {
+			int q = dirs[d];
+			if (marks[q] == 0) {
+				if (board[q] == 0) {
+					marks[q] = 2;
+					libs++;
+				} else if (board[q] == who) {
+					marks[q] = 1;
+					stack[sp] = q;
+					sp++;
+				}
+			}
+		}
+	}
+	return libs;
+}
+`
+
+const gobmkMoves = `
+// Move evaluation: prefer moves with many own liberties, adjacency to
+// enemy groups in atari, and central position.
+int evalmove(int pos, int who) {
+	if (board[pos] != 0) {
+		return 0 - 1000;
+	}
+	int score = 0;
+	int r = pos / 21;
+	int c = pos % 21;
+	int dr = r - 10;
+	int dc = c - 10;
+	if (dr < 0) { dr = -dr; }
+	if (dc < 0) { dc = -dc; }
+	score += 18 - dr - dc;
+	board[pos] = who;
+	int mylibs = libertiesof(pos);
+	score += mylibs * 4;
+	int enemy = 3 - who;
+	int dirs[4];
+	dirs[0] = pos - 21;
+	dirs[1] = pos + 21;
+	dirs[2] = pos - 1;
+	dirs[3] = pos + 1;
+	for (int d = 0; d < 4; d++) {
+		int q = dirs[d];
+		if (board[q] == enemy) {
+			int el = libertiesof(q);
+			if (el == 0) {
+				score += 100;
+			} else if (el == 1) {
+				score += 25;
+			}
+		}
+	}
+	board[pos] = 0;
+	if (mylibs == 0) {
+		return 0 - 500;
+	}
+	return score;
+}
+
+int genmove(int who, int tries) {
+	int best = 0 - 10000;
+	int bestpos = 0;
+	for (int t = 0; t < tries; t++) {
+		int pos = brand() % 441;
+		if (board[pos] == 0) {
+			int s = evalmove(pos, who);
+			if (s > best) {
+				best = s;
+				bestpos = pos;
+			}
+		}
+	}
+	if (best > 0 - 400) {
+		board[bestpos] = who;
+		return bestpos;
+	}
+	return 0 - 1;
+}
+`
+
+const gobmkMain = `
+void main() {
+	int total = 0;
+	int iters = %d;
+	for (int it = 0; it < iters; it++) {
+		clearboard(it * 7 + 3);
+		int stones = 0;
+		int libsum = 0;
+		for (int mv = 0; mv < 20; mv++) {
+			int who = mv %% 2 + 1;
+			int pos = genmove(who, 8);
+			if (pos >= 0) {
+				stones++;
+				libsum = (libsum + libertiesof(pos)) & 16777215;
+			}
+		}
+		total = (total * 31 + stones + libsum) & 268435455;
+	}
+	checksum(total);
+}
+`

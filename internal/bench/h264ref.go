@@ -1,0 +1,214 @@
+package bench
+
+import (
+	"fmt"
+
+	"biaslab/internal/compiler"
+)
+
+// h264ref: analogue of 464.h264ref. The real benchmark is a video encoder
+// whose time is dominated by motion estimation: sum-of-absolute-difference
+// (SAD) comparisons of 4×4/8×8 pixel blocks against a reference frame,
+// plus a DCT-like transform. The analogue implements exactly that: a
+// diamond motion search over byte frames with SAD kernels and an integer
+// 4×4 transform of the residual.
+func init() {
+	register(&Benchmark{
+		Name:   "h264ref",
+		Spec:   "464.h264ref",
+		Kernel: "block SAD motion search + integer transform",
+		scales: map[Size]int{SizeTest: 1, SizeSmall: 2, SizeRef: 8},
+		sources: func(scale int) []compiler.Source {
+			return []compiler.Source{
+				src("h264ref", "frame", h264Frame),
+				src("h264ref", "sad", h264SAD),
+				src("h264ref", "search", h264Search),
+				src("h264ref", "main", fmt.Sprintf(h264Main, scale)),
+			}
+		},
+	})
+}
+
+const h264Frame = `
+// Two 64x64 frames: current and reference (the reference is the current
+// frame shifted with noise, so motion search has real structure to find).
+byte curframe[4096];
+byte refframe[4096];
+int frng;
+
+int frand() {
+	frng = (frng * 1103515245 + 12345) & 2147483647;
+	return frng >> 7;
+}
+
+void genframes(int seed) {
+	frng = seed;
+	for (int y = 0; y < 64; y++) {
+		for (int x = 0; x < 64; x++) {
+			// Smooth gradient plus texture.
+			int v = x * 2 + y + (frand() & 15);
+			curframe[y * 64 + x] = v & 255;
+		}
+	}
+	int dx = frand() % 5 - 2;
+	int dy = frand() % 5 - 2;
+	for (int y = 0; y < 64; y++) {
+		for (int x = 0; x < 64; x++) {
+			int sx = x + dx;
+			int sy = y + dy;
+			if (sx < 0) { sx = 0; }
+			if (sx > 63) { sx = 63; }
+			if (sy < 0) { sy = 0; }
+			if (sy > 63) { sy = 63; }
+			int v = curframe[sy * 64 + sx] + (frand() & 7);
+			refframe[y * 64 + x] = v & 255;
+		}
+	}
+}
+`
+
+const h264SAD = `
+// SAD kernels. bx/by index 8x8 blocks in the current frame; mx/my is the
+// candidate motion vector into the reference frame.
+int sad8x8(int bx, int by, int mx, int my) {
+	int cx = bx * 8;
+	int cy = by * 8;
+	int rx = cx + mx;
+	int ry = cy + my;
+	if (rx < 0 || ry < 0 || rx + 8 > 64 || ry + 8 > 64) {
+		return 1 << 20;
+	}
+	int sum = 0;
+	for (int y = 0; y < 8; y++) {
+		int crow = (cy + y) * 64 + cx;
+		int rrow = (ry + y) * 64 + rx;
+		for (int x = 0; x < 8; x++) {
+			int d = curframe[crow + x] - refframe[rrow + x];
+			if (d < 0) { d = -d; }
+			sum += d;
+		}
+	}
+	return sum;
+}
+
+int residual[64];
+
+void computeresidual(int bx, int by, int mx, int my) {
+	int cx = bx * 8;
+	int cy = by * 8;
+	for (int y = 0; y < 8; y++) {
+		for (int x = 0; x < 8; x++) {
+			int rx = cx + mx + x;
+			int ry = cy + my + y;
+			if (rx < 0) { rx = 0; }
+			if (rx > 63) { rx = 63; }
+			if (ry < 0) { ry = 0; }
+			if (ry > 63) { ry = 63; }
+			residual[y * 8 + x] = curframe[(cy + y) * 64 + cx + x] - refframe[ry * 64 + rx];
+		}
+	}
+}
+
+int transform4x4(int ox, int oy) {
+	// H.264-style integer DCT butterfly on a 4x4 sub-block of residual.
+	int t[16];
+	for (int i = 0; i < 4; i++) {
+		int a = residual[(oy + i) * 8 + ox];
+		int b = residual[(oy + i) * 8 + ox + 1];
+		int c = residual[(oy + i) * 8 + ox + 2];
+		int d = residual[(oy + i) * 8 + ox + 3];
+		int s0 = a + d;
+		int s1 = b + c;
+		int s2 = b - c;
+		int s3 = a - d;
+		t[i * 4] = s0 + s1;
+		t[i * 4 + 1] = s2 + s3 * 2;
+		t[i * 4 + 2] = s0 - s1;
+		t[i * 4 + 3] = s3 - s2 * 2;
+	}
+	int energy = 0;
+	for (int j = 0; j < 4; j++) {
+		int a = t[j];
+		int b = t[4 + j];
+		int c = t[8 + j];
+		int d = t[12 + j];
+		int s0 = a + d;
+		int s1 = b + c;
+		int s2 = b - c;
+		int s3 = a - d;
+		int e0 = s0 + s1;
+		int e1 = s2 + s3 * 2;
+		int e2 = s0 - s1;
+		int e3 = s3 - s2 * 2;
+		if (e0 < 0) { e0 = -e0; }
+		if (e1 < 0) { e1 = -e1; }
+		if (e2 < 0) { e2 = -e2; }
+		if (e3 < 0) { e3 = -e3; }
+		energy += e0 + e1 + e2 + e3;
+	}
+	return energy;
+}
+`
+
+const h264Search = `
+// Diamond search: start at (0,0), refine by probing the 4 neighbours at
+// shrinking step sizes — the classic fast motion-estimation pattern.
+int bestmx;
+int bestmy;
+
+int diamondsearch(int bx, int by) {
+	int mx = 0;
+	int my = 0;
+	int best = sad8x8(bx, by, 0, 0);
+	int step = 4;
+	while (step > 0) {
+		int improved = 1;
+		while (improved != 0) {
+			improved = 0;
+			for (int d = 0; d < 4; d++) {
+				int tx = mx;
+				int ty = my;
+				if (d == 0) { tx += step; }
+				if (d == 1) { tx -= step; }
+				if (d == 2) { ty += step; }
+				if (d == 3) { ty -= step; }
+				if (tx >= 0 - 8 && tx <= 8 && ty >= 0 - 8 && ty <= 8) {
+					int s = sad8x8(bx, by, tx, ty);
+					if (s < best) {
+						best = s;
+						mx = tx;
+						my = ty;
+						improved = 1;
+					}
+				}
+			}
+		}
+		step = step / 2;
+	}
+	bestmx = mx;
+	bestmy = my;
+	return best;
+}
+`
+
+const h264Main = `
+void main() {
+	int total = 0;
+	int iters = %d;
+	for (int it = 0; it < iters; it++) {
+		genframes(it * 92821 + 17);
+		int sadsum = 0;
+		int energy = 0;
+		for (int by = 0; by < 5; by++) {
+			for (int bx = 0; bx < 5; bx++) {
+				int s = diamondsearch(bx, by);
+				sadsum = (sadsum + s + bestmx * 3 + bestmy * 5) & 16777215;
+				computeresidual(bx, by, bestmx, bestmy);
+				energy = (energy + transform4x4(0, 0) + transform4x4(4, 4)) & 16777215;
+			}
+		}
+		total = (total * 31 + sadsum + energy) & 268435455;
+	}
+	checksum(total);
+}
+`

@@ -1,0 +1,129 @@
+package bench
+
+import (
+	"fmt"
+
+	"biaslab/internal/compiler"
+)
+
+// hmmer: analogue of 456.hmmer. The real benchmark runs profile-HMM
+// sequence search; virtually all time goes into the Viterbi dynamic-
+// programming recurrence over match/insert/delete state matrices. The
+// analogue implements exactly that recurrence with integer scores over a
+// synthetic profile and random sequences.
+func init() {
+	register(&Benchmark{
+		Name:   "hmmer",
+		Spec:   "456.hmmer",
+		Kernel: "Viterbi dynamic programming over M/I/D states",
+		scales: map[Size]int{SizeTest: 1, SizeSmall: 2, SizeRef: 8},
+		sources: func(scale int) []compiler.Source {
+			return []compiler.Source{
+				src("hmmer", "hmm", hmmerModel),
+				src("hmmer", "viterbi", hmmerViterbi),
+				src("hmmer", "main", fmt.Sprintf(hmmerMain, scale)),
+			}
+		},
+	})
+}
+
+const hmmerModel = `
+// Profile HMM: 64 model positions, 20-letter alphabet.
+int matchemit[1280];
+int transmm[64];
+int transmi[64];
+int transmd[64];
+byte sequence[128];
+int hrng;
+
+int hrand() {
+	hrng = (hrng * 1103515245 + 12345) & 2147483647;
+	return hrng >> 7;
+}
+
+void buildmodel(int seed) {
+	hrng = seed;
+	for (int i = 0; i < 1280; i++) {
+		matchemit[i] = hrand() % 64 - 16;
+	}
+	for (int i = 0; i < 64; i++) {
+		transmm[i] = hrand() % 8;
+		transmi[i] = 0 - (hrand() % 12 + 4);
+		transmd[i] = 0 - (hrand() % 12 + 4);
+	}
+}
+
+int genseq(int seed, int maxlen) {
+	hrng = seed * 2 + 1;
+	int len = hrand() % (maxlen / 2) + maxlen / 2;
+	for (int i = 0; i < len; i++) {
+		sequence[i] = hrand() % 20;
+	}
+	return len;
+}
+`
+
+const hmmerViterbi = `
+// Viterbi over match/insert/delete lattices, row-rolled: only the
+// previous row is kept, as hmmer's fast implementation does.
+int mrow[65];
+int irow[65];
+int drow[65];
+int mprev[65];
+int iprev[65];
+int dprev[65];
+
+int max2(int a, int b) {
+	if (a > b) { return a; }
+	return b;
+}
+
+int viterbi(int seqlen) {
+	int ninf = 0 - (1 << 28);
+	for (int k = 0; k <= 64; k++) {
+		mprev[k] = ninf;
+		iprev[k] = ninf;
+		dprev[k] = ninf;
+	}
+	mprev[0] = 0;
+	int best = ninf;
+	for (int i = 1; i <= seqlen; i++) {
+		int c = sequence[i - 1];
+		mrow[0] = ninf;
+		irow[0] = max2(mprev[0] + transmi[0], iprev[0] - 2);
+		drow[0] = ninf;
+		for (int k = 1; k <= 64; k++) {
+			int e = matchemit[(k - 1) * 20 + c];
+			int viaM = mprev[k - 1] + transmm[k - 1];
+			int viaI = iprev[k - 1] - 3;
+			int viaD = dprev[k - 1] - 1;
+			mrow[k] = max2(max2(viaM, viaI), viaD) + e;
+			irow[k] = max2(mprev[k] + transmi[k - 1], iprev[k] - 2);
+			drow[k] = max2(mrow[k - 1] + transmd[k - 1], drow[k - 1] - 1);
+			if (mrow[k] > best) {
+				best = mrow[k];
+			}
+		}
+		for (int k = 0; k <= 64; k++) {
+			mprev[k] = mrow[k];
+			iprev[k] = irow[k];
+			dprev[k] = drow[k];
+		}
+	}
+	return best;
+}
+`
+
+const hmmerMain = `
+void main() {
+	int total = 0;
+	int iters = %d;
+	buildmodel(424243);
+	for (int it = 0; it < iters; it++) {
+		int len = genseq(it + 1, 96);
+		int score = viterbi(len);
+		total = (total * 31 + score + len) & 268435455;
+	}
+	checksum(total);
+}
+`

@@ -1,0 +1,138 @@
+package bench
+
+import (
+	"fmt"
+
+	"biaslab/internal/compiler"
+)
+
+// lbm: analogue of 470.lbm. The real benchmark is a lattice-Boltzmann fluid
+// solver: a 9-point (in our 2-D reduction) stencil streamed over a large
+// grid with collide-and-stream updates, bandwidth-bound and perfectly
+// regular. The analogue implements D2Q9-style collide and stream over a
+// 128×64 double-buffered grid of integer distributions.
+func init() {
+	register(&Benchmark{
+		Name:   "lbm",
+		Spec:   "470.lbm",
+		Kernel: "D2Q9 collide-and-stream stencil sweep",
+		scales: map[Size]int{SizeTest: 1, SizeSmall: 2, SizeRef: 8},
+		sources: func(scale int) []compiler.Source {
+			return []compiler.Source{
+				src("lbm", "grid", lbmGrid),
+				src("lbm", "step", lbmStep),
+				src("lbm", "main", fmt.Sprintf(lbmMain, scale)),
+			}
+		},
+	})
+}
+
+const lbmGrid = `
+// 32x32 grid, 9 distributions per cell, double buffered.
+// Index: (y*32 + x)*9 + dir.
+int gridA[9216];
+int gridB[9216];
+byte obstacle[1024];
+
+void lbminit(int seed) {
+	int x = seed;
+	for (int i = 0; i < 9216; i++) {
+		x = (x * 1103515245 + 12345) & 2147483647;
+		gridA[i] = (x >> 9 & 63) + 16;
+		gridB[i] = 0;
+	}
+	for (int i = 0; i < 1024; i++) {
+		x = (x * 1103515245 + 12345) & 2147483647;
+		obstacle[i] = 0;
+		if ((x >> 11 & 31) == 0) {
+			obstacle[i] = 1;
+		}
+	}
+}
+
+int cellmass(int* g, int cell) {
+	int m = 0;
+	for (int d = 0; d < 9; d++) {
+		m += g[cell * 9 + d];
+	}
+	return m;
+}
+`
+
+const lbmStep = `
+// One collide-and-stream step from src into dst. Directions: 0 rest,
+// 1..4 axis (E,W,N,S), 5..8 diagonal (NE,NW,SE,SW).
+int dxs[9];
+int dys[9];
+
+void initdirs() {
+	dxs[0] = 0;  dys[0] = 0;
+	dxs[1] = 1;  dys[1] = 0;
+	dxs[2] = 0 - 1; dys[2] = 0;
+	dxs[3] = 0;  dys[3] = 0 - 1;
+	dxs[4] = 0;  dys[4] = 1;
+	dxs[5] = 1;  dys[5] = 0 - 1;
+	dxs[6] = 0 - 1; dys[6] = 0 - 1;
+	dxs[7] = 1;  dys[7] = 1;
+	dxs[8] = 0 - 1; dys[8] = 1;
+}
+
+int opposite(int d) {
+	if (d == 0) { return 0; }
+	if (d == 1) { return 2; }
+	if (d == 2) { return 1; }
+	if (d == 3) { return 4; }
+	if (d == 4) { return 3; }
+	if (d == 5) { return 8; }
+	if (d == 6) { return 7; }
+	if (d == 7) { return 6; }
+	return 5;
+}
+
+int step(int* srcg, int* dstg) {
+	int activity = 0;
+	for (int y = 0; y < 32; y++) {
+		for (int x = 0; x < 32; x++) {
+			int cell = y * 32 + x;
+			// Collide: relax each distribution toward the cell mean.
+			int mass = cellmass(srcg, cell);
+			int mean = mass / 9;
+			for (int d = 0; d < 9; d++) {
+				int f = srcg[cell * 9 + d];
+				int relaxed = f + (mean - f) / 4;
+				// Stream into the neighbour (torus wrap).
+				int nx = x + dxs[d] & 31;
+				int ny = y + dys[d] & 31;
+				int ncell = ny * 32 + nx;
+				if (obstacle[ncell] != 0) {
+					// Bounce back.
+					dstg[cell * 9 + opposite(d)] = relaxed;
+				} else {
+					dstg[ncell * 9 + d] = relaxed;
+				}
+			}
+			activity = (activity + mean) & 16777215;
+		}
+	}
+	return activity;
+}
+`
+
+const lbmMain = `
+void main() {
+	int total = 0;
+	int iters = %d;
+	lbminit(161803);
+	initdirs();
+	for (int it = 0; it < iters; it++) {
+		int a1 = step(gridA, gridB);
+		int a2 = step(gridB, gridA);
+		int probe = 0;
+		for (int cell = 5; cell < 1024; cell += 83) {
+			probe = (probe + cellmass(gridA, cell)) & 16777215;
+		}
+		total = (total * 31 + a1 + a2 + probe) & 268435455;
+	}
+	checksum(total);
+}
+`

@@ -1,0 +1,129 @@
+package bench
+
+import (
+	"fmt"
+
+	"biaslab/internal/compiler"
+)
+
+// libquantum: analogue of 462.libquantum. The real benchmark simulates a
+// quantum computer running Shor's algorithm; its hot loops sweep the basis-
+// state array applying gates as bit manipulations. The analogue keeps a
+// register of basis states (bitmask + amplitude proxy) and applies
+// Hadamard-like splits, controlled-NOTs, and phase rotations as integer
+// bit operations — the same long, branch-light array sweeps.
+func init() {
+	register(&Benchmark{
+		Name:   "libquantum",
+		Spec:   "462.libquantum",
+		Kernel: "basis-state sweeps with bitwise gate application",
+		scales: map[Size]int{SizeTest: 1, SizeSmall: 2, SizeRef: 8},
+		sources: func(scale int) []compiler.Source {
+			return []compiler.Source{
+				src("libquantum", "register", quantumRegister),
+				src("libquantum", "gates", quantumGates),
+				src("libquantum", "main", fmt.Sprintf(quantumMain, scale)),
+			}
+		},
+	})
+}
+
+const quantumRegister = `
+// Quantum register: parallel arrays of basis-state bitmasks and integer
+// amplitude proxies.
+int qstate[1024];
+int qamp[1024];
+int qsize;
+
+void qinit(int seed, int n) {
+	qsize = n;
+	int x = seed;
+	for (int i = 0; i < n; i++) {
+		x = (x * 1103515245 + 12345) & 2147483647;
+		qstate[i] = x >> 5 & 65535;
+		qamp[i] = (x >> 21 & 255) + 1;
+	}
+}
+
+int qmeasureproxy() {
+	// Collapse proxy: weighted parity sum.
+	int acc = 0;
+	for (int i = 0; i < qsize; i++) {
+		int s = qstate[i];
+		int parity = 0;
+		while (s != 0) {
+			parity = parity ^ s & 1;
+			s = s >> 1;
+		}
+		if (parity != 0) {
+			acc = (acc + qamp[i]) & 16777215;
+		}
+	}
+	return acc;
+}
+`
+
+const quantumGates = `
+// Gate kernels, each a full sweep over the register (as in libquantum).
+void cnot(int control, int target) {
+	int cbit = 1 << control;
+	int tbit = 1 << target;
+	for (int i = 0; i < qsize; i++) {
+		if ((qstate[i] & cbit) != 0) {
+			qstate[i] = qstate[i] ^ tbit;
+		}
+	}
+}
+
+void toffoli(int c1, int c2, int target) {
+	int b1 = 1 << c1;
+	int b2 = 1 << c2;
+	int tbit = 1 << target;
+	for (int i = 0; i < qsize; i++) {
+		int s = qstate[i];
+		if ((s & b1) != 0 && (s & b2) != 0) {
+			qstate[i] = s ^ tbit;
+		}
+	}
+}
+
+void phase(int target, int k) {
+	int tbit = 1 << target;
+	for (int i = 0; i < qsize; i++) {
+		if ((qstate[i] & tbit) != 0) {
+			qamp[i] = qamp[i] * k + 1 & 16777215;
+		}
+	}
+}
+
+void hadamardproxy(int target) {
+	// Splits amplitude between the two basis states of the target bit;
+	// integer proxy: rotate amplitude and flip.
+	int tbit = 1 << target;
+	for (int i = 0; i < qsize; i++) {
+		int a = qamp[i];
+		qamp[i] = (a >> 1) + (a & 1) * 4096 & 16777215;
+		qstate[i] = qstate[i] ^ tbit;
+	}
+}
+`
+
+const quantumMain = `
+void main() {
+	int total = 0;
+	int iters = %d;
+	for (int it = 0; it < iters; it++) {
+		qinit(it * 48271 + 11, 1024);
+		for (int bit = 0; bit < 12; bit++) {
+			hadamardproxy(bit);
+			cnot(bit, bit + 1 & 15);
+			if ((bit & 1) == 0) {
+				toffoli(bit, bit + 2 & 15, bit + 5 & 15);
+			}
+			phase(bit + 3 & 15, 3);
+		}
+		total = (total * 31 + qmeasureproxy()) & 268435455;
+	}
+	checksum(total);
+}
+`

@@ -1,0 +1,182 @@
+package bench
+
+import (
+	"fmt"
+
+	"biaslab/internal/compiler"
+)
+
+// mcf: analogue of 429.mcf. The real benchmark solves minimum-cost flow
+// with a network simplex; it is the suite's most memory-latency-bound
+// program, chasing pointers through a sparse graph. The analogue runs
+// Bellman-Ford relaxations and a flow-augmentation loop over a sparse
+// adjacency structure stored in index arrays, which produces the same
+// dependent-load chains.
+func init() {
+	register(&Benchmark{
+		Name:   "mcf",
+		Spec:   "429.mcf",
+		Kernel: "sparse-graph relaxation, dependent loads",
+		scales: map[Size]int{SizeTest: 1, SizeSmall: 2, SizeRef: 8},
+		sources: func(scale int) []compiler.Source {
+			return []compiler.Source{
+				src("mcf", "graph", mcfGraph),
+				src("mcf", "spp", mcfSPP),
+				src("mcf", "main", fmt.Sprintf(mcfMain, scale)),
+			}
+		},
+	})
+}
+
+const mcfGraph = `
+// Sparse directed graph: CSR-style arrays. 512 nodes, 4 out-edges each.
+int firstedge[513];
+int edgeto[2048];
+int edgecost[2048];
+int edgecap[2048];
+int grng;
+
+int grand() {
+	grng = (grng * 1103515245 + 12345) & 2147483647;
+	return grng >> 7;
+}
+
+void buildgraph(int seed) {
+	grng = seed;
+	int e = 0;
+	for (int v = 0; v < 512; v++) {
+		firstedge[v] = e;
+		for (int k = 0; k < 4; k++) {
+			// Mix of local and long-range edges for realistic locality.
+			int dst = 0;
+			if ((grand() & 3) != 0) {
+				dst = (v + grand() % 16 + 1) & 511;
+			} else {
+				dst = grand() & 511;
+			}
+			edgeto[e] = dst;
+			edgecost[e] = grand() % 100 + 1;
+			edgecap[e] = grand() % 8 + 1;
+			e++;
+		}
+	}
+	firstedge[512] = e;
+}
+`
+
+const mcfSPP = `
+// Bellman-Ford with early exit, plus a greedy flow-augmentation sweep.
+int dist[512];
+int parent[512];
+
+int bellman(int srcnode) {
+	for (int v = 0; v < 512; v++) {
+		dist[v] = 1 << 30;
+		parent[v] = 0 - 1;
+	}
+	dist[srcnode] = 0;
+	int rounds = 0;
+	int changed = 1;
+	while (changed != 0 && rounds < 20) {
+		changed = 0;
+		for (int v = 0; v < 512; v++) {
+			int dv = dist[v];
+			if (dv < 1 << 30) {
+				int e0 = firstedge[v];
+				int e1 = firstedge[v + 1];
+				for (int e = e0; e < e1; e++) {
+					int w = edgeto[e];
+					int nd = dv + edgecost[e];
+					if (nd < dist[w]) {
+						dist[w] = nd;
+						parent[w] = e;
+						changed = 1;
+					}
+				}
+			}
+		}
+		rounds++;
+	}
+	return rounds;
+}
+
+int augment(int sink) {
+	// Walk the parent chain (the dependent-load ladder mcf is famous
+	// for), find the bottleneck capacity, and drain it.
+	int v = sink;
+	int bottleneck = 1 << 30;
+	int hops = 0;
+	while (parent[v] >= 0 && hops < 2048) {
+		int e = parent[v];
+		if (edgecap[e] < bottleneck) {
+			bottleneck = edgecap[e];
+		}
+		// Recover the edge's source by scanning its bucket.
+		int u = 0;
+		int lo = 0;
+		int hi = 512;
+		while (hi - lo > 1) {
+			int mid = (lo + hi) / 2;
+			if (firstedge[mid] <= e) {
+				lo = mid;
+			} else {
+				hi = mid;
+			}
+		}
+		u = lo;
+		v = u;
+		hops++;
+	}
+	if (bottleneck == 1 << 30) {
+		return 0;
+	}
+	v = sink;
+	int drained = 0;
+	while (parent[v] >= 0 && drained < hops) {
+		int e = parent[v];
+		edgecap[e] -= bottleneck;
+		if (edgecap[e] <= 0) {
+			edgecap[e] = 0;
+			parent[v] = 0 - 1;
+		}
+		int lo = 0;
+		int hi = 512;
+		while (hi - lo > 1) {
+			int mid = (lo + hi) / 2;
+			if (firstedge[mid] <= e) {
+				lo = mid;
+			} else {
+				hi = mid;
+			}
+		}
+		v = lo;
+		drained++;
+	}
+	return bottleneck * hops;
+}
+`
+
+const mcfMain = `
+void main() {
+	int total = 0;
+	int iters = %d;
+	for (int it = 0; it < iters; it++) {
+		buildgraph(it * 31337 + 5);
+		for (int srcnode = 0; srcnode < 2; srcnode++) {
+			int rounds = bellman(srcnode * 257 & 511);
+			int flow = 0;
+			for (int sink = 13; sink < 512; sink += 97) {
+				flow += augment(sink);
+			}
+			int reach = 0;
+			for (int v = 0; v < 512; v++) {
+				if (dist[v] < 1 << 30) {
+					reach++;
+				}
+			}
+			total = (total * 31 + rounds + flow + reach) & 268435455;
+		}
+	}
+	checksum(total);
+}
+`

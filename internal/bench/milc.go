@@ -1,0 +1,118 @@
+package bench
+
+import (
+	"fmt"
+
+	"biaslab/internal/compiler"
+)
+
+// milc: analogue of 433.milc. The real benchmark is lattice QCD: sweeps
+// over a 4-D lattice multiplying 3×3 complex matrices. The analogue sweeps
+// a 4-D lattice (4×4×4×4 sites) of 3×3 integer matrices, doing
+// matrix-matrix multiplies against per-direction link matrices — the same
+// regular, strided, multiply-add-dominated traffic.
+func init() {
+	register(&Benchmark{
+		Name:   "milc",
+		Spec:   "433.milc",
+		Kernel: "4-D lattice sweep of 3x3 matrix multiplies",
+		scales: map[Size]int{SizeTest: 1, SizeSmall: 2, SizeRef: 8},
+		sources: func(scale int) []compiler.Source {
+			return []compiler.Source{
+				src("milc", "su3", milcSU3),
+				src("milc", "lattice", milcLattice),
+				src("milc", "main", fmt.Sprintf(milcMain, scale)),
+			}
+		},
+	})
+}
+
+const milcSU3 = `
+// 3x3 integer matrix kernels, flattened row-major (9 ints per matrix).
+void matmul(int* a, int* b, int* out) {
+	for (int i = 0; i < 3; i++) {
+		for (int j = 0; j < 3; j++) {
+			int s = 0;
+			for (int k = 0; k < 3; k++) {
+				s += a[i * 3 + k] * b[k * 3 + j];
+			}
+			out[i * 3 + j] = s & 16777215;
+		}
+	}
+}
+
+void mataddinto(int* acc, int* m) {
+	for (int i = 0; i < 9; i++) {
+		acc[i] = (acc[i] + m[i]) & 16777215;
+	}
+}
+
+int mattrace(int* m) {
+	return (m[0] + m[4] + m[8]) & 16777215;
+}
+`
+
+const milcLattice = `
+// Lattice of 256 sites (4^4), one matrix per site, plus 4 direction links.
+int lattice[2304];
+int links[36];
+int staple[9];
+int tmpm[9];
+
+void latinit(int seed) {
+	int x = seed;
+	for (int i = 0; i < 2304; i++) {
+		x = (x * 1103515245 + 12345) & 2147483647;
+		lattice[i] = x >> 9 & 255;
+	}
+	for (int i = 0; i < 36; i++) {
+		x = (x * 1103515245 + 12345) & 2147483647;
+		links[i] = (x >> 9 & 15) + 1;
+	}
+}
+
+int neighbor(int site, int dir) {
+	// 4-D torus coordinates packed as base-4 digits.
+	int shift = dir * 2;
+	int coord = site >> shift & 3;
+	int up = (coord + 1) & 3;
+	return site & ~(3 << shift) | up << shift;
+}
+
+int sweep() {
+	int acc = 0;
+	for (int site = 0; site < 256; site++) {
+		for (int i = 0; i < 9; i++) {
+			staple[i] = 0;
+		}
+		for (int dir = 0; dir < 4; dir++) {
+			int nb = neighbor(site, dir);
+			matmul(lattice + site * 9, links + dir * 9, tmpm);
+			mataddinto(staple, tmpm);
+			acc = (acc + mattrace(lattice + nb * 9)) & 16777215;
+		}
+		// Relax the site toward the staple (the update step).
+		for (int i = 0; i < 9; i++) {
+			lattice[site * 9 + i] = (lattice[site * 9 + i] * 3 + staple[i]) / 4 & 16777215;
+		}
+	}
+	return acc;
+}
+`
+
+const milcMain = `
+void main() {
+	int total = 0;
+	int iters = %d;
+	latinit(271828);
+	for (int it = 0; it < iters; it++) {
+		int acc = sweep();
+		int tr = 0;
+		for (int site = 0; site < 256; site += 17) {
+			tr = (tr + mattrace(lattice + site * 9)) & 16777215;
+		}
+		total = (total * 31 + acc + tr) & 268435455;
+	}
+	checksum(total);
+}
+`

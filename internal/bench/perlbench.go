@@ -1,0 +1,233 @@
+package bench
+
+import (
+	"fmt"
+
+	"biaslab/internal/compiler"
+)
+
+// perlbench: analogue of 400.perlbench. The real benchmark is the Perl
+// interpreter; its hot paths are string scanning, hash-table operations and
+// pattern matching, all call-heavy and byte-oriented. The analogue drives a
+// tokenizer, an open-addressing symbol table, and a wildcard matcher over a
+// generated "script".
+func init() {
+	register(&Benchmark{
+		Name:   "perlbench",
+		Spec:   "400.perlbench",
+		Kernel: "string hashing, tokenizing, pattern matching",
+		scales: map[Size]int{SizeTest: 1, SizeSmall: 5, SizeRef: 20},
+		sources: func(scale int) []compiler.Source {
+			return []compiler.Source{
+				src("perlbench", "hash", perlHash),
+				src("perlbench", "lex", perlLex),
+				src("perlbench", "match", perlMatch),
+				src("perlbench", "main", fmt.Sprintf(perlMain, scale)),
+			}
+		},
+	})
+}
+
+const perlHash = `
+// Open-addressing symbol table with linear probing.
+int htab[2048];
+int hval[2048];
+int hcollisions;
+
+int hslot(int key) {
+	int idx = (key * 2654435761) & 2047;
+	int probes = 0;
+	while (htab[idx] != 0 && htab[idx] != key && probes < 2048) {
+		idx = (idx + 1) & 2047;
+		probes++;
+		hcollisions++;
+	}
+	return idx;
+}
+
+void hput(int key, int val) {
+	int idx = hslot(key);
+	htab[idx] = key;
+	hval[idx] = val;
+}
+
+int hget(int key) {
+	int idx = hslot(key);
+	if (htab[idx] == key) {
+		return hval[idx];
+	}
+	return 0;
+}
+
+void hclear() {
+	for (int i = 0; i < 2048; i++) {
+		htab[i] = 0;
+		hval[i] = 0;
+	}
+}
+`
+
+const perlLex = `
+// Tokenizer over a generated script. Token classes: 1=ident, 2=number,
+// 3=operator, 4=string.
+byte script[2048];
+int tokkind[1024];
+int tokhash[1024];
+int ntoks;
+
+int isletter(int c) {
+	if (c >= 'a' && c <= 'z') { return 1; }
+	if (c >= 'A' && c <= 'Z') { return 1; }
+	return c == '_';
+}
+
+int isdigitc(int c) {
+	return c >= '0' && c <= '9';
+}
+
+void genscript(int seed, int len) {
+	int x = seed;
+	for (int i = 0; i < len; i++) {
+		x = (x * 1103515245 + 12345) & 2147483647;
+		int k = (x >> 7) % 20;
+		int c = ' ';
+		if (k < 8) {
+			c = 'a' + (x >> 3) % 26;
+		} else if (k < 12) {
+			c = '0' + (x >> 5) % 10;
+		} else if (k < 15) {
+			int ops = (x >> 4) % 5;
+			if (ops == 0) { c = '+'; }
+			if (ops == 1) { c = '='; }
+			if (ops == 2) { c = '$'; }
+			if (ops == 3) { c = '('; }
+			if (ops == 4) { c = ')'; }
+		} else if (k == 15) {
+			c = '"';
+		}
+		script[i] = c;
+	}
+	script[len - 1] = ' ';
+}
+
+int lex(int len) {
+	ntoks = 0;
+	int i = 0;
+	while (i < len && ntoks < 1024) {
+		int c = script[i];
+		if (c == ' ') {
+			i++;
+		} else if (isletter(c)) {
+			int h = 5381;
+			while (i < len && (isletter(script[i]) || isdigitc(script[i]))) {
+				h = (h * 33 + script[i]) & 1048575;
+				i++;
+			}
+			tokkind[ntoks] = 1;
+			tokhash[ntoks] = h + 1;
+			ntoks++;
+		} else if (isdigitc(c)) {
+			int v = 0;
+			while (i < len && isdigitc(script[i])) {
+				v = v * 10 + script[i] - '0';
+				i++;
+			}
+			tokkind[ntoks] = 2;
+			tokhash[ntoks] = (v & 65535) + 1;
+			ntoks++;
+		} else if (c == '"') {
+			int h = 7;
+			i++;
+			while (i < len && script[i] != '"') {
+				h = (h * 31 + script[i]) & 1048575;
+				i++;
+			}
+			i++;
+			tokkind[ntoks] = 4;
+			tokhash[ntoks] = h + 1;
+			ntoks++;
+		} else {
+			tokkind[ntoks] = 3;
+			tokhash[ntoks] = c;
+			ntoks++;
+			i++;
+		}
+	}
+	return ntoks;
+}
+`
+
+const perlMatch = `
+// Wildcard matcher: '?' matches one byte, '*' matches any run. Classic
+// backtracking match, quadratic worst case, exactly the shape of a regex
+// engine's inner loop.
+int matchat(byte* s, int slen, byte* p, int plen) {
+	int si = 0;
+	int pi = 0;
+	int star = 0 - 1;
+	int mark = 0;
+	while (si < slen) {
+		if (pi < plen && (p[pi] == '?' || p[pi] == s[si])) {
+			si++;
+			pi++;
+		} else if (pi < plen && p[pi] == '*') {
+			star = pi;
+			mark = si;
+			pi++;
+		} else if (star >= 0) {
+			pi = star + 1;
+			mark++;
+			si = mark;
+		} else {
+			return 0;
+		}
+	}
+	while (pi < plen && p[pi] == '*') {
+		pi++;
+	}
+	return pi == plen;
+}
+
+int countmatches(byte* text, int tlen, byte* pat, int plen, int window) {
+	int hits = 0;
+	for (int i = 0; i + window <= tlen; i += 3) {
+		if (matchat(text + i, window, pat, plen)) {
+			hits++;
+		}
+	}
+	return hits;
+}
+`
+
+const perlMain = `
+byte pattern[16];
+
+void main() {
+	int total = 0;
+	int iters = %d;
+	for (int it = 0; it < iters; it++) {
+		genscript(it * 7919 + 13, 2048);
+		int n = lex(2048);
+		hclear();
+		for (int t = 0; t < n; t++) {
+			if (tokkind[t] == 1) {
+				int prev = hget(tokhash[t]);
+				hput(tokhash[t], prev + t);
+			}
+		}
+		int found = 0;
+		for (int t = 0; t < n; t++) {
+			if (tokkind[t] == 1) {
+				found += hget(tokhash[t]) & 255;
+			}
+		}
+		pattern[0] = 'a';
+		pattern[1] = '*';
+		pattern[2] = '?';
+		pattern[3] = 'b';
+		int hits = countmatches(script, 2048, pattern, 4, 24);
+		total = (total * 31 + n + found + hits + hcollisions) & 268435455;
+	}
+	checksum(total);
+}
+`

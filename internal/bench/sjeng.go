@@ -1,0 +1,208 @@
+package bench
+
+import (
+	"fmt"
+
+	"biaslab/internal/compiler"
+)
+
+// sjeng: analogue of 458.sjeng. The real benchmark is a chess engine:
+// recursive alpha-beta search with a transposition table and tactical
+// evaluation. The analogue searches a simplified 8×8 capture game with
+// genuine recursive alpha-beta, Zobrist-style hashing and a transposition
+// table — the same deeply recursive, branch-mispredict-heavy profile.
+func init() {
+	register(&Benchmark{
+		Name:   "sjeng",
+		Spec:   "458.sjeng",
+		Kernel: "recursive alpha-beta with transposition table",
+		scales: map[Size]int{SizeTest: 1, SizeSmall: 2, SizeRef: 8},
+		sources: func(scale int) []compiler.Source {
+			return []compiler.Source{
+				src("sjeng", "board", sjengBoard),
+				src("sjeng", "tt", sjengTT),
+				src("sjeng", "search", sjengSearch),
+				src("sjeng", "main", fmt.Sprintf(sjengMain, scale)),
+			}
+		},
+	})
+}
+
+const sjengBoard = `
+// 8x8 board; piece values 0 empty, 1..5 side A, 9..13 side B.
+byte sqs[64];
+int zkeys[1024];
+int srng;
+
+int srand2() {
+	srng = (srng * 1103515245 + 12345) & 2147483647;
+	return srng >> 7;
+}
+
+void initzobrist() {
+	for (int i = 0; i < 1024; i++) {
+		zkeys[i] = srand2();
+	}
+}
+
+void setupboard(int seed) {
+	srng = seed;
+	for (int i = 0; i < 64; i++) {
+		sqs[i] = 0;
+		int r = srand2() % 10;
+		if (r < 2) {
+			sqs[i] = srand2() % 5 + 1;
+		} else if (r < 4) {
+			sqs[i] = srand2() % 5 + 9;
+		}
+	}
+}
+
+int boardhash() {
+	int h = 0;
+	for (int i = 0; i < 64; i++) {
+		if (sqs[i] != 0) {
+			h = h ^ zkeys[(i * 14 + sqs[i]) & 1023];
+		}
+	}
+	return h & 1048575;
+}
+
+int material(int side) {
+	int m = 0;
+	for (int i = 0; i < 64; i++) {
+		int p = sqs[i];
+		if (side == 0 && p >= 1 && p <= 5) {
+			m += p;
+		}
+		if (side == 1 && p >= 9) {
+			m += p - 8;
+		}
+	}
+	return m;
+}
+`
+
+const sjengTT = `
+// Transposition table: depth-preferred replacement.
+int ttkey[4096];
+int ttscore[4096];
+int ttdepth[4096];
+int tthits;
+
+int ttprobe(int key, int depth) {
+	int idx = key & 4095;
+	if (ttkey[idx] == key + 1 && ttdepth[idx] >= depth) {
+		tthits++;
+		return ttscore[idx];
+	}
+	return 0 - (1 << 29);
+}
+
+void ttstore(int key, int depth, int score) {
+	int idx = key & 4095;
+	if (ttdepth[idx] <= depth) {
+		ttkey[idx] = key + 1;
+		ttscore[idx] = score;
+		ttdepth[idx] = depth;
+	}
+}
+
+void ttclear() {
+	for (int i = 0; i < 4096; i++) {
+		ttkey[i] = 0;
+		ttscore[i] = 0;
+		ttdepth[i] = 0 - 1;
+	}
+}
+`
+
+const sjengSearch = `
+int nodes;
+int nodelimit;
+
+int ismine(int p, int side) {
+	if (side == 0) { return p >= 1 && p <= 5; }
+	return p >= 9;
+}
+
+int istheirs(int p, int side) {
+	return ismine(p, 1 - side);
+}
+
+// alphabeta searches capture sequences: each move slides a piece up to 2
+// squares in one of 4 directions and captures whatever it lands on.
+int alphabeta(int side, int depth, int alpha, int beta) {
+	nodes++;
+	if (depth == 0 || nodes >= nodelimit) {
+		return material(side) - material(1 - side);
+	}
+	int key = (boardhash() * 2 + side) & 1048575;
+	int cached = ttprobe(key, depth);
+	if (cached > 0 - (1 << 29)) {
+		return cached;
+	}
+	int best = 0 - (1 << 20);
+	int moved = 0;
+	for (int from = 0; from < 64; from++) {
+		int p = sqs[from];
+		if (ismine(p, side) == 0) { continue; }
+		int fr = from / 8;
+		int fc = from % 8;
+		for (int d = 0; d < 4; d++) {
+			int dr = 0;
+			int dc = 0;
+			if (d == 0) { dr = 1; }
+			if (d == 1) { dr = 0 - 1; }
+			if (d == 2) { dc = 1; }
+			if (d == 3) { dc = 0 - 1; }
+			for (int step = 1; step <= 2; step++) {
+				int tr = fr + dr * step;
+				int tc = fc + dc * step;
+				if (tr < 0 || tr > 7 || tc < 0 || tc > 7) { break; }
+				int to = tr * 8 + tc;
+				int q = sqs[to];
+				if (ismine(q, side)) { break; }
+				if (q == 0 && step == 2) { break; }
+				// Make the move.
+				sqs[to] = p;
+				sqs[from] = 0;
+				int s = -alphabeta(1 - side, depth - 1, -beta, -alpha);
+				// Unmake.
+				sqs[from] = p;
+				sqs[to] = q;
+				moved = 1;
+				if (s > best) { best = s; }
+				if (best > alpha) { alpha = best; }
+				if (alpha >= beta) {
+					ttstore(key, depth, best);
+					return best;
+				}
+				if (q != 0) { break; }
+			}
+		}
+	}
+	if (moved == 0) {
+		best = material(side) - material(1 - side);
+	}
+	ttstore(key, depth, best);
+	return best;
+}
+`
+
+const sjengMain = `
+void main() {
+	int total = 0;
+	int iters = %d;
+	initzobrist();
+	for (int it = 0; it < iters; it++) {
+		setupboard(it * 104729 + 19);
+		ttclear();
+		nodes = 0;
+		nodelimit = 250;
+		int s = alphabeta(it & 1, 4, 0 - (1 << 20), 1 << 20);
+		total = (total * 31 + s + nodes + tthits) & 268435455;
+	}
+	checksum(total);
+}
+`

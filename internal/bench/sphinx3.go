@@ -1,0 +1,145 @@
+package bench
+
+import (
+	"fmt"
+
+	"biaslab/internal/compiler"
+)
+
+// sphinx3: analogue of 482.sphinx3. The real benchmark is speech
+// recognition; the dominant kernel scores acoustic feature vectors against
+// thousands of Gaussian densities (a squared-distance dot product per
+// density) and prunes hypotheses with a beam. The analogue scores 39-dim
+// integer feature frames against a codebook of densities and runs a
+// beam-pruned Viterbi over a word lattice.
+func init() {
+	register(&Benchmark{
+		Name:   "sphinx3",
+		Spec:   "482.sphinx3",
+		Kernel: "Gaussian density scoring + beam-pruned lattice search",
+		scales: map[Size]int{SizeTest: 1, SizeSmall: 2, SizeRef: 8},
+		sources: func(scale int) []compiler.Source {
+			return []compiler.Source{
+				src("sphinx3", "gauss", sphinxGauss),
+				src("sphinx3", "beam", sphinxBeam),
+				src("sphinx3", "main", fmt.Sprintf(sphinxMain, scale)),
+			}
+		},
+	})
+}
+
+const sphinxGauss = `
+// Codebook: 128 densities x 39 dims of (mean, precision) pairs.
+int means[4992];
+int precs[4992];
+int feat[39];
+int gscores[128];
+int grng;
+
+int grand2() {
+	grng = (grng * 1103515245 + 12345) & 2147483647;
+	return grng >> 7;
+}
+
+void buildcodebook(int seed) {
+	grng = seed;
+	for (int i = 0; i < 4992; i++) {
+		means[i] = grand2() & 255;
+		precs[i] = (grand2() & 7) + 1;
+	}
+}
+
+void genframe(int t) {
+	for (int d = 0; d < 39; d++) {
+		// Slowly varying features with per-dim phase.
+		int v = (t * (d + 3) & 511) - 128;
+		if (v < 0) { v = -v; }
+		feat[d] = v & 255;
+	}
+}
+
+int scoreframe() {
+	// Mahalanobis-style distance to every density; returns best index.
+	int best = 1 << 30;
+	int besti = 0;
+	for (int g = 0; g < 128; g++) {
+		int s = 0;
+		int base = g * 39;
+		for (int d = 0; d < 39; d++) {
+			int diff = feat[d] - means[base + d];
+			s += diff * diff * precs[base + d] >> 4;
+		}
+		gscores[g] = s;
+		if (s < best) {
+			best = s;
+			besti = g;
+		}
+	}
+	return besti;
+}
+`
+
+const sphinxBeam = `
+// Beam-pruned lattice: 512 states, each fed by 3 predecessors.
+int cur[512];
+int nxt[512];
+int pred1[512];
+int pred2[512];
+int pred3[512];
+int active;
+
+void buildlattice() {
+	for (int s = 0; s < 512; s++) {
+		pred1[s] = (s + 511) & 511;
+		pred2[s] = (s * 7 + 13) & 511;
+		pred3[s] = (s * 31 + 101) & 511;
+		cur[s] = 0;
+	}
+}
+
+int beamstep(int framescore, int beamwidth) {
+	// Relax every state from its predecessors, prune against the beam.
+	int best = 1 << 30;
+	for (int s = 0; s < 512; s++) {
+		int a = cur[pred1[s]] + (gscores[s & 127] >> 6);
+		int b = cur[pred2[s]] + (gscores[s * 3 & 127] >> 5);
+		int c = cur[pred3[s]] + framescore;
+		int m = a;
+		if (b < m) { m = b; }
+		if (c < m) { m = c; }
+		nxt[s] = m;
+		if (m < best) { best = m; }
+	}
+	active = 0;
+	for (int s = 0; s < 512; s++) {
+		if (nxt[s] <= best + beamwidth) {
+			cur[s] = nxt[s];
+			active++;
+		} else {
+			cur[s] = best + beamwidth * 2;
+		}
+	}
+	return active;
+}
+`
+
+const sphinxMain = `
+void main() {
+	int total = 0;
+	int iters = %d;
+	buildcodebook(314159);
+	buildlattice();
+	for (int it = 0; it < iters; it++) {
+		int acts = 0;
+		int bestsum = 0;
+		for (int t = 0; t < 6; t++) {
+			genframe(it * 100 + t);
+			int besti = scoreframe();
+			acts += beamstep(gscores[besti] >> 6, 200);
+			bestsum = (bestsum + besti) & 16777215;
+		}
+		total = (total * 31 + acts + bestsum) & 268435455;
+	}
+	checksum(total);
+}
+`

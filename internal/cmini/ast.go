@@ -1,0 +1,287 @@
+package cmini
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Kind is a base type.
+type Kind uint8
+
+const (
+	KindVoid Kind = iota
+	KindInt       // 64-bit signed
+	KindByte      // 8-bit unsigned storage, promoted to int in expressions
+)
+
+// Type is a cmini type: a base kind plus pointer depth. Arrays are a
+// property of declarations, not of the type system; an array-typed name
+// decays to a pointer when used as a value.
+type Type struct {
+	Kind Kind
+	Ptr  int
+}
+
+// Common types.
+var (
+	TypeVoid    = Type{Kind: KindVoid}
+	TypeInt     = Type{Kind: KindInt}
+	TypeByte    = Type{Kind: KindByte}
+	TypeIntPtr  = Type{Kind: KindInt, Ptr: 1}
+	TypeBytePtr = Type{Kind: KindByte, Ptr: 1}
+)
+
+// IsPtr reports whether t is any pointer type.
+func (t Type) IsPtr() bool { return t.Ptr > 0 }
+
+// Elem returns the pointee type of a pointer.
+func (t Type) Elem() Type { return Type{Kind: t.Kind, Ptr: t.Ptr - 1} }
+
+// AddrOf returns the pointer-to-t type.
+func (t Type) AddrOf() Type { return Type{Kind: t.Kind, Ptr: t.Ptr + 1} }
+
+// Size returns the storage size in bytes of a value of type t.
+func (t Type) Size() int64 {
+	if t.Ptr > 0 {
+		return 8
+	}
+	switch t.Kind {
+	case KindInt:
+		return 8
+	case KindByte:
+		return 1
+	}
+	return 0
+}
+
+func (t Type) String() string {
+	var base string
+	switch t.Kind {
+	case KindVoid:
+		base = "void"
+	case KindInt:
+		base = "int"
+	case KindByte:
+		base = "byte"
+	}
+	return base + strings.Repeat("*", t.Ptr)
+}
+
+// Expr is the interface implemented by all expression nodes. Every
+// expression carries the type assigned to it by semantic analysis.
+type Expr interface {
+	Pos() Pos
+	Type() Type
+	setType(Type)
+	exprNode()
+}
+
+type exprBase struct {
+	P Pos
+	T Type
+}
+
+func (e *exprBase) Pos() Pos       { return e.P }
+func (e *exprBase) Type() Type     { return e.T }
+func (e *exprBase) setType(t Type) { e.T = t }
+func (e *exprBase) exprNode()      {}
+
+// IntLit is an integer or character literal.
+type IntLit struct {
+	exprBase
+	Val int64
+}
+
+// Ident is a reference to a named variable or parameter.
+type Ident struct {
+	exprBase
+	Name string
+	// Sym is filled by semantic analysis.
+	Sym *Symbol
+}
+
+// BinaryExpr is X op Y. && and || short-circuit.
+type BinaryExpr struct {
+	exprBase
+	Op   Tok
+	X, Y Expr
+}
+
+// UnaryExpr is op X for op in {-, !, ~, * (deref), & (address-of)}.
+type UnaryExpr struct {
+	exprBase
+	Op Tok
+	X  Expr
+}
+
+// IndexExpr is X[I]; X must be a pointer or array-typed name.
+type IndexExpr struct {
+	exprBase
+	X, I Expr
+}
+
+// CallExpr calls a named function or builtin.
+type CallExpr struct {
+	exprBase
+	Name string
+	Args []Expr
+	// Builtin is set by sema for print/putc/checksum/cycles.
+	Builtin Builtin
+	// Fn is the resolved user function (nil for builtins).
+	Fn *FuncDecl
+}
+
+// Builtin identifies the built-in pseudo-functions.
+type Builtin uint8
+
+const (
+	NotBuiltin Builtin = iota
+	BuiltinPrint
+	BuiltinPutc
+	BuiltinChecksum
+	BuiltinCycles
+)
+
+// Stmt is implemented by all statement nodes.
+type Stmt interface {
+	Pos() Pos
+	stmtNode()
+}
+
+type stmtBase struct{ P Pos }
+
+func (s *stmtBase) Pos() Pos  { return s.P }
+func (s *stmtBase) stmtNode() {}
+
+// DeclStmt declares a local variable (possibly an array).
+type DeclStmt struct {
+	stmtBase
+	Decl *VarDecl
+}
+
+// AssignStmt is LHS op= RHS (op= in {=, +=, -=, *=}) or LHS++ / LHS--.
+type AssignStmt struct {
+	stmtBase
+	Op  Tok // Assign, PlusEq, MinusEq, StarEq, PlusPlus, MinusMinus
+	LHS Expr
+	RHS Expr // nil for ++/--
+}
+
+// ExprStmt evaluates an expression for its side effects (calls).
+type ExprStmt struct {
+	stmtBase
+	X Expr
+}
+
+// IfStmt is the conditional statement.
+type IfStmt struct {
+	stmtBase
+	Cond Expr
+	Then Stmt
+	Else Stmt // may be nil
+}
+
+// WhileStmt loops while Cond is non-zero.
+type WhileStmt struct {
+	stmtBase
+	Cond Expr
+	Body Stmt
+}
+
+// ForStmt is C's for. Init and Post may be nil; Cond may be nil (infinite).
+type ForStmt struct {
+	stmtBase
+	Init Stmt // DeclStmt or AssignStmt or nil
+	Cond Expr
+	Post Stmt // AssignStmt or nil
+	Body Stmt
+}
+
+// ReturnStmt returns from the enclosing function.
+type ReturnStmt struct {
+	stmtBase
+	X Expr // nil for void returns
+}
+
+// BreakStmt exits the innermost loop.
+type BreakStmt struct{ stmtBase }
+
+// ContinueStmt jumps to the next iteration of the innermost loop.
+type ContinueStmt struct{ stmtBase }
+
+// BlockStmt is a brace-enclosed statement list with its own scope.
+type BlockStmt struct {
+	stmtBase
+	List []Stmt
+}
+
+// VarDecl declares a variable: global or local, scalar or array.
+type VarDecl struct {
+	P        Pos
+	Type     Type
+	Name     string
+	ArrayLen int64 // -1 for scalars
+	Init     Expr  // optional; for globals must be constant
+	IsGlobal bool
+	// Sym is filled by semantic analysis.
+	Sym *Symbol
+}
+
+// IsArray reports whether the declaration is an array.
+func (d *VarDecl) IsArray() bool { return d.ArrayLen >= 0 }
+
+// StorageSize is the total byte size of the declared object.
+func (d *VarDecl) StorageSize() int64 {
+	if d.IsArray() {
+		return d.Type.Size() * d.ArrayLen
+	}
+	return d.Type.Size()
+}
+
+// Param is a function parameter.
+type Param struct {
+	Type Type
+	Name string
+	Sym  *Symbol
+}
+
+// FuncDecl declares a function.
+type FuncDecl struct {
+	P      Pos
+	Ret    Type
+	Name   string
+	Params []Param
+	Body   *BlockStmt
+}
+
+// File is one parsed translation unit.
+type File struct {
+	Name    string
+	Globals []*VarDecl
+	Funcs   []*FuncDecl
+}
+
+// SymKind classifies symbols.
+type SymKind uint8
+
+const (
+	SymGlobal SymKind = iota
+	SymLocal
+	SymParam
+)
+
+// Symbol is a resolved name. For locals and params, Index is assigned by
+// sema in declaration order and used by the IR lowerer.
+type Symbol struct {
+	Kind     SymKind
+	Name     string // mangled for globals: unit-qualified if static? (not used)
+	Decl     *VarDecl
+	ParamIdx int
+	Type     Type
+	IsArray  bool
+	ArrayLen int64
+}
+
+func (s *Symbol) String() string {
+	return fmt.Sprintf("%s(%v)", s.Name, s.Type)
+}

@@ -1,0 +1,299 @@
+package cmini
+
+import "fmt"
+
+// lexer turns source text into tokens. It supports //-comments, /* */
+// comments, decimal and hex integer literals, and character literals with
+// the common escapes.
+type lexer struct {
+	src  string
+	file string
+	pos  int
+	line int
+
+	tok  Tok
+	lit  string
+	val  int64
+	tpos Pos
+	err  error
+}
+
+func newLexer(file, src string) *lexer {
+	l := &lexer{src: src, file: file, line: 1}
+	l.next()
+	return l
+}
+
+func (l *lexer) errorf(format string, args ...any) {
+	if l.err == nil {
+		l.err = errf(Pos{File: l.file, Line: l.line}, format, args...)
+	}
+	l.tok = EOF
+}
+
+func (l *lexer) peekByte() byte {
+	if l.pos < len(l.src) {
+		return l.src[l.pos]
+	}
+	return 0
+}
+
+func (l *lexer) peek2() byte {
+	if l.pos+1 < len(l.src) {
+		return l.src[l.pos+1]
+	}
+	return 0
+}
+
+func (l *lexer) skipSpace() {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == '\n':
+			l.line++
+			l.pos++
+		case c == ' ' || c == '\t' || c == '\r':
+			l.pos++
+		case c == '/' && l.peek2() == '/':
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+		case c == '/' && l.peek2() == '*':
+			l.pos += 2
+			for l.pos < len(l.src) && !(l.src[l.pos] == '*' && l.peek2() == '/') {
+				if l.src[l.pos] == '\n' {
+					l.line++
+				}
+				l.pos++
+			}
+			if l.pos >= len(l.src) {
+				l.errorf("unterminated block comment")
+				return
+			}
+			l.pos += 2
+		default:
+			return
+		}
+	}
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+func isHex(c byte) bool {
+	return isDigit(c) || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+}
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+func isIdent(c byte) bool { return isIdentStart(c) || isDigit(c) }
+
+// next advances to the next token.
+func (l *lexer) next() {
+	l.skipSpace()
+	l.tpos = Pos{File: l.file, Line: l.line}
+	if l.err != nil || l.pos >= len(l.src) {
+		l.tok = EOF
+		return
+	}
+	c := l.src[l.pos]
+	switch {
+	case isIdentStart(c):
+		start := l.pos
+		for l.pos < len(l.src) && isIdent(l.src[l.pos]) {
+			l.pos++
+		}
+		l.lit = l.src[start:l.pos]
+		if kw, ok := keywords[l.lit]; ok {
+			l.tok = kw
+		} else {
+			l.tok = IDENT
+		}
+		return
+	case isDigit(c):
+		l.lexNumber()
+		return
+	case c == '\'':
+		l.lexChar()
+		return
+	}
+	l.pos++
+	two := func(second byte, ifTwo, ifOne Tok) {
+		if l.peekByte() == second {
+			l.pos++
+			l.tok = ifTwo
+		} else {
+			l.tok = ifOne
+		}
+	}
+	switch c {
+	case '(':
+		l.tok = LParen
+	case ')':
+		l.tok = RParen
+	case '{':
+		l.tok = LBrace
+	case '}':
+		l.tok = RBrace
+	case '[':
+		l.tok = LBrack
+	case ']':
+		l.tok = RBrack
+	case ',':
+		l.tok = Comma
+	case ';':
+		l.tok = Semi
+	case '~':
+		l.tok = Tilde
+	case '^':
+		l.tok = Caret
+	case '/':
+		l.tok = Slash
+	case '%':
+		l.tok = Percent
+	case '=':
+		two('=', Eq, Assign)
+	case '!':
+		two('=', Ne, Bang)
+	case '+':
+		switch l.peekByte() {
+		case '=':
+			l.pos++
+			l.tok = PlusEq
+		case '+':
+			l.pos++
+			l.tok = PlusPlus
+		default:
+			l.tok = Plus
+		}
+	case '-':
+		switch l.peekByte() {
+		case '=':
+			l.pos++
+			l.tok = MinusEq
+		case '-':
+			l.pos++
+			l.tok = MinusMinus
+		default:
+			l.tok = Minus
+		}
+	case '*':
+		two('=', StarEq, Star)
+	case '&':
+		two('&', AndAnd, Amp)
+	case '|':
+		two('|', OrOr, Pipe)
+	case '<':
+		switch l.peekByte() {
+		case '=':
+			l.pos++
+			l.tok = Le
+		case '<':
+			l.pos++
+			l.tok = Shl
+		default:
+			l.tok = Lt
+		}
+	case '>':
+		switch l.peekByte() {
+		case '=':
+			l.pos++
+			l.tok = Ge
+		case '>':
+			l.pos++
+			l.tok = Shr
+		default:
+			l.tok = Gt
+		}
+	default:
+		l.errorf("unexpected character %q", string(rune(c)))
+	}
+}
+
+func (l *lexer) lexNumber() {
+	start := l.pos
+	if l.src[l.pos] == '0' && (l.peek2() == 'x' || l.peek2() == 'X') {
+		l.pos += 2
+		hstart := l.pos
+		for l.pos < len(l.src) && isHex(l.src[l.pos]) {
+			l.pos++
+		}
+		if l.pos == hstart {
+			l.errorf("malformed hex literal")
+			return
+		}
+		var v uint64
+		for _, ch := range []byte(l.src[hstart:l.pos]) {
+			v = v*16 + uint64(hexVal(ch))
+		}
+		l.tok, l.val, l.lit = INT, int64(v), l.src[start:l.pos]
+		return
+	}
+	for l.pos < len(l.src) && isDigit(l.src[l.pos]) {
+		l.pos++
+	}
+	var v int64
+	for _, ch := range []byte(l.src[start:l.pos]) {
+		nv := v*10 + int64(ch-'0')
+		if nv < v {
+			l.errorf("integer literal overflows int64")
+			return
+		}
+		v = nv
+	}
+	l.tok, l.val, l.lit = INT, v, l.src[start:l.pos]
+}
+
+func hexVal(c byte) int {
+	switch {
+	case isDigit(c):
+		return int(c - '0')
+	case c >= 'a':
+		return int(c-'a') + 10
+	default:
+		return int(c-'A') + 10
+	}
+}
+
+func (l *lexer) lexChar() {
+	l.pos++ // consume opening quote
+	if l.pos >= len(l.src) {
+		l.errorf("unterminated character literal")
+		return
+	}
+	var v int64
+	c := l.src[l.pos]
+	if c == '\\' {
+		l.pos++
+		if l.pos >= len(l.src) {
+			l.errorf("unterminated escape")
+			return
+		}
+		switch l.src[l.pos] {
+		case 'n':
+			v = '\n'
+		case 't':
+			v = '\t'
+		case 'r':
+			v = '\r'
+		case '0':
+			v = 0
+		case '\\':
+			v = '\\'
+		case '\'':
+			v = '\''
+		default:
+			l.errorf("unknown escape \\%c", l.src[l.pos])
+			return
+		}
+		l.pos++
+	} else {
+		v = int64(c)
+		l.pos++
+	}
+	if l.pos >= len(l.src) || l.src[l.pos] != '\'' {
+		l.errorf("unterminated character literal")
+		return
+	}
+	l.pos++
+	l.tok, l.val = CHAR, v
+	l.lit = fmt.Sprintf("'%c'", rune(v))
+}

@@ -1,0 +1,89 @@
+package cmini
+
+import "testing"
+
+func lexAll(t *testing.T, src string) []Tok {
+	t.Helper()
+	l := newLexer("test.cm", src)
+	var toks []Tok
+	for l.tok != EOF {
+		toks = append(toks, l.tok)
+		l.next()
+	}
+	if l.err != nil {
+		t.Fatalf("lex error: %v", l.err)
+	}
+	return toks
+}
+
+func TestLexBasics(t *testing.T) {
+	toks := lexAll(t, "int x = 42; // comment\nbyte b;")
+	want := []Tok{KwInt, IDENT, Assign, INT, Semi, KwByte, IDENT, Semi}
+	if len(toks) != len(want) {
+		t.Fatalf("got %v, want %v", toks, want)
+	}
+	for i := range want {
+		if toks[i] != want[i] {
+			t.Errorf("token %d = %v, want %v", i, toks[i], want[i])
+		}
+	}
+}
+
+func TestLexOperators(t *testing.T) {
+	toks := lexAll(t, "+ += ++ - -= -- * *= / % << >> < <= > >= == != & && | || ^ ~ !")
+	want := []Tok{Plus, PlusEq, PlusPlus, Minus, MinusEq, MinusMinus, Star,
+		StarEq, Slash, Percent, Shl, Shr, Lt, Le, Gt, Ge, Eq, Ne, Amp,
+		AndAnd, Pipe, OrOr, Caret, Tilde, Bang}
+	if len(toks) != len(want) {
+		t.Fatalf("got %d tokens, want %d: %v", len(toks), len(want), toks)
+	}
+	for i := range want {
+		if toks[i] != want[i] {
+			t.Errorf("token %d = %v, want %v", i, toks[i], want[i])
+		}
+	}
+}
+
+func TestLexNumbers(t *testing.T) {
+	l := newLexer("t", "123 0x1f 0 '\\n' 'A'")
+	wantVals := []int64{123, 31, 0, 10, 65}
+	for i, want := range wantVals {
+		if l.tok != INT && l.tok != CHAR {
+			t.Fatalf("token %d: got %v", i, l.tok)
+		}
+		if l.val != want {
+			t.Errorf("value %d = %d, want %d", i, l.val, want)
+		}
+		l.next()
+	}
+}
+
+func TestLexBlockComment(t *testing.T) {
+	toks := lexAll(t, "int /* a\nmulti\nline */ x;")
+	if len(toks) != 3 {
+		t.Fatalf("got %v", toks)
+	}
+}
+
+func TestLexLineNumbers(t *testing.T) {
+	l := newLexer("f.cm", "int\nx\n=\n1;")
+	lines := []int{1, 2, 3, 4, 4}
+	for i, want := range lines {
+		if l.tpos.Line != want {
+			t.Errorf("token %d at line %d, want %d", i, l.tpos.Line, want)
+		}
+		l.next()
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	for _, src := range []string{"@", "/* unterminated", "'x", "'\\q'", "0x", "99999999999999999999999"} {
+		l := newLexer("t", src)
+		for l.tok != EOF {
+			l.next()
+		}
+		if l.err == nil {
+			t.Errorf("source %q: expected lex error", src)
+		}
+	}
+}

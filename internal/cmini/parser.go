@@ -1,0 +1,505 @@
+package cmini
+
+// parser is a hand-written recursive-descent parser with
+// precedence-climbing expression parsing.
+type parser struct {
+	lx *lexer
+}
+
+// ParseFile parses one translation unit.
+func ParseFile(name, src string) (*File, error) {
+	p := &parser{lx: newLexer(name, src)}
+	f := &File{Name: name}
+	for p.lx.tok != EOF {
+		if err := p.parseTopDecl(f); err != nil {
+			return nil, err
+		}
+	}
+	if p.lx.err != nil {
+		return nil, p.lx.err
+	}
+	return f, nil
+}
+
+func (p *parser) pos() Pos { return p.lx.tpos }
+
+func (p *parser) expect(t Tok) error {
+	if p.lx.tok != t {
+		return errf(p.pos(), "expected %s, found %s", t, p.describe())
+	}
+	p.lx.next()
+	return nil
+}
+
+func (p *parser) describe() string {
+	if p.lx.tok == IDENT || p.lx.tok == INT {
+		return "'" + p.lx.lit + "'"
+	}
+	return "'" + p.lx.tok.String() + "'"
+}
+
+func (p *parser) isTypeStart() bool {
+	switch p.lx.tok {
+	case KwInt, KwByte, KwVoid:
+		return true
+	}
+	return false
+}
+
+// parseType parses a base type plus pointer stars.
+func (p *parser) parseType() (Type, error) {
+	var t Type
+	switch p.lx.tok {
+	case KwInt:
+		t = TypeInt
+	case KwByte:
+		t = TypeByte
+	case KwVoid:
+		t = TypeVoid
+	default:
+		return t, errf(p.pos(), "expected type, found %s", p.describe())
+	}
+	p.lx.next()
+	for p.lx.tok == Star {
+		t = t.AddrOf()
+		p.lx.next()
+	}
+	return t, nil
+}
+
+func (p *parser) parseTopDecl(f *File) error {
+	pos := p.pos()
+	t, err := p.parseType()
+	if err != nil {
+		return err
+	}
+	if p.lx.tok != IDENT {
+		return errf(p.pos(), "expected name, found %s", p.describe())
+	}
+	name := p.lx.lit
+	p.lx.next()
+
+	if p.lx.tok == LParen {
+		fn, err := p.parseFuncRest(pos, t, name)
+		if err != nil {
+			return err
+		}
+		f.Funcs = append(f.Funcs, fn)
+		return nil
+	}
+
+	if t == TypeVoid {
+		return errf(pos, "variable %s cannot have type void", name)
+	}
+	d, err := p.parseVarRest(pos, t, name, true)
+	if err != nil {
+		return err
+	}
+	f.Globals = append(f.Globals, d)
+	return nil
+}
+
+func (p *parser) parseVarRest(pos Pos, t Type, name string, global bool) (*VarDecl, error) {
+	d := &VarDecl{P: pos, Type: t, Name: name, ArrayLen: -1, IsGlobal: global}
+	if p.lx.tok == LBrack {
+		p.lx.next()
+		if p.lx.tok != INT {
+			return nil, errf(p.pos(), "array length must be an integer literal")
+		}
+		d.ArrayLen = p.lx.val
+		if d.ArrayLen <= 0 {
+			return nil, errf(p.pos(), "array length must be positive")
+		}
+		p.lx.next()
+		if err := p.expect(RBrack); err != nil {
+			return nil, err
+		}
+	}
+	if p.lx.tok == Assign {
+		if d.IsArray() {
+			return nil, errf(p.pos(), "array initializers are not supported")
+		}
+		p.lx.next()
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		d.Init = e
+	}
+	return d, p.expect(Semi)
+}
+
+func (p *parser) parseFuncRest(pos Pos, ret Type, name string) (*FuncDecl, error) {
+	fn := &FuncDecl{P: pos, Ret: ret, Name: name}
+	if err := p.expect(LParen); err != nil {
+		return nil, err
+	}
+	if p.lx.tok != RParen {
+		for {
+			pt, err := p.parseType()
+			if err != nil {
+				return nil, err
+			}
+			if pt == TypeVoid {
+				return nil, errf(p.pos(), "parameter cannot have type void")
+			}
+			if p.lx.tok != IDENT {
+				return nil, errf(p.pos(), "expected parameter name, found %s", p.describe())
+			}
+			fn.Params = append(fn.Params, Param{Type: pt, Name: p.lx.lit})
+			p.lx.next()
+			if p.lx.tok != Comma {
+				break
+			}
+			p.lx.next()
+		}
+	}
+	if err := p.expect(RParen); err != nil {
+		return nil, err
+	}
+	body, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	fn.Body = body
+	return fn, nil
+}
+
+func (p *parser) parseBlock() (*BlockStmt, error) {
+	b := &BlockStmt{stmtBase: stmtBase{P: p.pos()}}
+	if err := p.expect(LBrace); err != nil {
+		return nil, err
+	}
+	for p.lx.tok != RBrace {
+		if p.lx.tok == EOF {
+			return nil, errf(p.pos(), "unexpected end of file in block")
+		}
+		s, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		if s != nil {
+			b.List = append(b.List, s)
+		}
+	}
+	p.lx.next() // consume }
+	return b, nil
+}
+
+func (p *parser) parseStmt() (Stmt, error) {
+	pos := p.pos()
+	switch p.lx.tok {
+	case Semi:
+		p.lx.next()
+		return nil, nil
+	case LBrace:
+		return p.parseBlock()
+	case KwIf:
+		p.lx.next()
+		if err := p.expect(LParen); err != nil {
+			return nil, err
+		}
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(RParen); err != nil {
+			return nil, err
+		}
+		then, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		st := &IfStmt{stmtBase: stmtBase{P: pos}, Cond: cond, Then: then}
+		if p.lx.tok == KwElse {
+			p.lx.next()
+			els, err := p.parseStmt()
+			if err != nil {
+				return nil, err
+			}
+			st.Else = els
+		}
+		return st, nil
+	case KwWhile:
+		p.lx.next()
+		if err := p.expect(LParen); err != nil {
+			return nil, err
+		}
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(RParen); err != nil {
+			return nil, err
+		}
+		body, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		return &WhileStmt{stmtBase: stmtBase{P: pos}, Cond: cond, Body: body}, nil
+	case KwFor:
+		return p.parseFor(pos)
+	case KwReturn:
+		p.lx.next()
+		st := &ReturnStmt{stmtBase: stmtBase{P: pos}}
+		if p.lx.tok != Semi {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			st.X = e
+		}
+		return st, p.expect(Semi)
+	case KwBreak:
+		p.lx.next()
+		return &BreakStmt{stmtBase{P: pos}}, p.expect(Semi)
+	case KwContinue:
+		p.lx.next()
+		return &ContinueStmt{stmtBase{P: pos}}, p.expect(Semi)
+	case KwInt, KwByte:
+		t, err := p.parseType()
+		if err != nil {
+			return nil, err
+		}
+		if p.lx.tok != IDENT {
+			return nil, errf(p.pos(), "expected name, found %s", p.describe())
+		}
+		name := p.lx.lit
+		p.lx.next()
+		d, err := p.parseVarRest(pos, t, name, false)
+		if err != nil {
+			return nil, err
+		}
+		return &DeclStmt{stmtBase: stmtBase{P: pos}, Decl: d}, nil
+	case KwVoid:
+		return nil, errf(pos, "variable cannot have type void")
+	}
+	st, err := p.parseSimpleStmt(pos)
+	if err != nil {
+		return nil, err
+	}
+	return st, p.expect(Semi)
+}
+
+// parseSimpleStmt parses an assignment, ++/--, or expression statement
+// without consuming a trailing semicolon (shared with for-headers).
+func (p *parser) parseSimpleStmt(pos Pos) (Stmt, error) {
+	e, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	switch p.lx.tok {
+	case Assign, PlusEq, MinusEq, StarEq:
+		op := p.lx.tok
+		p.lx.next()
+		rhs, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &AssignStmt{stmtBase: stmtBase{P: pos}, Op: op, LHS: e, RHS: rhs}, nil
+	case PlusPlus, MinusMinus:
+		op := p.lx.tok
+		p.lx.next()
+		return &AssignStmt{stmtBase: stmtBase{P: pos}, Op: op, LHS: e}, nil
+	}
+	return &ExprStmt{stmtBase: stmtBase{P: pos}, X: e}, nil
+}
+
+func (p *parser) parseFor(pos Pos) (Stmt, error) {
+	p.lx.next()
+	if err := p.expect(LParen); err != nil {
+		return nil, err
+	}
+	st := &ForStmt{stmtBase: stmtBase{P: pos}}
+	// Init clause.
+	if p.lx.tok != Semi {
+		if p.isTypeStart() {
+			dpos := p.pos()
+			t, err := p.parseType()
+			if err != nil {
+				return nil, err
+			}
+			if p.lx.tok != IDENT {
+				return nil, errf(p.pos(), "expected name in for-init")
+			}
+			name := p.lx.lit
+			p.lx.next()
+			if p.lx.tok != Assign {
+				return nil, errf(p.pos(), "for-init declaration needs an initializer")
+			}
+			p.lx.next()
+			init, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			d := &VarDecl{P: dpos, Type: t, Name: name, ArrayLen: -1, Init: init}
+			st.Init = &DeclStmt{stmtBase: stmtBase{P: dpos}, Decl: d}
+		} else {
+			s, err := p.parseSimpleStmt(p.pos())
+			if err != nil {
+				return nil, err
+			}
+			st.Init = s
+		}
+	}
+	if err := p.expect(Semi); err != nil {
+		return nil, err
+	}
+	// Cond clause.
+	if p.lx.tok != Semi {
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		st.Cond = cond
+	}
+	if err := p.expect(Semi); err != nil {
+		return nil, err
+	}
+	// Post clause.
+	if p.lx.tok != RParen {
+		s, err := p.parseSimpleStmt(p.pos())
+		if err != nil {
+			return nil, err
+		}
+		st.Post = s
+	}
+	if err := p.expect(RParen); err != nil {
+		return nil, err
+	}
+	body, err := p.parseStmt()
+	if err != nil {
+		return nil, err
+	}
+	st.Body = body
+	return st, nil
+}
+
+// Binary operator precedence, higher binds tighter.
+func precOf(t Tok) int {
+	switch t {
+	case OrOr:
+		return 1
+	case AndAnd:
+		return 2
+	case Pipe:
+		return 3
+	case Caret:
+		return 4
+	case Amp:
+		return 5
+	case Eq, Ne:
+		return 6
+	case Lt, Le, Gt, Ge:
+		return 7
+	case Shl, Shr:
+		return 8
+	case Plus, Minus:
+		return 9
+	case Star, Slash, Percent:
+		return 10
+	}
+	return 0
+}
+
+func (p *parser) parseExpr() (Expr, error) { return p.parseBinary(1) }
+
+func (p *parser) parseBinary(minPrec int) (Expr, error) {
+	x, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		prec := precOf(p.lx.tok)
+		if prec < minPrec {
+			return x, nil
+		}
+		op := p.lx.tok
+		pos := p.pos()
+		p.lx.next()
+		y, err := p.parseBinary(prec + 1)
+		if err != nil {
+			return nil, err
+		}
+		x = &BinaryExpr{exprBase: exprBase{P: pos}, Op: op, X: x, Y: y}
+	}
+}
+
+func (p *parser) parseUnary() (Expr, error) {
+	pos := p.pos()
+	switch p.lx.tok {
+	case Minus, Bang, Tilde, Star, Amp:
+		op := p.lx.tok
+		p.lx.next()
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryExpr{exprBase: exprBase{P: pos}, Op: op, X: x}, nil
+	}
+	return p.parsePostfix()
+}
+
+func (p *parser) parsePostfix() (Expr, error) {
+	x, err := p.parsePrimary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch p.lx.tok {
+		case LBrack:
+			pos := p.pos()
+			p.lx.next()
+			idx, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expect(RBrack); err != nil {
+				return nil, err
+			}
+			x = &IndexExpr{exprBase: exprBase{P: pos}, X: x, I: idx}
+		default:
+			return x, nil
+		}
+	}
+}
+
+func (p *parser) parsePrimary() (Expr, error) {
+	pos := p.pos()
+	switch p.lx.tok {
+	case INT, CHAR:
+		v := p.lx.val
+		p.lx.next()
+		return &IntLit{exprBase: exprBase{P: pos}, Val: v}, nil
+	case LParen:
+		p.lx.next()
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		return e, p.expect(RParen)
+	case IDENT:
+		name := p.lx.lit
+		p.lx.next()
+		if p.lx.tok == LParen {
+			p.lx.next()
+			call := &CallExpr{exprBase: exprBase{P: pos}, Name: name}
+			if p.lx.tok != RParen {
+				for {
+					a, err := p.parseExpr()
+					if err != nil {
+						return nil, err
+					}
+					call.Args = append(call.Args, a)
+					if p.lx.tok != Comma {
+						break
+					}
+					p.lx.next()
+				}
+			}
+			return call, p.expect(RParen)
+		}
+		return &Ident{exprBase: exprBase{P: pos}, Name: name}, nil
+	}
+	return nil, errf(pos, "expected expression, found %s", p.describe())
+}

@@ -1,0 +1,325 @@
+package cmini
+
+import (
+	"strings"
+	"testing"
+)
+
+func mustParse(t *testing.T, src string) *File {
+	t.Helper()
+	f, err := ParseFile("test.cm", src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return f
+}
+
+func mustCheck(t *testing.T, srcs ...string) *Unit {
+	t.Helper()
+	var files []*File
+	for i, src := range srcs {
+		f, err := ParseFile("test"+string(rune('0'+i))+".cm", src)
+		if err != nil {
+			t.Fatalf("parse: %v", err)
+		}
+		files = append(files, f)
+	}
+	u, err := Check(files)
+	if err != nil {
+		t.Fatalf("check: %v", err)
+	}
+	return u
+}
+
+func TestParseGlobalsAndFuncs(t *testing.T) {
+	f := mustParse(t, `
+int counter = 5;
+int table[64];
+byte buf[256];
+int* head;
+
+void main() {
+	counter = counter + 1;
+}
+
+int addone(int x) {
+	return x + 1;
+}
+`)
+	if len(f.Globals) != 4 {
+		t.Fatalf("globals = %d, want 4", len(f.Globals))
+	}
+	if f.Globals[1].ArrayLen != 64 || !f.Globals[1].IsArray() {
+		t.Errorf("table should be array of 64")
+	}
+	if f.Globals[2].Type != TypeByte || f.Globals[2].StorageSize() != 256 {
+		t.Errorf("buf wrong: %v size %d", f.Globals[2].Type, f.Globals[2].StorageSize())
+	}
+	if f.Globals[3].Type != TypeIntPtr {
+		t.Errorf("head type = %v, want int*", f.Globals[3].Type)
+	}
+	if len(f.Funcs) != 2 {
+		t.Fatalf("funcs = %d, want 2", len(f.Funcs))
+	}
+	if f.Funcs[1].Ret != TypeInt || len(f.Funcs[1].Params) != 1 {
+		t.Errorf("addone signature wrong")
+	}
+}
+
+func TestParsePrecedence(t *testing.T) {
+	f := mustParse(t, `void main() { int x = 1 + 2 * 3 - 4 / 2; }`)
+	d := f.Funcs[0].Body.List[0].(*DeclStmt).Decl
+	// Shape: ((1 + (2*3)) - (4/2))
+	top, ok := d.Init.(*BinaryExpr)
+	if !ok || top.Op != Minus {
+		t.Fatalf("top op wrong: %#v", d.Init)
+	}
+	left, ok := top.X.(*BinaryExpr)
+	if !ok || left.Op != Plus {
+		t.Fatalf("left op wrong")
+	}
+	if mul, ok := left.Y.(*BinaryExpr); !ok || mul.Op != Star {
+		t.Fatalf("mul not nested under plus")
+	}
+	if div, ok := top.Y.(*BinaryExpr); !ok || div.Op != Slash {
+		t.Fatalf("div not under minus")
+	}
+}
+
+func TestParseControlFlow(t *testing.T) {
+	f := mustParse(t, `
+void main() {
+	int i;
+	for (i = 0; i < 10; i++) {
+		if (i == 5) { break; } else { continue; }
+	}
+	while (i > 0) { i -= 1; }
+	for (int j = 0; j < 4; j += 1) { print(j); }
+	for (;;) { break; }
+}
+`)
+	body := f.Funcs[0].Body.List
+	if len(body) != 5 {
+		t.Fatalf("statements = %d, want 5", len(body))
+	}
+	if _, ok := body[1].(*ForStmt); !ok {
+		t.Error("want ForStmt")
+	}
+	if _, ok := body[2].(*WhileStmt); !ok {
+		t.Error("want WhileStmt")
+	}
+	inf := body[4].(*ForStmt)
+	if inf.Init != nil || inf.Cond != nil || inf.Post != nil {
+		t.Error("for(;;) clauses should be nil")
+	}
+}
+
+func TestParseUnaryAndIndex(t *testing.T) {
+	f := mustParse(t, `
+int a[4];
+void main() {
+	int x = -a[1] + ~a[2] * !a[3];
+	int* p = &a[0];
+	*p = 7;
+	int y = *p;
+}
+`)
+	if len(f.Funcs[0].Body.List) != 4 {
+		t.Fatal("wrong statement count")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"void main() { int x = ; }",
+		"void main() { if x { } }",
+		"int;",
+		"void v;",
+		"void main() { return 1 }",
+		"int f(void v) { return 0; }",
+		"void main() { x[1 = 2; }",
+		"int a[0];",
+		"int a[3] = 5;",
+		"void main() { for (int k; k < 3; k++) {} }",
+	}
+	for _, src := range cases {
+		if _, err := ParseFile("t.cm", src); err == nil {
+			t.Errorf("source %q: expected parse error", src)
+		}
+	}
+}
+
+func TestCheckTypes(t *testing.T) {
+	u := mustCheck(t, `
+int g = 3 * 7 + 1;
+byte flags[8];
+
+int twice(int v) { return v * 2; }
+
+void main() {
+	int x = twice(g);
+	flags[0] = 1;
+	byte* p = &flags[2];
+	p[1] = 3;
+	int sum = flags[0] + p[1];
+	checksum(sum);
+	print(x);
+	putc('A');
+	int c = cycles();
+}
+`)
+	if u.Globals["g"].Init.(*IntLit).Val != 22 {
+		t.Errorf("constant folding of global init failed: %v", u.Globals["g"].Init)
+	}
+}
+
+func TestCheckErrors(t *testing.T) {
+	cases := map[string]string{
+		"void main() { y = 1; }":                          "undefined",
+		"void main() { int x; int x; }":                   "duplicate",
+		"int main() { return 0; }":                        "main must be",
+		"void f() {} void main() { int x = f(); }":        "cannot initialize",
+		"void main() { break; }":                          "break outside loop",
+		"void main() { continue; }":                       "continue outside loop",
+		"int a[3]; void main() { a = 0; }":                "cannot assign to array",
+		"void main() { int x = *4; }":                     "cannot dereference",
+		"int g = cycles(); void main() {}":                "not a constant",
+		"void main() { print(1, 2); }":                    "exactly one",
+		"int f(int a) { return a; } void main() { f(); }": "takes 1 arguments",
+		"void main() { int* p; byte* q; p = q; }":         "cannot assign",
+		"int print; void main() {}":                       "builtin",
+		"void main() { return 3; }":                       "returns a value",
+		"int f() { return; } void main() {}":              "must return",
+		"void main() { int x; x[0] = 1; }":                "cannot index",
+		"int x; int x; void main() {}":                    "duplicate global",
+		"void main() { int* p; int x = p * 2; }":          "invalid pointer operand",
+		"void main() { int* p; int* q; int r = p + q; }":  "cannot add two pointers",
+	}
+	for src, wantSub := range cases {
+		f, err := ParseFile("t.cm", src)
+		if err != nil {
+			t.Errorf("source %q: unexpected parse error %v", src, err)
+			continue
+		}
+		_, err = Check([]*File{f})
+		if err == nil {
+			t.Errorf("source %q: expected check error containing %q", src, wantSub)
+			continue
+		}
+		if !strings.Contains(err.Error(), wantSub) {
+			t.Errorf("source %q: error %q does not contain %q", src, err, wantSub)
+		}
+	}
+}
+
+func TestCheckCrossFile(t *testing.T) {
+	u := mustCheck(t,
+		`int shared[16]; void main() { helper(); checksum(shared[3]); }`,
+		`void helper() { shared[3] = 99; }`,
+	)
+	if len(u.Funcs) != 2 {
+		t.Fatalf("funcs = %d", len(u.Funcs))
+	}
+}
+
+func TestCheckNoMain(t *testing.T) {
+	f := mustParse(t, "int x;")
+	if _, err := Check([]*File{f}); err == nil || !strings.Contains(err.Error(), "no main") {
+		t.Errorf("expected no-main error, got %v", err)
+	}
+}
+
+func TestPointerArithmeticTypes(t *testing.T) {
+	mustCheck(t, `
+int a[10];
+void main() {
+	int* p = &a[0];
+	int* q = p + 3;
+	int n = q - p;
+	if (q > p) { n = n + 1; }
+	checksum(n);
+}
+`)
+}
+
+func TestTypeHelpers(t *testing.T) {
+	if TypeInt.Size() != 8 || TypeByte.Size() != 1 || TypeIntPtr.Size() != 8 {
+		t.Error("sizes wrong")
+	}
+	if TypeIntPtr.Elem() != TypeInt || TypeInt.AddrOf() != TypeIntPtr {
+		t.Error("Elem/AddrOf wrong")
+	}
+	if TypeBytePtr.String() != "byte*" || TypeVoid.String() != "void" {
+		t.Error("String wrong")
+	}
+}
+
+func TestCheckMoreErrors(t *testing.T) {
+	cases := map[string]string{
+		"void main() { int a[3]; if (a) {} }":                        "", // arrays decay: pointer condition is fine
+		"void main() { byte b; int* p = &b; }":                       "cannot initialize",
+		"void main() { int x; int* p = &x; int* q = &p; }":           "cannot initialize",
+		"void main() { checksum(cycles(1)); }":                       "no arguments",
+		"void f(int a, int a) {} void main() {}":                     "duplicate parameter",
+		"int f() { return 1; } int f() { return 2; } void main() {}": "duplicate function",
+		"int x; void x() {} void main() {}":                          "redeclared",
+		"void main() { int* p; p *= 2; }":                            "integer operands",
+		"void main() { int* p; int x; x += p; }":                     "cannot +=",
+		"void main() { int* p; byte* q; if (p < q) {} }":             "cannot compare",
+	}
+	for src, wantSub := range cases {
+		f, err := ParseFile("t.cm", src)
+		if err != nil {
+			t.Errorf("source %q: parse error %v", src, err)
+			continue
+		}
+		_, err = Check([]*File{f})
+		if wantSub == "" {
+			if err != nil {
+				t.Errorf("source %q: unexpected error %v", src, err)
+			}
+			continue
+		}
+		if err == nil || !strings.Contains(err.Error(), wantSub) {
+			t.Errorf("source %q: error %v does not contain %q", src, err, wantSub)
+		}
+	}
+}
+
+func TestIncrementSemantics(t *testing.T) {
+	u := mustCheck(t, `
+int a[4];
+void main() {
+	int i = 0;
+	i++;
+	i--;
+	int* p = &a[0];
+	p++;
+	a[i]++;
+	checksum(i);
+}
+`)
+	if u == nil {
+		t.Fatal("check failed")
+	}
+}
+
+func TestErrorPositions(t *testing.T) {
+	_, err := ParseFile("pos.cm", "void main() {\n\nint x = ;\n}")
+	if err == nil || !strings.Contains(err.Error(), "pos.cm:3") {
+		t.Errorf("error lacks position: %v", err)
+	}
+	f, _ := ParseFile("pos.cm", "void main() {\n\n\n  y = 1;\n}")
+	_, err = Check([]*File{f})
+	if err == nil || !strings.Contains(err.Error(), "pos.cm:4") {
+		t.Errorf("check error lacks position: %v", err)
+	}
+}
+
+func TestSymbolString(t *testing.T) {
+	u := mustCheck(t, `int g; void main() { checksum(g); }`)
+	sym := u.Globals["g"].Sym
+	if !strings.Contains(sym.String(), "g") {
+		t.Error("Symbol.String missing name")
+	}
+}

@@ -1,0 +1,621 @@
+package cmini
+
+import "fmt"
+
+// Unit is a set of parsed files forming a whole program with a shared global
+// namespace (every top-level name is externally visible, as in the C
+// programs the suite models).
+type Unit struct {
+	Files []*File
+	// Globals and Funcs index the program-wide namespace after Check.
+	Globals map[string]*VarDecl
+	Funcs   map[string]*FuncDecl
+}
+
+// Check runs semantic analysis over the files: it builds the global
+// namespace, resolves every identifier, type-checks every construct, and
+// annotates the AST (expression types, symbol links, constant-folded global
+// initializers). It returns the analyzed Unit or the first error.
+func Check(files []*File) (*Unit, error) {
+	u := &Unit{
+		Files:   files,
+		Globals: make(map[string]*VarDecl),
+		Funcs:   make(map[string]*FuncDecl),
+	}
+	// Pass 1: collect the global namespace.
+	for _, f := range files {
+		for _, g := range f.Globals {
+			if _, dup := u.Globals[g.Name]; dup {
+				return nil, errf(g.P, "duplicate global %s", g.Name)
+			}
+			if _, dup := u.Funcs[g.Name]; dup {
+				return nil, errf(g.P, "%s redeclared as variable", g.Name)
+			}
+			if isBuiltinName(g.Name) {
+				return nil, errf(g.P, "%s is a builtin name", g.Name)
+			}
+			g.Sym = &Symbol{Kind: SymGlobal, Name: g.Name, Decl: g, Type: g.Type, IsArray: g.IsArray(), ArrayLen: g.ArrayLen}
+			u.Globals[g.Name] = g
+		}
+		for _, fn := range f.Funcs {
+			if _, dup := u.Funcs[fn.Name]; dup {
+				return nil, errf(fn.P, "duplicate function %s", fn.Name)
+			}
+			if _, dup := u.Globals[fn.Name]; dup {
+				return nil, errf(fn.P, "%s redeclared as function", fn.Name)
+			}
+			if isBuiltinName(fn.Name) {
+				return nil, errf(fn.P, "%s is a builtin name", fn.Name)
+			}
+			u.Funcs[fn.Name] = fn
+		}
+	}
+	main, ok := u.Funcs["main"]
+	if !ok {
+		return nil, fmt.Errorf("cmini: program has no main")
+	}
+	if len(main.Params) != 0 || main.Ret != TypeVoid {
+		return nil, errf(main.P, "main must be void main()")
+	}
+
+	// Pass 2: check global initializers (must be constant).
+	for _, f := range files {
+		for _, g := range f.Globals {
+			if g.Init == nil {
+				continue
+			}
+			v, err := constEval(g.Init)
+			if err != nil {
+				return nil, err
+			}
+			lit, okLit := g.Init.(*IntLit)
+			if !okLit {
+				lit = &IntLit{exprBase: exprBase{P: g.P}, Val: v}
+				g.Init = lit
+			}
+			lit.Val = v
+			lit.setType(TypeInt)
+			if g.Type.IsPtr() {
+				return nil, errf(g.P, "global pointer %s cannot be initialized", g.Name)
+			}
+		}
+	}
+
+	// Pass 3: check function bodies.
+	for _, f := range files {
+		for _, fn := range f.Funcs {
+			c := &checker{unit: u, fn: fn}
+			c.pushScope()
+			for i := range fn.Params {
+				prm := &fn.Params[i]
+				prm.Sym = &Symbol{Kind: SymParam, Name: prm.Name, ParamIdx: i, Type: prm.Type}
+				if !c.declare(prm.Name, prm.Sym) {
+					return nil, errf(fn.P, "duplicate parameter %s", prm.Name)
+				}
+			}
+			if err := c.checkBlock(fn.Body); err != nil {
+				return nil, err
+			}
+			c.popScope()
+		}
+	}
+	return u, nil
+}
+
+func isBuiltinName(name string) bool {
+	switch name {
+	case "print", "putc", "checksum", "cycles":
+		return true
+	}
+	return false
+}
+
+func builtinOf(name string) Builtin {
+	switch name {
+	case "print":
+		return BuiltinPrint
+	case "putc":
+		return BuiltinPutc
+	case "checksum":
+		return BuiltinChecksum
+	case "cycles":
+		return BuiltinCycles
+	}
+	return NotBuiltin
+}
+
+// constEval folds a constant expression (literals, unary -/~/!, and binary
+// arithmetic over constants) for global initializers.
+func constEval(e Expr) (int64, error) {
+	switch x := e.(type) {
+	case *IntLit:
+		return x.Val, nil
+	case *UnaryExpr:
+		v, err := constEval(x.X)
+		if err != nil {
+			return 0, err
+		}
+		switch x.Op {
+		case Minus:
+			return -v, nil
+		case Tilde:
+			return ^v, nil
+		case Bang:
+			if v == 0 {
+				return 1, nil
+			}
+			return 0, nil
+		}
+	case *BinaryExpr:
+		a, err := constEval(x.X)
+		if err != nil {
+			return 0, err
+		}
+		b, err := constEval(x.Y)
+		if err != nil {
+			return 0, err
+		}
+		switch x.Op {
+		case Plus:
+			return a + b, nil
+		case Minus:
+			return a - b, nil
+		case Star:
+			return a * b, nil
+		case Slash:
+			if b == 0 {
+				return 0, errf(x.Pos(), "division by zero in constant")
+			}
+			return a / b, nil
+		case Shl:
+			return a << (uint64(b) & 63), nil
+		case Shr:
+			return int64(uint64(a) >> (uint64(b) & 63)), nil
+		case Pipe:
+			return a | b, nil
+		case Amp:
+			return a & b, nil
+		case Caret:
+			return a ^ b, nil
+		}
+	}
+	return 0, errf(e.Pos(), "initializer is not a constant expression")
+}
+
+type checker struct {
+	unit   *Unit
+	fn     *FuncDecl
+	scopes []map[string]*Symbol
+	loops  int
+}
+
+func (c *checker) pushScope() { c.scopes = append(c.scopes, map[string]*Symbol{}) }
+func (c *checker) popScope()  { c.scopes = c.scopes[:len(c.scopes)-1] }
+
+func (c *checker) declare(name string, s *Symbol) bool {
+	top := c.scopes[len(c.scopes)-1]
+	if _, dup := top[name]; dup {
+		return false
+	}
+	top[name] = s
+	return true
+}
+
+func (c *checker) lookup(name string) *Symbol {
+	for i := len(c.scopes) - 1; i >= 0; i-- {
+		if s, ok := c.scopes[i][name]; ok {
+			return s
+		}
+	}
+	if g, ok := c.unit.Globals[name]; ok {
+		return g.Sym
+	}
+	return nil
+}
+
+func (c *checker) checkBlock(b *BlockStmt) error {
+	c.pushScope()
+	defer c.popScope()
+	for _, s := range b.List {
+		if err := c.checkStmt(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (c *checker) checkStmt(s Stmt) error {
+	switch st := s.(type) {
+	case *BlockStmt:
+		return c.checkBlock(st)
+	case *DeclStmt:
+		return c.checkDecl(st.Decl)
+	case *AssignStmt:
+		return c.checkAssign(st)
+	case *ExprStmt:
+		_, err := c.checkExpr(st.X)
+		return err
+	case *IfStmt:
+		if _, err := c.checkCond(st.Cond); err != nil {
+			return err
+		}
+		if err := c.checkStmt(st.Then); err != nil {
+			return err
+		}
+		if st.Else != nil {
+			return c.checkStmt(st.Else)
+		}
+		return nil
+	case *WhileStmt:
+		if _, err := c.checkCond(st.Cond); err != nil {
+			return err
+		}
+		c.loops++
+		defer func() { c.loops-- }()
+		return c.checkStmt(st.Body)
+	case *ForStmt:
+		c.pushScope()
+		defer c.popScope()
+		if st.Init != nil {
+			if err := c.checkStmt(st.Init); err != nil {
+				return err
+			}
+		}
+		if st.Cond != nil {
+			if _, err := c.checkCond(st.Cond); err != nil {
+				return err
+			}
+		}
+		if st.Post != nil {
+			if err := c.checkStmt(st.Post); err != nil {
+				return err
+			}
+		}
+		c.loops++
+		defer func() { c.loops-- }()
+		return c.checkStmt(st.Body)
+	case *ReturnStmt:
+		if c.fn.Ret == TypeVoid {
+			if st.X != nil {
+				return errf(st.Pos(), "void function %s returns a value", c.fn.Name)
+			}
+			return nil
+		}
+		if st.X == nil {
+			return errf(st.Pos(), "function %s must return a value", c.fn.Name)
+		}
+		t, err := c.checkExpr(st.X)
+		if err != nil {
+			return err
+		}
+		if !assignable(c.fn.Ret, t) {
+			return errf(st.Pos(), "cannot return %v from function returning %v", t, c.fn.Ret)
+		}
+		return nil
+	case *BreakStmt:
+		if c.loops == 0 {
+			return errf(st.Pos(), "break outside loop")
+		}
+		return nil
+	case *ContinueStmt:
+		if c.loops == 0 {
+			return errf(st.Pos(), "continue outside loop")
+		}
+		return nil
+	}
+	return fmt.Errorf("cmini: unknown statement %T", s)
+}
+
+func (c *checker) checkDecl(d *VarDecl) error {
+	if d.Type == TypeVoid {
+		return errf(d.P, "variable %s cannot have type void", d.Name)
+	}
+	d.Sym = &Symbol{Kind: SymLocal, Name: d.Name, Decl: d, Type: d.Type, IsArray: d.IsArray(), ArrayLen: d.ArrayLen}
+	if !c.declare(d.Name, d.Sym) {
+		return errf(d.P, "duplicate variable %s in scope", d.Name)
+	}
+	if d.Init != nil {
+		t, err := c.checkExpr(d.Init)
+		if err != nil {
+			return err
+		}
+		if !assignable(d.Type, t) {
+			return errf(d.P, "cannot initialize %v with %v", d.Type, t)
+		}
+	}
+	return nil
+}
+
+func (c *checker) checkAssign(st *AssignStmt) error {
+	lt, err := c.checkLValue(st.LHS)
+	if err != nil {
+		return err
+	}
+	if st.Op == PlusPlus || st.Op == MinusMinus {
+		if !lt.IsPtr() && lt.Kind == KindVoid {
+			return errf(st.Pos(), "cannot increment %v", lt)
+		}
+		return nil
+	}
+	rt, err := c.checkExpr(st.RHS)
+	if err != nil {
+		return err
+	}
+	switch st.Op {
+	case Assign:
+		if !assignable(lt, rt) {
+			return errf(st.Pos(), "cannot assign %v to %v", rt, lt)
+		}
+	case PlusEq, MinusEq:
+		if lt.IsPtr() {
+			if rt.IsPtr() || rt.Kind == KindVoid {
+				return errf(st.Pos(), "pointer %s needs an integer operand", st.Op)
+			}
+		} else if rt.IsPtr() {
+			return errf(st.Pos(), "cannot %s a pointer into %v", st.Op, lt)
+		}
+	case StarEq:
+		if lt.IsPtr() || rt.IsPtr() {
+			return errf(st.Pos(), "*= requires integer operands")
+		}
+	default:
+		return errf(st.Pos(), "bad assignment operator %s", st.Op)
+	}
+	return nil
+}
+
+// checkLValue checks an expression in assignable position and returns the
+// type of the storage location.
+func (c *checker) checkLValue(e Expr) (Type, error) {
+	switch x := e.(type) {
+	case *Ident:
+		t, err := c.checkExpr(x)
+		if err != nil {
+			return t, err
+		}
+		if x.Sym.IsArray {
+			return t, errf(x.Pos(), "cannot assign to array %s", x.Name)
+		}
+		return t, nil
+	case *IndexExpr:
+		return c.checkExpr(x)
+	case *UnaryExpr:
+		if x.Op == Star {
+			return c.checkExpr(x)
+		}
+	}
+	return TypeVoid, errf(e.Pos(), "expression is not assignable")
+}
+
+// checkCond type-checks a condition; any int or pointer value is allowed.
+func (c *checker) checkCond(e Expr) (Type, error) {
+	t, err := c.checkExpr(e)
+	if err != nil {
+		return t, err
+	}
+	if t == TypeVoid {
+		return t, errf(e.Pos(), "void value used as condition")
+	}
+	return t, nil
+}
+
+// assignable reports whether a value of type src may be stored into dst.
+// int and byte interconvert (stores truncate); pointer types must match.
+func assignable(dst, src Type) bool {
+	if dst.IsPtr() || src.IsPtr() {
+		return dst == src
+	}
+	return dst.Kind != KindVoid && src.Kind != KindVoid
+}
+
+func (c *checker) checkExpr(e Expr) (Type, error) {
+	switch x := e.(type) {
+	case *IntLit:
+		x.setType(TypeInt)
+		return TypeInt, nil
+	case *Ident:
+		sym := c.lookup(x.Name)
+		if sym == nil {
+			return TypeVoid, errf(x.Pos(), "undefined: %s", x.Name)
+		}
+		x.Sym = sym
+		t := sym.Type
+		if sym.IsArray {
+			t = t.AddrOf() // arrays decay to pointers as values
+		}
+		x.setType(t)
+		return t, nil
+	case *UnaryExpr:
+		return c.checkUnary(x)
+	case *BinaryExpr:
+		return c.checkBinary(x)
+	case *IndexExpr:
+		xt, err := c.checkExpr(x.X)
+		if err != nil {
+			return TypeVoid, err
+		}
+		if !xt.IsPtr() {
+			return TypeVoid, errf(x.Pos(), "cannot index %v", xt)
+		}
+		it, err := c.checkExpr(x.I)
+		if err != nil {
+			return TypeVoid, err
+		}
+		if it.IsPtr() || it == TypeVoid {
+			return TypeVoid, errf(x.Pos(), "array index must be an integer, not %v", it)
+		}
+		t := xt.Elem()
+		x.setType(t)
+		return t, nil
+	case *CallExpr:
+		return c.checkCall(x)
+	}
+	return TypeVoid, fmt.Errorf("cmini: unknown expression %T", e)
+}
+
+func (c *checker) checkUnary(x *UnaryExpr) (Type, error) {
+	switch x.Op {
+	case Minus, Tilde, Bang:
+		t, err := c.checkExpr(x.X)
+		if err != nil {
+			return TypeVoid, err
+		}
+		if t.IsPtr() && x.Op != Bang {
+			return TypeVoid, errf(x.Pos(), "invalid operand %v to unary %s", t, x.Op)
+		}
+		if t == TypeVoid {
+			return TypeVoid, errf(x.Pos(), "invalid void operand to unary %s", x.Op)
+		}
+		x.setType(TypeInt)
+		return TypeInt, nil
+	case Star:
+		t, err := c.checkExpr(x.X)
+		if err != nil {
+			return TypeVoid, err
+		}
+		if !t.IsPtr() {
+			return TypeVoid, errf(x.Pos(), "cannot dereference %v", t)
+		}
+		et := t.Elem()
+		x.setType(et)
+		return et, nil
+	case Amp:
+		switch target := x.X.(type) {
+		case *Ident:
+			t, err := c.checkExpr(target)
+			if err != nil {
+				return TypeVoid, err
+			}
+			if target.Sym.IsArray {
+				// &arr is the same pointer as the decayed arr.
+				x.setType(t)
+				return t, nil
+			}
+			pt := t.AddrOf()
+			x.setType(pt)
+			return pt, nil
+		case *IndexExpr:
+			t, err := c.checkExpr(target)
+			if err != nil {
+				return TypeVoid, err
+			}
+			pt := t.AddrOf()
+			x.setType(pt)
+			return pt, nil
+		}
+		return TypeVoid, errf(x.Pos(), "cannot take address of expression")
+	}
+	return TypeVoid, errf(x.Pos(), "bad unary operator %s", x.Op)
+}
+
+func (c *checker) checkBinary(x *BinaryExpr) (Type, error) {
+	lt, err := c.checkExpr(x.X)
+	if err != nil {
+		return TypeVoid, err
+	}
+	rt, err := c.checkExpr(x.Y)
+	if err != nil {
+		return TypeVoid, err
+	}
+	if lt == TypeVoid || rt == TypeVoid {
+		return TypeVoid, errf(x.Pos(), "void operand to %s", x.Op)
+	}
+	switch x.Op {
+	case Eq, Ne, Lt, Le, Gt, Ge:
+		if lt.IsPtr() != rt.IsPtr() {
+			return TypeVoid, errf(x.Pos(), "cannot compare %v with %v", lt, rt)
+		}
+		if lt.IsPtr() && lt != rt {
+			return TypeVoid, errf(x.Pos(), "cannot compare %v with %v", lt, rt)
+		}
+		x.setType(TypeInt)
+		return TypeInt, nil
+	case AndAnd, OrOr:
+		x.setType(TypeInt)
+		return TypeInt, nil
+	case Plus:
+		if lt.IsPtr() && rt.IsPtr() {
+			return TypeVoid, errf(x.Pos(), "cannot add two pointers")
+		}
+		if lt.IsPtr() {
+			x.setType(lt)
+			return lt, nil
+		}
+		if rt.IsPtr() {
+			x.setType(rt)
+			return rt, nil
+		}
+		x.setType(TypeInt)
+		return TypeInt, nil
+	case Minus:
+		if lt.IsPtr() && rt.IsPtr() {
+			if lt != rt {
+				return TypeVoid, errf(x.Pos(), "cannot subtract %v from %v", rt, lt)
+			}
+			// Pointer difference yields the element count, as in C.
+			x.setType(TypeInt)
+			return TypeInt, nil
+		}
+		if rt.IsPtr() {
+			return TypeVoid, errf(x.Pos(), "cannot subtract pointer from integer")
+		}
+		if lt.IsPtr() {
+			x.setType(lt)
+			return lt, nil
+		}
+		x.setType(TypeInt)
+		return TypeInt, nil
+	default:
+		if lt.IsPtr() || rt.IsPtr() {
+			return TypeVoid, errf(x.Pos(), "invalid pointer operand to %s", x.Op)
+		}
+		x.setType(TypeInt)
+		return TypeInt, nil
+	}
+}
+
+func (c *checker) checkCall(x *CallExpr) (Type, error) {
+	if b := builtinOf(x.Name); b != NotBuiltin {
+		x.Builtin = b
+		switch b {
+		case BuiltinCycles:
+			if len(x.Args) != 0 {
+				return TypeVoid, errf(x.Pos(), "cycles() takes no arguments")
+			}
+			x.setType(TypeInt)
+			return TypeInt, nil
+		default:
+			if len(x.Args) != 1 {
+				return TypeVoid, errf(x.Pos(), "%s takes exactly one argument", x.Name)
+			}
+			t, err := c.checkExpr(x.Args[0])
+			if err != nil {
+				return TypeVoid, err
+			}
+			if t == TypeVoid {
+				return TypeVoid, errf(x.Pos(), "void argument to %s", x.Name)
+			}
+			x.setType(TypeVoid)
+			return TypeVoid, nil
+		}
+	}
+	fn, ok := c.unit.Funcs[x.Name]
+	if !ok {
+		return TypeVoid, errf(x.Pos(), "undefined function %s", x.Name)
+	}
+	x.Fn = fn
+	if len(x.Args) != len(fn.Params) {
+		return TypeVoid, errf(x.Pos(), "%s takes %d arguments, got %d", x.Name, len(fn.Params), len(x.Args))
+	}
+	for i, a := range x.Args {
+		t, err := c.checkExpr(a)
+		if err != nil {
+			return TypeVoid, err
+		}
+		if !assignable(fn.Params[i].Type, t) {
+			return TypeVoid, errf(a.Pos(), "argument %d of %s: cannot pass %v as %v", i+1, x.Name, t, fn.Params[i].Type)
+		}
+	}
+	x.setType(fn.Ret)
+	return fn.Ret, nil
+}

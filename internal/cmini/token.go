@@ -1,0 +1,118 @@
+// Package cmini implements the frontend for cmini, the small C-like language
+// the benchmark suite is written in. cmini has 64-bit ints, bytes, pointers,
+// fixed-size arrays, functions, and C-style control flow — enough to express
+// faithful analogues of the SPEC CPU2006 C programs while keeping the
+// toolchain self-contained.
+//
+// The package provides the lexer, parser, AST, and semantic analyzer.
+// Lowering to IR lives in internal/compiler.
+package cmini
+
+import "fmt"
+
+// Tok enumerates token kinds.
+type Tok uint8
+
+const (
+	EOF Tok = iota
+	IDENT
+	INT  // integer literal
+	CHAR // character literal (value is the byte)
+
+	// Keywords.
+	KwInt
+	KwByte
+	KwVoid
+	KwIf
+	KwElse
+	KwWhile
+	KwFor
+	KwReturn
+	KwBreak
+	KwContinue
+
+	// Punctuation and operators.
+	LParen
+	RParen
+	LBrace
+	RBrace
+	LBrack
+	RBrack
+	Comma
+	Semi
+
+	Assign     // =
+	PlusEq     // +=
+	MinusEq    // -=
+	StarEq     // *=
+	Plus       // +
+	Minus      // -
+	Star       // *
+	Slash      // /
+	Percent    // %
+	Amp        // &
+	Pipe       // |
+	Caret      // ^
+	Tilde      // ~
+	Bang       // !
+	Shl        // <<
+	Shr        // >>
+	Eq         // ==
+	Ne         // !=
+	Lt         // <
+	Le         // <=
+	Gt         // >
+	Ge         // >=
+	AndAnd     // &&
+	OrOr       // ||
+	PlusPlus   // ++
+	MinusMinus // --
+)
+
+var tokNames = map[Tok]string{
+	EOF: "EOF", IDENT: "identifier", INT: "integer", CHAR: "char",
+	KwInt: "int", KwByte: "byte", KwVoid: "void", KwIf: "if", KwElse: "else",
+	KwWhile: "while", KwFor: "for", KwReturn: "return", KwBreak: "break",
+	KwContinue: "continue",
+	LParen:     "(", RParen: ")", LBrace: "{", RBrace: "}",
+	LBrack: "[", RBrack: "]", Comma: ",", Semi: ";",
+	Assign: "=", PlusEq: "+=", MinusEq: "-=", StarEq: "*=",
+	Plus: "+", Minus: "-", Star: "*", Slash: "/", Percent: "%",
+	Amp: "&", Pipe: "|", Caret: "^", Tilde: "~", Bang: "!",
+	Shl: "<<", Shr: ">>", Eq: "==", Ne: "!=", Lt: "<", Le: "<=",
+	Gt: ">", Ge: ">=", AndAnd: "&&", OrOr: "||",
+	PlusPlus: "++", MinusMinus: "--",
+}
+
+func (t Tok) String() string {
+	if s, ok := tokNames[t]; ok {
+		return s
+	}
+	return fmt.Sprintf("tok%d?", uint8(t))
+}
+
+var keywords = map[string]Tok{
+	"int": KwInt, "byte": KwByte, "void": KwVoid, "if": KwIf, "else": KwElse,
+	"while": KwWhile, "for": KwFor, "return": KwReturn, "break": KwBreak,
+	"continue": KwContinue,
+}
+
+// Pos is a source position.
+type Pos struct {
+	File string
+	Line int
+}
+
+func (p Pos) String() string { return fmt.Sprintf("%s:%d", p.File, p.Line) }
+
+// Error is a frontend diagnostic.
+type Error struct {
+	Pos Pos
+	Msg string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
+func errf(pos Pos, format string, args ...any) *Error {
+	return &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}

@@ -1,0 +1,697 @@
+package compiler
+
+import (
+	"fmt"
+	"sort"
+
+	"biaslab/internal/ir"
+	"biaslab/internal/isa"
+	"biaslab/internal/obj"
+)
+
+// CodeGen translates one IR module into a relocatable object. The code
+// generator is a "memory machine with promotion": every virtual register has
+// a home — either a callee-saved register (for the hottest values at O2+) or
+// an 8-byte frame slot — and each IR instruction expands to loads, the
+// operation, and a store. At O2+ a per-block tracker remembers which virtual
+// registers currently sit in scratch registers, eliding most reloads.
+func CodeGen(m *ir.Module, cfg Config) (*obj.Object, error) {
+	t := cfg.tune()
+	o := &obj.Object{Name: m.Name}
+	for _, g := range m.Globals {
+		if err := emitGlobal(o, g); err != nil {
+			return nil, err
+		}
+	}
+	for _, f := range m.Funcs {
+		if err := emitFunc(o, f, t); err != nil {
+			return nil, err
+		}
+	}
+	if err := o.Validate(); err != nil {
+		return nil, err
+	}
+	return o, nil
+}
+
+func emitGlobal(o *obj.Object, g *ir.Global) error {
+	align := uint64(g.Align)
+	if align == 0 {
+		align = 8
+	}
+	if len(g.Init) > 0 {
+		// Initialized data goes to .data.
+		for uint64(len(o.Data))%align != 0 {
+			o.Data = append(o.Data, 0)
+		}
+		off := uint64(len(o.Data))
+		o.Data = append(o.Data, g.Init...)
+		for int64(len(o.Data))-int64(off) < g.Size {
+			o.Data = append(o.Data, 0)
+		}
+		return o.AddSymbol(obj.Symbol{Name: g.Name, Kind: obj.SymData, Section: obj.SecData, Offset: off, Size: uint64(g.Size), Align: align})
+	}
+	// Zero data goes to .bss.
+	o.BSSSize = (o.BSSSize + align - 1) &^ (align - 1)
+	off := o.BSSSize
+	o.BSSSize += uint64(g.Size)
+	return o.AddSymbol(obj.Symbol{Name: g.Name, Kind: obj.SymData, Section: obj.SecBSS, Offset: off, Size: uint64(g.Size), Align: align})
+}
+
+// Scratch registers available to the per-block value tracker. T7 and AT are
+// reserved for instruction expansion (address materialization, second
+// operands); the tracker rotates through the rest.
+var trackRegs = []isa.Reg{isa.T0, isa.T1, isa.T2, isa.T3, isa.T4, isa.T5, isa.T6}
+
+// promoteRegs are the callee-saved homes for hot virtual registers.
+var promoteRegs = []isa.Reg{isa.S0, isa.S1, isa.S2, isa.S3, isa.S4, isa.S5,
+	isa.S6, isa.S7, isa.S8, isa.S9, isa.S10}
+
+type funcGen struct {
+	o    *obj.Object
+	f    *ir.Func
+	t    tuning
+	code []isa.Inst
+	// relocation requests recorded against instruction indices, converted
+	// to byte offsets when the function is appended to the object.
+	relocs []pendingReloc
+
+	promoted map[ir.VReg]isa.Reg
+	spillOff map[ir.VReg]int64 // SP-relative home for non-promoted vregs
+	slotOff  []int64           // SP-relative base of each IR slot
+	frame    int64
+	hasCalls bool
+	savedS   []isa.Reg
+
+	blockStart map[*ir.Block]int // instruction index of each block
+	fixups     []branchFixup
+
+	// tracker state (per block)
+	inT   map[ir.VReg]isa.Reg
+	tHeld map[isa.Reg]ir.VReg
+	tNext int
+
+	epilogue *ir.Block // sentinel key for the shared epilogue "block"
+}
+
+type pendingReloc struct {
+	kind   obj.RelocKind
+	instIx int
+	sym    string
+	addend int64
+}
+
+type branchFixup struct {
+	instIx int
+	target *ir.Block
+}
+
+func emitFunc(o *obj.Object, f *ir.Func, t tuning) error {
+	g := &funcGen{
+		o: o, f: f, t: t,
+		promoted:   map[ir.VReg]isa.Reg{},
+		spillOff:   map[ir.VReg]int64{},
+		blockStart: map[*ir.Block]int{},
+		epilogue:   &ir.Block{Name: "$epilogue"},
+	}
+	g.analyze()
+	g.layoutFrame()
+	if !isa.FitsImm16(g.frame) {
+		return fmt.Errorf("compiler: frame of %s is %d bytes; stack frames are limited to 32 KiB (hoist large arrays to globals)", f.Name, g.frame)
+	}
+	g.prologue()
+	for i, b := range f.Blocks {
+		g.startBlock(b)
+		for _, in := range b.Instrs {
+			if err := g.instr(in); err != nil {
+				return err
+			}
+		}
+		var next *ir.Block
+		if i+1 < len(f.Blocks) {
+			next = f.Blocks[i+1]
+		}
+		g.terminator(b, next)
+	}
+	g.emitEpilogue()
+	if err := g.resolveBranches(); err != nil {
+		return err
+	}
+	return g.appendToObject()
+}
+
+// analyze decides which vregs get promoted to callee-saved registers and
+// whether the function makes calls.
+func (g *funcGen) analyze() {
+	depth := map[*ir.Block]int{}
+	for _, l := range g.f.Loops {
+		for _, b := range l.Blocks {
+			depth[b]++
+		}
+		depth[l.Header]++
+	}
+	weight := make([]int64, g.f.NumVRegs)
+	bump := func(v ir.VReg, w int64) {
+		if v >= 0 {
+			weight[v] += w
+		}
+	}
+	for _, b := range g.f.Blocks {
+		w := int64(1)
+		for d := 0; d < depth[b] && d < 4; d++ {
+			w *= 8
+		}
+		for _, in := range b.Instrs {
+			if in.Op == ir.OpCall || in.Op == ir.OpSys {
+				g.hasCalls = true
+			}
+			bump(in.Dst, w)
+			bump(in.A, w)
+			if in.Op.IsBinary() || in.Op == ir.OpStore {
+				bump(in.B, w)
+			}
+			for _, a := range in.Args {
+				bump(a, w)
+			}
+		}
+		if b.Term.Kind == ir.TermBr {
+			bump(b.Term.Cond, w)
+		}
+		if b.Term.Kind == ir.TermRet {
+			bump(b.Term.Val, w)
+		}
+	}
+	if !g.t.promote {
+		return
+	}
+	type cand struct {
+		v ir.VReg
+		w int64
+	}
+	var cands []cand
+	for v := 0; v < g.f.NumVRegs; v++ {
+		if weight[v] > 1 {
+			cands = append(cands, cand{ir.VReg(v), weight[v]})
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].w != cands[j].w {
+			return cands[i].w > cands[j].w
+		}
+		return cands[i].v < cands[j].v
+	})
+	for i, c := range cands {
+		if i >= len(promoteRegs) {
+			break
+		}
+		g.promoted[c.v] = promoteRegs[i]
+		g.savedS = append(g.savedS, promoteRegs[i])
+	}
+}
+
+// layoutFrame assigns SP-relative offsets:
+//
+//	[0,8)          saved RA (if the function calls)
+//	[...]          saved S registers
+//	[...]          spill homes for unpromoted vregs
+//	[...]          IR slots (arrays, address-taken scalars)
+func (g *funcGen) layoutFrame() {
+	off := int64(0)
+	if g.hasCalls {
+		off += 8
+	}
+	off += int64(len(g.savedS)) * 8
+	for v := 0; v < g.f.NumVRegs; v++ {
+		if _, ok := g.promoted[ir.VReg(v)]; ok {
+			continue
+		}
+		g.spillOff[ir.VReg(v)] = off
+		off += 8
+	}
+	g.slotOff = make([]int64, len(g.f.Slots))
+	for i, s := range g.f.Slots {
+		align := s.Align
+		if align <= 0 {
+			align = 8
+		}
+		off = (off + align - 1) &^ (align - 1)
+		g.slotOff[i] = off
+		off += s.Size
+	}
+	g.frame = (off + 7) &^ 7
+}
+
+func (g *funcGen) emit(in isa.Inst) int {
+	g.code = append(g.code, in)
+	return len(g.code) - 1
+}
+
+func (g *funcGen) prologue() {
+	if g.frame != 0 {
+		g.emitAddSP(-g.frame)
+	}
+	off := int64(0)
+	if g.hasCalls {
+		g.emit(isa.Inst{Op: isa.OpStq, Rs1: isa.SP, Rs2: isa.RA, Imm: int32(off)})
+		off += 8
+	}
+	for _, s := range g.savedS {
+		g.emit(isa.Inst{Op: isa.OpStq, Rs1: isa.SP, Rs2: s, Imm: int32(off)})
+		off += 8
+	}
+	// Move incoming arguments to their homes.
+	for i := 0; i < g.f.NumParams && i < 6; i++ {
+		v := ir.VReg(i)
+		src := isa.Reg(uint8(isa.A0) + uint8(i))
+		if r, ok := g.promoted[v]; ok {
+			g.emitMove(r, src)
+		} else {
+			g.emit(isa.Inst{Op: isa.OpStq, Rs1: isa.SP, Rs2: src, Imm: int32(g.spillOff[v])})
+		}
+	}
+}
+
+func (g *funcGen) emitEpilogue() {
+	g.blockStart[g.epilogue] = len(g.code)
+	off := int64(0)
+	if g.hasCalls {
+		g.emit(isa.Inst{Op: isa.OpLdq, Rd: isa.RA, Rs1: isa.SP, Imm: int32(off)})
+		off += 8
+	}
+	for _, s := range g.savedS {
+		g.emit(isa.Inst{Op: isa.OpLdq, Rd: s, Rs1: isa.SP, Imm: int32(off)})
+		off += 8
+	}
+	if g.frame != 0 {
+		g.emitAddSP(g.frame)
+	}
+	g.emit(isa.Inst{Op: isa.OpJalr, Rd: isa.R0, Rs1: isa.RA})
+}
+
+func (g *funcGen) emitAddSP(delta int64) {
+	// Frame size was validated against imm16 range before the prologue.
+	g.emit(isa.Inst{Op: isa.OpAddi, Rd: isa.SP, Rs1: isa.SP, Imm: int32(delta)})
+}
+
+func (g *funcGen) emitMove(dst, src isa.Reg) {
+	if dst != src {
+		g.emit(isa.Inst{Op: isa.OpAdd, Rd: dst, Rs1: src, Rs2: isa.R0})
+	}
+}
+
+// ---- per-block scratch tracking ----
+
+func (g *funcGen) startBlock(b *ir.Block) {
+	// Loop-header alignment: pad so the block starts on an aligned
+	// instruction boundary (icc personality).
+	if g.t.alignLoops > 1 && g.isLoopHeader(b) {
+		per := int(g.t.alignLoops) / isa.InstSize
+		for len(g.code)%per != 0 {
+			g.emit(isa.Inst{Op: isa.OpNop})
+		}
+	}
+	g.blockStart[b] = len(g.code)
+	g.resetTracker()
+}
+
+func (g *funcGen) isLoopHeader(b *ir.Block) bool {
+	for _, l := range g.f.Loops {
+		if l.Header == b {
+			return true
+		}
+	}
+	return false
+}
+
+func (g *funcGen) resetTracker() {
+	g.inT = map[ir.VReg]isa.Reg{}
+	g.tHeld = map[isa.Reg]ir.VReg{}
+	g.tNext = 0
+}
+
+// claimT returns a scratch register for holding vreg v, evicting the oldest
+// binding if necessary (values are written through, so eviction is free).
+func (g *funcGen) claimT(v ir.VReg) isa.Reg {
+	r := trackRegs[g.tNext%len(trackRegs)]
+	g.tNext++
+	if old, ok := g.tHeld[r]; ok {
+		delete(g.inT, old)
+	}
+	g.tHeld[r] = v
+	g.inT[v] = r
+	return r
+}
+
+// dropT forgets any binding for v (because v is being redefined elsewhere).
+func (g *funcGen) dropT(v ir.VReg) {
+	if r, ok := g.inT[v]; ok {
+		delete(g.inT, v)
+		delete(g.tHeld, r)
+	}
+}
+
+// read returns a register holding vreg v, loading from the frame if needed.
+// The result must not be written to.
+func (g *funcGen) read(v ir.VReg) isa.Reg {
+	if r, ok := g.promoted[v]; ok {
+		return r
+	}
+	if g.t.localTrack {
+		if r, ok := g.inT[v]; ok {
+			return r
+		}
+	}
+	r := g.claimTOrScratch(v)
+	g.emit(isa.Inst{Op: isa.OpLdq, Rd: r, Rs1: isa.SP, Imm: int32(g.spillOff[v])})
+	return r
+}
+
+func (g *funcGen) claimTOrScratch(v ir.VReg) isa.Reg {
+	if g.t.localTrack {
+		return g.claimT(v)
+	}
+	// Without tracking, rotate through scratch registers anyway so two
+	// operands never collide.
+	r := trackRegs[g.tNext%len(trackRegs)]
+	g.tNext++
+	return r
+}
+
+// destReg returns the register that the result of defining vreg v should be
+// computed into.
+func (g *funcGen) destReg(v ir.VReg) isa.Reg {
+	if r, ok := g.promoted[v]; ok {
+		return r
+	}
+	g.dropT(v)
+	return g.claimTOrScratch(v)
+}
+
+// finishDest completes a definition: spills the computed value to v's frame
+// home when v is not promoted.
+func (g *funcGen) finishDest(v ir.VReg, r isa.Reg) {
+	if _, ok := g.promoted[v]; ok {
+		return
+	}
+	g.emit(isa.Inst{Op: isa.OpStq, Rs1: isa.SP, Rs2: r, Imm: int32(g.spillOff[v])})
+}
+
+// invalidateScratch forgets all scratch bindings (at calls, which clobber
+// caller-saved registers).
+func (g *funcGen) invalidateScratch() { g.resetTracker() }
+
+// ---- constants and addresses ----
+
+// genConst materializes a 64-bit constant into dst.
+func (g *funcGen) genConst(dst isa.Reg, v int64) {
+	if isa.FitsImm16(v) {
+		g.emit(isa.Inst{Op: isa.OpAddi, Rd: dst, Rs1: isa.R0, Imm: int32(v)})
+		return
+	}
+	if uv := uint64(v); uv>>32 == 0 {
+		g.emit(isa.Inst{Op: isa.OpLui, Rd: dst, Imm: int32(uv >> 16)})
+		if low := uv & 0xffff; low != 0 {
+			g.emit(isa.Inst{Op: isa.OpOri, Rd: dst, Rs1: dst, Imm: int32(low)})
+		}
+		return
+	}
+	// Full 64-bit composition from 16-bit chunks.
+	uv := uint64(v)
+	g.emit(isa.Inst{Op: isa.OpLui, Rd: dst, Imm: int32(uv >> 48)})
+	g.emit(isa.Inst{Op: isa.OpOri, Rd: dst, Rs1: dst, Imm: int32(uv >> 32 & 0xffff)})
+	g.emit(isa.Inst{Op: isa.OpSlli, Rd: dst, Rs1: dst, Imm: 16})
+	g.emit(isa.Inst{Op: isa.OpOri, Rd: dst, Rs1: dst, Imm: int32(uv >> 16 & 0xffff)})
+	g.emit(isa.Inst{Op: isa.OpSlli, Rd: dst, Rs1: dst, Imm: 16})
+	g.emit(isa.Inst{Op: isa.OpOri, Rd: dst, Rs1: dst, Imm: int32(uv & 0xffff)})
+}
+
+// genGlobalAddr materializes the address of sym+addend into dst, recording
+// hi/lo relocations.
+func (g *funcGen) genGlobalAddr(dst isa.Reg, sym string, addend int64) {
+	hi := g.emit(isa.Inst{Op: isa.OpLui, Rd: dst, Imm: 0})
+	g.relocs = append(g.relocs, pendingReloc{kind: obj.RelocHi16, instIx: hi, sym: sym, addend: addend})
+	lo := g.emit(isa.Inst{Op: isa.OpOri, Rd: dst, Rs1: dst, Imm: 0})
+	g.relocs = append(g.relocs, pendingReloc{kind: obj.RelocLo16, instIx: lo, sym: sym, addend: addend})
+}
+
+// ---- instruction expansion ----
+
+var binOpMap = map[ir.Op]isa.Op{
+	ir.OpAdd: isa.OpAdd, ir.OpSub: isa.OpSub, ir.OpMul: isa.OpMul,
+	ir.OpDiv: isa.OpDiv, ir.OpRem: isa.OpRem, ir.OpAnd: isa.OpAnd,
+	ir.OpOr: isa.OpOr, ir.OpXor: isa.OpXor, ir.OpShl: isa.OpSll,
+	ir.OpShr: isa.OpSrl, ir.OpSar: isa.OpSra,
+}
+
+func loadOp(size uint8, signed bool) isa.Op {
+	switch size {
+	case 1:
+		if signed {
+			return isa.OpLdb
+		}
+		return isa.OpLdbu
+	case 2:
+		if signed {
+			return isa.OpLdh
+		}
+		return isa.OpLdhu
+	case 4:
+		if signed {
+			return isa.OpLdw
+		}
+		return isa.OpLdwu
+	default:
+		return isa.OpLdq
+	}
+}
+
+func storeOp(size uint8) isa.Op {
+	switch size {
+	case 1:
+		return isa.OpStb
+	case 2:
+		return isa.OpSth
+	case 4:
+		return isa.OpStw
+	default:
+		return isa.OpStq
+	}
+}
+
+func (g *funcGen) instr(in ir.Instr) error {
+	switch in.Op {
+	case ir.OpNop:
+	case ir.OpConst:
+		d := g.destReg(in.Dst)
+		g.genConst(d, in.Imm)
+		g.finishDest(in.Dst, d)
+	case ir.OpCopy:
+		src := g.read(in.A)
+		if r, ok := g.promoted[in.Dst]; ok {
+			g.emitMove(r, src)
+			return nil
+		}
+		// Store the source directly to the destination's home and update
+		// the tracker: src's register now also holds Dst's value.
+		g.dropT(in.Dst)
+		g.emit(isa.Inst{Op: isa.OpStq, Rs1: isa.SP, Rs2: src, Imm: int32(g.spillOff[in.Dst])})
+		if g.t.localTrack {
+			if held, ok := g.tHeld[src]; ok && held != in.Dst {
+				delete(g.inT, held)
+				g.tHeld[src] = in.Dst
+				g.inT[in.Dst] = src
+			}
+		}
+	case ir.OpNeg:
+		a := g.read(in.A)
+		d := g.destReg(in.Dst)
+		g.emit(isa.Inst{Op: isa.OpSub, Rd: d, Rs1: isa.R0, Rs2: a})
+		g.finishDest(in.Dst, d)
+	case ir.OpNot:
+		a := g.read(in.A)
+		d := g.destReg(in.Dst)
+		g.emit(isa.Inst{Op: isa.OpSub, Rd: d, Rs1: isa.R0, Rs2: a})
+		g.emit(isa.Inst{Op: isa.OpAddi, Rd: d, Rs1: d, Imm: -1})
+		g.finishDest(in.Dst, d)
+	case ir.OpLoad:
+		base := g.read(in.A)
+		d := g.destReg(in.Dst)
+		if !isa.FitsImm16(in.Imm) {
+			return fmt.Errorf("compiler: load offset %d too large in %s", in.Imm, g.f.Name)
+		}
+		g.emit(isa.Inst{Op: loadOp(in.Size, in.Signed), Rd: d, Rs1: base, Imm: int32(in.Imm)})
+		g.finishDest(in.Dst, d)
+	case ir.OpStore:
+		base := g.read(in.A)
+		val := g.read(in.B)
+		if !isa.FitsImm16(in.Imm) {
+			return fmt.Errorf("compiler: store offset %d too large in %s", in.Imm, g.f.Name)
+		}
+		g.emit(isa.Inst{Op: storeOp(in.Size), Rs1: base, Rs2: val, Imm: int32(in.Imm)})
+	case ir.OpAddrGlobal:
+		d := g.destReg(in.Dst)
+		g.genGlobalAddr(d, in.Sym, in.Imm)
+		g.finishDest(in.Dst, d)
+	case ir.OpAddrSlot:
+		d := g.destReg(in.Dst)
+		off := g.slotOff[in.Slot] + in.Imm
+		if !isa.FitsImm16(off) {
+			return fmt.Errorf("compiler: slot offset %d too large in %s", off, g.f.Name)
+		}
+		g.emit(isa.Inst{Op: isa.OpAddi, Rd: d, Rs1: isa.SP, Imm: int32(off)})
+		g.finishDest(in.Dst, d)
+	case ir.OpCall:
+		for i, a := range in.Args {
+			src := g.read(a)
+			g.emitMove(isa.Reg(uint8(isa.A0)+uint8(i)), src)
+		}
+		j := g.emit(isa.Inst{Op: isa.OpJal, Rd: isa.RA, Imm: 0})
+		g.relocs = append(g.relocs, pendingReloc{kind: obj.RelocJal26, instIx: j, sym: in.Sym})
+		g.invalidateScratch()
+		if in.Dst >= 0 {
+			if r, ok := g.promoted[in.Dst]; ok {
+				g.emitMove(r, isa.RV)
+			} else {
+				g.emit(isa.Inst{Op: isa.OpStq, Rs1: isa.SP, Rs2: isa.RV, Imm: int32(g.spillOff[in.Dst])})
+			}
+		}
+	case ir.OpSys:
+		// Syscall number in A0, arguments in A1..; read args first (reads
+		// may use scratch), then set A-registers.
+		srcs := make([]isa.Reg, len(in.Args))
+		for i, a := range in.Args {
+			srcs[i] = g.read(a)
+		}
+		for i, s := range srcs {
+			g.emitMove(isa.Reg(uint8(isa.A1)+uint8(i)), s)
+		}
+		g.genConst(isa.A0, in.Imm)
+		g.emit(isa.Inst{Op: isa.OpSys, Rs1: isa.A0})
+		g.invalidateScratch()
+		if in.Dst >= 0 {
+			if r, ok := g.promoted[in.Dst]; ok {
+				g.emitMove(r, isa.RV)
+			} else {
+				g.emit(isa.Inst{Op: isa.OpStq, Rs1: isa.SP, Rs2: isa.RV, Imm: int32(g.spillOff[in.Dst])})
+			}
+		}
+	default:
+		if in.Op.IsCompare() {
+			return g.compare(in)
+		}
+		mop, ok := binOpMap[in.Op]
+		if !ok {
+			return fmt.Errorf("compiler: no selection for IR op %v", in.Op)
+		}
+		a := g.read(in.A)
+		b := g.read(in.B)
+		d := g.destReg(in.Dst)
+		g.emit(isa.Inst{Op: mop, Rd: d, Rs1: a, Rs2: b})
+		g.finishDest(in.Dst, d)
+	}
+	return nil
+}
+
+func (g *funcGen) compare(in ir.Instr) error {
+	a := g.read(in.A)
+	b := g.read(in.B)
+	d := g.destReg(in.Dst)
+	switch in.Op {
+	case ir.OpLt:
+		g.emit(isa.Inst{Op: isa.OpSlt, Rd: d, Rs1: a, Rs2: b})
+	case ir.OpGt:
+		g.emit(isa.Inst{Op: isa.OpSlt, Rd: d, Rs1: b, Rs2: a})
+	case ir.OpLe:
+		g.emit(isa.Inst{Op: isa.OpSlt, Rd: d, Rs1: b, Rs2: a})
+		g.emit(isa.Inst{Op: isa.OpXori, Rd: d, Rs1: d, Imm: 1})
+	case ir.OpGe:
+		g.emit(isa.Inst{Op: isa.OpSlt, Rd: d, Rs1: a, Rs2: b})
+		g.emit(isa.Inst{Op: isa.OpXori, Rd: d, Rs1: d, Imm: 1})
+	case ir.OpEq:
+		g.emit(isa.Inst{Op: isa.OpXor, Rd: d, Rs1: a, Rs2: b})
+		g.emit(isa.Inst{Op: isa.OpSltiu, Rd: d, Rs1: d, Imm: 1})
+	case ir.OpNe:
+		g.emit(isa.Inst{Op: isa.OpXor, Rd: d, Rs1: a, Rs2: b})
+		g.emit(isa.Inst{Op: isa.OpSltu, Rd: d, Rs1: isa.R0, Rs2: d})
+	}
+	g.finishDest(in.Dst, d)
+	return nil
+}
+
+func (g *funcGen) terminator(b *ir.Block, next *ir.Block) {
+	switch b.Term.Kind {
+	case ir.TermRet:
+		if b.Term.Val >= 0 {
+			src := g.read(b.Term.Val)
+			g.emitMove(isa.RV, src)
+		}
+		g.branchTo(isa.Inst{Op: isa.OpJmp}, g.epilogue)
+	case ir.TermJmp:
+		if b.Term.Then != next {
+			g.branchTo(isa.Inst{Op: isa.OpJmp}, b.Term.Then)
+		}
+	case ir.TermBr:
+		cond := g.read(b.Term.Cond)
+		switch {
+		case b.Term.Else == next:
+			g.branchTo(isa.Inst{Op: isa.OpBne, Rs1: cond, Rs2: isa.R0}, b.Term.Then)
+		case b.Term.Then == next:
+			g.branchTo(isa.Inst{Op: isa.OpBeq, Rs1: cond, Rs2: isa.R0}, b.Term.Else)
+		default:
+			g.branchTo(isa.Inst{Op: isa.OpBne, Rs1: cond, Rs2: isa.R0}, b.Term.Then)
+			g.branchTo(isa.Inst{Op: isa.OpJmp}, b.Term.Else)
+		}
+	}
+}
+
+func (g *funcGen) branchTo(in isa.Inst, target *ir.Block) {
+	ix := g.emit(in)
+	g.fixups = append(g.fixups, branchFixup{instIx: ix, target: target})
+}
+
+func (g *funcGen) resolveBranches() error {
+	for _, fx := range g.fixups {
+		start, ok := g.blockStart[fx.target]
+		if !ok {
+			return fmt.Errorf("compiler: branch to unplaced block %s in %s", fx.target.Name, g.f.Name)
+		}
+		rel := start - (fx.instIx + 1)
+		if !isa.FitsImm16(int64(rel)) {
+			return fmt.Errorf("compiler: branch displacement %d too large in %s", rel, g.f.Name)
+		}
+		g.code[fx.instIx].Imm = int32(rel)
+	}
+	return nil
+}
+
+// appendToObject places the function's code in the object's text section,
+// honouring the personality's function alignment.
+func (g *funcGen) appendToObject() error {
+	align := g.t.alignFuncs
+	if align < uint64(isa.InstSize) {
+		align = uint64(isa.InstSize)
+	}
+	for uint64(len(g.o.Text))%align != 0 {
+		g.o.Text = isa.EncodeTo(g.o.Text, isa.Inst{Op: isa.OpNop})
+	}
+	base := uint64(len(g.o.Text))
+	for _, in := range g.code {
+		g.o.Text = isa.EncodeTo(g.o.Text, in)
+	}
+	if err := g.o.AddSymbol(obj.Symbol{
+		Name: g.f.Name, Kind: obj.SymFunc, Section: obj.SecText,
+		Offset: base, Size: uint64(len(g.code) * isa.InstSize), Align: align,
+	}); err != nil {
+		return err
+	}
+	for _, pr := range g.relocs {
+		g.o.Relocs = append(g.o.Relocs, obj.Reloc{
+			Kind:    pr.kind,
+			Section: obj.SecText,
+			Offset:  base + uint64(pr.instIx*isa.InstSize),
+			Sym:     pr.sym,
+			Addend:  pr.addend,
+		})
+	}
+	return nil
+}

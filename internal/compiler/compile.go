@@ -1,0 +1,35 @@
+package compiler
+
+import (
+	"biaslab/internal/ir"
+	"biaslab/internal/obj"
+)
+
+// Compile runs the whole toolchain front half: parse and check the sources,
+// lower to IR, optimize per cfg, and generate one relocatable object per
+// translation unit. It returns the objects in source order along with the
+// optimized IR program (useful for differential testing against the IR
+// interpreter).
+func Compile(sources []Source, cfg Config) ([]*obj.Object, *ir.Program, error) {
+	unit, err := Frontend(sources)
+	if err != nil {
+		return nil, nil, err
+	}
+	prog, err := Lower(unit)
+	if err != nil {
+		return nil, nil, err
+	}
+	Optimize(prog, cfg)
+	if err := prog.Verify(); err != nil {
+		return nil, nil, err
+	}
+	objs := make([]*obj.Object, len(prog.Modules))
+	for i, m := range prog.Modules {
+		o, err := CodeGen(m, cfg)
+		if err != nil {
+			return nil, nil, err
+		}
+		objs[i] = o
+	}
+	return objs, prog, nil
+}

@@ -1,0 +1,121 @@
+// Package compiler lowers cmini source to IR, optimizes it, and generates
+// machine code as relocatable objects. It is the analogue of the paper's
+// gcc/icc: it offers optimization levels O0–O3 and two code-generator
+// personalities whose differing heuristics (inlining budget, unroll factor,
+// code alignment) reproduce the paper's observation that measurement bias
+// appears with more than one compiler.
+package compiler
+
+import "fmt"
+
+// Level is an optimization level, mirroring -O0 … -O3.
+type Level int
+
+// Optimization levels.
+const (
+	O0 Level = iota // straight translation, no optimization
+	O1              // constant folding, copy propagation, dead-code elimination
+	O2              // O1 + local CSE, strength reduction, register promotion
+	O3              // O2 + inlining, loop unrolling, code alignment
+)
+
+func (l Level) String() string { return fmt.Sprintf("O%d", int(l)) }
+
+// ParseLevel converts "O0".."O3" (or "-O2" etc.) to a Level.
+func ParseLevel(s string) (Level, error) {
+	t := s
+	if len(t) > 0 && t[0] == '-' {
+		t = t[1:]
+	}
+	switch t {
+	case "O0":
+		return O0, nil
+	case "O1":
+		return O1, nil
+	case "O2":
+		return O2, nil
+	case "O3":
+		return O3, nil
+	}
+	return O0, fmt.Errorf("compiler: unknown optimization level %q", s)
+}
+
+// Personality selects a code-generator flavour, standing in for the paper's
+// two real compilers.
+type Personality int
+
+const (
+	// GCC inlines conservatively, unrolls by 2 at O3, and does not align
+	// branch targets.
+	GCC Personality = iota
+	// ICC inlines aggressively, unrolls by 4 at O3, and pads function
+	// entries and loop headers to 16-byte boundaries.
+	ICC
+)
+
+func (p Personality) String() string {
+	if p == ICC {
+		return "icc"
+	}
+	return "gcc"
+}
+
+// ParsePersonality converts "gcc"/"icc" to a Personality.
+func ParsePersonality(s string) (Personality, error) {
+	switch s {
+	case "gcc":
+		return GCC, nil
+	case "icc":
+		return ICC, nil
+	}
+	return GCC, fmt.Errorf("compiler: unknown compiler personality %q", s)
+}
+
+// Config selects how a translation unit is compiled.
+type Config struct {
+	Level       Level
+	Personality Personality
+}
+
+func (c Config) String() string { return fmt.Sprintf("%s -%s", c.Personality, c.Level) }
+
+// tuning parameters derived from Config.
+type tuning struct {
+	inline       bool
+	inlineBudget int // max callee IR instructions
+	unroll       int // unroll factor; 1 disables
+	alignFuncs   uint64
+	alignLoops   uint64
+	cse          bool
+	strength     bool
+	promote      bool // promote hot vregs to callee-saved registers
+	fold         bool
+	localTrack   bool // codegen tracks values in scratch registers per block
+}
+
+func (c Config) tune() tuning {
+	t := tuning{alignFuncs: 4, unroll: 1}
+	if c.Level >= O1 {
+		t.fold = true
+	}
+	if c.Level >= O2 {
+		t.cse = true
+		t.strength = true
+		t.promote = true
+		t.localTrack = true
+	}
+	if c.Level >= O3 {
+		t.inline = true
+		switch c.Personality {
+		case GCC:
+			t.inlineBudget = 24
+			t.unroll = 2
+		case ICC:
+			t.inlineBudget = 48
+			t.unroll = 4
+			t.alignFuncs = 16
+			t.alignLoops = 16
+		}
+	}
+	return t
+}

@@ -1,0 +1,229 @@
+package compiler
+
+import "biaslab/internal/ir"
+
+// inlineProgram replaces calls to small functions with the callee's body.
+// One round is performed over every function; call sites are considered in
+// program order and a per-caller growth budget caps code expansion, which
+// keeps the two personalities' inlining behaviour distinct without letting
+// either explode.
+func inlineProgram(p *ir.Program, t tuning) {
+	funcs := map[string]*ir.Func{}
+	for _, m := range p.Modules {
+		for _, f := range m.Funcs {
+			funcs[f.Name] = f
+		}
+	}
+	recursive := findRecursive(p, funcs)
+	for _, m := range p.Modules {
+		for _, f := range m.Funcs {
+			inlineInto(f, funcs, recursive, t)
+		}
+	}
+}
+
+// findRecursive marks every function on a call-graph cycle (or calling into
+// one transitively back to itself) using a DFS from each node.
+func findRecursive(p *ir.Program, funcs map[string]*ir.Func) map[string]bool {
+	callees := map[string][]string{}
+	for _, m := range p.Modules {
+		for _, f := range m.Funcs {
+			for _, b := range f.Blocks {
+				for _, in := range b.Instrs {
+					if in.Op == ir.OpCall {
+						callees[f.Name] = append(callees[f.Name], in.Sym)
+					}
+				}
+			}
+		}
+	}
+	recursive := map[string]bool{}
+	for name := range funcs {
+		seen := map[string]bool{}
+		var reach func(n string) bool
+		reach = func(n string) bool {
+			for _, c := range callees[n] {
+				if c == name {
+					return true
+				}
+				if !seen[c] {
+					seen[c] = true
+					if reach(c) {
+						return true
+					}
+				}
+			}
+			return false
+		}
+		if reach(name) {
+			recursive[name] = true
+		}
+	}
+	return recursive
+}
+
+func funcSize(f *ir.Func) int {
+	n := 0
+	for _, b := range f.Blocks {
+		n += len(b.Instrs) + 1
+	}
+	return n
+}
+
+func inlineInto(caller *ir.Func, funcs map[string]*ir.Func, recursive map[string]bool, t tuning) {
+	budget := funcSize(caller)*2 + 256 // growth cap
+	// Iterate over blocks by index; inlining appends new blocks, and calls
+	// inside inlined bodies are not reconsidered (their block pointers are
+	// fresh copies appended past the scan position of the original call —
+	// we deliberately scan only the blocks present at entry plus the
+	// post-split continuations, giving one level of inlining per round).
+	for bi := 0; bi < len(caller.Blocks); bi++ {
+		b := caller.Blocks[bi]
+		for ii := 0; ii < len(b.Instrs); ii++ {
+			in := b.Instrs[ii]
+			if in.Op != ir.OpCall {
+				continue
+			}
+			callee := funcs[in.Sym]
+			if callee == nil || callee == caller || recursive[in.Sym] {
+				continue
+			}
+			size := funcSize(callee)
+			if size > t.inlineBudget || funcSize(caller)+size > budget {
+				continue
+			}
+			spliceCall(caller, b, ii, callee, in)
+			// The current block was truncated at the call; move on.
+			break
+		}
+	}
+	caller.Renumber()
+}
+
+// spliceCall inlines callee at caller block b instruction index ii.
+func spliceCall(caller *ir.Func, b *ir.Block, ii int, callee *ir.Func, call ir.Instr) {
+	vregBase := caller.NumVRegs
+	caller.NumVRegs += callee.NumVRegs
+	slotBase := len(caller.Slots)
+	caller.Slots = append(caller.Slots, callee.Slots...)
+
+	mapReg := func(v ir.VReg) ir.VReg {
+		if v < 0 {
+			return v
+		}
+		return v + ir.VReg(vregBase)
+	}
+
+	// Continuation block receives the instructions after the call and the
+	// original terminator.
+	cont := &ir.Block{
+		Name:   b.Name + ".cont",
+		Instrs: append([]ir.Instr{}, b.Instrs[ii+1:]...),
+		Term:   b.Term,
+	}
+
+	// Copy callee blocks with remapped registers and slots.
+	blockMap := map[*ir.Block]*ir.Block{}
+	copies := make([]*ir.Block, 0, len(callee.Blocks))
+	for _, cb := range callee.Blocks {
+		nb := &ir.Block{Name: callee.Name + "." + cb.Name}
+		nb.Instrs = make([]ir.Instr, len(cb.Instrs))
+		for i, cin := range cb.Instrs {
+			nin := cin
+			nin.Dst = mapReg(cin.Dst)
+			nin.A = mapReg(cin.A)
+			nin.B = mapReg(cin.B)
+			if cin.Op == ir.OpAddrSlot {
+				nin.Slot = cin.Slot + slotBase
+			}
+			if len(cin.Args) > 0 {
+				nin.Args = make([]ir.VReg, len(cin.Args))
+				for j, a := range cin.Args {
+					nin.Args[j] = mapReg(a)
+				}
+			}
+			nb.Instrs[i] = nin
+		}
+		blockMap[cb] = nb
+		copies = append(copies, nb)
+	}
+	// Remap terminators; returns become a copy to the call destination plus
+	// a jump to the continuation.
+	for _, cb := range callee.Blocks {
+		nb := blockMap[cb]
+		switch cb.Term.Kind {
+		case ir.TermRet:
+			if call.Dst >= 0 && cb.Term.Val >= 0 {
+				nb.Instrs = append(nb.Instrs, ir.Instr{Op: ir.OpCopy, Dst: call.Dst, A: mapReg(cb.Term.Val)})
+			}
+			nb.Term = ir.Term{Kind: ir.TermJmp, Then: cont}
+		case ir.TermJmp:
+			nb.Term = ir.Term{Kind: ir.TermJmp, Then: blockMap[cb.Term.Then]}
+		case ir.TermBr:
+			nb.Term = ir.Term{
+				Kind: ir.TermBr,
+				Cond: mapReg(cb.Term.Cond),
+				Then: blockMap[cb.Term.Then],
+				Else: blockMap[cb.Term.Else],
+			}
+		}
+	}
+
+	// Truncate the call block: argument copies then jump into the body.
+	b.Instrs = b.Instrs[:ii]
+	for i, a := range call.Args {
+		b.Instrs = append(b.Instrs, ir.Instr{Op: ir.OpCopy, Dst: ir.VReg(vregBase + i), A: a})
+	}
+	b.Term = ir.Term{Kind: ir.TermJmp, Then: blockMap[callee.Entry()]}
+
+	// Splice the copies and continuation right after b in layout order.
+	idx := indexOfBlock(caller.Blocks, b)
+	tail := append([]*ir.Block{}, caller.Blocks[idx+1:]...)
+	caller.Blocks = append(caller.Blocks[:idx+1], copies...)
+	caller.Blocks = append(caller.Blocks, cont)
+	caller.Blocks = append(caller.Blocks, tail...)
+
+	// Import the callee's loop annotations.
+	for _, l := range callee.Loops {
+		nl := ir.Loop{
+			Header: blockMap[l.Header],
+			Latch:  blockMap[l.Latch],
+			Exit:   blockMap[l.Exit],
+		}
+		for _, lb := range l.Blocks {
+			nl.Blocks = append(nl.Blocks, blockMap[lb])
+		}
+		caller.Loops = append(caller.Loops, nl)
+	}
+	// Fix caller loops whose member list contained b: the continuation now
+	// carries the back half of b, and the inlined body executes between
+	// them; add all of it to any loop containing b.
+	for li := range caller.Loops {
+		l := &caller.Loops[li]
+		for _, lb := range l.Blocks {
+			if lb == b {
+				l.Blocks = append(l.Blocks, copies...)
+				l.Blocks = append(l.Blocks, cont)
+				break
+			}
+		}
+		if l.Latch == b {
+			l.Latch = cont
+		}
+		if l.Header == b {
+			// The header was split; the loop annotation no longer
+			// describes a simple loop. Mark it unusable for unrolling by
+			// clearing the latch linkage.
+			l.Latch = nil
+		}
+	}
+}
+
+func indexOfBlock(bs []*ir.Block, b *ir.Block) int {
+	for i, x := range bs {
+		if x == b {
+			return i
+		}
+	}
+	return -1
+}

@@ -1,0 +1,699 @@
+package compiler
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"biaslab/internal/cmini"
+	"biaslab/internal/ir"
+)
+
+// Source is one translation unit's input.
+type Source struct {
+	Name string
+	Text string
+}
+
+// Frontend parses and type-checks the sources.
+func Frontend(sources []Source) (*cmini.Unit, error) {
+	files := make([]*cmini.File, len(sources))
+	for i, s := range sources {
+		f, err := cmini.ParseFile(s.Name, s.Text)
+		if err != nil {
+			return nil, err
+		}
+		files[i] = f
+	}
+	return cmini.Check(files)
+}
+
+// Lower translates a checked unit into an IR program, one module per file.
+func Lower(u *cmini.Unit) (*ir.Program, error) {
+	p := &ir.Program{}
+	for _, f := range u.Files {
+		m := &ir.Module{Name: f.Name}
+		for _, g := range f.Globals {
+			m.Globals = append(m.Globals, lowerGlobal(g))
+		}
+		for _, fn := range f.Funcs {
+			irf, err := lowerFunc(fn)
+			if err != nil {
+				return nil, err
+			}
+			m.Funcs = append(m.Funcs, irf)
+		}
+		p.Modules = append(p.Modules, m)
+	}
+	if err := p.Verify(); err != nil {
+		return nil, fmt.Errorf("compiler: lowering produced invalid IR: %w", err)
+	}
+	return p, nil
+}
+
+func lowerGlobal(g *cmini.VarDecl) *ir.Global {
+	out := &ir.Global{Name: g.Name, Size: g.StorageSize(), Align: 8}
+	if out.Size == 1 {
+		out.Align = 1
+	}
+	if g.Init != nil {
+		v := g.Init.(*cmini.IntLit).Val
+		switch g.Type.Size() {
+		case 1:
+			out.Init = []byte{byte(v)}
+		default:
+			out.Init = binary.LittleEndian.AppendUint64(nil, uint64(v))
+		}
+	}
+	return out
+}
+
+// loopCtx tracks break/continue targets while lowering a loop body.
+type loopCtx struct {
+	brk  *ir.Block // break target
+	cont *ir.Block // continue target
+}
+
+type lowerer struct {
+	b     *ir.Builder
+	fn    *cmini.FuncDecl
+	vregs map[*cmini.Symbol]ir.VReg // scalar homes
+	slots map[*cmini.Symbol]int     // arrays and address-taken scalars
+	taken map[*cmini.Symbol]bool    // address-taken scalars
+	loops []loopCtx
+}
+
+func lowerFunc(fn *cmini.FuncDecl) (f *ir.Func, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if le, ok := r.(*lowerError); ok {
+				err = le.err
+				return
+			}
+			panic(r)
+		}
+	}()
+	lo := &lowerer{
+		b:     ir.NewFunc(fn.Name, len(fn.Params), fn.Ret != cmini.TypeVoid),
+		fn:    fn,
+		vregs: map[*cmini.Symbol]ir.VReg{},
+		slots: map[*cmini.Symbol]int{},
+		taken: map[*cmini.Symbol]bool{},
+	}
+	findAddressTaken(fn.Body, lo.taken)
+	for i := range fn.Params {
+		sym := fn.Params[i].Sym
+		if lo.taken[sym] {
+			// Address-taken parameter: give it a slot and spill the
+			// incoming value at entry.
+			slot := lo.b.NewSlot(sym.Name, sym.Type.Size(), sym.Type.Size())
+			lo.slots[sym] = slot
+			addr := lo.b.AddrSlot(slot, 0)
+			lo.b.Store(addr, 0, ir.VReg(i), uint8(sym.Type.Size()))
+		} else {
+			lo.vregs[sym] = ir.VReg(i)
+		}
+	}
+	lo.stmt(fn.Body)
+	// Seal every block still carrying the builder's placeholder terminator
+	// (Ret with no value). For void functions that placeholder is already a
+	// valid return; for value-returning functions, falling off the end
+	// returns 0 (the checker does not do flow-sensitive return analysis,
+	// matching C89 latitude), and unreachable join/dead blocks get the same
+	// treatment so the IR verifies.
+	if fn.Ret != cmini.TypeVoid {
+		for _, blk := range lo.b.F.Blocks {
+			if blk.Term.Kind == ir.TermRet && blk.Term.Val < 0 {
+				lo.b.SetBlock(blk)
+				z := lo.b.Const(0)
+				lo.b.Ret(z)
+			}
+		}
+	}
+	return lo.b.F, nil
+}
+
+type lowerError struct{ err error }
+
+func (lo *lowerer) failf(pos cmini.Pos, format string, args ...any) {
+	panic(&lowerError{fmt.Errorf("%s: %s", pos, fmt.Sprintf(format, args...))})
+}
+
+// findAddressTaken marks scalar symbols whose address is taken with &x.
+func findAddressTaken(s cmini.Stmt, out map[*cmini.Symbol]bool) {
+	var walkExpr func(e cmini.Expr)
+	walkExpr = func(e cmini.Expr) {
+		switch x := e.(type) {
+		case *cmini.UnaryExpr:
+			if x.Op == cmini.Amp {
+				if id, ok := x.X.(*cmini.Ident); ok && !id.Sym.IsArray && id.Sym.Kind != cmini.SymGlobal {
+					out[id.Sym] = true
+				}
+			}
+			walkExpr(x.X)
+		case *cmini.BinaryExpr:
+			walkExpr(x.X)
+			walkExpr(x.Y)
+		case *cmini.IndexExpr:
+			walkExpr(x.X)
+			walkExpr(x.I)
+		case *cmini.CallExpr:
+			for _, a := range x.Args {
+				walkExpr(a)
+			}
+		}
+	}
+	var walk func(s cmini.Stmt)
+	walk = func(s cmini.Stmt) {
+		switch st := s.(type) {
+		case *cmini.BlockStmt:
+			for _, c := range st.List {
+				walk(c)
+			}
+		case *cmini.DeclStmt:
+			if st.Decl.Init != nil {
+				walkExpr(st.Decl.Init)
+			}
+		case *cmini.AssignStmt:
+			walkExpr(st.LHS)
+			if st.RHS != nil {
+				walkExpr(st.RHS)
+			}
+		case *cmini.ExprStmt:
+			walkExpr(st.X)
+		case *cmini.IfStmt:
+			walkExpr(st.Cond)
+			walk(st.Then)
+			if st.Else != nil {
+				walk(st.Else)
+			}
+		case *cmini.WhileStmt:
+			walkExpr(st.Cond)
+			walk(st.Body)
+		case *cmini.ForStmt:
+			if st.Init != nil {
+				walk(st.Init)
+			}
+			if st.Cond != nil {
+				walkExpr(st.Cond)
+			}
+			if st.Post != nil {
+				walk(st.Post)
+			}
+			walk(st.Body)
+		case *cmini.ReturnStmt:
+			if st.X != nil {
+				walkExpr(st.X)
+			}
+		}
+	}
+	if s != nil {
+		walk(s)
+	}
+}
+
+func (lo *lowerer) stmt(s cmini.Stmt) {
+	switch st := s.(type) {
+	case *cmini.BlockStmt:
+		for _, c := range st.List {
+			lo.stmt(c)
+		}
+	case *cmini.DeclStmt:
+		lo.declStmt(st.Decl)
+	case *cmini.AssignStmt:
+		lo.assign(st)
+	case *cmini.ExprStmt:
+		lo.expr(st.X)
+	case *cmini.IfStmt:
+		lo.ifStmt(st)
+	case *cmini.WhileStmt:
+		lo.whileStmt(st)
+	case *cmini.ForStmt:
+		lo.forStmt(st)
+	case *cmini.ReturnStmt:
+		if st.X != nil {
+			v := lo.expr(st.X)
+			lo.b.Ret(v)
+		} else {
+			lo.b.Ret(-1)
+		}
+		// Statements after a return are unreachable; park them in a fresh
+		// block so lowering remains well-formed.
+		dead := lo.b.NewBlock("dead")
+		lo.b.SetBlock(dead)
+	case *cmini.BreakStmt:
+		lo.b.Jmp(lo.loops[len(lo.loops)-1].brk)
+		dead := lo.b.NewBlock("dead")
+		lo.b.SetBlock(dead)
+	case *cmini.ContinueStmt:
+		lo.b.Jmp(lo.loops[len(lo.loops)-1].cont)
+		dead := lo.b.NewBlock("dead")
+		lo.b.SetBlock(dead)
+	default:
+		lo.failf(s.Pos(), "compiler: unknown statement %T", s)
+	}
+}
+
+func (lo *lowerer) declStmt(d *cmini.VarDecl) {
+	sym := d.Sym
+	if sym.IsArray || lo.taken[sym] {
+		size := d.StorageSize()
+		align := d.Type.Size()
+		slot := lo.b.NewSlot(d.Name, size, align)
+		lo.slots[sym] = slot
+		if d.Init != nil {
+			v := lo.expr(d.Init)
+			addr := lo.b.AddrSlot(slot, 0)
+			lo.b.Store(addr, 0, v, uint8(d.Type.Size()))
+		}
+		return
+	}
+	home := lo.b.F.NewVReg()
+	lo.vregs[sym] = home
+	if d.Init != nil {
+		v := lo.expr(d.Init)
+		lo.b.CopyTo(home, v)
+	} else {
+		z := lo.b.Const(0)
+		lo.b.CopyTo(home, z)
+	}
+}
+
+func (lo *lowerer) ifStmt(st *cmini.IfStmt) {
+	cond := lo.expr(st.Cond)
+	thenB := lo.b.NewBlock("then")
+	var elseB *ir.Block
+	join := lo.b.NewBlock("join")
+	if st.Else != nil {
+		elseB = lo.b.NewBlock("else")
+		lo.b.Br(cond, thenB, elseB)
+	} else {
+		lo.b.Br(cond, thenB, join)
+	}
+	lo.b.SetBlock(thenB)
+	lo.stmt(st.Then)
+	lo.b.Jmp(join)
+	if st.Else != nil {
+		lo.b.SetBlock(elseB)
+		lo.stmt(st.Else)
+		lo.b.Jmp(join)
+	}
+	lo.b.SetBlock(join)
+}
+
+func (lo *lowerer) whileStmt(st *cmini.WhileStmt) {
+	header := lo.b.NewBlock("while")
+	body := lo.b.NewBlock("body")
+	exit := lo.b.NewBlock("endwhile")
+	lo.b.Jmp(header)
+
+	lo.b.SetBlock(header)
+	cond := lo.expr(st.Cond)
+	lo.b.Br(cond, body, exit)
+
+	startIdx := len(lo.b.F.Blocks)
+	lo.b.SetBlock(body)
+	lo.loops = append(lo.loops, loopCtx{brk: exit, cont: header})
+	lo.stmt(st.Body)
+	lo.loops = lo.loops[:len(lo.loops)-1]
+	latch := lo.b.Block()
+	lo.b.Jmp(header)
+
+	blocks := append([]*ir.Block{body}, lo.b.F.Blocks[startIdx:]...)
+	lo.b.F.Loops = append(lo.b.F.Loops, ir.Loop{Header: header, Latch: latch, Exit: exit, Blocks: blocks})
+	lo.b.SetBlock(exit)
+}
+
+func (lo *lowerer) forStmt(st *cmini.ForStmt) {
+	if st.Init != nil {
+		lo.stmt(st.Init)
+	}
+	header := lo.b.NewBlock("for")
+	body := lo.b.NewBlock("body")
+	post := lo.b.NewBlock("post")
+	exit := lo.b.NewBlock("endfor")
+	lo.b.Jmp(header)
+
+	lo.b.SetBlock(header)
+	if st.Cond != nil {
+		cond := lo.expr(st.Cond)
+		lo.b.Br(cond, body, exit)
+	} else {
+		lo.b.Jmp(body)
+	}
+
+	startIdx := len(lo.b.F.Blocks)
+	lo.b.SetBlock(body)
+	lo.loops = append(lo.loops, loopCtx{brk: exit, cont: post})
+	lo.stmt(st.Body)
+	lo.loops = lo.loops[:len(lo.loops)-1]
+	lo.b.Jmp(post)
+
+	lo.b.SetBlock(post)
+	if st.Post != nil {
+		lo.stmt(st.Post)
+	}
+	latch := lo.b.Block()
+	lo.b.Jmp(header)
+
+	blocks := append([]*ir.Block{body}, lo.b.F.Blocks[startIdx:]...)
+	blocks = append(blocks, post)
+	// post was created before startIdx blocks? It was created before body's
+	// children, so include explicitly (appended above) and dedupe.
+	blocks = dedupBlocks(blocks)
+	lo.b.F.Loops = append(lo.b.F.Loops, ir.Loop{Header: header, Latch: latch, Exit: exit, Blocks: blocks})
+	lo.b.SetBlock(exit)
+}
+
+func dedupBlocks(bs []*ir.Block) []*ir.Block {
+	seen := map[*ir.Block]bool{}
+	out := bs[:0]
+	for _, b := range bs {
+		if !seen[b] {
+			seen[b] = true
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// location describes where an lvalue lives.
+type location struct {
+	isVReg bool
+	vreg   ir.VReg
+	addr   ir.VReg // base address (when !isVReg)
+	size   uint8
+	signed bool
+	// elemSize for pointer ++/--: how much one unit advances the value.
+	ptrStep int64
+}
+
+func (lo *lowerer) lvalue(e cmini.Expr) location {
+	switch x := e.(type) {
+	case *cmini.Ident:
+		sym := x.Sym
+		step := int64(1)
+		if x.Type().IsPtr() {
+			step = x.Type().Elem().Size()
+		}
+		if sym.Kind == cmini.SymGlobal && !sym.IsArray {
+			addr := lo.b.AddrGlobal(sym.Name, 0)
+			return location{addr: addr, size: uint8(sym.Type.Size()), signed: sym.Type == cmini.TypeInt, ptrStep: step}
+		}
+		if slot, ok := lo.slots[sym]; ok {
+			addr := lo.b.AddrSlot(slot, 0)
+			return location{addr: addr, size: uint8(sym.Type.Size()), signed: sym.Type == cmini.TypeInt, ptrStep: step}
+		}
+		return location{isVReg: true, vreg: lo.vregs[sym], size: uint8(sym.Type.Size()), signed: true, ptrStep: step}
+	case *cmini.IndexExpr:
+		addr := lo.indexAddr(x)
+		t := x.Type()
+		step := int64(1)
+		if t.IsPtr() {
+			step = t.Elem().Size()
+		}
+		return location{addr: addr, size: uint8(t.Size()), signed: t.Kind == cmini.KindInt && !t.IsPtr(), ptrStep: step}
+	case *cmini.UnaryExpr:
+		if x.Op == cmini.Star {
+			addr := lo.expr(x.X)
+			t := x.Type()
+			step := int64(1)
+			if t.IsPtr() {
+				step = t.Elem().Size()
+			}
+			return location{addr: addr, size: uint8(t.Size()), signed: t.Kind == cmini.KindInt && !t.IsPtr(), ptrStep: step}
+		}
+	}
+	lo.failf(e.Pos(), "not an lvalue")
+	return location{}
+}
+
+func (lo *lowerer) loadLoc(loc location) ir.VReg {
+	if loc.isVReg {
+		return loc.vreg
+	}
+	return lo.b.Load(loc.addr, 0, loc.size, loc.signed)
+}
+
+func (lo *lowerer) storeLoc(loc location, v ir.VReg) {
+	if loc.isVReg {
+		lo.b.CopyTo(loc.vreg, v)
+		return
+	}
+	lo.b.Store(loc.addr, 0, v, loc.size)
+}
+
+func (lo *lowerer) assign(st *cmini.AssignStmt) {
+	loc := lo.lvalue(st.LHS)
+	switch st.Op {
+	case cmini.Assign:
+		v := lo.expr(st.RHS)
+		lo.storeLoc(loc, v)
+	case cmini.PlusEq, cmini.MinusEq, cmini.StarEq:
+		cur := lo.loadLoc(loc)
+		rhs := lo.expr(st.RHS)
+		if st.LHS.Type().IsPtr() && st.Op != cmini.StarEq {
+			scale := lo.b.Const(st.LHS.Type().Elem().Size())
+			rhs = lo.b.Bin(ir.OpMul, rhs, scale)
+		}
+		var op ir.Op
+		switch st.Op {
+		case cmini.PlusEq:
+			op = ir.OpAdd
+		case cmini.MinusEq:
+			op = ir.OpSub
+		default:
+			op = ir.OpMul
+		}
+		v := lo.b.Bin(op, cur, rhs)
+		lo.storeLoc(loc, v)
+	case cmini.PlusPlus, cmini.MinusMinus:
+		cur := lo.loadLoc(loc)
+		step := lo.b.Const(loc.ptrStep)
+		op := ir.OpAdd
+		if st.Op == cmini.MinusMinus {
+			op = ir.OpSub
+		}
+		v := lo.b.Bin(op, cur, step)
+		lo.storeLoc(loc, v)
+	default:
+		lo.failf(st.Pos(), "bad assignment op %v", st.Op)
+	}
+}
+
+// indexAddr computes the byte address of x.X[x.I].
+func (lo *lowerer) indexAddr(x *cmini.IndexExpr) ir.VReg {
+	base := lo.expr(x.X)
+	idx := lo.expr(x.I)
+	elem := x.X.Type().Elem().Size()
+	if elem != 1 {
+		scale := lo.b.Const(elem)
+		idx = lo.b.Bin(ir.OpMul, idx, scale)
+	}
+	return lo.b.Bin(ir.OpAdd, base, idx)
+}
+
+func (lo *lowerer) expr(e cmini.Expr) ir.VReg {
+	switch x := e.(type) {
+	case *cmini.IntLit:
+		return lo.b.Const(x.Val)
+	case *cmini.Ident:
+		sym := x.Sym
+		if sym.IsArray {
+			if sym.Kind == cmini.SymGlobal {
+				return lo.b.AddrGlobal(sym.Name, 0)
+			}
+			return lo.b.AddrSlot(lo.slots[sym], 0)
+		}
+		if sym.Kind == cmini.SymGlobal {
+			addr := lo.b.AddrGlobal(sym.Name, 0)
+			return lo.b.Load(addr, 0, uint8(sym.Type.Size()), sym.Type == cmini.TypeInt)
+		}
+		if slot, ok := lo.slots[sym]; ok {
+			addr := lo.b.AddrSlot(slot, 0)
+			return lo.b.Load(addr, 0, uint8(sym.Type.Size()), sym.Type == cmini.TypeInt)
+		}
+		return lo.vregs[sym]
+	case *cmini.UnaryExpr:
+		return lo.unary(x)
+	case *cmini.BinaryExpr:
+		return lo.binary(x)
+	case *cmini.IndexExpr:
+		addr := lo.indexAddr(x)
+		t := x.Type()
+		return lo.b.Load(addr, 0, uint8(t.Size()), t.Kind == cmini.KindInt && !t.IsPtr())
+	case *cmini.CallExpr:
+		return lo.call(x)
+	}
+	lo.failf(e.Pos(), "compiler: unknown expression %T", e)
+	return -1
+}
+
+func (lo *lowerer) unary(x *cmini.UnaryExpr) ir.VReg {
+	switch x.Op {
+	case cmini.Minus:
+		return lo.b.Unary(ir.OpNeg, lo.expr(x.X))
+	case cmini.Tilde:
+		return lo.b.Unary(ir.OpNot, lo.expr(x.X))
+	case cmini.Bang:
+		v := lo.expr(x.X)
+		z := lo.b.Const(0)
+		return lo.b.Bin(ir.OpEq, v, z)
+	case cmini.Star:
+		addr := lo.expr(x.X)
+		t := x.Type()
+		return lo.b.Load(addr, 0, uint8(t.Size()), t.Kind == cmini.KindInt && !t.IsPtr())
+	case cmini.Amp:
+		switch target := x.X.(type) {
+		case *cmini.Ident:
+			sym := target.Sym
+			if sym.IsArray {
+				if sym.Kind == cmini.SymGlobal {
+					return lo.b.AddrGlobal(sym.Name, 0)
+				}
+				return lo.b.AddrSlot(lo.slots[sym], 0)
+			}
+			if sym.Kind == cmini.SymGlobal {
+				return lo.b.AddrGlobal(sym.Name, 0)
+			}
+			slot, ok := lo.slots[sym]
+			if !ok {
+				lo.failf(x.Pos(), "internal: address-taken %s has no slot", sym.Name)
+			}
+			return lo.b.AddrSlot(slot, 0)
+		case *cmini.IndexExpr:
+			return lo.indexAddr(target)
+		}
+	}
+	lo.failf(x.Pos(), "bad unary %v", x.Op)
+	return -1
+}
+
+func (lo *lowerer) binary(x *cmini.BinaryExpr) ir.VReg {
+	switch x.Op {
+	case cmini.AndAnd, cmini.OrOr:
+		return lo.shortCircuit(x)
+	}
+	a := lo.expr(x.X)
+	bv := lo.expr(x.Y)
+	lt, rt := x.X.Type(), x.Y.Type()
+
+	// Pointer arithmetic scaling.
+	if x.Op == cmini.Plus || x.Op == cmini.Minus {
+		switch {
+		case lt.IsPtr() && !rt.IsPtr():
+			if s := lt.Elem().Size(); s != 1 {
+				scale := lo.b.Const(s)
+				bv = lo.b.Bin(ir.OpMul, bv, scale)
+			}
+		case !lt.IsPtr() && rt.IsPtr() && x.Op == cmini.Plus:
+			if s := rt.Elem().Size(); s != 1 {
+				scale := lo.b.Const(s)
+				a = lo.b.Bin(ir.OpMul, a, scale)
+			}
+		case lt.IsPtr() && rt.IsPtr() && x.Op == cmini.Minus:
+			diff := lo.b.Bin(ir.OpSub, a, bv)
+			if s := lt.Elem().Size(); s != 1 {
+				sh := lo.b.Const(log2(s))
+				return lo.b.Bin(ir.OpSar, diff, sh)
+			}
+			return diff
+		}
+	}
+
+	var op ir.Op
+	switch x.Op {
+	case cmini.Plus:
+		op = ir.OpAdd
+	case cmini.Minus:
+		op = ir.OpSub
+	case cmini.Star:
+		op = ir.OpMul
+	case cmini.Slash:
+		op = ir.OpDiv
+	case cmini.Percent:
+		op = ir.OpRem
+	case cmini.Amp:
+		op = ir.OpAnd
+	case cmini.Pipe:
+		op = ir.OpOr
+	case cmini.Caret:
+		op = ir.OpXor
+	case cmini.Shl:
+		op = ir.OpShl
+	case cmini.Shr:
+		op = ir.OpShr
+	case cmini.Eq:
+		op = ir.OpEq
+	case cmini.Ne:
+		op = ir.OpNe
+	case cmini.Lt:
+		op = ir.OpLt
+	case cmini.Le:
+		op = ir.OpLe
+	case cmini.Gt:
+		op = ir.OpGt
+	case cmini.Ge:
+		op = ir.OpGe
+	default:
+		lo.failf(x.Pos(), "bad binary %v", x.Op)
+	}
+	return lo.b.Bin(op, a, bv)
+}
+
+func log2(v int64) int64 {
+	var n int64
+	for v > 1 {
+		v >>= 1
+		n++
+	}
+	return n
+}
+
+// shortCircuit lowers && and || with control flow into a result register.
+func (lo *lowerer) shortCircuit(x *cmini.BinaryExpr) ir.VReg {
+	result := lo.b.F.NewVReg()
+	a := lo.expr(x.X)
+	z := lo.b.Const(0)
+	av := lo.b.Bin(ir.OpNe, a, z)
+	lo.b.CopyTo(result, av)
+
+	evalY := lo.b.NewBlock("scy")
+	join := lo.b.NewBlock("scjoin")
+	if x.Op == cmini.AndAnd {
+		lo.b.Br(av, evalY, join)
+	} else {
+		lo.b.Br(av, join, evalY)
+	}
+	lo.b.SetBlock(evalY)
+	bval := lo.expr(x.Y)
+	z2 := lo.b.Const(0)
+	bv := lo.b.Bin(ir.OpNe, bval, z2)
+	lo.b.CopyTo(result, bv)
+	lo.b.Jmp(join)
+	lo.b.SetBlock(join)
+	return result
+}
+
+func (lo *lowerer) call(x *cmini.CallExpr) ir.VReg {
+	args := make([]ir.VReg, len(x.Args))
+	for i, a := range x.Args {
+		args[i] = lo.expr(a)
+	}
+	if x.Builtin != cmini.NotBuiltin {
+		switch x.Builtin {
+		case cmini.BuiltinPrint:
+			return lo.b.Sys(1, args...)
+		case cmini.BuiltinPutc:
+			return lo.b.Sys(2, args...)
+		case cmini.BuiltinChecksum:
+			return lo.b.Sys(3, args...)
+		case cmini.BuiltinCycles:
+			return lo.b.Sys(4)
+		}
+	}
+	if len(args) > 6 {
+		lo.failf(x.Pos(), "calls support at most 6 arguments")
+	}
+	hasResult := x.Fn.Ret != cmini.TypeVoid
+	return lo.b.Call(x.Name, hasResult, args...)
+}

@@ -1,0 +1,174 @@
+package compiler
+
+import (
+	"testing"
+
+	"biaslab/internal/ir"
+)
+
+// checkVal runs src and asserts the sequence of checksum values.
+func checkVal(t *testing.T, src string, vals ...uint64) {
+	t.Helper()
+	p := lowerSrc(t, src)
+	want := uint64(0)
+	for _, v := range vals {
+		want = ir.MixChecksum(want, v)
+	}
+	if got := runIR(t, p); got != want {
+		t.Errorf("checksum = %d, want %d\nsource:\n%s", got, want, src)
+	}
+	// The same values must survive full optimization.
+	Optimize(p, Config{Level: O3, Personality: ICC})
+	if got := runIR(t, p); got != want {
+		t.Errorf("optimized checksum = %d, want %d", got, want)
+	}
+}
+
+func u(v int64) uint64 { return uint64(v) }
+
+func TestLowerArithmetic(t *testing.T) {
+	checkVal(t, `void main() { checksum(7 + 3 * 2 - 8 / 4); }`, u(11))
+	checkVal(t, `void main() { checksum(17 % 5); }`, u(2))
+	checkVal(t, `void main() { checksum(1 << 10 | 3); }`, u(1027))
+	checkVal(t, `void main() { checksum(255 & 15 ^ 1); }`, u(14))
+	checkVal(t, `void main() { checksum(-5 + 2); }`, u(-3))
+	checkVal(t, `void main() { checksum(~0); }`, u(-1))
+	checkVal(t, `void main() { int x = -16; checksum(x >> 2); }`, u(4611686018427387900))
+}
+
+func TestLowerComparisons(t *testing.T) {
+	checkVal(t, `void main() { checksum((3 < 5) + (5 <= 5) + (7 > 2) + (2 >= 3) + (4 == 4) + (4 != 4)); }`, u(4))
+}
+
+func TestLowerShortCircuit(t *testing.T) {
+	// Side effects must not occur when short-circuited.
+	src := `
+int calls;
+int bump() { calls++; return 1; }
+void main() {
+	int a = 0 != 0 && bump();
+	int b = 1 == 1 || bump();
+	checksum(calls);
+	checksum(a);
+	checksum(b);
+}
+`
+	checkVal(t, src, u(0), u(0), u(1))
+}
+
+func TestLowerByteSemantics(t *testing.T) {
+	// Byte stores truncate; loads zero-extend.
+	checkVal(t, `
+byte b[4];
+void main() {
+	b[0] = 300;
+	checksum(b[0]);
+	b[1] = 255;
+	b[1] += 1;
+	checksum(b[1]);
+}
+`, u(300%256), u(0))
+}
+
+func TestLowerPointerScaling(t *testing.T) {
+	checkVal(t, `
+int a[10];
+void main() {
+	for (int i = 0; i < 10; i++) { a[i] = i * 100; }
+	int* p = a;
+	p += 3;
+	checksum(*p);
+	p++;
+	checksum(*p);
+	p -= 2;
+	checksum(*p);
+	int* q = &a[9];
+	checksum(q - p);
+}
+`, u(300), u(400), u(200), u(7))
+}
+
+func TestLowerGlobalInit(t *testing.T) {
+	checkVal(t, `
+int g = 40 + 2;
+byte flag = 1;
+void main() {
+	checksum(g);
+	checksum(flag);
+}
+`, u(42), u(1))
+}
+
+func TestLowerAddressTakenParam(t *testing.T) {
+	checkVal(t, `
+void setit(int* p, int v) { *p = v; }
+int readback(int x) {
+	setit(&x, x * 2);
+	return x;
+}
+void main() { checksum(readback(21)); }
+`, u(42))
+}
+
+func TestLowerNestedLoopsAndBreak(t *testing.T) {
+	checkVal(t, `
+void main() {
+	int total = 0;
+	for (int i = 0; i < 10; i++) {
+		for (int j = 0; j < 10; j++) {
+			if (j == 5) { break; }
+			if (i == 7) { break; }
+			total += 1;
+		}
+		if (i == 8) { break; }
+	}
+	checksum(total);
+}
+`, u(40))
+}
+
+func TestLowerWhileWithComplexCondition(t *testing.T) {
+	checkVal(t, `
+void main() {
+	int i = 0;
+	int j = 20;
+	int steps = 0;
+	while (i < 10 && j > 12) {
+		i++;
+		j -= 1;
+		steps++;
+	}
+	checksum(steps);
+	checksum(i);
+	checksum(j);
+}
+`, u(8), u(8), u(12))
+}
+
+func TestLowerRecursionDepth(t *testing.T) {
+	checkVal(t, `
+int sumto(int n) {
+	if (n <= 0) { return 0; }
+	return n + sumto(n - 1);
+}
+void main() { checksum(sumto(100)); }
+`, u(5050))
+}
+
+func TestLowerSixArguments(t *testing.T) {
+	checkVal(t, `
+int six(int a, int b, int c, int d, int e, int f) {
+	return a + b * 2 + c * 3 + d * 4 + e * 5 + f * 6;
+}
+void main() { checksum(six(1, 2, 3, 4, 5, 6)); }
+`, u(1+4+9+16+25+36))
+}
+
+func TestLowerFallOffEndReturnsZero(t *testing.T) {
+	checkVal(t, `
+int maybe(int x) {
+	if (x > 0) { return x; }
+}
+void main() { checksum(maybe(5)); checksum(maybe(-5)); }
+`, u(5), u(0))
+}

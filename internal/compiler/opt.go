@@ -1,0 +1,510 @@
+package compiler
+
+import (
+	"fmt"
+
+	"biaslab/internal/ir"
+)
+
+// Optimize runs the IR optimization pipeline selected by cfg over the whole
+// program in place. The pipeline is:
+//
+//	O1+: local value numbering (constant folding, copy propagation, algebraic
+//	     simplification), dead-code elimination, unreachable-block removal
+//	O2+: + common-subexpression elimination and strength reduction (inside LVN)
+//	O3 : + cross-module inlining and loop unrolling, then a second cleanup
+func Optimize(p *ir.Program, cfg Config) {
+	t := cfg.tune()
+	if !t.fold {
+		return
+	}
+	cleanup := func() {
+		for _, m := range p.Modules {
+			for _, f := range m.Funcs {
+				lvn(f, t)
+				dce(f)
+				removeUnreachable(f)
+			}
+		}
+	}
+	cleanup()
+	if t.inline {
+		inlineProgram(p, t)
+		for _, m := range p.Modules {
+			for _, f := range m.Funcs {
+				unrollLoops(f, t)
+			}
+		}
+		cleanup()
+	}
+}
+
+// ---- Local value numbering ----
+
+// lvn performs per-block value numbering: it folds constants, propagates
+// copies, simplifies algebraic identities, and (at O2+) eliminates common
+// subexpressions and strength-reduces multiplications.
+func lvn(f *ir.Func, t tuning) {
+	for _, b := range f.Blocks {
+		lvnBlock(f, b, t)
+	}
+}
+
+type valueNum int
+
+type lvnState struct {
+	next    valueNum
+	regVN   map[ir.VReg]valueNum
+	constVN map[int64]valueNum
+	vnConst map[valueNum]int64
+	// holders maps a value number to vregs currently bound to it; used to
+	// find a live source for CSE rewrites.
+	holders map[valueNum][]ir.VReg
+	exprVN  map[string]valueNum
+}
+
+func newLVNState() *lvnState {
+	return &lvnState{
+		regVN:   map[ir.VReg]valueNum{},
+		constVN: map[int64]valueNum{},
+		vnConst: map[valueNum]int64{},
+		holders: map[valueNum][]ir.VReg{},
+		exprVN:  map[string]valueNum{},
+	}
+}
+
+func (s *lvnState) fresh() valueNum {
+	s.next++
+	return s.next
+}
+
+// vnOf returns the value number of reg, assigning a fresh one for values
+// flowing in from other blocks.
+func (s *lvnState) vnOf(reg ir.VReg) valueNum {
+	if vn, ok := s.regVN[reg]; ok {
+		return vn
+	}
+	vn := s.fresh()
+	s.bind(reg, vn)
+	return vn
+}
+
+// bind rebinds reg to vn, maintaining the holders index.
+func (s *lvnState) bind(reg ir.VReg, vn valueNum) {
+	if old, ok := s.regVN[reg]; ok {
+		hs := s.holders[old]
+		for i, h := range hs {
+			if h == reg {
+				s.holders[old] = append(hs[:i], hs[i+1:]...)
+				break
+			}
+		}
+	}
+	s.regVN[reg] = vn
+	s.holders[vn] = append(s.holders[vn], reg)
+}
+
+func (s *lvnState) vnForConst(v int64) valueNum {
+	if vn, ok := s.constVN[v]; ok {
+		return vn
+	}
+	vn := s.fresh()
+	s.constVN[v] = vn
+	s.vnConst[vn] = v
+	return vn
+}
+
+func (s *lvnState) constOf(vn valueNum) (int64, bool) {
+	v, ok := s.vnConst[vn]
+	return v, ok
+}
+
+// holder returns a vreg currently bound to vn, other than exclude.
+func (s *lvnState) holder(vn valueNum, exclude ir.VReg) (ir.VReg, bool) {
+	for _, h := range s.holders[vn] {
+		if h != exclude {
+			return h, true
+		}
+	}
+	return 0, false
+}
+
+func lvnBlock(f *ir.Func, b *ir.Block, t tuning) {
+	s := newLVNState()
+	for i := range b.Instrs {
+		in := &b.Instrs[i]
+		switch in.Op {
+		case ir.OpConst:
+			s.bind(in.Dst, s.vnForConst(in.Imm))
+		case ir.OpCopy:
+			src := s.vnOf(in.A)
+			// Rewrite copy-of-constant into a const so downstream blocks
+			// that only see this register still benefit.
+			if cv, ok := s.constOf(src); ok {
+				*in = ir.Instr{Op: ir.OpConst, Dst: in.Dst, Imm: cv}
+			}
+			s.bind(in.Dst, src)
+		case ir.OpNeg, ir.OpNot:
+			a := s.vnOf(in.A)
+			if av, ok := s.constOf(a); ok {
+				folded := -av
+				if in.Op == ir.OpNot {
+					folded = ^av
+				}
+				*in = ir.Instr{Op: ir.OpConst, Dst: in.Dst, Imm: folded}
+				s.bind(in.Dst, s.vnForConst(folded))
+				continue
+			}
+			s.bind(in.Dst, s.exprValue(in.Op, a, 0, in.Dst, t, in))
+		case ir.OpAddrGlobal:
+			key := fmt.Sprintf("g:%s:%d", in.Sym, in.Imm)
+			s.reuseOrDefine(key, in, t)
+		case ir.OpAddrSlot:
+			key := fmt.Sprintf("s:%d:%d", in.Slot, in.Imm)
+			s.reuseOrDefine(key, in, t)
+		case ir.OpLoad:
+			// Loads read mutable memory; never value-numbered.
+			s.bind(in.Dst, s.fresh())
+		case ir.OpStore:
+			// No register effects.
+		case ir.OpCall, ir.OpSys:
+			if in.Dst >= 0 {
+				s.bind(in.Dst, s.fresh())
+			}
+		case ir.OpNop:
+		default:
+			if !in.Op.IsBinary() {
+				if in.Dst >= 0 {
+					s.bind(in.Dst, s.fresh())
+				}
+				continue
+			}
+			a, bn := s.vnOf(in.A), s.vnOf(in.B)
+			av, aConst := s.constOf(a)
+			bv, bConst := s.constOf(bn)
+			if aConst && bConst {
+				if folded, ok := foldBinary(in.Op, av, bv); ok {
+					*in = ir.Instr{Op: ir.OpConst, Dst: in.Dst, Imm: folded}
+					s.bind(in.Dst, s.vnForConst(folded))
+					continue
+				}
+			}
+			if newOp, newA, vn, rewrote := s.simplify(in, a, bn, av, aConst, bv, bConst, t); rewrote {
+				_ = newOp
+				_ = newA
+				s.bind(in.Dst, vn)
+				continue
+			}
+			s.bind(in.Dst, s.exprValue(in.Op, a, bn, in.Dst, t, in))
+		}
+	}
+}
+
+// reuseOrDefine handles pure keyed expressions (address computations):
+// at O2+ a repeated computation becomes a copy of the earlier result.
+func (s *lvnState) reuseOrDefine(key string, in *ir.Instr, t tuning) {
+	if vn, ok := s.exprVN[key]; ok && t.cse {
+		if h, live := s.holder(vn, in.Dst); live {
+			*in = ir.Instr{Op: ir.OpCopy, Dst: in.Dst, A: h}
+			s.bind(in.Dst, vn)
+			return
+		}
+	}
+	vn := s.fresh()
+	s.exprVN[key] = vn
+	s.bind(in.Dst, vn)
+}
+
+// exprValue value-numbers a pure operation, applying CSE at O2+.
+func (s *lvnState) exprValue(op ir.Op, a, b valueNum, dst ir.VReg, t tuning, in *ir.Instr) valueNum {
+	if op.Commutative() && b != 0 && a > b {
+		a, b = b, a
+	}
+	key := fmt.Sprintf("e:%d:%d:%d", op, a, b)
+	if vn, ok := s.exprVN[key]; ok && t.cse {
+		if h, live := s.holder(vn, dst); live {
+			*in = ir.Instr{Op: ir.OpCopy, Dst: dst, A: h}
+			return vn
+		}
+	}
+	vn := s.fresh()
+	s.exprVN[key] = vn
+	return vn
+}
+
+// simplify applies algebraic identities and strength reduction. It rewrites
+// *in in place when it fires and returns the value number of the result.
+func (s *lvnState) simplify(in *ir.Instr, a, b valueNum, av int64, aConst bool, bv int64, bConst bool, t tuning) (ir.Op, ir.VReg, valueNum, bool) {
+	set := func(instr ir.Instr, vn valueNum) (ir.Op, ir.VReg, valueNum, bool) {
+		instr.Dst = in.Dst
+		*in = instr
+		return instr.Op, instr.A, vn, true
+	}
+	constResult := func(v int64) (ir.Op, ir.VReg, valueNum, bool) {
+		return set(ir.Instr{Op: ir.OpConst, Imm: v}, s.vnForConst(v))
+	}
+	copyOf := func(src ir.VReg, vn valueNum) (ir.Op, ir.VReg, valueNum, bool) {
+		return set(ir.Instr{Op: ir.OpCopy, A: src}, vn)
+	}
+	switch in.Op {
+	case ir.OpAdd:
+		if aConst && av == 0 {
+			return copyOf(in.B, b)
+		}
+		if bConst && bv == 0 {
+			return copyOf(in.A, a)
+		}
+	case ir.OpSub:
+		if bConst && bv == 0 {
+			return copyOf(in.A, a)
+		}
+		if a == b {
+			return constResult(0)
+		}
+	case ir.OpMul:
+		if bConst {
+			switch bv {
+			case 0:
+				return constResult(0)
+			case 1:
+				return copyOf(in.A, a)
+			}
+			if t.strength && bv > 0 && bv&(bv-1) == 0 {
+				// x * 2^k → x << k. The shift amount becomes a constant
+				// operand, which needs a register; reuse B's register by
+				// rewriting its defining value: emit as OpShl with B kept
+				// (B holds 2^k, not k), so instead express via immediate
+				// trick: fold into OpShl only if a const-k register is
+				// already available. Simpler: leave as multiply unless a
+				// register holding k exists.
+				if kReg, ok := s.holder(s.vnForConst(log2(bv)), -1); ok {
+					return set(ir.Instr{Op: ir.OpShl, A: in.A, B: kReg}, s.fresh())
+				}
+			}
+		}
+		if aConst {
+			switch av {
+			case 0:
+				return constResult(0)
+			case 1:
+				return copyOf(in.B, b)
+			}
+		}
+	case ir.OpDiv:
+		if bConst && bv == 1 {
+			return copyOf(in.A, a)
+		}
+	case ir.OpAnd:
+		if (aConst && av == 0) || (bConst && bv == 0) {
+			return constResult(0)
+		}
+		if a == b {
+			return copyOf(in.A, a)
+		}
+	case ir.OpOr:
+		if aConst && av == 0 {
+			return copyOf(in.B, b)
+		}
+		if bConst && bv == 0 {
+			return copyOf(in.A, a)
+		}
+		if a == b {
+			return copyOf(in.A, a)
+		}
+	case ir.OpXor:
+		if a == b {
+			return constResult(0)
+		}
+		if bConst && bv == 0 {
+			return copyOf(in.A, a)
+		}
+	case ir.OpShl, ir.OpShr, ir.OpSar:
+		if bConst && bv == 0 {
+			return copyOf(in.A, a)
+		}
+	case ir.OpEq:
+		if a == b {
+			return constResult(1)
+		}
+	case ir.OpNe, ir.OpLt, ir.OpGt:
+		if a == b {
+			return constResult(0)
+		}
+	case ir.OpLe, ir.OpGe:
+		if a == b {
+			return constResult(1)
+		}
+	}
+	return 0, 0, 0, false
+}
+
+func foldBinary(op ir.Op, a, b int64) (int64, bool) {
+	switch op {
+	case ir.OpAdd:
+		return a + b, true
+	case ir.OpSub:
+		return a - b, true
+	case ir.OpMul:
+		return a * b, true
+	case ir.OpDiv:
+		if b == 0 {
+			return 0, false // preserve the trap
+		}
+		return a / b, true
+	case ir.OpRem:
+		if b == 0 {
+			return 0, false
+		}
+		return a % b, true
+	case ir.OpAnd:
+		return a & b, true
+	case ir.OpOr:
+		return a | b, true
+	case ir.OpXor:
+		return a ^ b, true
+	case ir.OpShl:
+		return a << (uint64(b) & 63), true
+	case ir.OpShr:
+		return int64(uint64(a) >> (uint64(b) & 63)), true
+	case ir.OpSar:
+		return a >> (uint64(b) & 63), true
+	case ir.OpEq:
+		return b2i(a == b), true
+	case ir.OpNe:
+		return b2i(a != b), true
+	case ir.OpLt:
+		return b2i(a < b), true
+	case ir.OpLe:
+		return b2i(a <= b), true
+	case ir.OpGt:
+		return b2i(a > b), true
+	case ir.OpGe:
+		return b2i(a >= b), true
+	}
+	return 0, false
+}
+
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// ---- Dead code elimination ----
+
+// dce removes pure instructions whose results are never used. It iterates
+// to a fixpoint because removing one use can kill an upstream definition.
+func dce(f *ir.Func) {
+	for {
+		uses := make([]int, f.NumVRegs)
+		mark := func(v ir.VReg) {
+			if v >= 0 {
+				uses[v]++
+			}
+		}
+		for _, b := range f.Blocks {
+			for _, in := range b.Instrs {
+				switch in.Op {
+				case ir.OpStore:
+					mark(in.A)
+					mark(in.B)
+				case ir.OpCall, ir.OpSys:
+					for _, a := range in.Args {
+						mark(a)
+					}
+				case ir.OpConst, ir.OpAddrGlobal, ir.OpNop:
+				case ir.OpAddrSlot:
+				case ir.OpLoad:
+					mark(in.A)
+				default:
+					if in.Op.IsBinary() {
+						mark(in.A)
+						mark(in.B)
+					} else if in.Op.IsUnary() {
+						mark(in.A)
+					}
+				}
+			}
+			if b.Term.Kind == ir.TermBr {
+				mark(b.Term.Cond)
+			}
+			if b.Term.Kind == ir.TermRet && b.Term.Val >= 0 {
+				mark(b.Term.Val)
+			}
+		}
+		removed := false
+		for _, b := range f.Blocks {
+			kept := b.Instrs[:0]
+			for _, in := range b.Instrs {
+				dead := false
+				switch in.Op {
+				case ir.OpConst, ir.OpAddrGlobal, ir.OpAddrSlot, ir.OpCopy,
+					ir.OpNeg, ir.OpNot, ir.OpLoad:
+					dead = uses[in.Dst] == 0
+				case ir.OpNop:
+					dead = true
+				default:
+					if in.Op.IsBinary() && in.Op != ir.OpDiv && in.Op != ir.OpRem {
+						dead = uses[in.Dst] == 0
+					}
+				}
+				if in.Op == ir.OpCopy && in.A == in.Dst {
+					dead = true
+				}
+				if dead {
+					removed = true
+					continue
+				}
+				kept = append(kept, in)
+			}
+			b.Instrs = kept
+		}
+		if !removed {
+			return
+		}
+	}
+}
+
+// removeUnreachable drops blocks not reachable from the entry and prunes
+// loop annotations that lost blocks.
+func removeUnreachable(f *ir.Func) {
+	reach := map[*ir.Block]bool{}
+	var walk func(b *ir.Block)
+	walk = func(b *ir.Block) {
+		if reach[b] {
+			return
+		}
+		reach[b] = true
+		for _, s := range b.Succs() {
+			walk(s)
+		}
+	}
+	walk(f.Entry())
+	if len(reach) == len(f.Blocks) {
+		return
+	}
+	kept := f.Blocks[:0]
+	for _, b := range f.Blocks {
+		if reach[b] {
+			kept = append(kept, b)
+		}
+	}
+	f.Blocks = kept
+	f.Renumber()
+	var loops []ir.Loop
+	for _, l := range f.Loops {
+		if !reach[l.Header] || !reach[l.Latch] {
+			continue
+		}
+		var blocks []*ir.Block
+		for _, b := range l.Blocks {
+			if reach[b] {
+				blocks = append(blocks, b)
+			}
+		}
+		l.Blocks = blocks
+		loops = append(loops, l)
+	}
+	f.Loops = loops
+}

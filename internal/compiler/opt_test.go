@@ -1,0 +1,271 @@
+package compiler
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"biaslab/internal/ir"
+)
+
+// countOps tallies IR opcodes in a function.
+func countOps(f *ir.Func) map[ir.Op]int {
+	out := map[ir.Op]int{}
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			out[in.Op]++
+		}
+	}
+	return out
+}
+
+func TestLVNConstantPropagationThroughCopies(t *testing.T) {
+	// x = 6; y = x; z = y * 7 → z should fold to 42.
+	p := lowerSrc(t, `void main() { int x = 6; int y = x; int z = y * 7; checksum(z); }`)
+	Optimize(p, Config{Level: O1})
+	ops := countOps(p.FindFunc("main"))
+	if ops[ir.OpMul] != 0 {
+		t.Errorf("multiply survived const+copy propagation: %v", ops)
+	}
+	if got, want := runIR(t, p), ir.MixChecksum(0, 42); got != want {
+		t.Errorf("semantics broken: %d vs %d", got, want)
+	}
+}
+
+func TestLVNAlgebraicIdentities(t *testing.T) {
+	cases := map[string]string{
+		"add zero":   `void main() { int x = 9; int y = x + 0; checksum(y); }`,
+		"mul one":    `void main() { int x = 9; int y = x * 1; checksum(y); }`,
+		"sub self":   `void main() { int x = 9; checksum(x - x + 9); }`,
+		"xor self":   `void main() { int x = 9; checksum((x ^ x) + 9); }`,
+		"div one":    `void main() { int x = 9; checksum(x / 1); }`,
+		"shift zero": `void main() { int x = 9; checksum(x << 0); }`,
+	}
+	for name, src := range cases {
+		p := lowerSrc(t, src)
+		Optimize(p, Config{Level: O2})
+		ops := countOps(p.FindFunc("main"))
+		if ops[ir.OpAdd]+ops[ir.OpSub]+ops[ir.OpMul]+ops[ir.OpDiv]+ops[ir.OpXor]+ops[ir.OpShl] != 0 {
+			t.Errorf("%s: arithmetic survived simplification: %v", name, ops)
+		}
+		if got, want := runIR(t, p), ir.MixChecksum(0, 9); got != want {
+			t.Errorf("%s: wrong result", name)
+		}
+	}
+}
+
+func TestCSEEliminatesRepeatedAddresses(t *testing.T) {
+	// g[i] read twice in one expression: address computed once at O2.
+	src := `
+int g[8];
+void main() {
+	int i = 3;
+	g[i] = 5;
+	checksum(g[i] * g[i]);
+}
+`
+	countAddrs := func(lvl Level) int {
+		p := lowerSrc(t, src)
+		Optimize(p, Config{Level: lvl})
+		return countOps(p.FindFunc("main"))[ir.OpAddrGlobal]
+	}
+	o1, o2 := countAddrs(O1), countAddrs(O2)
+	if o2 >= o1 {
+		t.Errorf("CSE did not reduce address computations: O1=%d O2=%d", o1, o2)
+	}
+}
+
+func TestDivByZeroNotFolded(t *testing.T) {
+	// Constant 1/0 must keep the trap, not fold to garbage.
+	p := lowerSrc(t, `void main() { int z = 0; hide(1 / z); } void hide(int x) {}`)
+	Optimize(p, Config{Level: O2})
+	ops := countOps(p.FindFunc("main"))
+	if ops[ir.OpDiv] != 1 {
+		t.Errorf("div by constant zero was folded away: %v", ops)
+	}
+	it, err := ir.NewInterp(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := it.Run(); err == nil {
+		t.Error("optimized program lost its divide-by-zero trap")
+	}
+}
+
+func TestUnreachableBlocksRemoved(t *testing.T) {
+	src := `
+void main() {
+	checksum(1);
+	return;
+}
+`
+	p := lowerSrc(t, src)
+	before := len(p.FindFunc("main").Blocks)
+	Optimize(p, Config{Level: O1})
+	after := len(p.FindFunc("main").Blocks)
+	if after >= before {
+		t.Errorf("dead blocks not removed: %d → %d", before, after)
+	}
+}
+
+func TestInlineRecursionDetection(t *testing.T) {
+	// Mutual recursion must be detected and left alone.
+	src := `
+int even(int n) { if (n == 0) { return 1; } return odd(n - 1); }
+int odd(int n) { if (n == 0) { return 0; } return even(n - 1); }
+void main() { checksum(even(10)); checksum(odd(7)); }
+`
+	p := lowerSrc(t, src)
+	Optimize(p, Config{Level: O3, Personality: ICC})
+	if err := p.Verify(); err != nil {
+		t.Fatalf("mutual recursion broke inlining: %v", err)
+	}
+	want := ir.MixChecksum(ir.MixChecksum(0, 1), 1)
+	if got := runIR(t, p); got != want {
+		t.Errorf("wrong result after optimization: %d vs %d", got, want)
+	}
+}
+
+func TestInlineBudgetRespected(t *testing.T) {
+	// A large callee must not be inlined under the gcc budget.
+	var body string
+	for i := 0; i < 40; i++ {
+		body += "\tx = x * 3 + 1;\n\tx = x & 65535;\n"
+	}
+	src := `
+int big(int x) {
+` + body + `	return x;
+}
+void main() { checksum(big(7)); }
+`
+	p := lowerSrc(t, src)
+	Optimize(p, Config{Level: O3, Personality: GCC})
+	found := false
+	for _, b := range p.FindFunc("main").Blocks {
+		for _, in := range b.Instrs {
+			if in.Op == ir.OpCall && in.Sym == "big" {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Error("oversized callee was inlined despite the budget")
+	}
+}
+
+func TestUnrollEligibility(t *testing.T) {
+	// A loop containing continue (extra edge to the header) must not be
+	// unrolled; semantics must hold either way.
+	src := `
+void main() {
+	int sum = 0;
+	for (int i = 0; i < 20; i++) {
+		if (i % 3 == 0) { continue; }
+		sum += i;
+	}
+	checksum(sum);
+}
+`
+	base := runIR(t, lowerSrc(t, src))
+	p := lowerSrc(t, src)
+	Optimize(p, Config{Level: O3, Personality: ICC})
+	if got := runIR(t, p); got != base {
+		t.Errorf("continue-loop broken by O3: %d vs %d", got, base)
+	}
+}
+
+func TestUnrollProperty(t *testing.T) {
+	// Property: for random trip counts, the unrolled loop sums correctly.
+	f := func(nRaw uint8) bool {
+		n := int(nRaw % 50)
+		src := lowerSrcHelper(t, n)
+		p := lowerSrc(t, src)
+		Optimize(p, Config{Level: O3, Personality: ICC})
+		want := int64(0)
+		for i := 0; i < n; i++ {
+			want += int64(i * i)
+		}
+		return runIR(t, p) == ir.MixChecksum(0, uint64(want))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 12}); err != nil {
+		t.Error(err)
+	}
+}
+
+func lowerSrcHelper(t *testing.T, n int) string {
+	t.Helper()
+	return `
+void main() {
+	int sum = 0;
+	for (int i = 0; i < ` + itoa(n) + `; i++) {
+		sum += i * i;
+	}
+	checksum(sum);
+}
+`
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var digits []byte
+	for n > 0 {
+		digits = append([]byte{byte('0' + n%10)}, digits...)
+		n /= 10
+	}
+	return string(digits)
+}
+
+func TestOptimizeO0IsIdentity(t *testing.T) {
+	p1 := lowerSrc(t, loopSrc)
+	p2 := lowerSrc(t, loopSrc)
+	Optimize(p2, Config{Level: O0})
+	if countInstrs(p1) != countInstrs(p2) {
+		t.Error("O0 changed the program")
+	}
+}
+
+func TestLoopAnnotationsSurviveCleanup(t *testing.T) {
+	p := lowerSrc(t, loopSrc)
+	Optimize(p, Config{Level: O2})
+	main := p.FindFunc("main")
+	if len(main.Loops) == 0 {
+		t.Fatal("loop annotations lost during O2 cleanup")
+	}
+	for _, l := range main.Loops {
+		if l.Header == nil {
+			t.Error("loop header nil")
+		}
+		// Every annotated block must still be in the function.
+		present := map[*ir.Block]bool{}
+		for _, b := range main.Blocks {
+			present[b] = true
+		}
+		if !present[l.Header] {
+			t.Error("loop header not in function blocks")
+		}
+	}
+}
+
+func TestPersonalitiesProduceDifferentCode(t *testing.T) {
+	// gcc and icc at O3 must actually differ (different unroll factors and
+	// alignment), otherwise T4 tests nothing.
+	size := func(pers Personality) int {
+		objs, _, err := Compile([]Source{{Name: "l.cm", Text: loopSrc}}, Config{Level: O3, Personality: pers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return len(objs[0].Text)
+	}
+	if size(GCC) == size(ICC) {
+		t.Error("gcc and icc personalities produced identical code size")
+	}
+}
+
+func TestCompileErrorsSurfaceCleanly(t *testing.T) {
+	_, _, err := Compile([]Source{{Name: "x.cm", Text: "int f( {"}}, Config{})
+	if err == nil || !strings.Contains(err.Error(), "x.cm") {
+		t.Errorf("parse error lacks location: %v", err)
+	}
+}

@@ -1,0 +1,136 @@
+package compiler
+
+import "biaslab/internal/ir"
+
+// unrollLoops unrolls eligible innermost loops by the tuning factor using
+// unknown-trip-count unrolling with exits: the loop condition is re-tested
+// between body copies, so semantics are preserved for any trip count. The
+// benefit is the elimination of K−1 of every K back-jumps plus longer
+// straight-line blocks for the code generator's local value tracking; the
+// cost is code growth, which is exactly the O3 trade-off the paper's
+// experiments ride on.
+const maxUnrollBody = 48 // IR instructions in header+body
+
+func unrollLoops(f *ir.Func, t tuning) {
+	if t.unroll <= 1 {
+		return
+	}
+	for li := range f.Loops {
+		l := &f.Loops[li]
+		if eligible(f, l) {
+			unrollOne(f, l, t.unroll)
+		}
+	}
+	f.Renumber()
+}
+
+// eligible reports whether the loop has the simple rotated shape the
+// unroller handles: a header that tests and branches, a single in-loop edge
+// back to the header (from the latch), and a small body.
+func eligible(f *ir.Func, l *ir.Loop) bool {
+	if l.Header == nil || l.Latch == nil {
+		return false
+	}
+	if l.Header.Term.Kind != ir.TermBr {
+		return false
+	}
+	if l.Latch.Term.Kind != ir.TermJmp || l.Latch.Term.Then != l.Header {
+		return false
+	}
+	inLoop := map[*ir.Block]bool{l.Header: true}
+	size := len(l.Header.Instrs) + 1
+	for _, b := range l.Blocks {
+		inLoop[b] = true
+		size += len(b.Instrs) + 1
+	}
+	if size > maxUnrollBody {
+		return false
+	}
+	// The only jump to the header from inside the loop must be the latch
+	// (no continue-style edges), and no other loop may nest inside.
+	for _, b := range l.Blocks {
+		if b != l.Latch {
+			for _, s := range b.Succs() {
+				if s == l.Header {
+					return false
+				}
+			}
+		}
+		// A call inside the body is allowed; another loop header is not.
+		for _, other := range f.Loops {
+			if other.Header == b {
+				return false
+			}
+		}
+	}
+	// All loop blocks must be members (defensive: successors inside the
+	// loop that we failed to record would break remapping).
+	for _, b := range l.Blocks {
+		for _, s := range b.Succs() {
+			if s != l.Header && !inLoop[s] && s != l.Exit {
+				// Edge to an outside block (break target beyond exit is
+				// fine only if it is the recorded exit).
+				if s.Name != l.Exit.Name {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+func unrollOne(f *ir.Func, l *ir.Loop, factor int) {
+	// The copied unit is header+body. Registers are reused verbatim:
+	// the IR is not SSA, and the copies execute sequentially, so the
+	// original registers carry values between copies exactly as memory
+	// would.
+	unit := append([]*ir.Block{l.Header}, l.Blocks...)
+	prevLatch := l.Latch
+
+	var allCopies []*ir.Block
+	var firstHeaders []*ir.Block
+	for k := 1; k < factor; k++ {
+		blockMap := map[*ir.Block]*ir.Block{}
+		copies := make([]*ir.Block, len(unit))
+		for i, b := range unit {
+			nb := &ir.Block{Name: b.Name + ".u", Instrs: append([]ir.Instr{}, b.Instrs...)}
+			blockMap[b] = nb
+			copies[i] = nb
+		}
+		for i, b := range unit {
+			nb := copies[i]
+			remap := func(t *ir.Block) *ir.Block {
+				if m, ok := blockMap[t]; ok {
+					return m
+				}
+				return t
+			}
+			switch b.Term.Kind {
+			case ir.TermJmp:
+				nb.Term = ir.Term{Kind: ir.TermJmp, Then: remap(b.Term.Then)}
+			case ir.TermBr:
+				nb.Term = ir.Term{Kind: ir.TermBr, Cond: b.Term.Cond, Then: remap(b.Term.Then), Else: remap(b.Term.Else)}
+			case ir.TermRet:
+				nb.Term = b.Term
+			}
+		}
+		// The previous latch now falls into this copy's header.
+		prevLatch.Term = ir.Term{Kind: ir.TermJmp, Then: blockMap[l.Header]}
+		// This copy's latch jumps to the original header (patched next
+		// iteration or left for the final copy).
+		newLatch := blockMap[l.Latch]
+		newLatch.Term = ir.Term{Kind: ir.TermJmp, Then: l.Header}
+		prevLatch = newLatch
+		allCopies = append(allCopies, copies...)
+		firstHeaders = append(firstHeaders, blockMap[l.Header])
+	}
+
+	// Splice copies after the original latch in layout order so the
+	// inter-copy jumps become fallthroughs in the emitted code.
+	idx := indexOfBlock(f.Blocks, l.Latch)
+	tail := append([]*ir.Block{}, f.Blocks[idx+1:]...)
+	f.Blocks = append(f.Blocks[:idx+1], allCopies...)
+	f.Blocks = append(f.Blocks, tail...)
+	l.Blocks = append(l.Blocks, allCopies...)
+	_ = firstHeaders
+}

@@ -1,0 +1,205 @@
+package core
+
+import (
+	"fmt"
+
+	"biaslab/internal/bench"
+	"biaslab/internal/compiler"
+	"biaslab/internal/stats"
+)
+
+// EnvPoint is one point of an environment-size sweep: the measured cycles
+// at two optimization levels and their ratio.
+type EnvPoint struct {
+	EnvBytes   uint64
+	CyclesBase uint64
+	CyclesOpt  uint64
+	Speedup    float64
+}
+
+// EnvSweep measures b's O3-over-O2 speedup at every environment size in
+// sizes, holding everything else in setup fixed. This regenerates the
+// paper's Figures 1–2 for a single benchmark and, aggregated across the
+// suite, Figures 3–5.
+func EnvSweep(r *Runner, b *bench.Benchmark, setup Setup, sizes []uint64) ([]EnvPoint, error) {
+	points := make([]EnvPoint, len(sizes))
+	err := ForEach(len(sizes), 0, func(i int) error {
+		s := setup
+		s.EnvBytes = sizes[i]
+		speedup, mb, mo, err := r.Speedup(b, s, compiler.O2, compiler.O3)
+		if err != nil {
+			return err
+		}
+		points[i] = EnvPoint{
+			EnvBytes:   sizes[i],
+			CyclesBase: mb.Cycles,
+			CyclesOpt:  mo.Cycles,
+			Speedup:    speedup,
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return points, nil
+}
+
+// DefaultEnvSizes returns the canonical environment-size sweep: from the
+// empty environment to 4 KiB in the given step (the paper swept 0–4088
+// bytes). Sizes 9–16 are unrepresentable (see loader.SyntheticEnv) and are
+// skipped automatically.
+func DefaultEnvSizes(step uint64) []uint64 {
+	if step == 0 {
+		step = 128
+	}
+	sizes := []uint64{8}
+	for sz := step; sz <= 4096; sz += step {
+		if sz >= 17 {
+			sizes = append(sizes, sz)
+		}
+	}
+	return sizes
+}
+
+// LinkPoint is one link order's measurement.
+type LinkPoint struct {
+	Label      string
+	Order      []int
+	CyclesBase uint64
+	CyclesOpt  uint64
+	Speedup    float64
+}
+
+// LinkSweep measures b's speedup under the default order, the alphabetical
+// order, and n random permutations — the paper's link-order experiment.
+func LinkSweep(r *Runner, b *bench.Benchmark, setup Setup, n int, seed uint64) ([]LinkPoint, error) {
+	names := r.UnitNames(b)
+	rng := stats.NewRNG(seed)
+	type cand struct {
+		label string
+		order []int
+	}
+	cands := []cand{
+		{"default", IdentityOrder(len(names))},
+		{"alphabetical", AlphabeticalOrder(names)},
+	}
+	for i := 0; i < n; i++ {
+		cands = append(cands, cand{fmt.Sprintf("random%02d", i), RandomOrder(len(names), rng)})
+	}
+	points := make([]LinkPoint, len(cands))
+	err := ForEach(len(cands), 0, func(i int) error {
+		c := cands[i]
+		s := setup
+		s.LinkOrder = c.order
+		speedup, mb, mo, err := r.Speedup(b, s, compiler.O2, compiler.O3)
+		if err != nil {
+			return err
+		}
+		points[i] = LinkPoint{
+			Label:      c.label,
+			Order:      c.order,
+			CyclesBase: mb.Cycles,
+			CyclesOpt:  mo.Cycles,
+			Speedup:    speedup,
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return points, nil
+}
+
+// BiasReport summarizes how a benchmark's measured speedup moves as one
+// innocuous setup factor varies — the per-benchmark content of the paper's
+// violin plots and of its "is the bias big enough to matter?" analysis.
+type BiasReport struct {
+	Benchmark string
+	Machine   string
+	Factor    string // "environment size" or "link order"
+	Speedups  stats.Summary
+	// FlipsSign is true when the sweep contains speedups on both sides of
+	// 1.0: the same experiment supports opposite conclusions.
+	FlipsSign bool
+	// BiasOverEffect is (max−min speedup) / |median speedup − 1|: how big
+	// the bias is relative to the effect being measured. Values ≥ 1 mean
+	// the setup choice matters as much as the optimization itself.
+	BiasOverEffect float64
+}
+
+// NewBiasReport summarizes a slice of speedups.
+func NewBiasReport(benchName, machineName, factor string, speedups []float64) BiasReport {
+	s := stats.Summarize(speedups)
+	rep := BiasReport{
+		Benchmark: benchName,
+		Machine:   machineName,
+		Factor:    factor,
+		Speedups:  s,
+		FlipsSign: s.Min < 1 && s.Max > 1,
+	}
+	effect := s.Median - 1
+	if effect < 0 {
+		effect = -effect
+	}
+	if effect < 1e-9 {
+		effect = 1e-9
+	}
+	rep.BiasOverEffect = s.Range() / effect
+	return rep
+}
+
+func (rep BiasReport) String() string {
+	flip := ""
+	if rep.FlipsSign {
+		flip = " FLIPS-SIGN"
+	}
+	return fmt.Sprintf("%-11s %-9s %-16s speedup %.4f..%.4f (med %.4f) bias/effect %.2f%s",
+		rep.Benchmark, rep.Machine, rep.Factor,
+		rep.Speedups.Min, rep.Speedups.Max, rep.Speedups.Median,
+		rep.BiasOverEffect, flip)
+}
+
+// SuiteEnvStudy runs the environment sweep for every benchmark on one
+// machine and returns a BiasReport per benchmark plus the raw speedups —
+// the data behind Figures 3–5.
+func SuiteEnvStudy(r *Runner, machineName string, sizes []uint64, pers compiler.Personality) ([]BiasReport, map[string][]float64, error) {
+	reports := []BiasReport{}
+	raw := map[string][]float64{}
+	for _, b := range bench.All() {
+		setup := DefaultSetup(machineName)
+		setup.Compiler.Personality = pers
+		points, err := EnvSweep(r, b, setup, sizes)
+		if err != nil {
+			return nil, nil, err
+		}
+		speedups := make([]float64, len(points))
+		for i, p := range points {
+			speedups[i] = p.Speedup
+		}
+		raw[b.Name] = speedups
+		reports = append(reports, NewBiasReport(b.Name, machineName, "environment size", speedups))
+	}
+	return reports, raw, nil
+}
+
+// SuiteLinkStudy runs the link-order sweep for every benchmark on one
+// machine — the data behind Figures 6–7.
+func SuiteLinkStudy(r *Runner, machineName string, nOrders int, seed uint64, pers compiler.Personality) ([]BiasReport, map[string][]float64, error) {
+	reports := []BiasReport{}
+	raw := map[string][]float64{}
+	for _, b := range bench.All() {
+		setup := DefaultSetup(machineName)
+		setup.Compiler.Personality = pers
+		points, err := LinkSweep(r, b, setup, nOrders, seed)
+		if err != nil {
+			return nil, nil, err
+		}
+		speedups := make([]float64, len(points))
+		for i, p := range points {
+			speedups[i] = p.Speedup
+		}
+		raw[b.Name] = speedups
+		reports = append(reports, NewBiasReport(b.Name, machineName, "link order", speedups))
+	}
+	return reports, raw, nil
+}

@@ -1,0 +1,163 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"biaslab/internal/bench"
+	"biaslab/internal/machine"
+	"biaslab/internal/stats"
+)
+
+// Causal analysis is the paper's second remedy: when a measurement differs
+// between two setups, do not *guess* the microarchitectural cause from a
+// plausible story — **intervene** on the suspected cause directly, holding
+// everything else fixed, and check that (a) the intervention reproduces the
+// effect and (b) a hardware event consistent with the explanation tracks
+// the cycles.
+//
+// The intervention implemented here is the one the env-size channel needs:
+// displace the stack directly via the loader's StackShift, without touching
+// the environment at all. If cycles move with StackShift the way they move
+// with environment size, stack placement — not "the environment" — is the
+// cause.
+
+// CausalPoint is one intervention level's measurement.
+type CausalPoint struct {
+	Shift    uint64
+	Cycles   uint64
+	Counters machine.Counters
+}
+
+// CounterCorrelation ranks one performance counter's association with the
+// cycle variation across the intervention sweep.
+type CounterCorrelation struct {
+	Counter  string
+	Pearson  float64
+	Spearman float64
+}
+
+// CausalReport is the outcome of an intervention study.
+type CausalReport struct {
+	Benchmark string
+	Machine   string
+	Points    []CausalPoint
+	// CycleRange is max−min cycles across the intervention: the size of
+	// the reproduced effect.
+	CycleRange uint64
+	// EnvRange is max−min cycles across a matched env-size sweep, for the
+	// "does the intervention reproduce the effect?" comparison.
+	EnvRange uint64
+	// Correlations lists counters ordered by |Pearson| with cycles.
+	Correlations []CounterCorrelation
+}
+
+// Reproduces reports whether the direct intervention produces cycle
+// variation of at least half the magnitude the environment sweep produced —
+// the paper's criterion for "the suspected cause explains the effect".
+func (cr CausalReport) Reproduces() bool {
+	return cr.CycleRange*2 >= cr.EnvRange
+}
+
+// TopCause returns the most correlated counter (other than cycles and
+// instruction count themselves).
+func (cr CausalReport) TopCause() CounterCorrelation {
+	for _, c := range cr.Correlations {
+		if c.Counter != "cycles" && c.Counter != "instructions" {
+			return c
+		}
+	}
+	return CounterCorrelation{}
+}
+
+func (cr CausalReport) String() string {
+	top := cr.TopCause()
+	return fmt.Sprintf("%s on %s: intervention range %d cycles (env range %d), reproduces=%v, top correlate %s (r=%.3f)",
+		cr.Benchmark, cr.Machine, cr.CycleRange, cr.EnvRange, cr.Reproduces(), top.Counter, top.Pearson)
+}
+
+// CausalStudy sweeps StackShift over [0, maxShift] in the given step with a
+// fixed environment, and separately sweeps environment size over a matched
+// range, then correlates every performance counter with cycles across the
+// intervention.
+func CausalStudy(r *Runner, b *bench.Benchmark, setup Setup, maxShift, step uint64) (*CausalReport, error) {
+	if step == 0 {
+		step = 64
+	}
+	report := &CausalReport{Benchmark: b.Name, Machine: setup.Machine}
+
+	var minC, maxC uint64
+	for shift := uint64(0); shift <= maxShift; shift += step {
+		s := setup
+		s.StackShift = shift
+		m, err := r.Measure(b, s)
+		if err != nil {
+			return nil, err
+		}
+		report.Points = append(report.Points, CausalPoint{Shift: shift, Cycles: m.Cycles, Counters: m.Counters})
+		if minC == 0 || m.Cycles < minC {
+			minC = m.Cycles
+		}
+		if m.Cycles > maxC {
+			maxC = m.Cycles
+		}
+	}
+	report.CycleRange = maxC - minC
+
+	// Matched environment sweep (same displacement range, via env bytes).
+	minC, maxC = 0, 0
+	for extra := uint64(0); extra <= maxShift; extra += step {
+		s := setup
+		s.EnvBytes = setup.EnvBytes + extra
+		if s.EnvBytes > 8 && s.EnvBytes < 17 {
+			s.EnvBytes = 17
+		}
+		m, err := r.Measure(b, s)
+		if err != nil {
+			return nil, err
+		}
+		if minC == 0 || m.Cycles < minC {
+			minC = m.Cycles
+		}
+		if m.Cycles > maxC {
+			maxC = m.Cycles
+		}
+	}
+	report.EnvRange = maxC - minC
+
+	// Correlate each counter with cycles across the intervention points.
+	cycles := make([]float64, len(report.Points))
+	for i, p := range report.Points {
+		cycles[i] = float64(p.Cycles)
+	}
+	for _, name := range machine.CounterNames() {
+		vals := make([]float64, len(report.Points))
+		allSame := true
+		for i, p := range report.Points {
+			v, _ := p.Counters.Get(name)
+			vals[i] = float64(v)
+			if vals[i] != vals[0] {
+				allSame = false
+			}
+		}
+		if allSame {
+			continue // constants carry no causal signal
+		}
+		report.Correlations = append(report.Correlations, CounterCorrelation{
+			Counter:  name,
+			Pearson:  stats.Pearson(vals, cycles),
+			Spearman: stats.Spearman(vals, cycles),
+		})
+	}
+	sort.Slice(report.Correlations, func(i, j int) bool {
+		return abs(report.Correlations[i].Pearson) > abs(report.Correlations[j].Pearson)
+	})
+	return report, nil
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,92 @@
+package core
+
+import (
+	"fmt"
+
+	"biaslab/internal/bench"
+	"biaslab/internal/compiler"
+	"biaslab/internal/stats"
+)
+
+// Comparison is the robust answer to "is toolchain A faster than toolchain
+// B for this benchmark?": paired cycle ratios across randomized setups,
+// with interval estimates and a scale-free effect size. This is the
+// experiment a paper should run instead of quoting one build on one setup.
+type Comparison struct {
+	Benchmark string
+	Machine   string
+	A, B      compiler.Config
+	N         int
+	// Ratios holds cycles(B)/cycles(A) per randomized setup (>1 ⇒ A faster).
+	Ratios    []float64
+	Mean      float64
+	TInterval stats.Interval
+	MedianCI  stats.Interval
+	// EffectSize is Cohen's d between the raw cycle samples of A and B.
+	EffectSize float64
+}
+
+// Verdict summarizes the comparison: "A" or "B" when the 95% interval for
+// the ratio excludes 1.0, otherwise "inconclusive".
+func (c Comparison) Verdict() string {
+	switch {
+	case c.TInterval.Lo > 1:
+		return "A"
+	case c.TInterval.Hi < 1:
+		return "B"
+	}
+	return "inconclusive"
+}
+
+func (c Comparison) String() string {
+	return fmt.Sprintf("%s on %s: %s vs %s over %d setups: ratio %.4f %v (d=%.2f) → %s",
+		c.Benchmark, c.Machine, c.A, c.B, c.N, c.Mean, c.TInterval, c.EffectSize, c.Verdict())
+}
+
+// CompareConfigs measures benchmark b under configs a and bCfg across n
+// randomized setups (shared between the two sides, so the comparison is
+// paired) and returns the robust comparison.
+func CompareConfigs(r *Runner, b *bench.Benchmark, base Setup, a, bCfg compiler.Config, n int, seed uint64) (*Comparison, error) {
+	if n < 3 {
+		n = 3
+	}
+	setups := RandomSetups(base, n, len(r.UnitNames(b)), seed)
+	cyclesA := make([]float64, n)
+	cyclesB := make([]float64, n)
+	err := ForEach(n, 0, func(i int) error {
+		sa := setups[i]
+		sa.Compiler = a
+		ma, err := r.Measure(b, sa)
+		if err != nil {
+			return err
+		}
+		sb := setups[i]
+		sb.Compiler = bCfg
+		mb, err := r.Measure(b, sb)
+		if err != nil {
+			return err
+		}
+		cyclesA[i] = float64(ma.Cycles)
+		cyclesB[i] = float64(mb.Cycles)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	ratios := make([]float64, n)
+	for i := range ratios {
+		ratios[i] = cyclesB[i] / cyclesA[i]
+	}
+	return &Comparison{
+		Benchmark:  b.Name,
+		Machine:    base.Machine,
+		A:          a,
+		B:          bCfg,
+		N:          n,
+		Ratios:     ratios,
+		Mean:       stats.Mean(ratios),
+		TInterval:  stats.TInterval(ratios, 0.95),
+		MedianCI:   stats.MedianInterval(ratios, 0.95),
+		EffectSize: stats.EffectSize(cyclesB, cyclesA),
+	}, nil
+}

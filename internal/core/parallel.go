@@ -1,0 +1,71 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+)
+
+// ForEach runs fn(0..n-1) across min(workers, n) goroutines and returns the
+// first error (remaining work still runs to completion; measurements are
+// independent). workers ≤ 0 selects GOMAXPROCS. Results must be written by
+// index into caller-owned slices, which keeps output deterministic no
+// matter how the work interleaves.
+func ForEach(n, workers int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var (
+		wg       sync.WaitGroup
+		next     int
+		mu       sync.Mutex
+		firstErr error
+	)
+	take := func() int {
+		mu.Lock()
+		defer mu.Unlock()
+		if next >= n {
+			return -1
+		}
+		i := next
+		next++
+		return i
+	}
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+	}
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := take()
+				if i < 0 {
+					return
+				}
+				if err := fn(i); err != nil {
+					fail(err)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return firstErr
+}

@@ -1,0 +1,103 @@
+package core
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+
+	"biaslab/internal/bench"
+	"biaslab/internal/compiler"
+)
+
+func TestForEachCoversAllIndices(t *testing.T) {
+	for _, workers := range []int{0, 1, 3, 16} {
+		var hits [100]int32
+		err := ForEach(100, workers, func(i int) error {
+			atomic.AddInt32(&hits[i], 1)
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("workers=%d: index %d hit %d times", workers, i, h)
+			}
+		}
+	}
+}
+
+func TestForEachPropagatesError(t *testing.T) {
+	boom := errors.New("boom")
+	err := ForEach(50, 4, func(i int) error {
+		if i == 25 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Errorf("error not propagated: %v", err)
+	}
+	if err := ForEach(0, 4, func(int) error { return boom }); err != nil {
+		t.Error("empty range should not error")
+	}
+}
+
+// TestParallelMeasurementsDeterministic is the contract that makes the
+// parallel harness trustworthy: sweeping in parallel must produce exactly
+// the numbers the sequential sweep produces.
+func TestParallelMeasurementsDeterministic(t *testing.T) {
+	b, _ := bench.ByName("hmmer")
+	sizes := []uint64{8, 512, 1024, 2048, 4096}
+
+	run := func() []EnvPoint {
+		r := NewRunner(bench.SizeTest)
+		pts, err := EnvSweep(r, b, DefaultSetup("p4"), sizes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return pts
+	}
+	a, bpts := run(), run()
+	for i := range a {
+		if a[i] != bpts[i] {
+			t.Fatalf("parallel sweep nondeterministic at %d: %+v vs %+v", i, a[i], bpts[i])
+		}
+	}
+}
+
+// TestConcurrentMeasureSharedRunner hammers one Runner from many
+// goroutines across machines and configs.
+func TestConcurrentMeasureSharedRunner(t *testing.T) {
+	r := NewRunner(bench.SizeTest)
+	b, _ := bench.ByName("libquantum")
+	machines := []string{"p4", "core2", "m5"}
+	cycles := make([]uint64, 24)
+	err := ForEach(len(cycles), 8, func(i int) error {
+		s := DefaultSetup(machines[i%3])
+		s.EnvBytes = uint64(17 + 64*i)
+		if i%2 == 1 {
+			s.Compiler.Level = compiler.O3
+		}
+		m, err := r.Measure(b, s)
+		if err != nil {
+			return err
+		}
+		cycles[i] = m.Cycles
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Re-measuring any point sequentially must reproduce it.
+	s := DefaultSetup(machines[5%3])
+	s.EnvBytes = uint64(17 + 64*5)
+	s.Compiler.Level = compiler.O3
+	m, err := r.Measure(b, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Cycles != cycles[5] {
+		t.Errorf("parallel measurement %d differs from sequential %d", cycles[5], m.Cycles)
+	}
+}

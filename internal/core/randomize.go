@@ -1,0 +1,177 @@
+package core
+
+import (
+	"fmt"
+
+	"biaslab/internal/bench"
+	"biaslab/internal/compiler"
+	"biaslab/internal/stats"
+)
+
+// RandomSetups draws n random experimental setups: environment size uniform
+// over the representable sizes up to 4 KiB and a uniformly random link
+// order. This is the paper's first remedy — **experimental setup
+// randomization** — which turns the unknowable bias of any single setup
+// into ordinary sampling variance that a confidence interval can honestly
+// summarize.
+func RandomSetups(base Setup, n, numUnits int, seed uint64) []Setup {
+	rng := stats.NewRNG(seed)
+	setups := make([]Setup, n)
+	for i := range setups {
+		s := base
+		// Representable env sizes are 8 and [17, ∞); draw until valid.
+		for {
+			sz := uint64(rng.Intn(4096) + 1)
+			if sz == 8 || sz >= 17 {
+				s.EnvBytes = sz
+				break
+			}
+		}
+		s.LinkOrder = RandomOrder(numUnits, rng)
+		// Code placement: pad objects by a random multiple of 4 bytes up
+		// to 256, perturbing function addresses beyond what permutation
+		// alone reaches.
+		s.TextPad = uint64(rng.Intn(64)) * 4
+		setups[i] = s
+	}
+	return setups
+}
+
+// RobustEstimate is the randomized-setup estimate of a speedup: a mean over
+// n random setups with both t and bootstrap confidence intervals.
+type RobustEstimate struct {
+	Benchmark string
+	Machine   string
+	N         int
+	Speedups  []float64
+	Mean      float64
+	TInterval stats.Interval
+	Bootstrap stats.Interval
+	// MedianCI is the distribution-free order-statistic interval for the
+	// median — the robust alternative later methodology work recommends.
+	MedianCI stats.Interval
+}
+
+func (e RobustEstimate) String() string {
+	return fmt.Sprintf("%-11s %-9s n=%d speedup %.4f  t95 %v  boot95 %v  med95 %v",
+		e.Benchmark, e.Machine, e.N, e.Mean, e.TInterval, e.Bootstrap, e.MedianCI)
+}
+
+// Conclusive reports whether the interval excludes 1.0 — i.e. whether the
+// randomized experiment actually supports a direction for the effect.
+func (e RobustEstimate) Conclusive() bool {
+	return !e.TInterval.Contains(1.0)
+}
+
+// EstimateSpeedup runs benchmark b under n randomized setups and returns
+// the robust estimate of the O3-over-O2 speedup.
+func EstimateSpeedup(r *Runner, b *bench.Benchmark, base Setup, n int, seed uint64) (*RobustEstimate, error) {
+	setups := RandomSetups(base, n, len(r.UnitNames(b)), seed)
+	speedups := make([]float64, n)
+	err := ForEach(n, 0, func(i int) error {
+		sp, _, _, err := r.Speedup(b, setups[i], compiler.O2, compiler.O3)
+		if err != nil {
+			return err
+		}
+		speedups[i] = sp
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	rng := stats.NewRNG(seed ^ 0xB0075)
+	return &RobustEstimate{
+		Benchmark: b.Name,
+		Machine:   base.Machine,
+		N:         n,
+		Speedups:  speedups,
+		Mean:      stats.Mean(speedups),
+		TInterval: stats.TInterval(speedups, 0.95),
+		Bootstrap: stats.BootstrapMeanInterval(speedups, 0.95, 1000, rng),
+		MedianCI:  stats.MedianInterval(speedups, 0.95),
+	}, nil
+}
+
+// SingleSetupVerdicts contrasts the randomized estimate with what a
+// researcher using one fixed setup would have concluded: for each of the
+// given single setups, the point estimate and whether it falls inside the
+// randomized confidence interval.
+type SingleSetupVerdict struct {
+	Label      string
+	Speedup    float64
+	InInterval bool
+}
+
+// CompareSingleSetups measures b under each labelled single setup and
+// checks the result against the robust interval.
+func CompareSingleSetups(r *Runner, b *bench.Benchmark, est *RobustEstimate, labelled map[string]Setup) ([]SingleSetupVerdict, error) {
+	verdicts := []SingleSetupVerdict{}
+	for label, s := range labelled {
+		sp, _, _, err := r.Speedup(b, s, compiler.O2, compiler.O3)
+		if err != nil {
+			return nil, err
+		}
+		verdicts = append(verdicts, SingleSetupVerdict{
+			Label:      label,
+			Speedup:    sp,
+			InInterval: est.TInterval.Contains(sp),
+		})
+	}
+	return verdicts, nil
+}
+
+// EstimateSpeedupAdaptive answers the practical question the paper's
+// randomization remedy raises — *how many setups are enough?* — by sampling
+// adaptively: it draws randomized setups in batches until the 95%
+// confidence interval's half-width falls below tol (in absolute speedup
+// units, e.g. 0.005 = half a percentage point) or maxN setups have been
+// measured. minN guards against lucky early stopping.
+func EstimateSpeedupAdaptive(r *Runner, b *bench.Benchmark, base Setup, tol float64, minN, maxN int, seed uint64) (*RobustEstimate, error) {
+	if minN < 3 {
+		minN = 3
+	}
+	if maxN < minN {
+		maxN = minN
+	}
+	setups := RandomSetups(base, maxN, len(r.UnitNames(b)), seed)
+	speedups := make([]float64, 0, maxN)
+
+	const batch = 4
+	for len(speedups) < maxN {
+		take := batch
+		if len(speedups)+take > maxN {
+			take = maxN - len(speedups)
+		}
+		block := make([]float64, take)
+		start := len(speedups)
+		err := ForEach(take, 0, func(i int) error {
+			sp, _, _, err := r.Speedup(b, setups[start+i], compiler.O2, compiler.O3)
+			if err != nil {
+				return err
+			}
+			block[i] = sp
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		speedups = append(speedups, block...)
+		if len(speedups) >= minN {
+			iv := stats.TInterval(speedups, 0.95)
+			if iv.Width()/2 <= tol {
+				break
+			}
+		}
+	}
+	rng := stats.NewRNG(seed ^ 0xADA9)
+	return &RobustEstimate{
+		Benchmark: b.Name,
+		Machine:   base.Machine,
+		N:         len(speedups),
+		Speedups:  speedups,
+		Mean:      stats.Mean(speedups),
+		TInterval: stats.TInterval(speedups, 0.95),
+		Bootstrap: stats.BootstrapMeanInterval(speedups, 0.95, 1000, rng),
+		MedianCI:  stats.MedianInterval(speedups, 0.95),
+	}, nil
+}

@@ -1,0 +1,264 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"biaslab/internal/bench"
+	"biaslab/internal/compiler"
+	"biaslab/internal/linker"
+	"biaslab/internal/loader"
+	"biaslab/internal/machine"
+	"biaslab/internal/obj"
+)
+
+// Measurement is the outcome of running one benchmark under one setup.
+type Measurement struct {
+	Setup    Setup
+	Cycles   uint64
+	Counters machine.Counters
+	Checksum uint64
+}
+
+// Runner executes benchmarks under setups. It caches compiled objects per
+// (benchmark, compiler config) — compilation does not depend on environment
+// or link order, only linking and loading do — and reuses one machine
+// instance per model. A Runner also enforces the metamorphic invariant at
+// the heart of the paper: across every setup, a benchmark's *output*
+// (checksum) must be bit-identical even though its *cycles* differ; any
+// violation is a toolchain bug and is reported as an error.
+type Runner struct {
+	Size bench.Size
+	// MaxInstructions bounds each run (0 = default).
+	MaxInstructions uint64
+
+	mu        sync.Mutex
+	objCache  map[objKey][]*obj.Object
+	compiling map[objKey]*sync.WaitGroup    // in-flight compiles (singleflight)
+	machines  map[string][]*machine.Machine // idle pool per model
+	custom    map[string]machine.Config     // RegisterMachine configs
+	oracles   map[string]uint64             // benchmark → expected checksum
+}
+
+type objKey struct {
+	bench string
+	cfg   compiler.Config
+}
+
+// NewRunner builds a runner at the given workload size. A Runner is safe
+// for concurrent use: machines are pooled per model, compiled objects are
+// cached under a lock, and measurements are deterministic regardless of
+// scheduling (every run fully resets its machine).
+func NewRunner(size bench.Size) *Runner {
+	return &Runner{
+		Size:            size,
+		MaxInstructions: 1 << 31,
+		objCache:        map[objKey][]*obj.Object{},
+		compiling:       map[objKey]*sync.WaitGroup{},
+		machines:        map[string][]*machine.Machine{},
+		oracles:         map[string]uint64{},
+	}
+}
+
+// objects compiles (or fetches cached) objects for b under cfg, compiling
+// each (benchmark, config) at most once even under concurrency.
+func (r *Runner) objects(b *bench.Benchmark, cfg compiler.Config) ([]*obj.Object, error) {
+	key := objKey{bench: b.Name, cfg: cfg}
+	for {
+		r.mu.Lock()
+		if objs, ok := r.objCache[key]; ok {
+			r.mu.Unlock()
+			return objs, nil
+		}
+		if wg, inflight := r.compiling[key]; inflight {
+			r.mu.Unlock()
+			wg.Wait()
+			continue // cache now populated (or compile failed; retry compiles)
+		}
+		wg := &sync.WaitGroup{}
+		wg.Add(1)
+		r.compiling[key] = wg
+		r.mu.Unlock()
+
+		objs, _, err := compiler.Compile(b.Sources(r.Size), cfg)
+		r.mu.Lock()
+		delete(r.compiling, key)
+		if err == nil {
+			r.objCache[key] = objs
+		}
+		r.mu.Unlock()
+		wg.Done()
+		if err != nil {
+			return nil, fmt.Errorf("core: compiling %s with %s: %w", b.Name, cfg, err)
+		}
+		return objs, nil
+	}
+}
+
+// acquireMachine takes an idle machine for the named model from the pool,
+// constructing one if none is free.
+func (r *Runner) acquireMachine(name string) (*machine.Machine, error) {
+	r.mu.Lock()
+	pool := r.machines[name]
+	if n := len(pool); n > 0 {
+		m := pool[n-1]
+		r.machines[name] = pool[:n-1]
+		r.mu.Unlock()
+		return m, nil
+	}
+	_, registered := r.custom[name]
+	r.mu.Unlock()
+	if registered {
+		r.mu.Lock()
+		cfg := r.custom[name]
+		r.mu.Unlock()
+		return machine.New(cfg), nil
+	}
+	cfg, ok := machine.ConfigByName(name)
+	if !ok {
+		return nil, fmt.Errorf("core: unknown machine %q", name)
+	}
+	return machine.New(cfg), nil
+}
+
+// releaseMachine returns a machine to the pool.
+func (r *Runner) releaseMachine(name string, m *machine.Machine) {
+	r.mu.Lock()
+	r.machines[name] = append(r.machines[name], m)
+	r.mu.Unlock()
+}
+
+// UnitNames returns the names of b's translation units in default order.
+func (r *Runner) UnitNames(b *bench.Benchmark) []string {
+	srcs := b.Sources(r.Size)
+	names := make([]string, len(srcs))
+	for i, s := range srcs {
+		names[i] = s.Name
+	}
+	return names
+}
+
+// Measure runs benchmark b under setup and returns the measurement.
+func (r *Runner) Measure(b *bench.Benchmark, setup Setup) (*Measurement, error) {
+	meas, err := r.measure(b, setup, false)
+	if err != nil {
+		return nil, err
+	}
+	return meas.m, nil
+}
+
+// checkOracle enforces output stability across setups.
+func (r *Runner) checkOracle(name string, checksum uint64, setup Setup) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if want, ok := r.oracles[name]; ok {
+		if checksum != want {
+			return fmt.Errorf("core: %s produced checksum %d under %s, expected %d — experimental setup changed program OUTPUT, which must never happen", name, checksum, setup, want)
+		}
+		return nil
+	}
+	r.oracles[name] = checksum
+	return nil
+}
+
+// Speedup measures b at two optimization levels under otherwise identical
+// setup and returns cycles(base)/cycles(opt) — the quantity the paper's
+// figures plot (>1 means opt is faster).
+func (r *Runner) Speedup(b *bench.Benchmark, setup Setup, base, opt compiler.Level) (float64, *Measurement, *Measurement, error) {
+	mb, err := r.Measure(b, setup.WithLevel(base))
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	mo, err := r.Measure(b, setup.WithLevel(opt))
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	return float64(mb.Cycles) / float64(mo.Cycles), mb, mo, nil
+}
+
+// MeasureProfiled is Measure plus per-function cycle attribution. It is
+// the instrument behind "where did the extra cycles go?" questions in
+// causal analysis.
+func (r *Runner) MeasureProfiled(b *bench.Benchmark, setup Setup) (*Measurement, machine.Profile, error) {
+	meas, err := r.measure(b, setup, true)
+	if err != nil {
+		return nil, nil, err
+	}
+	return meas.m, meas.profile, nil
+}
+
+// measured bundles a measurement with its optional profile.
+type measured struct {
+	m       *Measurement
+	profile machine.Profile
+}
+
+// measure contains the shared body of Measure and MeasureProfiled.
+func (r *Runner) measure(b *bench.Benchmark, setup Setup, profiled bool) (*measured, error) {
+	objs, err := r.objects(b, setup.Compiler)
+	if err != nil {
+		return nil, err
+	}
+	ordered := objs
+	if setup.LinkOrder != nil {
+		if !ValidOrder(setup.LinkOrder, len(objs)) {
+			return nil, fmt.Errorf("core: invalid link order %v for %d units", setup.LinkOrder, len(objs))
+		}
+		ordered = make([]*obj.Object, len(objs))
+		for i, src := range setup.LinkOrder {
+			ordered[i] = objs[src]
+		}
+	}
+	exe, err := linker.Link(ordered, linker.Options{PadObjects: setup.TextPad})
+	if err != nil {
+		return nil, fmt.Errorf("core: linking %s: %w", b.Name, err)
+	}
+	envBytes := setup.EnvBytes
+	if envBytes == 0 {
+		envBytes = DefaultEnvBytes
+	}
+	img, err := loader.Load(exe, loader.Options{
+		Env:        loader.SyntheticEnv(envBytes),
+		Args:       []string{b.Name},
+		StackShift: setup.StackShift,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: loading %s: %w", b.Name, err)
+	}
+	m, err := r.acquireMachine(setup.Machine)
+	if err != nil {
+		return nil, err
+	}
+	m.EnableProfiling(profiled)
+	res, err := m.Run(img, r.MaxInstructions)
+	m.EnableProfiling(false)
+	r.releaseMachine(setup.Machine, m)
+	if err != nil {
+		return nil, fmt.Errorf("core: running %s under %s: %w", b.Name, setup, err)
+	}
+	if err := r.checkOracle(b.Name, res.Checksum, setup); err != nil {
+		return nil, err
+	}
+	return &measured{
+		m: &Measurement{
+			Setup:    setup,
+			Cycles:   res.Counters.Cycles,
+			Counters: res.Counters,
+			Checksum: res.Checksum,
+		},
+		profile: res.Profile,
+	}, nil
+}
+
+// RegisterMachine makes a custom machine configuration available under the
+// given name — the hook for mechanism-ablation studies (e.g. "a Pentium 4
+// without 4 KiB aliasing") that pin down which microarchitectural features
+// carry each bias channel.
+func (r *Runner) RegisterMachine(name string, cfg machine.Config) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.custom == nil {
+		r.custom = map[string]machine.Config{}
+	}
+	r.custom[name] = cfg
+}

@@ -1,0 +1,121 @@
+// Package core implements the paper's contribution: the machinery to
+// measure, expose, and correct for **measurement bias** in computer-system
+// performance evaluation.
+//
+// An experimental Setup captures everything the paper shows can silently
+// change a measurement: the machine, the compiler and optimization level,
+// the UNIX environment size (which displaces the stack), and the link order
+// (which displaces the code). The Runner executes a benchmark under a setup
+// and returns exact performance-counter measurements. On top of that sit
+// the three analyses of the paper: bias sweeps (vary one innocuous factor,
+// watch the conclusion change), experimental-setup randomization (the
+// statistical remedy), and causal analysis (the diagnostic remedy).
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"biaslab/internal/compiler"
+	"biaslab/internal/stats"
+)
+
+// Setup is one complete experimental configuration.
+type Setup struct {
+	// Machine names the hardware model: "p4", "core2" or "m5".
+	Machine string
+	// Compiler selects the toolchain personality and optimization level.
+	Compiler compiler.Config
+	// EnvBytes is the size of the UNIX environment in bytes (as measured
+	// by loader.EnvBytes). The paper's Figure 3 x-axis.
+	EnvBytes uint64
+	// LinkOrder permutes the benchmark's translation units; nil means the
+	// default (source) order. Values are indices into the unit list.
+	LinkOrder []int
+	// StackShift lowers the initial stack pointer directly, bypassing the
+	// environment: the causal-analysis intervention knob.
+	StackShift uint64
+	// TextPad inserts this many bytes between consecutive objects' text at
+	// link time — a code-placement perturbation in the spirit of address-
+	// space randomization, available to the setup randomizer as a third
+	// factor beyond environment size and link order.
+	TextPad uint64
+}
+
+// DefaultEnvBytes is the environment size used when a setup leaves it zero:
+// a modest, realistic login environment.
+const DefaultEnvBytes = 512
+
+// String renders the setup compactly.
+func (s Setup) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s/%s env=%dB", s.Machine, s.Compiler, s.EnvBytes)
+	if s.LinkOrder != nil {
+		fmt.Fprintf(&sb, " link=%v", s.LinkOrder)
+	}
+	if s.StackShift != 0 {
+		fmt.Fprintf(&sb, " shift=%d", s.StackShift)
+	}
+	if s.TextPad != 0 {
+		fmt.Fprintf(&sb, " pad=%d", s.TextPad)
+	}
+	return sb.String()
+}
+
+// WithLevel returns a copy of s at a different optimization level.
+func (s Setup) WithLevel(l compiler.Level) Setup {
+	s.Compiler.Level = l
+	return s
+}
+
+// DefaultSetup is the baseline configuration experiments perturb.
+func DefaultSetup(machineName string) Setup {
+	return Setup{
+		Machine:  machineName,
+		Compiler: compiler.Config{Level: compiler.O2, Personality: compiler.GCC},
+		EnvBytes: DefaultEnvBytes,
+	}
+}
+
+// IdentityOrder returns the identity link order for n units.
+func IdentityOrder(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	return p
+}
+
+// AlphabeticalOrder returns the permutation that sorts the given unit names
+// alphabetically — one of the two "natural" link orders the paper measures
+// (the other being the default build-system order).
+func AlphabeticalOrder(names []string) []int {
+	p := IdentityOrder(len(names))
+	// Insertion sort keeps this dependency-free and stable.
+	for i := 1; i < len(p); i++ {
+		for j := i; j > 0 && names[p[j]] < names[p[j-1]]; j-- {
+			p[j], p[j-1] = p[j-1], p[j]
+		}
+	}
+	return p
+}
+
+// RandomOrder returns a random permutation of n units drawn from rng.
+func RandomOrder(n int, rng *stats.RNG) []int {
+	return rng.Perm(n)
+}
+
+// ValidOrder reports whether order is a permutation of [0, n).
+func ValidOrder(order []int, n int) bool {
+	if len(order) != n {
+		return false
+	}
+	seen := make([]bool, n)
+	for _, v := range order {
+		if v < 0 || v >= n || seen[v] {
+			return false
+		}
+		seen[v] = true
+	}
+	return true
+}

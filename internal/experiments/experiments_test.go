@@ -1,0 +1,179 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"biaslab/internal/bench"
+)
+
+// testLab builds a cheap Lab: test-size workloads, coarse sweeps.
+func testLab() *Lab {
+	return NewLab(Options{
+		Size:         bench.SizeTest,
+		EnvStep:      1024,
+		FineStep:     512,
+		LinkOrders:   3,
+		RandomSetups: 4,
+		Seed:         7,
+	})
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	l := NewLab(Options{})
+	o := l.Options()
+	if o.EnvStep == 0 || o.FineStep == 0 || o.LinkOrders == 0 || o.RandomSetups == 0 || o.Seed == 0 {
+		t.Errorf("defaults not applied: %+v", o)
+	}
+}
+
+func TestIDsCoverEveryExperiment(t *testing.T) {
+	ids := IDs()
+	if len(ids) != 16 {
+		t.Fatalf("have %d experiments, want 16 (9 figures + 4 tables + 3 ablations)", len(ids))
+	}
+	seen := map[string]bool{}
+	for _, id := range ids {
+		seen[id] = true
+	}
+	for _, want := range []string{"F1", "F2", "F3", "F4", "F5", "F6", "F7", "F8", "F9", "T1", "T2", "T3", "T4", "A1", "A2", "A3"} {
+		if !seen[want] {
+			t.Errorf("missing experiment %s", want)
+		}
+	}
+}
+
+func TestByIDUnknown(t *testing.T) {
+	l := testLab()
+	if _, err := l.ByID("F99"); err == nil {
+		t.Error("unknown id should fail")
+	}
+}
+
+func TestTable3(t *testing.T) {
+	l := testLab()
+	r, err := l.Table3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(r.Text, "133 papers") {
+		t.Errorf("T3 missing survey count:\n%s", r.Text)
+	}
+	if !strings.Contains(r.CSV, "reports link order,0") {
+		t.Errorf("T3 CSV missing central finding:\n%s", r.CSV)
+	}
+}
+
+func TestFigures1And2(t *testing.T) {
+	l := testLab()
+	f1, err := l.Figure1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(f1.Text, "O2") || !strings.Contains(f1.Text, "O3") {
+		t.Errorf("F1 missing series:\n%s", f1.Text)
+	}
+	if !strings.Contains(f1.CSV, "series,x,y") {
+		t.Error("F1 CSV malformed")
+	}
+	f2, err := l.Figure2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(f2.Text, "speedup") {
+		t.Errorf("F2 missing speedup series")
+	}
+}
+
+func TestFigure3AndTable2ShareStudy(t *testing.T) {
+	l := testLab()
+	if _, err := l.Figure3(); err != nil {
+		t.Fatal(err)
+	}
+	if len(l.envStudies) != 1 {
+		t.Fatalf("env studies cached: %d", len(l.envStudies))
+	}
+	// Figure 3 again must not re-run the sweep (cache hit leaves map size).
+	if _, err := l.Figure3(); err != nil {
+		t.Fatal(err)
+	}
+	if len(l.envStudies) != 1 {
+		t.Error("memoization broken")
+	}
+}
+
+func TestFigure8Causal(t *testing.T) {
+	l := testLab()
+	r, err := l.Figure8()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"causal", "Counter correlation", "reproduces effect"} {
+		if !strings.Contains(r.Text, want) {
+			t.Errorf("F8 missing %q:\n%s", want, r.Text)
+		}
+	}
+}
+
+func TestFigure9Randomization(t *testing.T) {
+	if testing.Short() {
+		t.Skip("randomization study is slow")
+	}
+	l := testLab()
+	r, err := l.Figure9()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(r.Text, "95%") {
+		t.Errorf("F9 missing interval:\n%s", r.Text)
+	}
+	// Every benchmark appears.
+	for _, name := range bench.Names() {
+		if !strings.Contains(r.Text, name) {
+			t.Errorf("F9 missing %s", name)
+		}
+	}
+}
+
+func TestTable1(t *testing.T) {
+	l := testLab()
+	r, err := l.Table1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"400.perlbench", "482.sphinx3", "benchmark"} {
+		if !strings.Contains(r.Text, want) {
+			t.Errorf("T1 missing %q", want)
+		}
+	}
+}
+
+func TestTable4BothCompilers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("compiler comparison is slow")
+	}
+	l := testLab()
+	r, err := l.Table4()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(r.Text, "gcc") || !strings.Contains(r.Text, "icc") {
+		t.Errorf("T4 missing personalities:\n%s", r.Text)
+	}
+}
+
+func TestAblation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ablation sweeps are slow")
+	}
+	l := testLab()
+	r, err := l.Ablation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"no-alias", "hi-assoc", "baseline"} {
+		if !strings.Contains(r.Text, want) {
+			t.Errorf("A1 missing %q:\n%s", want, r.Text)
+		}
+	}
+}

@@ -1,0 +1,231 @@
+// Package integration holds the cross-component tests: full-pipeline
+// differential testing of every benchmark against the IR oracle, the
+// metamorphic "setup changes cycles but never output" property across the
+// whole suite, and randomized-program equivalence between the compiled
+// machine and the interpreter.
+package integration
+
+import (
+	"fmt"
+	"testing"
+
+	"biaslab/internal/bench"
+	"biaslab/internal/compiler"
+	"biaslab/internal/core"
+	"biaslab/internal/ir"
+	"biaslab/internal/linker"
+	"biaslab/internal/loader"
+	"biaslab/internal/machine"
+	"biaslab/internal/stats"
+)
+
+// oracle runs a program's IR through the interpreter.
+func oracle(t *testing.T, prog *ir.Program) uint64 {
+	t.Helper()
+	it, err := ir.NewInterp(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	it.SetStepLimit(1 << 28)
+	if err := it.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return it.Checksum
+}
+
+// runMachine compiles, links, loads and runs sources on a machine model.
+func runMachine(t *testing.T, srcs []compiler.Source, cfg compiler.Config, mc machine.Config, env []string) (uint64, *ir.Program) {
+	t.Helper()
+	objs, prog, err := compiler.Compile(srcs, cfg)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	exe, err := linker.Link(objs, linker.Options{})
+	if err != nil {
+		t.Fatalf("link: %v", err)
+	}
+	img, err := loader.Load(exe, loader.Options{Env: env})
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	m := machine.New(mc)
+	res, err := m.Run(img, 1<<28)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return res.Checksum, prog
+}
+
+// TestFullMatrixDifferential is the deepest correctness test in the repo:
+// every benchmark × every optimization level × both personalities, compiled
+// through the whole toolchain and executed on the machine, must match the
+// IR interpreter bit-for-bit.
+func TestFullMatrixDifferential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full matrix is slow")
+	}
+	mc := machine.Core2()
+	for _, b := range bench.All() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			t.Parallel()
+			var want uint64
+			first := true
+			for _, lvl := range []compiler.Level{compiler.O0, compiler.O1, compiler.O2, compiler.O3} {
+				for _, pers := range []compiler.Personality{compiler.GCC, compiler.ICC} {
+					cfg := compiler.Config{Level: lvl, Personality: pers}
+					got, prog := runMachine(t, b.Sources(bench.SizeTest), cfg, mc, nil)
+					if first {
+						want = oracle(t, prog)
+						first = false
+					}
+					if got != want {
+						t.Errorf("%s %v: checksum %d, want %d", b.Name, cfg, got, want)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestMetamorphicSetupInvariance sweeps the suite across setup mutations —
+// env sizes, link orders, stack shifts, machines — and requires identical
+// output everywhere. This is the paper's invariant stated as a test.
+func TestMetamorphicSetupInvariance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("suite sweep is slow")
+	}
+	r := core.NewRunner(bench.SizeTest)
+	rng := stats.NewRNG(101)
+	for _, b := range bench.All() {
+		b := b
+		units := len(r.UnitNames(b))
+		setups := []core.Setup{
+			core.DefaultSetup("core2"),
+			{Machine: "p4", Compiler: compiler.Config{Level: compiler.O2}, EnvBytes: 8},
+			{Machine: "m5", Compiler: compiler.Config{Level: compiler.O2}, EnvBytes: 4096},
+			{Machine: "core2", Compiler: compiler.Config{Level: compiler.O2}, EnvBytes: 777, LinkOrder: core.RandomOrder(units, rng)},
+			{Machine: "core2", Compiler: compiler.Config{Level: compiler.O2}, EnvBytes: 512, StackShift: 344},
+		}
+		var want uint64
+		for i, s := range setups {
+			m, err := r.Measure(b, s)
+			if err != nil {
+				t.Fatalf("%s under %v: %v", b.Name, s, err)
+			}
+			if i == 0 {
+				want = m.Checksum
+			} else if m.Checksum != want {
+				t.Errorf("%s: setup %v changed output (%d vs %d)", b.Name, s, m.Checksum, want)
+			}
+		}
+	}
+}
+
+// genProgram builds a random but well-defined cmini program from a seed:
+// arithmetic over a global array with data-dependent control flow, ending
+// in a checksum. Divisions are guarded so the program cannot trap.
+func genProgram(seed uint64) string {
+	rng := stats.NewRNG(seed)
+	ops := []string{"+", "-", "*", "&", "|", "^"}
+	var body string
+	for i := 0; i < 8; i++ {
+		op := ops[rng.Intn(len(ops))]
+		c := rng.Intn(1000) + 1
+		switch rng.Intn(4) {
+		case 0:
+			body += fmt.Sprintf("\t\tx = (x %s %d) & 1048575;\n", op, c)
+		case 1:
+			body += fmt.Sprintf("\t\tdata[i & 63] = (data[i & 63] %s x) & 65535;\n", op)
+		case 2:
+			body += fmt.Sprintf("\t\tif (x > %d) { x = x - %d; } else { x = x + %d; }\n", c, c/2+1, c%97+1)
+		case 3:
+			body += fmt.Sprintf("\t\tx = x %s helper(data[(i * %d) & 63], %d);\n", op, rng.Intn(7)+1, c)
+		}
+	}
+	return fmt.Sprintf(`
+int data[64];
+int helper(int a, int b) {
+	if (b == 0) { return a; }
+	return (a * 31 + b) & 1048575;
+}
+void main() {
+	int x = %d;
+	for (int i = 0; i < 200; i++) {
+%s	}
+	int sum = 0;
+	for (int i = 0; i < 64; i++) {
+		sum = (sum * 17 + data[i]) & 268435455;
+	}
+	checksum(sum);
+	checksum(x);
+}
+`, rng.Intn(4096), body)
+}
+
+// TestRandomProgramEquivalence generates random programs and checks that
+// the fully optimized machine execution matches the unoptimized oracle —
+// a property-based test over the entire toolchain.
+func TestRandomProgramEquivalence(t *testing.T) {
+	mc := machine.M5O3()
+	for seed := uint64(1); seed <= 25; seed++ {
+		src := genProgram(seed)
+		srcs := []compiler.Source{{Name: "rand.cm", Text: src}}
+		// Oracle at O0.
+		_, prog, err := compiler.Compile(srcs, compiler.Config{Level: compiler.O0})
+		if err != nil {
+			t.Fatalf("seed %d: %v\n%s", seed, err, src)
+		}
+		want := oracle(t, prog)
+		// Machine at O3/icc (every optimization on).
+		got, _ := runMachine(t, srcs, compiler.Config{Level: compiler.O3, Personality: compiler.ICC}, mc, []string{"X=1"})
+		if got != want {
+			t.Errorf("seed %d: O3/icc machine checksum %d != oracle %d\n%s", seed, got, want, src)
+		}
+	}
+}
+
+// TestCyclesDifferAcrossMachines sanity-checks that the three platform
+// models are actually different machines: same program, same binary,
+// different cycle counts.
+func TestCyclesDifferAcrossMachines(t *testing.T) {
+	r := core.NewRunner(bench.SizeTest)
+	b, _ := bench.ByName("milc")
+	cycles := map[string]uint64{}
+	for _, mach := range []string{"p4", "core2", "m5"} {
+		m, err := r.Measure(b, core.DefaultSetup(mach))
+		if err != nil {
+			t.Fatal(err)
+		}
+		cycles[mach] = m.Cycles
+	}
+	if cycles["p4"] == cycles["core2"] || cycles["core2"] == cycles["m5"] {
+		t.Errorf("machine models indistinguishable: %v", cycles)
+	}
+	// The P4 (narrow, slow memory) should be the slowest of the three.
+	if cycles["p4"] <= cycles["core2"] || cycles["p4"] <= cycles["m5"] {
+		t.Errorf("P4 should be slowest: %v", cycles)
+	}
+}
+
+// TestO3EffectHeterogeneous verifies the precondition of the whole study:
+// the *true* O3 effect differs across benchmarks (some gain a lot, some
+// little), because otherwise bias could not plausibly flip conclusions.
+func TestO3EffectHeterogeneous(t *testing.T) {
+	if testing.Short() {
+		t.Skip("suite sweep is slow")
+	}
+	r := core.NewRunner(bench.SizeTest)
+	var speedups []float64
+	for _, b := range bench.All() {
+		sp, _, _, err := r.Speedup(b, core.DefaultSetup("core2"), compiler.O2, compiler.O3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		speedups = append(speedups, sp)
+	}
+	s := stats.Summarize(speedups)
+	if s.Range() < 0.02 {
+		t.Errorf("O3 effect suspiciously uniform across the suite: %v", s)
+	}
+}

@@ -1,0 +1,337 @@
+package ir
+
+import "fmt"
+
+// Builder constructs a Func incrementally. It tracks the "current" block;
+// emit methods append to it. The zero Builder is not usable; call NewFunc.
+type Builder struct {
+	F   *Func
+	cur *Block
+	nb  int // block name counter
+}
+
+// NewFunc starts a new function with the given parameter count. Parameters
+// occupy v0..v(numParams-1).
+func NewFunc(name string, numParams int, hasResult bool) *Builder {
+	f := &Func{
+		Name:      name,
+		NumParams: numParams,
+		NumVRegs:  numParams,
+		HasResult: hasResult,
+	}
+	b := &Builder{F: f}
+	entry := b.NewBlock("entry")
+	b.SetBlock(entry)
+	return b
+}
+
+// NewBlock creates (and registers) a new basic block. The label is a hint;
+// a unique suffix is appended.
+func (b *Builder) NewBlock(label string) *Block {
+	blk := &Block{Name: fmt.Sprintf("%s%d", label, b.nb), Index: len(b.F.Blocks)}
+	b.nb++
+	b.F.Blocks = append(b.F.Blocks, blk)
+	// A block is unterminated until a terminator is set; default to a
+	// self-evidently invalid Ret so the verifier catches fallthrough bugs.
+	blk.Term = Term{Kind: TermRet, Val: -1}
+	return blk
+}
+
+// SetBlock makes blk the target of subsequent emissions.
+func (b *Builder) SetBlock(blk *Block) { b.cur = blk }
+
+// Block returns the current block.
+func (b *Builder) Block() *Block { return b.cur }
+
+func (b *Builder) emit(in Instr) VReg {
+	b.cur.Instrs = append(b.cur.Instrs, in)
+	return in.Dst
+}
+
+// Const materializes a constant.
+func (b *Builder) Const(v int64) VReg {
+	return b.emit(Instr{Op: OpConst, Dst: b.F.NewVReg(), Imm: v})
+}
+
+// Bin emits a binary operation.
+func (b *Builder) Bin(op Op, x, y VReg) VReg {
+	if !op.IsBinary() {
+		panic("ir: Bin with non-binary op " + op.String())
+	}
+	return b.emit(Instr{Op: op, Dst: b.F.NewVReg(), A: x, B: y})
+}
+
+// Unary emits neg/not/copy.
+func (b *Builder) Unary(op Op, x VReg) VReg {
+	if !op.IsUnary() {
+		panic("ir: Unary with non-unary op " + op.String())
+	}
+	return b.emit(Instr{Op: op, Dst: b.F.NewVReg(), A: x})
+}
+
+// Copy emits an explicit register copy.
+func (b *Builder) Copy(x VReg) VReg { return b.Unary(OpCopy, x) }
+
+// CopyTo copies x into an existing register dst.
+func (b *Builder) CopyTo(dst, x VReg) {
+	b.emit(Instr{Op: OpCopy, Dst: dst, A: x})
+}
+
+// Load emits a load of size bytes from addr+off.
+func (b *Builder) Load(addr VReg, off int64, size uint8, signed bool) VReg {
+	return b.emit(Instr{Op: OpLoad, Dst: b.F.NewVReg(), A: addr, Imm: off, Size: size, Signed: signed})
+}
+
+// Store emits a store of the low size bytes of val to addr+off.
+func (b *Builder) Store(addr VReg, off int64, val VReg, size uint8) {
+	b.emit(Instr{Op: OpStore, Dst: -1, A: addr, B: val, Imm: off, Size: size})
+}
+
+// AddrGlobal yields the address of a global plus offset.
+func (b *Builder) AddrGlobal(sym string, off int64) VReg {
+	return b.emit(Instr{Op: OpAddrGlobal, Dst: b.F.NewVReg(), Sym: sym, Imm: off})
+}
+
+// NewSlot allocates a frame slot and returns its index.
+func (b *Builder) NewSlot(name string, size, align int64) int {
+	b.F.Slots = append(b.F.Slots, Slot{Name: name, Size: size, Align: align})
+	return len(b.F.Slots) - 1
+}
+
+// AddrSlot yields the address of frame slot idx plus offset.
+func (b *Builder) AddrSlot(idx int, off int64) VReg {
+	return b.emit(Instr{Op: OpAddrSlot, Dst: b.F.NewVReg(), Slot: idx, Imm: off})
+}
+
+// Call emits a call. If hasResult, the returned VReg holds the result;
+// otherwise the returned VReg is -1.
+func (b *Builder) Call(sym string, hasResult bool, args ...VReg) VReg {
+	dst := VReg(-1)
+	if hasResult {
+		dst = b.F.NewVReg()
+	}
+	b.emit(Instr{Op: OpCall, Dst: dst, Sym: sym, Args: args})
+	return dst
+}
+
+// Sys emits a system call.
+func (b *Builder) Sys(num int64, args ...VReg) VReg {
+	return b.emit(Instr{Op: OpSys, Dst: b.F.NewVReg(), Imm: num, Args: args})
+}
+
+// Ret terminates the current block with a return.
+func (b *Builder) Ret(val VReg) {
+	b.cur.Term = Term{Kind: TermRet, Val: val}
+}
+
+// Jmp terminates the current block with an unconditional jump.
+func (b *Builder) Jmp(to *Block) {
+	b.cur.Term = Term{Kind: TermJmp, Then: to}
+}
+
+// Br terminates the current block with a conditional branch.
+func (b *Builder) Br(cond VReg, then, els *Block) {
+	b.cur.Term = Term{Kind: TermBr, Cond: cond, Then: then, Else: els}
+}
+
+// Verify checks structural invariants of a function: every referenced vreg
+// is in range, every block's terminator targets registered blocks, slot and
+// parameter indices are valid, and the entry block exists. It returns the
+// first problem found.
+func (f *Func) Verify() error {
+	if len(f.Blocks) == 0 {
+		return fmt.Errorf("ir: func %s: no blocks", f.Name)
+	}
+	known := make(map[*Block]bool, len(f.Blocks))
+	for _, b := range f.Blocks {
+		known[b] = true
+	}
+	checkReg := func(v VReg, what string, b *Block) error {
+		if v < 0 || int(v) >= f.NumVRegs {
+			return fmt.Errorf("ir: func %s block %s: %s register %d out of range [0,%d)", f.Name, b.Name, what, v, f.NumVRegs)
+		}
+		return nil
+	}
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			switch in.Op {
+			case OpNop:
+			case OpConst, OpAddrGlobal:
+				if err := checkReg(in.Dst, "dst", b); err != nil {
+					return err
+				}
+			case OpAddrSlot:
+				if err := checkReg(in.Dst, "dst", b); err != nil {
+					return err
+				}
+				if in.Slot < 0 || in.Slot >= len(f.Slots) {
+					return fmt.Errorf("ir: func %s block %s: slot %d out of range", f.Name, b.Name, in.Slot)
+				}
+			case OpLoad:
+				if err := checkReg(in.Dst, "dst", b); err != nil {
+					return err
+				}
+				if err := checkReg(in.A, "addr", b); err != nil {
+					return err
+				}
+				if err := checkSize(in.Size, f, b); err != nil {
+					return err
+				}
+			case OpStore:
+				if err := checkReg(in.A, "addr", b); err != nil {
+					return err
+				}
+				if err := checkReg(in.B, "val", b); err != nil {
+					return err
+				}
+				if err := checkSize(in.Size, f, b); err != nil {
+					return err
+				}
+			case OpCall:
+				if in.Dst >= 0 {
+					if err := checkReg(in.Dst, "dst", b); err != nil {
+						return err
+					}
+				}
+				for _, a := range in.Args {
+					if err := checkReg(a, "arg", b); err != nil {
+						return err
+					}
+				}
+			case OpSys:
+				if in.Dst >= 0 {
+					if err := checkReg(in.Dst, "dst", b); err != nil {
+						return err
+					}
+				}
+				for _, a := range in.Args {
+					if err := checkReg(a, "arg", b); err != nil {
+						return err
+					}
+				}
+			default:
+				switch {
+				case in.Op.IsBinary():
+					if err := checkReg(in.Dst, "dst", b); err != nil {
+						return err
+					}
+					if err := checkReg(in.A, "a", b); err != nil {
+						return err
+					}
+					if err := checkReg(in.B, "b", b); err != nil {
+						return err
+					}
+				case in.Op.IsUnary():
+					if err := checkReg(in.Dst, "dst", b); err != nil {
+						return err
+					}
+					if err := checkReg(in.A, "a", b); err != nil {
+						return err
+					}
+				default:
+					return fmt.Errorf("ir: func %s block %s: unknown op %v", f.Name, b.Name, in.Op)
+				}
+			}
+		}
+		switch b.Term.Kind {
+		case TermRet:
+			if f.HasResult && b.Term.Val < 0 {
+				return fmt.Errorf("ir: func %s block %s: missing return value", f.Name, b.Name)
+			}
+			if b.Term.Val >= 0 {
+				if err := checkReg(b.Term.Val, "ret", b); err != nil {
+					return err
+				}
+			}
+		case TermJmp:
+			if !known[b.Term.Then] {
+				return fmt.Errorf("ir: func %s block %s: jmp to unregistered block", f.Name, b.Name)
+			}
+		case TermBr:
+			if err := checkReg(b.Term.Cond, "cond", b); err != nil {
+				return err
+			}
+			if !known[b.Term.Then] || !known[b.Term.Else] {
+				return fmt.Errorf("ir: func %s block %s: br to unregistered block", f.Name, b.Name)
+			}
+		default:
+			return fmt.Errorf("ir: func %s block %s: bad terminator", f.Name, b.Name)
+		}
+	}
+	return nil
+}
+
+func checkSize(size uint8, f *Func, b *Block) error {
+	switch size {
+	case 1, 2, 4, 8:
+		return nil
+	}
+	return fmt.Errorf("ir: func %s block %s: bad access size %d", f.Name, b.Name, size)
+}
+
+// Verify checks every function in the module and that referenced call and
+// global symbols resolve within the program when checked at program level.
+func (m *Module) Verify() error {
+	for _, f := range m.Funcs {
+		if err := f.Verify(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Verify checks all modules and cross-module symbol resolution.
+func (p *Program) Verify() error {
+	funcs := map[string]*Func{}
+	globals := map[string]bool{}
+	for _, m := range p.Modules {
+		if err := m.Verify(); err != nil {
+			return err
+		}
+		for _, f := range m.Funcs {
+			if funcs[f.Name] != nil {
+				return fmt.Errorf("ir: duplicate function %s", f.Name)
+			}
+			funcs[f.Name] = f
+		}
+		for _, g := range m.Globals {
+			if globals[g.Name] {
+				return fmt.Errorf("ir: duplicate global %s", g.Name)
+			}
+			globals[g.Name] = true
+		}
+	}
+	main := funcs["main"]
+	if main == nil {
+		return fmt.Errorf("ir: program has no main")
+	}
+	if main.NumParams != 0 {
+		return fmt.Errorf("ir: main must take no parameters")
+	}
+	for _, m := range p.Modules {
+		for _, f := range m.Funcs {
+			for _, b := range f.Blocks {
+				for _, in := range b.Instrs {
+					switch in.Op {
+					case OpCall:
+						callee := funcs[in.Sym]
+						if callee == nil {
+							return fmt.Errorf("ir: %s calls undefined %s", f.Name, in.Sym)
+						}
+						if len(in.Args) != callee.NumParams {
+							return fmt.Errorf("ir: %s calls %s with %d args, want %d", f.Name, in.Sym, len(in.Args), callee.NumParams)
+						}
+						if in.Dst >= 0 && !callee.HasResult {
+							return fmt.Errorf("ir: %s uses result of void %s", f.Name, in.Sym)
+						}
+					case OpAddrGlobal:
+						if !globals[in.Sym] {
+							return fmt.Errorf("ir: %s references undefined global %s", f.Name, in.Sym)
+						}
+					}
+				}
+			}
+		}
+	}
+	return nil
+}

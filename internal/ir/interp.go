@@ -1,0 +1,333 @@
+package ir
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"biaslab/internal/isa"
+)
+
+// Interp executes a Program directly, serving as the semantic oracle for the
+// compiler and machine pipeline. Memory is a flat byte-addressed arena with
+// globals placed at GlobalBase and a downward-growing stack for frame slots.
+//
+// Observable behaviour is collected in Output (SysPutInt/SysPutChar) and
+// Checksum (SysChecksum), matching the machine's system-call surface.
+type Interp struct {
+	Prog     *Program
+	Output   []int64
+	Checksum uint64
+	ExitCode int64
+
+	mem       []byte
+	globals   map[string]uint64
+	funcs     map[string]*Func
+	sp        uint64
+	steps     int64
+	stepLimit int64
+}
+
+// Interpreter memory geometry. These are interpreter-internal and need not
+// match the loader's layout; IR semantics never depend on absolute addresses.
+const (
+	interpMemSize   = 64 << 20
+	interpGlobalBas = 0x10000
+	interpStackTop  = interpMemSize - 16
+)
+
+// DefaultStepLimit bounds interpretation to catch runaway programs in tests.
+const DefaultStepLimit = 1 << 30
+
+// NewInterp prepares an interpreter for prog. It verifies the program and
+// lays out globals.
+func NewInterp(prog *Program) (*Interp, error) {
+	if err := prog.Verify(); err != nil {
+		return nil, err
+	}
+	it := &Interp{
+		Prog:      prog,
+		mem:       make([]byte, interpMemSize),
+		globals:   make(map[string]uint64),
+		funcs:     make(map[string]*Func),
+		sp:        interpStackTop,
+		stepLimit: DefaultStepLimit,
+	}
+	addr := uint64(interpGlobalBas)
+	for _, m := range prog.Modules {
+		for _, f := range m.Funcs {
+			it.funcs[f.Name] = f
+		}
+		for _, g := range m.Globals {
+			align := uint64(g.Align)
+			if align == 0 {
+				align = 8
+			}
+			addr = (addr + align - 1) &^ (align - 1)
+			it.globals[g.Name] = addr
+			copy(it.mem[addr:], g.Init)
+			addr += uint64(g.Size)
+			if addr >= interpStackTop/2 {
+				return nil, fmt.Errorf("ir: interp: globals exceed arena")
+			}
+		}
+	}
+	return it, nil
+}
+
+// SetStepLimit overrides the default execution budget.
+func (it *Interp) SetStepLimit(n int64) { it.stepLimit = n }
+
+// Steps reports how many IR instructions have been executed.
+func (it *Interp) Steps() int64 { return it.steps }
+
+// Run executes main to completion.
+func (it *Interp) Run() error {
+	main := it.funcs["main"]
+	_, err := it.call(main, nil)
+	return err
+}
+
+func (it *Interp) call(f *Func, args []int64) (int64, error) {
+	regs := make([]int64, f.NumVRegs)
+	copy(regs, args)
+
+	// Allocate frame slots on the interpreter stack.
+	slotAddrs := make([]uint64, len(f.Slots))
+	savedSP := it.sp
+	for i, s := range f.Slots {
+		align := uint64(s.Align)
+		if align == 0 {
+			align = 8
+		}
+		it.sp -= uint64(s.Size)
+		it.sp &^= align - 1
+		if it.sp < interpGlobalBas {
+			return 0, fmt.Errorf("ir: interp: stack overflow in %s", f.Name)
+		}
+		slotAddrs[i] = it.sp
+		// Zero the slot: frame memory is reused across calls and cmini
+		// semantics (like C) leave locals uninitialized, but deterministic
+		// zero-fill keeps the oracle and machine comparable when a
+		// benchmark reads-before-write by design.
+		for j := it.sp; j < it.sp+uint64(s.Size); j++ {
+			it.mem[j] = 0
+		}
+	}
+	defer func() { it.sp = savedSP }()
+
+	blk := f.Entry()
+	for {
+		for _, in := range blk.Instrs {
+			it.steps++
+			if it.steps > it.stepLimit {
+				return 0, fmt.Errorf("ir: interp: step limit exceeded in %s", f.Name)
+			}
+			switch in.Op {
+			case OpNop:
+			case OpConst:
+				regs[in.Dst] = in.Imm
+			case OpCopy:
+				regs[in.Dst] = regs[in.A]
+			case OpNeg:
+				regs[in.Dst] = -regs[in.A]
+			case OpNot:
+				regs[in.Dst] = ^regs[in.A]
+			case OpAdd:
+				regs[in.Dst] = regs[in.A] + regs[in.B]
+			case OpSub:
+				regs[in.Dst] = regs[in.A] - regs[in.B]
+			case OpMul:
+				regs[in.Dst] = regs[in.A] * regs[in.B]
+			case OpDiv:
+				if regs[in.B] == 0 {
+					return 0, fmt.Errorf("ir: interp: divide by zero in %s", f.Name)
+				}
+				regs[in.Dst] = regs[in.A] / regs[in.B]
+			case OpRem:
+				if regs[in.B] == 0 {
+					return 0, fmt.Errorf("ir: interp: remainder by zero in %s", f.Name)
+				}
+				regs[in.Dst] = regs[in.A] % regs[in.B]
+			case OpAnd:
+				regs[in.Dst] = regs[in.A] & regs[in.B]
+			case OpOr:
+				regs[in.Dst] = regs[in.A] | regs[in.B]
+			case OpXor:
+				regs[in.Dst] = regs[in.A] ^ regs[in.B]
+			case OpShl:
+				regs[in.Dst] = regs[in.A] << (uint64(regs[in.B]) & 63)
+			case OpShr:
+				regs[in.Dst] = int64(uint64(regs[in.A]) >> (uint64(regs[in.B]) & 63))
+			case OpSar:
+				regs[in.Dst] = regs[in.A] >> (uint64(regs[in.B]) & 63)
+			case OpEq:
+				regs[in.Dst] = b2i(regs[in.A] == regs[in.B])
+			case OpNe:
+				regs[in.Dst] = b2i(regs[in.A] != regs[in.B])
+			case OpLt:
+				regs[in.Dst] = b2i(regs[in.A] < regs[in.B])
+			case OpLe:
+				regs[in.Dst] = b2i(regs[in.A] <= regs[in.B])
+			case OpGt:
+				regs[in.Dst] = b2i(regs[in.A] > regs[in.B])
+			case OpGe:
+				regs[in.Dst] = b2i(regs[in.A] >= regs[in.B])
+			case OpAddrGlobal:
+				base, ok := it.globals[in.Sym]
+				if !ok {
+					return 0, fmt.Errorf("ir: interp: unknown global %s", in.Sym)
+				}
+				regs[in.Dst] = int64(base) + in.Imm
+			case OpAddrSlot:
+				regs[in.Dst] = int64(slotAddrs[in.Slot]) + in.Imm
+			case OpLoad:
+				v, err := it.load(uint64(regs[in.A]+in.Imm), in.Size, in.Signed, f)
+				if err != nil {
+					return 0, err
+				}
+				regs[in.Dst] = v
+			case OpStore:
+				if err := it.store(uint64(regs[in.A]+in.Imm), regs[in.B], in.Size, f); err != nil {
+					return 0, err
+				}
+			case OpCall:
+				callee := it.funcs[in.Sym]
+				if callee == nil {
+					return 0, fmt.Errorf("ir: interp: call to unknown %s", in.Sym)
+				}
+				callArgs := make([]int64, len(in.Args))
+				for i, a := range in.Args {
+					callArgs[i] = regs[a]
+				}
+				rv, err := it.call(callee, callArgs)
+				if err != nil {
+					return 0, err
+				}
+				if in.Dst >= 0 {
+					regs[in.Dst] = rv
+				}
+			case OpSys:
+				rv, err := it.sys(in.Imm, regs, in.Args)
+				if err != nil {
+					return 0, err
+				}
+				if in.Dst >= 0 {
+					regs[in.Dst] = rv
+				}
+			default:
+				return 0, fmt.Errorf("ir: interp: unhandled op %v", in.Op)
+			}
+		}
+		switch blk.Term.Kind {
+		case TermRet:
+			if blk.Term.Val >= 0 {
+				return regs[blk.Term.Val], nil
+			}
+			return 0, nil
+		case TermJmp:
+			blk = blk.Term.Then
+		case TermBr:
+			if regs[blk.Term.Cond] != 0 {
+				blk = blk.Term.Then
+			} else {
+				blk = blk.Term.Else
+			}
+		}
+	}
+}
+
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func (it *Interp) load(addr uint64, size uint8, signed bool, f *Func) (int64, error) {
+	if addr+uint64(size) > uint64(len(it.mem)) {
+		return 0, fmt.Errorf("ir: interp: load out of bounds at %#x in %s", addr, f.Name)
+	}
+	var u uint64
+	switch size {
+	case 1:
+		u = uint64(it.mem[addr])
+		if signed {
+			return int64(int8(u)), nil
+		}
+	case 2:
+		u = uint64(binary.LittleEndian.Uint16(it.mem[addr:]))
+		if signed {
+			return int64(int16(u)), nil
+		}
+	case 4:
+		u = uint64(binary.LittleEndian.Uint32(it.mem[addr:]))
+		if signed {
+			return int64(int32(u)), nil
+		}
+	case 8:
+		u = binary.LittleEndian.Uint64(it.mem[addr:])
+	default:
+		return 0, fmt.Errorf("ir: interp: bad load size %d", size)
+	}
+	return int64(u), nil
+}
+
+func (it *Interp) store(addr uint64, val int64, size uint8, f *Func) error {
+	if addr+uint64(size) > uint64(len(it.mem)) {
+		return fmt.Errorf("ir: interp: store out of bounds at %#x in %s", addr, f.Name)
+	}
+	switch size {
+	case 1:
+		it.mem[addr] = byte(val)
+	case 2:
+		binary.LittleEndian.PutUint16(it.mem[addr:], uint16(val))
+	case 4:
+		binary.LittleEndian.PutUint32(it.mem[addr:], uint32(val))
+	case 8:
+		binary.LittleEndian.PutUint64(it.mem[addr:], uint64(val))
+	default:
+		return fmt.Errorf("ir: interp: bad store size %d", size)
+	}
+	return nil
+}
+
+// Sys numbers mirror isa.Sys*; ir avoids importing isa to keep the layering
+// one-directional (isa is a codegen concern).
+const (
+	sysExit     = 0
+	sysPutInt   = 1
+	sysPutChar  = 2
+	sysChecksum = 3
+	sysCycles   = 4
+)
+
+func (it *Interp) sys(num int64, regs []int64, args []VReg) (int64, error) {
+	arg := func(i int) int64 {
+		if i < len(args) {
+			return regs[args[i]]
+		}
+		return 0
+	}
+	switch num {
+	case sysExit:
+		it.ExitCode = arg(0)
+		return 0, nil
+	case sysPutInt, sysPutChar:
+		it.Output = append(it.Output, arg(0))
+		return 0, nil
+	case sysChecksum:
+		it.Checksum = MixChecksum(it.Checksum, uint64(arg(0)))
+		return 0, nil
+	case sysCycles:
+		// The oracle has no clock; return the step count, which is
+		// deterministic. Programs must not fold cycle readings into
+		// checksums (the bench suite never does).
+		return it.steps, nil
+	}
+	return 0, fmt.Errorf("ir: interp: unknown syscall %d", num)
+}
+
+// MixChecksum folds v into sum; it is the shared checksum function of the
+// SysChecksum ABI (see isa.MixChecksum), re-exported here so IR-level tests
+// need not import the ISA.
+func MixChecksum(sum, v uint64) uint64 { return isa.MixChecksum(sum, v) }

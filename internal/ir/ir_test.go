@@ -1,0 +1,302 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+)
+
+// buildAddProgram constructs: func add(a,b) { return a+b }
+// func main() { checksum(add(2,3)); }
+func buildAddProgram() *Program {
+	add := NewFunc("add", 2, true)
+	sum := add.Bin(OpAdd, 0, 1)
+	add.Ret(sum)
+
+	main := NewFunc("main", 0, false)
+	a := main.Const(2)
+	b := main.Const(3)
+	r := main.Call("add", true, a, b)
+	main.Sys(sysChecksum, r)
+	main.Ret(-1)
+
+	mod := &Module{Name: "m", Funcs: []*Func{add.F, main.F}}
+	return &Program{Modules: []*Module{mod}}
+}
+
+func TestInterpCallArith(t *testing.T) {
+	p := buildAddProgram()
+	it, err := NewInterp(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := it.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := MixChecksum(0, 5)
+	if it.Checksum != want {
+		t.Errorf("checksum = %d, want %d", it.Checksum, want)
+	}
+}
+
+func TestVerifyCatchesBadProgram(t *testing.T) {
+	// Call to undefined function.
+	b := NewFunc("main", 0, false)
+	b.Call("missing", false)
+	b.Ret(-1)
+	p := &Program{Modules: []*Module{{Name: "m", Funcs: []*Func{b.F}}}}
+	if err := p.Verify(); err == nil || !strings.Contains(err.Error(), "undefined") {
+		t.Errorf("expected undefined-call error, got %v", err)
+	}
+
+	// Out-of-range vreg.
+	b2 := NewFunc("main", 0, false)
+	b2.F.Blocks[0].Instrs = append(b2.F.Blocks[0].Instrs, Instr{Op: OpAdd, Dst: 0, A: 5, B: 6})
+	b2.F.NumVRegs = 1
+	b2.Ret(-1)
+	p2 := &Program{Modules: []*Module{{Name: "m", Funcs: []*Func{b2.F}}}}
+	if err := p2.Verify(); err == nil || !strings.Contains(err.Error(), "out of range") {
+		t.Errorf("expected out-of-range error, got %v", err)
+	}
+
+	// Missing main.
+	f := NewFunc("notmain", 0, false)
+	f.Ret(-1)
+	p3 := &Program{Modules: []*Module{{Name: "m", Funcs: []*Func{f.F}}}}
+	if err := p3.Verify(); err == nil || !strings.Contains(err.Error(), "no main") {
+		t.Errorf("expected no-main error, got %v", err)
+	}
+
+	// main returning value required but missing.
+	g := NewFunc("main", 0, true)
+	g.Ret(-1)
+	p4 := &Program{Modules: []*Module{{Name: "m", Funcs: []*Func{g.F}}}}
+	if err := p4.Verify(); err == nil || !strings.Contains(err.Error(), "missing return value") {
+		t.Errorf("expected missing-return error, got %v", err)
+	}
+}
+
+func TestVerifyDuplicates(t *testing.T) {
+	f1 := NewFunc("f", 0, false)
+	f1.Ret(-1)
+	f2 := NewFunc("f", 0, false)
+	f2.Ret(-1)
+	m := NewFunc("main", 0, false)
+	m.Ret(-1)
+	p := &Program{Modules: []*Module{
+		{Name: "a", Funcs: []*Func{f1.F, m.F}},
+		{Name: "b", Funcs: []*Func{f2.F}},
+	}}
+	if err := p.Verify(); err == nil || !strings.Contains(err.Error(), "duplicate function") {
+		t.Errorf("expected duplicate error, got %v", err)
+	}
+}
+
+func TestInterpMemoryOps(t *testing.T) {
+	// Global array of 4 int64s; main writes i*i and checksums the sum.
+	g := &Global{Name: "arr", Size: 32, Align: 8}
+	b := NewFunc("main", 0, false)
+	loop := b.NewBlock("loop")
+	body := b.NewBlock("body")
+	done := b.NewBlock("done")
+
+	i := b.Const(0)
+	n := b.Const(4)
+	b.Jmp(loop)
+
+	b.SetBlock(loop)
+	cond := b.Bin(OpLt, i, i) // placeholder, patched below to use n
+	b.Block().Instrs[len(b.Block().Instrs)-1].B = n
+	b.Br(cond, body, done)
+
+	b.SetBlock(body)
+	sq := b.Bin(OpMul, i, i)
+	base := b.AddrGlobal("arr", 0)
+	eight := b.Const(8)
+	off := b.Bin(OpMul, i, eight)
+	addr := b.Bin(OpAdd, base, off)
+	b.Store(addr, 0, sq, 8)
+	one := b.Const(1)
+	i2 := b.Bin(OpAdd, i, one)
+	b.CopyTo(i, i2)
+	b.Jmp(loop)
+
+	b.SetBlock(done)
+	// Sum the array back.
+	sum := b.Const(0)
+	for k := int64(0); k < 4; k++ {
+		a := b.AddrGlobal("arr", k*8)
+		v := b.Load(a, 0, 8, true)
+		s2 := b.Bin(OpAdd, sum, v)
+		b.CopyTo(sum, s2)
+	}
+	b.Sys(sysChecksum, sum)
+	b.Ret(-1)
+
+	p := &Program{Modules: []*Module{{Name: "m", Globals: []*Global{g}, Funcs: []*Func{b.F}}}}
+	it, err := NewInterp(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := it.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := MixChecksum(0, 0+1+4+9)
+	if it.Checksum != want {
+		t.Errorf("checksum = %d, want %d", it.Checksum, want)
+	}
+}
+
+func TestInterpSlots(t *testing.T) {
+	b := NewFunc("main", 0, false)
+	slot := b.NewSlot("buf", 16, 8)
+	addr := b.AddrSlot(slot, 8)
+	v := b.Const(99)
+	b.Store(addr, 0, v, 8)
+	back := b.Load(addr, 0, 8, true)
+	b.Sys(sysChecksum, back)
+	b.Ret(-1)
+	p := &Program{Modules: []*Module{{Name: "m", Funcs: []*Func{b.F}}}}
+	it, err := NewInterp(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := it.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if want := MixChecksum(0, 99); it.Checksum != want {
+		t.Errorf("checksum = %d, want %d", it.Checksum, want)
+	}
+}
+
+func TestInterpSignExtension(t *testing.T) {
+	b := NewFunc("main", 0, false)
+	slot := b.NewSlot("buf", 8, 8)
+	addr := b.AddrSlot(slot, 0)
+	v := b.Const(-1)
+	b.Store(addr, 0, v, 1)
+	signed := b.Load(addr, 0, 1, true)
+	unsigned := b.Load(addr, 0, 1, false)
+	b.Sys(sysChecksum, signed)
+	b.Sys(sysChecksum, unsigned)
+	b.Ret(-1)
+	p := &Program{Modules: []*Module{{Name: "m", Funcs: []*Func{b.F}}}}
+	it, _ := NewInterp(p)
+	if err := it.Run(); err != nil {
+		t.Fatal(err)
+	}
+	minusOne := int64(-1)
+	want := MixChecksum(MixChecksum(0, uint64(minusOne)), 255)
+	if it.Checksum != want {
+		t.Errorf("checksum mismatch: got %d want %d", it.Checksum, want)
+	}
+}
+
+func TestInterpDivByZero(t *testing.T) {
+	b := NewFunc("main", 0, false)
+	x := b.Const(1)
+	z := b.Const(0)
+	b.Bin(OpDiv, x, z)
+	b.Ret(-1)
+	p := &Program{Modules: []*Module{{Name: "m", Funcs: []*Func{b.F}}}}
+	it, _ := NewInterp(p)
+	if err := it.Run(); err == nil || !strings.Contains(err.Error(), "divide by zero") {
+		t.Errorf("expected divide-by-zero, got %v", err)
+	}
+}
+
+func TestInterpStepLimit(t *testing.T) {
+	b := NewFunc("main", 0, false)
+	loop := b.NewBlock("spin")
+	b.Jmp(loop)
+	b.SetBlock(loop)
+	b.Const(1)
+	b.Jmp(loop)
+	p := &Program{Modules: []*Module{{Name: "m", Funcs: []*Func{b.F}}}}
+	it, _ := NewInterp(p)
+	it.SetStepLimit(1000)
+	if err := it.Run(); err == nil || !strings.Contains(err.Error(), "step limit") {
+		t.Errorf("expected step-limit error, got %v", err)
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	p := buildAddProgram()
+	text := p.Modules[0].String()
+	for _, want := range []string{"module m", "func add", "v2 = add v0, v1", "ret v2", "call add(v0, v1)"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("module text missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestOpPredicates(t *testing.T) {
+	if !OpAdd.IsBinary() || OpConst.IsBinary() || !OpGe.IsBinary() {
+		t.Error("IsBinary wrong")
+	}
+	if !OpEq.IsCompare() || OpAdd.IsCompare() {
+		t.Error("IsCompare wrong")
+	}
+	if !OpNeg.IsUnary() || !OpCopy.IsUnary() || OpAdd.IsUnary() {
+		t.Error("IsUnary wrong")
+	}
+	if !OpAdd.Commutative() || OpSub.Commutative() || !OpXor.Commutative() {
+		t.Error("Commutative wrong")
+	}
+}
+
+func TestMixChecksumProperties(t *testing.T) {
+	// Distinct inputs give distinct sums (for these values), and mixing is
+	// order-sensitive.
+	a := MixChecksum(MixChecksum(0, 1), 2)
+	b := MixChecksum(MixChecksum(0, 2), 1)
+	if a == b {
+		t.Error("checksum is order-insensitive; too weak")
+	}
+	if MixChecksum(0, 7) == MixChecksum(0, 8) {
+		t.Error("checksum collision on adjacent values")
+	}
+}
+
+func TestFuncHelpers(t *testing.T) {
+	p := buildAddProgram()
+	m := p.Modules[0]
+	if m.Func("add") == nil || m.Func("nope") != nil {
+		t.Error("Module.Func lookup wrong")
+	}
+	if p.FindFunc("main") == nil || p.FindFunc("nope") != nil {
+		t.Error("Program.FindFunc lookup wrong")
+	}
+	f := p.FindFunc("add")
+	if f.Entry() != f.Blocks[0] {
+		t.Error("Entry() wrong")
+	}
+	f.Renumber()
+	for i, b := range f.Blocks {
+		if b.Index != i {
+			t.Error("Renumber wrong")
+		}
+	}
+}
+
+func TestBlockSuccs(t *testing.T) {
+	b := NewFunc("f", 0, false)
+	t1 := b.NewBlock("t")
+	e1 := b.NewBlock("e")
+	cond := b.Const(1)
+	b.Br(cond, t1, e1)
+	entry := b.F.Entry()
+	succs := entry.Succs()
+	if len(succs) != 2 || succs[0] != t1 || succs[1] != e1 {
+		t.Error("Succs for br wrong")
+	}
+	b.SetBlock(t1)
+	b.Jmp(e1)
+	if s := t1.Succs(); len(s) != 1 || s[0] != e1 {
+		t.Error("Succs for jmp wrong")
+	}
+	b.SetBlock(e1)
+	b.Ret(-1)
+	if s := e1.Succs(); s != nil {
+		t.Error("Succs for ret should be nil")
+	}
+}

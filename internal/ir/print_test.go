@@ -1,0 +1,185 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestInstrStringForms(t *testing.T) {
+	cases := []struct {
+		in   Instr
+		want string
+	}{
+		{Instr{Op: OpConst, Dst: 3, Imm: -7}, "v3 = const -7"},
+		{Instr{Op: OpLoad, Dst: 1, A: 2, Imm: 8, Size: 8, Signed: true}, "v1 = load8s v2+8"},
+		{Instr{Op: OpLoad, Dst: 1, A: 2, Size: 1}, "v1 = load1u v2+0"},
+		{Instr{Op: OpStore, A: 4, B: 5, Imm: 16, Size: 4}, "store4 v4+16, v5"},
+		{Instr{Op: OpAddrGlobal, Dst: 0, Sym: "tab", Imm: 24}, "v0 = addrg tab+24"},
+		{Instr{Op: OpAddrSlot, Dst: 0, Slot: 2, Imm: 4}, "v0 = addrs slot2+4"},
+		{Instr{Op: OpCall, Dst: 7, Sym: "f", Args: []VReg{1, 2}}, "v7 = call f(v1, v2)"},
+		{Instr{Op: OpCall, Dst: -1, Sym: "g"}, "call g()"},
+		{Instr{Op: OpSys, Dst: 9, Imm: 3, Args: []VReg{4}}, "v9 = sys 3(v4)"},
+		{Instr{Op: OpNeg, Dst: 1, A: 2}, "v1 = neg v2"},
+		{Instr{Op: OpCopy, Dst: 1, A: 2}, "v1 = copy v2"},
+		{Instr{Op: OpAdd, Dst: 1, A: 2, B: 3}, "v1 = add v2, v3"},
+		{Instr{Op: OpNop}, "nop"},
+	}
+	for _, tc := range cases {
+		if got := tc.in.String(); got != tc.want {
+			t.Errorf("String() = %q, want %q", got, tc.want)
+		}
+	}
+}
+
+func TestTermString(t *testing.T) {
+	b1 := &Block{Name: "b1"}
+	b2 := &Block{Name: "b2"}
+	cases := []struct {
+		term Term
+		want string
+	}{
+		{Term{Kind: TermRet, Val: -1}, "ret"},
+		{Term{Kind: TermRet, Val: 4}, "ret v4"},
+		{Term{Kind: TermJmp, Then: b1}, "jmp b1"},
+		{Term{Kind: TermBr, Cond: 2, Then: b1, Else: b2}, "br v2, b1, b2"},
+	}
+	for _, tc := range cases {
+		if got := tc.term.String(); got != tc.want {
+			t.Errorf("Term.String() = %q, want %q", got, tc.want)
+		}
+	}
+}
+
+func TestOpStringUnknown(t *testing.T) {
+	if got := Op(200).String(); !strings.Contains(got, "?") {
+		t.Errorf("unknown op rendered as %q", got)
+	}
+}
+
+func TestFuncStringIncludesSlots(t *testing.T) {
+	b := NewFunc("f", 1, true)
+	b.NewSlot("buf", 64, 8)
+	v := b.Const(0)
+	b.Ret(v)
+	text := b.F.String()
+	for _, want := range []string{"func f", "slot buf[64] align 8", "int {", "ret v1"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("func text missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestVerifierSizeAndSlotChecks(t *testing.T) {
+	// Bad load size.
+	f := NewFunc("main", 0, false)
+	addr := f.Const(0)
+	f.F.Blocks[0].Instrs = append(f.F.Blocks[0].Instrs,
+		Instr{Op: OpLoad, Dst: f.F.NewVReg(), A: addr, Size: 3})
+	f.Ret(-1)
+	if err := f.F.Verify(); err == nil || !strings.Contains(err.Error(), "access size") {
+		t.Errorf("bad size not caught: %v", err)
+	}
+
+	// Slot index out of range.
+	g := NewFunc("main", 0, false)
+	g.F.Blocks[0].Instrs = append(g.F.Blocks[0].Instrs,
+		Instr{Op: OpAddrSlot, Dst: g.F.NewVReg(), Slot: 5})
+	g.Ret(-1)
+	if err := g.F.Verify(); err == nil || !strings.Contains(err.Error(), "slot") {
+		t.Errorf("bad slot not caught: %v", err)
+	}
+
+	// Branch to unregistered block.
+	h := NewFunc("main", 0, false)
+	cond := h.Const(1)
+	rogue := &Block{Name: "rogue", Term: Term{Kind: TermRet, Val: -1}}
+	h.Br(cond, rogue, rogue)
+	if err := h.F.Verify(); err == nil || !strings.Contains(err.Error(), "unregistered") {
+		t.Errorf("rogue block not caught: %v", err)
+	}
+}
+
+func TestVerifyArgMismatch(t *testing.T) {
+	callee := NewFunc("f", 2, true)
+	s := callee.Bin(OpAdd, 0, 1)
+	callee.Ret(s)
+	caller := NewFunc("main", 0, false)
+	x := caller.Const(1)
+	caller.Call("f", true, x) // one arg, needs two
+	caller.Ret(-1)
+	p := &Program{Modules: []*Module{{Name: "m", Funcs: []*Func{callee.F, caller.F}}}}
+	if err := p.Verify(); err == nil || !strings.Contains(err.Error(), "args") {
+		t.Errorf("arity mismatch not caught: %v", err)
+	}
+}
+
+func TestVerifyVoidResultUse(t *testing.T) {
+	callee := NewFunc("v", 0, false)
+	callee.Ret(-1)
+	caller := NewFunc("main", 0, false)
+	caller.Call("v", true) // demands a result from a void function
+	caller.Ret(-1)
+	p := &Program{Modules: []*Module{{Name: "m", Funcs: []*Func{callee.F, caller.F}}}}
+	if err := p.Verify(); err == nil || !strings.Contains(err.Error(), "void") {
+		t.Errorf("void-result use not caught: %v", err)
+	}
+}
+
+func TestVerifyUndefinedGlobal(t *testing.T) {
+	f := NewFunc("main", 0, false)
+	f.AddrGlobal("ghost", 0)
+	f.Ret(-1)
+	p := &Program{Modules: []*Module{{Name: "m", Funcs: []*Func{f.F}}}}
+	if err := p.Verify(); err == nil || !strings.Contains(err.Error(), "global") {
+		t.Errorf("undefined global not caught: %v", err)
+	}
+}
+
+func TestInterpOutputSyscalls(t *testing.T) {
+	b := NewFunc("main", 0, false)
+	v := b.Const(65)
+	b.Sys(1, v) // print
+	b.Sys(2, v) // putc
+	b.Sys(0, v) // exit(65)
+	b.Ret(-1)
+	p := &Program{Modules: []*Module{{Name: "m", Funcs: []*Func{b.F}}}}
+	it, err := NewInterp(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := it.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(it.Output) != 2 || it.Output[0] != 65 {
+		t.Errorf("output = %v", it.Output)
+	}
+	if it.ExitCode != 65 {
+		t.Errorf("exit code = %d", it.ExitCode)
+	}
+}
+
+func TestInterpUnknownSyscall(t *testing.T) {
+	b := NewFunc("main", 0, false)
+	b.Sys(99)
+	b.Ret(-1)
+	p := &Program{Modules: []*Module{{Name: "m", Funcs: []*Func{b.F}}}}
+	it, _ := NewInterp(p)
+	if err := it.Run(); err == nil || !strings.Contains(err.Error(), "syscall") {
+		t.Errorf("unknown syscall not caught: %v", err)
+	}
+}
+
+func TestBuilderPanics(t *testing.T) {
+	b := NewFunc("f", 0, false)
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("Bin with unary", func() { b.Bin(OpNeg, 0, 0) })
+	mustPanic("Unary with binary", func() { b.Unary(OpAdd, 0) })
+}

@@ -1,0 +1,332 @@
+// Package isa defines the instruction-set architecture of the simulated
+// machines used throughout biaslab: a small 64-bit RISC with thirty-two
+// general-purpose registers and a fixed 32-bit instruction encoding.
+//
+// The ISA is deliberately conventional (MIPS/RISC-V flavoured) so that the
+// compiler, linker, loader and machine packages exercise the same mechanisms
+// real toolchains do: pc-relative branches, absolute call targets patched by
+// relocations, and byte-addressed loads and stores whose addresses are what
+// the timing model keys its cache, TLB and aliasing behaviour on.
+package isa
+
+import "fmt"
+
+// WordSize is the size in bytes of a machine word (and of every register).
+const WordSize = 8
+
+// InstSize is the size in bytes of one encoded instruction.
+const InstSize = 4
+
+// Reg names one of the 32 architectural registers.
+type Reg uint8
+
+// Register conventions. R0 is hardwired to zero. SP, FP, RA, and GP have the
+// usual roles; A0..A5 carry arguments, RV carries return values, T* are
+// caller-saved temporaries and S* are callee-saved.
+const (
+	R0 Reg = iota // always zero
+	RV            // return value
+	A0            // argument 0
+	A1
+	A2
+	A3
+	A4
+	A5
+	T0 // caller-saved temporaries
+	T1
+	T2
+	T3
+	T4
+	T5
+	T6
+	T7
+	S0 // callee-saved
+	S1
+	S2
+	S3
+	S4
+	S5
+	S6
+	S7
+	S8
+	S9
+	S10
+	GP // global pointer
+	AT // assembler temporary
+	FP // frame pointer
+	SP // stack pointer
+	RA // return address
+)
+
+// NumRegs is the number of architectural registers.
+const NumRegs = 32
+
+var regNames = [NumRegs]string{
+	"r0", "rv", "a0", "a1", "a2", "a3", "a4", "a5",
+	"t0", "t1", "t2", "t3", "t4", "t5", "t6", "t7",
+	"s0", "s1", "s2", "s3", "s4", "s5", "s6", "s7",
+	"s8", "s9", "s10", "gp", "at", "fp", "sp", "ra",
+}
+
+func (r Reg) String() string {
+	if int(r) < len(regNames) {
+		return regNames[r]
+	}
+	return fmt.Sprintf("r%d?", uint8(r))
+}
+
+// Valid reports whether r names an architectural register.
+func (r Reg) Valid() bool { return r < NumRegs }
+
+// Op is an opcode.
+type Op uint8
+
+// Opcodes. The set is small but complete enough to compile the benchmark
+// suite: three-register ALU ops, register-immediate ALU ops, loads and
+// stores of 1, 2, 4 and 8 bytes, conditional branches, direct and indirect
+// jumps, calls, and a tiny system-call surface for I/O and program exit.
+const (
+	OpInvalid Op = iota
+
+	// ALU, register-register: rd ← rs1 op rs2.
+	OpAdd
+	OpSub
+	OpMul
+	OpDiv // signed quotient; divide by zero traps
+	OpRem // signed remainder
+	OpAnd
+	OpOr
+	OpXor
+	OpSll // shift left logical (by rs2 mod 64)
+	OpSrl // shift right logical
+	OpSra // shift right arithmetic
+	OpSlt // set if less than, signed: rd ← rs1 < rs2
+	OpSltu
+
+	// ALU, register-immediate: rd ← rs1 op signext(imm16).
+	// Exception: the logical immediates (andi/ori/xori) and sltiu
+	// zero-extend imm16, so 64-bit constants compose from 16-bit chunks.
+	OpAddi
+	OpMuli
+	OpAndi
+	OpOri
+	OpXori
+	OpSlli // shift amount in imm[5:0]
+	OpSrli
+	OpSrai
+	OpSlti
+	OpSltiu
+	OpLui // rd ← zeroext(imm16) << 16 (no rs1)
+
+	// Memory: loads sign-extend; unsigned variants zero-extend.
+	// Address is rs1 + signext(imm16).
+	OpLdb
+	OpLdbu
+	OpLdh
+	OpLdhu
+	OpLdw
+	OpLdwu
+	OpLdq
+	OpStb
+	OpSth
+	OpStw
+	OpStq
+
+	// Control transfer. Branches compare rs1 with rs2 and are pc-relative
+	// (imm16 counts instructions from the following instruction). OpJal
+	// calls an absolute word target held in imm26 (patched by relocation);
+	// OpJalr calls the address in rs1. Both write the return address to rd.
+	OpBeq
+	OpBne
+	OpBlt
+	OpBge
+	OpBltu
+	OpBgeu
+	OpJmp  // unconditional pc-relative jump, imm16
+	OpJal  // call absolute target, rd ← return address
+	OpJalr // indirect call/return, rd ← return address, target rs1
+
+	// System.
+	OpSys // system call; rs1-selected function, see Sys* constants
+	OpNop
+	OpHalt
+
+	opMax // sentinel
+)
+
+// NumOps is the number of defined opcodes, for sizing tables.
+const NumOps = int(opMax)
+
+var opNames = [...]string{
+	OpInvalid: "invalid",
+	OpAdd:     "add", OpSub: "sub", OpMul: "mul", OpDiv: "div", OpRem: "rem",
+	OpAnd: "and", OpOr: "or", OpXor: "xor",
+	OpSll: "sll", OpSrl: "srl", OpSra: "sra", OpSlt: "slt", OpSltu: "sltu",
+	OpAddi: "addi", OpMuli: "muli", OpAndi: "andi", OpOri: "ori",
+	OpXori: "xori", OpSlli: "slli", OpSrli: "srli", OpSrai: "srai",
+	OpSlti: "slti", OpSltiu: "sltiu", OpLui: "lui",
+	OpLdb: "ldb", OpLdbu: "ldbu", OpLdh: "ldh", OpLdhu: "ldhu",
+	OpLdw: "ldw", OpLdwu: "ldwu", OpLdq: "ldq",
+	OpStb: "stb", OpSth: "sth", OpStw: "stw", OpStq: "stq",
+	OpBeq: "beq", OpBne: "bne", OpBlt: "blt", OpBge: "bge",
+	OpBltu: "bltu", OpBgeu: "bgeu",
+	OpJmp: "jmp", OpJal: "jal", OpJalr: "jalr",
+	OpSys: "sys", OpNop: "nop", OpHalt: "halt",
+}
+
+func (op Op) String() string {
+	if int(op) < len(opNames) && opNames[op] != "" {
+		return opNames[op]
+	}
+	return fmt.Sprintf("op%d?", uint8(op))
+}
+
+// System-call numbers, passed in register A0.
+const (
+	SysExit     = 0 // terminate; exit code in A1
+	SysPutInt   = 1 // print A1 as a decimal integer plus newline
+	SysPutChar  = 2 // print A1 as a byte
+	SysChecksum = 3 // mix A1 into the program checksum (self-validation)
+	SysCycles   = 4 // RV ← current cycle count (reading the TSC)
+)
+
+// Class groups opcodes by their execution resource; the timing model charges
+// different latencies and applies different hazards per class.
+type Class uint8
+
+const (
+	ClassALU Class = iota
+	ClassMul
+	ClassDiv
+	ClassLoad
+	ClassStore
+	ClassBranch // conditional branches
+	ClassJump   // unconditional jumps, calls, returns
+	ClassSys
+	ClassNop
+)
+
+var opClasses = [...]Class{
+	OpInvalid: ClassNop,
+	OpAdd:     ClassALU, OpSub: ClassALU, OpMul: ClassMul, OpDiv: ClassDiv,
+	OpRem: ClassDiv, OpAnd: ClassALU, OpOr: ClassALU, OpXor: ClassALU,
+	OpSll: ClassALU, OpSrl: ClassALU, OpSra: ClassALU,
+	OpSlt: ClassALU, OpSltu: ClassALU,
+	OpAddi: ClassALU, OpMuli: ClassMul, OpAndi: ClassALU, OpOri: ClassALU,
+	OpXori: ClassALU, OpSlli: ClassALU, OpSrli: ClassALU, OpSrai: ClassALU,
+	OpSlti: ClassALU, OpSltiu: ClassALU, OpLui: ClassALU,
+	OpLdb: ClassLoad, OpLdbu: ClassLoad, OpLdh: ClassLoad, OpLdhu: ClassLoad,
+	OpLdw: ClassLoad, OpLdwu: ClassLoad, OpLdq: ClassLoad,
+	OpStb: ClassStore, OpSth: ClassStore, OpStw: ClassStore, OpStq: ClassStore,
+	OpBeq: ClassBranch, OpBne: ClassBranch, OpBlt: ClassBranch,
+	OpBge: ClassBranch, OpBltu: ClassBranch, OpBgeu: ClassBranch,
+	OpJmp: ClassJump, OpJal: ClassJump, OpJalr: ClassJump,
+	OpSys: ClassSys, OpNop: ClassNop, OpHalt: ClassSys,
+}
+
+// Class returns the execution class of op.
+func (op Op) Class() Class {
+	if int(op) < len(opClasses) {
+		return opClasses[op]
+	}
+	return ClassNop
+}
+
+// IsBranch reports whether op is a conditional branch.
+func (op Op) IsBranch() bool { return op.Class() == ClassBranch }
+
+// IsLoad reports whether op reads memory.
+func (op Op) IsLoad() bool { return op.Class() == ClassLoad }
+
+// IsStore reports whether op writes memory.
+func (op Op) IsStore() bool { return op.Class() == ClassStore }
+
+// MemBytes returns the access width in bytes of a load or store opcode, or 0.
+func (op Op) MemBytes() int {
+	switch op {
+	case OpLdb, OpLdbu, OpStb:
+		return 1
+	case OpLdh, OpLdhu, OpSth:
+		return 2
+	case OpLdw, OpLdwu, OpStw:
+		return 4
+	case OpLdq, OpStq:
+		return 8
+	}
+	return 0
+}
+
+// ZeroExtImm reports whether op's imm16 is zero-extended rather than
+// sign-extended: the logical immediates, sltiu, and lui.
+func (op Op) ZeroExtImm() bool {
+	switch op {
+	case OpAndi, OpOri, OpXori, OpSltiu, OpLui:
+		return true
+	}
+	return false
+}
+
+// HasImm reports whether op's encoding carries an immediate field.
+func (op Op) HasImm() bool {
+	switch op.Class() {
+	case ClassLoad, ClassStore, ClassBranch:
+		return true
+	}
+	switch op {
+	case OpAddi, OpMuli, OpAndi, OpOri, OpXori, OpSlli, OpSrli, OpSrai,
+		OpSlti, OpSltiu, OpLui, OpJmp, OpJal:
+		return true
+	}
+	return false
+}
+
+// Inst is one decoded instruction. Imm holds the sign-extended immediate for
+// imm16 formats and the raw 26-bit word offset for OpJal.
+type Inst struct {
+	Op  Op
+	Rd  Reg
+	Rs1 Reg
+	Rs2 Reg
+	Imm int32
+}
+
+// String renders the instruction in assembler-like syntax.
+func (in Inst) String() string {
+	switch in.Op.Class() {
+	case ClassLoad:
+		return fmt.Sprintf("%s %s, %d(%s)", in.Op, in.Rd, in.Imm, in.Rs1)
+	case ClassStore:
+		return fmt.Sprintf("%s %s, %d(%s)", in.Op, in.Rs2, in.Imm, in.Rs1)
+	case ClassBranch:
+		return fmt.Sprintf("%s %s, %s, %d", in.Op, in.Rs1, in.Rs2, in.Imm)
+	}
+	switch in.Op {
+	case OpNop, OpHalt:
+		return in.Op.String()
+	case OpLui:
+		return fmt.Sprintf("lui %s, %d", in.Rd, in.Imm)
+	case OpJmp:
+		return fmt.Sprintf("jmp %d", in.Imm)
+	case OpJal:
+		return fmt.Sprintf("jal %s, %d", in.Rd, in.Imm)
+	case OpJalr:
+		return fmt.Sprintf("jalr %s, %s", in.Rd, in.Rs1)
+	case OpSys:
+		return "sys"
+	}
+	if in.Op.HasImm() {
+		return fmt.Sprintf("%s %s, %s, %d", in.Op, in.Rd, in.Rs1, in.Imm)
+	}
+	return fmt.Sprintf("%s %s, %s, %s", in.Op, in.Rd, in.Rs1, in.Rs2)
+}
+
+// MixChecksum folds v into sum with a 64-bit FNV-style mix. It defines the
+// semantics of the SysChecksum system call: the IR interpreter and every
+// machine model use this same function, so a program's checksum is identical
+// across the oracle and all simulated machines.
+func MixChecksum(sum, v uint64) uint64 {
+	sum ^= v
+	sum *= 1099511628211
+	sum ^= sum >> 29
+	return sum
+}

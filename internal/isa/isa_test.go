@@ -1,0 +1,239 @@
+package isa
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestRegString(t *testing.T) {
+	cases := map[Reg]string{R0: "r0", RV: "rv", A0: "a0", SP: "sp", RA: "ra", FP: "fp", GP: "gp", T0: "t0", S10: "s10"}
+	for r, want := range cases {
+		if got := r.String(); got != want {
+			t.Errorf("Reg(%d).String() = %q, want %q", r, got, want)
+		}
+	}
+	if got := Reg(40).String(); !strings.Contains(got, "?") {
+		t.Errorf("invalid reg rendered as %q, want marker", got)
+	}
+}
+
+func TestOpString(t *testing.T) {
+	if OpAdd.String() != "add" || OpLdq.String() != "ldq" || OpBgeu.String() != "bgeu" {
+		t.Fatalf("opcode names wrong: %s %s %s", OpAdd, OpLdq, OpBgeu)
+	}
+	if got := Op(63).String(); !strings.Contains(got, "?") {
+		t.Errorf("invalid op rendered as %q", got)
+	}
+}
+
+func TestOpClassification(t *testing.T) {
+	for _, tc := range []struct {
+		op    Op
+		class Class
+		load  bool
+		store bool
+		br    bool
+		bytes int
+	}{
+		{OpAdd, ClassALU, false, false, false, 0},
+		{OpMul, ClassMul, false, false, false, 0},
+		{OpDiv, ClassDiv, false, false, false, 0},
+		{OpRem, ClassDiv, false, false, false, 0},
+		{OpLdb, ClassLoad, true, false, false, 1},
+		{OpLdhu, ClassLoad, true, false, false, 2},
+		{OpLdw, ClassLoad, true, false, false, 4},
+		{OpLdq, ClassLoad, true, false, false, 8},
+		{OpStb, ClassStore, false, true, false, 1},
+		{OpStq, ClassStore, false, true, false, 8},
+		{OpBeq, ClassBranch, false, false, true, 0},
+		{OpJal, ClassJump, false, false, false, 0},
+		{OpSys, ClassSys, false, false, false, 0},
+		{OpNop, ClassNop, false, false, false, 0},
+	} {
+		if tc.op.Class() != tc.class {
+			t.Errorf("%s.Class() = %v, want %v", tc.op, tc.op.Class(), tc.class)
+		}
+		if tc.op.IsLoad() != tc.load || tc.op.IsStore() != tc.store || tc.op.IsBranch() != tc.br {
+			t.Errorf("%s load/store/branch flags wrong", tc.op)
+		}
+		if tc.op.MemBytes() != tc.bytes {
+			t.Errorf("%s.MemBytes() = %d, want %d", tc.op, tc.op.MemBytes(), tc.bytes)
+		}
+	}
+}
+
+func TestHasImm(t *testing.T) {
+	withImm := []Op{OpAddi, OpMuli, OpAndi, OpOri, OpXori, OpSlli, OpSrli, OpSrai, OpSlti, OpLui, OpLdb, OpLdq, OpStb, OpStq, OpBeq, OpBgeu, OpJmp, OpJal}
+	withoutImm := []Op{OpAdd, OpSub, OpMul, OpDiv, OpSltu, OpJalr, OpSys, OpNop, OpHalt}
+	for _, op := range withImm {
+		if !op.HasImm() {
+			t.Errorf("%s.HasImm() = false, want true", op)
+		}
+	}
+	for _, op := range withoutImm {
+		if op.HasImm() {
+			t.Errorf("%s.HasImm() = true, want false", op)
+		}
+	}
+}
+
+func TestEncodeDecodeExamples(t *testing.T) {
+	cases := []Inst{
+		{Op: OpAdd, Rd: T0, Rs1: A0, Rs2: A1},
+		{Op: OpSub, Rd: S3, Rs1: S4, Rs2: S5},
+		{Op: OpAddi, Rd: SP, Rs1: SP, Imm: -64},
+		{Op: OpMuli, Rd: T1, Rs1: T1, Imm: 1000},
+		{Op: OpLui, Rd: GP, Imm: 0x4abc},
+		{Op: OpLdq, Rd: T2, Rs1: FP, Imm: -8},
+		{Op: OpLdbu, Rd: T3, Rs1: A0, Imm: 32767},
+		{Op: OpStq, Rs1: SP, Rs2: RA, Imm: 8},
+		{Op: OpStb, Rs1: GP, Rs2: T0, Imm: -32768},
+		{Op: OpBeq, Rs1: A0, Rs2: R0, Imm: 12},
+		{Op: OpBlt, Rs1: T4, Rs2: T5, Imm: -3},
+		{Op: OpJmp, Imm: 200},
+		{Op: OpJal, Rd: RA, Imm: 123456},
+		{Op: OpJalr, Rd: R0, Rs1: RA},
+		{Op: OpSys, Rs1: A0},
+		{Op: OpNop},
+		{Op: OpHalt},
+	}
+	for _, in := range cases {
+		got := Decode(Encode(in))
+		if got != in {
+			t.Errorf("round trip %v → %v", in, got)
+		}
+	}
+}
+
+func TestEncodePanicsOutOfRange(t *testing.T) {
+	mustPanic := func(name string, in Inst) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		Encode(in)
+	}
+	mustPanic("imm too big", Inst{Op: OpAddi, Rd: T0, Rs1: T0, Imm: 40000})
+	mustPanic("imm too small", Inst{Op: OpAddi, Rd: T0, Rs1: T0, Imm: -40000})
+	mustPanic("jal negative", Inst{Op: OpJal, Rd: RA, Imm: -1})
+	mustPanic("bad reg", Inst{Op: OpAdd, Rd: Reg(33), Rs1: T0, Rs2: T1})
+	mustPanic("bad op", Inst{Op: opMax})
+}
+
+func TestFitsImm16(t *testing.T) {
+	for _, tc := range []struct {
+		v  int64
+		ok bool
+	}{{0, true}, {32767, true}, {-32768, true}, {32768, false}, {-32769, false}, {1 << 40, false}} {
+		if FitsImm16(tc.v) != tc.ok {
+			t.Errorf("FitsImm16(%d) = %v, want %v", tc.v, !tc.ok, tc.ok)
+		}
+	}
+}
+
+// randInst produces a valid random instruction for property testing.
+func randInst(r *rand.Rand) Inst {
+	ops := []Op{OpAdd, OpSub, OpMul, OpDiv, OpRem, OpAnd, OpOr, OpXor, OpSll,
+		OpSrl, OpSra, OpSlt, OpSltu, OpAddi, OpMuli, OpAndi, OpOri, OpXori,
+		OpSlli, OpSrli, OpSrai, OpSlti, OpLui, OpLdb, OpLdbu, OpLdh, OpLdhu,
+		OpLdw, OpLdwu, OpLdq, OpStb, OpSth, OpStw, OpStq, OpBeq, OpBne,
+		OpBlt, OpBge, OpBltu, OpBgeu, OpJmp, OpJal, OpJalr, OpSys, OpNop, OpHalt}
+	op := ops[r.Intn(len(ops))]
+	in := Inst{Op: op}
+	switch op {
+	case OpJal:
+		in.Rd = RA
+		in.Imm = int32(r.Intn(MaxImm26 + 1))
+		return in
+	case OpNop, OpHalt:
+		return in
+	}
+	reg := func() Reg { return Reg(r.Intn(NumRegs)) }
+	in.Rs1 = reg()
+	if op.HasImm() {
+		if op.ZeroExtImm() {
+			in.Imm = int32(uint16(r.Uint32()))
+		} else {
+			in.Imm = int32(int16(r.Uint32()))
+		}
+		if op.Class() == ClassStore || op.Class() == ClassBranch {
+			in.Rs2 = reg()
+		} else {
+			in.Rd = reg()
+		}
+		return in
+	}
+	in.Rd, in.Rs2 = reg(), reg()
+	return in
+}
+
+func TestEncodeDecodeProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	f := func(seed int64) bool {
+		r.Seed(seed)
+		for i := 0; i < 64; i++ {
+			in := randInst(r)
+			if Decode(Encode(in)) != in {
+				t.Logf("failed round trip: %v", in)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeInvalidOpcode(t *testing.T) {
+	// An opcode beyond opMax decodes as OpInvalid rather than panicking.
+	w := uint32(63) << 26
+	if got := Decode(w); got.Op != OpInvalid {
+		t.Errorf("Decode(bad) = %v, want OpInvalid", got)
+	}
+}
+
+func TestEncodeToAndDecodeBytes(t *testing.T) {
+	in := Inst{Op: OpAddi, Rd: T0, Rs1: SP, Imm: 42}
+	buf := EncodeTo(nil, in)
+	if len(buf) != InstSize {
+		t.Fatalf("EncodeTo produced %d bytes, want %d", len(buf), InstSize)
+	}
+	if got := DecodeBytes(buf); got != in {
+		t.Errorf("DecodeBytes = %v, want %v", got, in)
+	}
+}
+
+func TestDisassemble(t *testing.T) {
+	var code []byte
+	code = EncodeTo(code, Inst{Op: OpAddi, Rd: T0, Rs1: R0, Imm: 7})
+	code = EncodeTo(code, Inst{Op: OpStq, Rs1: SP, Rs2: T0, Imm: 0})
+	code = EncodeTo(code, Inst{Op: OpHalt})
+	text := Disassemble(code, 0x1000)
+	for _, want := range []string{"00001000:", "addi t0, r0, 7", "stq t0, 0(sp)", "00001008: halt"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("disassembly missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestInstString(t *testing.T) {
+	cases := map[string]Inst{
+		"add t0, a0, a1":   {Op: OpAdd, Rd: T0, Rs1: A0, Rs2: A1},
+		"ldq t2, -8(fp)":   {Op: OpLdq, Rd: T2, Rs1: FP, Imm: -8},
+		"beq a0, r0, 12":   {Op: OpBeq, Rs1: A0, Rs2: R0, Imm: 12},
+		"lui gp, 19132":    {Op: OpLui, Rd: GP, Imm: 19132},
+		"jal ra, 123456":   {Op: OpJal, Rd: RA, Imm: 123456},
+		"jalr r0, ra":      {Op: OpJalr, Rd: R0, Rs1: RA},
+		"addi sp, sp, -64": {Op: OpAddi, Rd: SP, Rs1: SP, Imm: -64},
+	}
+	for want, in := range cases {
+		if got := in.String(); got != want {
+			t.Errorf("String() = %q, want %q", got, want)
+		}
+	}
+}

@@ -1,0 +1,189 @@
+// Package loader builds a process image from a linked executable: it places
+// the text, data and bss segments, lays out the initial stack, and — the
+// crux of the paper's first experiment — copies the UNIX environment block
+// onto the top of the stack before computing the initial stack pointer.
+//
+// Because the environment strings sit between the fixed stack top and the
+// first frame, **every byte added to the environment slides every stack
+// address in the entire execution**. That is the mechanism by which an
+// innocuous `export FOO=...` changes cache-set mappings, 4 KiB aliasing
+// distances and page boundaries, and therefore measured cycles.
+package loader
+
+import (
+	"fmt"
+
+	"biaslab/internal/isa"
+	"biaslab/internal/linker"
+)
+
+// Default geometry: a 16 MiB address space with the stack at the top.
+const (
+	DefaultMemSize  = 16 << 20
+	DefaultStackTop = DefaultMemSize - 64
+)
+
+// Options control process creation.
+type Options struct {
+	MemSize  uint64
+	StackTop uint64
+	// Env is the environment, as "KEY=VALUE" strings.
+	Env []string
+	// Args is the argument vector (argv[0] is conventionally the program
+	// name); arguments are copied above the stack like the environment.
+	Args []string
+	// StackShift, when non-zero, additionally lowers the initial stack
+	// pointer by the given number of bytes. It is the *intervention knob*
+	// for causal analysis: it reproduces the environment-size effect
+	// directly, without touching the environment.
+	StackShift uint64
+}
+
+// EnvBytes returns the number of bytes the environment block occupies: each
+// string plus its NUL terminator, plus one pointer per entry and a
+// terminating null pointer (the envp array), mirroring execve.
+func EnvBytes(env []string) uint64 {
+	n := uint64(0)
+	for _, s := range env {
+		n += uint64(len(s)) + 1
+	}
+	n += uint64(len(env)+1) * isa.WordSize
+	return n
+}
+
+// SyntheticEnv builds an environment whose EnvBytes is exactly total when
+// total is representable (total == 8, the empty environment, or total ≥ 17,
+// since the smallest variable costs 9 bytes). Unrepresentable totals
+// (0–7 and 9–16) fall back to the empty environment; experiments should
+// sweep over representable sizes and report EnvBytes of what they got.
+func SyntheticEnv(total uint64) []string {
+	const (
+		slot   = isa.WordSize     // one envp pointer
+		minVar = 1 + isa.WordSize // empty string + NUL + pointer
+	)
+	if total < slot+minVar {
+		return nil
+	}
+	var env []string
+	remaining := total - slot // bytes still owed beyond the null envp slot
+	i := 0
+	for remaining >= minVar {
+		payload := remaining - minVar
+		if payload > 120 {
+			payload = 120
+		}
+		env = append(env, pad(fmt.Sprintf("BIAS%02d=", i), int(payload)))
+		remaining -= payload + minVar
+		i++
+	}
+	if remaining > 0 {
+		// Stretch the last variable by the remainder (one byte of string
+		// costs exactly one byte of environment).
+		env[len(env)-1] += pad("", int(remaining))
+	}
+	if got := EnvBytes(env); got != total {
+		panic(fmt.Sprintf("loader: synthetic env builder produced %d bytes, want %d", got, total))
+	}
+	return env
+}
+
+func pad(prefix string, n int) string {
+	b := make([]byte, n)
+	copy(b, prefix)
+	for i := len(prefix); i < n; i++ {
+		b[i] = 'x'
+	}
+	return string(b)
+}
+
+// Image is a ready-to-run process: initial memory, registers and entry pc.
+type Image struct {
+	Mem      []byte
+	Entry    uint64
+	SP       uint64
+	TextBase uint64
+	TextSize uint64
+	// EnvBase is the lowest address of the environment block (diagnostics).
+	EnvBase uint64
+	// Exe retains the executable for symbolization.
+	Exe *linker.Executable
+}
+
+// Load builds a process image for exe under opts.
+func Load(exe *linker.Executable, opts Options) (*Image, error) {
+	memSize := opts.MemSize
+	if memSize == 0 {
+		memSize = DefaultMemSize
+	}
+	stackTop := opts.StackTop
+	if stackTop == 0 {
+		stackTop = memSize - 64
+	}
+	if stackTop >= memSize {
+		return nil, fmt.Errorf("loader: stack top %#x beyond memory size %#x", stackTop, memSize)
+	}
+	if exe.MemTop() >= stackTop {
+		return nil, fmt.Errorf("loader: program segments (top %#x) collide with stack", exe.MemTop())
+	}
+	mem := make([]byte, memSize)
+	copy(mem[exe.TextBase:], exe.Text)
+	copy(mem[exe.DataBase:], exe.Data)
+	// BSS is already zero.
+
+	// Stack layout, mirroring execve: strings for argv and envp first
+	// (top-down), then the pointer arrays, then the initial sp rounded
+	// down to 8 bytes. Real ABIs round to 16; using 8 preserves the
+	// byte-level sensitivity the paper measured while keeping every
+	// 8-byte quantity naturally aligned.
+	sp := stackTop
+
+	strPtrs := make([]uint64, 0, len(opts.Args)+len(opts.Env))
+	place := func(s string) uint64 {
+		sp -= uint64(len(s)) + 1
+		copy(mem[sp:], s)
+		mem[sp+uint64(len(s))] = 0
+		return sp
+	}
+	for _, a := range opts.Args {
+		strPtrs = append(strPtrs, place(a))
+	}
+	envBase := sp
+	for _, e := range opts.Env {
+		strPtrs = append(strPtrs, place(e))
+		envBase = sp
+	}
+	// Pointer arrays: envp (null-terminated) below the strings, then argv.
+	writePtr := func(p uint64) {
+		sp -= isa.WordSize
+		putUint64(mem[sp:], p)
+	}
+	writePtr(0) // envp terminator
+	for i := len(opts.Env) - 1; i >= 0; i-- {
+		writePtr(strPtrs[len(opts.Args)+i])
+	}
+	writePtr(0) // argv terminator
+	for i := len(opts.Args) - 1; i >= 0; i-- {
+		writePtr(strPtrs[i])
+	}
+	sp -= opts.StackShift
+	sp &^= 7
+	if sp <= exe.MemTop() {
+		return nil, fmt.Errorf("loader: stack underflow after environment placement")
+	}
+
+	return &Image{
+		Mem:      mem,
+		Entry:    exe.Entry,
+		SP:       sp,
+		TextBase: exe.TextBase,
+		TextSize: uint64(len(exe.Text)),
+		EnvBase:  envBase,
+		Exe:      exe,
+	}, nil
+}
+
+func putUint64(b []byte, v uint64) {
+	for i := 0; i < 8; i++ {
+		b[i] = byte(v >> (8 * i))
+	}
+}

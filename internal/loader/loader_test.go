@@ -1,0 +1,152 @@
+package loader
+
+import (
+	"testing"
+	"testing/quick"
+
+	"biaslab/internal/compiler"
+	"biaslab/internal/linker"
+)
+
+func buildExe(t *testing.T) *linker.Executable {
+	t.Helper()
+	objs, _, err := compiler.Compile([]compiler.Source{
+		{Name: "m.cm", Text: `int g = 5; void main() { checksum(g); }`},
+	}, compiler.Config{Level: compiler.O2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exe, err := linker.Link(objs, linker.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return exe
+}
+
+func TestEnvBytes(t *testing.T) {
+	if got := EnvBytes(nil); got != 8 {
+		t.Errorf("empty env = %d bytes, want 8", got)
+	}
+	// "A=1" costs 4 bytes of string + 8 of pointer; plus the null slot.
+	if got := EnvBytes([]string{"A=1"}); got != 8+4+8 {
+		t.Errorf("EnvBytes(A=1) = %d, want 20", got)
+	}
+}
+
+func TestSyntheticEnvExact(t *testing.T) {
+	for _, total := range []uint64{8, 17, 18, 32, 64, 100, 129, 256, 1000, 4096} {
+		env := SyntheticEnv(total)
+		if got := EnvBytes(env); got != total {
+			t.Errorf("SyntheticEnv(%d) produced %d bytes", total, got)
+		}
+	}
+	// Unrepresentable totals fall back to empty.
+	for _, total := range []uint64{0, 7, 9, 16} {
+		if env := SyntheticEnv(total); len(env) != 0 {
+			t.Errorf("SyntheticEnv(%d) should be empty, got %v", total, env)
+		}
+	}
+}
+
+func TestSyntheticEnvProperty(t *testing.T) {
+	f := func(n uint16) bool {
+		total := uint64(n)%8192 + 17
+		env := SyntheticEnv(total)
+		return EnvBytes(env) == total
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLoadPlacesSegments(t *testing.T) {
+	exe := buildExe(t)
+	img, err := Load(exe, Options{Env: []string{"PATH=/bin"}, Args: []string{"prog"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Text is where the executable says.
+	for i, b := range exe.Text {
+		if img.Mem[exe.TextBase+uint64(i)] != b {
+			t.Fatalf("text byte %d mismatch", i)
+		}
+	}
+	for i, b := range exe.Data {
+		if img.Mem[exe.DataBase+uint64(i)] != b {
+			t.Fatalf("data byte %d mismatch", i)
+		}
+	}
+	if img.Entry != exe.Entry {
+		t.Error("entry mismatch")
+	}
+	if img.SP%8 != 0 {
+		t.Errorf("sp %#x not 8-aligned", img.SP)
+	}
+	if img.SP >= DefaultStackTop {
+		t.Error("sp not below stack top")
+	}
+}
+
+// TestEnvSizeShiftsSP is the package's load-bearing test: growing the
+// environment must lower the initial stack pointer by a corresponding
+// amount, because that displacement is the entire env-size bias mechanism.
+func TestEnvSizeShiftsSP(t *testing.T) {
+	exe := buildExe(t)
+	spFor := func(envTotal uint64) uint64 {
+		img, err := Load(exe, Options{Env: SyntheticEnv(envTotal)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return img.SP
+	}
+	sp0 := spFor(8)
+	sp1 := spFor(8 + 64)
+	sp2 := spFor(8 + 128)
+	if sp1 >= sp0 || sp2 >= sp1 {
+		t.Errorf("sp did not decrease with env size: %#x %#x %#x", sp0, sp1, sp2)
+	}
+	if diff := sp0 - sp1; diff < 56 || diff > 72 {
+		t.Errorf("64 extra env bytes moved sp by %d; expected ≈64", diff)
+	}
+}
+
+func TestStackShiftIntervention(t *testing.T) {
+	exe := buildExe(t)
+	base, err := Load(exe, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	shifted, err := Load(exe, Options{StackShift: 48})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.SP-shifted.SP != 48 {
+		t.Errorf("StackShift moved sp by %d, want 48", base.SP-shifted.SP)
+	}
+}
+
+func TestEnvStringsReadable(t *testing.T) {
+	exe := buildExe(t)
+	img, err := Load(exe, Options{Env: []string{"HOME=/root", "X=1"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The last-placed env string starts at EnvBase.
+	got := ""
+	for a := img.EnvBase; img.Mem[a] != 0; a++ {
+		got += string(rune(img.Mem[a]))
+	}
+	if got != "X=1" {
+		t.Errorf("env string at EnvBase = %q, want X=1", got)
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	exe := buildExe(t)
+	if _, err := Load(exe, Options{MemSize: 1 << 12}); err == nil {
+		t.Error("tiny memory should fail")
+	}
+	if _, err := Load(exe, Options{StackTop: 1 << 63, MemSize: DefaultMemSize}); err == nil {
+		t.Error("stack top beyond memory should fail")
+	}
+}

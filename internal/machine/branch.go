@@ -1,0 +1,132 @@
+package machine
+
+// Predictor models the front end's branch machinery: a gshare direction
+// predictor, a direct-mapped branch target buffer, and a return-address
+// stack. Both structures are indexed by PC bits, which is precisely why the
+// code layout chosen by the linker changes their behaviour: two branches
+// whose addresses collide in the BTB or pattern table perturb each other,
+// and which branches collide is a function of link order.
+type Predictor struct {
+	historyBits uint
+	history     uint64
+	direction   []int8 // 2-bit saturating counters
+	btbBits     uint
+	btbTargets  []uint64
+	btbTags     []uint32
+	ras         []uint64
+	rasTop      int
+
+	branches      uint64
+	mispredicts   uint64
+	btbMisses     uint64
+	rasMispops    uint64
+	takenBranches uint64
+}
+
+// PredictorConfig sizes the predictor.
+type PredictorConfig struct {
+	HistoryBits uint // gshare global history length; table is 2^n entries
+	BTBEntries  int
+	RASDepth    int
+}
+
+// NewPredictor builds a predictor.
+func NewPredictor(cfg PredictorConfig) *Predictor {
+	return &Predictor{
+		historyBits: cfg.HistoryBits,
+		direction:   make([]int8, 1<<cfg.HistoryBits),
+		btbBits:     log2u(uint64(cfg.BTBEntries)),
+		btbTargets:  make([]uint64, cfg.BTBEntries),
+		btbTags:     make([]uint32, cfg.BTBEntries),
+		ras:         make([]uint64, cfg.RASDepth),
+	}
+}
+
+func (p *Predictor) dirIndex(pc uint64) int {
+	return int((pc>>2 ^ p.history) & (1<<p.historyBits - 1))
+}
+
+// Branch records the outcome of a conditional branch at pc and reports
+// whether the direction was mispredicted.
+func (p *Predictor) Branch(pc uint64, taken bool) (mispredict bool) {
+	p.branches++
+	idx := p.dirIndex(pc)
+	predTaken := p.direction[idx] >= 2
+	if taken {
+		if p.direction[idx] < 3 {
+			p.direction[idx]++
+		}
+		p.takenBranches++
+	} else if p.direction[idx] > 0 {
+		p.direction[idx]--
+	}
+	p.history = p.history<<1 | b2u(taken)
+	if predTaken != taken {
+		p.mispredicts++
+		return true
+	}
+	return false
+}
+
+// Target checks the BTB for a taken control transfer from pc to target and
+// reports whether the buffered target was wrong (a front-end redirect).
+// The BTB is direct-mapped with partial tags, so aliasing is possible both
+// ways: a hit with a stale target and a cold/conflicted miss.
+func (p *Predictor) Target(pc, target uint64) (redirect bool) {
+	idx := int(pc >> 2 & (1<<p.btbBits - 1))
+	tag := uint32(pc >> (2 + p.btbBits))
+	ok := p.btbTags[idx] == tag && p.btbTargets[idx] == target
+	p.btbTargets[idx] = target
+	p.btbTags[idx] = tag
+	if !ok {
+		p.btbMisses++
+		return true
+	}
+	return false
+}
+
+// Call pushes a return address on the RAS.
+func (p *Predictor) Call(retAddr uint64) {
+	p.rasTop = (p.rasTop + 1) % len(p.ras)
+	p.ras[p.rasTop] = retAddr
+}
+
+// Return pops the RAS and reports whether the prediction missed.
+func (p *Predictor) Return(actual uint64) (mispredict bool) {
+	pred := p.ras[p.rasTop]
+	p.rasTop = (p.rasTop - 1 + len(p.ras)) % len(p.ras)
+	if pred != actual {
+		p.rasMispops++
+		return true
+	}
+	return false
+}
+
+func b2u(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// Stats exposes the predictor counters.
+func (p *Predictor) Stats() (branches, mispredicts, btbMisses, rasMispops uint64) {
+	return p.branches, p.mispredicts, p.btbMisses, p.rasMispops
+}
+
+// Reset clears all state and statistics.
+func (p *Predictor) Reset() {
+	p.history = 0
+	for i := range p.direction {
+		p.direction[i] = 0
+	}
+	for i := range p.btbTargets {
+		p.btbTargets[i] = 0
+		p.btbTags[i] = 0
+	}
+	for i := range p.ras {
+		p.ras[i] = 0
+	}
+	p.rasTop = 0
+	p.branches, p.mispredicts, p.btbMisses, p.rasMispops, p.takenBranches = 0, 0, 0, 0, 0
+}

@@ -1,0 +1,288 @@
+package machine
+
+// Cache is a set-associative cache model with true-LRU replacement. Only
+// tags are modelled — the simulator's flat memory holds the data — because
+// timing, not contents, is what the experiments measure.
+type Cache struct {
+	name     string
+	lineBits uint // log2(line size)
+	setBits  uint // log2(number of sets)
+	ways     int  // associativity
+	tags     []uint64
+	valid    []bool
+	// age holds per-way LRU ranks (0 = most recent).
+	age []uint8
+
+	hits   uint64
+	misses uint64
+}
+
+// CacheConfig parameterizes a cache.
+type CacheConfig struct {
+	Name     string
+	SizeKB   int
+	LineSize int
+	Ways     int
+}
+
+// NewCache builds a cache; Size = sets × ways × line.
+func NewCache(cfg CacheConfig) *Cache {
+	line := cfg.LineSize
+	if line == 0 {
+		line = 64
+	}
+	sets := cfg.SizeKB * 1024 / (line * cfg.Ways)
+	c := &Cache{
+		name:     cfg.Name,
+		lineBits: log2u(uint64(line)),
+		setBits:  log2u(uint64(sets)),
+		ways:     cfg.Ways,
+		tags:     make([]uint64, sets*cfg.Ways),
+		valid:    make([]bool, sets*cfg.Ways),
+		age:      make([]uint8, sets*cfg.Ways),
+	}
+	return c
+}
+
+func log2u(v uint64) uint {
+	var n uint
+	for v > 1 {
+		v >>= 1
+		n++
+	}
+	return n
+}
+
+// Sets returns the number of sets.
+func (c *Cache) Sets() int { return 1 << c.setBits }
+
+// LineSize returns the line size in bytes.
+func (c *Cache) LineSize() int { return 1 << c.lineBits }
+
+// SetOf returns the set index an address maps to (useful for diagnostics
+// and causal analysis).
+func (c *Cache) SetOf(addr uint64) int {
+	return int(addr >> c.lineBits & (1<<c.setBits - 1))
+}
+
+// Access looks up the line containing addr, filling it on miss. It returns
+// true on hit.
+func (c *Cache) Access(addr uint64) bool {
+	line := addr >> c.lineBits
+	set := int(line & (1<<c.setBits - 1))
+	tag := line >> c.setBits
+	base := set * c.ways
+	// Hit path.
+	for w := 0; w < c.ways; w++ {
+		i := base + w
+		if c.valid[i] && c.tags[i] == tag {
+			c.touch(base, w)
+			c.hits++
+			return true
+		}
+	}
+	// Miss: evict LRU (highest age, preferring invalid ways).
+	c.misses++
+	victim := 0
+	var worst uint8
+	for w := 0; w < c.ways; w++ {
+		i := base + w
+		if !c.valid[i] {
+			victim = w
+			break
+		}
+		if c.age[i] >= worst {
+			worst = c.age[i]
+			victim = w
+		}
+	}
+	i := base + victim
+	c.tags[i] = tag
+	c.valid[i] = true
+	c.fill(base, victim)
+	return false
+}
+
+// Prefetch fills the line holding addr as most-recently-used without
+// touching the hit/miss statistics — the model of a hardware next-line
+// prefetcher's fill (prefetches are not demand accesses).
+func (c *Cache) Prefetch(addr uint64) {
+	line := addr >> c.lineBits
+	set := int(line & (1<<c.setBits - 1))
+	tag := line >> c.setBits
+	base := set * c.ways
+	for w := 0; w < c.ways; w++ {
+		i := base + w
+		if c.valid[i] && c.tags[i] == tag {
+			c.touch(base, w)
+			return
+		}
+	}
+	victim := 0
+	var worst uint8
+	for w := 0; w < c.ways; w++ {
+		i := base + w
+		if !c.valid[i] {
+			victim = w
+			break
+		}
+		if c.age[i] >= worst {
+			worst = c.age[i]
+			victim = w
+		}
+	}
+	i := base + victim
+	c.tags[i] = tag
+	c.valid[i] = true
+	c.fill(base, victim)
+}
+
+// Contains reports whether the line holding addr is resident, without
+// updating LRU or counters.
+func (c *Cache) Contains(addr uint64) bool {
+	line := addr >> c.lineBits
+	set := int(line & (1<<c.setBits - 1))
+	tag := line >> c.setBits
+	base := set * c.ways
+	for w := 0; w < c.ways; w++ {
+		i := base + w
+		if c.valid[i] && c.tags[i] == tag {
+			return true
+		}
+	}
+	return false
+}
+
+func (c *Cache) touch(base, mru int) {
+	pivot := c.age[base+mru]
+	for w := 0; w < c.ways; w++ {
+		if c.age[base+w] < pivot {
+			c.age[base+w]++
+		}
+	}
+	c.age[base+mru] = 0
+}
+
+// fill installs a brand-new line as MRU: every other way ages, because the
+// new line has no prior rank to pivot on.
+func (c *Cache) fill(base, mru int) {
+	for w := 0; w < c.ways; w++ {
+		if w != mru && c.age[base+w] < uint8(c.ways) {
+			c.age[base+w]++
+		}
+	}
+	c.age[base+mru] = 0
+}
+
+// Stats returns cumulative hits and misses.
+func (c *Cache) Stats() (hits, misses uint64) { return c.hits, c.misses }
+
+// Reset invalidates all lines and clears statistics.
+func (c *Cache) Reset() {
+	for i := range c.valid {
+		c.valid[i] = false
+		c.age[i] = 0
+		c.tags[i] = 0
+	}
+	c.hits, c.misses = 0, 0
+}
+
+// TLB is a 4-way set-associative translation buffer with LRU replacement
+// (real TLBs are set-associative for exactly the lookup-cost reason this
+// model is), modelled the same tags-only way as Cache.
+type TLB struct {
+	pageBits uint
+	setBits  uint
+	ways     int
+	pages    []uint64
+	valid    []bool
+	age      []uint8
+	hits     uint64
+	misses   uint64
+}
+
+// tlbWays is the associativity of every TLB.
+const tlbWays = 4
+
+// NewTLB builds a TLB with the given entry count and page size. Entry
+// counts below the associativity are rounded up to one full set.
+func NewTLB(entries, pageSize int) *TLB {
+	if entries < tlbWays {
+		entries = tlbWays
+	}
+	sets := entries / tlbWays
+	return &TLB{
+		pageBits: log2u(uint64(pageSize)),
+		setBits:  log2u(uint64(sets)),
+		ways:     tlbWays,
+		pages:    make([]uint64, sets*tlbWays),
+		valid:    make([]bool, sets*tlbWays),
+		age:      make([]uint8, sets*tlbWays),
+	}
+}
+
+// Access translates addr, returning true on TLB hit.
+func (t *TLB) Access(addr uint64) bool {
+	page := addr >> t.pageBits
+	set := int(page & (1<<t.setBits - 1))
+	base := set * t.ways
+	for w := 0; w < t.ways; w++ {
+		i := base + w
+		if t.valid[i] && t.pages[i] == page {
+			t.touch(base, w)
+			t.hits++
+			return true
+		}
+	}
+	t.misses++
+	victim := 0
+	var worst uint8
+	for w := 0; w < t.ways; w++ {
+		i := base + w
+		if !t.valid[i] {
+			victim = w
+			break
+		}
+		if t.age[i] >= worst {
+			worst = t.age[i]
+			victim = w
+		}
+	}
+	i := base + victim
+	t.pages[i] = page
+	t.valid[i] = true
+	t.fill(base, victim)
+	return false
+}
+
+func (t *TLB) touch(base, mru int) {
+	pivot := t.age[base+mru]
+	for w := 0; w < t.ways; w++ {
+		if t.age[base+w] < pivot {
+			t.age[base+w]++
+		}
+	}
+	t.age[base+mru] = 0
+}
+
+// fill installs a brand-new translation as MRU, aging the rest of its set.
+func (t *TLB) fill(base, mru int) {
+	for w := 0; w < t.ways; w++ {
+		if w != mru && t.age[base+w] < uint8(t.ways) {
+			t.age[base+w]++
+		}
+	}
+	t.age[base+mru] = 0
+}
+
+// Stats returns cumulative hits and misses.
+func (t *TLB) Stats() (hits, misses uint64) { return t.hits, t.misses }
+
+// Reset invalidates all entries and clears statistics.
+func (t *TLB) Reset() {
+	for i := range t.valid {
+		t.valid[i] = false
+		t.age[i] = 0
+	}
+	t.hits, t.misses = 0, 0
+}

@@ -1,0 +1,588 @@
+// Package machine simulates the three evaluation platforms. A Machine is a
+// functional executor for the biaslab ISA coupled to a cycle-approximate
+// timing model: caches, TLBs, a branch predictor, fetch alignment, and the
+// load/store hazards (line splits, 4 KiB aliasing) through which the paper's
+// two bias channels — stack displacement from the environment and code
+// placement from link order — turn into measurable cycle differences.
+package machine
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"biaslab/internal/isa"
+	"biaslab/internal/loader"
+)
+
+// Machine is one simulated CPU plus its memory system state.
+type Machine struct {
+	cfg  Config
+	l1i  *Cache
+	l1d  *Cache
+	l2   *Cache
+	itlb *TLB
+	dtlb *TLB
+	pred *Predictor
+
+	mem  []byte
+	regs [isa.NumRegs]int64
+	pc   uint64
+
+	textBase uint64
+	textSize uint64
+	decoded  []isa.Inst
+
+	counters Counters
+	issueAcc int
+
+	// Store buffer for 4 KiB aliasing: a ring of recent store addresses
+	// with the instruction count at which they were issued.
+	sbAddr []uint64
+	sbSeq  []uint64
+	sbPos  int
+
+	lastFetchBlock uint64
+
+	output   []int64
+	checksum uint64
+	exitCode int64
+	halted   bool
+
+	profilingOn bool
+	prof        *profiler
+	tracer      Tracer
+}
+
+// Result is the outcome of one complete program run.
+type Result struct {
+	Machine  string
+	Counters Counters
+	Output   []int64
+	Checksum uint64
+	ExitCode int64
+	// Profile holds per-function attribution when profiling was enabled.
+	Profile Profile
+}
+
+// New builds a machine with cfg.
+func New(cfg Config) *Machine {
+	m := &Machine{
+		cfg:  cfg,
+		l1i:  NewCache(cfg.L1I),
+		l1d:  NewCache(cfg.L1D),
+		l2:   NewCache(cfg.L2),
+		itlb: NewTLB(cfg.ITLBEntries, cfg.PageSize),
+		dtlb: NewTLB(cfg.DTLBEntries, cfg.PageSize),
+		pred: NewPredictor(cfg.Predictor),
+	}
+	if cfg.StoreBufferDepth > 0 {
+		m.sbAddr = make([]uint64, cfg.StoreBufferDepth)
+		m.sbSeq = make([]uint64, cfg.StoreBufferDepth)
+	}
+	return m
+}
+
+// Config returns the machine's configuration.
+func (m *Machine) Config() Config { return m.cfg }
+
+// EnableProfiling turns per-function cycle attribution on or off for
+// subsequent runs. Profiling needs the image's executable for symbols.
+func (m *Machine) EnableProfiling(on bool) { m.profilingOn = on }
+
+// Counters returns the counters of the last run.
+func (m *Machine) Counters() *Counters { return &m.counters }
+
+// DefaultMaxInstructions bounds a run; benchmark workloads stay far below.
+const DefaultMaxInstructions = 4 << 30
+
+// Run executes the loaded image to completion (SysExit/halt) and returns
+// the result. Machine state is reset at entry, so a Machine can be reused
+// across runs; maxInstr of 0 applies DefaultMaxInstructions.
+func (m *Machine) Run(img *loader.Image, maxInstr uint64) (*Result, error) {
+	m.reset(img)
+	if maxInstr == 0 {
+		maxInstr = DefaultMaxInstructions
+	}
+	for !m.halted {
+		if m.counters.Instructions >= maxInstr {
+			return nil, fmt.Errorf("machine: instruction budget (%d) exhausted at pc=%#x", maxInstr, m.pc)
+		}
+		if err := m.step(); err != nil {
+			return nil, err
+		}
+	}
+	res := &Result{
+		Machine:  m.cfg.Name,
+		Counters: m.counters,
+		Output:   m.output,
+		Checksum: m.checksum,
+		ExitCode: m.exitCode,
+	}
+	if m.prof != nil {
+		res.Profile = m.prof.profile()
+	}
+	return res, nil
+}
+
+func (m *Machine) reset(img *loader.Image) {
+	m.l1i.Reset()
+	m.l1d.Reset()
+	m.l2.Reset()
+	m.itlb.Reset()
+	m.dtlb.Reset()
+	m.pred.Reset()
+	m.counters = Counters{}
+	m.issueAcc = 0
+	m.lastFetchBlock = ^uint64(0)
+	for i := range m.sbAddr {
+		m.sbAddr[i] = ^uint64(0)
+		m.sbSeq[i] = 0
+	}
+	m.sbPos = 0
+	m.output = nil
+	m.checksum = 0
+	m.exitCode = 0
+	m.halted = false
+
+	m.mem = img.Mem
+	m.textBase = img.TextBase
+	m.textSize = img.TextSize
+	m.pc = img.Entry
+	m.regs = [isa.NumRegs]int64{}
+	m.regs[isa.SP] = int64(img.SP)
+	m.prof = nil
+	if m.profilingOn && img.Exe != nil {
+		m.prof = newProfiler(img.Exe)
+		m.prof.enter(img.Entry)
+	}
+
+	// Predecode the text segment once; fetch then indexes this slice.
+	n := int(img.TextSize) / isa.InstSize
+	if cap(m.decoded) < n {
+		m.decoded = make([]isa.Inst, n)
+	}
+	m.decoded = m.decoded[:n]
+	for i := 0; i < n; i++ {
+		m.decoded[i] = isa.DecodeBytes(img.Mem[img.TextBase+uint64(i*isa.InstSize):])
+	}
+}
+
+// charge adds penalty cycles.
+func (m *Machine) charge(c uint64) { m.counters.Cycles += c }
+
+// issue accounts the base cost of one instruction.
+func (m *Machine) issue() {
+	m.counters.Instructions++
+	m.issueAcc++
+	if m.issueAcc >= m.cfg.IssueWidth {
+		m.counters.Cycles++
+		m.issueAcc = 0
+	}
+}
+
+// fetch models the front end at fetch-block granularity.
+func (m *Machine) fetch(pc uint64) {
+	block := pc / uint64(m.cfg.FetchBlockBytes)
+	if block == m.lastFetchBlock {
+		return
+	}
+	m.lastFetchBlock = block
+	m.counters.FetchBlocks++
+	if !m.itlb.Access(pc) {
+		m.counters.ITLBMisses++
+		m.charge(m.cfg.Penalties.ITLBMiss)
+	}
+	if !m.l1i.Access(pc) {
+		m.counters.L1IMisses++
+		if m.l2.Access(pc) {
+			m.charge(m.cfg.Penalties.L1Miss)
+		} else {
+			m.counters.L2Misses++
+			m.charge(m.cfg.Penalties.L2Miss)
+		}
+	}
+}
+
+// dataAccess models the memory system for a load or store of size bytes.
+func (m *Machine) dataAccess(addr uint64, size int, isLoad bool) {
+	if !m.dtlb.Access(addr) {
+		m.counters.DTLBMisses++
+		m.charge(m.cfg.Penalties.DTLBMiss)
+	}
+	miss := func(a uint64) {
+		if !m.l1d.Access(a) {
+			m.counters.L1DMisses++
+			if m.l2.Access(a) {
+				m.charge(m.cfg.Penalties.L1Miss)
+			} else {
+				m.counters.L2Misses++
+				m.charge(m.cfg.Penalties.L2Miss)
+			}
+			if m.cfg.NextLinePrefetch {
+				m.l1d.Prefetch(a + uint64(m.l1d.LineSize()))
+			}
+		}
+	}
+	miss(addr)
+	line := uint64(m.l1d.LineSize())
+	if addr/line != (addr+uint64(size)-1)/line {
+		m.counters.SplitAccesses++
+		m.charge(m.cfg.Penalties.SplitAccess)
+		miss(addr + uint64(size) - 1)
+	}
+	if isLoad {
+		m.counters.Loads++
+		m.alias4K(addr)
+	} else {
+		m.counters.Stores++
+		m.recordStore(addr)
+	}
+}
+
+// alias4K models the memory-disambiguation replay: a load whose address
+// matches an in-flight store in bits [11:3] but differs above pays a
+// penalty, because the partial-address matcher flags a false dependence.
+func (m *Machine) alias4K(addr uint64) {
+	if len(m.sbAddr) == 0 {
+		return
+	}
+	key := addr >> 3 & 0x1ff
+	for i, sa := range m.sbAddr {
+		if sa == ^uint64(0) {
+			continue
+		}
+		if m.counters.Instructions-m.sbSeq[i] > m.cfg.AliasWindow {
+			continue
+		}
+		if sa>>3&0x1ff == key && sa>>12 != addr>>12 {
+			m.counters.Alias4KStalls++
+			m.charge(m.cfg.Penalties.Alias4K)
+			return
+		}
+	}
+}
+
+func (m *Machine) recordStore(addr uint64) {
+	if len(m.sbAddr) == 0 {
+		return
+	}
+	m.sbAddr[m.sbPos] = addr
+	m.sbSeq[m.sbPos] = m.counters.Instructions
+	m.sbPos = (m.sbPos + 1) % len(m.sbAddr)
+}
+
+// control models a taken control transfer to target.
+func (m *Machine) control(pc, target uint64) {
+	m.counters.TakenBranches++
+	m.charge(m.cfg.Penalties.TakenBranch)
+	if m.pred.Target(pc, target) {
+		m.counters.BTBRedirects++
+		m.charge(m.cfg.Penalties.BTBRedirect)
+	}
+	if target%16 != 0 && m.cfg.Penalties.MisalignedEntry > 0 {
+		m.counters.MisalignedTargets++
+		m.charge(m.cfg.Penalties.MisalignedEntry)
+	}
+}
+
+type execError struct {
+	pc  uint64
+	msg string
+}
+
+func (e *execError) Error() string {
+	return fmt.Sprintf("machine: at pc=%#x: %s", e.pc, e.msg)
+}
+
+func (m *Machine) fail(format string, args ...any) error {
+	return &execError{pc: m.pc, msg: fmt.Sprintf(format, args...)}
+}
+
+// step executes one instruction.
+func (m *Machine) step() error {
+	if m.tracer != nil {
+		return m.stepTraced()
+	}
+	if m.prof != nil {
+		return m.stepProfiled()
+	}
+	return m.stepFast()
+}
+
+// stepTraced wraps execution with event reporting (and profiling when both
+// are enabled).
+func (m *Machine) stepTraced() error {
+	seq := m.counters.Instructions
+	pc := m.pc
+	var inst isa.Inst
+	if pc >= m.textBase && pc < m.textBase+m.textSize && pc%uint64(isa.InstSize) == 0 {
+		inst = m.decoded[(pc-m.textBase)/uint64(isa.InstSize)]
+	}
+	var memAddr uint64
+	if inst.Op.IsLoad() || inst.Op.IsStore() {
+		memAddr = uint64(m.regs[inst.Rs1] + int64(inst.Imm))
+	}
+	var err error
+	if m.prof != nil {
+		err = m.stepProfiled()
+	} else {
+		err = m.stepFast()
+	}
+	m.tracer.Trace(TraceEvent{
+		Seq:     seq,
+		PC:      pc,
+		Inst:    inst,
+		Cycles:  m.counters.Cycles,
+		MemAddr: memAddr,
+		NextPC:  m.pc,
+	})
+	return err
+}
+
+// stepProfiled wraps stepFast with per-function attribution.
+func (m *Machine) stepProfiled() error {
+	before := m.counters.Cycles
+	prevPC := m.pc
+	err := m.stepFast()
+	// A transfer into another function happens only via call/return
+	// (jal/jalr); detect by non-sequential pc movement outside the
+	// current fetch neighbourhood and re-resolve.
+	if m.pc != prevPC+uint64(isa.InstSize) {
+		m.prof.enter(m.pc)
+	}
+	m.prof.account(m.counters.Cycles - before)
+	return err
+}
+
+func (m *Machine) stepFast() error {
+	pc := m.pc
+	if pc < m.textBase || pc >= m.textBase+m.textSize || pc%uint64(isa.InstSize) != 0 {
+		return m.fail("instruction fetch outside text segment")
+	}
+	m.fetch(pc)
+	in := m.decoded[(pc-m.textBase)/uint64(isa.InstSize)]
+	m.issue()
+
+	next := pc + uint64(isa.InstSize)
+	regs := &m.regs
+
+	setReg := func(r isa.Reg, v int64) {
+		if r != isa.R0 {
+			regs[r] = v
+		}
+	}
+
+	switch in.Op {
+	case isa.OpNop:
+	case isa.OpAdd:
+		setReg(in.Rd, regs[in.Rs1]+regs[in.Rs2])
+	case isa.OpSub:
+		setReg(in.Rd, regs[in.Rs1]-regs[in.Rs2])
+	case isa.OpMul:
+		m.counters.MulOps++
+		m.charge(m.cfg.Penalties.Mul)
+		setReg(in.Rd, regs[in.Rs1]*regs[in.Rs2])
+	case isa.OpDiv, isa.OpRem:
+		m.counters.DivOps++
+		m.charge(m.cfg.Penalties.Div)
+		if regs[in.Rs2] == 0 {
+			return m.fail("integer divide by zero")
+		}
+		if in.Op == isa.OpDiv {
+			setReg(in.Rd, regs[in.Rs1]/regs[in.Rs2])
+		} else {
+			setReg(in.Rd, regs[in.Rs1]%regs[in.Rs2])
+		}
+	case isa.OpAnd:
+		setReg(in.Rd, regs[in.Rs1]&regs[in.Rs2])
+	case isa.OpOr:
+		setReg(in.Rd, regs[in.Rs1]|regs[in.Rs2])
+	case isa.OpXor:
+		setReg(in.Rd, regs[in.Rs1]^regs[in.Rs2])
+	case isa.OpSll:
+		setReg(in.Rd, regs[in.Rs1]<<(uint64(regs[in.Rs2])&63))
+	case isa.OpSrl:
+		setReg(in.Rd, int64(uint64(regs[in.Rs1])>>(uint64(regs[in.Rs2])&63)))
+	case isa.OpSra:
+		setReg(in.Rd, regs[in.Rs1]>>(uint64(regs[in.Rs2])&63))
+	case isa.OpSlt:
+		setReg(in.Rd, b2i64(regs[in.Rs1] < regs[in.Rs2]))
+	case isa.OpSltu:
+		setReg(in.Rd, b2i64(uint64(regs[in.Rs1]) < uint64(regs[in.Rs2])))
+	case isa.OpAddi:
+		setReg(in.Rd, regs[in.Rs1]+int64(in.Imm))
+	case isa.OpMuli:
+		m.counters.MulOps++
+		m.charge(m.cfg.Penalties.Mul)
+		setReg(in.Rd, regs[in.Rs1]*int64(in.Imm))
+	case isa.OpAndi:
+		setReg(in.Rd, regs[in.Rs1]&int64(uint16(in.Imm)))
+	case isa.OpOri:
+		setReg(in.Rd, regs[in.Rs1]|int64(uint16(in.Imm)))
+	case isa.OpXori:
+		setReg(in.Rd, regs[in.Rs1]^int64(uint16(in.Imm)))
+	case isa.OpSlli:
+		setReg(in.Rd, regs[in.Rs1]<<(uint32(in.Imm)&63))
+	case isa.OpSrli:
+		setReg(in.Rd, int64(uint64(regs[in.Rs1])>>(uint32(in.Imm)&63)))
+	case isa.OpSrai:
+		setReg(in.Rd, regs[in.Rs1]>>(uint32(in.Imm)&63))
+	case isa.OpSlti:
+		setReg(in.Rd, b2i64(regs[in.Rs1] < int64(in.Imm)))
+	case isa.OpSltiu:
+		setReg(in.Rd, b2i64(uint64(regs[in.Rs1]) < uint64(uint16(in.Imm))))
+	case isa.OpLui:
+		setReg(in.Rd, int64(uint64(uint16(in.Imm))<<16))
+
+	case isa.OpLdb, isa.OpLdbu, isa.OpLdh, isa.OpLdhu, isa.OpLdw, isa.OpLdwu, isa.OpLdq:
+		addr := uint64(regs[in.Rs1] + int64(in.Imm))
+		size := in.Op.MemBytes()
+		if addr+uint64(size) > uint64(len(m.mem)) {
+			return m.fail("load at %#x out of bounds", addr)
+		}
+		m.dataAccess(addr, size, true)
+		setReg(in.Rd, m.loadMem(addr, in.Op))
+
+	case isa.OpStb, isa.OpSth, isa.OpStw, isa.OpStq:
+		addr := uint64(regs[in.Rs1] + int64(in.Imm))
+		size := in.Op.MemBytes()
+		if addr+uint64(size) > uint64(len(m.mem)) {
+			return m.fail("store at %#x out of bounds", addr)
+		}
+		if addr < m.textBase+m.textSize && addr+uint64(size) > m.textBase {
+			return m.fail("store at %#x into text segment", addr)
+		}
+		m.dataAccess(addr, size, false)
+		m.storeMem(addr, regs[in.Rs2], size)
+
+	case isa.OpBeq, isa.OpBne, isa.OpBlt, isa.OpBge, isa.OpBltu, isa.OpBgeu:
+		m.counters.Branches++
+		taken := false
+		a, b := regs[in.Rs1], regs[in.Rs2]
+		switch in.Op {
+		case isa.OpBeq:
+			taken = a == b
+		case isa.OpBne:
+			taken = a != b
+		case isa.OpBlt:
+			taken = a < b
+		case isa.OpBge:
+			taken = a >= b
+		case isa.OpBltu:
+			taken = uint64(a) < uint64(b)
+		case isa.OpBgeu:
+			taken = uint64(a) >= uint64(b)
+		}
+		if m.pred.Branch(pc, taken) {
+			m.counters.BranchMispredicts++
+			m.charge(m.cfg.Penalties.Mispredict)
+		}
+		if taken {
+			target := uint64(int64(next) + int64(in.Imm)*isa.InstSize)
+			m.control(pc, target)
+			next = target
+		}
+
+	case isa.OpJmp:
+		target := uint64(int64(next) + int64(in.Imm)*isa.InstSize)
+		m.control(pc, target)
+		next = target
+
+	case isa.OpJal:
+		target := uint64(in.Imm) * isa.InstSize
+		setReg(in.Rd, int64(next))
+		m.pred.Call(next)
+		m.control(pc, target)
+		next = target
+
+	case isa.OpJalr:
+		target := uint64(regs[in.Rs1])
+		if in.Rd == isa.R0 && in.Rs1 == isa.RA {
+			// Return: consult the return-address stack.
+			if m.pred.Return(target) {
+				m.counters.RASMispredicts++
+				m.charge(m.cfg.Penalties.Mispredict)
+			}
+		} else if in.Rd != isa.R0 {
+			m.pred.Call(next)
+		}
+		setReg(in.Rd, int64(next))
+		m.counters.TakenBranches++
+		m.charge(m.cfg.Penalties.TakenBranch)
+		next = target
+
+	case isa.OpSys:
+		m.counters.Syscalls++
+		m.charge(m.cfg.Penalties.Sys)
+		if err := m.syscall(); err != nil {
+			return err
+		}
+
+	case isa.OpHalt:
+		m.halted = true
+
+	default:
+		return m.fail("invalid opcode %v", in.Op)
+	}
+
+	m.pc = next
+	return nil
+}
+
+func b2i64(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func (m *Machine) loadMem(addr uint64, op isa.Op) int64 {
+	switch op {
+	case isa.OpLdb:
+		return int64(int8(m.mem[addr]))
+	case isa.OpLdbu:
+		return int64(m.mem[addr])
+	case isa.OpLdh:
+		return int64(int16(binary.LittleEndian.Uint16(m.mem[addr:])))
+	case isa.OpLdhu:
+		return int64(binary.LittleEndian.Uint16(m.mem[addr:]))
+	case isa.OpLdw:
+		return int64(int32(binary.LittleEndian.Uint32(m.mem[addr:])))
+	case isa.OpLdwu:
+		return int64(binary.LittleEndian.Uint32(m.mem[addr:]))
+	default:
+		return int64(binary.LittleEndian.Uint64(m.mem[addr:]))
+	}
+}
+
+func (m *Machine) storeMem(addr uint64, v int64, size int) {
+	switch size {
+	case 1:
+		m.mem[addr] = byte(v)
+	case 2:
+		binary.LittleEndian.PutUint16(m.mem[addr:], uint16(v))
+	case 4:
+		binary.LittleEndian.PutUint32(m.mem[addr:], uint32(v))
+	default:
+		binary.LittleEndian.PutUint64(m.mem[addr:], uint64(v))
+	}
+}
+
+func (m *Machine) syscall() error {
+	num := m.regs[isa.A0]
+	arg := m.regs[isa.A1]
+	switch num {
+	case isa.SysExit:
+		m.exitCode = arg
+		m.halted = true
+	case isa.SysPutInt, isa.SysPutChar:
+		m.output = append(m.output, arg)
+	case isa.SysChecksum:
+		m.checksum = isa.MixChecksum(m.checksum, uint64(arg))
+	case isa.SysCycles:
+		m.regs[isa.RV] = int64(m.counters.Cycles)
+	default:
+		return m.fail("unknown system call %d", num)
+	}
+	return nil
+}

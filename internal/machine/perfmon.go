@@ -1,0 +1,106 @@
+package machine
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Counters is the hardware-performance-monitor surface of a simulated
+// machine: everything the paper's causal analysis reads off the PMU, exact
+// rather than sampled because the machine is simulated.
+type Counters struct {
+	Cycles       uint64
+	Instructions uint64
+
+	FetchBlocks uint64
+	L1IMisses   uint64
+	L1DMisses   uint64
+	L2Misses    uint64
+	ITLBMisses  uint64
+	DTLBMisses  uint64
+
+	Loads  uint64
+	Stores uint64
+
+	Branches          uint64
+	TakenBranches     uint64
+	BranchMispredicts uint64
+	BTBRedirects      uint64
+	RASMispredicts    uint64
+
+	Alias4KStalls     uint64
+	SplitAccesses     uint64
+	MisalignedTargets uint64
+
+	MulOps   uint64
+	DivOps   uint64
+	Syscalls uint64
+}
+
+// IPC returns instructions per cycle.
+func (c *Counters) IPC() float64 {
+	if c.Cycles == 0 {
+		return 0
+	}
+	return float64(c.Instructions) / float64(c.Cycles)
+}
+
+// CPI returns cycles per instruction.
+func (c *Counters) CPI() float64 {
+	if c.Instructions == 0 {
+		return 0
+	}
+	return float64(c.Cycles) / float64(c.Instructions)
+}
+
+// Get returns a counter by name, supporting the causal-analysis framework's
+// "pick a monitor by name" interface.
+func (c *Counters) Get(name string) (uint64, bool) {
+	m := map[string]uint64{
+		"cycles":             c.Cycles,
+		"instructions":       c.Instructions,
+		"fetch_blocks":       c.FetchBlocks,
+		"l1i_misses":         c.L1IMisses,
+		"l1d_misses":         c.L1DMisses,
+		"l2_misses":          c.L2Misses,
+		"itlb_misses":        c.ITLBMisses,
+		"dtlb_misses":        c.DTLBMisses,
+		"loads":              c.Loads,
+		"stores":             c.Stores,
+		"branches":           c.Branches,
+		"taken_branches":     c.TakenBranches,
+		"branch_mispredicts": c.BranchMispredicts,
+		"btb_redirects":      c.BTBRedirects,
+		"ras_mispredicts":    c.RASMispredicts,
+		"alias4k_stalls":     c.Alias4KStalls,
+		"split_accesses":     c.SplitAccesses,
+		"misaligned_targets": c.MisalignedTargets,
+		"mul_ops":            c.MulOps,
+		"div_ops":            c.DivOps,
+		"syscalls":           c.Syscalls,
+	}
+	v, ok := m[name]
+	return v, ok
+}
+
+// CounterNames lists every counter Get understands, in a stable order.
+func CounterNames() []string {
+	return []string{
+		"cycles", "instructions", "fetch_blocks", "l1i_misses", "l1d_misses",
+		"l2_misses", "itlb_misses", "dtlb_misses", "loads", "stores",
+		"branches", "taken_branches", "branch_mispredicts", "btb_redirects",
+		"ras_mispredicts", "alias4k_stalls", "split_accesses",
+		"misaligned_targets", "mul_ops", "div_ops", "syscalls",
+	}
+}
+
+// String renders the counters as an aligned table.
+func (c *Counters) String() string {
+	var sb strings.Builder
+	for _, name := range CounterNames() {
+		v, _ := c.Get(name)
+		fmt.Fprintf(&sb, "%-20s %12d\n", name, v)
+	}
+	fmt.Fprintf(&sb, "%-20s %12.3f\n", "ipc", c.IPC())
+	return sb.String()
+}

@@ -1,0 +1,116 @@
+package machine
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"biaslab/internal/linker"
+)
+
+// FuncProfile attributes cycles and instructions to one function.
+type FuncProfile struct {
+	Name         string
+	Addr         uint64
+	Cycles       uint64
+	Instructions uint64
+}
+
+// Profile is a per-function execution profile, sorted by descending cycles.
+type Profile []FuncProfile
+
+// String renders the profile as a flat table with cumulative percentages.
+func (p Profile) String() string {
+	var total uint64
+	for _, f := range p {
+		total += f.Cycles
+	}
+	if total == 0 {
+		total = 1
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-24s %12s %7s %12s\n", "function", "cycles", "share", "instructions")
+	var cum uint64
+	for _, f := range p {
+		cum += f.Cycles
+		fmt.Fprintf(&sb, "%-24s %12d %6.1f%% %12d\n", f.Name, f.Cycles,
+			100*float64(f.Cycles)/float64(total), f.Instructions)
+	}
+	return sb.String()
+}
+
+// Top returns the n hottest functions.
+func (p Profile) Top(n int) Profile {
+	if n > len(p) {
+		n = len(p)
+	}
+	return p[:n]
+}
+
+// profiler attributes execution to functions. Function identity changes
+// only at calls and returns (the code generator never emits cross-function
+// jumps), so the attribution bookkeeping costs two counter adds per
+// instruction plus a binary search per control transfer into a new
+// function.
+type profiler struct {
+	starts []uint64 // sorted function start addresses
+	names  []string
+	cycles []uint64
+	instrs []uint64
+	cur    int
+}
+
+func newProfiler(exe *linker.Executable) *profiler {
+	funcs := append([]linker.FuncRange(nil), exe.Funcs...)
+	sort.Slice(funcs, func(i, j int) bool { return funcs[i].Addr < funcs[j].Addr })
+	p := &profiler{
+		starts: make([]uint64, len(funcs)),
+		names:  make([]string, len(funcs)),
+		cycles: make([]uint64, len(funcs)),
+		instrs: make([]uint64, len(funcs)),
+	}
+	for i, f := range funcs {
+		p.starts[i] = f.Addr
+		p.names[i] = f.Name
+	}
+	return p
+}
+
+// enter records a control transfer to addr.
+func (p *profiler) enter(addr uint64) {
+	i := sort.Search(len(p.starts), func(i int) bool { return p.starts[i] > addr })
+	if i > 0 {
+		p.cur = i - 1
+	}
+}
+
+// account attributes one instruction and its cycle delta.
+func (p *profiler) account(cycleDelta uint64) {
+	if p.cur < len(p.cycles) {
+		p.cycles[p.cur] += cycleDelta
+		p.instrs[p.cur]++
+	}
+}
+
+// profile materializes the result, dropping never-executed functions.
+func (p *profiler) profile() Profile {
+	out := make(Profile, 0, len(p.names))
+	for i, name := range p.names {
+		if p.instrs[i] == 0 {
+			continue
+		}
+		out = append(out, FuncProfile{
+			Name:         name,
+			Addr:         p.starts[i],
+			Cycles:       p.cycles[i],
+			Instructions: p.instrs[i],
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Cycles != out[j].Cycles {
+			return out[i].Cycles > out[j].Cycles
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}

@@ -1,0 +1,100 @@
+package machine
+
+import (
+	"fmt"
+	"io"
+
+	"biaslab/internal/isa"
+)
+
+// Tracer receives one event per executed instruction when tracing is
+// enabled. Tracing is an observation tool only: it never changes timing.
+type Tracer interface {
+	Trace(ev TraceEvent)
+}
+
+// TraceEvent describes one executed instruction.
+type TraceEvent struct {
+	Seq    uint64 // instruction index (0-based)
+	PC     uint64
+	Inst   isa.Inst
+	Cycles uint64 // cumulative cycles after the instruction
+	// MemAddr is the effective address for loads/stores (0 otherwise).
+	MemAddr uint64
+	// NextPC is where control goes next (reveals taken branches).
+	NextPC uint64
+}
+
+// SetTracer installs (or removes, with nil) a tracer for subsequent runs.
+func (m *Machine) SetTracer(t Tracer) { m.tracer = t }
+
+// WriterTracer formats events as a classic instruction trace, one line per
+// instruction, to an io.Writer. Limit, when non-zero, stops output (but not
+// execution) after that many instructions.
+type WriterTracer struct {
+	W     io.Writer
+	Limit uint64
+	n     uint64
+}
+
+// Trace implements Tracer.
+func (wt *WriterTracer) Trace(ev TraceEvent) {
+	if wt.Limit != 0 && wt.n >= wt.Limit {
+		return
+	}
+	wt.n++
+	if ev.Inst.Op.IsLoad() || ev.Inst.Op.IsStore() {
+		fmt.Fprintf(wt.W, "%8d %08x: %-24s mem=%08x cyc=%d\n", ev.Seq, ev.PC, ev.Inst.String(), ev.MemAddr, ev.Cycles)
+		return
+	}
+	if ev.NextPC != ev.PC+uint64(isa.InstSize) {
+		fmt.Fprintf(wt.W, "%8d %08x: %-24s  -> %08x cyc=%d\n", ev.Seq, ev.PC, ev.Inst.String(), ev.NextPC, ev.Cycles)
+		return
+	}
+	fmt.Fprintf(wt.W, "%8d %08x: %-24s cyc=%d\n", ev.Seq, ev.PC, ev.Inst.String(), ev.Cycles)
+}
+
+// CountingTracer tallies executed opcodes — a cheap dynamic instruction
+// mix profile.
+type CountingTracer struct {
+	Counts [isa.NumOps]uint64
+}
+
+// Trace implements Tracer.
+func (ct *CountingTracer) Trace(ev TraceEvent) {
+	ct.Counts[ev.Inst.Op]++
+}
+
+// Mix returns the dynamic instruction mix grouped by execution class.
+func (ct *CountingTracer) Mix() map[string]uint64 {
+	mix := map[string]uint64{}
+	for op := 0; op < isa.NumOps; op++ {
+		n := ct.Counts[op]
+		if n == 0 {
+			continue
+		}
+		var key string
+		switch isa.Op(op).Class() {
+		case isa.ClassALU:
+			key = "alu"
+		case isa.ClassMul:
+			key = "mul"
+		case isa.ClassDiv:
+			key = "div"
+		case isa.ClassLoad:
+			key = "load"
+		case isa.ClassStore:
+			key = "store"
+		case isa.ClassBranch:
+			key = "branch"
+		case isa.ClassJump:
+			key = "jump"
+		case isa.ClassSys:
+			key = "sys"
+		default:
+			key = "nop"
+		}
+		mix[key] += n
+	}
+	return mix
+}

@@ -1,0 +1,156 @@
+// Package obj defines the relocatable object format produced by the compiler
+// and consumed by the linker. An Object holds one translation unit's text
+// and data images, the symbols defined in them, and the relocations that
+// must be patched once the linker assigns final addresses.
+//
+// The format is deliberately ELF-shaped in miniature: named sections,
+// symbols with section-relative offsets, and typed relocations. Because the
+// linker lays out objects in command-line order, the object boundaries are
+// what make link order an experimental variable.
+package obj
+
+import "fmt"
+
+// SectionKind identifies one of the three section types.
+type SectionKind uint8
+
+const (
+	SecText SectionKind = iota
+	SecData
+	SecBSS
+)
+
+func (k SectionKind) String() string {
+	switch k {
+	case SecText:
+		return ".text"
+	case SecData:
+		return ".data"
+	case SecBSS:
+		return ".bss"
+	}
+	return ".sec?"
+}
+
+// SymKind classifies symbols.
+type SymKind uint8
+
+const (
+	SymFunc SymKind = iota
+	SymData
+)
+
+// Symbol is a named location within a section of this object.
+type Symbol struct {
+	Name    string
+	Kind    SymKind
+	Section SectionKind
+	Offset  uint64 // section-relative
+	Size    uint64
+	Align   uint64 // required alignment of the symbol's start
+}
+
+// RelocKind identifies how a relocation patches the instruction or datum at
+// its offset.
+type RelocKind uint8
+
+const (
+	// RelocJal26 patches the imm26 field of a jal with the target's word
+	// address (byte address / 4).
+	RelocJal26 RelocKind = iota
+	// RelocHi16 patches a lui imm16 with bits [31:16] of the target address.
+	RelocHi16
+	// RelocLo16 patches an ori imm16 with bits [15:0] of the target address.
+	RelocLo16
+	// RelocAbs64 patches 8 bytes of data with the target's absolute address.
+	RelocAbs64
+)
+
+func (k RelocKind) String() string {
+	switch k {
+	case RelocJal26:
+		return "jal26"
+	case RelocHi16:
+		return "hi16"
+	case RelocLo16:
+		return "lo16"
+	case RelocAbs64:
+		return "abs64"
+	}
+	return "reloc?"
+}
+
+// Reloc records that the word at Offset within Section must be patched with
+// the final address of Sym plus Addend.
+type Reloc struct {
+	Kind    RelocKind
+	Section SectionKind
+	Offset  uint64
+	Sym     string
+	Addend  int64
+}
+
+// Object is one relocatable translation unit.
+type Object struct {
+	Name    string
+	Text    []byte
+	Data    []byte
+	BSSSize uint64
+	Symbols []Symbol
+	Relocs  []Reloc
+}
+
+// Symbol returns the symbol named name, or nil.
+func (o *Object) Symbol(name string) *Symbol {
+	for i := range o.Symbols {
+		if o.Symbols[i].Name == name {
+			return &o.Symbols[i]
+		}
+	}
+	return nil
+}
+
+// AddSymbol registers a symbol, rejecting duplicates within the object.
+func (o *Object) AddSymbol(s Symbol) error {
+	if o.Symbol(s.Name) != nil {
+		return fmt.Errorf("obj: duplicate symbol %s in %s", s.Name, o.Name)
+	}
+	o.Symbols = append(o.Symbols, s)
+	return nil
+}
+
+// Validate checks internal consistency: symbol and relocation offsets within
+// bounds and alignments that are powers of two.
+func (o *Object) Validate() error {
+	secSize := func(k SectionKind) uint64 {
+		switch k {
+		case SecText:
+			return uint64(len(o.Text))
+		case SecData:
+			return uint64(len(o.Data))
+		default:
+			return o.BSSSize
+		}
+	}
+	for _, s := range o.Symbols {
+		if s.Offset > secSize(s.Section) {
+			return fmt.Errorf("obj: %s: symbol %s offset %d beyond %s size %d", o.Name, s.Name, s.Offset, s.Section, secSize(s.Section))
+		}
+		if s.Align != 0 && s.Align&(s.Align-1) != 0 {
+			return fmt.Errorf("obj: %s: symbol %s alignment %d not a power of two", o.Name, s.Name, s.Align)
+		}
+	}
+	for _, r := range o.Relocs {
+		need := uint64(4)
+		if r.Kind == RelocAbs64 {
+			need = 8
+		}
+		if r.Offset+need > secSize(r.Section) {
+			return fmt.Errorf("obj: %s: relocation at %s+%d overruns section", o.Name, r.Section, r.Offset)
+		}
+		if r.Sym == "" {
+			return fmt.Errorf("obj: %s: relocation with empty symbol", o.Name)
+		}
+	}
+	return nil
+}

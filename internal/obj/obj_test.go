@@ -1,0 +1,72 @@
+package obj
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAddSymbolDuplicate(t *testing.T) {
+	o := &Object{Name: "u.o", Text: make([]byte, 16)}
+	if err := o.AddSymbol(Symbol{Name: "f", Section: SecText}); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.AddSymbol(Symbol{Name: "f", Section: SecText}); err == nil {
+		t.Error("expected duplicate-symbol error")
+	}
+	if o.Symbol("f") == nil || o.Symbol("g") != nil {
+		t.Error("Symbol lookup wrong")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	o := &Object{
+		Name: "u.o",
+		Text: make([]byte, 32),
+		Data: make([]byte, 8),
+	}
+	o.Symbols = []Symbol{
+		{Name: "f", Kind: SymFunc, Section: SecText, Offset: 0, Size: 32, Align: 4},
+		{Name: "g", Kind: SymData, Section: SecData, Offset: 0, Size: 8, Align: 8},
+	}
+	o.Relocs = []Reloc{
+		{Kind: RelocJal26, Section: SecText, Offset: 8, Sym: "f"},
+		{Kind: RelocAbs64, Section: SecData, Offset: 0, Sym: "g"},
+	}
+	if err := o.Validate(); err != nil {
+		t.Fatalf("valid object rejected: %v", err)
+	}
+
+	bad := *o
+	bad.Symbols = append([]Symbol{}, o.Symbols...)
+	bad.Symbols[0].Offset = 100
+	if err := bad.Validate(); err == nil || !strings.Contains(err.Error(), "beyond") {
+		t.Errorf("offset overflow not caught: %v", err)
+	}
+
+	bad2 := *o
+	bad2.Symbols = []Symbol{{Name: "h", Section: SecText, Align: 3}}
+	if err := bad2.Validate(); err == nil || !strings.Contains(err.Error(), "power of two") {
+		t.Errorf("bad alignment not caught: %v", err)
+	}
+
+	bad3 := *o
+	bad3.Relocs = []Reloc{{Kind: RelocJal26, Section: SecText, Offset: 30, Sym: "f"}}
+	if err := bad3.Validate(); err == nil || !strings.Contains(err.Error(), "overruns") {
+		t.Errorf("reloc overrun not caught: %v", err)
+	}
+
+	bad4 := *o
+	bad4.Relocs = []Reloc{{Kind: RelocJal26, Section: SecText, Offset: 0}}
+	if err := bad4.Validate(); err == nil || !strings.Contains(err.Error(), "empty symbol") {
+		t.Errorf("empty reloc sym not caught: %v", err)
+	}
+}
+
+func TestStringers(t *testing.T) {
+	if SecText.String() != ".text" || SecBSS.String() != ".bss" {
+		t.Error("section names wrong")
+	}
+	if RelocHi16.String() != "hi16" || RelocAbs64.String() != "abs64" {
+		t.Error("reloc names wrong")
+	}
+}

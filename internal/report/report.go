@@ -1,0 +1,309 @@
+// Package report renders experiment results as text: aligned tables,
+// ASCII line charts for sweep figures, and range ("violin") charts for
+// per-benchmark speedup distributions. Every renderer has a CSV twin so
+// results can be replotted with external tooling.
+package report
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"biaslab/internal/stats"
+)
+
+// Table is a simple column-aligned text table.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// AddRow appends a row; values are stringified with %v.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.4f", v)
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var sb strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&sb, "%s\n", t.Title)
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(&sb, "%-*s", widths[i], c)
+		}
+		sb.WriteByte('\n')
+	}
+	writeRow(t.Headers)
+	sep := make([]string, len(t.Headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, r := range t.Rows {
+		writeRow(r)
+	}
+	return sb.String()
+}
+
+// CSV renders the table as comma-separated values.
+func (t *Table) CSV() string {
+	var sb strings.Builder
+	sb.WriteString(strings.Join(t.Headers, ","))
+	sb.WriteByte('\n')
+	for _, r := range t.Rows {
+		sb.WriteString(strings.Join(r, ","))
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// Series is one named line of (x, y) points.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// LineChart renders one or more series as an ASCII chart of the given size.
+// A horizontal rule is drawn at refY when drawRef is set (the figures use
+// it for speedup = 1.0, the "no effect" line the paper's measurements
+// cross).
+func LineChart(title string, series []Series, width, height int, refY float64, drawRef bool) string {
+	if width < 16 {
+		width = 64
+	}
+	if height < 4 {
+		height = 16
+	}
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for _, s := range series {
+		for i := range s.X {
+			minX, maxX = math.Min(minX, s.X[i]), math.Max(maxX, s.X[i])
+			minY, maxY = math.Min(minY, s.Y[i]), math.Max(maxY, s.Y[i])
+		}
+	}
+	if drawRef {
+		minY, maxY = math.Min(minY, refY), math.Max(maxY, refY)
+	}
+	if minX > maxX || minY > maxY {
+		return title + "\n(no data)\n"
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	rowOf := func(y float64) int {
+		r := int(math.Round((maxY - y) / (maxY - minY) * float64(height-1)))
+		if r < 0 {
+			r = 0
+		}
+		if r >= height {
+			r = height - 1
+		}
+		return r
+	}
+	colOf := func(x float64) int {
+		c := int(math.Round((x - minX) / (maxX - minX) * float64(width-1)))
+		if c < 0 {
+			c = 0
+		}
+		if c >= width {
+			c = width - 1
+		}
+		return c
+	}
+	if drawRef {
+		rr := rowOf(refY)
+		for c := 0; c < width; c++ {
+			grid[rr][c] = '-'
+		}
+	}
+	markers := []byte{'*', 'o', '+', 'x', '#', '@'}
+	for si, s := range series {
+		mark := markers[si%len(markers)]
+		for i := range s.X {
+			grid[rowOf(s.Y[i])][colOf(s.X[i])] = mark
+		}
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s\n", title)
+	for si, s := range series {
+		fmt.Fprintf(&sb, "  %c %s", markers[si%len(markers)], s.Name)
+	}
+	sb.WriteByte('\n')
+	for r, line := range grid {
+		label := ""
+		switch r {
+		case 0:
+			label = fmt.Sprintf("%.4g", maxY)
+		case height - 1:
+			label = fmt.Sprintf("%.4g", minY)
+		}
+		fmt.Fprintf(&sb, "%10s |%s|\n", label, line)
+	}
+	fmt.Fprintf(&sb, "%10s  %-*s%s\n", "", width-len(fmt.Sprintf("%.4g", maxX)), fmt.Sprintf("%.4g", minX), fmt.Sprintf("%.4g", maxX))
+	return sb.String()
+}
+
+// SeriesCSV renders series as long-form CSV (name,x,y).
+func SeriesCSV(series []Series) string {
+	var sb strings.Builder
+	sb.WriteString("series,x,y\n")
+	for _, s := range series {
+		for i := range s.X {
+			fmt.Fprintf(&sb, "%s,%g,%g\n", s.Name, s.X[i], s.Y[i])
+		}
+	}
+	return sb.String()
+}
+
+// RangeChart renders per-label value distributions as horizontal range
+// bars — the text stand-in for the paper's violin plots. Each row shows
+// min…max with the quartile box and median marked, against a reference
+// line at ref (1.0 for speedups).
+func RangeChart(title string, labels []string, samples map[string][]float64, ref float64) string {
+	const width = 60
+	minV, maxV := math.Inf(1), math.Inf(-1)
+	for _, vs := range samples {
+		for _, v := range vs {
+			minV, maxV = math.Min(minV, v), math.Max(maxV, v)
+		}
+	}
+	minV = math.Min(minV, ref)
+	maxV = math.Max(maxV, ref)
+	if minV > maxV {
+		return title + "\n(no data)\n"
+	}
+	span := maxV - minV
+	if span == 0 {
+		span = 1
+	}
+	colOf := func(v float64) int {
+		c := int(math.Round((v - minV) / span * float64(width-1)))
+		if c < 0 {
+			c = 0
+		}
+		if c >= width {
+			c = width - 1
+		}
+		return c
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s\n", title)
+	fmt.Fprintf(&sb, "%-12s %-*s  %s\n", "", width, fmt.Sprintf("%.4f%*s%.4f", minV, width-16, "", maxV), "min..med..max")
+	sorted := append([]string(nil), labels...)
+	sort.Strings(sorted)
+	for _, label := range sorted {
+		vs := samples[label]
+		if len(vs) == 0 {
+			continue
+		}
+		s := stats.Summarize(vs)
+		line := []byte(strings.Repeat(" ", width))
+		line[colOf(ref)] = '|'
+		for c := colOf(s.Min); c <= colOf(s.Max); c++ {
+			if line[c] == ' ' {
+				line[c] = '-'
+			}
+		}
+		for c := colOf(s.Q1); c <= colOf(s.Q3); c++ {
+			line[c] = '='
+		}
+		line[colOf(s.Median)] = 'M'
+		fmt.Fprintf(&sb, "%-12s %s  %.4f %.4f %.4f\n", label, line, s.Min, s.Median, s.Max)
+	}
+	fmt.Fprintf(&sb, "%-12s %s\n", "", "(| marks "+fmt.Sprintf("%.2f", ref)+"; = is the interquartile box; M the median)")
+	return sb.String()
+}
+
+// DistributionCSV renders labelled samples as long-form CSV.
+func DistributionCSV(samples map[string][]float64) string {
+	var sb strings.Builder
+	sb.WriteString("label,value\n")
+	labels := make([]string, 0, len(samples))
+	for l := range samples {
+		labels = append(labels, l)
+	}
+	sort.Strings(labels)
+	for _, l := range labels {
+		for _, v := range samples[l] {
+			fmt.Fprintf(&sb, "%s,%g\n", l, v)
+		}
+	}
+	return sb.String()
+}
+
+// IntervalChart renders labelled point estimates with confidence intervals,
+// used by the setup-randomization figure.
+func IntervalChart(title string, labels []string, means map[string]float64, intervals map[string]stats.Interval, ref float64) string {
+	const width = 60
+	minV, maxV := ref, ref
+	for _, l := range labels {
+		iv := intervals[l]
+		minV = math.Min(minV, iv.Lo)
+		maxV = math.Max(maxV, iv.Hi)
+	}
+	span := maxV - minV
+	if span == 0 {
+		span = 1
+	}
+	colOf := func(v float64) int {
+		c := int(math.Round((v - minV) / span * float64(width-1)))
+		if c < 0 {
+			c = 0
+		}
+		if c >= width {
+			c = width - 1
+		}
+		return c
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s\n", title)
+	for _, label := range labels {
+		iv := intervals[label]
+		line := []byte(strings.Repeat(" ", width))
+		line[colOf(ref)] = '|'
+		for c := colOf(iv.Lo); c <= colOf(iv.Hi); c++ {
+			if line[c] == ' ' {
+				line[c] = '='
+			}
+		}
+		line[colOf(means[label])] = 'O'
+		fmt.Fprintf(&sb, "%-12s %s  %.4f %v\n", label, line, means[label], iv)
+	}
+	return sb.String()
+}

@@ -1,0 +1,90 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"biaslab/internal/stats"
+)
+
+func TestTable(t *testing.T) {
+	tb := &Table{Title: "demo", Headers: []string{"name", "value"}}
+	tb.AddRow("alpha", 1.5)
+	tb.AddRow("b", 42)
+	out := tb.String()
+	for _, want := range []string{"demo", "name", "alpha", "1.5000", "42", "----"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table missing %q:\n%s", want, out)
+		}
+	}
+	csv := tb.CSV()
+	if !strings.HasPrefix(csv, "name,value\n") || !strings.Contains(csv, "alpha,1.5000") {
+		t.Errorf("csv wrong:\n%s", csv)
+	}
+}
+
+func TestLineChart(t *testing.T) {
+	s := []Series{{
+		Name: "speedup",
+		X:    []float64{0, 1, 2, 3, 4},
+		Y:    []float64{0.98, 1.02, 0.99, 1.04, 1.00},
+	}}
+	out := LineChart("Figure 2", s, 40, 10, 1.0, true)
+	if !strings.Contains(out, "Figure 2") || !strings.Contains(out, "*") {
+		t.Errorf("chart missing content:\n%s", out)
+	}
+	if !strings.Contains(out, "-") {
+		t.Error("reference line missing")
+	}
+	lines := strings.Split(out, "\n")
+	if len(lines) < 10 {
+		t.Errorf("chart too short: %d lines", len(lines))
+	}
+}
+
+func TestLineChartDegenerate(t *testing.T) {
+	if out := LineChart("empty", nil, 40, 10, 1, false); !strings.Contains(out, "no data") {
+		t.Errorf("empty chart: %s", out)
+	}
+	// Flat series must not divide by zero.
+	s := []Series{{Name: "flat", X: []float64{1, 2}, Y: []float64{5, 5}}}
+	if out := LineChart("flat", s, 40, 8, 5, true); len(out) == 0 {
+		t.Error("flat chart empty")
+	}
+}
+
+func TestSeriesCSV(t *testing.T) {
+	csv := SeriesCSV([]Series{{Name: "a", X: []float64{1}, Y: []float64{2}}})
+	if csv != "series,x,y\na,1,2\n" {
+		t.Errorf("csv = %q", csv)
+	}
+}
+
+func TestRangeChart(t *testing.T) {
+	samples := map[string][]float64{
+		"perlbench": {0.97, 0.99, 1.01, 1.03},
+		"gcc":       {1.02, 1.03, 1.04, 1.05},
+	}
+	out := RangeChart("Figure 3", []string{"perlbench", "gcc"}, samples, 1.0)
+	for _, want := range []string{"Figure 3", "perlbench", "gcc", "M", "="} {
+		if !strings.Contains(out, want) {
+			t.Errorf("range chart missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestDistributionCSV(t *testing.T) {
+	csv := DistributionCSV(map[string][]float64{"b": {2}, "a": {1}})
+	if csv != "label,value\na,1\nb,2\n" {
+		t.Errorf("csv = %q", csv)
+	}
+}
+
+func TestIntervalChart(t *testing.T) {
+	means := map[string]float64{"x": 1.02}
+	ivs := map[string]stats.Interval{"x": {Lo: 0.99, Hi: 1.05, Level: 0.95}}
+	out := IntervalChart("Figure 9", []string{"x"}, means, ivs, 1.0)
+	if !strings.Contains(out, "O") || !strings.Contains(out, "|") {
+		t.Errorf("interval chart missing marks:\n%s", out)
+	}
+}

@@ -1,0 +1,401 @@
+// Package stats provides the statistics the experiments report: summary
+// statistics, quantiles, confidence intervals (Student-t and bootstrap),
+// correlation, and the compact distribution summaries used to render the
+// paper's violin-style figures in text.
+//
+// The paper's remedy for measurement bias is statistical — evaluate over
+// many randomized setups and report an interval, not a point — so this
+// package is part of the contribution, not just plumbing.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary holds the moments and order statistics of a sample.
+type Summary struct {
+	N      int
+	Mean   float64
+	Std    float64 // sample standard deviation (n-1)
+	Min    float64
+	Q1     float64
+	Median float64
+	Q3     float64
+	Max    float64
+}
+
+// Summarize computes a Summary of xs. It panics on an empty sample: callers
+// decide what an absent measurement means, not this package.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		panic("stats: Summarize of empty sample")
+	}
+	s := Summary{N: len(xs)}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	s.Min, s.Max = sorted[0], sorted[len(sorted)-1]
+	s.Q1 = Quantile(sorted, 0.25)
+	s.Median = Quantile(sorted, 0.5)
+	s.Q3 = Quantile(sorted, 0.75)
+	s.Mean = Mean(xs)
+	s.Std = Std(xs)
+	return s
+}
+
+// Range returns max − min.
+func (s Summary) Range() float64 { return s.Max - s.Min }
+
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.4f std=%.4f min=%.4f med=%.4f max=%.4f",
+		s.N, s.Mean, s.Std, s.Min, s.Median, s.Max)
+}
+
+// Mean returns the arithmetic mean.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: Mean of empty sample")
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Std returns the sample standard deviation (n−1 denominator); 0 for n<2.
+func Std(xs []float64) float64 {
+	n := len(xs)
+	if n < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var ss float64
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(n-1))
+}
+
+// Quantile returns the q-quantile (0≤q≤1) of a **sorted** sample using
+// linear interpolation between order statistics.
+func Quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		panic("stats: Quantile of empty sample")
+	}
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	frac := pos - float64(lo)
+	if lo+1 >= len(sorted) {
+		return sorted[lo]
+	}
+	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+}
+
+// Interval is a two-sided confidence interval.
+type Interval struct {
+	Lo, Hi float64
+	Level  float64 // e.g. 0.95
+}
+
+// Contains reports whether v lies inside the interval.
+func (iv Interval) Contains(v float64) bool { return v >= iv.Lo && v <= iv.Hi }
+
+// Width returns Hi − Lo.
+func (iv Interval) Width() float64 { return iv.Hi - iv.Lo }
+
+func (iv Interval) String() string {
+	return fmt.Sprintf("[%.4f, %.4f] (%.0f%%)", iv.Lo, iv.Hi, iv.Level*100)
+}
+
+// TInterval returns the Student-t confidence interval for the mean of xs at
+// the given level (0.90, 0.95 or 0.99).
+func TInterval(xs []float64, level float64) Interval {
+	n := len(xs)
+	if n < 2 {
+		m := Mean(xs)
+		return Interval{Lo: m, Hi: m, Level: level}
+	}
+	m := Mean(xs)
+	se := Std(xs) / math.Sqrt(float64(n))
+	t := tCritical(n-1, level)
+	return Interval{Lo: m - t*se, Hi: m + t*se, Level: level}
+}
+
+// tCritical returns the two-sided critical value of Student's t for the
+// given degrees of freedom. The table covers the levels the experiments
+// use; large df falls back to the normal approximation.
+func tCritical(df int, level float64) float64 {
+	type row struct{ t90, t95, t99 float64 }
+	table := map[int]row{
+		1: {6.314, 12.706, 63.657}, 2: {2.920, 4.303, 9.925},
+		3: {2.353, 3.182, 5.841}, 4: {2.132, 2.776, 4.604},
+		5: {2.015, 2.571, 4.032}, 6: {1.943, 2.447, 3.707},
+		7: {1.895, 2.365, 3.499}, 8: {1.860, 2.306, 3.355},
+		9: {1.833, 2.262, 3.250}, 10: {1.812, 2.228, 3.169},
+		12: {1.782, 2.179, 3.055}, 15: {1.753, 2.131, 2.947},
+		20: {1.725, 2.086, 2.845}, 25: {1.708, 2.060, 2.787},
+		30: {1.697, 2.042, 2.750}, 40: {1.684, 2.021, 2.704},
+		60: {1.671, 2.000, 2.660}, 120: {1.658, 1.980, 2.617},
+	}
+	keys := []int{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 12, 15, 20, 25, 30, 40, 60, 120}
+	pick := keys[len(keys)-1]
+	for _, k := range keys {
+		if df <= k {
+			pick = k
+			break
+		}
+	}
+	r, ok := table[pick]
+	if !ok || df > 120 {
+		r = row{1.645, 1.960, 2.576}
+	}
+	switch {
+	case level <= 0.90:
+		return r.t90
+	case level <= 0.95:
+		return r.t95
+	default:
+		return r.t99
+	}
+}
+
+// RNG is a small deterministic generator (xorshift64*), used everywhere
+// randomness is needed so experiments are exactly reproducible from seeds.
+type RNG struct{ state uint64 }
+
+// NewRNG seeds a generator; seed 0 is remapped to a fixed constant.
+func NewRNG(seed uint64) *RNG {
+	if seed == 0 {
+		seed = 0x9E3779B97F4A7C15
+	}
+	return &RNG{state: seed}
+}
+
+// Uint64 returns the next raw value.
+func (r *RNG) Uint64() uint64 {
+	x := r.state
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	r.state = x
+	return x * 0x2545F4914F6CDD1D
+}
+
+// Intn returns a value in [0, n).
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("stats: Intn with non-positive bound")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Float64 returns a value in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / float64(1<<53)
+}
+
+// Perm returns a random permutation of [0, n).
+func (r *RNG) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// BootstrapMeanInterval returns a percentile-bootstrap confidence interval
+// for the mean of xs, using iters resamples from rng.
+func BootstrapMeanInterval(xs []float64, level float64, iters int, rng *RNG) Interval {
+	if len(xs) == 0 {
+		panic("stats: bootstrap of empty sample")
+	}
+	if iters <= 0 {
+		iters = 1000
+	}
+	means := make([]float64, iters)
+	for b := 0; b < iters; b++ {
+		var sum float64
+		for i := 0; i < len(xs); i++ {
+			sum += xs[rng.Intn(len(xs))]
+		}
+		means[b] = sum / float64(len(xs))
+	}
+	sort.Float64s(means)
+	alpha := (1 - level) / 2
+	return Interval{
+		Lo:    Quantile(means, alpha),
+		Hi:    Quantile(means, 1-alpha),
+		Level: level,
+	}
+}
+
+// Pearson returns the Pearson correlation coefficient of paired samples.
+func Pearson(xs, ys []float64) float64 {
+	if len(xs) != len(ys) || len(xs) < 2 {
+		panic("stats: Pearson needs two equal samples of length ≥ 2")
+	}
+	mx, my := Mean(xs), Mean(ys)
+	var sxy, sxx, syy float64
+	for i := range xs {
+		dx, dy := xs[i]-mx, ys[i]-my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return 0
+	}
+	return sxy / math.Sqrt(sxx*syy)
+}
+
+// Spearman returns the Spearman rank correlation of paired samples.
+func Spearman(xs, ys []float64) float64 {
+	return Pearson(ranks(xs), ranks(ys))
+}
+
+func ranks(xs []float64) []float64 {
+	idx := make([]int, len(xs))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return xs[idx[a]] < xs[idx[b]] })
+	r := make([]float64, len(xs))
+	for pos := 0; pos < len(idx); {
+		// Average ranks across ties.
+		end := pos
+		for end+1 < len(idx) && xs[idx[end+1]] == xs[idx[pos]] {
+			end++
+		}
+		avg := float64(pos+end)/2 + 1
+		for k := pos; k <= end; k++ {
+			r[idx[k]] = avg
+		}
+		pos = end + 1
+	}
+	return r
+}
+
+// Histogram bins xs into n equal-width bins over [min, max].
+type Histogram struct {
+	Lo, Hi float64
+	Counts []int
+}
+
+// NewHistogram builds a histogram with n bins.
+func NewHistogram(xs []float64, n int) Histogram {
+	if len(xs) == 0 || n <= 0 {
+		panic("stats: bad histogram input")
+	}
+	s := Summarize(xs)
+	h := Histogram{Lo: s.Min, Hi: s.Max, Counts: make([]int, n)}
+	span := s.Max - s.Min
+	for _, x := range xs {
+		bin := 0
+		if span > 0 {
+			bin = int((x - s.Min) / span * float64(n))
+			if bin >= n {
+				bin = n - 1
+			}
+		}
+		h.Counts[bin]++
+	}
+	return h
+}
+
+// MedianInterval returns a distribution-free confidence interval for the
+// median based on order statistics (binomial argument): the interval
+// [x(lo), x(hi)] covers the true median with at least the requested level.
+// Later methodology work (e.g. Kalibera & Jones) recommends medians over
+// means for performance data because they resist the heavy right tails
+// measurement noise produces; biaslab offers both.
+func MedianInterval(xs []float64, level float64) Interval {
+	if len(xs) == 0 {
+		panic("stats: MedianInterval of empty sample")
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	n := len(sorted)
+	if n < 6 {
+		// Too few samples for a nondegenerate order-statistic interval at
+		// common levels; report the full range, which is conservative.
+		return Interval{Lo: sorted[0], Hi: sorted[n-1], Level: level}
+	}
+	// Find the smallest symmetric pair of order statistics whose binomial
+	// coverage reaches the level: P(lo < #below ≤ hi) with p = 1/2.
+	alpha := 1 - level
+	lo, hi := 0, n-1
+	for lo < hi-1 {
+		// Coverage of [lo+1, hi] order statistics (1-based ranks).
+		cov := binomCoverage(n, lo+1, hi)
+		covNext := binomCoverage(n, lo+2, hi-1)
+		if covNext >= 1-alpha {
+			lo++
+			hi--
+			_ = cov
+			continue
+		}
+		break
+	}
+	return Interval{Lo: sorted[lo], Hi: sorted[hi], Level: level}
+}
+
+// binomCoverage returns P(loRank ≤ B ≤ hiRank−1) for B ~ Binomial(n, 1/2):
+// the probability the true median lies between the loRank-th and hiRank-th
+// order statistics (1-based).
+func binomCoverage(n, loRank, hiRank int) float64 {
+	var p float64
+	for k := loRank; k < hiRank; k++ {
+		p += binomPMF(n, k)
+	}
+	return p
+}
+
+// binomPMF is C(n,k) / 2^n computed in log space to avoid overflow.
+func binomPMF(n, k int) float64 {
+	return math.Exp(lnChoose(n, k) - float64(n)*math.Ln2)
+}
+
+func lnChoose(n, k int) float64 {
+	if k < 0 || k > n {
+		return math.Inf(-1)
+	}
+	return lnFact(n) - lnFact(k) - lnFact(n-k)
+}
+
+func lnFact(n int) float64 {
+	var s float64
+	for i := 2; i <= n; i++ {
+		s += math.Log(float64(i))
+	}
+	return s
+}
+
+// EffectSize returns Cohen's d for two samples (pooled standard deviation):
+// a scale-free measure of how far apart two configurations are relative to
+// their variability across setups.
+func EffectSize(xs, ys []float64) float64 {
+	if len(xs) < 2 || len(ys) < 2 {
+		panic("stats: EffectSize needs ≥ 2 samples on each side")
+	}
+	mx, my := Mean(xs), Mean(ys)
+	sx, sy := Std(xs), Std(ys)
+	nx, ny := float64(len(xs)), float64(len(ys))
+	pooled := math.Sqrt(((nx-1)*sx*sx + (ny-1)*sy*sy) / (nx + ny - 2))
+	if pooled == 0 {
+		return 0
+	}
+	return (mx - my) / pooled
+}

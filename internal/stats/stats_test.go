@@ -1,0 +1,303 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{4, 1, 3, 2, 5})
+	if s.N != 5 || s.Min != 1 || s.Max != 5 || s.Median != 3 || s.Mean != 3 {
+		t.Errorf("summary wrong: %+v", s)
+	}
+	if !almostEq(s.Std, math.Sqrt(2.5), 1e-12) {
+		t.Errorf("std = %v", s.Std)
+	}
+	if s.Range() != 4 {
+		t.Errorf("range = %v", s.Range())
+	}
+	if len(s.String()) == 0 {
+		t.Error("empty String")
+	}
+}
+
+func TestSummarizePanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	Summarize(nil)
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	if Quantile(xs, 0) != 1 || Quantile(xs, 1) != 4 {
+		t.Error("extreme quantiles wrong")
+	}
+	if !almostEq(Quantile(xs, 0.5), 2.5, 1e-12) {
+		t.Errorf("median = %v", Quantile(xs, 0.5))
+	}
+	if !almostEq(Quantile(xs, 0.25), 1.75, 1e-12) {
+		t.Errorf("q1 = %v", Quantile(xs, 0.25))
+	}
+}
+
+func TestQuantileMonotoneProperty(t *testing.T) {
+	f := func(raw []float64, a, b float64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		for _, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return true
+			}
+		}
+		xs := append([]float64(nil), raw...)
+		sort.Float64s(xs)
+		qa, qb := math.Mod(math.Abs(a), 1), math.Mod(math.Abs(b), 1)
+		if qa > qb {
+			qa, qb = qb, qa
+		}
+		return Quantile(xs, qa) <= Quantile(xs, qb)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTInterval(t *testing.T) {
+	xs := []float64{9.8, 10.1, 10.0, 9.9, 10.2}
+	iv := TInterval(xs, 0.95)
+	if !iv.Contains(10.0) {
+		t.Errorf("interval %v should contain 10.0", iv)
+	}
+	if iv.Width() <= 0 || iv.Width() > 1 {
+		t.Errorf("implausible width %v", iv.Width())
+	}
+	// Wider confidence ⇒ wider interval.
+	iv99 := TInterval(xs, 0.99)
+	if iv99.Width() <= iv.Width() {
+		t.Error("99% interval not wider than 95%")
+	}
+	one := TInterval([]float64{5}, 0.95)
+	if one.Lo != 5 || one.Hi != 5 {
+		t.Error("single-sample interval should be degenerate")
+	}
+}
+
+func TestTIntervalCoverageProperty(t *testing.T) {
+	// Empirical coverage: a 95% t-interval over normal-ish samples should
+	// contain the true mean in clearly more than 80% of trials.
+	rng := NewRNG(42)
+	const trials = 400
+	covered := 0
+	for i := 0; i < trials; i++ {
+		xs := make([]float64, 10)
+		for j := range xs {
+			// Sum of uniforms ≈ normal, mean 3.
+			xs[j] = rng.Float64() + rng.Float64() + rng.Float64() + rng.Float64() + rng.Float64() + rng.Float64() - 3 + 3
+		}
+		if TInterval(xs, 0.95).Contains(3) {
+			covered++
+		}
+	}
+	if covered < trials*8/10 {
+		t.Errorf("coverage %d/%d too low", covered, trials)
+	}
+}
+
+func TestBootstrapInterval(t *testing.T) {
+	rng := NewRNG(7)
+	xs := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	iv := BootstrapMeanInterval(xs, 0.95, 2000, rng)
+	if !iv.Contains(5.5) {
+		t.Errorf("bootstrap interval %v should contain 5.5", iv)
+	}
+	if iv.Lo < 1 || iv.Hi > 10 {
+		t.Errorf("bootstrap interval %v outside sample range", iv)
+	}
+}
+
+func TestPearson(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	ys := []float64{2, 4, 6, 8, 10}
+	if r := Pearson(xs, ys); !almostEq(r, 1, 1e-12) {
+		t.Errorf("perfect correlation = %v", r)
+	}
+	neg := []float64{10, 8, 6, 4, 2}
+	if r := Pearson(xs, neg); !almostEq(r, -1, 1e-12) {
+		t.Errorf("perfect anticorrelation = %v", r)
+	}
+	flat := []float64{3, 3, 3, 3, 3}
+	if r := Pearson(xs, flat); r != 0 {
+		t.Errorf("zero-variance correlation = %v", r)
+	}
+}
+
+func TestSpearman(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	ys := []float64{1, 4, 9, 16, 25} // monotone, nonlinear
+	if r := Spearman(xs, ys); !almostEq(r, 1, 1e-12) {
+		t.Errorf("monotone Spearman = %v", r)
+	}
+	tied := []float64{1, 1, 2, 2, 3}
+	_ = Spearman(xs, tied) // must not panic on ties
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(123), NewRNG(123)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed diverged")
+		}
+	}
+	if NewRNG(0).Uint64() == 0 {
+		t.Error("zero seed should be remapped")
+	}
+}
+
+func TestRNGPerm(t *testing.T) {
+	rng := NewRNG(9)
+	p := rng.Perm(20)
+	seen := make([]bool, 20)
+	for _, v := range p {
+		if v < 0 || v >= 20 || seen[v] {
+			t.Fatalf("bad permutation %v", p)
+		}
+		seen[v] = true
+	}
+	// Different draws differ (with overwhelming probability).
+	q := rng.Perm(20)
+	same := true
+	for i := range p {
+		if p[i] != q[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Error("two permutations identical")
+	}
+}
+
+func TestRNGUniformityProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := NewRNG(seed)
+		buckets := make([]int, 8)
+		for i := 0; i < 800; i++ {
+			buckets[rng.Intn(8)]++
+		}
+		for _, c := range buckets {
+			if c < 40 || c > 180 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram([]float64{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}, 5)
+	total := 0
+	for _, c := range h.Counts {
+		total += c
+	}
+	if total != 10 {
+		t.Errorf("histogram lost values: %v", h.Counts)
+	}
+	if h.Counts[0] != 2 || h.Counts[4] != 2 {
+		t.Errorf("bin counts wrong: %v", h.Counts)
+	}
+	flat := NewHistogram([]float64{5, 5, 5}, 3)
+	if flat.Counts[0] != 3 {
+		t.Errorf("degenerate histogram wrong: %v", flat.Counts)
+	}
+}
+
+func TestIntervalHelpers(t *testing.T) {
+	iv := Interval{Lo: 1, Hi: 3, Level: 0.95}
+	if !iv.Contains(2) || iv.Contains(0) || iv.Contains(4) {
+		t.Error("Contains wrong")
+	}
+	if iv.Width() != 2 {
+		t.Error("Width wrong")
+	}
+	if len(iv.String()) == 0 {
+		t.Error("String empty")
+	}
+}
+
+func TestMedianInterval(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15}
+	iv := MedianInterval(xs, 0.95)
+	if !iv.Contains(8) {
+		t.Errorf("median interval %v should contain 8", iv)
+	}
+	if iv.Lo < 1 || iv.Hi > 15 {
+		t.Errorf("interval %v outside sample", iv)
+	}
+	if iv.Lo >= 8 || iv.Hi <= 8 {
+		t.Errorf("degenerate interval %v", iv)
+	}
+	// Small sample: conservative full range.
+	small := MedianInterval([]float64{3, 1, 2}, 0.95)
+	if small.Lo != 1 || small.Hi != 3 {
+		t.Errorf("small-sample interval %v should be the range", small)
+	}
+}
+
+func TestMedianIntervalCoverage(t *testing.T) {
+	// Empirical coverage over uniform samples with median 0.5.
+	rng := NewRNG(77)
+	const trials = 300
+	covered := 0
+	for i := 0; i < trials; i++ {
+		xs := make([]float64, 25)
+		for j := range xs {
+			xs[j] = rng.Float64()
+		}
+		if MedianInterval(xs, 0.95).Contains(0.5) {
+			covered++
+		}
+	}
+	if covered < trials*85/100 {
+		t.Errorf("median CI coverage %d/%d too low", covered, trials)
+	}
+}
+
+func TestEffectSize(t *testing.T) {
+	a := []float64{10, 11, 12, 13, 14}
+	b := []float64{20, 21, 22, 23, 24}
+	d := EffectSize(a, b)
+	if d >= 0 {
+		t.Errorf("a < b should give negative d, got %v", d)
+	}
+	if math.Abs(EffectSize(a, a)) > 1e-12 {
+		t.Error("identical samples should give d = 0")
+	}
+	flat := []float64{5, 5, 5}
+	if EffectSize(flat, flat) != 0 {
+		t.Error("zero-variance effect size should be 0")
+	}
+}
+
+func TestBinomHelpers(t *testing.T) {
+	// Sum of the full PMF is 1.
+	var sum float64
+	for k := 0; k <= 20; k++ {
+		sum += binomPMF(20, k)
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("binomial PMF sums to %v", sum)
+	}
+	if lnChoose(10, -1) != math.Inf(-1) || lnChoose(10, 11) != math.Inf(-1) {
+		t.Error("out-of-range lnChoose should be -inf")
+	}
+}

@@ -1,0 +1,207 @@
+// Package survey reproduces the paper's literature survey: an audit of 133
+// papers from ASPLOS, PACT, PLDI and CGO asking whether published
+// evaluations report or control the experimental-setup factors that the
+// paper shows can bias results.
+//
+// The original per-paper data was never published; what the paper reports
+// are the aggregates — above all, that **none** of the 133 surveyed papers
+// reports environment size or link order, and essentially none addresses
+// measurement bias at all. This package therefore carries a deterministic
+// synthetic dataset whose aggregates match the published claims (documented
+// in EXPERIMENTS.md as a substitution), plus the analysis code that reduces
+// per-paper records to the summary table — so a user with the real data
+// could drop it in and regenerate the exact table.
+package survey
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"biaslab/internal/stats"
+)
+
+// Venue is a publication venue.
+type Venue string
+
+// The four venues the paper surveyed.
+const (
+	ASPLOS Venue = "ASPLOS"
+	PACT   Venue = "PACT"
+	PLDI   Venue = "PLDI"
+	CGO    Venue = "CGO"
+)
+
+// Paper is one surveyed publication's methodology record.
+type Paper struct {
+	ID    int
+	Venue Venue
+	Year  int
+
+	// UsesSpeedup: evaluates using execution-time/speedup measurements
+	// (papers that don't are excluded from most denominators).
+	UsesSpeedup bool
+	// Platforms is the number of distinct hardware platforms evaluated on.
+	Platforms int
+	// ReportsCompilerVersion / ReportsCompilerFlags: basic toolchain
+	// reporting hygiene.
+	ReportsCompilerVersion bool
+	ReportsCompilerFlags   bool
+	// ReportsEnvironment / ReportsLinkOrder: the two bias factors the
+	// paper studies. Zero papers in the survey report either.
+	ReportsEnvironment bool
+	ReportsLinkOrder   bool
+	// UsesStatistics: reports variance, confidence intervals, or any
+	// statistical treatment of measurements.
+	UsesStatistics bool
+	// AddressesBias: discusses or controls for measurement bias.
+	AddressesBias bool
+}
+
+// venueQuota fixes how many surveyed papers came from each venue (133 in
+// total, matching the paper's count).
+var venueQuota = []struct {
+	venue Venue
+	year  int
+	count int
+}{
+	{ASPLOS, 2008, 31},
+	{PACT, 2007, 33},
+	{PLDI, 2007, 45},
+	{CGO, 2007, 24},
+}
+
+// Dataset returns the 133-paper synthetic dataset. It is deterministic:
+// attribute frequencies are fixed and assigned by a seeded generator, and
+// the aggregates the paper states exactly (none report environment or link
+// order) hold by construction.
+func Dataset() []Paper {
+	rng := stats.NewRNG(0x5EED5)
+	papers := make([]Paper, 0, 133)
+	id := 1
+	for _, q := range venueQuota {
+		for i := 0; i < q.count; i++ {
+			p := Paper{ID: id, Venue: q.venue, Year: q.year}
+			id++
+			// ~87% of systems papers evaluate with time-based measurements.
+			p.UsesSpeedup = rng.Float64() < 0.87
+			if p.UsesSpeedup {
+				// Most papers evaluate on exactly one platform.
+				switch {
+				case rng.Float64() < 0.70:
+					p.Platforms = 1
+				case rng.Float64() < 0.80:
+					p.Platforms = 2
+				default:
+					p.Platforms = 3
+				}
+				p.ReportsCompilerFlags = rng.Float64() < 0.55
+				p.ReportsCompilerVersion = p.ReportsCompilerFlags && rng.Float64() < 0.60
+				p.UsesStatistics = rng.Float64() < 0.12
+				// By the paper's central finding, these are always false.
+				p.ReportsEnvironment = false
+				p.ReportsLinkOrder = false
+				p.AddressesBias = false
+			}
+			papers = append(papers, p)
+		}
+	}
+	return papers
+}
+
+// Summary is the reduced form of the survey: the paper's summary table.
+type Summary struct {
+	Total       int
+	PerVenue    map[Venue]int
+	UsesSpeedup int
+
+	SinglePlatform int // among UsesSpeedup
+	MultiPlatform  int
+	ReportsVersion int
+	ReportsFlags   int
+	ReportsEnv     int
+	ReportsLink    int
+	UsesStatistics int
+	AddressesBias  int
+}
+
+// Summarize reduces per-paper records to the summary.
+func Summarize(papers []Paper) Summary {
+	s := Summary{Total: len(papers), PerVenue: map[Venue]int{}}
+	for _, p := range papers {
+		s.PerVenue[p.Venue]++
+		if !p.UsesSpeedup {
+			continue
+		}
+		s.UsesSpeedup++
+		if p.Platforms <= 1 {
+			s.SinglePlatform++
+		} else {
+			s.MultiPlatform++
+		}
+		if p.ReportsCompilerVersion {
+			s.ReportsVersion++
+		}
+		if p.ReportsCompilerFlags {
+			s.ReportsFlags++
+		}
+		if p.ReportsEnvironment {
+			s.ReportsEnv++
+		}
+		if p.ReportsLinkOrder {
+			s.ReportsLink++
+		}
+		if p.UsesStatistics {
+			s.UsesStatistics++
+		}
+		if p.AddressesBias {
+			s.AddressesBias++
+		}
+	}
+	return s
+}
+
+// pct renders n as a percentage of the speedup-paper denominator.
+func (s Summary) pct(n int) string {
+	if s.UsesSpeedup == 0 {
+		return "n/a"
+	}
+	return fmt.Sprintf("%3.0f%%", 100*float64(n)/float64(s.UsesSpeedup))
+}
+
+// Table renders the summary as the survey table.
+func (s Summary) Table() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Literature survey: %d papers", s.Total)
+	venues := make([]string, 0, len(s.PerVenue))
+	for v, c := range s.PerVenue {
+		venues = append(venues, fmt.Sprintf("%s %d", v, c))
+	}
+	sort.Strings(venues)
+	fmt.Fprintf(&sb, " (%s)\n\n", strings.Join(venues, ", "))
+	fmt.Fprintf(&sb, "%-52s %5s %5s\n", "criterion", "count", "share")
+	row := func(label string, n int) {
+		fmt.Fprintf(&sb, "%-52s %5d %5s\n", label, n, s.pct(n))
+	}
+	fmt.Fprintf(&sb, "%-52s %5d\n", "papers with time/speedup-based evaluation", s.UsesSpeedup)
+	row("  evaluated on a single hardware platform", s.SinglePlatform)
+	row("  evaluated on multiple platforms", s.MultiPlatform)
+	row("  report compiler flags", s.ReportsFlags)
+	row("  report compiler version", s.ReportsVersion)
+	row("  report any statistical treatment", s.UsesStatistics)
+	row("  report UNIX environment (bias factor #1)", s.ReportsEnv)
+	row("  report link order (bias factor #2)", s.ReportsLink)
+	row("  address measurement bias at all", s.AddressesBias)
+	return sb.String()
+}
+
+// Filter returns the papers matching pred.
+func Filter(papers []Paper, pred func(Paper) bool) []Paper {
+	var out []Paper
+	for _, p := range papers {
+		if pred(p) {
+			out = append(out, p)
+		}
+	}
+	return out
+}

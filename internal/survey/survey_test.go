@@ -1,0 +1,87 @@
+package survey
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDatasetShape(t *testing.T) {
+	papers := Dataset()
+	if len(papers) != 133 {
+		t.Fatalf("dataset has %d papers, want 133", len(papers))
+	}
+	venues := map[Venue]int{}
+	ids := map[int]bool{}
+	for _, p := range papers {
+		venues[p.Venue]++
+		if ids[p.ID] {
+			t.Errorf("duplicate id %d", p.ID)
+		}
+		ids[p.ID] = true
+	}
+	if venues[ASPLOS] != 31 || venues[PACT] != 33 || venues[PLDI] != 45 || venues[CGO] != 24 {
+		t.Errorf("venue quotas wrong: %v", venues)
+	}
+}
+
+// TestCentralFinding pins the survey's headline numbers: no surveyed paper
+// reports environment size or link order, or addresses measurement bias.
+func TestCentralFinding(t *testing.T) {
+	for _, p := range Dataset() {
+		if p.ReportsEnvironment || p.ReportsLinkOrder || p.AddressesBias {
+			t.Fatalf("paper %d violates the survey's central finding", p.ID)
+		}
+	}
+}
+
+func TestDatasetDeterministic(t *testing.T) {
+	a, b := Dataset(), Dataset()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("dataset not deterministic")
+		}
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize(Dataset())
+	if s.Total != 133 {
+		t.Errorf("total = %d", s.Total)
+	}
+	if s.UsesSpeedup == 0 || s.UsesSpeedup > 133 {
+		t.Errorf("speedup count implausible: %d", s.UsesSpeedup)
+	}
+	if s.SinglePlatform+s.MultiPlatform != s.UsesSpeedup {
+		t.Error("platform split doesn't add up")
+	}
+	if s.ReportsEnv != 0 || s.ReportsLink != 0 || s.AddressesBias != 0 {
+		t.Error("summary contradicts central finding")
+	}
+	if s.SinglePlatform <= s.MultiPlatform {
+		t.Error("most papers should be single-platform")
+	}
+	if s.ReportsVersion > s.ReportsFlags {
+		t.Error("version reporting should imply flag reporting")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	table := Summarize(Dataset()).Table()
+	for _, want := range []string{"133 papers", "ASPLOS 31", "link order", "environment", "0%"} {
+		if !strings.Contains(table, want) {
+			t.Errorf("table missing %q:\n%s", want, table)
+		}
+	}
+}
+
+func TestFilter(t *testing.T) {
+	papers := Dataset()
+	pldi := Filter(papers, func(p Paper) bool { return p.Venue == PLDI })
+	if len(pldi) != 45 {
+		t.Errorf("PLDI filter = %d, want 45", len(pldi))
+	}
+	none := Filter(papers, func(p Paper) bool { return p.ReportsLinkOrder })
+	if len(none) != 0 {
+		t.Error("link-order filter should be empty")
+	}
+}

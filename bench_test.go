@@ -122,6 +122,51 @@ func BenchmarkSimulator(b *testing.B) {
 	b.ReportMetric(float64(instrs)/b.Elapsed().Seconds()/1e6, "Minstr/s")
 }
 
+// BenchmarkEnvSweep measures the end-to-end cost of one environment sweep
+// (the Figure 3 inner loop: one benchmark, one machine, 33 env sizes),
+// reporting sweep points per second of host time. A sweep shares one
+// compile, one link and one predecode across its points, so this is the
+// workload the memoized pipeline is built for.
+func BenchmarkEnvSweep(b *testing.B) {
+	bm, _ := biaslab.Benchmark("libquantum")
+	setup := biaslab.DefaultSetup("core2")
+	sizes := biaslab.DefaultEnvSizes(128)
+	var points int
+	for i := 0; i < b.N; i++ {
+		// Fresh Runner per iteration: the sweep pays its own compile and
+		// link, exactly as an experiment does.
+		r := biaslab.NewRunner(benchSize())
+		pts, err := biaslab.EnvSweep(r, bm, setup, sizes)
+		if err != nil {
+			b.Fatal(err)
+		}
+		points += len(pts)
+	}
+	b.ReportMetric(float64(points)/b.Elapsed().Seconds(), "points/s")
+}
+
+// BenchmarkMeasureRepeated measures the steady-state cost of re-measuring
+// one (benchmark, setup) on a warm Runner — the singleflight caches make
+// this pure load+simulate, the per-run floor for randomized-setup studies.
+func BenchmarkMeasureRepeated(b *testing.B) {
+	r := biaslab.NewRunner(benchSize())
+	bm, _ := biaslab.Benchmark("hmmer")
+	setup := biaslab.DefaultSetup("p4")
+	if _, err := r.Measure(bm, setup); err != nil {
+		b.Fatal(err) // warm the compile/link caches
+	}
+	b.ResetTimer()
+	var instrs uint64
+	for i := 0; i < b.N; i++ {
+		m, err := r.Measure(bm, setup)
+		if err != nil {
+			b.Fatal(err)
+		}
+		instrs += m.Counters.Instructions
+	}
+	b.ReportMetric(float64(instrs)/b.Elapsed().Seconds()/1e6, "Minstr/s")
+}
+
 // BenchmarkToolchain measures the compile+link path alone.
 func BenchmarkToolchain(b *testing.B) {
 	bm, _ := biaslab.Benchmark("gcc")

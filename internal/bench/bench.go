@@ -116,6 +116,19 @@ func ByName(name string) (*Benchmark, bool) {
 	return b, ok
 }
 
+// Synthetic builds an unregistered benchmark directly from a source
+// builder — the hook for tests that need to feed the measurement pipeline
+// programs outside the suite (for example deliberately uncompilable ones).
+// The same builder serves every workload size at scale 1.
+func Synthetic(name string, sources func(scale int) []compiler.Source) *Benchmark {
+	return &Benchmark{
+		Name:    name,
+		Kernel:  "synthetic",
+		scales:  map[Size]int{SizeTest: 1, SizeSmall: 1, SizeRef: 1},
+		sources: sources,
+	}
+}
+
 // src is a helper to build a compiler.Source with the benchmark prefix.
 func src(bench, unit, text string) compiler.Source {
 	return compiler.Source{Name: bench + "_" + unit + ".cm", Text: text}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"strconv"
 	"sync"
 
 	"biaslab/internal/bench"
@@ -22,8 +23,9 @@ type Measurement struct {
 
 // Runner executes benchmarks under setups. It caches compiled objects per
 // (benchmark, compiler config) — compilation does not depend on environment
-// or link order, only linking and loading do — and reuses one machine
-// instance per model. A Runner also enforces the metamorphic invariant at
+// or link order — and linked executables per (benchmark, config, link
+// order, padding) — linking does not depend on the environment either, so
+// an env sweep links once — and reuses pooled machine instances per model. A Runner also enforces the metamorphic invariant at
 // the heart of the paper: across every setup, a benchmark's *output*
 // (checksum) must be bit-identical even though its *cycles* differ; any
 // violation is a toolchain bug and is reported as an error.
@@ -34,7 +36,9 @@ type Runner struct {
 
 	mu        sync.Mutex
 	objCache  map[objKey][]*obj.Object
-	compiling map[objKey]*sync.WaitGroup    // in-flight compiles (singleflight)
+	compiling map[objKey]*sync.WaitGroup // in-flight compiles (singleflight)
+	linkCache map[linkKey]*linker.Executable
+	linking   map[linkKey]*sync.WaitGroup   // in-flight links (singleflight)
 	machines  map[string][]*machine.Machine // idle pool per model
 	custom    map[string]machine.Config     // RegisterMachine configs
 	oracles   map[string]uint64             // benchmark → expected checksum
@@ -44,6 +48,35 @@ type objKey struct {
 	bench string
 	cfg   compiler.Config
 }
+
+// linkKey identifies one linked executable: linking depends only on the
+// compiled objects (benchmark × compiler config), the unit order, and the
+// inter-object padding — not on the environment, which is why an env sweep
+// can reuse one executable across all its points.
+type linkKey struct {
+	bench string
+	cfg   compiler.Config
+	order string // LinkOrder encoded as text ([]int is not comparable)
+	pad   uint64
+}
+
+// orderKey encodes a link order for use in a map key.
+func orderKey(order []int) string {
+	if order == nil {
+		return ""
+	}
+	b := make([]byte, 0, 3*len(order))
+	for _, v := range order {
+		b = strconv.AppendInt(b, int64(v), 10)
+		b = append(b, ',')
+	}
+	return string(b)
+}
+
+// linkCacheCap bounds the executable cache. A full link-order study is
+// hundreds of permutations per (benchmark, config); eviction is arbitrary
+// because the cache is pure memoization — a re-link is deterministic.
+const linkCacheCap = 512
 
 // NewRunner builds a runner at the given workload size. A Runner is safe
 // for concurrent use: machines are pooled per model, compiled objects are
@@ -55,6 +88,8 @@ func NewRunner(size bench.Size) *Runner {
 		MaxInstructions: 1 << 31,
 		objCache:        map[objKey][]*obj.Object{},
 		compiling:       map[objKey]*sync.WaitGroup{},
+		linkCache:       map[linkKey]*linker.Executable{},
+		linking:         map[linkKey]*sync.WaitGroup{},
 		machines:        map[string][]*machine.Machine{},
 		oracles:         map[string]uint64{},
 	}
@@ -95,6 +130,55 @@ func (r *Runner) objects(b *bench.Benchmark, cfg compiler.Config) ([]*obj.Object
 	}
 }
 
+// linked returns the executable for b's objects under the given order and
+// padding, linking each distinct (benchmark, config, order, pad) at most
+// once even under concurrency — the same singleflight discipline as
+// objects(). Executables are immutable after linking, so a cached one is
+// safely shared by concurrent loads.
+func (r *Runner) linked(b *bench.Benchmark, setup Setup, ordered []*obj.Object) (*linker.Executable, error) {
+	key := linkKey{
+		bench: b.Name,
+		cfg:   setup.Compiler,
+		order: orderKey(setup.LinkOrder),
+		pad:   setup.TextPad,
+	}
+	for {
+		r.mu.Lock()
+		if exe, ok := r.linkCache[key]; ok {
+			r.mu.Unlock()
+			return exe, nil
+		}
+		if wg, inflight := r.linking[key]; inflight {
+			r.mu.Unlock()
+			wg.Wait()
+			continue // cache now populated (or link failed; retry links)
+		}
+		wg := &sync.WaitGroup{}
+		wg.Add(1)
+		r.linking[key] = wg
+		r.mu.Unlock()
+
+		exe, err := linker.Link(ordered, linker.Options{PadObjects: setup.TextPad})
+		r.mu.Lock()
+		delete(r.linking, key)
+		if err == nil {
+			if len(r.linkCache) >= linkCacheCap {
+				for k := range r.linkCache {
+					delete(r.linkCache, k)
+					break
+				}
+			}
+			r.linkCache[key] = exe
+		}
+		r.mu.Unlock()
+		wg.Done()
+		if err != nil {
+			return nil, fmt.Errorf("core: linking %s: %w", b.Name, err)
+		}
+		return exe, nil
+	}
+}
+
 // acquireMachine takes an idle machine for the named model from the pool,
 // constructing one if none is free.
 func (r *Runner) acquireMachine(name string) (*machine.Machine, error) {
@@ -106,17 +190,14 @@ func (r *Runner) acquireMachine(name string) (*machine.Machine, error) {
 		r.mu.Unlock()
 		return m, nil
 	}
-	_, registered := r.custom[name]
+	cfg, registered := r.custom[name]
 	r.mu.Unlock()
-	if registered {
-		r.mu.Lock()
-		cfg := r.custom[name]
-		r.mu.Unlock()
-		return machine.New(cfg), nil
-	}
-	cfg, ok := machine.ConfigByName(name)
-	if !ok {
-		return nil, fmt.Errorf("core: unknown machine %q", name)
+	if !registered {
+		var ok bool
+		cfg, ok = machine.ConfigByName(name)
+		if !ok {
+			return nil, fmt.Errorf("core: unknown machine %q", name)
+		}
 	}
 	return machine.New(cfg), nil
 }
@@ -209,9 +290,9 @@ func (r *Runner) measure(b *bench.Benchmark, setup Setup, profiled bool) (*measu
 			ordered[i] = objs[src]
 		}
 	}
-	exe, err := linker.Link(ordered, linker.Options{PadObjects: setup.TextPad})
+	exe, err := r.linked(b, setup, ordered)
 	if err != nil {
-		return nil, fmt.Errorf("core: linking %s: %w", b.Name, err)
+		return nil, err
 	}
 	envBytes := setup.EnvBytes
 	if envBytes == 0 {
@@ -233,6 +314,9 @@ func (r *Runner) measure(b *bench.Benchmark, setup Setup, profiled bool) (*measu
 	res, err := m.Run(img, r.MaxInstructions)
 	m.EnableProfiling(false)
 	r.releaseMachine(setup.Machine, m)
+	// The run is over and nothing retains the image's memory (results copy
+	// what they need), so its buffer can be recycled for the next load.
+	img.Release()
 	if err != nil {
 		return nil, fmt.Errorf("core: running %s under %s: %w", b.Name, setup, err)
 	}
@@ -254,6 +338,9 @@ func (r *Runner) measure(b *bench.Benchmark, setup Setup, profiled bool) (*measu
 // given name — the hook for mechanism-ablation studies (e.g. "a Pentium 4
 // without 4 KiB aliasing") that pin down which microarchitectural features
 // carry each bias channel.
+// Re-registering a name purges that name's idle-machine pool: pooled
+// machines were built from the previous config, and handing one out for a
+// measurement under the new config would silently measure the wrong model.
 func (r *Runner) RegisterMachine(name string, cfg machine.Config) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
@@ -261,4 +348,5 @@ func (r *Runner) RegisterMachine(name string, cfg machine.Config) {
 		r.custom = map[string]machine.Config{}
 	}
 	r.custom[name] = cfg
+	delete(r.machines, name)
 }

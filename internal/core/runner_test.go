@@ -1,0 +1,131 @@
+package core
+
+import (
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"biaslab/internal/bench"
+	"biaslab/internal/compiler"
+	"biaslab/internal/machine"
+)
+
+// TestConcurrentMeasureBitIdentical compares a concurrent sweep against a
+// sequential one point by point: pooled machines, the link cache and the
+// singleflight paths must never leak state between measurements.
+func TestConcurrentMeasureBitIdentical(t *testing.T) {
+	b, _ := bench.ByName("bzip2")
+	setups := make([]Setup, 18)
+	for i := range setups {
+		s := DefaultSetup([]string{"p4", "core2", "m5"}[i%3])
+		s.EnvBytes = uint64(17 + 32*i)
+		if i%2 == 1 {
+			s.Compiler.Level = compiler.O3
+		}
+		if i%3 == 2 {
+			s.TextPad = 32
+		}
+		setups[i] = s
+	}
+
+	sequential := make([]Measurement, len(setups))
+	seqRunner := NewRunner(bench.SizeTest)
+	for i, s := range setups {
+		m, err := seqRunner.Measure(b, s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sequential[i] = *m
+	}
+
+	concurrent := make([]Measurement, len(setups))
+	conRunner := NewRunner(bench.SizeTest)
+	err := ForEach(len(setups), 8, func(i int) error {
+		m, err := conRunner.Measure(b, setups[i])
+		if err != nil {
+			return err
+		}
+		concurrent[i] = *m
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range setups {
+		s, c := sequential[i], concurrent[i]
+		if s.Cycles != c.Cycles || s.Counters != c.Counters || s.Checksum != c.Checksum {
+			t.Errorf("setup %d: concurrent measurement diverged:\nseq: %+v\ncon: %+v", i, s, c)
+		}
+	}
+}
+
+// TestCompileFailureSurfacesError drives a deliberately uncompilable
+// benchmark through concurrent Measure calls: every caller must get an
+// error (the singleflight waiters retry and hit the failure themselves,
+// never a nil-objects success), and the sweep as a whole surfaces exactly
+// one error without deadlocking.
+func TestCompileFailureSurfacesError(t *testing.T) {
+	bad := bench.Synthetic("broken", func(int) []compiler.Source {
+		return []compiler.Source{{Name: "broken.cm", Text: "int main( {{{ not a program"}}
+	})
+	r := NewRunner(bench.SizeTest)
+	var errCount atomic.Int32
+	sweepErr := ForEach(8, 8, func(i int) error {
+		_, err := r.Measure(bad, DefaultSetup("core2"))
+		if err != nil {
+			errCount.Add(1)
+			if !strings.Contains(err.Error(), "broken") {
+				t.Errorf("error does not identify the benchmark: %v", err)
+			}
+		}
+		return err
+	})
+	if sweepErr == nil {
+		t.Fatal("sweep over uncompilable benchmark reported success")
+	}
+	if got := errCount.Load(); got != 8 {
+		t.Errorf("want all 8 concurrent Measure calls to fail, got %d failures", got)
+	}
+}
+
+// TestRegisterMachinePurgesPool is the regression test for the stale-pool
+// bug: re-registering a custom machine name must not hand out machines
+// built from the previous configuration.
+func TestRegisterMachinePurgesPool(t *testing.T) {
+	b, _ := bench.ByName("libquantum")
+	setup := DefaultSetup("ablated")
+
+	slow := machine.PentiumIV()
+	slow.Name = "ablated"
+	fast := slow
+	fast.Penalties.Mispredict += 100 // guaranteed to change cycle counts
+
+	r := NewRunner(bench.SizeTest)
+	r.RegisterMachine("ablated", slow)
+	first, err := r.Measure(b, setup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The machine used above is now idle in the pool. Re-register with a
+	// different config; the next measurement must reflect it.
+	r.RegisterMachine("ablated", fast)
+	second, err := r.Measure(b, setup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Cycles == second.Cycles {
+		t.Fatalf("re-registered config ignored: both runs took %d cycles (stale machine pool)", first.Cycles)
+	}
+
+	// And the re-registered config must measure identically to a fresh
+	// runner that only ever saw it.
+	fresh := NewRunner(bench.SizeTest)
+	fresh.RegisterMachine("ablated", fast)
+	want, err := fresh.Measure(b, setup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.Cycles != want.Cycles {
+		t.Errorf("re-registered config cycles %d != fresh runner cycles %d", second.Cycles, want.Cycles)
+	}
+}

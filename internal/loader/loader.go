@@ -12,6 +12,7 @@ package loader
 
 import (
 	"fmt"
+	"sync"
 
 	"biaslab/internal/isa"
 	"biaslab/internal/linker"
@@ -109,6 +110,30 @@ type Image struct {
 	Exe *linker.Executable
 }
 
+// memPool recycles default-geometry image buffers across runs. Every buffer
+// in the pool is fully zero — New allocates zeroed memory and Release clears
+// before returning — so a pooled Load starts from exactly the state a fresh
+// allocation would, preserving bit-identical execution.
+var memPool = sync.Pool{
+	New: func() any {
+		b := make([]byte, DefaultMemSize)
+		return &b
+	},
+}
+
+// Release returns the image's memory buffer to the loader's pool and
+// detaches it from the image. Call it only when the run is complete and
+// nothing retains img.Mem; non-default buffer sizes are simply dropped.
+func (img *Image) Release() {
+	mem := img.Mem
+	img.Mem = nil
+	if uint64(len(mem)) != DefaultMemSize {
+		return
+	}
+	clear(mem)
+	memPool.Put(&mem)
+}
+
 // Load builds a process image for exe under opts.
 func Load(exe *linker.Executable, opts Options) (*Image, error) {
 	memSize := opts.MemSize
@@ -125,7 +150,12 @@ func Load(exe *linker.Executable, opts Options) (*Image, error) {
 	if exe.MemTop() >= stackTop {
 		return nil, fmt.Errorf("loader: program segments (top %#x) collide with stack", exe.MemTop())
 	}
-	mem := make([]byte, memSize)
+	var mem []byte
+	if memSize == DefaultMemSize {
+		mem = *memPool.Get().(*[]byte)
+	} else {
+		mem = make([]byte, memSize)
+	}
 	copy(mem[exe.TextBase:], exe.Text)
 	copy(mem[exe.DataBase:], exe.Data)
 	// BSS is already zero.

@@ -150,3 +150,37 @@ func TestLoadErrors(t *testing.T) {
 		t.Error("stack top beyond memory should fail")
 	}
 }
+
+// TestReleaseRecyclesZeroedBuffer locks in the pooled-buffer contract: a
+// Load that reuses a released buffer must observe exactly the state a fresh
+// allocation would — any residue from the prior run would break the repo's
+// bit-identical determinism.
+func TestReleaseRecyclesZeroedBuffer(t *testing.T) {
+	exe := buildExe(t)
+	opts := Options{Env: []string{"A=1"}, Args: []string{"x"}}
+	img, err := Load(exe, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pristine := append([]byte(nil), img.Mem...)
+	// Scribble all over the address space, as a run's stores would.
+	for i := 0; i < len(img.Mem); i += 4097 {
+		img.Mem[i] ^= 0xa5
+	}
+	img.Release()
+	if img.Mem != nil {
+		t.Fatal("Release must detach the buffer")
+	}
+	again, err := Load(exe, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(again.Mem) != len(pristine) {
+		t.Fatalf("reloaded image size %d != %d", len(again.Mem), len(pristine))
+	}
+	for i := range pristine {
+		if again.Mem[i] != pristine[i] {
+			t.Fatalf("byte %#x differs after buffer recycling: %#x vs %#x", i, again.Mem[i], pristine[i])
+		}
+	}
+}

@@ -1,18 +1,27 @@
 package machine
 
+import "fmt"
+
 // Predictor models the front end's branch machinery: a gshare direction
 // predictor, a direct-mapped branch target buffer, and a return-address
 // stack. Both structures are indexed by PC bits, which is precisely why the
 // code layout chosen by the linker changes their behaviour: two branches
 // whose addresses collide in the BTB or pattern table perturb each other,
 // and which branches collide is a function of link order.
+//
+// The direction table and BTB carry per-entry generation numbers so Reset
+// is O(1); an entry whose generation is stale reads exactly as the zeroed
+// entry an explicit sweep would have produced.
 type Predictor struct {
 	historyBits uint
 	history     uint64
 	direction   []int8 // 2-bit saturating counters
+	dirGens     []uint32
 	btbBits     uint
 	btbTargets  []uint64
 	btbTags     []uint32
+	btbGens     []uint32
+	gen         uint32
 	ras         []uint64
 	rasTop      int
 
@@ -30,14 +39,25 @@ type PredictorConfig struct {
 	RASDepth    int
 }
 
-// NewPredictor builds a predictor.
+// NewPredictor builds a predictor. It panics on degenerate geometry (a
+// non-power-of-two BTB, whose index mask would silently truncate, or an
+// empty RAS, whose ring arithmetic would divide by zero).
 func NewPredictor(cfg PredictorConfig) *Predictor {
+	if cfg.BTBEntries <= 0 || cfg.BTBEntries&(cfg.BTBEntries-1) != 0 {
+		panic(fmt.Sprintf("machine: predictor: BTB entry count %d not a power of two", cfg.BTBEntries))
+	}
+	if cfg.RASDepth <= 0 {
+		panic(fmt.Sprintf("machine: predictor: RAS depth %d must be positive", cfg.RASDepth))
+	}
 	return &Predictor{
 		historyBits: cfg.HistoryBits,
 		direction:   make([]int8, 1<<cfg.HistoryBits),
+		dirGens:     make([]uint32, 1<<cfg.HistoryBits),
 		btbBits:     log2u(uint64(cfg.BTBEntries)),
 		btbTargets:  make([]uint64, cfg.BTBEntries),
 		btbTags:     make([]uint32, cfg.BTBEntries),
+		btbGens:     make([]uint32, cfg.BTBEntries),
+		gen:         1,
 		ras:         make([]uint64, cfg.RASDepth),
 	}
 }
@@ -51,15 +71,21 @@ func (p *Predictor) dirIndex(pc uint64) int {
 func (p *Predictor) Branch(pc uint64, taken bool) (mispredict bool) {
 	p.branches++
 	idx := p.dirIndex(pc)
-	predTaken := p.direction[idx] >= 2
+	ctr := int8(0) // stale-generation entries read as freshly reset
+	if p.dirGens[idx] == p.gen {
+		ctr = p.direction[idx]
+	}
+	predTaken := ctr >= 2
 	if taken {
-		if p.direction[idx] < 3 {
-			p.direction[idx]++
+		if ctr < 3 {
+			ctr++
 		}
 		p.takenBranches++
-	} else if p.direction[idx] > 0 {
-		p.direction[idx]--
+	} else if ctr > 0 {
+		ctr--
 	}
+	p.direction[idx] = ctr
+	p.dirGens[idx] = p.gen
 	p.history = p.history<<1 | b2u(taken)
 	if predTaken != taken {
 		p.mispredicts++
@@ -75,9 +101,15 @@ func (p *Predictor) Branch(pc uint64, taken bool) (mispredict bool) {
 func (p *Predictor) Target(pc, target uint64) (redirect bool) {
 	idx := int(pc >> 2 & (1<<p.btbBits - 1))
 	tag := uint32(pc >> (2 + p.btbBits))
-	ok := p.btbTags[idx] == tag && p.btbTargets[idx] == target
+	var storedTag uint32
+	var storedTarget uint64
+	if p.btbGens[idx] == p.gen {
+		storedTag, storedTarget = p.btbTags[idx], p.btbTargets[idx]
+	}
+	ok := storedTag == tag && storedTarget == target
 	p.btbTargets[idx] = target
 	p.btbTags[idx] = tag
+	p.btbGens[idx] = p.gen
 	if !ok {
 		p.btbMisses++
 		return true
@@ -114,16 +146,21 @@ func (p *Predictor) Stats() (branches, mispredicts, btbMisses, rasMispops uint64
 	return p.branches, p.mispredicts, p.btbMisses, p.rasMispops
 }
 
-// Reset clears all state and statistics.
+// Reset clears all state and statistics. The direction table and BTB are
+// invalidated in O(1) by bumping the generation (with an explicit sweep on
+// the once-per-2^32 wrap); only the tiny RAS is cleared by loop.
 func (p *Predictor) Reset() {
+	p.gen++
+	if p.gen == 0 {
+		for i := range p.dirGens {
+			p.dirGens[i] = 0
+		}
+		for i := range p.btbGens {
+			p.btbGens[i] = 0
+		}
+		p.gen = 1
+	}
 	p.history = 0
-	for i := range p.direction {
-		p.direction[i] = 0
-	}
-	for i := range p.btbTargets {
-		p.btbTargets[i] = 0
-		p.btbTags[i] = 0
-	}
 	for i := range p.ras {
 		p.ras[i] = 0
 	}

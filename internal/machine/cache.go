@@ -1,17 +1,36 @@
 package machine
 
+import "fmt"
+
 // Cache is a set-associative cache model with true-LRU replacement. Only
 // tags are modelled — the simulator's flat memory holds the data — because
 // timing, not contents, is what the experiments measure.
+//
+// Two throughput refinements keep the model bit-identical while making the
+// simulation hot path cheap: validity is tracked with per-entry generation
+// numbers so Reset is O(1) instead of O(lines), and each set remembers its
+// most-recently-used way so the common consecutive-touch case skips the
+// associative scan entirely.
 type Cache struct {
 	name     string
 	lineBits uint // log2(line size)
 	setBits  uint // log2(number of sets)
 	ways     int  // associativity
 	tags     []uint64
-	valid    []bool
-	// age holds per-way LRU ranks (0 = most recent).
+	// gens marks live entries: a way is valid iff gens[i] equals the
+	// cache's current generation. Reset invalidates every line at once by
+	// bumping gen.
+	gens []uint32
+	gen  uint32
+	// age holds per-way LRU ranks (0 = most recent). Ages of invalid ways
+	// may be stale across generations; they are never consulted (victim
+	// selection prefers invalid ways before comparing ages, and fills
+	// always restart the installed way at rank 0), so staleness cannot
+	// change any replacement decision.
 	age []uint8
+	// mru caches the most-recently-used way index of each set. That way is
+	// by construction at LRU rank 0, so a hit on it needs no rank updates.
+	mru []uint8
 
 	hits   uint64
 	misses uint64
@@ -25,21 +44,41 @@ type CacheConfig struct {
 	Ways     int
 }
 
-// NewCache builds a cache; Size = sets × ways × line.
+// NewCache builds a cache; Size = sets × ways × line. It panics on
+// degenerate geometry — zero sets, non-power-of-two line size or set count,
+// or a size that is not an exact multiple of ways × line — because a
+// silently truncated set count would corrupt the set mapping that the
+// bias experiments measure.
 func NewCache(cfg CacheConfig) *Cache {
 	line := cfg.LineSize
 	if line == 0 {
 		line = 64
 	}
+	if cfg.Ways <= 0 {
+		panic(fmt.Sprintf("machine: cache %s: associativity %d must be positive", cfg.Name, cfg.Ways))
+	}
+	if line&(line-1) != 0 {
+		panic(fmt.Sprintf("machine: cache %s: line size %d not a power of two", cfg.Name, line))
+	}
 	sets := cfg.SizeKB * 1024 / (line * cfg.Ways)
+	if sets == 0 {
+		panic(fmt.Sprintf("machine: cache %s: %d KB holds no complete set of %d ways × %dB lines",
+			cfg.Name, cfg.SizeKB, cfg.Ways, line))
+	}
+	if sets&(sets-1) != 0 || sets*line*cfg.Ways != cfg.SizeKB*1024 {
+		panic(fmt.Sprintf("machine: cache %s: %d KB / (%d ways × %dB lines) yields %d sets, not a power of two",
+			cfg.Name, cfg.SizeKB, cfg.Ways, line, sets))
+	}
 	c := &Cache{
 		name:     cfg.Name,
 		lineBits: log2u(uint64(line)),
 		setBits:  log2u(uint64(sets)),
 		ways:     cfg.Ways,
 		tags:     make([]uint64, sets*cfg.Ways),
-		valid:    make([]bool, sets*cfg.Ways),
+		gens:     make([]uint32, sets*cfg.Ways),
+		gen:      1,
 		age:      make([]uint8, sets*cfg.Ways),
+		mru:      make([]uint8, sets),
 	}
 	return c
 }
@@ -72,22 +111,34 @@ func (c *Cache) Access(addr uint64) bool {
 	set := int(line & (1<<c.setBits - 1))
 	tag := line >> c.setBits
 	base := set * c.ways
+	// MRU fast path: the remembered way is already at rank 0, so a hit on
+	// it changes no LRU state at all.
+	if i := base + int(c.mru[set]); c.gens[i] == c.gen && c.tags[i] == tag {
+		c.hits++
+		return true
+	}
 	// Hit path.
 	for w := 0; w < c.ways; w++ {
 		i := base + w
-		if c.valid[i] && c.tags[i] == tag {
-			c.touch(base, w)
+		if c.gens[i] == c.gen && c.tags[i] == tag {
+			c.touch(set, base, w)
 			c.hits++
 			return true
 		}
 	}
 	// Miss: evict LRU (highest age, preferring invalid ways).
 	c.misses++
+	c.install(set, base, tag)
+	return false
+}
+
+// install picks a victim way for tag in set and fills it as MRU.
+func (c *Cache) install(set, base int, tag uint64) {
 	victim := 0
 	var worst uint8
 	for w := 0; w < c.ways; w++ {
 		i := base + w
-		if !c.valid[i] {
+		if c.gens[i] != c.gen {
 			victim = w
 			break
 		}
@@ -98,9 +149,8 @@ func (c *Cache) Access(addr uint64) bool {
 	}
 	i := base + victim
 	c.tags[i] = tag
-	c.valid[i] = true
-	c.fill(base, victim)
-	return false
+	c.gens[i] = c.gen
+	c.fill(set, base, victim)
 }
 
 // Prefetch fills the line holding addr as most-recently-used without
@@ -111,30 +161,17 @@ func (c *Cache) Prefetch(addr uint64) {
 	set := int(line & (1<<c.setBits - 1))
 	tag := line >> c.setBits
 	base := set * c.ways
+	if i := base + int(c.mru[set]); c.gens[i] == c.gen && c.tags[i] == tag {
+		return
+	}
 	for w := 0; w < c.ways; w++ {
 		i := base + w
-		if c.valid[i] && c.tags[i] == tag {
-			c.touch(base, w)
+		if c.gens[i] == c.gen && c.tags[i] == tag {
+			c.touch(set, base, w)
 			return
 		}
 	}
-	victim := 0
-	var worst uint8
-	for w := 0; w < c.ways; w++ {
-		i := base + w
-		if !c.valid[i] {
-			victim = w
-			break
-		}
-		if c.age[i] >= worst {
-			worst = c.age[i]
-			victim = w
-		}
-	}
-	i := base + victim
-	c.tags[i] = tag
-	c.valid[i] = true
-	c.fill(base, victim)
+	c.install(set, base, tag)
 }
 
 // Contains reports whether the line holding addr is resident, without
@@ -146,14 +183,14 @@ func (c *Cache) Contains(addr uint64) bool {
 	base := set * c.ways
 	for w := 0; w < c.ways; w++ {
 		i := base + w
-		if c.valid[i] && c.tags[i] == tag {
+		if c.gens[i] == c.gen && c.tags[i] == tag {
 			return true
 		}
 	}
 	return false
 }
 
-func (c *Cache) touch(base, mru int) {
+func (c *Cache) touch(set, base, mru int) {
 	pivot := c.age[base+mru]
 	for w := 0; w < c.ways; w++ {
 		if c.age[base+w] < pivot {
@@ -161,42 +198,52 @@ func (c *Cache) touch(base, mru int) {
 		}
 	}
 	c.age[base+mru] = 0
+	c.mru[set] = uint8(mru)
 }
 
 // fill installs a brand-new line as MRU: every other way ages, because the
 // new line has no prior rank to pivot on.
-func (c *Cache) fill(base, mru int) {
+func (c *Cache) fill(set, base, mru int) {
 	for w := 0; w < c.ways; w++ {
 		if w != mru && c.age[base+w] < uint8(c.ways) {
 			c.age[base+w]++
 		}
 	}
 	c.age[base+mru] = 0
+	c.mru[set] = uint8(mru)
 }
 
 // Stats returns cumulative hits and misses.
 func (c *Cache) Stats() (hits, misses uint64) { return c.hits, c.misses }
 
-// Reset invalidates all lines and clears statistics.
+// Reset invalidates all lines and clears statistics in O(1): bumping the
+// generation orphans every entry at once. The wrap case (once per 2^32
+// resets) falls back to an explicit sweep so an entry from generation g can
+// never be mistaken for one from g + 2^32.
 func (c *Cache) Reset() {
-	for i := range c.valid {
-		c.valid[i] = false
-		c.age[i] = 0
-		c.tags[i] = 0
+	c.gen++
+	if c.gen == 0 {
+		for i := range c.gens {
+			c.gens[i] = 0
+		}
+		c.gen = 1
 	}
 	c.hits, c.misses = 0, 0
 }
 
 // TLB is a 4-way set-associative translation buffer with LRU replacement
 // (real TLBs are set-associative for exactly the lookup-cost reason this
-// model is), modelled the same tags-only way as Cache.
+// model is), modelled the same tags-only way as Cache — including the
+// generation-based O(1) Reset and the per-set MRU shortcut.
 type TLB struct {
 	pageBits uint
 	setBits  uint
 	ways     int
 	pages    []uint64
-	valid    []bool
+	gens     []uint32
+	gen      uint32
 	age      []uint8
+	mru      []uint8
 	hits     uint64
 	misses   uint64
 }
@@ -205,19 +252,30 @@ type TLB struct {
 const tlbWays = 4
 
 // NewTLB builds a TLB with the given entry count and page size. Entry
-// counts below the associativity are rounded up to one full set.
+// counts below the associativity are rounded up to one full set. Like
+// NewCache it panics on degenerate geometry (non-power-of-two set count or
+// page size) rather than silently truncating the set mapping.
 func NewTLB(entries, pageSize int) *TLB {
 	if entries < tlbWays {
 		entries = tlbWays
 	}
+	if pageSize <= 0 || pageSize&(pageSize-1) != 0 {
+		panic(fmt.Sprintf("machine: tlb: page size %d not a power of two", pageSize))
+	}
 	sets := entries / tlbWays
+	if sets&(sets-1) != 0 || sets*tlbWays != entries {
+		panic(fmt.Sprintf("machine: tlb: %d entries / %d ways yields %d sets, not a power of two",
+			entries, tlbWays, sets))
+	}
 	return &TLB{
 		pageBits: log2u(uint64(pageSize)),
 		setBits:  log2u(uint64(sets)),
 		ways:     tlbWays,
 		pages:    make([]uint64, sets*tlbWays),
-		valid:    make([]bool, sets*tlbWays),
+		gens:     make([]uint32, sets*tlbWays),
+		gen:      1,
 		age:      make([]uint8, sets*tlbWays),
+		mru:      make([]uint8, sets),
 	}
 }
 
@@ -226,10 +284,14 @@ func (t *TLB) Access(addr uint64) bool {
 	page := addr >> t.pageBits
 	set := int(page & (1<<t.setBits - 1))
 	base := set * t.ways
+	if i := base + int(t.mru[set]); t.gens[i] == t.gen && t.pages[i] == page {
+		t.hits++
+		return true
+	}
 	for w := 0; w < t.ways; w++ {
 		i := base + w
-		if t.valid[i] && t.pages[i] == page {
-			t.touch(base, w)
+		if t.gens[i] == t.gen && t.pages[i] == page {
+			t.touch(set, base, w)
 			t.hits++
 			return true
 		}
@@ -239,7 +301,7 @@ func (t *TLB) Access(addr uint64) bool {
 	var worst uint8
 	for w := 0; w < t.ways; w++ {
 		i := base + w
-		if !t.valid[i] {
+		if t.gens[i] != t.gen {
 			victim = w
 			break
 		}
@@ -250,12 +312,12 @@ func (t *TLB) Access(addr uint64) bool {
 	}
 	i := base + victim
 	t.pages[i] = page
-	t.valid[i] = true
-	t.fill(base, victim)
+	t.gens[i] = t.gen
+	t.fill(set, base, victim)
 	return false
 }
 
-func (t *TLB) touch(base, mru int) {
+func (t *TLB) touch(set, base, mru int) {
 	pivot := t.age[base+mru]
 	for w := 0; w < t.ways; w++ {
 		if t.age[base+w] < pivot {
@@ -263,26 +325,32 @@ func (t *TLB) touch(base, mru int) {
 		}
 	}
 	t.age[base+mru] = 0
+	t.mru[set] = uint8(mru)
 }
 
 // fill installs a brand-new translation as MRU, aging the rest of its set.
-func (t *TLB) fill(base, mru int) {
+func (t *TLB) fill(set, base, mru int) {
 	for w := 0; w < t.ways; w++ {
 		if w != mru && t.age[base+w] < uint8(t.ways) {
 			t.age[base+w]++
 		}
 	}
 	t.age[base+mru] = 0
+	t.mru[set] = uint8(mru)
 }
 
 // Stats returns cumulative hits and misses.
 func (t *TLB) Stats() (hits, misses uint64) { return t.hits, t.misses }
 
-// Reset invalidates all entries and clears statistics.
+// Reset invalidates all entries and clears statistics in O(1), the same
+// generation-bump scheme as Cache.Reset.
 func (t *TLB) Reset() {
-	for i := range t.valid {
-		t.valid[i] = false
-		t.age[i] = 0
+	t.gen++
+	if t.gen == 0 {
+		for i := range t.gens {
+			t.gens[i] = 0
+		}
+		t.gen = 1
 	}
 	t.hits, t.misses = 0, 0
 }

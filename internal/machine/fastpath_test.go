@@ -1,0 +1,181 @@
+package machine
+
+import (
+	"math/rand"
+	"testing"
+
+	"biaslab/internal/isa"
+)
+
+// TestBoundsNearWraparound is the regression test for the overflow-prone
+// bounds check: a base register holding a small negative value produces an
+// address near 2^64, where the old `addr+size > len(mem)` comparison
+// wrapped around and admitted the access, panicking on the slice index.
+// Both engines must return a clean out-of-bounds error instead.
+func TestBoundsNearWraparound(t *testing.T) {
+	cases := map[string][]isa.Inst{
+		"load near 2^64": {
+			{Op: isa.OpAddi, Rd: isa.T0, Rs1: isa.R0, Imm: -8}, // t0 = 0xffff_ffff_ffff_fff8
+			{Op: isa.OpLdq, Rd: isa.T1, Rs1: isa.T0, Imm: 0},
+			{Op: isa.OpHalt},
+		},
+		"store near 2^64": {
+			{Op: isa.OpAddi, Rd: isa.T0, Rs1: isa.R0, Imm: -8},
+			{Op: isa.OpStq, Rs1: isa.T0, Rs2: isa.T1, Imm: 0},
+			{Op: isa.OpHalt},
+		},
+		"load wrapping through zero": {
+			{Op: isa.OpAddi, Rd: isa.T0, Rs1: isa.R0, Imm: -3}, // straddles 2^64 → 0
+			{Op: isa.OpLdq, Rd: isa.T1, Rs1: isa.T0, Imm: 0},
+			{Op: isa.OpHalt},
+		},
+		"store wrapping through zero": {
+			{Op: isa.OpAddi, Rd: isa.T0, Rs1: isa.R0, Imm: -3},
+			{Op: isa.OpStq, Rs1: isa.T0, Rs2: isa.T1, Imm: 0},
+			{Op: isa.OpHalt},
+		},
+	}
+	for name, code := range cases {
+		m := New(Core2())
+		if _, err := m.Run(asmImage(code, 1<<16), 1000); err == nil {
+			t.Errorf("%s: fast engine admitted the access", name)
+		}
+		if _, err := m.RunReference(asmImage(code, 1<<16), 1000); err == nil {
+			t.Errorf("%s: reference engine admitted the access", name)
+		}
+	}
+
+	// An access that starts in bounds but runs off the end must also fault
+	// cleanly in both engines.
+	const memSize = 1 << 16
+	tail := []isa.Inst{
+		{Op: isa.OpLui, Rd: isa.T0, Imm: 1}, // t0 = 1<<16 = memSize
+		{Op: isa.OpLdq, Rd: isa.T1, Rs1: isa.T0, Imm: -4},
+		{Op: isa.OpHalt},
+	}
+	m := New(Core2())
+	if _, err := m.Run(asmImage(tail, memSize), 1000); err == nil {
+		t.Error("tail overrun: fast engine admitted the access")
+	}
+	if _, err := m.RunReference(asmImage(tail, memSize), 1000); err == nil {
+		t.Error("tail overrun: reference engine admitted the access")
+	}
+}
+
+// TestCacheGenerationResetEquivalent drives a freshly built cache and a
+// heavily reset one through the same access sequence and demands identical
+// hit/miss behaviour — the generation-counter Reset must be observationally
+// identical to constructing a new cache.
+func TestCacheGenerationResetEquivalent(t *testing.T) {
+	cfg := CacheConfig{Name: "t", SizeKB: 4, LineSize: 64, Ways: 2}
+	fresh := NewCache(cfg)
+	cycled := NewCache(cfg)
+	rng := rand.New(rand.NewSource(7))
+	addrs := make([]uint64, 4000)
+	for i := range addrs {
+		addrs[i] = uint64(rng.Intn(64 << 10))
+	}
+	for round := 0; round < 300; round++ {
+		cycled.Access(uint64(rng.Intn(64 << 10))) // dirty some state
+		cycled.Reset()
+	}
+	for i, a := range addrs {
+		if fresh.Access(a) != cycled.Access(a) {
+			t.Fatalf("access %d (addr %#x): reset cache diverged from fresh cache", i, a)
+		}
+	}
+	fh, fm := fresh.Stats()
+	ch, cm := cycled.Stats()
+	if fh != ch || fm != cm {
+		t.Fatalf("stats diverged: fresh %d/%d vs cycled %d/%d", fh, fm, ch, cm)
+	}
+}
+
+// TestTLBGenerationResetEquivalent is the TLB analogue.
+func TestTLBGenerationResetEquivalent(t *testing.T) {
+	fresh := NewTLB(64, 4096)
+	cycled := NewTLB(64, 4096)
+	rng := rand.New(rand.NewSource(11))
+	for round := 0; round < 300; round++ {
+		cycled.Access(uint64(rng.Intn(16 << 20)))
+		cycled.Reset()
+	}
+	for i := 0; i < 4000; i++ {
+		a := uint64(rng.Intn(16 << 20))
+		if fresh.Access(a) != cycled.Access(a) {
+			t.Fatalf("access %d (addr %#x): reset TLB diverged from fresh TLB", i, a)
+		}
+	}
+}
+
+// TestPredictorGenerationResetEquivalent checks the predictor's O(1) reset
+// against a freshly constructed predictor over a deterministic branch
+// trace.
+func TestPredictorGenerationResetEquivalent(t *testing.T) {
+	cfg := PredictorConfig{HistoryBits: 10, BTBEntries: 256, RASDepth: 8}
+	fresh := NewPredictor(cfg)
+	cycled := NewPredictor(cfg)
+	rng := rand.New(rand.NewSource(13))
+	for round := 0; round < 300; round++ {
+		cycled.Branch(uint64(rng.Intn(1<<16))&^3, rng.Intn(2) == 0)
+		cycled.Target(uint64(rng.Intn(1<<16))&^3, uint64(rng.Intn(1<<16))&^3)
+		cycled.Reset()
+	}
+	for i := 0; i < 4000; i++ {
+		pc := uint64(rng.Intn(1<<16)) &^ 3
+		taken := rng.Intn(3) > 0
+		if fresh.Branch(pc, taken) != cycled.Branch(pc, taken) {
+			t.Fatalf("branch %d at %#x: reset predictor diverged", i, pc)
+		}
+		tgt := uint64(rng.Intn(1<<16)) &^ 3
+		if fresh.Target(pc, tgt) != cycled.Target(pc, tgt) {
+			t.Fatalf("target %d at %#x: reset predictor diverged", i, pc)
+		}
+	}
+}
+
+// TestDegenerateGeometryPanics locks in construction-time validation: a
+// silently truncated set count would corrupt the set mapping that the bias
+// experiments measure, so these must refuse loudly.
+func TestDegenerateGeometryPanics(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("zero sets", func() {
+		// 1 KB cannot hold one set of 32 ways × 64 B lines.
+		NewCache(CacheConfig{Name: "z", SizeKB: 1, LineSize: 64, Ways: 32})
+	})
+	mustPanic("non-pot sets", func() {
+		// 48 KB / (4 × 64 B) = 192 sets.
+		NewCache(CacheConfig{Name: "npot", SizeKB: 48, LineSize: 64, Ways: 4})
+	})
+	mustPanic("non-pot line", func() {
+		NewCache(CacheConfig{Name: "line", SizeKB: 16, LineSize: 48, Ways: 4})
+	})
+	mustPanic("zero ways", func() {
+		NewCache(CacheConfig{Name: "ways", SizeKB: 16, LineSize: 64, Ways: 0})
+	})
+	mustPanic("tlb non-pot sets", func() {
+		NewTLB(48, 4096) // 12 sets
+	})
+	mustPanic("tlb non-pot page", func() {
+		NewTLB(64, 5000)
+	})
+	mustPanic("btb non-pot", func() {
+		NewPredictor(PredictorConfig{HistoryBits: 8, BTBEntries: 100, RASDepth: 8})
+	})
+	mustPanic("ras empty", func() {
+		NewPredictor(PredictorConfig{HistoryBits: 8, BTBEntries: 128, RASDepth: 0})
+	})
+
+	// Valid geometries must still construct.
+	NewCache(CacheConfig{Name: "ok", SizeKB: 16, LineSize: 64, Ways: 4})
+	NewTLB(64, 4096)
+	NewPredictor(PredictorConfig{HistoryBits: 12, BTBEntries: 512, RASDepth: 16})
+}

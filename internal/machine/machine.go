@@ -4,6 +4,15 @@
 // load/store hazards (line splits, 4 KiB aliasing) through which the paper's
 // two bias channels — stack displacement from the environment and code
 // placement from link order — turn into measurable cycle differences.
+//
+// Execution has two interchangeable engines. The production engine runs a
+// predecoded micro-op array (see predecode.go) with immediates pre-extended
+// and branch targets precomputed; the retained reference engine
+// (RunReference) fetches, decodes and interprets one raw instruction word
+// at a time. Both charge the identical timing model, and the differential
+// tests assert they produce bit-identical counters and checksums — the
+// repo's guarantee that no throughput optimization ever changes a measured
+// value.
 package machine
 
 import (
@@ -30,16 +39,43 @@ type Machine struct {
 
 	textBase uint64
 	textSize uint64
-	decoded  []isa.Inst
+	// uops is the predecoded text segment: either a shared, immutable
+	// cache entry (images that retain their executable) or uopScratch.
+	uops       []uop
+	uopScratch []uop
 
 	counters Counters
 	issueAcc int
 
 	// Store buffer for 4 KiB aliasing: a ring of recent store addresses
-	// with the instruction count at which they were issued.
-	sbAddr []uint64
-	sbSeq  []uint64
-	sbPos  int
+	// with the instruction count at which they were issued. sbKeyCount
+	// tracks how many buffered stores carry each partial-address key so a
+	// load with no key collision skips the ring scan entirely.
+	sbAddr     []uint64
+	sbSeq      []uint64
+	sbPos      int
+	sbKeyCount [512]uint16
+	// sbKeyPage is, per key, the common page of every buffered store with
+	// that key, or mixedPage once two pages collide on it. A load whose page
+	// equals the common page cannot stall (aliasing requires differing
+	// pages), which covers the dominant spill/reload pattern.
+	sbKeyPage [512]uint64
+
+	// fetchBits is log2(FetchBlockBytes) when it is a power of two
+	// (fetchPot), letting the front end use a shift instead of a divide.
+	fetchBits uint
+	fetchPot  bool
+
+	// Last-reference memos: a line or page that was just referenced is MRU
+	// in its set, so re-referencing it is a guaranteed hit that changes no
+	// replacement state — the model call can be skipped entirely (only the
+	// hit statistic is maintained). dMemoOK gates the L1D memo off when a
+	// next-line prefetch into a one-set cache could evict the memoized line.
+	lastDLine uint64
+	lastDPage uint64
+	lastILine uint64
+	lastIPage uint64
+	dMemoOK   bool
 
 	lastFetchBlock uint64
 
@@ -79,8 +115,16 @@ func New(cfg Config) *Machine {
 		m.sbAddr = make([]uint64, cfg.StoreBufferDepth)
 		m.sbSeq = make([]uint64, cfg.StoreBufferDepth)
 	}
+	if b := cfg.FetchBlockBytes; b > 0 && b&(b-1) == 0 {
+		m.fetchBits = log2u(uint64(b))
+		m.fetchPot = true
+	}
+	m.dMemoOK = !cfg.NextLinePrefetch || m.l1d.Sets() > 1
 	return m
 }
+
+// mixedPage marks a store-buffer key whose entries span multiple pages.
+const mixedPage = ^uint64(0)
 
 // Config returns the machine's configuration.
 func (m *Machine) Config() Config { return m.cfg }
@@ -99,18 +143,66 @@ const DefaultMaxInstructions = 4 << 30
 // the result. Machine state is reset at entry, so a Machine can be reused
 // across runs; maxInstr of 0 applies DefaultMaxInstructions.
 func (m *Machine) Run(img *loader.Image, maxInstr uint64) (*Result, error) {
-	m.reset(img)
+	m.resetState(img)
+	m.uops = predecodedFor(img, m.uopScratch)
+	if img.Exe == nil {
+		m.uopScratch = m.uops // keep the scratch array for reuse
+	}
+	if maxInstr == 0 {
+		maxInstr = DefaultMaxInstructions
+	}
+	if m.tracer == nil && m.prof == nil {
+		// Hot loop: no per-step engine dispatch.
+		for !m.halted {
+			if m.counters.Instructions >= maxInstr {
+				return nil, m.budgetErr(maxInstr)
+			}
+			if err := m.stepFast(); err != nil {
+				return nil, err
+			}
+		}
+	} else {
+		for !m.halted {
+			if m.counters.Instructions >= maxInstr {
+				return nil, m.budgetErr(maxInstr)
+			}
+			if err := m.step(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return m.result(), nil
+}
+
+// RunReference executes the image with the retained straightforward
+// fetch-decode-execute interpreter: one raw instruction word decoded per
+// step, no predecoding, no memoization. It exists as the oracle for
+// differential testing of the optimized engine and must produce
+// bit-identical counters, output and checksum. Tracing and profiling are
+// ignored in this mode.
+func (m *Machine) RunReference(img *loader.Image, maxInstr uint64) (*Result, error) {
+	m.resetState(img)
+	m.prof = nil
+	m.uops = nil
 	if maxInstr == 0 {
 		maxInstr = DefaultMaxInstructions
 	}
 	for !m.halted {
 		if m.counters.Instructions >= maxInstr {
-			return nil, fmt.Errorf("machine: instruction budget (%d) exhausted at pc=%#x", maxInstr, m.pc)
+			return nil, m.budgetErr(maxInstr)
 		}
-		if err := m.step(); err != nil {
+		if err := m.stepRef(); err != nil {
 			return nil, err
 		}
 	}
+	return m.result(), nil
+}
+
+func (m *Machine) budgetErr(maxInstr uint64) error {
+	return fmt.Errorf("machine: instruction budget (%d) exhausted at pc=%#x", maxInstr, m.pc)
+}
+
+func (m *Machine) result() *Result {
 	res := &Result{
 		Machine:  m.cfg.Name,
 		Counters: m.counters,
@@ -121,10 +213,12 @@ func (m *Machine) Run(img *loader.Image, maxInstr uint64) (*Result, error) {
 	if m.prof != nil {
 		res.Profile = m.prof.profile()
 	}
-	return res, nil
+	return res
 }
 
-func (m *Machine) reset(img *loader.Image) {
+// resetState reinitializes every piece of architectural and timing state
+// for img. The cache, TLB and predictor resets are O(1) generation bumps.
+func (m *Machine) resetState(img *loader.Image) {
 	m.l1i.Reset()
 	m.l1d.Reset()
 	m.l2.Reset()
@@ -139,6 +233,12 @@ func (m *Machine) reset(img *loader.Image) {
 		m.sbSeq[i] = 0
 	}
 	m.sbPos = 0
+	m.sbKeyCount = [512]uint16{}
+	m.sbKeyPage = [512]uint64{}
+	m.lastDLine = ^uint64(0)
+	m.lastDPage = ^uint64(0)
+	m.lastILine = ^uint64(0)
+	m.lastIPage = ^uint64(0)
 	m.output = nil
 	m.checksum = 0
 	m.exitCode = 0
@@ -154,16 +254,6 @@ func (m *Machine) reset(img *loader.Image) {
 	if m.profilingOn && img.Exe != nil {
 		m.prof = newProfiler(img.Exe)
 		m.prof.enter(img.Entry)
-	}
-
-	// Predecode the text segment once; fetch then indexes this slice.
-	n := int(img.TextSize) / isa.InstSize
-	if cap(m.decoded) < n {
-		m.decoded = make([]isa.Inst, n)
-	}
-	m.decoded = m.decoded[:n]
-	for i := 0; i < n; i++ {
-		m.decoded[i] = isa.DecodeBytes(img.Mem[img.TextBase+uint64(i*isa.InstSize):])
 	}
 }
 
@@ -182,53 +272,59 @@ func (m *Machine) issue() {
 
 // fetch models the front end at fetch-block granularity.
 func (m *Machine) fetch(pc uint64) {
-	block := pc / uint64(m.cfg.FetchBlockBytes)
+	var block uint64
+	if m.fetchPot {
+		block = pc >> m.fetchBits
+	} else {
+		block = pc / uint64(m.cfg.FetchBlockBytes)
+	}
 	if block == m.lastFetchBlock {
 		return
 	}
 	m.lastFetchBlock = block
 	m.counters.FetchBlocks++
-	if !m.itlb.Access(pc) {
-		m.counters.ITLBMisses++
-		m.charge(m.cfg.Penalties.ITLBMiss)
+	if page := pc >> m.itlb.pageBits; page == m.lastIPage {
+		m.itlb.hits++
+	} else {
+		m.lastIPage = page
+		if !m.itlb.Access(pc) {
+			m.counters.ITLBMisses++
+			m.charge(m.cfg.Penalties.ITLBMiss)
+		}
 	}
-	if !m.l1i.Access(pc) {
-		m.counters.L1IMisses++
-		if m.l2.Access(pc) {
-			m.charge(m.cfg.Penalties.L1Miss)
-		} else {
-			m.counters.L2Misses++
-			m.charge(m.cfg.Penalties.L2Miss)
+	if line := pc >> m.l1i.lineBits; line == m.lastILine {
+		m.l1i.hits++
+	} else {
+		m.lastILine = line
+		if !m.l1i.Access(pc) {
+			m.counters.L1IMisses++
+			if m.l2.Access(pc) {
+				m.charge(m.cfg.Penalties.L1Miss)
+			} else {
+				m.counters.L2Misses++
+				m.charge(m.cfg.Penalties.L2Miss)
+			}
 		}
 	}
 }
 
 // dataAccess models the memory system for a load or store of size bytes.
 func (m *Machine) dataAccess(addr uint64, size int, isLoad bool) {
-	if !m.dtlb.Access(addr) {
-		m.counters.DTLBMisses++
-		m.charge(m.cfg.Penalties.DTLBMiss)
-	}
-	miss := func(a uint64) {
-		if !m.l1d.Access(a) {
-			m.counters.L1DMisses++
-			if m.l2.Access(a) {
-				m.charge(m.cfg.Penalties.L1Miss)
-			} else {
-				m.counters.L2Misses++
-				m.charge(m.cfg.Penalties.L2Miss)
-			}
-			if m.cfg.NextLinePrefetch {
-				m.l1d.Prefetch(a + uint64(m.l1d.LineSize()))
-			}
+	if page := addr >> m.dtlb.pageBits; page == m.lastDPage {
+		m.dtlb.hits++
+	} else {
+		m.lastDPage = page
+		if !m.dtlb.Access(addr) {
+			m.counters.DTLBMisses++
+			m.charge(m.cfg.Penalties.DTLBMiss)
 		}
 	}
-	miss(addr)
-	line := uint64(m.l1d.LineSize())
-	if addr/line != (addr+uint64(size)-1)/line {
+	m.dcacheRef(addr)
+	lineBits := m.l1d.lineBits
+	if addr>>lineBits != (addr+uint64(size)-1)>>lineBits {
 		m.counters.SplitAccesses++
 		m.charge(m.cfg.Penalties.SplitAccess)
-		miss(addr + uint64(size) - 1)
+		m.dcacheRef(addr + uint64(size) - 1)
 	}
 	if isLoad {
 		m.counters.Loads++
@@ -236,6 +332,29 @@ func (m *Machine) dataAccess(addr uint64, size int, isLoad bool) {
 	} else {
 		m.counters.Stores++
 		m.recordStore(addr)
+	}
+}
+
+// dcacheRef charges one data-cache reference at a.
+func (m *Machine) dcacheRef(a uint64) {
+	if line := a >> m.l1d.lineBits; m.dMemoOK {
+		if line == m.lastDLine {
+			m.l1d.hits++
+			return
+		}
+		m.lastDLine = line
+	}
+	if !m.l1d.Access(a) {
+		m.counters.L1DMisses++
+		if m.l2.Access(a) {
+			m.charge(m.cfg.Penalties.L1Miss)
+		} else {
+			m.counters.L2Misses++
+			m.charge(m.cfg.Penalties.L2Miss)
+		}
+		if m.cfg.NextLinePrefetch {
+			m.l1d.Prefetch(a + uint64(m.l1d.LineSize()))
+		}
 	}
 }
 
@@ -247,6 +366,12 @@ func (m *Machine) alias4K(addr uint64) {
 		return
 	}
 	key := addr >> 3 & 0x1ff
+	// Occupancy filters: no buffered store shares this key, or every store
+	// that does sits on the load's own page (the spill/reload pattern) — in
+	// either case the precise scan below cannot find a match.
+	if m.sbKeyCount[key] == 0 || m.sbKeyPage[key] == addr>>12 {
+		return
+	}
 	for i, sa := range m.sbAddr {
 		if sa == ^uint64(0) {
 			continue
@@ -266,9 +391,27 @@ func (m *Machine) recordStore(addr uint64) {
 	if len(m.sbAddr) == 0 {
 		return
 	}
-	m.sbAddr[m.sbPos] = addr
-	m.sbSeq[m.sbPos] = m.counters.Instructions
-	m.sbPos = (m.sbPos + 1) % len(m.sbAddr)
+	pos := m.sbPos
+	if old := m.sbAddr[pos]; old != ^uint64(0) {
+		m.sbKeyCount[old>>3&0x1ff]--
+	}
+	m.sbAddr[pos] = addr
+	m.sbSeq[pos] = m.counters.Instructions
+	key := addr >> 3 & 0x1ff
+	page := addr >> 12
+	if m.sbKeyCount[key] == 0 {
+		m.sbKeyPage[key] = page
+	} else if m.sbKeyPage[key] != page {
+		// Two pages now share the key; scans are required until the key
+		// empties out (conservative, never wrong).
+		m.sbKeyPage[key] = mixedPage
+	}
+	m.sbKeyCount[key]++
+	pos++
+	if pos == len(m.sbAddr) {
+		pos = 0
+	}
+	m.sbPos = pos
 }
 
 // control models a taken control transfer to target.
@@ -298,15 +441,12 @@ func (m *Machine) fail(format string, args ...any) error {
 	return &execError{pc: m.pc, msg: fmt.Sprintf(format, args...)}
 }
 
-// step executes one instruction.
+// step executes one instruction with tracing/profiling instrumentation.
 func (m *Machine) step() error {
 	if m.tracer != nil {
 		return m.stepTraced()
 	}
-	if m.prof != nil {
-		return m.stepProfiled()
-	}
-	return m.stepFast()
+	return m.stepProfiled()
 }
 
 // stepTraced wraps execution with event reporting (and profiling when both
@@ -316,7 +456,7 @@ func (m *Machine) stepTraced() error {
 	pc := m.pc
 	var inst isa.Inst
 	if pc >= m.textBase && pc < m.textBase+m.textSize && pc%uint64(isa.InstSize) == 0 {
-		inst = m.decoded[(pc-m.textBase)/uint64(isa.InstSize)]
+		inst = isa.DecodeBytes(m.mem[pc:])
 	}
 	var memAddr uint64
 	if inst.Op.IsLoad() || inst.Op.IsStore() {
@@ -354,34 +494,210 @@ func (m *Machine) stepProfiled() error {
 	return err
 }
 
+// setReg writes v to r unless r is the hardwired zero register.
+func (m *Machine) setReg(r isa.Reg, v int64) {
+	if r != isa.R0 {
+		m.regs[r] = v
+	}
+}
+
+// stepFast executes one predecoded micro-op: the production engine.
 func (m *Machine) stepFast() error {
 	pc := m.pc
-	if pc < m.textBase || pc >= m.textBase+m.textSize || pc%uint64(isa.InstSize) != 0 {
+	off := pc - m.textBase
+	// The unsigned subtraction folds the below-text case into the
+	// above-text compare: any pc < textBase wraps far beyond textSize.
+	if off >= m.textSize || pc%uint64(isa.InstSize) != 0 {
 		return m.fail("instruction fetch outside text segment")
 	}
 	m.fetch(pc)
-	in := m.decoded[(pc-m.textBase)/uint64(isa.InstSize)]
+	u := &m.uops[off/uint64(isa.InstSize)]
 	m.issue()
 
 	next := pc + uint64(isa.InstSize)
 	regs := &m.regs
 
-	setReg := func(r isa.Reg, v int64) {
-		if r != isa.R0 {
-			regs[r] = v
+	switch u.op {
+	case isa.OpNop:
+	case isa.OpAdd:
+		m.setReg(u.rd, regs[u.rs1]+regs[u.rs2])
+	case isa.OpSub:
+		m.setReg(u.rd, regs[u.rs1]-regs[u.rs2])
+	case isa.OpMul:
+		m.counters.MulOps++
+		m.charge(m.cfg.Penalties.Mul)
+		m.setReg(u.rd, regs[u.rs1]*regs[u.rs2])
+	case isa.OpDiv, isa.OpRem:
+		m.counters.DivOps++
+		m.charge(m.cfg.Penalties.Div)
+		if regs[u.rs2] == 0 {
+			return m.fail("integer divide by zero")
 		}
+		if u.op == isa.OpDiv {
+			m.setReg(u.rd, regs[u.rs1]/regs[u.rs2])
+		} else {
+			m.setReg(u.rd, regs[u.rs1]%regs[u.rs2])
+		}
+	case isa.OpAnd:
+		m.setReg(u.rd, regs[u.rs1]&regs[u.rs2])
+	case isa.OpOr:
+		m.setReg(u.rd, regs[u.rs1]|regs[u.rs2])
+	case isa.OpXor:
+		m.setReg(u.rd, regs[u.rs1]^regs[u.rs2])
+	case isa.OpSll:
+		m.setReg(u.rd, regs[u.rs1]<<(uint64(regs[u.rs2])&63))
+	case isa.OpSrl:
+		m.setReg(u.rd, int64(uint64(regs[u.rs1])>>(uint64(regs[u.rs2])&63)))
+	case isa.OpSra:
+		m.setReg(u.rd, regs[u.rs1]>>(uint64(regs[u.rs2])&63))
+	case isa.OpSlt:
+		m.setReg(u.rd, b2i64(regs[u.rs1] < regs[u.rs2]))
+	case isa.OpSltu:
+		m.setReg(u.rd, b2i64(uint64(regs[u.rs1]) < uint64(regs[u.rs2])))
+	case isa.OpAddi:
+		m.setReg(u.rd, regs[u.rs1]+u.imm)
+	case isa.OpMuli:
+		m.counters.MulOps++
+		m.charge(m.cfg.Penalties.Mul)
+		m.setReg(u.rd, regs[u.rs1]*u.imm)
+	case isa.OpAndi:
+		m.setReg(u.rd, regs[u.rs1]&u.imm)
+	case isa.OpOri:
+		m.setReg(u.rd, regs[u.rs1]|u.imm)
+	case isa.OpXori:
+		m.setReg(u.rd, regs[u.rs1]^u.imm)
+	case isa.OpSlli:
+		m.setReg(u.rd, regs[u.rs1]<<uint64(u.imm))
+	case isa.OpSrli:
+		m.setReg(u.rd, int64(uint64(regs[u.rs1])>>uint64(u.imm)))
+	case isa.OpSrai:
+		m.setReg(u.rd, regs[u.rs1]>>uint64(u.imm))
+	case isa.OpSlti:
+		m.setReg(u.rd, b2i64(regs[u.rs1] < u.imm))
+	case isa.OpSltiu:
+		m.setReg(u.rd, b2i64(uint64(regs[u.rs1]) < uint64(u.imm)))
+	case isa.OpLui:
+		m.setReg(u.rd, u.imm)
+
+	case isa.OpLdb, isa.OpLdbu, isa.OpLdh, isa.OpLdhu, isa.OpLdw, isa.OpLdwu, isa.OpLdq:
+		addr := uint64(regs[u.rs1] + u.imm)
+		size := int(u.memSize)
+		limit := uint64(len(m.mem))
+		if addr >= limit || uint64(size) > limit-addr {
+			return m.fail("load at %#x out of bounds", addr)
+		}
+		m.dataAccess(addr, size, true)
+		m.setReg(u.rd, m.loadMem(addr, u.op))
+
+	case isa.OpStb, isa.OpSth, isa.OpStw, isa.OpStq:
+		addr := uint64(regs[u.rs1] + u.imm)
+		size := int(u.memSize)
+		limit := uint64(len(m.mem))
+		if addr >= limit || uint64(size) > limit-addr {
+			return m.fail("store at %#x out of bounds", addr)
+		}
+		if addr < m.textBase+m.textSize && addr+uint64(size) > m.textBase {
+			return m.fail("store at %#x into text segment", addr)
+		}
+		m.dataAccess(addr, size, false)
+		m.storeMem(addr, regs[u.rs2], size)
+
+	case isa.OpBeq, isa.OpBne, isa.OpBlt, isa.OpBge, isa.OpBltu, isa.OpBgeu:
+		m.counters.Branches++
+		taken := false
+		a, b := regs[u.rs1], regs[u.rs2]
+		switch u.op {
+		case isa.OpBeq:
+			taken = a == b
+		case isa.OpBne:
+			taken = a != b
+		case isa.OpBlt:
+			taken = a < b
+		case isa.OpBge:
+			taken = a >= b
+		case isa.OpBltu:
+			taken = uint64(a) < uint64(b)
+		case isa.OpBgeu:
+			taken = uint64(a) >= uint64(b)
+		}
+		if m.pred.Branch(pc, taken) {
+			m.counters.BranchMispredicts++
+			m.charge(m.cfg.Penalties.Mispredict)
+		}
+		if taken {
+			m.control(pc, u.target)
+			next = u.target
+		}
+
+	case isa.OpJmp:
+		m.control(pc, u.target)
+		next = u.target
+
+	case isa.OpJal:
+		m.setReg(u.rd, int64(next))
+		m.pred.Call(next)
+		m.control(pc, u.target)
+		next = u.target
+
+	case isa.OpJalr:
+		target := uint64(regs[u.rs1])
+		if u.rd == isa.R0 && u.rs1 == isa.RA {
+			// Return: consult the return-address stack.
+			if m.pred.Return(target) {
+				m.counters.RASMispredicts++
+				m.charge(m.cfg.Penalties.Mispredict)
+			}
+		} else if u.rd != isa.R0 {
+			m.pred.Call(next)
+		}
+		m.setReg(u.rd, int64(next))
+		m.counters.TakenBranches++
+		m.charge(m.cfg.Penalties.TakenBranch)
+		next = target
+
+	case isa.OpSys:
+		m.counters.Syscalls++
+		m.charge(m.cfg.Penalties.Sys)
+		if err := m.syscall(); err != nil {
+			return err
+		}
+
+	case isa.OpHalt:
+		m.halted = true
+
+	default:
+		return m.fail("invalid opcode %v", u.op)
 	}
+
+	m.pc = next
+	return nil
+}
+
+// stepRef executes one instruction the straightforward way: decode the raw
+// word at pc, then interpret it, recomputing immediates and targets in
+// place. This is the reference engine differential tests hold stepFast to.
+func (m *Machine) stepRef() error {
+	pc := m.pc
+	if pc < m.textBase || pc >= m.textBase+m.textSize || pc%uint64(isa.InstSize) != 0 {
+		return m.fail("instruction fetch outside text segment")
+	}
+	m.fetch(pc)
+	in := isa.DecodeBytes(m.mem[pc:])
+	m.issue()
+
+	next := pc + uint64(isa.InstSize)
+	regs := &m.regs
 
 	switch in.Op {
 	case isa.OpNop:
 	case isa.OpAdd:
-		setReg(in.Rd, regs[in.Rs1]+regs[in.Rs2])
+		m.setReg(in.Rd, regs[in.Rs1]+regs[in.Rs2])
 	case isa.OpSub:
-		setReg(in.Rd, regs[in.Rs1]-regs[in.Rs2])
+		m.setReg(in.Rd, regs[in.Rs1]-regs[in.Rs2])
 	case isa.OpMul:
 		m.counters.MulOps++
 		m.charge(m.cfg.Penalties.Mul)
-		setReg(in.Rd, regs[in.Rs1]*regs[in.Rs2])
+		m.setReg(in.Rd, regs[in.Rs1]*regs[in.Rs2])
 	case isa.OpDiv, isa.OpRem:
 		m.counters.DivOps++
 		m.charge(m.cfg.Penalties.Div)
@@ -389,64 +705,66 @@ func (m *Machine) stepFast() error {
 			return m.fail("integer divide by zero")
 		}
 		if in.Op == isa.OpDiv {
-			setReg(in.Rd, regs[in.Rs1]/regs[in.Rs2])
+			m.setReg(in.Rd, regs[in.Rs1]/regs[in.Rs2])
 		} else {
-			setReg(in.Rd, regs[in.Rs1]%regs[in.Rs2])
+			m.setReg(in.Rd, regs[in.Rs1]%regs[in.Rs2])
 		}
 	case isa.OpAnd:
-		setReg(in.Rd, regs[in.Rs1]&regs[in.Rs2])
+		m.setReg(in.Rd, regs[in.Rs1]&regs[in.Rs2])
 	case isa.OpOr:
-		setReg(in.Rd, regs[in.Rs1]|regs[in.Rs2])
+		m.setReg(in.Rd, regs[in.Rs1]|regs[in.Rs2])
 	case isa.OpXor:
-		setReg(in.Rd, regs[in.Rs1]^regs[in.Rs2])
+		m.setReg(in.Rd, regs[in.Rs1]^regs[in.Rs2])
 	case isa.OpSll:
-		setReg(in.Rd, regs[in.Rs1]<<(uint64(regs[in.Rs2])&63))
+		m.setReg(in.Rd, regs[in.Rs1]<<(uint64(regs[in.Rs2])&63))
 	case isa.OpSrl:
-		setReg(in.Rd, int64(uint64(regs[in.Rs1])>>(uint64(regs[in.Rs2])&63)))
+		m.setReg(in.Rd, int64(uint64(regs[in.Rs1])>>(uint64(regs[in.Rs2])&63)))
 	case isa.OpSra:
-		setReg(in.Rd, regs[in.Rs1]>>(uint64(regs[in.Rs2])&63))
+		m.setReg(in.Rd, regs[in.Rs1]>>(uint64(regs[in.Rs2])&63))
 	case isa.OpSlt:
-		setReg(in.Rd, b2i64(regs[in.Rs1] < regs[in.Rs2]))
+		m.setReg(in.Rd, b2i64(regs[in.Rs1] < regs[in.Rs2]))
 	case isa.OpSltu:
-		setReg(in.Rd, b2i64(uint64(regs[in.Rs1]) < uint64(regs[in.Rs2])))
+		m.setReg(in.Rd, b2i64(uint64(regs[in.Rs1]) < uint64(regs[in.Rs2])))
 	case isa.OpAddi:
-		setReg(in.Rd, regs[in.Rs1]+int64(in.Imm))
+		m.setReg(in.Rd, regs[in.Rs1]+int64(in.Imm))
 	case isa.OpMuli:
 		m.counters.MulOps++
 		m.charge(m.cfg.Penalties.Mul)
-		setReg(in.Rd, regs[in.Rs1]*int64(in.Imm))
+		m.setReg(in.Rd, regs[in.Rs1]*int64(in.Imm))
 	case isa.OpAndi:
-		setReg(in.Rd, regs[in.Rs1]&int64(uint16(in.Imm)))
+		m.setReg(in.Rd, regs[in.Rs1]&int64(uint16(in.Imm)))
 	case isa.OpOri:
-		setReg(in.Rd, regs[in.Rs1]|int64(uint16(in.Imm)))
+		m.setReg(in.Rd, regs[in.Rs1]|int64(uint16(in.Imm)))
 	case isa.OpXori:
-		setReg(in.Rd, regs[in.Rs1]^int64(uint16(in.Imm)))
+		m.setReg(in.Rd, regs[in.Rs1]^int64(uint16(in.Imm)))
 	case isa.OpSlli:
-		setReg(in.Rd, regs[in.Rs1]<<(uint32(in.Imm)&63))
+		m.setReg(in.Rd, regs[in.Rs1]<<(uint32(in.Imm)&63))
 	case isa.OpSrli:
-		setReg(in.Rd, int64(uint64(regs[in.Rs1])>>(uint32(in.Imm)&63)))
+		m.setReg(in.Rd, int64(uint64(regs[in.Rs1])>>(uint32(in.Imm)&63)))
 	case isa.OpSrai:
-		setReg(in.Rd, regs[in.Rs1]>>(uint32(in.Imm)&63))
+		m.setReg(in.Rd, regs[in.Rs1]>>(uint32(in.Imm)&63))
 	case isa.OpSlti:
-		setReg(in.Rd, b2i64(regs[in.Rs1] < int64(in.Imm)))
+		m.setReg(in.Rd, b2i64(regs[in.Rs1] < int64(in.Imm)))
 	case isa.OpSltiu:
-		setReg(in.Rd, b2i64(uint64(regs[in.Rs1]) < uint64(uint16(in.Imm))))
+		m.setReg(in.Rd, b2i64(uint64(regs[in.Rs1]) < uint64(uint16(in.Imm))))
 	case isa.OpLui:
-		setReg(in.Rd, int64(uint64(uint16(in.Imm))<<16))
+		m.setReg(in.Rd, int64(uint64(uint16(in.Imm))<<16))
 
 	case isa.OpLdb, isa.OpLdbu, isa.OpLdh, isa.OpLdhu, isa.OpLdw, isa.OpLdwu, isa.OpLdq:
 		addr := uint64(regs[in.Rs1] + int64(in.Imm))
 		size := in.Op.MemBytes()
-		if addr+uint64(size) > uint64(len(m.mem)) {
+		limit := uint64(len(m.mem))
+		if addr >= limit || uint64(size) > limit-addr {
 			return m.fail("load at %#x out of bounds", addr)
 		}
 		m.dataAccess(addr, size, true)
-		setReg(in.Rd, m.loadMem(addr, in.Op))
+		m.setReg(in.Rd, m.loadMem(addr, in.Op))
 
 	case isa.OpStb, isa.OpSth, isa.OpStw, isa.OpStq:
 		addr := uint64(regs[in.Rs1] + int64(in.Imm))
 		size := in.Op.MemBytes()
-		if addr+uint64(size) > uint64(len(m.mem)) {
+		limit := uint64(len(m.mem))
+		if addr >= limit || uint64(size) > limit-addr {
 			return m.fail("store at %#x out of bounds", addr)
 		}
 		if addr < m.textBase+m.textSize && addr+uint64(size) > m.textBase {
@@ -490,7 +808,7 @@ func (m *Machine) stepFast() error {
 
 	case isa.OpJal:
 		target := uint64(in.Imm) * isa.InstSize
-		setReg(in.Rd, int64(next))
+		m.setReg(in.Rd, int64(next))
 		m.pred.Call(next)
 		m.control(pc, target)
 		next = target
@@ -506,7 +824,7 @@ func (m *Machine) stepFast() error {
 		} else if in.Rd != isa.R0 {
 			m.pred.Call(next)
 		}
-		setReg(in.Rd, int64(next))
+		m.setReg(in.Rd, int64(next))
 		m.counters.TakenBranches++
 		m.charge(m.cfg.Penalties.TakenBranch)
 		next = target

@@ -11,6 +11,7 @@ package biaslab_test
 // EXPERIMENTS.md.
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"testing"
@@ -113,7 +114,7 @@ func BenchmarkSimulator(b *testing.B) {
 	setup := biaslab.DefaultSetup("core2")
 	var instrs uint64
 	for i := 0; i < b.N; i++ {
-		m, err := r.Measure(bm, setup)
+		m, err := r.Measure(context.Background(), bm, setup)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -136,7 +137,7 @@ func BenchmarkEnvSweep(b *testing.B) {
 		// Fresh Runner per iteration: the sweep pays its own compile and
 		// link, exactly as an experiment does.
 		r := biaslab.NewRunner(benchSize())
-		pts, err := biaslab.EnvSweep(r, bm, setup, sizes)
+		pts, err := biaslab.EnvSweep(context.Background(), r, bm, setup, sizes)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -152,13 +153,13 @@ func BenchmarkMeasureRepeated(b *testing.B) {
 	r := biaslab.NewRunner(benchSize())
 	bm, _ := biaslab.Benchmark("hmmer")
 	setup := biaslab.DefaultSetup("p4")
-	if _, err := r.Measure(bm, setup); err != nil {
+	if _, err := r.Measure(context.Background(), bm, setup); err != nil {
 		b.Fatal(err) // warm the compile/link caches
 	}
 	b.ResetTimer()
 	var instrs uint64
 	for i := 0; i < b.N; i++ {
-		m, err := r.Measure(bm, setup)
+		m, err := r.Measure(context.Background(), bm, setup)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -174,7 +175,7 @@ func BenchmarkToolchain(b *testing.B) {
 		r := biaslab.NewRunner(benchSize())
 		// Measure forces compile+link+load+run; dominate it with compile
 		// by using the smallest machine run (test size fixed here).
-		if _, err := r.Measure(bm, biaslab.DefaultSetup("m5")); err != nil {
+		if _, err := r.Measure(context.Background(), bm, biaslab.DefaultSetup("m5")); err != nil {
 			b.Fatal(err)
 		}
 	}

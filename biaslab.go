@@ -21,24 +21,34 @@
 //
 // Quick start:
 //
+//	ctx := context.Background()
 //	r := biaslab.NewRunner(biaslab.SizeSmall)
 //	b, _ := biaslab.Benchmark("perlbench")
 //	small := biaslab.DefaultSetup("core2")          // 512-byte environment
 //	big := small
 //	big.EnvBytes = 4000                             // a fat shell environment
-//	s1, _, _, _ := r.Speedup(b, small, biaslab.O2, biaslab.O3)
-//	s2, _, _, _ := r.Speedup(b, big, biaslab.O2, biaslab.O3)
+//	s1, _, _, _ := r.Speedup(ctx, b, small, biaslab.O2, biaslab.O3)
+//	s2, _, _, _ := r.Speedup(ctx, b, big, biaslab.O2, biaslab.O3)
 //	// s1 and s2 disagree — possibly about which level is faster.
+//
+// Every measurement entry point takes a context.Context and stops promptly
+// when it is cancelled; failures anywhere in the pipeline surface as typed
+// *MeasurementError values carrying the stage and the exact setup that
+// failed. Long studies can be checkpointed through the Checkpoint
+// interface and resumed bit-identically after a crash or kill.
 //
 // Every table and figure of the paper's evaluation can be regenerated with
 // a Lab (see NewLab) or from the command line with cmd/biaslab.
 package biaslab
 
 import (
+	"context"
+
 	"biaslab/internal/bench"
 	"biaslab/internal/compiler"
 	"biaslab/internal/core"
 	"biaslab/internal/experiments"
+	"biaslab/internal/journal"
 	"biaslab/internal/machine"
 	"biaslab/internal/stats"
 )
@@ -105,6 +115,23 @@ type (
 	LabOptions = experiments.Options
 	// ExperimentResult is one regenerated artifact (text + CSV).
 	ExperimentResult = experiments.Result
+	// MeasurementError is the typed failure of one measurement: the
+	// pipeline stage, the benchmark, and the exact setup that failed.
+	MeasurementError = core.MeasurementError
+	// PanicError wraps a panic caught at the measurement boundary.
+	PanicError = core.PanicError
+	// Stage identifies a measurement pipeline stage in a MeasurementError.
+	Stage = core.Stage
+	// Checkpoint persists completed sweep points for crash-safe resume.
+	Checkpoint = core.Checkpoint
+)
+
+// Pipeline stages, re-exported for errors.As inspection of failures.
+const (
+	StageCompile = core.StageCompile
+	StageLink    = core.StageLink
+	StageLoad    = core.StageLoad
+	StageMeasure = core.StageMeasure
 )
 
 // NewRunner builds a Runner at the given workload size.
@@ -112,6 +139,19 @@ func NewRunner(size Size) *Runner { return core.NewRunner(size) }
 
 // NewLab builds a Lab for regenerating the paper's tables and figures.
 func NewLab(opt LabOptions) *Lab { return experiments.NewLab(opt) }
+
+// NewLabCtx builds a Lab whose measurements stop when ctx is cancelled
+// and, when ck is non-nil, checkpoint into ck for crash-safe resume.
+func NewLabCtx(ctx context.Context, opt LabOptions, ck Checkpoint) *Lab {
+	return experiments.NewLabCtx(ctx, opt, ck)
+}
+
+// Journal is the append-only JSONL Checkpoint implementation.
+type Journal = journal.Journal
+
+// OpenJournal opens (creating if absent) a JSONL checkpoint journal,
+// tolerating the torn final record a kill mid-write leaves behind.
+func OpenJournal(path string) (*Journal, error) { return journal.Open(path) }
 
 // ExperimentIDs lists the regenerable artifacts (F1–F9, T1–T4).
 func ExperimentIDs() []string { return experiments.IDs() }
@@ -130,8 +170,14 @@ func Machines() []string { return []string{"p4", "core2", "m5"} }
 func DefaultSetup(machineName string) Setup { return core.DefaultSetup(machineName) }
 
 // EnvSweep measures the O3-over-O2 speedup at each environment size.
-func EnvSweep(r *Runner, b *BenchmarkProgram, setup Setup, sizes []uint64) ([]EnvPoint, error) {
-	return core.EnvSweep(r, b, setup, sizes)
+func EnvSweep(ctx context.Context, r *Runner, b *BenchmarkProgram, setup Setup, sizes []uint64) ([]EnvPoint, error) {
+	return core.EnvSweep(ctx, r, b, setup, sizes)
+}
+
+// EnvSweepCheckpointed is EnvSweep with checkpoint/resume: completed
+// points are recorded in ck and replayed on a rerun.
+func EnvSweepCheckpointed(ctx context.Context, r *Runner, b *BenchmarkProgram, setup Setup, sizes []uint64, ck Checkpoint) ([]EnvPoint, error) {
+	return core.EnvSweepCheckpointed(ctx, r, b, setup, sizes, ck)
 }
 
 // DefaultEnvSizes returns the canonical 0–4 KiB environment sweep.
@@ -139,33 +185,41 @@ func DefaultEnvSizes(step uint64) []uint64 { return core.DefaultEnvSizes(step) }
 
 // LinkSweep measures the speedup under default, alphabetical, and n random
 // link orders.
-func LinkSweep(r *Runner, b *BenchmarkProgram, setup Setup, n int, seed uint64) ([]LinkPoint, error) {
-	return core.LinkSweep(r, b, setup, n, seed)
+func LinkSweep(ctx context.Context, r *Runner, b *BenchmarkProgram, setup Setup, n int, seed uint64) ([]LinkPoint, error) {
+	return core.LinkSweep(ctx, r, b, setup, n, seed)
+}
+
+// LinkSweepCheckpointed is LinkSweep with checkpoint/resume.
+func LinkSweepCheckpointed(ctx context.Context, r *Runner, b *BenchmarkProgram, setup Setup, n int, seed uint64, ck Checkpoint) ([]LinkPoint, error) {
+	return core.LinkSweepCheckpointed(ctx, r, b, setup, n, seed, ck)
 }
 
 // EstimateSpeedup runs the paper's remedy: n randomized setups and a
 // confidence interval for the speedup.
-func EstimateSpeedup(r *Runner, b *BenchmarkProgram, base Setup, n int, seed uint64) (*RobustEstimate, error) {
-	return core.EstimateSpeedup(r, b, base, n, seed)
+func EstimateSpeedup(ctx context.Context, r *Runner, b *BenchmarkProgram, base Setup, n int, seed uint64) (*RobustEstimate, error) {
+	return core.EstimateSpeedup(ctx, r, b, base, n, seed)
 }
 
 // EstimateSpeedupAdaptive samples randomized setups until the 95% CI
 // half-width falls below tol, answering "how many setups are enough?".
-func EstimateSpeedupAdaptive(r *Runner, b *BenchmarkProgram, base Setup, tol float64, minN, maxN int, seed uint64) (*RobustEstimate, error) {
-	return core.EstimateSpeedupAdaptive(r, b, base, tol, minN, maxN, seed)
+func EstimateSpeedupAdaptive(ctx context.Context, r *Runner, b *BenchmarkProgram, base Setup, tol float64, minN, maxN int, seed uint64) (*RobustEstimate, error) {
+	return core.EstimateSpeedupAdaptive(ctx, r, b, base, tol, minN, maxN, seed)
 }
 
 // CausalStudy intervenes on the stack displacement directly and correlates
 // hardware events with cycles.
-func CausalStudy(r *Runner, b *BenchmarkProgram, setup Setup, maxShift, step uint64) (*CausalReport, error) {
-	return core.CausalStudy(r, b, setup, maxShift, step)
+func CausalStudy(ctx context.Context, r *Runner, b *BenchmarkProgram, setup Setup, maxShift, step uint64) (*CausalReport, error) {
+	return core.CausalStudy(ctx, r, b, setup, maxShift, step)
 }
 
 // CompareConfigs robustly compares two toolchain configurations on one
 // benchmark across shared randomized setups (paired design).
-func CompareConfigs(r *Runner, b *BenchmarkProgram, base Setup, a, bCfg CompilerConfig, n int, seed uint64) (*Comparison, error) {
-	return core.CompareConfigs(r, b, base, a, bCfg, n, seed)
+func CompareConfigs(ctx context.Context, r *Runner, b *BenchmarkProgram, base Setup, a, bCfg CompilerConfig, n int, seed uint64) (*Comparison, error) {
+	return core.CompareConfigs(ctx, r, b, base, a, bCfg, n, seed)
 }
+
+// IsTransient reports whether err is marked transient (retry may succeed).
+func IsTransient(err error) bool { return core.IsTransient(err) }
 
 // NewBiasReport summarizes a slice of speedups from any sweep.
 func NewBiasReport(benchName, machineName, factor string, speedups []float64) BiasReport {

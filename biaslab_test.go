@@ -1,6 +1,7 @@
 package biaslab_test
 
 import (
+	"context"
 	"testing"
 
 	"biaslab"
@@ -29,7 +30,7 @@ func TestFacadeQuickstartPath(t *testing.T) {
 	r := biaslab.NewRunner(biaslab.SizeTest)
 	b, _ := biaslab.Benchmark("bzip2")
 	setup := biaslab.DefaultSetup("core2")
-	speedup, o2, o3, err := r.Speedup(b, setup, biaslab.O2, biaslab.O3)
+	speedup, o2, o3, err := r.Speedup(context.Background(), b, setup, biaslab.O2, biaslab.O3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -45,14 +46,14 @@ func TestFacadeSweeps(t *testing.T) {
 	r := biaslab.NewRunner(biaslab.SizeTest)
 	b, _ := biaslab.Benchmark("milc")
 	setup := biaslab.DefaultSetup("m5")
-	env, err := biaslab.EnvSweep(r, b, setup, []uint64{8, 1024})
+	env, err := biaslab.EnvSweep(context.Background(), r, b, setup, []uint64{8, 1024})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(env) != 2 {
 		t.Error("env sweep wrong length")
 	}
-	link, err := biaslab.LinkSweep(r, b, setup, 2, 1)
+	link, err := biaslab.LinkSweep(context.Background(), r, b, setup, 2, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -69,14 +70,14 @@ func TestFacadeSweeps(t *testing.T) {
 func TestFacadeRandomizeAndCausal(t *testing.T) {
 	r := biaslab.NewRunner(biaslab.SizeTest)
 	b, _ := biaslab.Benchmark("hmmer")
-	est, err := biaslab.EstimateSpeedup(r, b, biaslab.DefaultSetup("m5"), 4, 3)
+	est, err := biaslab.EstimateSpeedup(context.Background(), r, b, biaslab.DefaultSetup("m5"), 4, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if est.N != 4 {
 		t.Error("estimate sample count wrong")
 	}
-	rep, err := biaslab.CausalStudy(r, b, biaslab.DefaultSetup("m5"), 256, 128)
+	rep, err := biaslab.CausalStudy(context.Background(), r, b, biaslab.DefaultSetup("m5"), 256, 128)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -13,15 +13,29 @@
 //	biaslab all                    # every experiment, in order
 //	biaslab list                   # benchmarks, machines, experiments
 //
-// Global flags (before the subcommand): -size test|small|ref, -csv.
+// Global flags (before the subcommand): -size test|small|ref, -csv,
+// -timeout, -journal, -resume.
+//
+// Interrupting a journalled run (Ctrl-C, SIGTERM, a timeout, or a hard
+// kill) loses nothing: every completed measurement point is already on
+// disk, and rerunning the same command with -resume replays the recorded
+// points and measures only the missing ones, producing output identical
+// to an uninterrupted run.
+//
+// Exit codes: 0 success, 1 failure, 2 usage error, 124 deadline exceeded,
+// 130 interrupted.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
+	"syscall"
 
 	"biaslab"
 	"biaslab/internal/compiler"
@@ -30,39 +44,107 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
-		fmt.Fprintln(os.Stderr, "biaslab:", err)
-		os.Exit(1)
+	os.Exit(run(os.Args[1:]))
+}
+
+// usageError marks errors that should exit 2 (bad invocation, not a
+// failed experiment).
+type usageError struct{ err error }
+
+func (e usageError) Error() string { return e.err.Error() }
+func (e usageError) Unwrap() error { return e.err }
+
+func usageErrorf(format string, args ...any) error {
+	return usageError{fmt.Errorf(format, args...)}
+}
+
+// exitCode maps an error to the process exit status.
+func exitCode(err error) int {
+	var ue usageError
+	switch {
+	case err == nil:
+		return 0
+	case errors.As(err, &ue), errors.Is(err, flag.ErrHelp):
+		return 2
+	case errors.Is(err, context.DeadlineExceeded):
+		return 124
+	case errors.Is(err, context.Canceled):
+		return 130
 	}
+	return 1
 }
 
 type app struct {
+	ctx    context.Context
 	size   biaslab.Size
 	csv    bool
 	outDir string
+	ck     biaslab.Checkpoint // nil without -journal
 }
 
-func run(args []string) error {
+func run(args []string) int {
 	global := flag.NewFlagSet("biaslab", flag.ContinueOnError)
 	sizeName := global.String("size", "small", "workload size: test, small, ref")
 	csv := global.Bool("csv", false, "emit CSV instead of rendered text where available")
 	outDir := global.String("out", "", "also write each experiment artifact (text + CSV) into this directory")
+	timeout := global.Duration("timeout", 0, "abort the whole invocation after this long (e.g. 10m); 0 disables")
+	journalPath := global.String("journal", "", "checkpoint completed measurement points into this JSONL file")
+	resume := global.Bool("resume", false, "continue from an existing -journal instead of refusing to reuse it")
 	global.Usage = usage
-	if err := global.Parse(args); err != nil {
-		return err
-	}
-	rest := global.Args()
-	if len(rest) == 0 {
-		usage()
-		return fmt.Errorf("missing subcommand")
-	}
-	size, err := parseSize(*sizeName)
-	if err != nil {
-		return err
-	}
-	a := &app{size: size, csv: *csv, outDir: *outDir}
+	err := func() error {
+		if err := global.Parse(args); err != nil {
+			return usageError{err}
+		}
+		rest := global.Args()
+		if len(rest) == 0 {
+			usage()
+			return usageErrorf("missing subcommand")
+		}
+		size, err := parseSize(*sizeName)
+		if err != nil {
+			return usageError{err}
+		}
 
-	cmd, cmdArgs := rest[0], rest[1:]
+		// Ctrl-C / SIGTERM cancel the context; in-flight measurements stop
+		// at the next watchdog poll, journalled points are already synced,
+		// and the run exits 130 ready to be resumed.
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+		defer stop()
+		if *timeout > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, *timeout)
+			defer cancel()
+		}
+
+		a := &app{ctx: ctx, size: size, csv: *csv, outDir: *outDir}
+		if *resume && *journalPath == "" {
+			return usageErrorf("-resume requires -journal")
+		}
+		if *journalPath != "" {
+			if !*resume {
+				if st, err := os.Stat(*journalPath); err == nil && st.Size() > 0 {
+					return usageErrorf("journal %s already has recorded points; pass -resume to continue it or remove the file", *journalPath)
+				}
+			}
+			j, err := biaslab.OpenJournal(*journalPath)
+			if err != nil {
+				return err
+			}
+			defer j.Close()
+			if *resume {
+				fmt.Fprintf(os.Stderr, "biaslab: resuming from %s (%d recorded points)\n", *journalPath, j.Len())
+			}
+			a.ck = j
+		}
+		return a.dispatch(rest[0], rest[1:])
+	}()
+	if err != nil && !errors.Is(err, flag.ErrHelp) {
+		fmt.Fprintln(os.Stderr, "biaslab:", err)
+	}
+	return exitCode(err)
+}
+
+func (a *app) dispatch(cmd string, cmdArgs []string) error {
 	switch cmd {
 	case "run":
 		return a.cmdRun(cmdArgs)
@@ -91,7 +173,7 @@ func run(args []string) error {
 		usage()
 		return nil
 	}
-	return fmt.Errorf("unknown subcommand %q (try 'biaslab help')", cmd)
+	return usageErrorf("unknown subcommand %q (try 'biaslab help')", cmd)
 }
 
 func usage() {
@@ -111,6 +193,7 @@ subcommands:
   list       list benchmarks, machines and experiments
 
 global flags: -size test|small|ref   -csv   -out <dir>
+              -timeout <dur>   -journal <file>   -resume
 `)
 }
 
@@ -138,7 +221,7 @@ func machineFlag(fs *flag.FlagSet) *string {
 func lookupBench(name string) (*biaslab.BenchmarkProgram, error) {
 	b, ok := biaslab.Benchmark(name)
 	if !ok {
-		return nil, fmt.Errorf("unknown benchmark %q (try 'biaslab list')", name)
+		return nil, usageErrorf("unknown benchmark %q (try 'biaslab list')", name)
 	}
 	return b, nil
 }
@@ -151,7 +234,7 @@ func (a *app) cmdRun(args []string) error {
 	o3 := fs.Bool("O3", false, "compile at -O3 (default -O2)")
 	icc := fs.Bool("icc", false, "use the icc personality (default gcc)")
 	if err := fs.Parse(args); err != nil {
-		return err
+		return usageError{err}
 	}
 	b, err := lookupBench(*benchName)
 	if err != nil {
@@ -166,7 +249,7 @@ func (a *app) cmdRun(args []string) error {
 		setup.Compiler.Personality = biaslab.ICC
 	}
 	r := biaslab.NewRunner(a.size)
-	m, err := r.Measure(b, setup)
+	m, err := r.Measure(a.ctx, b, setup)
 	if err != nil {
 		return err
 	}
@@ -182,14 +265,14 @@ func (a *app) cmdSweepEnv(args []string) error {
 	machineName := machineFlag(fs)
 	step := fs.Uint64("step", 128, "environment-size step in bytes")
 	if err := fs.Parse(args); err != nil {
-		return err
+		return usageError{err}
 	}
 	b, err := lookupBench(*benchName)
 	if err != nil {
 		return err
 	}
 	r := biaslab.NewRunner(a.size)
-	points, err := biaslab.EnvSweep(r, b, biaslab.DefaultSetup(*machineName), biaslab.DefaultEnvSizes(*step))
+	points, err := biaslab.EnvSweepCheckpointed(a.ctx, r, b, biaslab.DefaultSetup(*machineName), biaslab.DefaultEnvSizes(*step), a.ck)
 	if err != nil {
 		return err
 	}
@@ -219,14 +302,14 @@ func (a *app) cmdSweepLink(args []string) error {
 	orders := fs.Int("orders", 16, "number of random link orders")
 	seed := fs.Uint64("seed", 1, "random seed")
 	if err := fs.Parse(args); err != nil {
-		return err
+		return usageError{err}
 	}
 	b, err := lookupBench(*benchName)
 	if err != nil {
 		return err
 	}
 	r := biaslab.NewRunner(a.size)
-	points, err := biaslab.LinkSweep(r, b, biaslab.DefaultSetup(*machineName), *orders, *seed)
+	points, err := biaslab.LinkSweepCheckpointed(a.ctx, r, b, biaslab.DefaultSetup(*machineName), *orders, *seed, a.ck)
 	if err != nil {
 		return err
 	}
@@ -257,7 +340,7 @@ func (a *app) cmdRandomize(args []string) error {
 	seed := fs.Uint64("seed", 1, "random seed")
 	tol := fs.Float64("tol", 0, "adaptive mode: stop when the 95% CI half-width falls below this (e.g. 0.005)")
 	if err := fs.Parse(args); err != nil {
-		return err
+		return usageError{err}
 	}
 	b, err := lookupBench(*benchName)
 	if err != nil {
@@ -266,9 +349,9 @@ func (a *app) cmdRandomize(args []string) error {
 	r := biaslab.NewRunner(a.size)
 	var est *biaslab.RobustEstimate
 	if *tol > 0 {
-		est, err = biaslab.EstimateSpeedupAdaptive(r, b, biaslab.DefaultSetup(*machineName), *tol, 4, *n, *seed)
+		est, err = biaslab.EstimateSpeedupAdaptive(a.ctx, r, b, biaslab.DefaultSetup(*machineName), *tol, 4, *n, *seed)
 	} else {
-		est, err = biaslab.EstimateSpeedup(r, b, biaslab.DefaultSetup(*machineName), *n, *seed)
+		est, err = biaslab.EstimateSpeedup(a.ctx, r, b, biaslab.DefaultSetup(*machineName), *n, *seed)
 	}
 	if err != nil {
 		return err
@@ -289,14 +372,14 @@ func (a *app) cmdCausal(args []string) error {
 	maxShift := fs.Uint64("max-shift", 1024, "largest stack displacement in bytes")
 	step := fs.Uint64("step", 128, "displacement step")
 	if err := fs.Parse(args); err != nil {
-		return err
+		return usageError{err}
 	}
 	b, err := lookupBench(*benchName)
 	if err != nil {
 		return err
 	}
 	r := biaslab.NewRunner(a.size)
-	rep, err := biaslab.CausalStudy(r, b, biaslab.DefaultSetup(*machineName), *maxShift, *step)
+	rep, err := biaslab.CausalStudy(a.ctx, r, b, biaslab.DefaultSetup(*machineName), *maxShift, *step)
 	if err != nil {
 		return err
 	}
@@ -317,7 +400,7 @@ func (a *app) cmdProfile(args []string) error {
 	o3 := fs.Bool("O3", false, "compile at -O3 (default -O2)")
 	top := fs.Int("top", 15, "how many functions to show")
 	if err := fs.Parse(args); err != nil {
-		return err
+		return usageError{err}
 	}
 	b, err := lookupBench(*benchName)
 	if err != nil {
@@ -329,7 +412,7 @@ func (a *app) cmdProfile(args []string) error {
 		setup = setup.WithLevel(biaslab.O3)
 	}
 	r := biaslab.NewRunner(a.size)
-	m, prof, err := r.MeasureProfiled(b, setup)
+	m, prof, err := r.MeasureProfiled(a.ctx, b, setup)
 	if err != nil {
 		return err
 	}
@@ -348,7 +431,7 @@ func (a *app) cmdCompare(args []string) error {
 	n := fs.Int("n", 12, "number of randomized setups")
 	seed := fs.Uint64("seed", 1, "random seed")
 	if err := fs.Parse(args); err != nil {
-		return err
+		return usageError{err}
 	}
 	b, err := lookupBench(*benchName)
 	if err != nil {
@@ -363,7 +446,7 @@ func (a *app) cmdCompare(args []string) error {
 		return err
 	}
 	r := biaslab.NewRunner(a.size)
-	cmp, err := biaslab.CompareConfigs(r, b, biaslab.DefaultSetup(*machineName), cfgA, cfgB, *n, *seed)
+	cmp, err := biaslab.CompareConfigs(a.ctx, r, b, biaslab.DefaultSetup(*machineName), cfgA, cfgB, *n, *seed)
 	if err != nil {
 		return err
 	}
@@ -376,24 +459,24 @@ func parseConfigSpec(spec string) (biaslab.CompilerConfig, error) {
 	var cfg biaslab.CompilerConfig
 	parts := strings.SplitN(spec, ":", 2)
 	if len(parts) != 2 {
-		return cfg, fmt.Errorf("config spec %q must look like gcc:O2", spec)
+		return cfg, usageErrorf("config spec %q must look like gcc:O2", spec)
 	}
 	pers, err := compiler.ParsePersonality(parts[0])
 	if err != nil {
-		return cfg, err
+		return cfg, usageError{err}
 	}
 	lvl, err := compiler.ParseLevel(parts[1])
 	if err != nil {
-		return cfg, err
+		return cfg, usageError{err}
 	}
 	return biaslab.CompilerConfig{Level: lvl, Personality: pers}, nil
 }
 
 func (a *app) cmdExperiment(args []string) error {
 	if len(args) == 0 {
-		return fmt.Errorf("experiment needs an id (one of %s)", strings.Join(biaslab.ExperimentIDs(), ", "))
+		return usageErrorf("experiment needs an id (one of %s)", strings.Join(biaslab.ExperimentIDs(), ", "))
 	}
-	lab := biaslab.NewLab(biaslab.LabOptions{Size: a.size})
+	lab := biaslab.NewLabCtx(a.ctx, biaslab.LabOptions{Size: a.size}, a.ck)
 	res, err := lab.ByID(args[0])
 	if err != nil {
 		return err
@@ -403,12 +486,12 @@ func (a *app) cmdExperiment(args []string) error {
 }
 
 func (a *app) cmdAll(args []string) error {
-	lab := biaslab.NewLab(biaslab.LabOptions{Size: a.size})
-	results, err := lab.All()
-	if err != nil {
-		return err
-	}
-	for _, res := range results {
+	lab := biaslab.NewLabCtx(a.ctx, biaslab.LabOptions{Size: a.size}, a.ck)
+	for _, id := range biaslab.ExperimentIDs() {
+		res, err := lab.ByID(id)
+		if err != nil {
+			return fmt.Errorf("%s: %w", id, err)
+		}
 		a.emit(res)
 		fmt.Println()
 	}

@@ -1,0 +1,71 @@
+package main
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestExitCodeMapping(t *testing.T) {
+	cases := []struct {
+		err  error
+		want int
+	}{
+		{nil, 0},
+		{errors.New("experiment failed"), 1},
+		{usageErrorf("bad flag"), 2},
+		{fmt.Errorf("wrapped: %w", usageErrorf("bad flag")), 2},
+		{context.DeadlineExceeded, 124},
+		{fmt.Errorf("sweep: %w", context.DeadlineExceeded), 124},
+		{context.Canceled, 130},
+		{fmt.Errorf("sweep: %w", context.Canceled), 130},
+	}
+	for _, tc := range cases {
+		if got := exitCode(tc.err); got != tc.want {
+			t.Errorf("exitCode(%v) = %d, want %d", tc.err, got, tc.want)
+		}
+	}
+}
+
+func TestRunUsageErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+	}{
+		{"no subcommand", nil},
+		{"unknown subcommand", []string{"frobnicate"}},
+		{"bad size", []string{"-size", "enormous", "list"}},
+		{"resume without journal", []string{"-resume", "list"}},
+		{"bad experiment id", []string{"experiment"}},
+	}
+	for _, tc := range cases {
+		if got := run(tc.args); got != 2 {
+			t.Errorf("%s: run(%v) = %d, want exit 2", tc.name, tc.args, got)
+		}
+	}
+}
+
+// TestJournalReuseRefused: pointing -journal at a file with recorded points
+// without -resume must refuse rather than silently replaying someone
+// else's measurements.
+func TestJournalReuseRefused(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.jsonl")
+	if err := os.WriteFile(path, []byte(`{"key":"k","val":1}`+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if got := run([]string{"-journal", path, "list"}); got != 2 {
+		t.Errorf("non-empty journal without -resume: exit %d, want 2", got)
+	}
+	// With -resume the same invocation proceeds.
+	if got := run([]string{"-journal", path, "-resume", "list"}); got != 0 {
+		t.Errorf("journalled list with -resume: exit %d, want 0", got)
+	}
+	// A fresh (empty) journal needs no -resume.
+	empty := filepath.Join(t.TempDir(), "fresh.jsonl")
+	if got := run([]string{"-journal", empty, "list"}); got != 0 {
+		t.Errorf("fresh journal: exit %d, want 0", got)
+	}
+}

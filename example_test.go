@@ -1,6 +1,7 @@
 package biaslab_test
 
 import (
+	"context"
 	"fmt"
 
 	"biaslab"
@@ -17,12 +18,12 @@ func Example() {
 	fat := lean
 	fat.EnvBytes = 4096
 
-	m1, err := r.Measure(b, lean)
+	m1, err := r.Measure(context.Background(), b, lean)
 	if err != nil {
 		fmt.Println("error:", err)
 		return
 	}
-	m2, err := r.Measure(b, fat)
+	m2, err := r.Measure(context.Background(), b, fat)
 	if err != nil {
 		fmt.Println("error:", err)
 		return
@@ -40,7 +41,7 @@ func Example() {
 func ExampleLinkSweep() {
 	r := biaslab.NewRunner(biaslab.SizeTest)
 	b, _ := biaslab.Benchmark("gcc")
-	points, err := biaslab.LinkSweep(r, b, biaslab.DefaultSetup("core2"), 0, 1)
+	points, err := biaslab.LinkSweep(context.Background(), r, b, biaslab.DefaultSetup("core2"), 0, 1)
 	if err != nil {
 		fmt.Println("error:", err)
 		return
@@ -59,7 +60,7 @@ func ExampleLinkSweep() {
 func ExampleEstimateSpeedup() {
 	r := biaslab.NewRunner(biaslab.SizeTest)
 	b, _ := biaslab.Benchmark("milc")
-	est, err := biaslab.EstimateSpeedup(r, b, biaslab.DefaultSetup("m5"), 5, 42)
+	est, err := biaslab.EstimateSpeedup(context.Background(), r, b, biaslab.DefaultSetup("m5"), 5, 42)
 	if err != nil {
 		fmt.Println("error:", err)
 		return

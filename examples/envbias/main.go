@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -38,7 +39,7 @@ func main() {
 	setup := biaslab.DefaultSetup(*machineName)
 
 	fmt.Printf("Sweeping environment size for %s on %s (%s workload)...\n\n", b.Name, *machineName, *sizeName)
-	points, err := biaslab.EnvSweep(r, b, setup, biaslab.DefaultEnvSizes(*step))
+	points, err := biaslab.EnvSweep(context.Background(), r, b, setup, biaslab.DefaultEnvSizes(*step))
 	if err != nil {
 		log.Fatal(err)
 	}

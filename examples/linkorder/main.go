@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -40,7 +41,7 @@ func main() {
 	r := biaslab.NewRunner(size)
 
 	fmt.Printf("Linking %s in %d different orders on %s...\n\n", b.Name, *orders+2, *machineName)
-	points, err := biaslab.LinkSweep(r, b, biaslab.DefaultSetup(*machineName), *orders, *seed)
+	points, err := biaslab.LinkSweep(context.Background(), r, b, biaslab.DefaultSetup(*machineName), *orders, *seed)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -36,7 +37,7 @@ func main() {
 		who   string
 		setup biaslab.Setup
 	}{{"researcher A (env = 1024B)", setupA}, {"researcher B (env = 4096B)", setupB}} {
-		speedup, o2, o3, err := r.Speedup(b, sc.setup, biaslab.O2, biaslab.O3)
+		speedup, o2, o3, err := r.Speedup(context.Background(), b, sc.setup, biaslab.O2, biaslab.O3)
 		if err != nil {
 			log.Fatal(err)
 		}

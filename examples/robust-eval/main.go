@@ -16,6 +16,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -48,7 +49,7 @@ func main() {
 	base := biaslab.DefaultSetup(*machineName)
 
 	fmt.Printf("== Part 1: setup randomization (%d setups) ==\n\n", *n)
-	est, err := biaslab.EstimateSpeedup(r, b, base, *n, *seed)
+	est, err := biaslab.EstimateSpeedup(context.Background(), r, b, base, *n, *seed)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -72,7 +73,7 @@ func main() {
 		[]report.Series{s}, 60, 12, 1.0, true))
 
 	fmt.Printf("\n== Part 2: causal analysis of the environment effect ==\n\n")
-	rep, err := biaslab.CausalStudy(r, b, base, 1024, 128)
+	rep, err := biaslab.CausalStudy(context.Background(), r, b, base, 1024, 128)
 	if err != nil {
 		log.Fatal(err)
 	}

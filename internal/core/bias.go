@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"biaslab/internal/bench"
@@ -21,27 +22,88 @@ type EnvPoint struct {
 // sizes, holding everything else in setup fixed. This regenerates the
 // paper's Figures 1–2 for a single benchmark and, aggregated across the
 // suite, Figures 3–5.
-func EnvSweep(r *Runner, b *bench.Benchmark, setup Setup, sizes []uint64) ([]EnvPoint, error) {
+func EnvSweep(ctx context.Context, r *Runner, b *bench.Benchmark, setup Setup, sizes []uint64) ([]EnvPoint, error) {
+	return EnvSweepCheckpointed(ctx, r, b, setup, sizes, nil)
+}
+
+// sweepKey is the checkpoint key of one sweep point: the sweep kind, the
+// benchmark, and the *complete* rendered setup, so that points recorded
+// under any different setup (machine, compiler, order, padding, shift) can
+// never be replayed for this one.
+func sweepKey(kind string, benchName string, s Setup) string {
+	return kind + "/" + benchName + "/" + s.String()
+}
+
+// EnvSweepCheckpointed is EnvSweep with journal-based checkpoint/resume:
+// every completed point is recorded in ck before the sweep moves on, and
+// points already recorded (a resumed run) are replayed without
+// re-measurement — bit-identical, because measurements are deterministic.
+//
+// On failure it returns the completed points (in sweep order, with the
+// failed and unreached points explicitly absent) alongside an error that
+// says how much is missing. Callers must treat such partial results as
+// partial: they are never silently aggregated by any code in this package.
+func EnvSweepCheckpointed(ctx context.Context, r *Runner, b *bench.Benchmark, setup Setup, sizes []uint64, ck Checkpoint) ([]EnvPoint, error) {
 	points := make([]EnvPoint, len(sizes))
-	err := ForEach(len(sizes), 0, func(i int) error {
+	done := make([]bool, len(sizes))
+	pending := make([]int, 0, len(sizes))
+	for i, sz := range sizes {
+		s := setup
+		s.EnvBytes = sz
+		if ck != nil {
+			var p EnvPoint
+			ok, err := ck.Lookup(sweepKey("env", b.Name, s), &p)
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				points[i], done[i] = p, true
+				continue
+			}
+		}
+		pending = append(pending, i)
+	}
+	err := ForEach(ctx, len(pending), 0, func(ctx context.Context, pi int) error {
+		i := pending[pi]
 		s := setup
 		s.EnvBytes = sizes[i]
-		speedup, mb, mo, err := r.Speedup(b, s, compiler.O2, compiler.O3)
+		speedup, mb, mo, err := r.Speedup(ctx, b, s, compiler.O2, compiler.O3)
 		if err != nil {
 			return err
 		}
-		points[i] = EnvPoint{
+		p := EnvPoint{
 			EnvBytes:   sizes[i],
 			CyclesBase: mb.Cycles,
 			CyclesOpt:  mo.Cycles,
 			Speedup:    speedup,
 		}
+		if ck != nil {
+			if err := ck.Record(sweepKey("env", b.Name, s), p); err != nil {
+				return err
+			}
+		}
+		points[i], done[i] = p, true
 		return nil
 	})
 	if err != nil {
-		return nil, err
+		completed := gatherDone(points, done)
+		return completed, fmt.Errorf("core: env sweep of %s incomplete (%d of %d points measured): %w",
+			b.Name, len(completed), len(sizes), err)
 	}
 	return points, nil
+}
+
+// gatherDone compacts the completed points of an interrupted sweep,
+// preserving sweep order. The gaps are *explicit*: the result's length
+// tells the caller exactly how much is missing.
+func gatherDone[T any](points []T, done []bool) []T {
+	out := make([]T, 0, len(points))
+	for i, ok := range done {
+		if ok {
+			out = append(out, points[i])
+		}
+	}
+	return out
 }
 
 // DefaultEnvSizes returns the canonical environment-size sweep: from the
@@ -72,7 +134,15 @@ type LinkPoint struct {
 
 // LinkSweep measures b's speedup under the default order, the alphabetical
 // order, and n random permutations — the paper's link-order experiment.
-func LinkSweep(r *Runner, b *bench.Benchmark, setup Setup, n int, seed uint64) ([]LinkPoint, error) {
+func LinkSweep(ctx context.Context, r *Runner, b *bench.Benchmark, setup Setup, n int, seed uint64) ([]LinkPoint, error) {
+	return LinkSweepCheckpointed(ctx, r, b, setup, n, seed, nil)
+}
+
+// LinkSweepCheckpointed is LinkSweep with checkpoint/resume; see
+// EnvSweepCheckpointed for the journal and partial-result contract. The
+// permutation set depends only on (n, seed), so a resumed run regenerates
+// the same candidates and replays the recorded ones.
+func LinkSweepCheckpointed(ctx context.Context, r *Runner, b *bench.Benchmark, setup Setup, n int, seed uint64, ck Checkpoint) ([]LinkPoint, error) {
 	names := r.UnitNames(b)
 	rng := stats.NewRNG(seed)
 	type cand struct {
@@ -87,25 +157,56 @@ func LinkSweep(r *Runner, b *bench.Benchmark, setup Setup, n int, seed uint64) (
 		cands = append(cands, cand{fmt.Sprintf("random%02d", i), RandomOrder(len(names), rng)})
 	}
 	points := make([]LinkPoint, len(cands))
-	err := ForEach(len(cands), 0, func(i int) error {
+	done := make([]bool, len(cands))
+	pending := make([]int, 0, len(cands))
+	for i, c := range cands {
+		s := setup
+		s.LinkOrder = c.order
+		if ck != nil {
+			var p LinkPoint
+			ok, err := ck.Lookup(sweepKey("link", b.Name, s), &p)
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				// The stored point carries cycles and speedup; the label and
+				// order are regenerated, so keep the fresh ones (identical by
+				// construction) to avoid aliasing journal-owned slices.
+				p.Label, p.Order = c.label, c.order
+				points[i], done[i] = p, true
+				continue
+			}
+		}
+		pending = append(pending, i)
+	}
+	err := ForEach(ctx, len(pending), 0, func(ctx context.Context, pi int) error {
+		i := pending[pi]
 		c := cands[i]
 		s := setup
 		s.LinkOrder = c.order
-		speedup, mb, mo, err := r.Speedup(b, s, compiler.O2, compiler.O3)
+		speedup, mb, mo, err := r.Speedup(ctx, b, s, compiler.O2, compiler.O3)
 		if err != nil {
 			return err
 		}
-		points[i] = LinkPoint{
+		p := LinkPoint{
 			Label:      c.label,
 			Order:      c.order,
 			CyclesBase: mb.Cycles,
 			CyclesOpt:  mo.Cycles,
 			Speedup:    speedup,
 		}
+		if ck != nil {
+			if err := ck.Record(sweepKey("link", b.Name, s), p); err != nil {
+				return err
+			}
+		}
+		points[i], done[i] = p, true
 		return nil
 	})
 	if err != nil {
-		return nil, err
+		completed := gatherDone(points, done)
+		return completed, fmt.Errorf("core: link sweep of %s incomplete (%d of %d points measured): %w",
+			b.Name, len(completed), len(cands), err)
 	}
 	return points, nil
 }
@@ -161,14 +262,15 @@ func (rep BiasReport) String() string {
 
 // SuiteEnvStudy runs the environment sweep for every benchmark on one
 // machine and returns a BiasReport per benchmark plus the raw speedups —
-// the data behind Figures 3–5.
-func SuiteEnvStudy(r *Runner, machineName string, sizes []uint64, pers compiler.Personality) ([]BiasReport, map[string][]float64, error) {
+// the data behind Figures 3–5. A non-nil ck checkpoints every completed
+// point, so an interrupted study resumes mid-benchmark.
+func SuiteEnvStudy(ctx context.Context, r *Runner, machineName string, sizes []uint64, pers compiler.Personality, ck Checkpoint) ([]BiasReport, map[string][]float64, error) {
 	reports := []BiasReport{}
 	raw := map[string][]float64{}
 	for _, b := range bench.All() {
 		setup := DefaultSetup(machineName)
 		setup.Compiler.Personality = pers
-		points, err := EnvSweep(r, b, setup, sizes)
+		points, err := EnvSweepCheckpointed(ctx, r, b, setup, sizes, ck)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -183,14 +285,15 @@ func SuiteEnvStudy(r *Runner, machineName string, sizes []uint64, pers compiler.
 }
 
 // SuiteLinkStudy runs the link-order sweep for every benchmark on one
-// machine — the data behind Figures 6–7.
-func SuiteLinkStudy(r *Runner, machineName string, nOrders int, seed uint64, pers compiler.Personality) ([]BiasReport, map[string][]float64, error) {
+// machine — the data behind Figures 6–7. A non-nil ck checkpoints every
+// completed point.
+func SuiteLinkStudy(ctx context.Context, r *Runner, machineName string, nOrders int, seed uint64, pers compiler.Personality, ck Checkpoint) ([]BiasReport, map[string][]float64, error) {
 	reports := []BiasReport{}
 	raw := map[string][]float64{}
 	for _, b := range bench.All() {
 		setup := DefaultSetup(machineName)
 		setup.Compiler.Personality = pers
-		points, err := LinkSweep(r, b, setup, nOrders, seed)
+		points, err := LinkSweepCheckpointed(ctx, r, b, setup, nOrders, seed, ck)
 		if err != nil {
 			return nil, nil, err
 		}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -80,7 +81,7 @@ func (cr CausalReport) String() string {
 // fixed environment, and separately sweeps environment size over a matched
 // range, then correlates every performance counter with cycles across the
 // intervention.
-func CausalStudy(r *Runner, b *bench.Benchmark, setup Setup, maxShift, step uint64) (*CausalReport, error) {
+func CausalStudy(ctx context.Context, r *Runner, b *bench.Benchmark, setup Setup, maxShift, step uint64) (*CausalReport, error) {
 	if step == 0 {
 		step = 64
 	}
@@ -90,7 +91,7 @@ func CausalStudy(r *Runner, b *bench.Benchmark, setup Setup, maxShift, step uint
 	for shift := uint64(0); shift <= maxShift; shift += step {
 		s := setup
 		s.StackShift = shift
-		m, err := r.Measure(b, s)
+		m, err := r.Measure(ctx, b, s)
 		if err != nil {
 			return nil, err
 		}
@@ -112,7 +113,7 @@ func CausalStudy(r *Runner, b *bench.Benchmark, setup Setup, maxShift, step uint
 		if s.EnvBytes > 8 && s.EnvBytes < 17 {
 			s.EnvBytes = 17
 		}
-		m, err := r.Measure(b, s)
+		m, err := r.Measure(ctx, b, s)
 		if err != nil {
 			return nil, err
 		}

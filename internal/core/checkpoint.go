@@ -1,0 +1,18 @@
+package core
+
+// Checkpoint persists completed measurement points across process
+// restarts. Sweeps record each finished (benchmark, setup) point under a
+// key that encodes the complete setup; on a rerun, recorded points are
+// replayed instead of re-measured, so an interrupted sweep resumes where
+// it stopped and — because every measurement is deterministic — produces
+// bit-identical output to an uninterrupted run.
+//
+// internal/journal provides the JSONL implementation used by cmd/biaslab;
+// a nil Checkpoint disables checkpointing.
+type Checkpoint interface {
+	// Lookup decodes the value stored under key into out (when out is
+	// non-nil) and reports whether the key was present.
+	Lookup(key string, out any) (bool, error)
+	// Record durably stores v under key before returning.
+	Record(key string, v any) error
+}

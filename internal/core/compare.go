@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"biaslab/internal/bench"
@@ -46,23 +47,23 @@ func (c Comparison) String() string {
 // CompareConfigs measures benchmark b under configs a and bCfg across n
 // randomized setups (shared between the two sides, so the comparison is
 // paired) and returns the robust comparison.
-func CompareConfigs(r *Runner, b *bench.Benchmark, base Setup, a, bCfg compiler.Config, n int, seed uint64) (*Comparison, error) {
+func CompareConfigs(ctx context.Context, r *Runner, b *bench.Benchmark, base Setup, a, bCfg compiler.Config, n int, seed uint64) (*Comparison, error) {
 	if n < 3 {
 		n = 3
 	}
 	setups := RandomSetups(base, n, len(r.UnitNames(b)), seed)
 	cyclesA := make([]float64, n)
 	cyclesB := make([]float64, n)
-	err := ForEach(n, 0, func(i int) error {
+	err := ForEach(ctx, n, 0, func(ctx context.Context, i int) error {
 		sa := setups[i]
 		sa.Compiler = a
-		ma, err := r.Measure(b, sa)
+		ma, err := r.Measure(ctx, b, sa)
 		if err != nil {
 			return err
 		}
 		sb := setups[i]
 		sb.Compiler = bCfg
-		mb, err := r.Measure(b, sb)
+		mb, err := r.Measure(ctx, b, sb)
 		if err != nil {
 			return err
 		}

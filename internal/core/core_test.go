@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -61,7 +62,7 @@ func TestOrders(t *testing.T) {
 func TestMeasureBasics(t *testing.T) {
 	r := NewRunner(bench.SizeTest)
 	b := testBench(t, "perlbench")
-	m, err := r.Measure(b, DefaultSetup("core2"))
+	m, err := r.Measure(context.Background(), b, DefaultSetup("core2"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -69,7 +70,7 @@ func TestMeasureBasics(t *testing.T) {
 		t.Error("empty measurement")
 	}
 	// Same setup twice ⇒ identical cycles (deterministic simulator).
-	m2, err := r.Measure(b, DefaultSetup("core2"))
+	m2, err := r.Measure(context.Background(), b, DefaultSetup("core2"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -82,12 +83,12 @@ func TestMeasureRejectsBadInput(t *testing.T) {
 	r := NewRunner(bench.SizeTest)
 	b := testBench(t, "perlbench")
 	s := DefaultSetup("vax11")
-	if _, err := r.Measure(b, s); err == nil || !strings.Contains(err.Error(), "unknown machine") {
+	if _, err := r.Measure(context.Background(), b, s); err == nil || !strings.Contains(err.Error(), "unknown machine") {
 		t.Errorf("unknown machine not rejected: %v", err)
 	}
 	s = DefaultSetup("core2")
 	s.LinkOrder = []int{0, 0, 1, 2}
-	if _, err := r.Measure(b, s); err == nil || !strings.Contains(err.Error(), "invalid link order") {
+	if _, err := r.Measure(context.Background(), b, s); err == nil || !strings.Contains(err.Error(), "invalid link order") {
 		t.Errorf("bad link order not rejected: %v", err)
 	}
 }
@@ -107,7 +108,7 @@ func TestOutputStableAcrossSetups(t *testing.T) {
 		{Machine: "p4", Compiler: base.Compiler, EnvBytes: 999, LinkOrder: RandomOrder(4, rng)},
 		{Machine: "p4", Compiler: base.Compiler, EnvBytes: 512, StackShift: 256},
 	} {
-		m, err := r.Measure(b, s)
+		m, err := r.Measure(context.Background(), b, s)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -123,14 +124,14 @@ func TestSpeedupAndEnvSweep(t *testing.T) {
 	r := NewRunner(bench.SizeTest)
 	b := testBench(t, "hmmer")
 	setup := DefaultSetup("core2")
-	sp, mb, mo, err := r.Speedup(b, setup, compiler.O2, compiler.O3)
+	sp, mb, mo, err := r.Speedup(context.Background(), b, setup, compiler.O2, compiler.O3)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if sp <= 0 || mb.Cycles == 0 || mo.Cycles == 0 {
 		t.Errorf("bad speedup %v", sp)
 	}
-	points, err := EnvSweep(r, b, setup, []uint64{8, 512, 1024})
+	points, err := EnvSweep(context.Background(), r, b, setup, []uint64{8, 512, 1024})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -165,7 +166,7 @@ func TestDefaultEnvSizes(t *testing.T) {
 func TestLinkSweep(t *testing.T) {
 	r := NewRunner(bench.SizeTest)
 	b := testBench(t, "gcc")
-	points, err := LinkSweep(r, b, DefaultSetup("m5"), 3, 77)
+	points, err := LinkSweep(context.Background(), r, b, DefaultSetup("m5"), 3, 77)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -230,7 +231,7 @@ func TestRandomSetups(t *testing.T) {
 func TestEstimateSpeedup(t *testing.T) {
 	r := NewRunner(bench.SizeTest)
 	b := testBench(t, "libquantum")
-	est, err := EstimateSpeedup(r, b, DefaultSetup("m5"), 6, 123)
+	est, err := EstimateSpeedup(context.Background(), r, b, DefaultSetup("m5"), 6, 123)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -243,7 +244,7 @@ func TestEstimateSpeedup(t *testing.T) {
 	if !est.Bootstrap.Contains(est.Mean) {
 		t.Error("bootstrap interval excludes its own mean")
 	}
-	verdicts, err := CompareSingleSetups(r, b, est, map[string]Setup{
+	verdicts, err := CompareSingleSetups(context.Background(), r, b, est, map[string]Setup{
 		"small-env": {Machine: "m5", Compiler: est.speedupCfg(), EnvBytes: 8},
 	})
 	if err != nil {
@@ -262,7 +263,7 @@ func (e *RobustEstimate) speedupCfg() compiler.Config {
 func TestCausalStudy(t *testing.T) {
 	r := NewRunner(bench.SizeTest)
 	b := testBench(t, "mcf")
-	rep, err := CausalStudy(r, b, DefaultSetup("p4"), 512, 128)
+	rep, err := CausalStudy(context.Background(), r, b, DefaultSetup("p4"), 512, 128)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -291,11 +292,11 @@ func TestTextPadFactor(t *testing.T) {
 	base := DefaultSetup("m5")
 	padded := base
 	padded.TextPad = 128
-	m0, err := r.Measure(b, base)
+	m0, err := r.Measure(context.Background(), b, base)
 	if err != nil {
 		t.Fatal(err)
 	}
-	m1, err := r.Measure(b, padded)
+	m1, err := r.Measure(context.Background(), b, padded)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -316,7 +317,7 @@ func TestEstimateSpeedupAdaptive(t *testing.T) {
 	r := NewRunner(bench.SizeTest)
 	b := testBench(t, "gcc")
 	// Loose tolerance: should stop well before maxN.
-	est, err := EstimateSpeedupAdaptive(r, b, DefaultSetup("m5"), 0.05, 4, 24, 5)
+	est, err := EstimateSpeedupAdaptive(context.Background(), r, b, DefaultSetup("m5"), 0.05, 4, 24, 5)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -327,7 +328,7 @@ func TestEstimateSpeedupAdaptive(t *testing.T) {
 		t.Logf("note: loose tolerance still used all samples (N=%d, CI %v)", est.N, est.TInterval)
 	}
 	// Impossible tolerance: must stop at maxN.
-	est2, err := EstimateSpeedupAdaptive(r, b, DefaultSetup("m5"), 0, 4, 8, 5)
+	est2, err := EstimateSpeedupAdaptive(context.Background(), r, b, DefaultSetup("m5"), 0, 4, 8, 5)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -348,7 +349,7 @@ func TestCompareConfigs(t *testing.T) {
 	b := testBench(t, "hmmer")
 	a := compiler.Config{Level: compiler.O2}
 	bc := compiler.Config{Level: compiler.O0}
-	cmp, err := CompareConfigs(r, b, DefaultSetup("m5"), a, bc, 5, 9)
+	cmp, err := CompareConfigs(context.Background(), r, b, DefaultSetup("m5"), a, bc, 5, 9)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -366,7 +367,7 @@ func TestCompareConfigs(t *testing.T) {
 		t.Errorf("effect size %v should be positive (B slower)", cmp.EffectSize)
 	}
 	// Self-comparison is inconclusive by construction.
-	self, err := CompareConfigs(r, b, DefaultSetup("m5"), a, a, 5, 9)
+	self, err := CompareConfigs(context.Background(), r, b, DefaultSetup("m5"), a, a, 5, 9)
 	if err != nil {
 		t.Fatal(err)
 	}

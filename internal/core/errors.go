@@ -1,0 +1,99 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+)
+
+// The fault model of the experiment engine (see DESIGN.md §"Fault model"):
+// every failure of a measurement is classified by the pipeline stage it
+// occurred in and wrapped — panics included — in a *MeasurementError that
+// carries the complete experimental setup. Nothing about a failed setup is
+// ever averaged into a result silently: a sweep either completes every
+// point or returns the completed subset alongside a typed error naming
+// what is missing.
+
+// Stage identifies the pipeline stage a measurement failed in.
+type Stage uint8
+
+// The four stages of one measurement, in execution order.
+const (
+	StageCompile Stage = iota
+	StageLink
+	StageLoad
+	StageMeasure
+)
+
+// String names the stage.
+func (s Stage) String() string {
+	switch s {
+	case StageCompile:
+		return "compile"
+	case StageLink:
+		return "link"
+	case StageLoad:
+		return "load"
+	case StageMeasure:
+		return "measure"
+	}
+	return fmt.Sprintf("stage(%d)", uint8(s))
+}
+
+// MeasurementError is the typed failure of one measurement: which stage
+// failed, for which benchmark, under which complete experimental setup,
+// and why. The setup is attached because the paper's whole point is that
+// setups are not interchangeable — an error report that omits the setup
+// hides exactly the variable that matters.
+type MeasurementError struct {
+	Stage     Stage
+	Benchmark string
+	Setup     Setup
+	Cause     error
+	// Attempts counts how many times the stage ran (2 when a transient
+	// fault was retried and failed again).
+	Attempts int
+}
+
+func (e *MeasurementError) Error() string {
+	return fmt.Sprintf("core: %s stage: %s under %s: %v", e.Stage, e.Benchmark, e.Setup, e.Cause)
+}
+
+// Unwrap exposes the cause to errors.Is/As.
+func (e *MeasurementError) Unwrap() error { return e.Cause }
+
+// PanicError is a panic recovered at the runner's isolation boundary,
+// preserving the panic value and the stack of the panicking goroutine.
+type PanicError struct {
+	Value any
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("panic: %v\n%s", e.Value, e.Stack)
+}
+
+// Unwrap exposes an error panic value to errors.Is/As, so a typed panic
+// (e.g. an injected fault) stays matchable through the recovery boundary.
+func (e *PanicError) Unwrap() error {
+	if err, ok := e.Value.(error); ok {
+		return err
+	}
+	return nil
+}
+
+// transient is implemented by errors that mark themselves as worth one
+// retry: failures of the moment (a pool or cache race, an injected
+// transient fault), not of the setup.
+type transient interface{ IsTransient() bool }
+
+// IsTransient reports whether err, or anything it wraps, marks itself as
+// transient. Context cancellation is never transient: a cancelled
+// measurement must not be retried into a cancelled context.
+func IsTransient(err error) bool {
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
+	var t transient
+	return errors.As(err, &t) && t.IsTransient()
+}

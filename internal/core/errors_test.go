@@ -1,0 +1,94 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func TestStageString(t *testing.T) {
+	want := map[Stage]string{
+		StageCompile: "compile",
+		StageLink:    "link",
+		StageLoad:    "load",
+		StageMeasure: "measure",
+	}
+	for stage, name := range want {
+		if got := stage.String(); got != name {
+			t.Errorf("Stage(%d).String() = %q, want %q", stage, got, name)
+		}
+	}
+	if got := Stage(42).String(); got != "stage(42)" {
+		t.Errorf("unknown stage = %q", got)
+	}
+}
+
+func TestMeasurementErrorCarriesSetup(t *testing.T) {
+	cause := errors.New("simulated fault")
+	setup := DefaultSetup("core2")
+	setup.EnvBytes = 4096
+	me := &MeasurementError{
+		Stage:     StageMeasure,
+		Benchmark: "bzip2",
+		Setup:     setup,
+		Cause:     cause,
+		Attempts:  1,
+	}
+	msg := me.Error()
+	for _, part := range []string{"measure", "bzip2", setup.String(), "simulated fault"} {
+		if !strings.Contains(msg, part) {
+			t.Errorf("error message %q missing %q", msg, part)
+		}
+	}
+	if !errors.Is(me, cause) {
+		t.Error("MeasurementError does not unwrap to its cause")
+	}
+	var got *MeasurementError
+	if !errors.As(fmt.Errorf("wrapped: %w", me), &got) || got.Setup.EnvBytes != 4096 {
+		t.Error("MeasurementError lost through wrapping")
+	}
+}
+
+func TestPanicErrorUnwrap(t *testing.T) {
+	cause := errors.New("typed panic value")
+	pe := &PanicError{Value: cause, Stack: []byte("stack")}
+	if !errors.Is(pe, cause) {
+		t.Error("error panic value must stay matchable through PanicError")
+	}
+	if !strings.Contains(pe.Error(), "typed panic value") {
+		t.Errorf("panic message lost: %q", pe.Error())
+	}
+	// Non-error panic values unwrap to nothing.
+	pe = &PanicError{Value: "string panic"}
+	if pe.Unwrap() != nil {
+		t.Error("non-error panic value must not unwrap")
+	}
+}
+
+type transientErr struct{ wrapped error }
+
+func (e *transientErr) Error() string     { return "transient glitch" }
+func (e *transientErr) IsTransient() bool { return true }
+func (e *transientErr) Unwrap() error     { return e.wrapped }
+
+func TestIsTransient(t *testing.T) {
+	if IsTransient(errors.New("plain")) {
+		t.Error("plain errors are not transient")
+	}
+	if !IsTransient(&transientErr{}) {
+		t.Error("self-marked transient error not recognized")
+	}
+	if !IsTransient(fmt.Errorf("wrapped: %w", &transientErr{})) {
+		t.Error("transience must survive wrapping")
+	}
+	// Cancellation is never transient, even when a transient error wraps it:
+	// retrying into a cancelled context cannot succeed.
+	if IsTransient(context.Canceled) || IsTransient(context.DeadlineExceeded) {
+		t.Error("context errors must not be transient")
+	}
+	if IsTransient(&transientErr{wrapped: context.Canceled}) {
+		t.Error("a transient wrapper around cancellation must not retry")
+	}
+}

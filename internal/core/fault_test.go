@@ -1,0 +1,229 @@
+//go:build faultinject
+
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"biaslab/internal/bench"
+	"biaslab/internal/faultinject"
+)
+
+// These tests require the faultinject build tag:
+//
+//	go test -tags faultinject ./internal/core/
+//
+// They prove the runner's fault model end to end: an injected failure at
+// any pipeline stage surfaces as a typed *MeasurementError carrying the
+// stage and the exact failing setup; panics are contained; transient
+// faults are retried exactly once; and checkpointed sweeps interrupted by
+// a fault resume to byte-identical results.
+
+// TestInjectedFaultEveryStage injects a permanent fault at each of the four
+// stages in turn and checks the typed error contract.
+func TestInjectedFaultEveryStage(t *testing.T) {
+	b, _ := bench.ByName("bzip2")
+	setup := DefaultSetup("core2")
+	setup.EnvBytes = 777
+
+	stages := []struct {
+		name string
+		want Stage
+	}{
+		{"compile", StageCompile},
+		{"link", StageLink},
+		{"load", StageLoad},
+		{"measure", StageMeasure},
+	}
+	for _, tc := range stages {
+		faultinject.Reset()
+		faultinject.Arm(faultinject.Fault{Stage: tc.name, Mode: faultinject.ModeError})
+
+		r := NewRunner(bench.SizeTest) // fresh caches so every stage actually runs
+		_, err := r.Measure(context.Background(), b, setup)
+		faultinject.Reset()
+		if err == nil {
+			t.Errorf("%s: injected fault did not surface", tc.name)
+			continue
+		}
+		var me *MeasurementError
+		if !errors.As(err, &me) {
+			t.Errorf("%s: error %v is not a *MeasurementError", tc.name, err)
+			continue
+		}
+		if me.Stage != tc.want {
+			t.Errorf("%s: Stage = %v, want %v", tc.name, me.Stage, tc.want)
+		}
+		if me.Benchmark != b.Name || me.Setup.EnvBytes != 777 {
+			t.Errorf("%s: failing setup not attached: %q %s", tc.name, me.Benchmark, me.Setup)
+		}
+		var inj *faultinject.InjectedError
+		if !errors.As(err, &inj) || inj.Stage != tc.name {
+			t.Errorf("%s: injected cause lost: %v", tc.name, err)
+		}
+		if me.Attempts != 1 {
+			t.Errorf("%s: permanent fault retried (%d attempts)", tc.name, me.Attempts)
+		}
+	}
+}
+
+// TestInjectedPanicIsolated: a panic inside a stage is recovered at the
+// runner boundary, wrapped as *PanicError inside *MeasurementError, and
+// the typed panic value stays matchable through the chain.
+func TestInjectedPanicIsolated(t *testing.T) {
+	defer faultinject.Reset()
+	b, _ := bench.ByName("bzip2")
+
+	for _, stage := range []string{"compile", "measure"} {
+		faultinject.Reset()
+		faultinject.Arm(faultinject.Fault{Stage: stage, Mode: faultinject.ModePanic})
+
+		r := NewRunner(bench.SizeTest)
+		_, err := r.Measure(context.Background(), b, DefaultSetup("core2"))
+		if err == nil {
+			t.Fatalf("%s: injected panic did not surface as an error", stage)
+		}
+		var pe *PanicError
+		if !errors.As(err, &pe) {
+			t.Errorf("%s: panic not wrapped as *PanicError: %v", stage, err)
+			continue
+		}
+		if len(pe.Stack) == 0 {
+			t.Errorf("%s: panic stack not captured", stage)
+		}
+		var inj *faultinject.InjectedError
+		if !errors.As(err, &inj) {
+			t.Errorf("%s: typed panic value lost through recovery: %v", stage, err)
+		}
+		var me *MeasurementError
+		if !errors.As(err, &me) || me.Benchmark != b.Name {
+			t.Errorf("%s: panic lacks measurement context: %v", stage, err)
+		}
+	}
+}
+
+// TestTransientFaultRetriedOnce: a fault that fires once and marks itself
+// transient costs a retry, not the measurement.
+func TestTransientFaultRetriedOnce(t *testing.T) {
+	defer faultinject.Reset()
+	b, _ := bench.ByName("bzip2")
+	setup := DefaultSetup("core2")
+
+	// Reference value, measured clean.
+	clean, err := NewRunner(bench.SizeTest).Measure(context.Background(), b, setup)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, stage := range []string{"compile", "link", "load", "measure"} {
+		faultinject.Reset()
+		faultinject.Arm(faultinject.Fault{Stage: stage, Mode: faultinject.ModeTransient})
+
+		m, err := NewRunner(bench.SizeTest).Measure(context.Background(), b, setup)
+		if err != nil {
+			t.Errorf("%s: transient fault not absorbed by retry: %v", stage, err)
+			continue
+		}
+		if faultinject.Fired() != 1 {
+			t.Errorf("%s: fault fired %d times, want 1", stage, faultinject.Fired())
+		}
+		if m.Cycles != clean.Cycles || m.Checksum != clean.Checksum {
+			t.Errorf("%s: retried measurement diverged: %d cycles vs clean %d", stage, m.Cycles, clean.Cycles)
+		}
+	}
+}
+
+// TestTransientFaultExhaustsRetry: a transient fault that persists through
+// the retry fails the measurement with the attempt count on record.
+func TestTransientFaultExhaustsRetry(t *testing.T) {
+	defer faultinject.Reset()
+	faultinject.Reset()
+	faultinject.Arm(faultinject.Fault{Stage: "measure", Mode: faultinject.ModeTransient, Times: 2})
+
+	b, _ := bench.ByName("bzip2")
+	_, err := NewRunner(bench.SizeTest).Measure(context.Background(), b, DefaultSetup("core2"))
+	if err == nil {
+		t.Fatal("persistent transient fault did not fail the measurement")
+	}
+	var me *MeasurementError
+	if !errors.As(err, &me) {
+		t.Fatalf("error %v is not a *MeasurementError", err)
+	}
+	if me.Attempts != 2 {
+		t.Errorf("Attempts = %d, want 2 (original + one retry)", me.Attempts)
+	}
+	if !IsTransient(err) {
+		t.Error("exhausted transient fault should still classify as transient")
+	}
+}
+
+// TestSweepPartialResultsExplicitGaps: a sweep hit by a fault returns the
+// completed points with the gap explicit (shorter slice, wrapped error) —
+// never a silently padded result.
+func TestSweepPartialResultsExplicitGaps(t *testing.T) {
+	defer faultinject.Reset()
+	faultinject.Reset()
+	// Only the 512-byte point fails; note "env=512B" cannot match 5120.
+	faultinject.Arm(faultinject.Fault{Stage: "measure", Match: "env=512B", Mode: faultinject.ModeError})
+
+	b, _ := bench.ByName("hmmer")
+	sizes := []uint64{8, 512, 1024}
+	points, err := EnvSweep(context.Background(), NewRunner(bench.SizeTest), b, DefaultSetup("p4"), sizes)
+	if err == nil {
+		t.Fatal("faulted sweep reported success")
+	}
+	if len(points) >= len(sizes) {
+		t.Errorf("partial sweep returned %d points for %d sizes; the gap must be explicit", len(points), len(sizes))
+	}
+	for _, p := range points {
+		if p.EnvBytes == 512 {
+			t.Error("the failed point leaked into the completed set")
+		}
+	}
+	var inj *faultinject.InjectedError
+	if !errors.As(err, &inj) {
+		t.Errorf("sweep error does not expose the injected cause: %v", err)
+	}
+}
+
+// TestFaultedSweepResumesByteIdentical is the resume-convergence
+// contract: a checkpointed sweep interrupted by a fault, then resumed with
+// the fault cleared, must produce exactly what an uninterrupted run does.
+func TestFaultedSweepResumesByteIdentical(t *testing.T) {
+	defer faultinject.Reset()
+	b, _ := bench.ByName("hmmer")
+	setup := DefaultSetup("p4")
+	sizes := []uint64{8, 512, 1024, 2048, 4096}
+
+	clean, err := EnvSweep(context.Background(), NewRunner(bench.SizeTest), b, setup, sizes)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ck := newMemCheckpoint()
+	faultinject.Reset()
+	faultinject.Arm(faultinject.Fault{Stage: "measure", Match: "env=1024B", Mode: faultinject.ModeError})
+	partial, err := EnvSweepCheckpointed(context.Background(), NewRunner(bench.SizeTest), b, setup, sizes, ck)
+	faultinject.Reset()
+	if err == nil {
+		t.Fatal("interrupted run reported success")
+	}
+	if len(partial) >= len(sizes) {
+		t.Fatalf("interrupted run returned %d points, want a gap", len(partial))
+	}
+
+	resumed, err := EnvSweepCheckpointed(context.Background(), NewRunner(bench.SizeTest), b, setup, sizes, ck)
+	if err != nil {
+		t.Fatalf("resume failed: %v", err)
+	}
+	if len(resumed) != len(clean) {
+		t.Fatalf("resumed run has %d points, want %d", len(resumed), len(clean))
+	}
+	for i := range clean {
+		if resumed[i] != clean[i] {
+			t.Errorf("point %d: resumed %+v != clean %+v", i, resumed[i], clean[i])
+		}
+	}
+}

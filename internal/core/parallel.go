@@ -1,18 +1,31 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"runtime"
 	"sync"
 )
 
-// ForEach runs fn(0..n-1) across min(workers, n) goroutines and returns the
-// first error (remaining work still runs to completion; measurements are
-// independent). workers ≤ 0 selects GOMAXPROCS. Results must be written by
-// index into caller-owned slices, which keeps output deterministic no
-// matter how the work interleaves.
-func ForEach(n, workers int, fn func(i int) error) error {
+// ForEach runs fn(ctx, 0..n-1) across min(workers, n) goroutines.
+// workers ≤ 0 selects GOMAXPROCS. Results must be written by index into
+// caller-owned slices, which keeps output deterministic no matter how the
+// work interleaves.
+//
+// Failure semantics: on the first error the context handed to fn is
+// cancelled, no further indices are started, and in-flight siblings are
+// expected to notice the cancellation and return promptly. After every
+// worker has drained, ForEach returns the error of the *lowest* failing
+// index (preferring real failures over the context-cancellation errors
+// that the cancel itself provokes in siblings), so the reported error does
+// not depend on goroutine scheduling. Cancellation of the caller's ctx
+// stops scheduling and is returned as ctx's error.
+func ForEach(ctx context.Context, n, workers int, fn func(ctx context.Context, i int) error) error {
 	if n <= 0 {
 		return nil
+	}
+	if err := ctx.Err(); err != nil {
+		return err
 	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -22,34 +35,50 @@ func ForEach(n, workers int, fn func(i int) error) error {
 	}
 	if workers == 1 {
 		for i := 0; i < n; i++ {
-			if err := fn(i); err != nil {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if err := fn(ctx, i); err != nil {
 				return err
 			}
 		}
 		return nil
 	}
+
+	cctx, cancel := context.WithCancel(ctx)
+	defer cancel()
 	var (
-		wg       sync.WaitGroup
-		next     int
-		mu       sync.Mutex
-		firstErr error
+		wg   sync.WaitGroup
+		mu   sync.Mutex
+		next int
+		// Lowest-index real error and lowest-index cancellation error are
+		// tracked separately: once one sibling fails, the cancel makes other
+		// indices fail with context.Canceled, and those must not mask the
+		// error that caused the cancellation.
+		errIdx, cancelIdx   = -1, -1
+		firstErr, cancelErr error
 	)
 	take := func() int {
 		mu.Lock()
 		defer mu.Unlock()
-		if next >= n {
+		if cctx.Err() != nil || next >= n {
 			return -1
 		}
 		i := next
 		next++
 		return i
 	}
-	fail := func(err error) {
+	fail := func(i int, err error) {
 		mu.Lock()
-		if firstErr == nil {
-			firstErr = err
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			if cancelIdx == -1 || i < cancelIdx {
+				cancelIdx, cancelErr = i, err
+			}
+		} else if errIdx == -1 || i < errIdx {
+			errIdx, firstErr = i, err
 		}
 		mu.Unlock()
+		cancel()
 	}
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
@@ -60,12 +89,22 @@ func ForEach(n, workers int, fn func(i int) error) error {
 				if i < 0 {
 					return
 				}
-				if err := fn(i); err != nil {
-					fail(err)
+				if err := fn(cctx, i); err != nil {
+					fail(i, err)
 				}
 			}
 		}()
 	}
 	wg.Wait()
-	return firstErr
+	switch {
+	case firstErr != nil:
+		return firstErr
+	case ctx.Err() != nil:
+		return ctx.Err()
+	case cancelErr != nil:
+		// A worker reported a bare cancellation without any underlying
+		// failure or outer cancel — surface it rather than dropping it.
+		return cancelErr
+	}
+	return nil
 }

@@ -1,9 +1,12 @@
 package core
 
 import (
+	"context"
 	"errors"
+	"fmt"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"biaslab/internal/bench"
 	"biaslab/internal/compiler"
@@ -12,7 +15,7 @@ import (
 func TestForEachCoversAllIndices(t *testing.T) {
 	for _, workers := range []int{0, 1, 3, 16} {
 		var hits [100]int32
-		err := ForEach(100, workers, func(i int) error {
+		err := ForEach(context.Background(), 100, workers, func(_ context.Context, i int) error {
 			atomic.AddInt32(&hits[i], 1)
 			return nil
 		})
@@ -29,7 +32,7 @@ func TestForEachCoversAllIndices(t *testing.T) {
 
 func TestForEachPropagatesError(t *testing.T) {
 	boom := errors.New("boom")
-	err := ForEach(50, 4, func(i int) error {
+	err := ForEach(context.Background(), 50, 4, func(_ context.Context, i int) error {
 		if i == 25 {
 			return boom
 		}
@@ -38,8 +41,81 @@ func TestForEachPropagatesError(t *testing.T) {
 	if !errors.Is(err, boom) {
 		t.Errorf("error not propagated: %v", err)
 	}
-	if err := ForEach(0, 4, func(int) error { return boom }); err != nil {
+	if err := ForEach(context.Background(), 0, 4, func(context.Context, int) error { return boom }); err != nil {
 		t.Error("empty range should not error")
+	}
+}
+
+// TestForEachOuterCancel: cancelling the caller's context stops scheduling
+// and is reported as the context's own error.
+func TestForEachOuterCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var ran atomic.Int32
+	err := ForEach(ctx, 100, 4, func(context.Context, int) error {
+		ran.Add(1)
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("pre-cancelled ForEach = %v, want context.Canceled", err)
+	}
+	if ran.Load() != 0 {
+		t.Errorf("%d indices ran under a cancelled context", ran.Load())
+	}
+
+	// Cancel mid-flight: workers blocked on ctx.Done must drain promptly and
+	// the cancellation must be reported.
+	ctx, cancel = context.WithCancel(context.Background())
+	err = ForEach(ctx, 50, 4, func(fctx context.Context, i int) error {
+		if i == 3 {
+			cancel()
+		}
+		<-fctx.Done()
+		return fctx.Err()
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("mid-flight cancel = %v, want context.Canceled", err)
+	}
+}
+
+// TestForEachLowestIndexErrorWins pins the determinism contract: when
+// several indices fail, the reported error belongs to the lowest failing
+// index regardless of which goroutine failed first.
+func TestForEachLowestIndexErrorWins(t *testing.T) {
+	const n = 8
+	for round := 0; round < 10; round++ {
+		err := ForEach(context.Background(), n, n, func(_ context.Context, i int) error {
+			// Failures arrive in reverse index order: the highest index fails
+			// first, index 0 last. The reported error must still be index 0's.
+			time.Sleep(time.Duration(n-i) * time.Millisecond)
+			return fmt.Errorf("fail-%d", i)
+		})
+		if err == nil || err.Error() != "fail-0" {
+			t.Fatalf("round %d: reported error %v, want fail-0 (lowest index)", round, err)
+		}
+	}
+}
+
+// TestForEachErrorCancelsSiblings: the first real failure must cancel
+// in-flight siblings, and their resulting cancellation errors must not mask
+// the root cause.
+func TestForEachErrorCancelsSiblings(t *testing.T) {
+	boom := errors.New("boom")
+	var cancelled atomic.Int32
+	err := ForEach(context.Background(), 8, 8, func(ctx context.Context, i int) error {
+		if i == 5 {
+			return boom
+		}
+		// Siblings park until the failure's cancel releases them.
+		<-ctx.Done()
+		cancelled.Add(1)
+		return ctx.Err()
+	})
+	if !errors.Is(err, boom) {
+		t.Errorf("root cause masked: got %v, want %v", err, boom)
+	}
+	if cancelled.Load() == 0 {
+		t.Error("no sibling observed the cancellation")
 	}
 }
 
@@ -52,7 +128,7 @@ func TestParallelMeasurementsDeterministic(t *testing.T) {
 
 	run := func() []EnvPoint {
 		r := NewRunner(bench.SizeTest)
-		pts, err := EnvSweep(r, b, DefaultSetup("p4"), sizes)
+		pts, err := EnvSweep(context.Background(), r, b, DefaultSetup("p4"), sizes)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -73,13 +149,13 @@ func TestConcurrentMeasureSharedRunner(t *testing.T) {
 	b, _ := bench.ByName("libquantum")
 	machines := []string{"p4", "core2", "m5"}
 	cycles := make([]uint64, 24)
-	err := ForEach(len(cycles), 8, func(i int) error {
+	err := ForEach(context.Background(), len(cycles), 8, func(_ context.Context, i int) error {
 		s := DefaultSetup(machines[i%3])
 		s.EnvBytes = uint64(17 + 64*i)
 		if i%2 == 1 {
 			s.Compiler.Level = compiler.O3
 		}
-		m, err := r.Measure(b, s)
+		m, err := r.Measure(context.Background(), b, s)
 		if err != nil {
 			return err
 		}
@@ -93,7 +169,7 @@ func TestConcurrentMeasureSharedRunner(t *testing.T) {
 	s := DefaultSetup(machines[5%3])
 	s.EnvBytes = uint64(17 + 64*5)
 	s.Compiler.Level = compiler.O3
-	m, err := r.Measure(b, s)
+	m, err := r.Measure(context.Background(), b, s)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"biaslab/internal/bench"
@@ -65,11 +66,11 @@ func (e RobustEstimate) Conclusive() bool {
 
 // EstimateSpeedup runs benchmark b under n randomized setups and returns
 // the robust estimate of the O3-over-O2 speedup.
-func EstimateSpeedup(r *Runner, b *bench.Benchmark, base Setup, n int, seed uint64) (*RobustEstimate, error) {
+func EstimateSpeedup(ctx context.Context, r *Runner, b *bench.Benchmark, base Setup, n int, seed uint64) (*RobustEstimate, error) {
 	setups := RandomSetups(base, n, len(r.UnitNames(b)), seed)
 	speedups := make([]float64, n)
-	err := ForEach(n, 0, func(i int) error {
-		sp, _, _, err := r.Speedup(b, setups[i], compiler.O2, compiler.O3)
+	err := ForEach(ctx, n, 0, func(ctx context.Context, i int) error {
+		sp, _, _, err := r.Speedup(ctx, b, setups[i], compiler.O2, compiler.O3)
 		if err != nil {
 			return err
 		}
@@ -104,10 +105,10 @@ type SingleSetupVerdict struct {
 
 // CompareSingleSetups measures b under each labelled single setup and
 // checks the result against the robust interval.
-func CompareSingleSetups(r *Runner, b *bench.Benchmark, est *RobustEstimate, labelled map[string]Setup) ([]SingleSetupVerdict, error) {
+func CompareSingleSetups(ctx context.Context, r *Runner, b *bench.Benchmark, est *RobustEstimate, labelled map[string]Setup) ([]SingleSetupVerdict, error) {
 	verdicts := []SingleSetupVerdict{}
 	for label, s := range labelled {
-		sp, _, _, err := r.Speedup(b, s, compiler.O2, compiler.O3)
+		sp, _, _, err := r.Speedup(ctx, b, s, compiler.O2, compiler.O3)
 		if err != nil {
 			return nil, err
 		}
@@ -126,7 +127,7 @@ func CompareSingleSetups(r *Runner, b *bench.Benchmark, est *RobustEstimate, lab
 // confidence interval's half-width falls below tol (in absolute speedup
 // units, e.g. 0.005 = half a percentage point) or maxN setups have been
 // measured. minN guards against lucky early stopping.
-func EstimateSpeedupAdaptive(r *Runner, b *bench.Benchmark, base Setup, tol float64, minN, maxN int, seed uint64) (*RobustEstimate, error) {
+func EstimateSpeedupAdaptive(ctx context.Context, r *Runner, b *bench.Benchmark, base Setup, tol float64, minN, maxN int, seed uint64) (*RobustEstimate, error) {
 	if minN < 3 {
 		minN = 3
 	}
@@ -144,8 +145,8 @@ func EstimateSpeedupAdaptive(r *Runner, b *bench.Benchmark, base Setup, tol floa
 		}
 		block := make([]float64, take)
 		start := len(speedups)
-		err := ForEach(take, 0, func(i int) error {
-			sp, _, _, err := r.Speedup(b, setups[start+i], compiler.O2, compiler.O3)
+		err := ForEach(ctx, take, 0, func(ctx context.Context, i int) error {
+			sp, _, _, err := r.Speedup(ctx, b, setups[start+i], compiler.O2, compiler.O3)
 			if err != nil {
 				return err
 			}

@@ -1,12 +1,15 @@
 package core
 
 import (
+	"context"
 	"fmt"
+	"runtime/debug"
 	"strconv"
 	"sync"
 
 	"biaslab/internal/bench"
 	"biaslab/internal/compiler"
+	"biaslab/internal/faultinject"
 	"biaslab/internal/linker"
 	"biaslab/internal/loader"
 	"biaslab/internal/machine"
@@ -219,9 +222,12 @@ func (r *Runner) UnitNames(b *bench.Benchmark) []string {
 	return names
 }
 
-// Measure runs benchmark b under setup and returns the measurement.
-func (r *Runner) Measure(b *bench.Benchmark, setup Setup) (*Measurement, error) {
-	meas, err := r.measure(b, setup, false)
+// Measure runs benchmark b under setup and returns the measurement. The
+// context cancels the measurement cooperatively: compilation and linking
+// finish their current unit, and the simulated machine abandons the run at
+// the next cancellation poll.
+func (r *Runner) Measure(ctx context.Context, b *bench.Benchmark, setup Setup) (*Measurement, error) {
+	meas, err := r.measure(ctx, b, setup, false)
 	if err != nil {
 		return nil, err
 	}
@@ -245,12 +251,12 @@ func (r *Runner) checkOracle(name string, checksum uint64, setup Setup) error {
 // Speedup measures b at two optimization levels under otherwise identical
 // setup and returns cycles(base)/cycles(opt) — the quantity the paper's
 // figures plot (>1 means opt is faster).
-func (r *Runner) Speedup(b *bench.Benchmark, setup Setup, base, opt compiler.Level) (float64, *Measurement, *Measurement, error) {
-	mb, err := r.Measure(b, setup.WithLevel(base))
+func (r *Runner) Speedup(ctx context.Context, b *bench.Benchmark, setup Setup, base, opt compiler.Level) (float64, *Measurement, *Measurement, error) {
+	mb, err := r.Measure(ctx, b, setup.WithLevel(base))
 	if err != nil {
 		return 0, nil, nil, err
 	}
-	mo, err := r.Measure(b, setup.WithLevel(opt))
+	mo, err := r.Measure(ctx, b, setup.WithLevel(opt))
 	if err != nil {
 		return 0, nil, nil, err
 	}
@@ -260,8 +266,8 @@ func (r *Runner) Speedup(b *bench.Benchmark, setup Setup, base, opt compiler.Lev
 // MeasureProfiled is Measure plus per-function cycle attribution. It is
 // the instrument behind "where did the extra cycles go?" questions in
 // causal analysis.
-func (r *Runner) MeasureProfiled(b *bench.Benchmark, setup Setup) (*Measurement, machine.Profile, error) {
-	meas, err := r.measure(b, setup, true)
+func (r *Runner) MeasureProfiled(ctx context.Context, b *bench.Benchmark, setup Setup) (*Measurement, machine.Profile, error) {
+	meas, err := r.measure(ctx, b, setup, true)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -274,55 +280,131 @@ type measured struct {
 	profile machine.Profile
 }
 
-// measure contains the shared body of Measure and MeasureProfiled.
-func (r *Runner) measure(b *bench.Benchmark, setup Setup, profiled bool) (*measured, error) {
-	objs, err := r.objects(b, setup.Compiler)
-	if err != nil {
+// runStage executes one measurement stage under the runner's fault
+// boundary: a panic inside fn (bad geometry, malformed image, injected
+// fault) is recovered into a *PanicError instead of tearing down the whole
+// sweep, a failure that marks itself transient (see IsTransient) is
+// retried exactly once, and any final error is wrapped in a
+// *MeasurementError carrying the stage and the complete setup. Pooled
+// resources are deliberately NOT recycled on panic — a machine or image in
+// an unknown state is dropped, never handed to the next measurement.
+func runStage(stage Stage, benchName string, setup Setup, fn func() error) error {
+	attempt := func() (err error) {
+		defer func() {
+			if p := recover(); p != nil {
+				err = &PanicError{Value: p, Stack: debug.Stack()}
+			}
+		}()
+		return fn()
+	}
+	err := attempt()
+	attempts := 1
+	if err != nil && IsTransient(err) {
+		err = attempt()
+		attempts = 2
+	}
+	if err == nil {
+		return nil
+	}
+	return &MeasurementError{Stage: stage, Benchmark: benchName, Setup: setup, Cause: err, Attempts: attempts}
+}
+
+// measure contains the shared body of Measure and MeasureProfiled: the
+// four-stage pipeline (compile, link, load, measure), each stage behind
+// the runStage fault boundary and a fault-injection hook.
+func (r *Runner) measure(ctx context.Context, b *bench.Benchmark, setup Setup, profiled bool) (*measured, error) {
+	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	ordered := objs
-	if setup.LinkOrder != nil {
-		if !ValidOrder(setup.LinkOrder, len(objs)) {
-			return nil, fmt.Errorf("core: invalid link order %v for %d units", setup.LinkOrder, len(objs))
+
+	var objs []*obj.Object
+	if err := runStage(StageCompile, b.Name, setup, func() error {
+		if err := faultinject.Check("compile", b.Name+"/"+setup.Compiler.String()); err != nil {
+			return err
 		}
-		ordered = make([]*obj.Object, len(objs))
-		for i, src := range setup.LinkOrder {
-			ordered[i] = objs[src]
+		var err error
+		objs, err = r.objects(b, setup.Compiler)
+		return err
+	}); err != nil {
+		return nil, err
+	}
+
+	var exe *linker.Executable
+	if err := runStage(StageLink, b.Name, setup, func() error {
+		if err := faultinject.Check("link", b.Name+"/"+setup.String()); err != nil {
+			return err
 		}
-	}
-	exe, err := r.linked(b, setup, ordered)
-	if err != nil {
+		ordered := objs
+		if setup.LinkOrder != nil {
+			if !ValidOrder(setup.LinkOrder, len(objs)) {
+				return fmt.Errorf("core: invalid link order %v for %d units", setup.LinkOrder, len(objs))
+			}
+			ordered = make([]*obj.Object, len(objs))
+			for i, src := range setup.LinkOrder {
+				ordered[i] = objs[src]
+			}
+		}
+		var err error
+		exe, err = r.linked(b, setup, ordered)
+		return err
+	}); err != nil {
 		return nil, err
 	}
-	envBytes := setup.EnvBytes
-	if envBytes == 0 {
-		envBytes = DefaultEnvBytes
-	}
-	img, err := loader.Load(exe, loader.Options{
-		Env:        loader.SyntheticEnv(envBytes),
-		Args:       []string{b.Name},
-		StackShift: setup.StackShift,
-	})
-	if err != nil {
-		return nil, fmt.Errorf("core: loading %s: %w", b.Name, err)
-	}
-	m, err := r.acquireMachine(setup.Machine)
-	if err != nil {
+
+	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	m.EnableProfiling(profiled)
-	res, err := m.Run(img, r.MaxInstructions)
-	m.EnableProfiling(false)
-	r.releaseMachine(setup.Machine, m)
+
+	var img *loader.Image
+	if err := runStage(StageLoad, b.Name, setup, func() error {
+		if err := faultinject.Check("load", b.Name+"/"+setup.String()); err != nil {
+			return err
+		}
+		envBytes := setup.EnvBytes
+		if envBytes == 0 {
+			envBytes = DefaultEnvBytes
+		}
+		var err error
+		img, err = loader.Load(exe, loader.Options{
+			Env:        loader.SyntheticEnv(envBytes),
+			Args:       []string{b.Name},
+			StackShift: setup.StackShift,
+		})
+		if err != nil {
+			return fmt.Errorf("core: loading %s: %w", b.Name, err)
+		}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+
+	var res *machine.Result
+	if err := runStage(StageMeasure, b.Name, setup, func() error {
+		if err := faultinject.Check("measure", b.Name+"/"+setup.String()); err != nil {
+			return err
+		}
+		m, err := r.acquireMachine(setup.Machine)
+		if err != nil {
+			return err
+		}
+		m.EnableProfiling(profiled)
+		res, err = m.RunCtx(ctx, img, r.MaxInstructions)
+		m.EnableProfiling(false)
+		r.releaseMachine(setup.Machine, m)
+		if err != nil {
+			return fmt.Errorf("core: running %s: %w", b.Name, err)
+		}
+		return r.checkOracle(b.Name, res.Checksum, setup)
+	}); err != nil {
+		// The image is dropped, not released: a failed or abandoned run may
+		// leave it in an unknown state, and the pool must only ever see
+		// pristine buffers.
+		return nil, err
+	}
 	// The run is over and nothing retains the image's memory (results copy
 	// what they need), so its buffer can be recycled for the next load.
 	img.Release()
-	if err != nil {
-		return nil, fmt.Errorf("core: running %s under %s: %w", b.Name, setup, err)
-	}
-	if err := r.checkOracle(b.Name, res.Checksum, setup); err != nil {
-		return nil, err
-	}
+
 	return &measured{
 		m: &Measurement{
 			Setup:    setup,
@@ -337,11 +419,16 @@ func (r *Runner) measure(b *bench.Benchmark, setup Setup, profiled bool) (*measu
 // RegisterMachine makes a custom machine configuration available under the
 // given name — the hook for mechanism-ablation studies (e.g. "a Pentium 4
 // without 4 KiB aliasing") that pin down which microarchitectural features
-// carry each bias channel.
+// carry each bias channel. The configuration is validated here, at the
+// boundary, so a malformed geometry is a returned error instead of a panic
+// in the middle of a sweep when the first machine is constructed.
 // Re-registering a name purges that name's idle-machine pool: pooled
 // machines were built from the previous config, and handing one out for a
 // measurement under the new config would silently measure the wrong model.
-func (r *Runner) RegisterMachine(name string, cfg machine.Config) {
+func (r *Runner) RegisterMachine(name string, cfg machine.Config) error {
+	if err := cfg.Validate(); err != nil {
+		return fmt.Errorf("core: registering machine %q: %w", name, err)
+	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if r.custom == nil {
@@ -349,4 +436,5 @@ func (r *Runner) RegisterMachine(name string, cfg machine.Config) {
 	}
 	r.custom[name] = cfg
 	delete(r.machines, name)
+	return nil
 }

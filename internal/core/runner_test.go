@@ -1,7 +1,9 @@
 package core
 
 import (
+	"context"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"testing"
 
@@ -31,7 +33,7 @@ func TestConcurrentMeasureBitIdentical(t *testing.T) {
 	sequential := make([]Measurement, len(setups))
 	seqRunner := NewRunner(bench.SizeTest)
 	for i, s := range setups {
-		m, err := seqRunner.Measure(b, s)
+		m, err := seqRunner.Measure(context.Background(), b, s)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -40,8 +42,8 @@ func TestConcurrentMeasureBitIdentical(t *testing.T) {
 
 	concurrent := make([]Measurement, len(setups))
 	conRunner := NewRunner(bench.SizeTest)
-	err := ForEach(len(setups), 8, func(i int) error {
-		m, err := conRunner.Measure(b, setups[i])
+	err := ForEach(context.Background(), len(setups), 8, func(_ context.Context, i int) error {
+		m, err := conRunner.Measure(context.Background(), b, setups[i])
 		if err != nil {
 			return err
 		}
@@ -62,29 +64,49 @@ func TestConcurrentMeasureBitIdentical(t *testing.T) {
 // TestCompileFailureSurfacesError drives a deliberately uncompilable
 // benchmark through concurrent Measure calls: every caller must get an
 // error (the singleflight waiters retry and hit the failure themselves,
-// never a nil-objects success), and the sweep as a whole surfaces exactly
-// one error without deadlocking.
+// never a nil-objects success), and a ForEach sweep over the same
+// benchmark surfaces the failure while cancelling the rest of the work.
 func TestCompileFailureSurfacesError(t *testing.T) {
 	bad := bench.Synthetic("broken", func(int) []compiler.Source {
 		return []compiler.Source{{Name: "broken.cm", Text: "int main( {{{ not a program"}}
 	})
 	r := NewRunner(bench.SizeTest)
 	var errCount atomic.Int32
-	sweepErr := ForEach(8, 8, func(i int) error {
-		_, err := r.Measure(bad, DefaultSetup("core2"))
-		if err != nil {
-			errCount.Add(1)
-			if !strings.Contains(err.Error(), "broken") {
-				t.Errorf("error does not identify the benchmark: %v", err)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, err := r.Measure(context.Background(), bad, DefaultSetup("core2"))
+			if err != nil {
+				errCount.Add(1)
+				if !strings.Contains(err.Error(), "broken") {
+					t.Errorf("error does not identify the benchmark: %v", err)
+				}
 			}
-		}
+		}()
+	}
+	wg.Wait()
+	if got := errCount.Load(); got != 8 {
+		t.Errorf("want all 8 concurrent Measure calls to fail, got %d failures", got)
+	}
+
+	// Through ForEach, the first failure cancels the remaining indices and
+	// the sweep reports the real error, not a cancellation.
+	var started atomic.Int32
+	sweepErr := ForEach(context.Background(), 8, 8, func(ctx context.Context, i int) error {
+		started.Add(1)
+		_, err := r.Measure(ctx, bad, DefaultSetup("core2"))
 		return err
 	})
 	if sweepErr == nil {
 		t.Fatal("sweep over uncompilable benchmark reported success")
 	}
-	if got := errCount.Load(); got != 8 {
-		t.Errorf("want all 8 concurrent Measure calls to fail, got %d failures", got)
+	if !strings.Contains(sweepErr.Error(), "broken") {
+		t.Errorf("sweep error does not identify the benchmark: %v", sweepErr)
+	}
+	if started.Load() == 0 {
+		t.Error("no index ran")
 	}
 }
 
@@ -102,14 +124,14 @@ func TestRegisterMachinePurgesPool(t *testing.T) {
 
 	r := NewRunner(bench.SizeTest)
 	r.RegisterMachine("ablated", slow)
-	first, err := r.Measure(b, setup)
+	first, err := r.Measure(context.Background(), b, setup)
 	if err != nil {
 		t.Fatal(err)
 	}
 	// The machine used above is now idle in the pool. Re-register with a
 	// different config; the next measurement must reflect it.
 	r.RegisterMachine("ablated", fast)
-	second, err := r.Measure(b, setup)
+	second, err := r.Measure(context.Background(), b, setup)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -121,7 +143,7 @@ func TestRegisterMachinePurgesPool(t *testing.T) {
 	// runner that only ever saw it.
 	fresh := NewRunner(bench.SizeTest)
 	fresh.RegisterMachine("ablated", fast)
-	want, err := fresh.Measure(b, setup)
+	want, err := fresh.Measure(context.Background(), b, setup)
 	if err != nil {
 		t.Fatal(err)
 	}

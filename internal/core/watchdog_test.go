@@ -1,0 +1,88 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"biaslab/internal/bench"
+	"biaslab/internal/machine"
+)
+
+// TestStepBudgetWatchdog: a run that exceeds the runner's instruction
+// budget must surface as a typed *MeasurementError at the measure stage,
+// wrapping machine.ErrStepBudget and carrying the exact failing setup.
+func TestStepBudgetWatchdog(t *testing.T) {
+	b, _ := bench.ByName("bzip2")
+	setup := DefaultSetup("core2")
+	setup.EnvBytes = 1033 // distinctive, to verify the setup round-trips
+
+	r := NewRunner(bench.SizeTest)
+	r.MaxInstructions = 5_000 // far below any real benchmark
+	_, err := r.Measure(context.Background(), b, setup)
+	if err == nil {
+		t.Fatal("runaway run not stopped by the step budget")
+	}
+	if !errors.Is(err, machine.ErrStepBudget) {
+		t.Fatalf("watchdog error = %v, want machine.ErrStepBudget in the chain", err)
+	}
+	var me *MeasurementError
+	if !errors.As(err, &me) {
+		t.Fatalf("watchdog error is not a *MeasurementError: %v", err)
+	}
+	if me.Stage != StageMeasure {
+		t.Errorf("Stage = %v, want measure", me.Stage)
+	}
+	if me.Benchmark != b.Name || me.Setup.EnvBytes != 1033 {
+		t.Errorf("failing setup not attached: benchmark=%q setup=%s", me.Benchmark, me.Setup)
+	}
+	if IsTransient(err) {
+		t.Error("budget exhaustion must not be retried: the rerun would exhaust it again")
+	}
+}
+
+// TestMeasureHonoursCancel: a cancelled context stops the measurement and
+// the error is the cancellation, never retried and never transient.
+func TestMeasureHonoursCancel(t *testing.T) {
+	b, _ := bench.ByName("bzip2")
+	r := NewRunner(bench.SizeTest)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := r.Measure(ctx, b, DefaultSetup("core2"))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled Measure = %v, want context.Canceled", err)
+	}
+}
+
+// TestRegisterMachineRejectsInvalidConfig: geometry that would corrupt the
+// set-index arithmetic is refused at registration with a descriptive error,
+// not at first use with a panic.
+func TestRegisterMachineRejectsInvalidConfig(t *testing.T) {
+	r := NewRunner(bench.SizeTest)
+
+	bad := machine.Core2()
+	bad.Name = "bad-l1"
+	bad.L1D.SizeKB = 33 // 33 KB / (8 ways × 64 B) is not a power-of-two set count
+	if err := r.RegisterMachine("bad-l1", bad); err == nil {
+		t.Error("invalid L1D geometry accepted")
+	}
+
+	bad = machine.Core2()
+	bad.Name = "bad-btb"
+	bad.Predictor.BTBEntries = 1000 // not a power of two
+	if err := r.RegisterMachine("bad-btb", bad); err == nil {
+		t.Error("invalid BTB geometry accepted")
+	}
+
+	// A rejected registration must leave the runner usable and must not
+	// have installed the broken config.
+	good := machine.Core2()
+	good.Name = "good"
+	if err := r.RegisterMachine("good", good); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	b, _ := bench.ByName("libquantum")
+	if _, err := r.Measure(context.Background(), b, DefaultSetup("good")); err != nil {
+		t.Errorf("measurement on freshly registered machine: %v", err)
+	}
+}

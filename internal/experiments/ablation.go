@@ -57,7 +57,9 @@ func (l *Lab) Ablation() (*Result, error) {
 		{"p4-neither", neither},
 	}
 	for _, v := range variants[1:] {
-		l.Runner.RegisterMachine(v.key, v.cfg)
+		if err := l.Runner.RegisterMachine(v.key, v.cfg); err != nil {
+			return nil, err
+		}
 	}
 
 	sizes := core.DefaultEnvSizes(l.opt.EnvStep)
@@ -71,7 +73,7 @@ func (l *Lab) Ablation() (*Result, error) {
 		for _, name := range benchNames {
 			b, _ := bench.ByName(name)
 			setup := core.DefaultSetup(v.key)
-			points, err := core.EnvSweep(l.Runner, b, setup, sizes)
+			points, err := core.EnvSweepCheckpointed(l.ctx, l.Runner, b, setup, sizes, l.ck)
 			if err != nil {
 				return nil, err
 			}

@@ -53,7 +53,9 @@ func (l *Lab) AblationLink() (*Result, error) {
 		{"c2-none", none},
 	}
 	for _, v := range variants[1:] {
-		l.Runner.RegisterMachine(v.key, v.cfg)
+		if err := l.Runner.RegisterMachine(v.key, v.cfg); err != nil {
+			return nil, err
+		}
 	}
 
 	t := &report.Table{
@@ -66,7 +68,7 @@ func (l *Lab) AblationLink() (*Result, error) {
 		for _, name := range benchNames {
 			b, _ := bench.ByName(name)
 			setup := core.DefaultSetup(v.key)
-			points, err := core.LinkSweep(l.Runner, b, setup, l.opt.LinkOrders, l.opt.Seed)
+			points, err := core.LinkSweepCheckpointed(l.ctx, l.Runner, b, setup, l.opt.LinkOrders, l.opt.Seed, l.ck)
 			if err != nil {
 				return nil, err
 			}

@@ -27,7 +27,9 @@ func (l *Lab) AblationPrefetch() (*Result, error) {
 	pf := base
 	pf.Name = "m5 +prefetch"
 	pf.NextLinePrefetch = true
-	l.Runner.RegisterMachine("m5-prefetch", pf)
+	if err := l.Runner.RegisterMachine("m5-prefetch", pf); err != nil {
+		return nil, err
+	}
 
 	sizes := core.DefaultEnvSizes(l.opt.EnvStep)
 	t := &report.Table{
@@ -40,7 +42,7 @@ func (l *Lab) AblationPrefetch() (*Result, error) {
 		for _, name := range benchNames {
 			b, _ := bench.ByName(name)
 			setup := core.DefaultSetup(key)
-			points, err := core.EnvSweep(l.Runner, b, setup, sizes)
+			points, err := core.EnvSweepCheckpointed(l.ctx, l.Runner, b, setup, sizes, l.ck)
 			if err != nil {
 				return nil, err
 			}
@@ -55,7 +57,7 @@ func (l *Lab) AblationPrefetch() (*Result, error) {
 			}
 			rng := max - min
 			// Miss rate at the default setup for context.
-			m, err := l.Runner.Measure(b, setup)
+			m, err := l.Runner.Measure(l.ctx, b, setup)
 			if err != nil {
 				return nil, err
 			}

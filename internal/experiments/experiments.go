@@ -12,6 +12,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -70,10 +71,17 @@ type Result struct {
 	CSV   string
 }
 
-// Lab runs experiments, memoizing suite-wide studies.
+// Lab runs experiments, memoizing suite-wide studies. A Lab is used by one
+// goroutine at a time; the Runner underneath is what parallelizes.
 type Lab struct {
 	Runner *core.Runner
 	opt    Options
+
+	// ctx cancels every measurement the Lab starts; ck (optional) records
+	// completed sweep points and finished experiments so an interrupted
+	// `biaslab all` resumes where it stopped.
+	ctx context.Context
+	ck  core.Checkpoint
 
 	envStudies  map[string]studyData // machine → data
 	linkStudies map[string]studyData
@@ -84,12 +92,20 @@ type studyData struct {
 	raw     map[string][]float64
 }
 
-// NewLab builds a Lab.
+// NewLab builds a Lab with a background context and no checkpoint.
 func NewLab(opt Options) *Lab {
+	return NewLabCtx(context.Background(), opt, nil)
+}
+
+// NewLabCtx builds a Lab whose measurements are cancelled with ctx and
+// checkpointed into ck (nil disables checkpointing).
+func NewLabCtx(ctx context.Context, opt Options, ck core.Checkpoint) *Lab {
 	opt = opt.withDefaults()
 	return &Lab{
 		Runner:      core.NewRunner(opt.Size),
 		opt:         opt,
+		ctx:         ctx,
+		ck:          ck,
 		envStudies:  map[string]studyData{},
 		linkStudies: map[string]studyData{},
 	}
@@ -98,11 +114,19 @@ func NewLab(opt Options) *Lab {
 // Options returns the effective options.
 func (l *Lab) Options() Options { return l.opt }
 
+// key renders the options that affect measured values, namespacing every
+// checkpoint record so a journal written at one size/seed can never be
+// replayed at another.
+func (o Options) key() string {
+	return fmt.Sprintf("size=%d envstep=%d finestep=%d linkorders=%d randomsetups=%d seed=%d",
+		o.Size, o.EnvStep, o.FineStep, o.LinkOrders, o.RandomSetups, o.Seed)
+}
+
 func (l *Lab) envStudy(machineName string) (studyData, error) {
 	if d, ok := l.envStudies[machineName]; ok {
 		return d, nil
 	}
-	reports, raw, err := core.SuiteEnvStudy(l.Runner, machineName, core.DefaultEnvSizes(l.opt.EnvStep), compiler.GCC)
+	reports, raw, err := core.SuiteEnvStudy(l.ctx, l.Runner, machineName, core.DefaultEnvSizes(l.opt.EnvStep), compiler.GCC, l.ck)
 	if err != nil {
 		return studyData{}, err
 	}
@@ -115,7 +139,7 @@ func (l *Lab) linkStudy(machineName string) (studyData, error) {
 	if d, ok := l.linkStudies[machineName]; ok {
 		return d, nil
 	}
-	reports, raw, err := core.SuiteLinkStudy(l.Runner, machineName, l.opt.LinkOrders, l.opt.Seed, compiler.GCC)
+	reports, raw, err := core.SuiteLinkStudy(l.ctx, l.Runner, machineName, l.opt.LinkOrders, l.opt.Seed, compiler.GCC, l.ck)
 	if err != nil {
 		return studyData{}, err
 	}
@@ -127,7 +151,7 @@ func (l *Lab) linkStudy(machineName string) (studyData, error) {
 // perlbenchSweep runs the fine-grained env sweep behind Figures 1 and 2.
 func (l *Lab) perlbenchSweep() ([]core.EnvPoint, error) {
 	b, _ := bench.ByName("perlbench")
-	return core.EnvSweep(l.Runner, b, core.DefaultSetup("core2"), core.DefaultEnvSizes(l.opt.FineStep))
+	return core.EnvSweepCheckpointed(l.ctx, l.Runner, b, core.DefaultSetup("core2"), core.DefaultEnvSizes(l.opt.FineStep), l.ck)
 }
 
 // Figure1 regenerates Figure 1: cycles of the perlbench analogue at O2 and
@@ -236,7 +260,7 @@ func biasReportTable(reports []core.BiasReport) string {
 // analogue on Core 2, and rank hardware events by correlation with cycles.
 func (l *Lab) Figure8() (*Result, error) {
 	b, _ := bench.ByName("perlbench")
-	rep, err := core.CausalStudy(l.Runner, b, core.DefaultSetup("core2"), 1024, 128)
+	rep, err := core.CausalStudy(l.ctx, l.Runner, b, core.DefaultSetup("core2"), 1024, 128)
 	if err != nil {
 		return nil, err
 	}
@@ -271,14 +295,14 @@ func (l *Lab) Figure9() (*Result, error) {
 	intervals := map[string]stats.Interval{}
 	t := &report.Table{Headers: []string{"benchmark", "robust mean", "95% CI", "conclusive", "setupA", "inCI", "setupB", "inCI"}}
 	for _, b := range bench.All() {
-		est, err := core.EstimateSpeedup(l.Runner, b, core.DefaultSetup("core2"), l.opt.RandomSetups, l.opt.Seed)
+		est, err := core.EstimateSpeedup(l.ctx, l.Runner, b, core.DefaultSetup("core2"), l.opt.RandomSetups, l.opt.Seed)
 		if err != nil {
 			return nil, err
 		}
 		labels = append(labels, b.Name)
 		means[b.Name] = est.Mean
 		intervals[b.Name] = est.TInterval
-		verdicts, err := core.CompareSingleSetups(l.Runner, b, est, map[string]core.Setup{
+		verdicts, err := core.CompareSingleSetups(l.ctx, l.Runner, b, est, map[string]core.Setup{
 			"A": {Machine: "core2", Compiler: compiler.Config{Level: compiler.O2}, EnvBytes: 8},
 			"B": {Machine: "core2", Compiler: compiler.Config{Level: compiler.O2}, EnvBytes: 3333},
 		})
@@ -303,7 +327,7 @@ func (l *Lab) Table1() (*Result, error) {
 		Headers: []string{"benchmark", "SPEC original", "kernel", "units", "instructions (O2)", "IPC"},
 	}
 	for _, b := range bench.All() {
-		m, err := l.Runner.Measure(b, core.DefaultSetup("core2"))
+		m, err := l.Runner.Measure(l.ctx, b, core.DefaultSetup("core2"))
 		if err != nil {
 			return nil, err
 		}
@@ -387,7 +411,7 @@ func (l *Lab) Table4() (*Result, error) {
 			b, _ := bench.ByName(name)
 			setup := core.DefaultSetup("core2")
 			setup.Compiler.Personality = pers
-			points, err := core.EnvSweep(l.Runner, b, setup, sizes)
+			points, err := core.EnvSweepCheckpointed(l.ctx, l.Runner, b, setup, sizes, l.ck)
 			if err != nil {
 				return nil, err
 			}
@@ -403,9 +427,37 @@ func (l *Lab) Table4() (*Result, error) {
 	return &Result{ID: "T4", Title: t.Title, Text: t.String(), CSV: t.CSV()}, nil
 }
 
-// ByID runs a single experiment by identifier (case-insensitive).
+// ByID runs a single experiment by identifier (case-insensitive). With a
+// checkpoint attached, a finished experiment's full Result is recorded and
+// replayed on a rerun — and the sweeps underneath checkpoint individual
+// points, so even a half-finished experiment resumes mid-sweep.
 func (l *Lab) ByID(id string) (*Result, error) {
-	switch strings.ToUpper(id) {
+	id = strings.ToUpper(id)
+	expKey := "exp/" + id + "?" + l.opt.key()
+	if l.ck != nil {
+		var r Result
+		ok, err := l.ck.Lookup(expKey, &r)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			return &r, nil
+		}
+	}
+	r, err := l.byID(id)
+	if err != nil {
+		return nil, err
+	}
+	if l.ck != nil {
+		if err := l.ck.Record(expKey, r); err != nil {
+			return nil, err
+		}
+	}
+	return r, nil
+}
+
+func (l *Lab) byID(id string) (*Result, error) {
+	switch id {
 	case "F1":
 		return l.Figure1()
 	case "F2":

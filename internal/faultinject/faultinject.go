@@ -1,0 +1,90 @@
+// Package faultinject is a deterministic fault-injection harness for the
+// experiment engine. The runner calls Check at the boundary of every
+// measurement stage ("compile", "link", "load", "measure"); a test armed
+// with Arm makes selected calls fail, panic, or fail transiently, proving
+// that every error path propagates as a typed error with the failing setup
+// attached and that retry/resume machinery behaves.
+//
+// The package has two bodies selected by the `faultinject` build tag.
+// Without the tag (the production build) every hook is an inlinable no-op
+// and Enabled is false, so shipping the hooks costs nothing. With
+// `go test -tags faultinject` the registry below is live.
+//
+// Injection is deterministic: a Fault fires based only on the per-site
+// arrival count (After/Times) or on a seeded hash of the site key and
+// arrival index (Rate/Seed) — never on wall-clock time or global RNG — so
+// a failing schedule can be replayed exactly.
+package faultinject
+
+import "fmt"
+
+// Mode selects what an armed fault does at the chosen call.
+type Mode uint8
+
+const (
+	// ModeError makes Check return a permanent *InjectedError.
+	ModeError Mode = iota
+	// ModeTransient makes Check return an *InjectedError that marks itself
+	// transient, exercising retry-once paths. A transient fault defaults to
+	// firing exactly once per site.
+	ModeTransient
+	// ModePanic makes Check panic with a *InjectedError, exercising
+	// panic-isolation boundaries.
+	ModePanic
+)
+
+// String names the mode.
+func (m Mode) String() string {
+	switch m {
+	case ModeError:
+		return "error"
+	case ModeTransient:
+		return "transient"
+	case ModePanic:
+		return "panic"
+	}
+	return fmt.Sprintf("mode(%d)", uint8(m))
+}
+
+// Fault describes one armed injection.
+type Fault struct {
+	// Stage is the stage name the fault applies to ("compile", "link",
+	// "load", "measure"); "" applies to every stage.
+	Stage string
+	// Match selects sites whose key contains this substring; "" matches
+	// every site at the stage.
+	Match string
+	// Mode is what happens when the fault fires.
+	Mode Mode
+	// After skips this many matching arrivals (per fault, across all
+	// sites) before the fault may fire.
+	After int
+	// Times bounds how many firings the fault gets; 0 means unlimited for
+	// ModeError/ModePanic and exactly once for ModeTransient.
+	Times int
+	// Rate, when non-zero, fires the fault probabilistically: arrival i at
+	// key k fires iff hash(Seed, stage, k, i) mod 1e6 < Rate×1e6. The
+	// decision depends only on Seed and the arrival sequence, so it is
+	// reproducible run to run.
+	Rate float64
+	// Seed feeds the Rate hash.
+	Seed uint64
+}
+
+// InjectedError is the typed error every fired fault produces.
+type InjectedError struct {
+	Stage     string
+	Key       string
+	Transient bool
+}
+
+func (e *InjectedError) Error() string {
+	kind := "permanent"
+	if e.Transient {
+		kind = "transient"
+	}
+	return fmt.Sprintf("faultinject: %s fault injected at %s stage (site %q)", kind, e.Stage, e.Key)
+}
+
+// IsTransient marks transient injections for retry-once logic.
+func (e *InjectedError) IsTransient() bool { return e.Transient }

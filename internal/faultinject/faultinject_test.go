@@ -1,0 +1,128 @@
+//go:build faultinject
+
+package faultinject
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestArmFiltersByStageAndMatch(t *testing.T) {
+	defer Reset()
+	Reset()
+	Arm(Fault{Stage: "link", Match: "bzip2", Mode: ModeError})
+
+	if err := Check("compile", "bzip2/gcc -O2"); err != nil {
+		t.Errorf("wrong stage fired: %v", err)
+	}
+	if err := Check("link", "hmmer/core2"); err != nil {
+		t.Errorf("non-matching key fired: %v", err)
+	}
+	err := Check("link", "bzip2/core2")
+	if err == nil {
+		t.Fatal("matching site did not fire")
+	}
+	var inj *InjectedError
+	if !errors.As(err, &inj) || inj.Stage != "link" || inj.Key != "bzip2/core2" || inj.Transient {
+		t.Errorf("injected error = %+v", inj)
+	}
+	if Fired() != 1 {
+		t.Errorf("Fired = %d, want 1", Fired())
+	}
+}
+
+func TestAfterAndTimes(t *testing.T) {
+	defer Reset()
+	Reset()
+	Arm(Fault{Stage: "measure", Mode: ModeError, After: 2, Times: 2})
+
+	var fired int
+	for i := 0; i < 6; i++ {
+		if Check("measure", "site") != nil {
+			fired++
+		}
+	}
+	// Arrivals 0,1 skipped by After; 2,3 fire; 4,5 exhausted by Times.
+	if fired != 2 || Fired() != 2 {
+		t.Errorf("fired %d times (counter %d), want 2", fired, Fired())
+	}
+}
+
+func TestTransientDefaultsToOnce(t *testing.T) {
+	defer Reset()
+	Reset()
+	Arm(Fault{Stage: "load", Mode: ModeTransient})
+
+	err := Check("load", "site")
+	if err == nil {
+		t.Fatal("transient fault did not fire")
+	}
+	var inj *InjectedError
+	if !errors.As(err, &inj) || !inj.IsTransient() {
+		t.Errorf("transient fault produced %v", err)
+	}
+	if Check("load", "site") != nil {
+		t.Error("transient fault fired twice without Times")
+	}
+}
+
+func TestPanicMode(t *testing.T) {
+	defer Reset()
+	Reset()
+	Arm(Fault{Stage: "measure", Mode: ModePanic})
+
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("ModePanic did not panic")
+		}
+		if _, ok := r.(*InjectedError); !ok {
+			t.Errorf("panic value %T, want *InjectedError", r)
+		}
+	}()
+	Check("measure", "site")
+}
+
+func TestResetDisarms(t *testing.T) {
+	defer Reset()
+	Reset()
+	Arm(Fault{Mode: ModeError})
+	if Check("compile", "x") == nil {
+		t.Fatal("blanket fault did not fire")
+	}
+	Reset()
+	if Check("compile", "x") != nil {
+		t.Error("fault survived Reset")
+	}
+	if Fired() != 0 {
+		t.Errorf("Fired after Reset = %d, want 0", Fired())
+	}
+}
+
+// TestRateDeterministic: the probabilistic mode depends only on the seed
+// and the arrival sequence, so two identical runs fire identically.
+func TestRateDeterministic(t *testing.T) {
+	defer Reset()
+	run := func(seed uint64) []bool {
+		Reset()
+		Arm(Fault{Stage: "measure", Mode: ModeError, Rate: 0.3, Seed: seed, Times: 1 << 30})
+		pattern := make([]bool, 200)
+		for i := range pattern {
+			pattern[i] = Check("measure", "site") != nil
+		}
+		return pattern
+	}
+	a, b := run(7), run(7)
+	hits := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at arrival %d", i)
+		}
+		if a[i] {
+			hits++
+		}
+	}
+	if hits == 0 || hits == len(a) {
+		t.Errorf("rate 0.3 fired %d/%d times; expected a mix", hits, len(a))
+	}
+}

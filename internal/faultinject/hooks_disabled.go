@@ -1,0 +1,19 @@
+//go:build !faultinject
+
+package faultinject
+
+// Enabled reports whether the harness is compiled in.
+const Enabled = false
+
+// Check is a no-op in production builds; the compiler inlines it away at
+// every hook site.
+func Check(stage, key string) error { return nil }
+
+// Arm is a no-op in production builds.
+func Arm(Fault) {}
+
+// Reset is a no-op in production builds.
+func Reset() {}
+
+// Fired always reports zero in production builds.
+func Fired() int { return 0 }

@@ -1,0 +1,105 @@
+//go:build faultinject
+
+package faultinject
+
+import (
+	"hash/fnv"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Enabled reports whether the harness is compiled in.
+const Enabled = true
+
+type armed struct {
+	Fault
+	arrivals int // matching Check calls seen
+	fired    int // times this fault has fired
+}
+
+var (
+	mu     sync.Mutex
+	faults []*armed
+	nFired int
+)
+
+// Arm registers a fault. Faults are consulted in arming order; the first
+// one that decides to fire wins the call.
+func Arm(f Fault) {
+	mu.Lock()
+	defer mu.Unlock()
+	faults = append(faults, &armed{Fault: f})
+}
+
+// Reset disarms every fault and clears counters.
+func Reset() {
+	mu.Lock()
+	defer mu.Unlock()
+	faults = nil
+	nFired = 0
+}
+
+// Fired returns how many injections have fired since the last Reset.
+func Fired() int {
+	mu.Lock()
+	defer mu.Unlock()
+	return nFired
+}
+
+// Check consults the armed faults for the given stage and site key. It
+// returns an *InjectedError (or panics with one, under ModePanic) when a
+// fault fires, and nil otherwise.
+func Check(stage, key string) error {
+	mu.Lock()
+	var hit *armed
+	for _, f := range faults {
+		if f.Stage != "" && f.Stage != stage {
+			continue
+		}
+		if f.Match != "" && !strings.Contains(key, f.Match) {
+			continue
+		}
+		arrival := f.arrivals
+		f.arrivals++
+		if arrival < f.After {
+			continue
+		}
+		limit := f.Times
+		if limit == 0 && f.Mode == ModeTransient {
+			limit = 1
+		}
+		if limit > 0 && f.fired >= limit {
+			continue
+		}
+		if f.Rate > 0 && !rateHit(f.Seed, stage, key, arrival, f.Rate) {
+			continue
+		}
+		f.fired++
+		nFired++
+		hit = f
+		break
+	}
+	mu.Unlock()
+	if hit == nil {
+		return nil
+	}
+	err := &InjectedError{Stage: stage, Key: key, Transient: hit.Mode == ModeTransient}
+	if hit.Mode == ModePanic {
+		panic(err)
+	}
+	return err
+}
+
+// rateHit makes the seeded probabilistic decision for arrival i at a site.
+func rateHit(seed uint64, stage, key string, arrival int, rate float64) bool {
+	h := fnv.New64a()
+	h.Write([]byte(strconv.FormatUint(seed, 16)))
+	h.Write([]byte{0})
+	h.Write([]byte(stage))
+	h.Write([]byte{0})
+	h.Write([]byte(key))
+	h.Write([]byte{0})
+	h.Write([]byte(strconv.Itoa(arrival)))
+	return float64(h.Sum64()%1_000_000) < rate*1_000_000
+}

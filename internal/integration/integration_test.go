@@ -6,6 +6,7 @@
 package integration
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -109,7 +110,7 @@ func TestMetamorphicSetupInvariance(t *testing.T) {
 		}
 		var want uint64
 		for i, s := range setups {
-			m, err := r.Measure(b, s)
+			m, err := r.Measure(context.Background(), b, s)
 			if err != nil {
 				t.Fatalf("%s under %v: %v", b.Name, s, err)
 			}
@@ -193,7 +194,7 @@ func TestCyclesDifferAcrossMachines(t *testing.T) {
 	b, _ := bench.ByName("milc")
 	cycles := map[string]uint64{}
 	for _, mach := range []string{"p4", "core2", "m5"} {
-		m, err := r.Measure(b, core.DefaultSetup(mach))
+		m, err := r.Measure(context.Background(), b, core.DefaultSetup(mach))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -218,7 +219,7 @@ func TestO3EffectHeterogeneous(t *testing.T) {
 	r := core.NewRunner(bench.SizeTest)
 	var speedups []float64
 	for _, b := range bench.All() {
-		sp, _, _, err := r.Speedup(b, core.DefaultSetup("core2"), compiler.O2, compiler.O3)
+		sp, _, _, err := r.Speedup(context.Background(), b, core.DefaultSetup("core2"), compiler.O2, compiler.O3)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -1,0 +1,160 @@
+// Package journal persists completed measurement points as a JSONL
+// append-only file, implementing core.Checkpoint for cmd/biaslab's
+// checkpoint/resume support.
+//
+// Each record is one line: {"key":"...","val":...}. Records are flushed
+// and fsynced as they are written, so a process killed at any instant
+// loses at most the record being written. On open, the journal tolerates
+// a torn final line (the signature of a mid-write kill) by ignoring it;
+// any other malformed line is reported as corruption rather than silently
+// skipped, because a silently dropped point would be re-measured and the
+// resumed run could diverge from the original had the measurement been
+// nondeterministic.
+package journal
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+)
+
+// record is the wire format of one journal line.
+type record struct {
+	Key string          `json:"key"`
+	Val json.RawMessage `json:"val"`
+}
+
+// Journal is an append-only JSONL checkpoint file. It is safe for
+// concurrent use by multiple goroutines of one process; concurrent use of
+// one file by multiple processes is not supported.
+type Journal struct {
+	mu      sync.Mutex
+	f       *os.File
+	entries map[string]json.RawMessage
+}
+
+// Open opens (creating if absent) the journal at path and loads every
+// intact record. A torn final line — no trailing newline and invalid
+// JSON — is discarded as the expected residue of a kill mid-write.
+func Open(path string) (*Journal, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("journal: open %s: %w", path, err)
+	}
+	j := &Journal{f: f, entries: make(map[string]json.RawMessage)}
+	if err := j.load(path); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return j, nil
+}
+
+func (j *Journal) load(path string) error {
+	data, err := io.ReadAll(j.f)
+	if err != nil {
+		return fmt.Errorf("journal: reading %s: %w", path, err)
+	}
+	tail := int64(0) // offset just past the last intact record
+	lineno := 0
+	for off := 0; off < len(data); {
+		nl := bytes.IndexByte(data[off:], '\n')
+		if nl < 0 {
+			// No trailing newline: Record only acknowledges a point after
+			// the full line *including* the newline is written and synced,
+			// so this tail was never acknowledged — the expected residue of
+			// a kill mid-write. Truncate it away below.
+			break
+		}
+		lineno++
+		line := data[off : off+nl]
+		off += nl + 1
+		if len(bytes.TrimSpace(line)) == 0 {
+			tail = int64(off)
+			continue
+		}
+		var rec record
+		if err := json.Unmarshal(line, &rec); err != nil || rec.Key == "" {
+			// A torn line in the *middle* of the file cannot come from a
+			// mid-write kill; refuse to resume from a corrupt journal
+			// rather than silently re-measuring dropped points.
+			return fmt.Errorf("journal: %s:%d: corrupt record: %v", path, lineno, err)
+		}
+		j.entries[rec.Key] = append(json.RawMessage(nil), rec.Val...)
+		tail = int64(off)
+	}
+	// Drop any torn tail so subsequent appends start on a clean line.
+	if err := j.f.Truncate(tail); err != nil {
+		return fmt.Errorf("journal: truncating torn tail of %s: %w", path, err)
+	}
+	if _, err := j.f.Seek(tail, 0); err != nil {
+		return fmt.Errorf("journal: seeking %s: %w", path, err)
+	}
+	return nil
+}
+
+// Len returns the number of distinct keys recorded.
+func (j *Journal) Len() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return len(j.entries)
+}
+
+// Lookup implements core.Checkpoint.
+func (j *Journal) Lookup(key string, out any) (bool, error) {
+	j.mu.Lock()
+	raw, ok := j.entries[key]
+	j.mu.Unlock()
+	if !ok {
+		return false, nil
+	}
+	if out == nil {
+		return true, nil
+	}
+	if err := json.Unmarshal(raw, out); err != nil {
+		return false, fmt.Errorf("journal: decoding %q: %w", key, err)
+	}
+	return true, nil
+}
+
+// Record implements core.Checkpoint: the record is appended, flushed, and
+// fsynced before Record returns, so every point a sweep reports complete
+// survives an immediately following kill.
+func (j *Journal) Record(key string, v any) error {
+	raw, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("journal: encoding %q: %w", key, err)
+	}
+	line, err := json.Marshal(record{Key: key, Val: raw})
+	if err != nil {
+		return fmt.Errorf("journal: encoding %q: %w", key, err)
+	}
+	line = append(line, '\n')
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if _, err := j.f.Write(line); err != nil {
+		return fmt.Errorf("journal: appending %q: %w", key, err)
+	}
+	if err := j.f.Sync(); err != nil {
+		return fmt.Errorf("journal: syncing %q: %w", key, err)
+	}
+	j.entries[key] = raw
+	return nil
+}
+
+// Close syncs and closes the underlying file.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return nil
+	}
+	err := j.f.Sync()
+	if cerr := j.f.Close(); err == nil {
+		err = cerr
+	}
+	j.f = nil
+	return err
+}

@@ -1,0 +1,196 @@
+package journal
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+type point struct {
+	Env     uint64  `json:"env"`
+	Speedup float64 `json:"speedup"`
+}
+
+func TestRecordLookupRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.jsonl")
+	j, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+
+	want := point{Env: 512, Speedup: 1.0625}
+	if err := j.Record("env/bzip2/512", want); err != nil {
+		t.Fatal(err)
+	}
+	var got point
+	ok, err := j.Lookup("env/bzip2/512", &got)
+	if err != nil || !ok {
+		t.Fatalf("Lookup = %v, %v; want hit", ok, err)
+	}
+	if got != want {
+		t.Errorf("round trip changed the point: %+v != %+v", got, want)
+	}
+	if ok, _ := j.Lookup("env/bzip2/1024", nil); ok {
+		t.Error("lookup of unrecorded key reported a hit")
+	}
+	if j.Len() != 1 {
+		t.Errorf("Len = %d, want 1", j.Len())
+	}
+}
+
+func TestReopenPersists(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.jsonl")
+	j, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := j.Record(fmt.Sprintf("k%02d", i), point{Env: uint64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Overwrites keep the latest value.
+	if err := j.Record("k03", point{Env: 99}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Errorf("second Close should be a no-op, got %v", err)
+	}
+
+	j2, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if j2.Len() != 10 {
+		t.Errorf("reopened Len = %d, want 10", j2.Len())
+	}
+	var p point
+	if ok, _ := j2.Lookup("k03", &p); !ok || p.Env != 99 {
+		t.Errorf("latest value not kept across reopen: ok=%v p=%+v", ok, p)
+	}
+}
+
+// TestTornTailDiscarded simulates a kill mid-write: the final line has no
+// trailing newline. Reopening must keep every acknowledged record, drop the
+// torn tail, and leave the file appendable.
+func TestTornTailDiscarded(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.jsonl")
+	j, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Record("good", point{Env: 1}); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+
+	// A partial record, cut off mid-JSON, with no newline.
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"key":"torn","val":{"en`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	j2, err := Open(path)
+	if err != nil {
+		t.Fatalf("torn tail must be tolerated, got %v", err)
+	}
+	if j2.Len() != 1 {
+		t.Errorf("Len after torn tail = %d, want 1", j2.Len())
+	}
+	if ok, _ := j2.Lookup("torn", nil); ok {
+		t.Error("unacknowledged torn record must not be visible")
+	}
+	// The journal must still accept appends on a clean line.
+	if err := j2.Record("after", point{Env: 2}); err != nil {
+		t.Fatal(err)
+	}
+	j2.Close()
+
+	j3, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j3.Close()
+	for _, k := range []string{"good", "after"} {
+		if ok, _ := j3.Lookup(k, nil); !ok {
+			t.Errorf("record %q lost", k)
+		}
+	}
+}
+
+// TestMidFileCorruptionRefused: a malformed line that is *not* the torn
+// final line cannot come from a mid-write kill, so resuming from it would
+// silently drop points. Open must fail.
+func TestMidFileCorruptionRefused(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.jsonl")
+	body := `{"key":"a","val":1}` + "\n" + `garbage not json` + "\n" + `{"key":"b","val":2}` + "\n"
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := Open(path)
+	if err == nil || !strings.Contains(err.Error(), "corrupt") {
+		t.Fatalf("corrupt mid-file record must refuse to open, got %v", err)
+	}
+	// A record with an empty key is equally corrupt.
+	body = `{"val":1}` + "\n"
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(path); err == nil {
+		t.Fatal("keyless record must refuse to open")
+	}
+}
+
+// TestConcurrentRecord exercises the journal under -race: many goroutines
+// recording and looking up at once, every record durable afterwards.
+func TestConcurrentRecord(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.jsonl")
+	j, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 64
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			key := fmt.Sprintf("k%03d", i)
+			if err := j.Record(key, point{Env: uint64(i)}); err != nil {
+				t.Errorf("Record %s: %v", key, err)
+			}
+			j.Lookup(key, nil)
+			j.Len()
+		}(i)
+	}
+	wg.Wait()
+	j.Close()
+
+	j2, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if j2.Len() != n {
+		t.Errorf("Len after concurrent records = %d, want %d", j2.Len(), n)
+	}
+	for i := 0; i < n; i++ {
+		var p point
+		key := fmt.Sprintf("k%03d", i)
+		if ok, _ := j2.Lookup(key, &p); !ok || p.Env != uint64(i) {
+			t.Errorf("record %s missing or wrong: ok=%v p=%+v", key, ok, p)
+		}
+	}
+}

@@ -9,11 +9,27 @@ package linker
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"sort"
 
 	"biaslab/internal/isa"
 	"biaslab/internal/obj"
+)
+
+// Sentinel errors for the linker's failure classes; every failure returned
+// by Link wraps one of these, so callers can classify with errors.Is
+// without parsing messages.
+var (
+	// ErrDuplicateSymbol marks a symbol defined by two objects.
+	ErrDuplicateSymbol = errors.New("linker: duplicate symbol")
+	// ErrUndefinedSymbol marks a relocation against a symbol no object defines.
+	ErrUndefinedSymbol = errors.New("linker: undefined symbol")
+	// ErrBadRelocation marks a relocation that cannot be applied (offset out
+	// of range, unencodable target, unsupported kind).
+	ErrBadRelocation = errors.New("linker: bad relocation")
+	// ErrNoEntry marks a link with no _start or no main symbol.
+	ErrNoEntry = errors.New("linker: no entry point")
 )
 
 // Default image geometry. Everything lives below 16 MiB so that 32-bit
@@ -91,7 +107,7 @@ func Link(objects []*obj.Object, opts Options) (*Executable, error) {
 		}
 		for _, s := range o.Symbols {
 			if prev, dup := defined[s.Name]; dup {
-				return nil, fmt.Errorf("linker: symbol %s defined in both %s and %s", s.Name, all[prev].Name, o.Name)
+				return nil, fmt.Errorf("%w: %s defined in both %s and %s", ErrDuplicateSymbol, s.Name, all[prev].Name, o.Name)
 			}
 			defined[s.Name] = i
 		}
@@ -163,34 +179,37 @@ func Link(objects []*obj.Object, opts Options) (*Executable, error) {
 		for _, r := range o.Relocs {
 			target, ok := exe.Symbols[r.Sym]
 			if !ok {
-				return nil, fmt.Errorf("linker: undefined symbol %s referenced from %s", r.Sym, o.Name)
+				return nil, fmt.Errorf("%w: %s referenced from %s", ErrUndefinedSymbol, r.Sym, o.Name)
 			}
 			target = uint64(int64(target) + r.Addend)
 			switch r.Section {
 			case obj.SecText:
 				off := textBases[i] - opts.TextBase + r.Offset
 				if err := patchText(exe.Text, off, r, target); err != nil {
-					return nil, fmt.Errorf("linker: %s: %w", o.Name, err)
+					return nil, fmt.Errorf("%w: %s: %v", ErrBadRelocation, o.Name, err)
 				}
 			case obj.SecData:
 				if r.Kind != obj.RelocAbs64 {
-					return nil, fmt.Errorf("linker: %s: non-abs64 relocation in data", o.Name)
+					return nil, fmt.Errorf("%w: %s: non-abs64 relocation in data", ErrBadRelocation, o.Name)
 				}
 				off := dataBases[i] - exe.DataBase + r.Offset
+				if off+8 > uint64(len(exe.Data)) {
+					return nil, fmt.Errorf("%w: %s: data relocation offset %#x out of range", ErrBadRelocation, o.Name, off)
+				}
 				binary.LittleEndian.PutUint64(exe.Data[off:], target)
 			default:
-				return nil, fmt.Errorf("linker: %s: relocation in bss", o.Name)
+				return nil, fmt.Errorf("%w: %s: relocation in bss", ErrBadRelocation, o.Name)
 			}
 		}
 	}
 
 	entry, ok := exe.Symbols["_start"]
 	if !ok {
-		return nil, fmt.Errorf("linker: no _start symbol")
+		return nil, fmt.Errorf("%w: no _start symbol", ErrNoEntry)
 	}
 	exe.Entry = entry
 	if _, ok := exe.Symbols["main"]; !ok {
-		return nil, fmt.Errorf("linker: no main symbol")
+		return nil, fmt.Errorf("%w: no main symbol", ErrNoEntry)
 	}
 	return exe, nil
 }

@@ -1,0 +1,73 @@
+package loader
+
+import (
+	"errors"
+	"testing"
+
+	"biaslab/internal/linker"
+)
+
+// TestOversizedEnvTypedError: an environment bigger than the room below
+// the stack top must come back as ErrStackOverflow — this used to wrap sp
+// below zero and panic with a slice-bounds failure mid-placement.
+func TestOversizedEnvTypedError(t *testing.T) {
+	exe := buildExe(t)
+	defer func() {
+		if r := recover(); r != nil {
+			t.Fatalf("oversized environment panicked: %v", r)
+		}
+	}()
+	_, err := Load(exe, Options{Env: SyntheticEnv(32 << 20)})
+	if !errors.Is(err, ErrStackOverflow) {
+		t.Errorf("oversized env: err = %v, want ErrStackOverflow", err)
+	}
+	// Arguments count against the same budget.
+	huge := make([]string, 1)
+	huge[0] = string(make([]byte, DefaultMemSize))
+	if _, err := Load(exe, Options{Args: huge}); !errors.Is(err, ErrStackOverflow) {
+		t.Errorf("oversized argv: err = %v, want ErrStackOverflow", err)
+	}
+}
+
+// TestStackShiftOverflowTyped: the causal-analysis shift knob is bounded by
+// the same typed check.
+func TestStackShiftOverflowTyped(t *testing.T) {
+	exe := buildExe(t)
+	for _, shift := range []uint64{DefaultMemSize, 1 << 40} {
+		if _, err := Load(exe, Options{StackShift: shift}); !errors.Is(err, ErrStackOverflow) {
+			t.Errorf("shift %#x: err = %v, want ErrStackOverflow", shift, err)
+		}
+	}
+}
+
+func TestBadGeometryTyped(t *testing.T) {
+	exe := buildExe(t)
+	if _, err := Load(exe, Options{StackTop: 1 << 63, MemSize: DefaultMemSize}); !errors.Is(err, ErrBadGeometry) {
+		t.Errorf("stack top beyond memory: err = %v, want ErrBadGeometry", err)
+	}
+}
+
+// TestTruncatedImageTyped corrupts a well-formed executable in the ways a
+// broken link (or a fuzzer) could and checks each is rejected with
+// ErrImageTruncated before any bytes are copied.
+func TestTruncatedImageTyped(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(e *linker.Executable)
+	}{
+		{"entry outside text", func(e *linker.Executable) { e.Entry = 0 }},
+		{"text overlaps data", func(e *linker.Executable) { e.DataBase = e.TextBase }},
+		{"data overlaps bss", func(e *linker.Executable) { e.BSSBase = e.DataBase }},
+		{"segments beyond memory", func(e *linker.Executable) { e.BSSSize = 1 << 40 }},
+		{"address overflow", func(e *linker.Executable) { e.DataBase = ^uint64(0) - 4 }},
+		{"empty text", func(e *linker.Executable) { e.Text = nil }},
+	}
+	for _, tc := range cases {
+		exe := *buildExe(t) // shallow copy; mutations stay local to the case
+		tc.mutate(&exe)
+		_, err := Load(&exe, Options{})
+		if !errors.Is(err, ErrImageTruncated) {
+			t.Errorf("%s: err = %v, want ErrImageTruncated", tc.name, err)
+		}
+	}
+}

@@ -11,6 +11,7 @@
 package loader
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 
@@ -22,6 +23,22 @@ import (
 const (
 	DefaultMemSize  = 16 << 20
 	DefaultStackTop = DefaultMemSize - 64
+)
+
+// Sentinel errors for the loader's failure classes; every failure returned
+// by Load wraps one of these.
+var (
+	// ErrBadGeometry marks impossible geometry options (stack top outside
+	// memory).
+	ErrBadGeometry = errors.New("loader: bad geometry")
+	// ErrImageTruncated marks an executable whose declared segment layout
+	// does not fit its payload or the address space — the image cannot have
+	// been produced by a correct link.
+	ErrImageTruncated = errors.New("loader: truncated or inconsistent executable")
+	// ErrStackOverflow marks an environment/argument block (plus stack
+	// shift) too large for the room between the program segments and the
+	// stack top.
+	ErrStackOverflow = errors.New("loader: initial stack exceeds available memory")
 )
 
 // Options control process creation.
@@ -145,11 +162,30 @@ func Load(exe *linker.Executable, opts Options) (*Image, error) {
 		stackTop = memSize - 64
 	}
 	if stackTop >= memSize {
-		return nil, fmt.Errorf("loader: stack top %#x beyond memory size %#x", stackTop, memSize)
+		return nil, fmt.Errorf("%w: stack top %#x beyond memory size %#x", ErrBadGeometry, stackTop, memSize)
+	}
+	if err := validateImage(exe, memSize); err != nil {
+		return nil, err
 	}
 	if exe.MemTop() >= stackTop {
-		return nil, fmt.Errorf("loader: program segments (top %#x) collide with stack", exe.MemTop())
+		return nil, fmt.Errorf("%w: program segments (top %#x) collide with stack", ErrStackOverflow, exe.MemTop())
 	}
+
+	// The whole initial stack must fit between the program segments and the
+	// stack top. Checking up front (rather than letting sp wrap below zero
+	// mid-placement) turns an oversized environment into a typed error
+	// instead of a slice-bounds panic.
+	need := EnvBytes(opts.Env)
+	for _, a := range opts.Args {
+		need += uint64(len(a)) + 1
+	}
+	need += uint64(len(opts.Args)+1) * isa.WordSize
+	need += opts.StackShift + 8 // alignment slack
+	if avail := stackTop - exe.MemTop(); need >= avail {
+		return nil, fmt.Errorf("%w: %d bytes of environment/arguments/shift, %d available below stack top %#x",
+			ErrStackOverflow, need, avail, stackTop)
+	}
+
 	var mem []byte
 	if memSize == DefaultMemSize {
 		mem = *memPool.Get().(*[]byte)
@@ -198,7 +234,9 @@ func Load(exe *linker.Executable, opts Options) (*Image, error) {
 	sp -= opts.StackShift
 	sp &^= 7
 	if sp <= exe.MemTop() {
-		return nil, fmt.Errorf("loader: stack underflow after environment placement")
+		// Unreachable given the up-front space check; keep the guard as an
+		// internal invariant.
+		return nil, fmt.Errorf("%w: stack underflow after environment placement", ErrStackOverflow)
 	}
 
 	return &Image{
@@ -210,6 +248,28 @@ func Load(exe *linker.Executable, opts Options) (*Image, error) {
 		EnvBase:  envBase,
 		Exe:      exe,
 	}, nil
+}
+
+// validateImage rejects executables whose declared layout is inconsistent
+// (overlapping or out-of-order segments, addresses past the address
+// space) before any of it is copied into memory.
+func validateImage(exe *linker.Executable, memSize uint64) error {
+	textEnd := exe.TextBase + uint64(len(exe.Text))
+	dataEnd := exe.DataBase + uint64(len(exe.Data))
+	bssEnd := exe.BSSBase + exe.BSSSize
+	switch {
+	case textEnd < exe.TextBase || dataEnd < exe.DataBase || bssEnd < exe.BSSBase:
+		return fmt.Errorf("%w: segment address overflow", ErrImageTruncated)
+	case textEnd > exe.DataBase:
+		return fmt.Errorf("%w: text [%#x,%#x) overlaps data base %#x", ErrImageTruncated, exe.TextBase, textEnd, exe.DataBase)
+	case dataEnd > exe.BSSBase:
+		return fmt.Errorf("%w: data [%#x,%#x) overlaps bss base %#x", ErrImageTruncated, exe.DataBase, dataEnd, exe.BSSBase)
+	case bssEnd > memSize:
+		return fmt.Errorf("%w: segments end %#x beyond memory size %#x", ErrImageTruncated, bssEnd, memSize)
+	case len(exe.Text) == 0 || exe.Entry < exe.TextBase || exe.Entry >= textEnd:
+		return fmt.Errorf("%w: entry %#x outside text [%#x,%#x)", ErrImageTruncated, exe.Entry, exe.TextBase, textEnd)
+	}
+	return nil
 }
 
 func putUint64(b []byte, v uint64) {

@@ -39,15 +39,14 @@ type PredictorConfig struct {
 	RASDepth    int
 }
 
-// NewPredictor builds a predictor. It panics on degenerate geometry (a
-// non-power-of-two BTB, whose index mask would silently truncate, or an
-// empty RAS, whose ring arithmetic would divide by zero).
+// NewPredictor builds a predictor. Geometry must satisfy
+// PredictorConfig.validate (a non-power-of-two BTB would silently truncate
+// its index mask; an empty RAS would divide by zero in the ring
+// arithmetic); the panic is an invariant guard for unvalidated configs —
+// boundary validation happens at Config.Validate.
 func NewPredictor(cfg PredictorConfig) *Predictor {
-	if cfg.BTBEntries <= 0 || cfg.BTBEntries&(cfg.BTBEntries-1) != 0 {
-		panic(fmt.Sprintf("machine: predictor: BTB entry count %d not a power of two", cfg.BTBEntries))
-	}
-	if cfg.RASDepth <= 0 {
-		panic(fmt.Sprintf("machine: predictor: RAS depth %d must be positive", cfg.RASDepth))
+	if err := cfg.validate(); err != nil {
+		panic(fmt.Sprintf("machine: unvalidated config reached NewPredictor: %v", err))
 	}
 	return &Predictor{
 		historyBits: cfg.HistoryBits,

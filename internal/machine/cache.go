@@ -44,31 +44,20 @@ type CacheConfig struct {
 	Ways     int
 }
 
-// NewCache builds a cache; Size = sets × ways × line. It panics on
-// degenerate geometry — zero sets, non-power-of-two line size or set count,
-// or a size that is not an exact multiple of ways × line — because a
-// silently truncated set count would corrupt the set mapping that the
-// bias experiments measure.
+// NewCache builds a cache; Size = sets × ways × line. Geometry must satisfy
+// CacheConfig.validate (see Config.Validate); the panic here is an internal
+// invariant guard for configurations that bypassed boundary validation,
+// because a silently truncated set count would corrupt the set mapping that
+// the bias experiments measure.
 func NewCache(cfg CacheConfig) *Cache {
+	if err := cfg.validate(); err != nil {
+		panic(fmt.Sprintf("machine: unvalidated config reached NewCache: %v", err))
+	}
 	line := cfg.LineSize
 	if line == 0 {
 		line = 64
 	}
-	if cfg.Ways <= 0 {
-		panic(fmt.Sprintf("machine: cache %s: associativity %d must be positive", cfg.Name, cfg.Ways))
-	}
-	if line&(line-1) != 0 {
-		panic(fmt.Sprintf("machine: cache %s: line size %d not a power of two", cfg.Name, line))
-	}
 	sets := cfg.SizeKB * 1024 / (line * cfg.Ways)
-	if sets == 0 {
-		panic(fmt.Sprintf("machine: cache %s: %d KB holds no complete set of %d ways × %dB lines",
-			cfg.Name, cfg.SizeKB, cfg.Ways, line))
-	}
-	if sets&(sets-1) != 0 || sets*line*cfg.Ways != cfg.SizeKB*1024 {
-		panic(fmt.Sprintf("machine: cache %s: %d KB / (%d ways × %dB lines) yields %d sets, not a power of two",
-			cfg.Name, cfg.SizeKB, cfg.Ways, line, sets))
-	}
 	c := &Cache{
 		name:     cfg.Name,
 		lineBits: log2u(uint64(line)),
@@ -252,21 +241,18 @@ type TLB struct {
 const tlbWays = 4
 
 // NewTLB builds a TLB with the given entry count and page size. Entry
-// counts below the associativity are rounded up to one full set. Like
-// NewCache it panics on degenerate geometry (non-power-of-two set count or
-// page size) rather than silently truncating the set mapping.
+// counts below the associativity are rounded up to one full set. Geometry
+// must satisfy validateTLB (see Config.Validate); like NewCache, the panic
+// is an invariant guard against unvalidated configs, not the validation
+// surface itself.
 func NewTLB(entries, pageSize int) *TLB {
+	if err := validateTLB(entries, pageSize); err != nil {
+		panic(fmt.Sprintf("machine: unvalidated config reached NewTLB: %v", err))
+	}
 	if entries < tlbWays {
 		entries = tlbWays
 	}
-	if pageSize <= 0 || pageSize&(pageSize-1) != 0 {
-		panic(fmt.Sprintf("machine: tlb: page size %d not a power of two", pageSize))
-	}
 	sets := entries / tlbWays
-	if sets&(sets-1) != 0 || sets*tlbWays != entries {
-		panic(fmt.Sprintf("machine: tlb: %d entries / %d ways yields %d sets, not a power of two",
-			entries, tlbWays, sets))
-	}
 	return &TLB{
 		pageBits: log2u(uint64(pageSize)),
 		setBits:  log2u(uint64(sets)),

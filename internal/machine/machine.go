@@ -16,7 +16,9 @@
 package machine
 
 import (
+	"context"
 	"encoding/binary"
+	"errors"
 	"fmt"
 
 	"biaslab/internal/isa"
@@ -139,10 +141,33 @@ func (m *Machine) Counters() *Counters { return &m.counters }
 // DefaultMaxInstructions bounds a run; benchmark workloads stay far below.
 const DefaultMaxInstructions = 4 << 30
 
+// ErrStepBudget is the watchdog's verdict: the run retired its entire
+// instruction budget without halting. Callers distinguish it from execution
+// faults with errors.Is — a budget trip usually means a runaway or
+// mis-sized workload, not a broken program image.
+var ErrStepBudget = errors.New("machine: instruction budget exhausted")
+
+// cancelPollInstrs is how many instructions execute between context checks
+// in RunCtx. At simulator speed (tens of MIPS) this bounds cancellation
+// latency to well under a millisecond while keeping the poll out of the
+// per-instruction hot path: the check piggybacks on the budget slicing, so
+// the inner loops are identical to the uncancellable ones.
+const cancelPollInstrs = 1 << 16
+
 // Run executes the loaded image to completion (SysExit/halt) and returns
 // the result. Machine state is reset at entry, so a Machine can be reused
 // across runs; maxInstr of 0 applies DefaultMaxInstructions.
 func (m *Machine) Run(img *loader.Image, maxInstr uint64) (*Result, error) {
+	return m.RunCtx(context.Background(), img, maxInstr)
+}
+
+// RunCtx is Run with cooperative cancellation: the step-budget watchdog
+// always bounds the run, and when ctx carries a deadline or cancel, the
+// machine additionally polls it every cancelPollInstrs retired instructions
+// and abandons the run with ctx's error. Timing state is charged
+// identically either way — a run that completes under a cancellable
+// context is bit-identical to one under context.Background().
+func (m *Machine) RunCtx(ctx context.Context, img *loader.Image, maxInstr uint64) (*Result, error) {
 	m.resetState(img)
 	m.uops = predecodedFor(img, m.uopScratch)
 	if img.Exe == nil {
@@ -151,24 +176,34 @@ func (m *Machine) Run(img *loader.Image, maxInstr uint64) (*Result, error) {
 	if maxInstr == 0 {
 		maxInstr = DefaultMaxInstructions
 	}
-	if m.tracer == nil && m.prof == nil {
-		// Hot loop: no per-step engine dispatch.
-		for !m.halted {
-			if m.counters.Instructions >= maxInstr {
-				return nil, m.budgetErr(maxInstr)
-			}
-			if err := m.stepFast(); err != nil {
+	cancellable := ctx.Done() != nil
+	instrumented := m.tracer != nil || m.prof != nil
+	for !m.halted {
+		limit := maxInstr
+		if cancellable {
+			if err := ctx.Err(); err != nil {
 				return nil, err
+			}
+			if l := m.counters.Instructions + cancelPollInstrs; l < limit {
+				limit = l
 			}
 		}
-	} else {
-		for !m.halted {
-			if m.counters.Instructions >= maxInstr {
-				return nil, m.budgetErr(maxInstr)
+		if instrumented {
+			for !m.halted && m.counters.Instructions < limit {
+				if err := m.step(); err != nil {
+					return nil, err
+				}
 			}
-			if err := m.step(); err != nil {
-				return nil, err
+		} else {
+			// Hot loop: no per-step engine dispatch, no per-step polling.
+			for !m.halted && m.counters.Instructions < limit {
+				if err := m.stepFast(); err != nil {
+					return nil, err
+				}
 			}
+		}
+		if !m.halted && m.counters.Instructions >= maxInstr {
+			return nil, m.budgetErr(maxInstr)
 		}
 	}
 	return m.result(), nil
@@ -199,7 +234,7 @@ func (m *Machine) RunReference(img *loader.Image, maxInstr uint64) (*Result, err
 }
 
 func (m *Machine) budgetErr(maxInstr uint64) error {
-	return fmt.Errorf("machine: instruction budget (%d) exhausted at pc=%#x", maxInstr, m.pc)
+	return fmt.Errorf("%w: %d instructions retired, pc=%#x", ErrStepBudget, maxInstr, m.pc)
 }
 
 func (m *Machine) result() *Result {

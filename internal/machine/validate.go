@@ -1,0 +1,109 @@
+package machine
+
+import "fmt"
+
+// Validation of machine geometry. Config.Validate is the boundary check for
+// configurations that arrive from outside the package (RegisterMachine,
+// ablation studies, future config files); the constructors call the same
+// checks and keep their panics purely as internal invariant guards for
+// configurations that were never validated.
+
+// validate reports why a cache geometry is unusable, or nil. The rules
+// mirror what the set-index arithmetic assumes: positive associativity, a
+// power-of-two line size, and a power-of-two set count that tiles the size
+// exactly — a silently truncated set count would corrupt the set mapping
+// that the bias experiments measure.
+func (cfg CacheConfig) validate() error {
+	line := cfg.LineSize
+	if line == 0 {
+		line = 64
+	}
+	if cfg.Ways <= 0 {
+		return fmt.Errorf("cache %s: associativity %d must be positive", cfg.Name, cfg.Ways)
+	}
+	if line < 0 || line&(line-1) != 0 {
+		return fmt.Errorf("cache %s: line size %d not a power of two", cfg.Name, line)
+	}
+	if cfg.SizeKB <= 0 {
+		return fmt.Errorf("cache %s: size %d KB must be positive", cfg.Name, cfg.SizeKB)
+	}
+	sets := cfg.SizeKB * 1024 / (line * cfg.Ways)
+	if sets == 0 {
+		return fmt.Errorf("cache %s: %d KB holds no complete set of %d ways × %dB lines",
+			cfg.Name, cfg.SizeKB, cfg.Ways, line)
+	}
+	if sets&(sets-1) != 0 || sets*line*cfg.Ways != cfg.SizeKB*1024 {
+		return fmt.Errorf("cache %s: %d KB / (%d ways × %dB lines) yields %d sets, not a power of two",
+			cfg.Name, cfg.SizeKB, cfg.Ways, line, sets)
+	}
+	return nil
+}
+
+// validateTLB reports why a TLB geometry is unusable, or nil. Entry counts
+// below the associativity are rounded up to one full set before checking,
+// matching NewTLB.
+func validateTLB(entries, pageSize int) error {
+	if entries < tlbWays {
+		entries = tlbWays
+	}
+	if pageSize <= 0 || pageSize&(pageSize-1) != 0 {
+		return fmt.Errorf("tlb: page size %d not a power of two", pageSize)
+	}
+	sets := entries / tlbWays
+	if sets&(sets-1) != 0 || sets*tlbWays != entries {
+		return fmt.Errorf("tlb: %d entries / %d ways yields %d sets, not a power of two",
+			entries, tlbWays, sets)
+	}
+	return nil
+}
+
+// maxHistoryBits bounds the gshare table; beyond this the direction table
+// allocation (2^n entries) stops being a plausible predictor and starts
+// being a way to exhaust memory from a config file.
+const maxHistoryBits = 24
+
+// validate reports why a predictor geometry is unusable, or nil.
+func (cfg PredictorConfig) validate() error {
+	if cfg.HistoryBits > maxHistoryBits {
+		return fmt.Errorf("predictor: history length %d exceeds %d bits", cfg.HistoryBits, maxHistoryBits)
+	}
+	if cfg.BTBEntries <= 0 || cfg.BTBEntries&(cfg.BTBEntries-1) != 0 {
+		return fmt.Errorf("predictor: BTB entry count %d not a power of two", cfg.BTBEntries)
+	}
+	if cfg.RASDepth <= 0 {
+		return fmt.Errorf("predictor: RAS depth %d must be positive", cfg.RASDepth)
+	}
+	return nil
+}
+
+// Validate reports the first reason cfg cannot be simulated, or nil. It
+// covers every geometric assumption New relies on, so a validated config
+// can be instantiated without panicking; callers that accept configurations
+// from outside the process (custom machines, ablations) must check it
+// before constructing a Machine.
+func (cfg Config) Validate() error {
+	if cfg.IssueWidth <= 0 {
+		return fmt.Errorf("machine %q: issue width %d must be positive", cfg.Name, cfg.IssueWidth)
+	}
+	if cfg.FetchBlockBytes <= 0 {
+		return fmt.Errorf("machine %q: fetch block %d bytes must be positive", cfg.Name, cfg.FetchBlockBytes)
+	}
+	for _, c := range []CacheConfig{cfg.L1I, cfg.L1D, cfg.L2} {
+		if err := c.validate(); err != nil {
+			return fmt.Errorf("machine %q: %w", cfg.Name, err)
+		}
+	}
+	if err := validateTLB(cfg.ITLBEntries, cfg.PageSize); err != nil {
+		return fmt.Errorf("machine %q: i%w", cfg.Name, err)
+	}
+	if err := validateTLB(cfg.DTLBEntries, cfg.PageSize); err != nil {
+		return fmt.Errorf("machine %q: d%w", cfg.Name, err)
+	}
+	if err := cfg.Predictor.validate(); err != nil {
+		return fmt.Errorf("machine %q: %w", cfg.Name, err)
+	}
+	if cfg.StoreBufferDepth < 0 {
+		return fmt.Errorf("machine %q: store buffer depth %d must not be negative", cfg.Name, cfg.StoreBufferDepth)
+	}
+	return nil
+}

@@ -1,0 +1,70 @@
+package machine
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestValidateAcceptsShippedConfigs(t *testing.T) {
+	for _, cfg := range []Config{PentiumIV(), Core2(), M5O3()} {
+		if err := cfg.Validate(); err != nil {
+			t.Errorf("shipped config %s rejected: %v", cfg.Name, err)
+		}
+	}
+}
+
+func TestValidateRejectsBrokenGeometry(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Config)
+		want   string // substring of the expected error
+	}{
+		{"zero issue width", func(c *Config) { c.IssueWidth = 0 }, "issue width"},
+		{"zero fetch block", func(c *Config) { c.FetchBlockBytes = 0 }, "fetch block"},
+		{"zero cache ways", func(c *Config) { c.L1D.Ways = 0 }, "associativity"},
+		{"non-pow2 line", func(c *Config) { c.L1I.LineSize = 48 }, "line size"},
+		{"zero cache size", func(c *Config) { c.L2.SizeKB = 0 }, "size"},
+		{"non-pow2 sets", func(c *Config) { c.L1D.SizeKB = 33 }, "not a power of two"},
+		{"cache smaller than one set", func(c *Config) { c.L1D.SizeKB = 1; c.L1D.Ways = 64 }, "no complete set"},
+		{"non-pow2 page size", func(c *Config) { c.PageSize = 3000 }, "page size"},
+		{"non-pow2 itlb sets", func(c *Config) { c.ITLBEntries = 100 }, "itlb"},
+		{"non-pow2 dtlb sets", func(c *Config) { c.DTLBEntries = 100 }, "dtlb"},
+		{"history too long", func(c *Config) { c.Predictor.HistoryBits = 40 }, "history"},
+		{"non-pow2 btb", func(c *Config) { c.Predictor.BTBEntries = 1000 }, "BTB"},
+		{"zero ras", func(c *Config) { c.Predictor.RASDepth = 0 }, "RAS"},
+		{"negative store buffer", func(c *Config) { c.StoreBufferDepth = -1 }, "store buffer"},
+	}
+	for _, tc := range cases {
+		cfg := Core2()
+		cfg.Name = "mutant"
+		tc.mutate(&cfg)
+		err := cfg.Validate()
+		if err == nil {
+			t.Errorf("%s: accepted", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+		if !strings.Contains(err.Error(), "mutant") {
+			t.Errorf("%s: error %q does not name the machine", tc.name, err)
+		}
+	}
+}
+
+// TestValidatedConfigConstructs: any config Validate accepts must
+// instantiate without panicking — that is the whole contract.
+func TestValidatedConfigConstructs(t *testing.T) {
+	cfg := PentiumIV()
+	cfg.L1D.SizeKB = 32
+	cfg.Predictor.HistoryBits = 14
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("tweaked config rejected: %v", err)
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			t.Fatalf("validated config panicked in New: %v", r)
+		}
+	}()
+	New(cfg)
+}

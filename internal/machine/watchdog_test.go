@@ -1,0 +1,56 @@
+package machine
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"biaslab/internal/compiler"
+	"biaslab/internal/loader"
+)
+
+// TestStepBudgetTyped: a runaway program is stopped by the instruction
+// budget with the typed sentinel, not a hang or an untyped error.
+func TestStepBudgetTyped(t *testing.T) {
+	img, _ := buildImage(t, compiler.Config{}, loader.Options{}, `void main() { while (1) {} }`)
+	m := New(Core2())
+	_, err := m.Run(img, 10_000)
+	if !errors.Is(err, ErrStepBudget) {
+		t.Fatalf("runaway loop: err = %v, want ErrStepBudget", err)
+	}
+}
+
+// TestRunCtxCancel: cancellation interrupts an otherwise-infinite run at
+// the next poll boundary and reports the context's error, not the budget's.
+func TestRunCtxCancel(t *testing.T) {
+	img, _ := buildImage(t, compiler.Config{}, loader.Options{}, `void main() { while (1) {} }`)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	m := New(Core2())
+	_, err := m.RunCtx(ctx, img, 1<<40)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled RunCtx: err = %v, want context.Canceled", err)
+	}
+	if errors.Is(err, ErrStepBudget) {
+		t.Error("cancellation misreported as budget exhaustion")
+	}
+}
+
+// TestRunCtxBudgetIdenticalToRun: the cancellation polling must not change
+// timing — a budget-sliced run retires the same cycles as a plain one.
+func TestRunCtxBudgetIdenticalToRun(t *testing.T) {
+	src := `void main() { int i; int s; s = 0; for (i = 0; i < 2000; i = i + 1) { s = s + i; } checksum(s); }`
+	imgA, _ := buildImage(t, compiler.Config{Level: compiler.O2}, loader.Options{}, src)
+	a, err := New(Core2()).Run(imgA, 10_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	imgB, _ := buildImage(t, compiler.Config{Level: compiler.O2}, loader.Options{}, src)
+	b, err := New(Core2()).RunCtx(context.Background(), imgB, 10_000_000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Counters != b.Counters || a.Checksum != b.Checksum {
+		t.Errorf("RunCtx diverged from Run:\nRun:    %+v\nRunCtx: %+v", a, b)
+	}
+}

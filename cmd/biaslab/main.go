@@ -8,6 +8,8 @@
 //	biaslab sweep-link -bench gcc -machine core2 [-orders 16]
 //	biaslab randomize -bench perlbench -machine core2 [-n 16]
 //	biaslab causal -bench perlbench -machine core2
+//	biaslab vet [files.cm...]
+//	biaslab predict -bench hmmer -machine core2 [-step 8] [-perms 24]
 //	biaslab survey
 //	biaslab experiment F3          # any of F1–F9, T1–T4
 //	biaslab all                    # every experiment, in order
@@ -160,6 +162,10 @@ func (a *app) dispatch(cmd string, cmdArgs []string) error {
 		return a.cmdProfile(cmdArgs)
 	case "compare":
 		return a.cmdCompare(cmdArgs)
+	case "vet":
+		return a.cmdVet(cmdArgs)
+	case "predict":
+		return a.cmdPredict(cmdArgs)
 	case "survey":
 		fmt.Print(survey.Summarize(survey.Dataset()).Table())
 		return nil
@@ -187,6 +193,8 @@ subcommands:
   causal     intervene on stack placement, rank hardware-event correlates
   profile    per-function cycle attribution for one run
   compare    robust A/B comparison of two toolchain configs across setups
+  vet        lint benchmark programs (or .cm files); exit 1 on findings
+  predict    static bias oracle: predicted env/link-order sensitivity
   survey     print the 133-paper literature-survey table
   experiment regenerate one artifact by id (F1..F9, T1..T4)
   all        regenerate every artifact
@@ -530,5 +538,6 @@ func (a *app) cmdList() error {
 	}
 	fmt.Printf("\nmachines: %s\n", strings.Join(biaslab.Machines(), ", "))
 	fmt.Printf("experiments: %s\n", strings.Join(biaslab.ExperimentIDs(), ", "))
+	fmt.Println("static analysis: vet (cmini lint), predict (bias oracle conflict map)")
 	return nil
 }

@@ -1,0 +1,62 @@
+// Package analysis is biaslab's static-analysis layer: it reasons about
+// programs and their linked images *without running a single simulated
+// cycle*.
+//
+// The package has two stages. Stage 1 (lint.go) is a source-level lint pass
+// over checked cmini programs — use-before-initialization, unused variables,
+// unreachable code, constant conditions, undefined shifts and constant
+// division by zero — surfacing program defects that would otherwise show up
+// as mysterious simulation results. Stage 2 (footprint.go, oracle.go) is the
+// bias oracle: from a linked executable and a machine configuration it
+// extracts the program's stack and global memory footprints, maps them
+// through the cache-set geometry as a function of the environment-size stack
+// displacement, and predicts the env sizes at which cache-set conflict
+// patterns change — the transition points where the paper's measurement bias
+// appears and vanishes.
+package analysis
+
+import (
+	"fmt"
+	"sort"
+
+	"biaslab/internal/cmini"
+)
+
+// Diagnostic is one positioned finding from the lint pass.
+type Diagnostic struct {
+	Pos  cmini.Pos
+	Code string // stable machine-readable class: "uninit", "unused", ...
+	Msg  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Code, d.Msg)
+}
+
+// Diagnostic codes, one per lint class.
+const (
+	CodeUninit      = "uninit"      // local read before any assignment
+	CodeUnused      = "unused"      // local never referenced
+	CodeUnreachable = "unreachable" // statement can never execute
+	CodeConstCond   = "constcond"   // condition folds to a constant
+	CodeUBShift     = "ubshift"     // shift count provably out of [0,64)
+	CodeDivZero     = "divzero"     // division/remainder by constant zero
+)
+
+// sortDiags orders diagnostics by position then code, so output is stable
+// across runs and maps.
+func sortDiags(ds []Diagnostic) {
+	sort.Slice(ds, func(i, j int) bool {
+		a, b := ds[i], ds[j]
+		if a.Pos.File != b.Pos.File {
+			return a.Pos.File < b.Pos.File
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Code != b.Code {
+			return a.Code < b.Code
+		}
+		return a.Msg < b.Msg
+	})
+}

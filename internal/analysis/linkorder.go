@@ -1,0 +1,171 @@
+package analysis
+
+import (
+	"fmt"
+	"sort"
+
+	"biaslab/internal/linker"
+	"biaslab/internal/machine"
+	"biaslab/internal/obj"
+)
+
+// Link-order half of the conflict map. Permuting object order moves every
+// function and global to a new address, which shifts three things the
+// simulator charges for: function-entry alignment relative to the fetch
+// block (the MisalignedEntry penalty), the L1I sets the text occupies, and
+// the L1D/DTLB sets the globals occupy. All three are pure layout functions
+// — a relink plus an address scan predicts them without simulating, so the
+// oracle can rank every permutation of a benchmark's objects by predicted
+// alignment exposure and partition them into layout-equivalence classes
+// (identical layouts are guaranteed identical measurements; the simulator
+// is deterministic in the image).
+
+// LinkPerm is the static signature of one link permutation.
+type LinkPerm struct {
+	// Order holds source-object indices in layout order (identity =
+	// baseline source order). crt0 is implicit and always first.
+	Order []int
+	// MisalignedFuncs lists functions whose entry is not aligned to the
+	// machine's fetch block; each entry of such a function costs the
+	// MisalignedEntry penalty at run time.
+	MisalignedFuncs []string
+	// L1IPressure is set when some L1I set's line occupancy from the text
+	// segment exceeds its associativity.
+	L1IPressure bool
+	// DataBase/BSSBase locate the globals; moving them remaps every global
+	// to new L1D/L2/DTLB sets.
+	DataBase, BSSBase uint64
+	// LayoutSig fingerprints the full layout (every function address plus
+	// section bases). Equal signatures mean bytewise-equivalent layout and
+	// therefore identical measured cycles on a deterministic simulator.
+	LayoutSig uint64
+}
+
+// LinkOrderMap ranks every enumerated permutation of one benchmark's
+// objects by predicted alignment exposure.
+type LinkOrderMap struct {
+	FetchBlockBytes int
+	// Perms holds the enumerated permutations, baseline (source order)
+	// first, then sorted by misaligned-entry count descending.
+	Perms []LinkPerm
+	// Classes counts distinct LayoutSig values: an upper bound on the
+	// number of distinct cycle counts link order alone can produce.
+	Classes int
+	// Truncated is set when enumeration stopped at the cap.
+	Truncated bool
+}
+
+// Baseline returns the source-order permutation's signature.
+func (lm *LinkOrderMap) Baseline() *LinkPerm { return &lm.Perms[0] }
+
+// BuildLinkOrderMap links every permutation of objs (up to maxPerms) with
+// the given layout options and computes each layout's static signature.
+func BuildLinkOrderMap(objs []*obj.Object, cfg machine.Config, opts linker.Options, maxPerms int) (*LinkOrderMap, error) {
+	if len(objs) == 0 {
+		return nil, fmt.Errorf("analysis: no objects to permute")
+	}
+	if maxPerms <= 0 {
+		maxPerms = 1
+	}
+	lm := &LinkOrderMap{FetchBlockBytes: cfg.FetchBlockBytes}
+	sigs := map[uint64]bool{}
+
+	idx := make([]int, len(objs))
+	for i := range idx {
+		idx[i] = i
+	}
+	var firstErr error
+	permute(idx, func(order []int) bool {
+		if len(lm.Perms) >= maxPerms {
+			lm.Truncated = true
+			return false
+		}
+		ordered := make([]*obj.Object, len(order))
+		for i, src := range order {
+			ordered[i] = objs[src]
+		}
+		exe, err := linker.Link(ordered, opts)
+		if err != nil {
+			firstErr = fmt.Errorf("analysis: link order %v: %w", order, err)
+			return false
+		}
+		p := signPerm(exe, cfg, order)
+		lm.Perms = append(lm.Perms, p)
+		sigs[p.LayoutSig] = true
+		return true
+	})
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	lm.Classes = len(sigs)
+	// Baseline stays first; the rest rank worst-aligned first.
+	rest := lm.Perms[1:]
+	sort.SliceStable(rest, func(i, j int) bool {
+		return len(rest[i].MisalignedFuncs) > len(rest[j].MisalignedFuncs)
+	})
+	return lm, nil
+}
+
+// signPerm computes one linked layout's signature.
+func signPerm(exe *linker.Executable, cfg machine.Config, order []int) LinkPerm {
+	p := LinkPerm{
+		Order:    append([]int(nil), order...),
+		DataBase: exe.DataBase,
+		BSSBase:  exe.BSSBase,
+	}
+	h := newPatternHash()
+	fetch := uint64(cfg.FetchBlockBytes)
+	for _, f := range exe.Funcs {
+		if fetch > 0 && f.Addr%fetch != 0 {
+			p.MisalignedFuncs = append(p.MisalignedFuncs, f.Name)
+		}
+		h.word(f.Addr)
+		h.word(f.Size)
+	}
+	h.word(exe.TextBase)
+	h.word(uint64(len(exe.Text)))
+	h.word(exe.DataBase)
+	h.word(exe.BSSBase)
+	h.word(exe.BSSSize)
+	p.LayoutSig = h.sum
+
+	l1i := cfg.L1I.Geometry()
+	text := []Interval{{Lo: int64(exe.TextBase), Hi: int64(exe.TextBase) + int64(len(exe.Text))}}
+	occ := occupancy(l1i.Sets, int64(l1i.LineSize), nil, text)
+	for _, c := range occ {
+		if int(c) > l1i.Ways {
+			p.L1IPressure = true
+			break
+		}
+	}
+	return p
+}
+
+// permute calls visit with every permutation of idx in a deterministic
+// order (identity first), stopping when visit returns false.
+func permute(idx []int, visit func([]int) bool) {
+	var rec func(k int) bool
+	rec = func(k int) bool {
+		if k == len(idx) {
+			return visit(idx)
+		}
+		for i := k; i < len(idx); i++ {
+			idx[k], idx[i] = idx[i], idx[k]
+			ok := rec(k + 1)
+			idx[k], idx[i] = idx[i], idx[k]
+			if !ok {
+				return false
+			}
+		}
+		return true
+	}
+	rec(0)
+}
+
+// word mixes one 64-bit value into the hash.
+func (h *patternHash) word(v uint64) {
+	for i := 0; i < 8; i++ {
+		h.sum ^= (v >> (8 * i)) & 0xff
+		h.sum *= 1099511628211
+	}
+}

@@ -1,0 +1,125 @@
+package analysis
+
+import (
+	"testing"
+
+	"biaslab/internal/bench"
+	"biaslab/internal/compiler"
+	"biaslab/internal/linker"
+)
+
+func TestLinkOrderMap(t *testing.T) {
+	b, _ := bench.ByName("hmmer")
+	var srcs []compiler.Source
+	for _, s := range b.Sources(bench.SizeTest) {
+		srcs = append(srcs, compiler.Source{Name: s.Name, Text: s.Text})
+	}
+	objs, _, err := compiler.Compile(srcs, compiler.Config{Level: compiler.O2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := xvalConfigA()
+
+	lm, err := BuildLinkOrderMap(objs, cfg, linker.Options{}, 720)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nPerms := 1
+	for i := 2; i <= len(objs); i++ {
+		nPerms *= i
+	}
+	if len(lm.Perms) != nPerms {
+		t.Fatalf("enumerated %d permutations, want %d", len(lm.Perms), nPerms)
+	}
+	if lm.Truncated {
+		t.Fatal("unexpected truncation")
+	}
+
+	// Baseline must be the identity order, and must match a direct link.
+	base := lm.Baseline()
+	for i, src := range base.Order {
+		if src != i {
+			t.Fatalf("baseline order %v is not source order", base.Order)
+		}
+	}
+	exe, err := linker.Link(objs, linker.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct := signPerm(exe, cfg, base.Order)
+	if direct.LayoutSig != base.LayoutSig {
+		t.Fatal("baseline signature does not match a direct link of the same order")
+	}
+	if direct.DataBase != base.DataBase || direct.BSSBase != base.BSSBase {
+		t.Fatal("baseline section bases do not match a direct link")
+	}
+
+	// Determinism: rebuilding the map yields identical signatures.
+	lm2, err := BuildLinkOrderMap(objs, cfg, linker.Options{}, 720)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range lm.Perms {
+		if lm.Perms[i].LayoutSig != lm2.Perms[i].LayoutSig {
+			t.Fatalf("perm %d signature not deterministic", i)
+		}
+	}
+
+	// Equal layout signatures must agree on everything the signature is
+	// supposed to summarize.
+	byClass := map[uint64]LinkPerm{}
+	for _, p := range lm.Perms {
+		q, seen := byClass[p.LayoutSig]
+		if !seen {
+			byClass[p.LayoutSig] = p
+			continue
+		}
+		if len(p.MisalignedFuncs) != len(q.MisalignedFuncs) ||
+			p.DataBase != q.DataBase || p.BSSBase != q.BSSBase ||
+			p.L1IPressure != q.L1IPressure {
+			t.Fatalf("perms %v and %v share a layout signature but differ", p.Order, q.Order)
+		}
+	}
+	if lm.Classes != len(byClass) {
+		t.Fatalf("Classes = %d, distinct signatures = %d", lm.Classes, len(byClass))
+	}
+	if lm.Classes < 2 {
+		t.Fatalf("link order never changes the layout (%d class) — permutation analysis would be vacuous", lm.Classes)
+	}
+	t.Logf("hmmer: %d perms, %d layout classes, baseline misaligned=%d, worst misaligned=%d",
+		len(lm.Perms), lm.Classes, len(base.MisalignedFuncs), len(lm.Perms[1].MisalignedFuncs))
+
+	// Object padding is the layout knob the paper turns; with a pad that is
+	// not a multiple of the fetch block, permutations must produce at least
+	// two different misaligned-entry counts.
+	lmPad, err := BuildLinkOrderMap(objs, cfg, linker.Options{PadObjects: 24}, 720)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[int]bool{}
+	for _, p := range lmPad.Perms {
+		counts[len(p.MisalignedFuncs)] = true
+	}
+	if len(counts) < 2 {
+		t.Fatalf("padded links: all %d perms have the same misaligned-entry count", len(lmPad.Perms))
+	}
+}
+
+func TestLinkOrderMapTruncation(t *testing.T) {
+	b, _ := bench.ByName("libquantum")
+	var srcs []compiler.Source
+	for _, s := range b.Sources(bench.SizeTest) {
+		srcs = append(srcs, compiler.Source{Name: s.Name, Text: s.Text})
+	}
+	objs, _, err := compiler.Compile(srcs, compiler.Config{Level: compiler.O2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lm, err := BuildLinkOrderMap(objs, xvalConfigB(), linker.Options{}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lm.Perms) != 2 || !lm.Truncated {
+		t.Fatalf("cap 2: got %d perms, truncated=%v", len(lm.Perms), lm.Truncated)
+	}
+}

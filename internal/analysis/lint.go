@@ -1,0 +1,476 @@
+package analysis
+
+import (
+	"fmt"
+
+	"biaslab/internal/cmini"
+)
+
+// Lint runs the stage-1 source lint over a checked program. The unit must
+// come from cmini.Check: the pass leans on the symbol links and types sema
+// established. Diagnostics are warnings about well-formed-but-suspect code;
+// a program can compile and run with any number of them.
+//
+// The pass is deliberately conservative about control flow. A variable
+// assigned on *some* path (or anywhere inside an enclosing loop body, which
+// a back edge could have executed) is treated as possibly initialized and
+// never reported; only reads with no prior assignment on any path are
+// flagged. The goal is zero false positives on real programs — a lint that
+// cries wolf on the shipped benchmarks would train users to ignore it.
+func Lint(u *cmini.Unit) []Diagnostic {
+	var diags []Diagnostic
+	for _, f := range u.Files {
+		for _, fn := range f.Funcs {
+			fl := &funcLinter{diags: &diags}
+			fl.run(fn)
+		}
+	}
+	sortDiags(diags)
+	return diags
+}
+
+// initState is the lattice of the definite-assignment analysis.
+type initState uint8
+
+const (
+	stNone  initState = iota // no assignment reaches here on any path
+	stMaybe                  // assigned on some path (or via a loop back edge)
+	stDef                    // assigned on every path
+)
+
+type funcLinter struct {
+	diags *[]Diagnostic
+
+	// locals tracks every local declaration in order, for the unused check.
+	locals []*localInfo
+	bySym  map[*cmini.Symbol]*localInfo
+
+	// reportedUninit suppresses repeat uninit reports for the same symbol.
+	reportedUninit map[*cmini.Symbol]bool
+	// unreachableDepth is non-zero while walking statements already reported
+	// unreachable; nested reports would be noise.
+	unreachableDepth int
+}
+
+type localInfo struct {
+	sym  *cmini.Symbol
+	decl *cmini.VarDecl
+	used bool
+	// exempt marks declarations the init analysis does not model: arrays
+	// and address-taken variables (writes through pointers are invisible to
+	// the walker).
+	exempt bool
+}
+
+func (fl *funcLinter) report(pos cmini.Pos, code, format string, args ...any) {
+	*fl.diags = append(*fl.diags, Diagnostic{Pos: pos, Code: code, Msg: fmt.Sprintf(format, args...)})
+}
+
+func (fl *funcLinter) run(fn *cmini.FuncDecl) {
+	fl.bySym = map[*cmini.Symbol]*localInfo{}
+	fl.reportedUninit = map[*cmini.Symbol]bool{}
+
+	// Pre-pass: address-taken symbols are exempt from init tracking for the
+	// whole function body, regardless of where the & appears.
+	addrTaken := map[*cmini.Symbol]bool{}
+	collectAddrTaken(fn.Body, addrTaken)
+
+	state := map[*cmini.Symbol]initState{}
+	fl.walkStmt(fn.Body, state, addrTaken)
+
+	for _, li := range fl.locals {
+		if !li.used {
+			fl.report(li.decl.P, CodeUnused, "%s declared and not used", li.decl.Name)
+		}
+	}
+}
+
+// walkStmt analyzes one statement under the given definite-assignment state,
+// mutating state in place. It returns true when the statement never falls
+// through (return, break, continue, or composites all of whose paths
+// terminate) — the reachability signal for the unreachable-code check.
+func (fl *funcLinter) walkStmt(s cmini.Stmt, state map[*cmini.Symbol]initState, addrTaken map[*cmini.Symbol]bool) bool {
+	switch x := s.(type) {
+	case *cmini.BlockStmt:
+		terminated := false
+		for _, sub := range x.List {
+			if terminated && fl.unreachableDepth == 0 {
+				fl.report(sub.Pos(), CodeUnreachable, "unreachable code")
+				// Keep walking so uses in dead code still count for the
+				// unused check, but silence nested reports.
+				fl.unreachableDepth++
+				defer func() { fl.unreachableDepth-- }()
+				terminated = false
+			}
+			if fl.walkStmt(sub, state, addrTaken) {
+				terminated = true
+			}
+		}
+		return terminated
+
+	case *cmini.DeclStmt:
+		li := &localInfo{sym: x.Decl.Sym, decl: x.Decl}
+		li.exempt = x.Decl.IsArray() || addrTaken[x.Decl.Sym]
+		fl.locals = append(fl.locals, li)
+		if x.Decl.Sym != nil {
+			fl.bySym[x.Decl.Sym] = li
+		}
+		if x.Decl.Init != nil {
+			fl.walkExpr(x.Decl.Init, state)
+			state[x.Decl.Sym] = stDef
+		} else if li.exempt {
+			state[x.Decl.Sym] = stDef
+		} else {
+			state[x.Decl.Sym] = stNone
+		}
+		return false
+
+	case *cmini.AssignStmt:
+		if x.RHS != nil {
+			fl.walkExpr(x.RHS, state)
+		}
+		// Compound assignment and ++/-- read the LHS before writing it.
+		reads := x.Op != cmini.Assign
+		if id, ok := x.LHS.(*cmini.Ident); ok {
+			fl.markUsed(id)
+			if reads {
+				fl.checkRead(id, state)
+			}
+			state[id.Sym] = stDef
+		} else {
+			// *p = ..., a[i] = ...: every subexpression is a read.
+			fl.walkExpr(x.LHS, state)
+		}
+		return false
+
+	case *cmini.ExprStmt:
+		fl.walkExpr(x.X, state)
+		return false
+
+	case *cmini.IfStmt:
+		fl.walkExpr(x.Cond, state)
+		if v, ok := fl.constOf(x.Cond); ok {
+			fl.report(x.Cond.Pos(), CodeConstCond, "condition is always %s", truth(v))
+		}
+		thenState := copyState(state)
+		thenTerm := fl.walkStmt(x.Then, thenState, addrTaken)
+		elseState := copyState(state)
+		elseTerm := false
+		if x.Else != nil {
+			elseTerm = fl.walkStmt(x.Else, elseState, addrTaken)
+		}
+		mergeBranches(state, thenState, elseState)
+		return thenTerm && elseTerm
+
+	case *cmini.WhileStmt:
+		fl.walkExpr(x.Cond, state)
+		condConst, condKnown := fl.constOf(x.Cond)
+		if condKnown && condConst == 0 {
+			fl.report(x.Cond.Pos(), CodeConstCond, "loop condition is always false; body never executes")
+		}
+		fl.walkLoopBody(x.Body, nil, state, addrTaken)
+		// while (1) {...} with no break never falls through.
+		return condKnown && condConst != 0 && !hasBreak(x.Body)
+
+	case *cmini.ForStmt:
+		if x.Init != nil {
+			fl.walkStmt(x.Init, state, addrTaken)
+		}
+		condKnown, condConst := false, int64(0)
+		if x.Cond != nil {
+			fl.walkExpr(x.Cond, state)
+			condConst, condKnown = fl.constOf(x.Cond)
+			if condKnown && condConst == 0 {
+				fl.report(x.Cond.Pos(), CodeConstCond, "loop condition is always false; body never executes")
+			}
+		}
+		fl.walkLoopBody(x.Body, x.Post, state, addrTaken)
+		infinite := x.Cond == nil || (condKnown && condConst != 0)
+		return infinite && !hasBreak(x.Body)
+
+	case *cmini.ReturnStmt:
+		if x.X != nil {
+			fl.walkExpr(x.X, state)
+		}
+		return true
+
+	case *cmini.BreakStmt, *cmini.ContinueStmt:
+		return true
+	}
+	return false
+}
+
+// walkLoopBody analyzes a loop body (and optional post statement) under
+// back-edge semantics: anything assigned anywhere in the body could have
+// been assigned by a previous iteration, so those symbols are promoted to
+// "maybe" before the body is walked. The body may run zero times, so its
+// assignments never strengthen the caller's state beyond maybe.
+func (fl *funcLinter) walkLoopBody(body, post cmini.Stmt, state map[*cmini.Symbol]initState, addrTaken map[*cmini.Symbol]bool) {
+	assigned := map[*cmini.Symbol]bool{}
+	collectAssigned(body, assigned)
+	if post != nil {
+		collectAssigned(post, assigned)
+	}
+	bodyState := copyState(state)
+	for sym := range assigned {
+		if bodyState[sym] < stMaybe {
+			bodyState[sym] = stMaybe
+		}
+	}
+	fl.walkStmt(body, bodyState, addrTaken)
+	if post != nil {
+		fl.walkStmt(post, bodyState, addrTaken)
+	}
+	for sym := range assigned {
+		if state[sym] < stMaybe {
+			state[sym] = stMaybe
+		}
+	}
+}
+
+// walkExpr records uses, checks reads against the init state, and applies
+// the constant-operand checks (division by zero, shift range).
+func (fl *funcLinter) walkExpr(e cmini.Expr, state map[*cmini.Symbol]initState) {
+	switch x := e.(type) {
+	case *cmini.IntLit:
+	case *cmini.Ident:
+		fl.markUsed(x)
+		fl.checkRead(x, state)
+	case *cmini.UnaryExpr:
+		if x.Op == cmini.Amp {
+			// &x is not a read of x; mark the lvalue spine used without an
+			// init check, but index expressions inside it are real reads.
+			fl.markSpineUsed(x.X, state)
+			return
+		}
+		fl.walkExpr(x.X, state)
+	case *cmini.BinaryExpr:
+		fl.walkExpr(x.X, state)
+		fl.walkExpr(x.Y, state)
+		switch x.Op {
+		case cmini.Slash, cmini.Percent:
+			if v, ok := fl.constOf(x.Y); ok && v == 0 {
+				what := "division"
+				if x.Op == cmini.Percent {
+					what = "remainder"
+				}
+				fl.report(x.Pos(), CodeDivZero, "%s by constant zero", what)
+			}
+		case cmini.Shl, cmini.Shr:
+			if v, ok := fl.constOf(x.Y); ok && (v < 0 || v > 63) {
+				fl.report(x.Pos(), CodeUBShift, "shift count %d out of range [0,64)", v)
+			}
+		}
+	case *cmini.IndexExpr:
+		fl.walkExpr(x.X, state)
+		fl.walkExpr(x.I, state)
+	case *cmini.CallExpr:
+		for _, a := range x.Args {
+			fl.walkExpr(a, state)
+		}
+	}
+}
+
+func (fl *funcLinter) markUsed(id *cmini.Ident) {
+	if li, ok := fl.bySym[id.Sym]; ok {
+		li.used = true
+	}
+}
+
+// checkRead reports a read of a local that no path has assigned.
+func (fl *funcLinter) checkRead(id *cmini.Ident, state map[*cmini.Symbol]initState) {
+	li, ok := fl.bySym[id.Sym]
+	if !ok || li.exempt {
+		return // params, globals, untracked
+	}
+	if state[id.Sym] == stNone && !fl.reportedUninit[id.Sym] {
+		fl.reportedUninit[id.Sym] = true
+		fl.report(id.Pos(), CodeUninit, "%s read before initialization", id.Name)
+	}
+}
+
+// constOf folds e when it is a constant expression. Folding errors (overflow,
+// UB) do not make the value known; the dedicated checks handle those.
+func (fl *funcLinter) constOf(e cmini.Expr) (int64, bool) {
+	v, err := cmini.ConstValue(e)
+	if err != nil {
+		return 0, false
+	}
+	return v, true
+}
+
+func truth(v int64) string {
+	if v != 0 {
+		return "true"
+	}
+	return "false"
+}
+
+func copyState(state map[*cmini.Symbol]initState) map[*cmini.Symbol]initState {
+	out := make(map[*cmini.Symbol]initState, len(state))
+	for k, v := range state {
+		out[k] = v
+	}
+	return out
+}
+
+// mergeBranches joins the two successor states of an if back into state:
+// definite only when definite on both arms, maybe when reached on either.
+func mergeBranches(state, thenState, elseState map[*cmini.Symbol]initState) {
+	for sym := range thenState {
+		state[sym] = joinState(thenState[sym], elseState[sym])
+	}
+	for sym := range elseState {
+		state[sym] = joinState(thenState[sym], elseState[sym])
+	}
+}
+
+func joinState(a, b initState) initState {
+	if a == stDef && b == stDef {
+		return stDef
+	}
+	if a == stNone && b == stNone {
+		return stNone
+	}
+	return stMaybe
+}
+
+// markSpineUsed marks the identifier spine of an address-of operand as used
+// without read-checking it, while treating index subexpressions as ordinary
+// reads under the current state.
+func (fl *funcLinter) markSpineUsed(e cmini.Expr, state map[*cmini.Symbol]initState) {
+	switch x := e.(type) {
+	case *cmini.Ident:
+		fl.markUsed(x)
+	case *cmini.IndexExpr:
+		fl.markSpineUsed(x.X, state)
+		fl.walkExpr(x.I, state)
+	case *cmini.UnaryExpr:
+		fl.markSpineUsed(x.X, state)
+	}
+}
+
+// collectAddrTaken records every symbol whose address is taken anywhere in s.
+func collectAddrTaken(s cmini.Stmt, out map[*cmini.Symbol]bool) {
+	walkStmts(s, func(e cmini.Expr) {
+		if u, ok := e.(*cmini.UnaryExpr); ok && u.Op == cmini.Amp {
+			for spine := u.X; spine != nil; {
+				switch x := spine.(type) {
+				case *cmini.Ident:
+					out[x.Sym] = true
+					spine = nil
+				case *cmini.IndexExpr:
+					spine = x.X
+				case *cmini.UnaryExpr:
+					spine = x.X
+				default:
+					spine = nil
+				}
+			}
+		}
+	})
+}
+
+// collectAssigned records every symbol directly assigned (including ++/--)
+// anywhere in s.
+func collectAssigned(s cmini.Stmt, out map[*cmini.Symbol]bool) {
+	if s == nil {
+		return
+	}
+	switch x := s.(type) {
+	case *cmini.BlockStmt:
+		for _, sub := range x.List {
+			collectAssigned(sub, out)
+		}
+	case *cmini.DeclStmt:
+		if x.Decl.Init != nil {
+			out[x.Decl.Sym] = true
+		}
+	case *cmini.AssignStmt:
+		if id, ok := x.LHS.(*cmini.Ident); ok {
+			out[id.Sym] = true
+		}
+	case *cmini.IfStmt:
+		collectAssigned(x.Then, out)
+		collectAssigned(x.Else, out)
+	case *cmini.WhileStmt:
+		collectAssigned(x.Body, out)
+	case *cmini.ForStmt:
+		collectAssigned(x.Init, out)
+		collectAssigned(x.Post, out)
+		collectAssigned(x.Body, out)
+	}
+}
+
+// hasBreak reports whether s contains a break that targets the loop s is the
+// body of (breaks inside nested loops do not count).
+func hasBreak(s cmini.Stmt) bool {
+	switch x := s.(type) {
+	case *cmini.BreakStmt:
+		return true
+	case *cmini.BlockStmt:
+		for _, sub := range x.List {
+			if hasBreak(sub) {
+				return true
+			}
+		}
+	case *cmini.IfStmt:
+		return hasBreak(x.Then) || (x.Else != nil && hasBreak(x.Else))
+	}
+	return false
+}
+
+// walkStmts applies fn to every expression under s.
+func walkStmts(s cmini.Stmt, fn func(cmini.Expr)) {
+	if s == nil {
+		return
+	}
+	switch x := s.(type) {
+	case *cmini.BlockStmt:
+		for _, sub := range x.List {
+			walkStmts(sub, fn)
+		}
+	case *cmini.DeclStmt:
+		walkExprs(x.Decl.Init, fn)
+	case *cmini.AssignStmt:
+		walkExprs(x.LHS, fn)
+		walkExprs(x.RHS, fn)
+	case *cmini.ExprStmt:
+		walkExprs(x.X, fn)
+	case *cmini.IfStmt:
+		walkExprs(x.Cond, fn)
+		walkStmts(x.Then, fn)
+		walkStmts(x.Else, fn)
+	case *cmini.WhileStmt:
+		walkExprs(x.Cond, fn)
+		walkStmts(x.Body, fn)
+	case *cmini.ForStmt:
+		walkStmts(x.Init, fn)
+		walkExprs(x.Cond, fn)
+		walkStmts(x.Post, fn)
+		walkStmts(x.Body, fn)
+	case *cmini.ReturnStmt:
+		walkExprs(x.X, fn)
+	}
+}
+
+func walkExprs(e cmini.Expr, fn func(cmini.Expr)) {
+	if e == nil {
+		return
+	}
+	fn(e)
+	switch x := e.(type) {
+	case *cmini.UnaryExpr:
+		walkExprs(x.X, fn)
+	case *cmini.BinaryExpr:
+		walkExprs(x.X, fn)
+		walkExprs(x.Y, fn)
+	case *cmini.IndexExpr:
+		walkExprs(x.X, fn)
+		walkExprs(x.I, fn)
+	case *cmini.CallExpr:
+		for _, a := range x.Args {
+			walkExprs(a, fn)
+		}
+	}
+}

@@ -1,0 +1,117 @@
+package analysis
+
+import (
+	"os"
+	"testing"
+
+	"biaslab/internal/bench"
+	"biaslab/internal/cmini"
+)
+
+func checkProgram(t *testing.T, named map[string]string) *cmini.Unit {
+	t.Helper()
+	var files []*cmini.File
+	for name, src := range named {
+		f, err := cmini.ParseFile(name, src)
+		if err != nil {
+			t.Fatalf("parse %s: %v", name, err)
+		}
+		files = append(files, f)
+	}
+	u, err := cmini.Check(files)
+	if err != nil {
+		t.Fatalf("check: %v", err)
+	}
+	return u
+}
+
+// TestLintBrokenFixture pins every lint class to its specimen in
+// testdata/broken.cm: exact line, exact code, nothing extra.
+func TestLintBrokenFixture(t *testing.T) {
+	src, err := os.ReadFile("testdata/broken.cm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := checkProgram(t, map[string]string{"broken.cm": string(src)})
+	diags := Lint(u)
+
+	want := []struct {
+		line int
+		code string
+	}{
+		{6, CodeUnused},
+		{9, CodeUninit},
+		{10, CodeUBShift},
+		{11, CodeDivZero},
+		{12, CodeDivZero},
+		{13, CodeConstCond},
+		{16, CodeConstCond},
+		{20, CodeUnreachable},
+	}
+	if len(diags) != len(want) {
+		for _, d := range diags {
+			t.Logf("got: %s", d)
+		}
+		t.Fatalf("lint produced %d diagnostics, want %d", len(diags), len(want))
+	}
+	for i, w := range want {
+		d := diags[i]
+		if d.Pos.Line != w.line || d.Code != w.code {
+			t.Errorf("diag %d = %s (line %d, %s), want line %d %s", i, d, d.Pos.Line, d.Code, w.line, w.code)
+		}
+	}
+}
+
+// TestLintCleanOnBenchmarks is an acceptance gate: the shipped benchmark
+// programs must produce zero findings, at every size. A lint with false
+// positives on its own corpus is worse than no lint.
+func TestLintCleanOnBenchmarks(t *testing.T) {
+	for _, b := range bench.All() {
+		for _, size := range []bench.Size{bench.SizeTest, bench.SizeSmall, bench.SizeRef} {
+			named := map[string]string{}
+			for _, s := range b.Sources(size) {
+				named[s.Name] = s.Text
+			}
+			u := checkProgram(t, named)
+			if diags := Lint(u); len(diags) != 0 {
+				for _, d := range diags {
+					t.Errorf("%s/%s: %s", b.Name, size, d)
+				}
+			}
+		}
+	}
+}
+
+// TestLintConservatism locks in the no-false-positive policy on the
+// control-flow shapes real code uses.
+func TestLintConservatism(t *testing.T) {
+	clean := []string{
+		// maybe-initialized reads are not flagged
+		`void main() { int x; int c; c = 1; if (c) { x = 1; } print(x + c); }`,
+		// loop-carried assignment reaches reads earlier in the body
+		`void main() { int i; int x; for (i = 0; i < 4; i++) { print(x); x = i; } }`,
+		// while(1) with break is not "unreachable" after the loop
+		`void main() { int n; n = 0; while (1) { n++; if (n > 3) { break; } } print(n); }`,
+		// address-taken locals are exempt from init tracking
+		`void f(int* p) { *p = 7; } void main() { int x; f(&x); print(x); }`,
+		// arrays are exempt
+		`void main() { int a[4]; a[0] = 1; print(a[0]); }`,
+		// shift by in-range constant, division by non-zero constant
+		`void main() { int x; x = 1 << 63; x = x / 2 % 3 >> 1; print(x); }`,
+		// else-if chains where every arm assigns
+		`void main() { int c; int x; c = 2; if (c == 1) { x = 1; } else { if (c == 2) { x = 2; } else { x = 3; } } print(x); }`,
+	}
+	for i, src := range clean {
+		u := checkProgram(t, map[string]string{"clean.cm": src})
+		for _, d := range Lint(u) {
+			t.Errorf("program %d: unexpected diagnostic %s", i, d)
+		}
+	}
+
+	// Definite-uninit reads through every path ARE flagged.
+	u := checkProgram(t, map[string]string{"bad.cm": `void main() { int x; print(x); }`})
+	diags := Lint(u)
+	if len(diags) != 1 || diags[0].Code != CodeUninit {
+		t.Errorf("definite uninit read: got %v, want one %s", diags, CodeUninit)
+	}
+}

@@ -1,6 +1,9 @@
 package cmini
 
-import "fmt"
+import (
+	"fmt"
+	"math"
+)
 
 // Unit is a set of parsed files forming a whole program with a shared global
 // namespace (every top-level name is externally visible, as in the C
@@ -124,19 +127,26 @@ func builtinOf(name string) Builtin {
 	return NotBuiltin
 }
 
-// constEval folds a constant expression (literals, unary -/~/!, and binary
-// arithmetic over constants) for global initializers.
-func constEval(e Expr) (int64, error) {
+// ConstValue folds a constant expression (literals, unary -/~/!, and binary
+// arithmetic over constants), reporting the undefined cases — division or
+// remainder by zero, shift counts outside [0,64), and signed overflow — as
+// positioned errors instead of folding them to an arbitrary value. It is the
+// shared evaluator behind global initializers and the static analyzer's
+// constant-condition and UB diagnostics.
+func ConstValue(e Expr) (int64, error) {
 	switch x := e.(type) {
 	case *IntLit:
 		return x.Val, nil
 	case *UnaryExpr:
-		v, err := constEval(x.X)
+		v, err := ConstValue(x.X)
 		if err != nil {
 			return 0, err
 		}
 		switch x.Op {
 		case Minus:
+			if v == math.MinInt64 {
+				return 0, errf(x.Pos(), "constant overflow: -(%d)", v)
+			}
 			return -v, nil
 		case Tilde:
 			return ^v, nil
@@ -147,30 +157,57 @@ func constEval(e Expr) (int64, error) {
 			return 0, nil
 		}
 	case *BinaryExpr:
-		a, err := constEval(x.X)
+		a, err := ConstValue(x.X)
 		if err != nil {
 			return 0, err
 		}
-		b, err := constEval(x.Y)
+		b, err := ConstValue(x.Y)
 		if err != nil {
 			return 0, err
 		}
 		switch x.Op {
 		case Plus:
-			return a + b, nil
+			if s := a + b; (s > a) == (b > 0) || b == 0 {
+				return s, nil
+			}
+			return 0, errf(x.Pos(), "constant overflow: %d + %d", a, b)
 		case Minus:
-			return a - b, nil
+			if d := a - b; (d < a) == (b > 0) || b == 0 {
+				return d, nil
+			}
+			return 0, errf(x.Pos(), "constant overflow: %d - %d", a, b)
 		case Star:
-			return a * b, nil
+			p := a * b
+			if a != 0 && (p/a != b || (a == -1 && b == math.MinInt64)) {
+				return 0, errf(x.Pos(), "constant overflow: %d * %d", a, b)
+			}
+			return p, nil
 		case Slash:
 			if b == 0 {
 				return 0, errf(x.Pos(), "division by zero in constant")
 			}
+			if a == math.MinInt64 && b == -1 {
+				return 0, errf(x.Pos(), "constant overflow: %d / -1", a)
+			}
 			return a / b, nil
+		case Percent:
+			if b == 0 {
+				return 0, errf(x.Pos(), "remainder by zero in constant")
+			}
+			if a == math.MinInt64 && b == -1 {
+				return 0, nil // no overflow: remainder is 0
+			}
+			return a % b, nil
 		case Shl:
-			return a << (uint64(b) & 63), nil
+			if b < 0 || b > 63 {
+				return 0, errf(x.Pos(), "shift count %d out of range [0,64)", b)
+			}
+			return a << uint64(b), nil
 		case Shr:
-			return int64(uint64(a) >> (uint64(b) & 63)), nil
+			if b < 0 || b > 63 {
+				return 0, errf(x.Pos(), "shift count %d out of range [0,64)", b)
+			}
+			return int64(uint64(a) >> uint64(b)), nil
 		case Pipe:
 			return a | b, nil
 		case Amp:
@@ -179,8 +216,12 @@ func constEval(e Expr) (int64, error) {
 			return a ^ b, nil
 		}
 	}
-	return 0, errf(e.Pos(), "initializer is not a constant expression")
+	return 0, errf(e.Pos(), "not a constant expression")
 }
+
+// constEval keeps the historic internal name used by the global-initializer
+// pass; it is ConstValue.
+func constEval(e Expr) (int64, error) { return ConstValue(e) }
 
 type checker struct {
 	unit   *Unit

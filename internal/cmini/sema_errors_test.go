@@ -1,0 +1,112 @@
+package cmini
+
+import (
+	"strings"
+	"testing"
+)
+
+// checkErr parses srcs and runs Check, requiring an error whose message
+// contains want.
+func checkErr(t *testing.T, want string, srcs ...string) {
+	t.Helper()
+	var files []*File
+	for i, src := range srcs {
+		f, err := ParseFile("err"+string(rune('0'+i))+".cm", src)
+		if err != nil {
+			t.Fatalf("parse: %v", err)
+		}
+		files = append(files, f)
+	}
+	_, err := Check(files)
+	if err == nil {
+		t.Fatalf("Check succeeded, want error containing %q", want)
+	}
+	if !strings.Contains(err.Error(), want) {
+		t.Fatalf("Check error = %q, want it to contain %q", err, want)
+	}
+}
+
+func TestConstValueFolds(t *testing.T) {
+	cases := []struct {
+		expr string
+		want int64
+	}{
+		{"1 + 2*3", 7},
+		{"(1 << 10) - 1", 1023},
+		{"-7 / 2", -3},
+		{"17 % 5", 2},
+		{"-17 % 5", -2},
+		{"~0 & 255", 255},
+		{"1 | 2 ^ 2", 1},
+		{"!0 + !5", 1},
+		{"255 >> 4", 15},
+		{"(-9223372036854775807 - 1) % -1", 0}, // INT64_MIN % -1 is defined: 0
+	}
+	for _, tc := range cases {
+		u := mustCheck(t, "int g = "+tc.expr+"; void main() {}")
+		g := u.Globals["g"]
+		lit, ok := g.Init.(*IntLit)
+		if !ok {
+			t.Fatalf("%s: initializer not folded to literal", tc.expr)
+		}
+		if lit.Val != tc.want {
+			t.Errorf("%s folded to %d, want %d", tc.expr, lit.Val, tc.want)
+		}
+	}
+}
+
+// TestConstValueUndefined pins every undefined-arithmetic class to a
+// positioned error: the analyzer (and global initializers) must refuse to
+// fold UB rather than pick an arbitrary value.
+func TestConstValueUndefined(t *testing.T) {
+	cases := []struct {
+		expr, want string
+	}{
+		{"1 / 0", "division by zero"},
+		{"1 % 0", "remainder by zero"},
+		{"1 % (3 - 3)", "remainder by zero"},
+		{"1 << 64", "shift count 64 out of range"},
+		{"1 << -1", "shift count -1 out of range"},
+		{"1 >> 100", "shift count 100 out of range"},
+		{"9223372036854775807 + 1", "constant overflow"},
+		{"(-9223372036854775807 - 1) - 1", "constant overflow"},
+		{"4611686018427387904 * 2", "constant overflow"},
+		{"(-9223372036854775807 - 1) * -1", "constant overflow"},
+		{"(-9223372036854775807 - 1) / -1", "constant overflow"},
+		{"-(-9223372036854775807 - 1)", "constant overflow"},
+	}
+	for _, tc := range cases {
+		checkErr(t, tc.want, "int g = "+tc.expr+"; void main() {}")
+	}
+}
+
+func TestConstValueNonConstant(t *testing.T) {
+	checkErr(t, "not a constant expression", "int a; int g = a + 1; void main() {}")
+}
+
+func TestRedeclarationErrors(t *testing.T) {
+	cases := []struct{ name, want, src string }{
+		{"dup global", "duplicate global", "int x; int x; void main() {}"},
+		{"global as func", "redeclared as function", "int f; void f() {} void main() {}"},
+		{"dup function", "duplicate function", "void f() {} void f() {} void main() {}"},
+		{"builtin global", "builtin name", "int print; void main() {}"},
+		{"builtin func", "builtin name", "void cycles() {} void main() {}"},
+		{"dup param", "duplicate parameter", "int f(int a, int a) { return a; } void main() {}"},
+		{"dup local", "duplicate variable", "void main() { int a; int a; }"},
+		{"main params", "main must be void main()", "void main(int argc) {}"},
+		{"main ret", "main must be void main()", "int main() { return 0; }"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) { checkErr(t, tc.want, tc.src) })
+	}
+}
+
+func TestRedeclarationAcrossFiles(t *testing.T) {
+	checkErr(t, "duplicate global", "int shared; void main() {}", "int shared;")
+	checkErr(t, "duplicate function", "void f() {} void main() {}", "void f() {}")
+}
+
+// Shadowing in a nested scope is legal; redeclaration is per-scope.
+func TestShadowingAllowed(t *testing.T) {
+	mustCheck(t, "void main() { int a; if (a) { int a; a = 1; } }")
+}

@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"sort"
 
 	"biaslab/internal/bench"
 	"biaslab/internal/compiler"
@@ -106,8 +107,14 @@ type SingleSetupVerdict struct {
 // CompareSingleSetups measures b under each labelled single setup and
 // checks the result against the robust interval.
 func CompareSingleSetups(ctx context.Context, r *Runner, b *bench.Benchmark, est *RobustEstimate, labelled map[string]Setup) ([]SingleSetupVerdict, error) {
+	labels := make([]string, 0, len(labelled))
+	for label := range labelled { //determlint:allow keys are sorted below
+		labels = append(labels, label)
+	}
+	sort.Strings(labels)
 	verdicts := []SingleSetupVerdict{}
-	for label, s := range labelled {
+	for _, label := range labels {
+		s := labelled[label]
 		sp, _, _, err := r.Speedup(ctx, b, s, compiler.O2, compiler.O3)
 		if err != nil {
 			return nil, err

@@ -166,6 +166,7 @@ func (r *Runner) linked(b *bench.Benchmark, setup Setup, ordered []*obj.Object) 
 		delete(r.linking, key)
 		if err == nil {
 			if len(r.linkCache) >= linkCacheCap {
+				//determlint:allow cache eviction choice never reaches a measurement
 				for k := range r.linkCache {
 					delete(r.linkCache, k)
 					break
@@ -220,6 +221,28 @@ func (r *Runner) UnitNames(b *bench.Benchmark) []string {
 		names[i] = s.Name
 	}
 	return names
+}
+
+// Executable compiles and links b exactly as Measure would under setup —
+// same caches, same ordering, same padding — without loading or running
+// anything. It is the entry point for static analyses (the bias oracle)
+// that must reason about the very image the measurements execute.
+func (r *Runner) Executable(b *bench.Benchmark, setup Setup) (*linker.Executable, error) {
+	objs, err := r.objects(b, setup.Compiler)
+	if err != nil {
+		return nil, err
+	}
+	ordered := objs
+	if setup.LinkOrder != nil {
+		if !ValidOrder(setup.LinkOrder, len(objs)) {
+			return nil, fmt.Errorf("core: invalid link order %v for %d units", setup.LinkOrder, len(objs))
+		}
+		ordered = make([]*obj.Object, len(objs))
+		for i, src := range setup.LinkOrder {
+			ordered[i] = objs[src]
+		}
+	}
+	return r.linked(b, setup, ordered)
 }
 
 // Measure runs benchmark b under setup and returns the measurement. The

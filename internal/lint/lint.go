@@ -1,0 +1,254 @@
+// Package lint implements determlint, a determinism checker for the
+// measurement core. The simulator's whole claim is that a measurement is a
+// pure function of (program, machine config, setup); any ambient
+// nondeterminism in the measured paths — wall-clock reads, unseeded
+// randomness, or iteration over Go's randomized map order — silently breaks
+// that contract. determlint forbids three constructs in the measured
+// packages (internal/machine, internal/isa, internal/core):
+//
+//   - time.Now (any wall-clock read),
+//   - math/rand without a fixed seed: the package-global functions
+//     (rand.Intn, rand.Seed, ...) and rand.NewSource with a non-constant
+//     argument,
+//   - range over a map value (iteration order is randomized by the
+//     runtime).
+//
+// A finding can be waived with a `//determlint:allow` comment on the same
+// or the immediately preceding line — the escape hatch for map iteration
+// whose order provably cannot reach a measurement (e.g. arbitrary cache
+// eviction).
+//
+// The checker is self-contained: it type-checks each package with a
+// lenient importer that substitutes empty stub packages for all imports,
+// so it needs nothing beyond the standard library. The trade-off is that
+// types flowing in from other packages are unknown; a range over a map
+// returned by another package's function is not recognized. Within the
+// measured packages that limitation is immaterial — every map they range
+// over is declared locally.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// AllowDirective waives the finding on its own or the following line.
+const AllowDirective = "//determlint:allow"
+
+// Finding is one determinism violation.
+type Finding struct {
+	Pos  token.Position
+	Rule string // "timenow", "rand", or "maprange"
+	Msg  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s: %s", f.Pos, f.Rule, f.Msg)
+}
+
+// Rule names.
+const (
+	RuleTimeNow  = "timenow"
+	RuleRand     = "rand"
+	RuleMapRange = "maprange"
+)
+
+// CheckDir parses and checks every non-test Go file of the package in dir.
+func CheckDir(dir string) ([]Finding, error) {
+	fset := token.NewFileSet()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, nil
+	}
+	return CheckFiles(fset, files), nil
+}
+
+// CheckFiles runs the determinism rules over one package's parsed files.
+func CheckFiles(fset *token.FileSet, files []*ast.File) []Finding {
+	info := &types.Info{
+		Types: map[ast.Expr]types.TypeAndValue{},
+		Uses:  map[*ast.Ident]types.Object{},
+		Defs:  map[*ast.Ident]types.Object{},
+	}
+	conf := types.Config{
+		Importer: &stubImporter{pkgs: map[string]*types.Package{}},
+		Error:    func(error) {}, // stub imports guarantee errors; keep going
+	}
+	pkgName := files[0].Name.Name
+	// Check ignores the returned error: with stub imports the check cannot
+	// be complete, but Info is still populated for everything local.
+	conf.Check(pkgName, fset, files, info) //nolint:errcheck
+
+	var findings []Finding
+	for _, f := range files {
+		allowed := allowLines(fset, f)
+		c := &checker{fset: fset, info: info, allowed: allowed}
+		ast.Inspect(f, c.visit)
+		findings = append(findings, c.findings...)
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i].Pos, findings[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		return a.Line < b.Line
+	})
+	return findings
+}
+
+// stubImporter returns an empty, complete package for every import path.
+type stubImporter struct {
+	pkgs map[string]*types.Package
+}
+
+func (im *stubImporter) Import(path string) (*types.Package, error) {
+	if p, ok := im.pkgs[path]; ok {
+		return p, nil
+	}
+	name := path
+	if i := strings.LastIndex(path, "/"); i >= 0 {
+		name = path[i+1:]
+	}
+	p := types.NewPackage(path, name)
+	p.MarkComplete()
+	im.pkgs[path] = p
+	return p, nil
+}
+
+// allowLines collects the lines carrying an allow directive.
+func allowLines(fset *token.FileSet, f *ast.File) map[int]bool {
+	lines := map[int]bool{}
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			if strings.HasPrefix(c.Text, AllowDirective) {
+				lines[fset.Position(c.Pos()).Line] = true
+			}
+		}
+	}
+	return lines
+}
+
+type checker struct {
+	fset     *token.FileSet
+	info     *types.Info
+	allowed  map[int]bool
+	findings []Finding
+}
+
+func (c *checker) report(pos token.Pos, rule, msg string) {
+	p := c.fset.Position(pos)
+	if c.allowed[p.Line] || c.allowed[p.Line-1] {
+		return
+	}
+	c.findings = append(c.findings, Finding{Pos: p, Rule: rule, Msg: msg})
+}
+
+func (c *checker) visit(n ast.Node) bool {
+	switch n := n.(type) {
+	case *ast.SelectorExpr:
+		c.checkSelector(n)
+	case *ast.CallExpr:
+		c.checkRandSeed(n)
+	case *ast.RangeStmt:
+		c.checkRange(n)
+	}
+	return true
+}
+
+// globalRandFuncs are the math/rand (and /v2) package-level draw functions
+// backed by the shared, unseeded source. Type names (Rand, Source) and the
+// explicit constructors (New, NewSource, NewZipf, NewPCG, NewChaCha8) are
+// deliberately absent.
+var globalRandFuncs = map[string]bool{
+	"Int": true, "Intn": true, "IntN": true,
+	"Int31": true, "Int31n": true, "Int32": true, "Int32N": true,
+	"Int63": true, "Int63n": true, "Int64": true, "Int64N": true,
+	"Uint": true, "UintN": true, "Uint32": true, "Uint32N": true,
+	"Uint64": true, "Uint64N": true,
+	"Float32": true, "Float64": true,
+	"ExpFloat64": true, "NormFloat64": true,
+	"Perm": true, "Shuffle": true, "Read": true, "Seed": true, "N": true,
+}
+
+// checkRandSeed flags rand.NewSource calls whose seed is not a compile-time
+// constant: a variable seed is how wall-clock seeding sneaks in.
+func (c *checker) checkRandSeed(call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "NewSource" {
+		return
+	}
+	switch c.pkgPathOf(sel) {
+	case "math/rand", "math/rand/v2":
+	default:
+		return
+	}
+	for _, arg := range call.Args {
+		if tv, ok := c.info.Types[arg]; !ok || tv.Value == nil {
+			c.report(call.Pos(), RuleRand, "rand.NewSource seed is not a constant; fixed seeds only in measured paths")
+			return
+		}
+	}
+}
+
+// pkgPathOf resolves sel's receiver to an imported package path, or "".
+func (c *checker) pkgPathOf(sel *ast.SelectorExpr) string {
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	pn, ok := c.info.Uses[id].(*types.PkgName)
+	if !ok {
+		return ""
+	}
+	return pn.Imported().Path()
+}
+
+func (c *checker) checkSelector(sel *ast.SelectorExpr) {
+	switch c.pkgPathOf(sel) {
+	case "time":
+		if sel.Sel.Name == "Now" {
+			c.report(sel.Pos(), RuleTimeNow, "time.Now in a measured path; measurements must not read the wall clock")
+		}
+	case "math/rand", "math/rand/v2":
+		// Constructing an explicitly seeded generator is fine; the
+		// package-global draw functions use the shared unseeded source and
+		// are not. Non-constant seeds are caught at the call site by
+		// checkRandSeed, which sees the enclosing CallExpr.
+		if globalRandFuncs[sel.Sel.Name] {
+			c.report(sel.Pos(), RuleRand,
+				fmt.Sprintf("rand.%s uses the shared unseeded generator; build one with rand.New(rand.NewSource(<const>))", sel.Sel.Name))
+		}
+	}
+}
+
+func (c *checker) checkRange(r *ast.RangeStmt) {
+	tv, ok := c.info.Types[r.X]
+	if !ok || tv.Type == nil {
+		return
+	}
+	if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+		c.report(r.Pos(), RuleMapRange, "map iteration order is randomized; sort the keys or annotate with "+AllowDirective)
+	}
+}

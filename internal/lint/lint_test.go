@@ -1,0 +1,205 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func check(t *testing.T, src string) []Finding {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "src.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return CheckFiles(fset, []*ast.File{f})
+}
+
+func rules(fs []Finding) []string {
+	var out []string
+	for _, f := range fs {
+		out = append(out, f.Rule)
+	}
+	return out
+}
+
+// TestDetectsForbiddenConstructs proves each rule fires on a seeded
+// violation.
+func TestDetectsForbiddenConstructs(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want []string
+	}{
+		{
+			name: "time.Now",
+			src: `package p
+import "time"
+func f() int64 { return time.Now().UnixNano() }`,
+			want: []string{RuleTimeNow},
+		},
+		{
+			name: "global rand",
+			src: `package p
+import "math/rand"
+func f() int { return rand.Intn(8) }`,
+			want: []string{RuleRand},
+		},
+		{
+			name: "rand.Seed",
+			src: `package p
+import "math/rand"
+func f() { rand.Seed(42) }`,
+			want: []string{RuleRand},
+		},
+		{
+			name: "non-constant NewSource seed",
+			src: `package p
+import "math/rand"
+func f(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }`,
+			want: []string{RuleRand},
+		},
+		{
+			name: "wall-clock seed is both violations",
+			src: `package p
+import ("math/rand"; "time")
+func f() *rand.Rand { return rand.New(rand.NewSource(time.Now().UnixNano())) }`,
+			want: []string{RuleRand, RuleTimeNow},
+		},
+		{
+			name: "map range",
+			src: `package p
+func f(m map[string]int) int {
+	s := 0
+	for _, v := range m {
+		s += v
+	}
+	return s
+}`,
+			want: []string{RuleMapRange},
+		},
+		{
+			name: "map range over struct field",
+			src: `package p
+type cache struct { entries map[uint64]int }
+func (c *cache) evict() {
+	for k := range c.entries {
+		delete(c.entries, k)
+		break
+	}
+}`,
+			want: []string{RuleMapRange},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := rules(check(t, tc.src))
+			if strings.Join(got, ",") != strings.Join(tc.want, ",") {
+				t.Errorf("findings = %v, want %v", got, tc.want)
+			}
+		})
+	}
+}
+
+// TestCleanConstructs locks in what the linter must NOT flag.
+func TestCleanConstructs(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+	}{
+		{
+			name: "fixed-seed rand",
+			src: `package p
+import "math/rand"
+func f() *rand.Rand { return rand.New(rand.NewSource(1)) }`,
+		},
+		{
+			name: "slice range",
+			src: `package p
+func f(xs []int) int {
+	s := 0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}`,
+		},
+		{
+			name: "time duration arithmetic without Now",
+			src: `package p
+import "time"
+var timeout = 5 * time.Second`,
+		},
+		{
+			name: "local identifier named rand",
+			src: `package p
+func f() int {
+	rand := 3
+	return rand
+}`,
+		},
+		{
+			name: "allow on same line",
+			src: `package p
+func f(m map[string]int) {
+	for k := range m { //determlint:allow eviction order is immaterial
+		delete(m, k)
+		break
+	}
+}`,
+		},
+		{
+			name: "allow on preceding line",
+			src: `package p
+func f(m map[string]int) {
+	//determlint:allow eviction order is immaterial
+	for k := range m {
+		delete(m, k)
+		break
+	}
+}`,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := check(t, tc.src); len(got) != 0 {
+				t.Errorf("unexpected findings: %v", got)
+			}
+		})
+	}
+}
+
+// TestAllowDoesNotLeak: the directive waives its own line, not the whole
+// file.
+func TestAllowDoesNotLeak(t *testing.T) {
+	src := `package p
+func f(m map[string]int) {
+	for k := range m { //determlint:allow
+		delete(m, k)
+	}
+	for range m {
+	}
+}`
+	got := check(t, src)
+	if len(got) != 1 || got[0].Rule != RuleMapRange || got[0].Pos.Line != 6 {
+		t.Errorf("findings = %v, want one maprange at line 6", got)
+	}
+}
+
+// TestMeasuredPackagesClean is the repo gate: the packages the determinism
+// contract covers must lint clean (modulo explicit allow directives).
+func TestMeasuredPackagesClean(t *testing.T) {
+	for _, dir := range []string{"machine", "isa", "core"} {
+		findings, err := CheckDir(filepath.Join("..", dir))
+		if err != nil {
+			t.Fatalf("%s: %v", dir, err)
+		}
+		for _, f := range findings {
+			t.Errorf("%s: %s", dir, f)
+		}
+	}
+}

@@ -151,6 +151,33 @@ func (img *Image) Release() {
 	memPool.Put(&mem)
 }
 
+// InitialSP computes the initial stack pointer Load would hand the machine
+// under opts, without building an image. It duplicates Load's placement
+// arithmetic (strings, pointer arrays, stack shift, 8-byte rounding) rather
+// than sharing code with it, so the loader hot path stays untouched; the
+// equality test in loader_test.go keeps the two in lock-step. This is the
+// entry point the bias oracle uses to turn an environment size into a stack
+// displacement.
+func InitialSP(opts Options) uint64 {
+	memSize := opts.MemSize
+	if memSize == 0 {
+		memSize = DefaultMemSize
+	}
+	stackTop := opts.StackTop
+	if stackTop == 0 {
+		stackTop = memSize - 64
+	}
+	sp := stackTop
+	for _, a := range opts.Args {
+		sp -= uint64(len(a)) + 1
+	}
+	sp -= EnvBytes(opts.Env)
+	sp -= uint64(len(opts.Args)+1) * isa.WordSize
+	sp -= opts.StackShift
+	sp &^= 7
+	return sp
+}
+
 // Load builds a process image for exe under opts.
 func Load(exe *linker.Executable, opts Options) (*Image, error) {
 	memSize := opts.MemSize

@@ -141,6 +141,48 @@ func TestEnvStringsReadable(t *testing.T) {
 	}
 }
 
+// TestInitialSPMatchesLoad pins the static SP predictor to the real loader:
+// for every combination of environment size, argument vector and stack
+// shift, InitialSP must equal the SP of an actual Load. The bias oracle's
+// address arithmetic is built entirely on this equality.
+func TestInitialSPMatchesLoad(t *testing.T) {
+	exe := buildExe(t)
+	envs := [][]string{
+		nil,
+		{"A=1"},
+		{"PATH=/usr/bin", "HOME=/root"},
+		SyntheticEnv(512),
+		SyntheticEnv(4096),
+	}
+	argvs := [][]string{nil, {"prog"}, {"a-much-longer-name", "arg1", "x"}}
+	shifts := []uint64{0, 1, 7, 8, 48, 333}
+	for _, env := range envs {
+		for _, args := range argvs {
+			for _, shift := range shifts {
+				opts := Options{Env: env, Args: args, StackShift: shift}
+				img, err := Load(exe, opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got := InitialSP(opts); got != img.SP {
+					t.Fatalf("InitialSP(env %d bytes, %d args, shift %d) = %#x, Load produced %#x",
+						EnvBytes(env), len(args), shift, got, img.SP)
+				}
+				img.Release()
+			}
+		}
+	}
+	// Non-default geometry follows the same arithmetic.
+	opts := Options{MemSize: 8 << 20, StackTop: 8<<20 - 128, Env: SyntheticEnv(100), Args: []string{"p"}}
+	img, err := Load(exe, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := InitialSP(opts); got != img.SP {
+		t.Fatalf("InitialSP with custom geometry = %#x, Load produced %#x", got, img.SP)
+	}
+}
+
 func TestLoadErrors(t *testing.T) {
 	exe := buildExe(t)
 	if _, err := Load(exe, Options{MemSize: 1 << 12}); err == nil {

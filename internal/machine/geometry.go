@@ -1,0 +1,73 @@
+package machine
+
+// Static geometry accessors. The bias oracle (internal/analysis) predicts
+// cache-set conflicts without constructing a Machine, so the address→set
+// arithmetic the simulator uses must be available as pure functions of the
+// configuration. Each accessor mirrors the corresponding constructor
+// (NewCache, NewTLB) exactly — including the line-size default and the
+// round-up of tiny TLBs — and the geometry tests assert that equality
+// against live Cache/TLB instances, so the two can never drift apart.
+
+// CacheGeometry is the set-index arithmetic of one cache, derived from a
+// CacheConfig without building the cache.
+type CacheGeometry struct {
+	Sets     int
+	Ways     int
+	LineSize int
+}
+
+// Geometry returns the cache's set-index geometry. The config must satisfy
+// validate (see Config.Validate); geometry of an invalid config is
+// unspecified.
+func (cfg CacheConfig) Geometry() CacheGeometry {
+	line := cfg.LineSize
+	if line == 0 {
+		line = 64
+	}
+	return CacheGeometry{
+		Sets:     cfg.SizeKB * 1024 / (line * cfg.Ways),
+		Ways:     cfg.Ways,
+		LineSize: line,
+	}
+}
+
+// LineOf returns the line index addr falls in.
+func (g CacheGeometry) LineOf(addr uint64) uint64 {
+	return addr / uint64(g.LineSize)
+}
+
+// SetOf returns the set index addr maps to, matching Cache.SetOf.
+func (g CacheGeometry) SetOf(addr uint64) int {
+	return int(g.LineOf(addr) % uint64(g.Sets))
+}
+
+// TLBGeometry is the set-index arithmetic of one TLB.
+type TLBGeometry struct {
+	Sets     int
+	Ways     int
+	PageSize int
+}
+
+// TLBGeom returns the geometry NewTLB would build for the given entry count
+// and page size, including the round-up of entry counts below the
+// associativity to one full set.
+func TLBGeom(entries, pageSize int) TLBGeometry {
+	if entries < tlbWays {
+		entries = tlbWays
+	}
+	return TLBGeometry{
+		Sets:     entries / tlbWays,
+		Ways:     tlbWays,
+		PageSize: pageSize,
+	}
+}
+
+// PageOf returns the page index addr falls in.
+func (g TLBGeometry) PageOf(addr uint64) uint64 {
+	return addr / uint64(g.PageSize)
+}
+
+// SetOf returns the TLB set index addr maps to, matching TLB.Access.
+func (g TLBGeometry) SetOf(addr uint64) int {
+	return int(g.PageOf(addr) % uint64(g.Sets))
+}

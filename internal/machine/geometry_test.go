@@ -1,0 +1,82 @@
+package machine
+
+import "testing"
+
+// The static geometry accessors exist so the bias oracle can reproduce the
+// simulator's address→set arithmetic without building a Machine. These tests
+// pin them to the live constructors: every cache/TLB shape used by the
+// shipped configs (plus deliberately odd shapes) must produce identical
+// sets/ways/line/page parameters and identical set indices.
+
+func TestCacheGeometryMatchesNewCache(t *testing.T) {
+	cfgs := []CacheConfig{
+		PentiumIV().L1I, PentiumIV().L1D, PentiumIV().L2,
+		Core2().L1I, Core2().L1D, Core2().L2,
+		M5O3().L1I, M5O3().L1D, M5O3().L2,
+		{Name: "tiny", SizeKB: 1, LineSize: 32, Ways: 2},
+		{Name: "defaultline", SizeKB: 64, Ways: 8}, // LineSize 0 → 64
+		{Name: "wide", SizeKB: 64, LineSize: 128, Ways: 16},
+	}
+	for _, cfg := range cfgs {
+		c := NewCache(cfg)
+		g := cfg.Geometry()
+		if g.Sets != c.Sets() {
+			t.Errorf("%s: Geometry().Sets = %d, cache has %d", cfg.Name, g.Sets, c.Sets())
+		}
+		if g.LineSize != c.LineSize() {
+			t.Errorf("%s: Geometry().LineSize = %d, cache has %d", cfg.Name, g.LineSize, c.LineSize())
+		}
+		if g.Ways != cfg.Ways {
+			t.Errorf("%s: Geometry().Ways = %d, want %d", cfg.Name, g.Ways, cfg.Ways)
+		}
+		for _, addr := range probeAddrs(uint64(g.LineSize), uint64(g.Sets)) {
+			if got, want := g.SetOf(addr), c.SetOf(addr); got != want {
+				t.Fatalf("%s: SetOf(%#x) = %d, cache says %d", cfg.Name, addr, got, want)
+			}
+		}
+	}
+}
+
+func TestTLBGeometryMatchesNewTLB(t *testing.T) {
+	cases := []struct{ entries, pageSize int }{
+		{PentiumIV().ITLBEntries, PentiumIV().PageSize},
+		{PentiumIV().DTLBEntries, PentiumIV().PageSize},
+		{Core2().ITLBEntries, Core2().PageSize},
+		{M5O3().DTLBEntries, M5O3().PageSize},
+		{4, 4096},
+		{2, 4096}, // below associativity → rounded up to one set
+		{128, 8192},
+	}
+	for _, tc := range cases {
+		tlb := NewTLB(tc.entries, tc.pageSize)
+		g := TLBGeom(tc.entries, tc.pageSize)
+		if got := 1 << tlb.setBits; g.Sets != got {
+			t.Errorf("TLB(%d,%d): Geometry Sets = %d, TLB has %d", tc.entries, tc.pageSize, g.Sets, got)
+		}
+		if got := 1 << tlb.pageBits; g.PageSize != got {
+			t.Errorf("TLB(%d,%d): Geometry PageSize = %d, TLB has %d", tc.entries, tc.pageSize, g.PageSize, got)
+		}
+		if g.Ways != tlb.ways {
+			t.Errorf("TLB(%d,%d): Geometry Ways = %d, TLB has %d", tc.entries, tc.pageSize, g.Ways, tlb.ways)
+		}
+		for _, addr := range probeAddrs(uint64(g.PageSize), uint64(g.Sets)) {
+			page := addr >> tlb.pageBits
+			want := int(page & (1<<tlb.setBits - 1))
+			if got := g.SetOf(addr); got != want {
+				t.Fatalf("TLB(%d,%d): SetOf(%#x) = %d, TLB indexes %d", tc.entries, tc.pageSize, addr, got, want)
+			}
+		}
+	}
+}
+
+// probeAddrs yields addresses that exercise unit boundaries, set wraparound
+// and high-address bits for a unit (line/page) size and set count.
+func probeAddrs(unit, sets uint64) []uint64 {
+	span := unit * sets
+	return []uint64{
+		0, 1, unit - 1, unit, unit + 1,
+		span - 1, span, span + unit/2,
+		3*span + 7*unit + 13,
+		0x00100000, 0x00ffffc0, 0xfedcba9876543210 % (1 << 24),
+	}
+}

@@ -101,6 +101,7 @@ func predecodedFor(img *loader.Image, scratch []uop) []uop {
 	u := predecode(text, img.TextBase, nil)
 	predecodeMu.Lock()
 	if len(predecodeCache) >= predecodeCacheCap {
+		//determlint:allow cache eviction choice never reaches a measurement
 		for k := range predecodeCache {
 			delete(predecodeCache, k)
 			break

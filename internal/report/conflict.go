@@ -1,0 +1,105 @@
+package report
+
+import (
+	"fmt"
+	"strings"
+
+	"biaslab/internal/analysis"
+)
+
+// ConflictMapText renders a bias oracle conflict map: the predicted
+// env-size transition points with their cause and predicted cycle step.
+func ConflictMapText(cm *analysis.ConflictMap) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "predicted env-size sensitivity of %s on %s\n", cm.Bench, cm.Machine)
+	if len(cm.Sizes) > 0 {
+		fmt.Fprintf(&sb, "grid: %d env sizes in [%d, %d]\n", len(cm.Sizes), cm.Sizes[0], cm.Sizes[len(cm.Sizes)-1])
+	}
+	if cm.Approx {
+		fmt.Fprintf(&sb, "APPROXIMATE: %s\n", strings.Join(cm.ApproxReasons, "; "))
+	}
+	if cm.PressureAnywhere {
+		sb.WriteString("set pressure detected: transition points are exact, cycle deltas are not\n")
+	}
+	sb.WriteByte('\n')
+	if len(cm.Transitions) == 0 {
+		sb.WriteString("no transitions predicted: measured cycles should be constant across the grid\n")
+		return sb.String()
+	}
+	t := &Table{
+		Headers: []string{"env bytes", "initial SP", "Δcycles", "cause"},
+	}
+	for _, tr := range cm.Transitions {
+		t.AddRow(
+			fmt.Sprintf("%d→%d", tr.PrevEnv, tr.EnvBytes),
+			fmt.Sprintf("%#x", tr.Next.SP),
+			fmt.Sprintf("%+d", tr.DeltaCycles),
+			tr.Reason,
+		)
+	}
+	sb.WriteString(t.String())
+	fmt.Fprintf(&sb, "\n%d transitions: between consecutive ones the measured cycle count cannot move\n", len(cm.Transitions))
+	return sb.String()
+}
+
+// ConflictMapCSV is the replottable twin of ConflictMapText.
+func ConflictMapCSV(cm *analysis.ConflictMap) string {
+	t := &Table{Headers: []string{"prev_env", "env", "sp", "stack_lines", "stack_l2", "stack_pages", "delta_cycles", "reason"}}
+	for _, tr := range cm.Transitions {
+		t.AddRow(tr.PrevEnv, tr.EnvBytes, tr.Next.SP, tr.Next.StackLines, tr.Next.StackL2, tr.Next.StackPages, tr.DeltaCycles, tr.Reason)
+	}
+	return t.CSV()
+}
+
+// LinkOrderText renders the permutation half of the conflict map: every
+// enumerated link order with its predicted alignment exposure, baseline
+// first.
+func LinkOrderText(lm *analysis.LinkOrderMap, objNames []string) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "link-order layout classes (fetch block %d bytes)\n", lm.FetchBlockBytes)
+	fmt.Fprintf(&sb, "%d permutations, %d distinct layouts — at most %d distinct cycle counts from link order alone\n",
+		len(lm.Perms), lm.Classes, lm.Classes)
+	if lm.Truncated {
+		sb.WriteString("enumeration truncated at the permutation cap\n")
+	}
+	sb.WriteByte('\n')
+	t := &Table{Headers: []string{"order", "misaligned entries", "data base", "L1I pressure", "layout"}}
+	for i, p := range lm.Perms {
+		label := orderLabel(p.Order, objNames)
+		if i == 0 {
+			label += " (baseline)"
+		}
+		t.AddRow(
+			label,
+			fmt.Sprintf("%d %s", len(p.MisalignedFuncs), summarizeFuncs(p.MisalignedFuncs)),
+			fmt.Sprintf("%#x", p.DataBase),
+			p.L1IPressure,
+			fmt.Sprintf("%016x", p.LayoutSig),
+		)
+	}
+	sb.WriteString(t.String())
+	return sb.String()
+}
+
+func orderLabel(order []int, objNames []string) string {
+	parts := make([]string, len(order))
+	for i, src := range order {
+		if src < len(objNames) {
+			parts[i] = strings.TrimSuffix(objNames[src], ".cm")
+		} else {
+			parts[i] = fmt.Sprint(src)
+		}
+	}
+	return strings.Join(parts, ",")
+}
+
+func summarizeFuncs(names []string) string {
+	if len(names) == 0 {
+		return ""
+	}
+	const max = 4
+	if len(names) > max {
+		return "(" + strings.Join(names[:max], " ") + " …)"
+	}
+	return "(" + strings.Join(names, " ") + ")"
+}

@@ -1,0 +1,78 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"biaslab/internal/analysis"
+)
+
+func sampleConflictMap() *analysis.ConflictMap {
+	return &analysis.ConflictMap{
+		Bench:   "hmmer",
+		Machine: "core2",
+		Sizes:   []uint64{24, 32, 40},
+		Transitions: []analysis.Transition{
+			{
+				PrevEnv:     24,
+				EnvBytes:    32,
+				Next:        analysis.EnvSignature{SP: 0xffff80, StackLines: 34, StackL2: 34, StackPages: 1},
+				DeltaCycles: -212,
+				Reason:      "L1D stack lines 35→34",
+			},
+		},
+	}
+}
+
+func TestConflictMapText(t *testing.T) {
+	got := ConflictMapText(sampleConflictMap())
+	for _, want := range []string{"hmmer", "core2", "24→32", "-212", "L1D stack lines"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("rendering lacks %q:\n%s", want, got)
+		}
+	}
+	if strings.Contains(got, "APPROXIMATE") {
+		t.Errorf("exact map rendered as approximate:\n%s", got)
+	}
+
+	cm := sampleConflictMap()
+	cm.Approx = true
+	cm.ApproxReasons = []string{"next-line prefetch not modelled"}
+	if got := ConflictMapText(cm); !strings.Contains(got, "APPROXIMATE: next-line prefetch not modelled") {
+		t.Errorf("approximate map not marked:\n%s", got)
+	}
+
+	cm = sampleConflictMap()
+	cm.Transitions = nil
+	if got := ConflictMapText(cm); !strings.Contains(got, "no transitions predicted") {
+		t.Errorf("empty map not explained:\n%s", got)
+	}
+}
+
+func TestConflictMapCSV(t *testing.T) {
+	got := ConflictMapCSV(sampleConflictMap())
+	lines := strings.Split(strings.TrimSpace(got), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("CSV has %d lines, want header + 1 row:\n%s", len(lines), got)
+	}
+	if !strings.HasPrefix(lines[1], "24,32,") {
+		t.Errorf("CSV row = %q", lines[1])
+	}
+}
+
+func TestLinkOrderText(t *testing.T) {
+	lm := &analysis.LinkOrderMap{
+		FetchBlockBytes: 16,
+		Perms: []analysis.LinkPerm{
+			{Order: []int{0, 1}, MisalignedFuncs: []string{"main"}, DataBase: 0x101000, LayoutSig: 1},
+			{Order: []int{1, 0}, DataBase: 0x101000, LayoutSig: 2},
+		},
+		Classes: 2,
+	}
+	got := LinkOrderText(lm, []string{"a.cm", "b.cm"})
+	for _, want := range []string{"a,b (baseline)", "b,a", "2 distinct layouts", "1 (main)"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("rendering lacks %q:\n%s", want, got)
+		}
+	}
+}

@@ -16,6 +16,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 	"strconv"
@@ -32,25 +33,28 @@ import (
 )
 
 func main() {
-	if err := run(); err != nil {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "biasdump:", err)
 		os.Exit(1)
 	}
 }
 
-func run() error {
-	benchName := flag.String("bench", "", "benchmark to inspect")
-	srcPath := flag.String("src", "", "standalone cmini source file to inspect")
-	o3 := flag.Bool("O3", false, "compile at -O3 (default -O2)")
-	icc := flag.Bool("icc", false, "use the icc personality")
-	orderSpec := flag.String("order", "", "link order as comma-separated unit indices (default source order)")
-	disas := flag.String("disas", "", "disassemble one function")
-	sections := flag.Bool("sections", false, "show only the section report")
-	symbols := flag.Bool("symbols", false, "show only the symbol report")
-	relocs := flag.Bool("relocs", false, "show only the relocation report")
-	trace := flag.Uint64("trace", 0, "run on the Core 2 model and print the first N trace lines")
-	mix := flag.Bool("mix", false, "run on the Core 2 model and print the dynamic instruction mix")
-	flag.Parse()
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("biasdump", flag.ContinueOnError)
+	benchName := fs.String("bench", "", "benchmark to inspect")
+	srcPath := fs.String("src", "", "standalone cmini source file to inspect")
+	o3 := fs.Bool("O3", false, "compile at -O3 (default -O2)")
+	icc := fs.Bool("icc", false, "use the icc personality")
+	orderSpec := fs.String("order", "", "link order as comma-separated unit indices (default source order)")
+	disas := fs.String("disas", "", "disassemble one function")
+	sections := fs.Bool("sections", false, "show only the section report")
+	symbols := fs.Bool("symbols", false, "show only the symbol report")
+	relocs := fs.Bool("relocs", false, "show only the relocation report")
+	trace := fs.Uint64("trace", 0, "run on the Core 2 model and print the first N trace lines")
+	mix := fs.Bool("mix", false, "run on the Core 2 model and print the dynamic instruction mix")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	cfg := compiler.Config{Level: compiler.O2}
 	if *o3 {
@@ -100,27 +104,27 @@ func run() error {
 
 	all := !*sections && !*symbols && !*relocs
 	if all || *sections {
-		printSections(objs, exe, cfg)
+		printSections(out, objs, exe, cfg)
 	}
 	if all || *symbols {
-		printSymbols(exe)
+		printSymbols(out, exe)
 	}
 	if all || *relocs {
-		printRelocs(objs)
+		printRelocs(out, objs)
 	}
 	if *disas != "" {
-		if err := printDisas(exe, *disas); err != nil {
+		if err := printDisas(out, exe, *disas); err != nil {
 			return err
 		}
 	}
 	if *trace > 0 || *mix {
-		return runTraced(exe, *trace, *mix)
+		return runTraced(out, exe, *trace, *mix)
 	}
 	return nil
 }
 
 // runTraced executes the image on the Core 2 model with tracing attached.
-func runTraced(exe *linker.Executable, traceN uint64, mix bool) error {
+func runTraced(out io.Writer, exe *linker.Executable, traceN uint64, mix bool) error {
 	img, err := loader.Load(exe, loader.Options{Env: loader.SyntheticEnv(512)})
 	if err != nil {
 		return err
@@ -128,8 +132,8 @@ func runTraced(exe *linker.Executable, traceN uint64, mix bool) error {
 	m := machine.New(machine.Core2())
 	ct := &machine.CountingTracer{}
 	if traceN > 0 {
-		fmt.Printf("trace (first %d instructions, Core 2):\n", traceN)
-		m.SetTracer(multiTracer{&machine.WriterTracer{W: os.Stdout, Limit: traceN}, ct})
+		fmt.Fprintf(out, "trace (first %d instructions, Core 2):\n", traceN)
+		m.SetTracer(multiTracer{&machine.WriterTracer{W: out, Limit: traceN}, ct})
 	} else {
 		m.SetTracer(ct)
 	}
@@ -137,7 +141,7 @@ func runTraced(exe *linker.Executable, traceN uint64, mix bool) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("\nrun: %d instructions, %d cycles, IPC %.2f, checksum %d\n",
+	fmt.Fprintf(out, "\nrun: %d instructions, %d cycles, IPC %.2f, checksum %d\n",
 		res.Counters.Instructions, res.Counters.Cycles, res.Counters.IPC(), res.Checksum)
 	if mix {
 		t := &report.Table{Title: "dynamic instruction mix:", Headers: []string{"class", "count", "share"}}
@@ -150,7 +154,7 @@ func runTraced(exe *linker.Executable, traceN uint64, mix bool) error {
 		for _, k := range keys {
 			t.AddRow(k, classes[k], fmt.Sprintf("%.1f%%", 100*float64(classes[k])/float64(res.Counters.Instructions)))
 		}
-		fmt.Print(t.String())
+		fmt.Fprint(out, t.String())
 	}
 	return nil
 }
@@ -182,7 +186,7 @@ func parseOrder(spec string, n int) ([]int, error) {
 	return perm, nil
 }
 
-func printSections(objs []*obj.Object, exe *linker.Executable, cfg compiler.Config) {
+func printSections(out io.Writer, objs []*obj.Object, exe *linker.Executable, cfg compiler.Config) {
 	t := &report.Table{
 		Title:   fmt.Sprintf("sections (%s; link order as shown):", cfg),
 		Headers: []string{"unit", "text bytes", "data bytes", "bss bytes", "symbols", "relocs"},
@@ -190,12 +194,12 @@ func printSections(objs []*obj.Object, exe *linker.Executable, cfg compiler.Conf
 	for _, o := range objs {
 		t.AddRow(o.Name, len(o.Text), len(o.Data), o.BSSSize, len(o.Symbols), len(o.Relocs))
 	}
-	fmt.Print(t.String())
-	fmt.Printf("\nimage: text %#x+%d, data %#x+%d, bss %#x+%d, entry %#x\n\n",
+	fmt.Fprint(out, t.String())
+	fmt.Fprintf(out, "\nimage: text %#x+%d, data %#x+%d, bss %#x+%d, entry %#x\n\n",
 		exe.TextBase, len(exe.Text), exe.DataBase, len(exe.Data), exe.BSSBase, exe.BSSSize, exe.Entry)
 }
 
-func printSymbols(exe *linker.Executable) {
+func printSymbols(out io.Writer, exe *linker.Executable) {
 	type row struct {
 		name string
 		addr uint64
@@ -209,11 +213,11 @@ func printSymbols(exe *linker.Executable) {
 	for _, r := range rows {
 		t.AddRow(fmt.Sprintf("%#08x", r.addr), r.addr%16, r.name)
 	}
-	fmt.Print(t.String())
-	fmt.Println()
+	fmt.Fprint(out, t.String())
+	fmt.Fprintln(out)
 }
 
-func printRelocs(objs []*obj.Object) {
+func printRelocs(out io.Writer, objs []*obj.Object) {
 	t := &report.Table{Title: "relocations:", Headers: []string{"unit", "section", "offset", "kind", "symbol", "addend"}}
 	total := 0
 	for _, o := range objs {
@@ -224,20 +228,20 @@ func printRelocs(objs []*obj.Object) {
 			}
 		}
 	}
-	fmt.Print(t.String())
+	fmt.Fprint(out, t.String())
 	if total > 40 {
-		fmt.Printf("... and %d more\n", total-40)
+		fmt.Fprintf(out, "... and %d more\n", total-40)
 	}
-	fmt.Println()
+	fmt.Fprintln(out)
 }
 
-func printDisas(exe *linker.Executable, name string) error {
+func printDisas(out io.Writer, exe *linker.Executable, name string) error {
 	for _, f := range exe.Funcs {
 		if f.Name == name {
 			start := f.Addr - exe.TextBase
 			code := exe.Text[start : start+f.Size]
-			fmt.Printf("disassembly of %s (%d instructions):\n", name, f.Size/uint64(isa.InstSize))
-			fmt.Print(isa.Disassemble(code, f.Addr))
+			fmt.Fprintf(out, "disassembly of %s (%d instructions):\n", name, f.Size/uint64(isa.InstSize))
+			fmt.Fprint(out, isa.Disassemble(code, f.Addr))
 			return nil
 		}
 	}

@@ -1,0 +1,198 @@
+package main
+
+import (
+	"bytes"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// dump runs the tool against an in-memory buffer and fails the test on
+// error.
+func dump(t *testing.T, args ...string) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := run(args, &buf); err != nil {
+		t.Fatalf("run(%v): %v", args, err)
+	}
+	return buf.String()
+}
+
+var symbolLine = regexp.MustCompile(`(?m)^(0x[0-9a-f]{8})\s+(\d+)\s+(\S+)\s*$`)
+
+// parseSymbols extracts name → address from the symbol report.
+func parseSymbols(t *testing.T, out string) map[string]uint64 {
+	t.Helper()
+	syms := map[string]uint64{}
+	for _, m := range symbolLine.FindAllStringSubmatch(out, -1) {
+		addr, err := strconv.ParseUint(m[1], 0, 64)
+		if err != nil {
+			t.Fatalf("bad address %q: %v", m[1], err)
+		}
+		align, _ := strconv.ParseUint(m[2], 10, 64)
+		if align != addr%16 {
+			t.Errorf("symbol %s: align16 column says %d, address %#x mod 16 is %d", m[3], align, addr, addr%16)
+		}
+		syms[m[3]] = addr
+	}
+	if len(syms) == 0 {
+		t.Fatalf("no symbols parsed from:\n%s", out)
+	}
+	return syms
+}
+
+// TestDumpBenchmarkInvariants compiles and links a benchmark through the
+// full dump path and checks the structural invariants of the reports:
+// every unit appears in the section table, the image line is present, the
+// symbol table is address-sorted and starts at _start, and the requested
+// disassembly has exactly as many instruction lines as advertised.
+func TestDumpBenchmarkInvariants(t *testing.T) {
+	out := dump(t, "-bench", "hmmer", "-disas", "main")
+
+	if !strings.Contains(out, "sections (gcc -O2; link order as shown):") {
+		t.Errorf("missing section table header in:\n%.400s", out)
+	}
+	if !regexp.MustCompile(`(?m)^image: text 0x[0-9a-f]+\+\d+, data 0x[0-9a-f]+\+\d+, bss 0x[0-9a-f]+\+\d+, entry 0x[0-9a-f]+$`).MatchString(out) {
+		t.Errorf("missing or malformed image line in:\n%.1000s", out)
+	}
+	if !strings.Contains(out, "relocations:") {
+		t.Error("missing relocation report")
+	}
+
+	// Symbols must come out sorted by final address, _start first.
+	matches := symbolLine.FindAllStringSubmatch(out, -1)
+	var prev uint64
+	for i, m := range matches {
+		addr, _ := strconv.ParseUint(m[1], 0, 64)
+		if i == 0 && m[3] != "_start" {
+			t.Errorf("first symbol is %s at %#x, want _start", m[3], addr)
+		}
+		if addr < prev {
+			t.Errorf("symbol table not address-sorted: %s at %#x after %#x", m[3], addr, prev)
+		}
+		prev = addr
+	}
+	syms := parseSymbols(t, out)
+	if _, ok := syms["main"]; !ok {
+		t.Error("benchmark image has no main symbol")
+	}
+
+	// The disassembly header advertises an instruction count; the listing
+	// must contain exactly that many "addr: mnemonic" lines.
+	header := regexp.MustCompile(`disassembly of main \((\d+) instructions\):\n`)
+	hm := header.FindStringSubmatchIndex(out)
+	if hm == nil {
+		t.Fatalf("missing disassembly header in:\n%.400s", out)
+	}
+	want, _ := strconv.Atoi(out[hm[2]:hm[3]])
+	listing := out[hm[1]:]
+	got := len(regexp.MustCompile(`(?m)^[0-9a-f]{8}: `).FindAllString(listing, -1))
+	if got != want {
+		t.Errorf("disassembly of main: header says %d instructions, listing has %d lines", want, got)
+	}
+	// And the first listed address is main's symbol-table address.
+	first := regexp.MustCompile(`(?m)^([0-9a-f]{8}): `).FindStringSubmatch(listing)
+	if addr, _ := strconv.ParseUint(first[1], 16, 64); addr != syms["main"] {
+		t.Errorf("disassembly starts at %#x, symbol table places main at %#x", addr, syms["main"])
+	}
+}
+
+// TestDumpLinkOrderMovesSymbols is the tool's reason to exist: relinking
+// the same objects in a different order must keep the symbol set and
+// per-unit section sizes identical while moving final addresses — the
+// layout channel the paper's link-order experiments measure.
+func TestDumpLinkOrderMovesSymbols(t *testing.T) {
+	base := dump(t, "-bench", "hmmer", "-symbols")
+	nUnits := len(dumpSectionUnits(t, dump(t, "-bench", "hmmer", "-sections")))
+	if nUnits < 2 {
+		t.Fatalf("hmmer has %d units; need at least 2 to permute", nUnits)
+	}
+	// Rotate the link order by one.
+	perm := make([]string, nUnits)
+	for i := range perm {
+		perm[i] = strconv.Itoa((i + 1) % nUnits)
+	}
+	rotated := dump(t, "-bench", "hmmer", "-symbols", "-order", strings.Join(perm, ","))
+
+	a, b := parseSymbols(t, base), parseSymbols(t, rotated)
+	if len(a) != len(b) {
+		t.Fatalf("symbol count changed with link order: %d vs %d", len(a), len(b))
+	}
+	moved := 0
+	for name, addr := range a {
+		baddr, ok := b[name]
+		if !ok {
+			t.Errorf("symbol %s vanished after reordering", name)
+			continue
+		}
+		if baddr != addr {
+			moved++
+		}
+	}
+	if moved == 0 {
+		t.Error("no symbol moved after rotating the link order; the layout channel is dead")
+	}
+}
+
+// TestDumpSectionSizesStableAcrossOrder: per-unit section sizes are a
+// compile-time property and must not depend on link order.
+func TestDumpSectionSizesStableAcrossOrder(t *testing.T) {
+	units := dumpSectionUnits(t, dump(t, "-bench", "libquantum", "-sections"))
+	n := len(units)
+	perm := make([]string, n)
+	for i := range perm {
+		perm[i] = strconv.Itoa(n - 1 - i)
+	}
+	reversed := dumpSectionUnits(t, dump(t, "-bench", "libquantum", "-sections", "-order", strings.Join(perm, ",")))
+
+	canon := func(rows []string) []string {
+		out := append([]string(nil), rows...)
+		sort.Strings(out)
+		return out
+	}
+	ca, cb := canon(units), canon(reversed)
+	for i := range ca {
+		if i >= len(cb) || ca[i] != cb[i] {
+			t.Fatalf("per-unit section rows changed with link order:\n%v\nvs\n%v", ca, cb)
+		}
+	}
+}
+
+// dumpSectionUnits returns the per-unit rows of the section table.
+func dumpSectionUnits(t *testing.T, out string) []string {
+	t.Helper()
+	var rows []string
+	inTable := false
+	for _, line := range strings.Split(out, "\n") {
+		switch {
+		case strings.HasPrefix(line, "sections ("):
+			inTable = true
+		case inTable && strings.HasPrefix(line, "image:"), inTable && line == "":
+			return rows
+		case inTable && !strings.HasPrefix(line, "unit") && !strings.HasPrefix(line, "---"):
+			rows = append(rows, strings.Join(strings.Fields(line), " "))
+		}
+	}
+	if len(rows) == 0 {
+		t.Fatalf("no section rows in:\n%.400s", out)
+	}
+	return rows
+}
+
+// TestDumpUsageErrors: the tool must reject argument errors rather than
+// dumping something misleading.
+func TestDumpUsageErrors(t *testing.T) {
+	var buf bytes.Buffer
+	for _, args := range [][]string{
+		{},                                    // need -bench or -src
+		{"-bench", "nope"},                    // unknown benchmark
+		{"-bench", "hmmer", "-order", "0"},    // wrong arity
+		{"-bench", "hmmer", "-disas", "nope"}, // unknown function
+	} {
+		if err := run(args, &buf); err == nil {
+			t.Errorf("run(%v) succeeded, want error", args)
+		}
+	}
+}

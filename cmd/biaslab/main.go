@@ -16,7 +16,16 @@
 //	biaslab list                   # benchmarks, machines, experiments
 //
 // Global flags (before the subcommand): -size test|small|ref, -csv,
-// -timeout, -journal, -resume.
+// -json, -timeout, -journal, -resume, -server.
+//
+// With -server URL, run/sweep-env/sweep-link/randomize/experiment/all/list
+// execute on a biaslabd daemon instead of in-process: the job is submitted
+// over HTTP, per-point progress streams to stderr, and the stored result is
+// rendered through the same code paths as a local run — so remote output is
+// byte-identical to local output, and resubmitting an identical command is
+// a cache hit that performs zero new measurements. With -json, the
+// canonical result JSON (exactly the daemon's stored bytes) is printed
+// instead of rendered text.
 //
 // Interrupting a journalled run (Ctrl-C, SIGTERM, a timeout, or a hard
 // kill) loses nothing: every completed measurement point is already on
@@ -30,6 +39,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -42,6 +52,8 @@ import (
 	"biaslab"
 	"biaslab/internal/compiler"
 	"biaslab/internal/report"
+	"biaslab/internal/server"
+	"biaslab/internal/server/client"
 	"biaslab/internal/survey"
 )
 
@@ -77,17 +89,21 @@ func exitCode(err error) int {
 }
 
 type app struct {
-	ctx    context.Context
-	size   biaslab.Size
-	csv    bool
-	outDir string
-	ck     biaslab.Checkpoint // nil without -journal
+	ctx     context.Context
+	size    biaslab.Size
+	csv     bool
+	jsonOut bool
+	outDir  string
+	server  string             // biaslabd base URL; "" means run locally
+	ck      biaslab.Checkpoint // nil without -journal
 }
 
 func run(args []string) int {
 	global := flag.NewFlagSet("biaslab", flag.ContinueOnError)
 	sizeName := global.String("size", "small", "workload size: test, small, ref")
 	csv := global.Bool("csv", false, "emit CSV instead of rendered text where available")
+	jsonOut := global.Bool("json", false, "emit the canonical JSON result instead of rendered text")
+	serverURL := global.String("server", "", "submit the job to a biaslabd daemon at this URL instead of measuring locally")
 	outDir := global.String("out", "", "also write each experiment artifact (text + CSV) into this directory")
 	timeout := global.Duration("timeout", 0, "abort the whole invocation after this long (e.g. 10m); 0 disables")
 	journalPath := global.String("journal", "", "checkpoint completed measurement points into this JSONL file")
@@ -118,7 +134,13 @@ func run(args []string) int {
 			defer cancel()
 		}
 
-		a := &app{ctx: ctx, size: size, csv: *csv, outDir: *outDir}
+		a := &app{ctx: ctx, size: size, csv: *csv, jsonOut: *jsonOut, outDir: *outDir, server: *serverURL}
+		if *csv && *jsonOut {
+			return usageErrorf("-csv and -json are mutually exclusive")
+		}
+		if *serverURL != "" && *journalPath != "" {
+			return usageErrorf("-server and -journal are mutually exclusive: the daemon keeps its own per-job journals")
+		}
 		if *resume && *journalPath == "" {
 			return usageErrorf("-resume requires -journal")
 		}
@@ -146,7 +168,20 @@ func run(args []string) int {
 	return exitCode(err)
 }
 
+// serviceCommands are the subcommands that map onto biaslabd job kinds and
+// so accept -server (remote execution) and -json (canonical result JSON).
+var serviceCommands = map[string]bool{
+	"run": true, "sweep-env": true, "sweep-link": true, "randomize": true,
+	"experiment": true, "figure": true, "table": true, "all": true, "list": true,
+}
+
 func (a *app) dispatch(cmd string, cmdArgs []string) error {
+	if a.server != "" && !serviceCommands[cmd] {
+		return usageErrorf("%s runs locally only; -server supports run, sweep-env, sweep-link, randomize, experiment, all and list", cmd)
+	}
+	if a.jsonOut && (!serviceCommands[cmd] || cmd == "all") {
+		return usageErrorf("-json is not supported for %s", cmd)
+	}
 	switch cmd {
 	case "run":
 		return a.cmdRun(cmdArgs)
@@ -200,8 +235,9 @@ subcommands:
   all        regenerate every artifact
   list       list benchmarks, machines and experiments
 
-global flags: -size test|small|ref   -csv   -out <dir>
+global flags: -size test|small|ref   -csv   -json   -out <dir>
               -timeout <dur>   -journal <file>   -resume
+              -server <url>  (run jobs on a biaslabd daemon)
 `)
 }
 
@@ -244,27 +280,20 @@ func (a *app) cmdRun(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return usageError{err}
 	}
-	b, err := lookupBench(*benchName)
-	if err != nil {
-		return err
+	spec := server.JobSpec{
+		Kind:     server.KindRun,
+		Size:     a.size.String(),
+		Bench:    *benchName,
+		Machine:  *machineName,
+		EnvBytes: *env,
 	}
-	setup := biaslab.DefaultSetup(*machineName)
-	setup.EnvBytes = *env
 	if *o3 {
-		setup = setup.WithLevel(biaslab.O3)
+		spec.Level = "O3"
 	}
 	if *icc {
-		setup.Compiler.Personality = biaslab.ICC
+		spec.Personality = "icc"
 	}
-	r := biaslab.NewRunner(a.size)
-	m, err := r.Measure(a.ctx, b, setup)
-	if err != nil {
-		return err
-	}
-	fmt.Printf("%s under %s (%s workload)\n\n", b.Name, setup, a.size)
-	fmt.Print(m.Counters.String())
-	fmt.Printf("checksum             %12d\n", m.Checksum)
-	return nil
+	return a.runSpec(spec)
 }
 
 func (a *app) cmdSweepEnv(args []string) error {
@@ -275,32 +304,13 @@ func (a *app) cmdSweepEnv(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return usageError{err}
 	}
-	b, err := lookupBench(*benchName)
-	if err != nil {
-		return err
-	}
-	r := biaslab.NewRunner(a.size)
-	points, err := biaslab.EnvSweepCheckpointed(a.ctx, r, b, biaslab.DefaultSetup(*machineName), biaslab.DefaultEnvSizes(*step), a.ck)
-	if err != nil {
-		return err
-	}
-	t := &report.Table{
-		Title:   fmt.Sprintf("O3-over-O2 speedup of %s vs environment size (%s)", b.Name, *machineName),
-		Headers: []string{"env bytes", "cycles O2", "cycles O3", "speedup"},
-	}
-	speedups := make([]float64, 0, len(points))
-	for _, p := range points {
-		t.AddRow(p.EnvBytes, p.CyclesBase, p.CyclesOpt, p.Speedup)
-		speedups = append(speedups, p.Speedup)
-	}
-	if a.csv {
-		fmt.Print(t.CSV())
-	} else {
-		fmt.Print(t.String())
-		fmt.Println()
-		fmt.Println(biaslab.NewBiasReport(b.Name, *machineName, "environment size", speedups))
-	}
-	return nil
+	return a.runSpec(server.JobSpec{
+		Kind:    server.KindSweepEnv,
+		Size:    a.size.String(),
+		Bench:   *benchName,
+		Machine: *machineName,
+		Step:    *step,
+	})
 }
 
 func (a *app) cmdSweepLink(args []string) error {
@@ -312,32 +322,14 @@ func (a *app) cmdSweepLink(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return usageError{err}
 	}
-	b, err := lookupBench(*benchName)
-	if err != nil {
-		return err
-	}
-	r := biaslab.NewRunner(a.size)
-	points, err := biaslab.LinkSweepCheckpointed(a.ctx, r, b, biaslab.DefaultSetup(*machineName), *orders, *seed, a.ck)
-	if err != nil {
-		return err
-	}
-	t := &report.Table{
-		Title:   fmt.Sprintf("O3-over-O2 speedup of %s vs link order (%s)", b.Name, *machineName),
-		Headers: []string{"order", "cycles O2", "cycles O3", "speedup"},
-	}
-	speedups := make([]float64, 0, len(points))
-	for _, p := range points {
-		t.AddRow(p.Label, p.CyclesBase, p.CyclesOpt, p.Speedup)
-		speedups = append(speedups, p.Speedup)
-	}
-	if a.csv {
-		fmt.Print(t.CSV())
-	} else {
-		fmt.Print(t.String())
-		fmt.Println()
-		fmt.Println(biaslab.NewBiasReport(b.Name, *machineName, "link order", speedups))
-	}
-	return nil
+	return a.runSpec(server.JobSpec{
+		Kind:    server.KindSweepLink,
+		Size:    a.size.String(),
+		Bench:   *benchName,
+		Machine: *machineName,
+		Orders:  *orders,
+		Seed:    *seed,
+	})
 }
 
 func (a *app) cmdRandomize(args []string) error {
@@ -350,27 +342,15 @@ func (a *app) cmdRandomize(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return usageError{err}
 	}
-	b, err := lookupBench(*benchName)
-	if err != nil {
-		return err
-	}
-	r := biaslab.NewRunner(a.size)
-	var est *biaslab.RobustEstimate
-	if *tol > 0 {
-		est, err = biaslab.EstimateSpeedupAdaptive(a.ctx, r, b, biaslab.DefaultSetup(*machineName), *tol, 4, *n, *seed)
-	} else {
-		est, err = biaslab.EstimateSpeedup(a.ctx, r, b, biaslab.DefaultSetup(*machineName), *n, *seed)
-	}
-	if err != nil {
-		return err
-	}
-	fmt.Println(est)
-	if est.Conclusive() {
-		fmt.Println("the randomized experiment supports a direction: the interval excludes 1.0")
-	} else {
-		fmt.Println("INCONCLUSIVE: the interval contains 1.0 — a single-setup paper would still have printed a number")
-	}
-	return nil
+	return a.runSpec(server.JobSpec{
+		Kind:    server.KindRandomize,
+		Size:    a.size.String(),
+		Bench:   *benchName,
+		Machine: *machineName,
+		N:       *n,
+		Seed:    *seed,
+		Tol:     *tol,
+	})
 }
 
 func (a *app) cmdCausal(args []string) error {
@@ -484,16 +464,33 @@ func (a *app) cmdExperiment(args []string) error {
 	if len(args) == 0 {
 		return usageErrorf("experiment needs an id (one of %s)", strings.Join(biaslab.ExperimentIDs(), ", "))
 	}
-	lab := biaslab.NewLabCtx(a.ctx, biaslab.LabOptions{Size: a.size}, a.ck)
-	res, err := lab.ByID(args[0])
+	res, raw, err := a.experimentResult(args[0])
 	if err != nil {
 		return err
 	}
-	a.emit(res)
+	if a.jsonOut {
+		return a.render(res, raw)
+	}
+	e := res.Experiment
+	a.emit(&biaslab.ExperimentResult{ID: e.ID, Title: e.Title, Text: e.Text, CSV: e.CSV})
 	return nil
 }
 
 func (a *app) cmdAll(args []string) error {
+	if a.server != "" {
+		// Each experiment is its own daemon job; the daemon's shared caches
+		// and result store memoize across them.
+		for _, id := range biaslab.ExperimentIDs() {
+			res, _, err := a.experimentResult(id)
+			if err != nil {
+				return fmt.Errorf("%s: %w", id, err)
+			}
+			e := res.Experiment
+			a.emit(&biaslab.ExperimentResult{ID: e.ID, Title: e.Title, Text: e.Text, CSV: e.CSV})
+			fmt.Println()
+		}
+		return nil
+	}
 	lab := biaslab.NewLabCtx(a.ctx, biaslab.LabOptions{Size: a.size}, a.ck)
 	for _, id := range biaslab.ExperimentIDs() {
 		res, err := lab.ByID(id)
@@ -532,12 +529,29 @@ func (a *app) save(res *biaslab.ExperimentResult) error {
 }
 
 func (a *app) cmdList() error {
+	cat := server.NewCatalog()
+	if a.server != "" {
+		remote, err := client.New(a.server).Catalog(a.ctx)
+		if err != nil {
+			return err
+		}
+		cat = remote
+	}
+	if a.jsonOut {
+		b, err := json.Marshal(cat)
+		if err != nil {
+			return err
+		}
+		os.Stdout.Write(b)
+		fmt.Println()
+		return nil
+	}
 	fmt.Println("benchmarks (SPEC CPU2006 C analogues):")
-	for _, b := range biaslab.Benchmarks() {
+	for _, b := range cat.Benchmarks {
 		fmt.Printf("  %-11s %-15s %s\n", b.Name, b.Spec, b.Kernel)
 	}
-	fmt.Printf("\nmachines: %s\n", strings.Join(biaslab.Machines(), ", "))
-	fmt.Printf("experiments: %s\n", strings.Join(biaslab.ExperimentIDs(), ", "))
+	fmt.Printf("\nmachines: %s\n", strings.Join(cat.Machines, ", "))
+	fmt.Printf("experiments: %s\n", strings.Join(cat.Experiments, ", "))
 	fmt.Println("static analysis: vet (cmini lint), predict (bias oracle conflict map)")
 	return nil
 }

@@ -1,0 +1,98 @@
+// Command biaslabd serves the measurement lab over HTTP: clients submit
+// jobs (run, sweep-env, sweep-link, randomize, experiment), a bounded
+// worker pool executes them over the shared measurement core, and results
+// land in a persistent content-addressed store, so an identical request —
+// from any client, before or after a restart — is a cache hit that
+// performs zero new measurements.
+//
+// Usage:
+//
+//	biaslabd [-addr :8347] [-data DIR] [-workers N]
+//	biaslabd -selfcheck [-size test|small|ref]
+//
+// SIGINT/SIGTERM drain gracefully: in-flight sweeps checkpoint every
+// completed point into fsynced per-job journals, so a restarted daemon
+// resumes an interrupted job from where it stopped when the job is
+// resubmitted.
+//
+// -selfcheck is the deploy smoke test: it boots an ephemeral daemon,
+// pushes one tiny job through the full HTTP path twice (miss, then cache
+// hit), cross-checks the queue-depth/utilization/cache counters against
+// the /metrics endpoint, and exits nonzero on any mismatch.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"biaslab/internal/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":8347", "listen address")
+	dataDir := flag.String("data", "biaslabd-data", "data directory (result store + job journals)")
+	workers := flag.Int("workers", 2, "concurrent job executions")
+	selfcheck := flag.Bool("selfcheck", false, "run the end-to-end smoke test and exit")
+	sizeName := flag.String("size", "test", "workload size for -selfcheck: test, small, ref")
+	flag.Parse()
+
+	if *selfcheck {
+		if err := runSelfcheck(*sizeName); err != nil {
+			fmt.Fprintln(os.Stderr, "biaslabd: selfcheck FAILED:", err)
+			os.Exit(1)
+		}
+		fmt.Println("biaslabd: selfcheck ok")
+		return
+	}
+
+	if err := serve(*addr, *dataDir, *workers); err != nil {
+		fmt.Fprintln(os.Stderr, "biaslabd:", err)
+		os.Exit(1)
+	}
+}
+
+func serve(addr, dataDir string, workers int) error {
+	srv, err := server.New(server.Config{DataDir: dataDir, Workers: workers})
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{Addr: addr, Handler: srv.Handler()}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() {
+		fmt.Fprintf(os.Stderr, "biaslabd: serving on %s (data %s, %d workers)\n", addr, dataDir, workers)
+		errCh <- httpSrv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errCh:
+		srv.Shutdown(context.Background())
+		return err
+	case <-ctx.Done():
+	}
+
+	// Graceful drain: stop accepting connections, then stop the engine.
+	// Sweeps abandon their current point at the next watchdog poll; every
+	// completed point is already fsynced in its job journal.
+	fmt.Fprintln(os.Stderr, "biaslabd: draining (signal received)")
+	drainCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(drainCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		fmt.Fprintln(os.Stderr, "biaslabd: http shutdown:", err)
+	}
+	if err := srv.Shutdown(drainCtx); err != nil {
+		return fmt.Errorf("drain: %w", err)
+	}
+	fmt.Fprintln(os.Stderr, "biaslabd: drained")
+	return nil
+}

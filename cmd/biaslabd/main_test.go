@@ -1,0 +1,21 @@
+package main
+
+import "testing"
+
+// TestSelfcheck runs the deploy smoke test in-process: one tiny job pushed
+// through the full HTTP path twice, with every counter cross-checked. This
+// is the same code -selfcheck executes, so a green test means the shipped
+// smoke test itself works.
+func TestSelfcheck(t *testing.T) {
+	if err := runSelfcheck("test"); err != nil {
+		t.Fatalf("selfcheck: %v", err)
+	}
+}
+
+// TestSelfcheckRejectsBadSize: a bad -size must fail fast, not fall back
+// to measuring something else.
+func TestSelfcheckRejectsBadSize(t *testing.T) {
+	if err := runSelfcheck("enormous"); err == nil {
+		t.Fatal("selfcheck accepted an unknown workload size")
+	}
+}

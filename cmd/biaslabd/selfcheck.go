@@ -1,0 +1,112 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"net/http/httptest"
+	"os"
+
+	"biaslab/internal/server"
+	"biaslab/internal/server/client"
+)
+
+// runSelfcheck boots an ephemeral daemon on a loopback listener and
+// exercises one tiny job end-to-end through the real HTTP path:
+//
+//  1. submit a run job → cache miss, executes, completes;
+//  2. resubmit the identical job → cache hit, zero new measurements;
+//  3. cross-check queue depth, worker utilization, and the cache counters,
+//     and verify the /metrics endpoint renders exactly the in-process
+//     snapshot.
+//
+// Any mismatch is an error — the deploy smoke test for a new build or
+// image.
+func runSelfcheck(sizeName string) error {
+	dataDir, err := os.MkdirTemp("", "biaslabd-selfcheck-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dataDir)
+
+	srv, err := server.New(server.Config{DataDir: dataDir, Workers: 1})
+	if err != nil {
+		return err
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	defer srv.Shutdown(context.Background())
+
+	ctx := context.Background()
+	cl := client.New(ts.URL)
+	spec := server.JobSpec{Kind: server.KindRun, Bench: "hmmer", Machine: "core2", Size: sizeName}
+
+	// 1: fresh submission must miss the cache and complete.
+	first, err := cl.Submit(ctx, spec)
+	if err != nil {
+		return err
+	}
+	if first.Cached {
+		return fmt.Errorf("fresh submission reported cached (store %s not empty?)", dataDir)
+	}
+	st, err := cl.Wait(ctx, first.ID)
+	if err != nil {
+		return err
+	}
+	if st.State != server.StateDone {
+		return fmt.Errorf("job %s finished %s (error: %+v), want done", first.ID, st.State, st.Error)
+	}
+	after := srv.MetricsSnapshot()
+	if after.Measurements == 0 {
+		return fmt.Errorf("job done but measurements_total is 0")
+	}
+	if after.Instructions == 0 {
+		return fmt.Errorf("job done but instructions_retired_total is 0")
+	}
+
+	// 2: identical resubmission must be a store hit with zero new work.
+	second, err := cl.Submit(ctx, spec)
+	if err != nil {
+		return err
+	}
+	if !second.Cached || second.State != server.StateDone {
+		return fmt.Errorf("resubmission not served from cache: %+v", second)
+	}
+	if st.Key != second.Key {
+		return fmt.Errorf("identical specs keyed differently: %s vs %s", st.Key, second.Key)
+	}
+	final := srv.MetricsSnapshot()
+	if final.Measurements != after.Measurements {
+		return fmt.Errorf("cache hit performed measurements: %d → %d", after.Measurements, final.Measurements)
+	}
+
+	// 3: counters must be consistent with a drained, idle daemon, and the
+	// endpoint must render exactly the in-process snapshot.
+	if final.QueueDepth != 0 {
+		return fmt.Errorf("idle daemon reports queue depth %d", final.QueueDepth)
+	}
+	if final.WorkersBusy != 0 {
+		return fmt.Errorf("idle daemon reports %d busy workers", final.WorkersBusy)
+	}
+	if final.CacheHits != 1 || final.CacheMisses != 1 {
+		return fmt.Errorf("cache counters hits=%d misses=%d, want 1/1", final.CacheHits, final.CacheMisses)
+	}
+	if final.JobsSubmitted != 2 {
+		return fmt.Errorf("jobs_submitted_total %d, want 2", final.JobsSubmitted)
+	}
+	if got, want := final.Jobs[server.StateDone], uint64(2); got != want {
+		return fmt.Errorf("jobs done %d, want %d", got, want)
+	}
+	if final.StoredResults != 1 {
+		return fmt.Errorf("stored_results %d, want 1", final.StoredResults)
+	}
+	endpoint, err := cl.Metrics(ctx)
+	if err != nil {
+		return err
+	}
+	if want := srv.MetricsSnapshot().Render(); endpoint != want {
+		return fmt.Errorf("/metrics drifted from the in-process snapshot:\n-- endpoint --\n%s-- snapshot --\n%s", endpoint, want)
+	}
+	fmt.Fprintf(os.Stderr, "biaslabd: selfcheck: %d measurements, %d instructions retired, cache 1 hit / 1 miss\n",
+		final.Measurements, final.Instructions)
+	return nil
+}

@@ -16,3 +16,47 @@ type Checkpoint interface {
 	// Record durably stores v under key before returning.
 	Record(key string, v any) error
 }
+
+// ProgressFunc observes sweep progress: it is invoked once per completed
+// point with the point's checkpoint key. replayed is true when the point
+// was served from the checkpoint (a resumed run) instead of being
+// measured. The function is called from whichever goroutine completed the
+// point, so it must be safe for concurrent use; it must not block, or it
+// stalls the sweep.
+type ProgressFunc func(key string, replayed bool)
+
+// WithProgress wraps ck so fn observes every completed point: replayed
+// points as they are looked up, fresh points after they are durably
+// recorded. ck may be nil, in which case nothing is persisted and fn still
+// sees every fresh point — progress reporting without checkpointing.
+func WithProgress(ck Checkpoint, fn ProgressFunc) Checkpoint {
+	return &progressCheckpoint{ck: ck, fn: fn}
+}
+
+type progressCheckpoint struct {
+	ck Checkpoint
+	fn ProgressFunc
+}
+
+func (p *progressCheckpoint) Lookup(key string, out any) (bool, error) {
+	if p.ck == nil {
+		return false, nil
+	}
+	ok, err := p.ck.Lookup(key, out)
+	if ok && err == nil && p.fn != nil {
+		p.fn(key, true)
+	}
+	return ok, err
+}
+
+func (p *progressCheckpoint) Record(key string, v any) error {
+	if p.ck != nil {
+		if err := p.ck.Record(key, v); err != nil {
+			return err
+		}
+	}
+	if p.fn != nil {
+		p.fn(key, false)
+	}
+	return nil
+}

@@ -160,3 +160,57 @@ func TestCheckpointKeyIsolation(t *testing.T) {
 		t.Errorf("different-machine sweep recorded %d new points, want %d (no cross-setup replay)", got, len(sizes))
 	}
 }
+
+// TestWithProgress: the progress wrapper must announce fresh points only
+// after the underlying Record succeeds and replayed points only on a
+// Lookup hit, without disturbing the values that flow through.
+func TestWithProgress(t *testing.T) {
+	type seen struct {
+		key      string
+		replayed bool
+	}
+	type pt struct {
+		Env uint64 `json:"env"`
+	}
+	var calls []seen
+	mem := newMemCheckpoint()
+	ck := WithProgress(mem, func(key string, replayed bool) {
+		calls = append(calls, seen{key, replayed})
+	})
+
+	if err := ck.Record("p1", pt{Env: 8}); err != nil {
+		t.Fatal(err)
+	}
+	if ok, _ := ck.Lookup("missing", nil); ok {
+		t.Error("lookup of unrecorded key reported a hit")
+	}
+	var got pt
+	if ok, err := ck.Lookup("p1", &got); !ok || err != nil || got.Env != 8 {
+		t.Fatalf("Lookup p1 = %v, %v, %+v; want hit with Env 8", ok, err, got)
+	}
+	want := []seen{{"p1", false}, {"p1", true}}
+	if len(calls) != len(want) {
+		t.Fatalf("progress calls %+v, want %+v", calls, want)
+	}
+	for i := range want {
+		if calls[i] != want[i] {
+			t.Errorf("call %d = %+v, want %+v", i, calls[i], want[i])
+		}
+	}
+
+	// A nil inner checkpoint still reports fresh progress — the daemon uses
+	// this for jobs that need progress but no durability.
+	calls = nil
+	nilCk := WithProgress(nil, func(key string, replayed bool) {
+		calls = append(calls, seen{key, replayed})
+	})
+	if ok, err := nilCk.Lookup("x", nil); ok || err != nil {
+		t.Errorf("nil-backed Lookup = %v, %v; want miss", ok, err)
+	}
+	if err := nilCk.Record("x", pt{}); err != nil {
+		t.Fatal(err)
+	}
+	if len(calls) != 1 || calls[0] != (seen{"x", false}) {
+		t.Errorf("nil-backed progress calls %+v, want [{x false}]", calls)
+	}
+}

@@ -36,6 +36,13 @@ type Runner struct {
 	Size bench.Size
 	// MaxInstructions bounds each run (0 = default).
 	MaxInstructions uint64
+	// OnMeasure, when non-nil, observes every successful measurement just
+	// before it is returned — the accounting hook behind biaslabd's
+	// instructions-retired and measurement counters. It is called from
+	// whichever goroutine ran the measurement, so it must be safe for
+	// concurrent use, must not block, and must not mutate its argument. Set
+	// it before the Runner's first use.
+	OnMeasure func(*Measurement)
 
 	mu        sync.Mutex
 	objCache  map[objKey][]*obj.Object
@@ -428,7 +435,7 @@ func (r *Runner) measure(ctx context.Context, b *bench.Benchmark, setup Setup, p
 	// what they need), so its buffer can be recycled for the next load.
 	img.Release()
 
-	return &measured{
+	out := &measured{
 		m: &Measurement{
 			Setup:    setup,
 			Cycles:   res.Counters.Cycles,
@@ -436,7 +443,11 @@ func (r *Runner) measure(ctx context.Context, b *bench.Benchmark, setup Setup, p
 			Checksum: res.Checksum,
 		},
 		profile: res.Profile,
-	}, nil
+	}
+	if r.OnMeasure != nil {
+		r.OnMeasure(out.m)
+	}
+	return out, nil
 }
 
 // RegisterMachine makes a custom machine configuration available under the

@@ -1,0 +1,225 @@
+// Package client is the small HTTP client behind cmd/biaslab's -server
+// mode: submit a job to a biaslabd daemon, follow its progress, and fetch
+// the stored result. It speaks only the wire types of internal/server, so
+// the CLI and the daemon cannot drift apart.
+package client
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"biaslab/internal/server"
+)
+
+// Client talks to one biaslabd daemon.
+type Client struct {
+	// BaseURL is the daemon's root, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// HTTP is the underlying client (http.DefaultClient when nil).
+	HTTP *http.Client
+	// PollInterval paces Wait's status polls (default 100ms).
+	PollInterval time.Duration
+}
+
+// New builds a client for the daemon at baseURL.
+func New(baseURL string) *Client {
+	return &Client{BaseURL: strings.TrimRight(baseURL, "/")}
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+// doJSON issues a request and decodes the JSON response into out,
+// surfacing the daemon's error body on non-2xx statuses.
+func (c *Client) doJSON(ctx context.Context, method, path string, body any, out any) error {
+	var rd io.Reader
+	if body != nil {
+		b, err := json.Marshal(body)
+		if err != nil {
+			return err
+		}
+		rd = bytes.NewReader(b)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, rd)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode/100 != 2 {
+		var apiErr struct {
+			Error string `json:"error"`
+		}
+		if json.Unmarshal(data, &apiErr) == nil && apiErr.Error != "" {
+			return fmt.Errorf("client: %s %s: %s", method, path, apiErr.Error)
+		}
+		return fmt.Errorf("client: %s %s: HTTP %d", method, path, resp.StatusCode)
+	}
+	if out == nil {
+		return nil
+	}
+	return json.Unmarshal(data, out)
+}
+
+// Submit posts a job spec.
+func (c *Client) Submit(ctx context.Context, spec server.JobSpec) (*server.SubmitResponse, error) {
+	var resp server.SubmitResponse
+	if err := c.doJSON(ctx, http.MethodPost, "/v1/jobs", spec, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Job fetches a job's status.
+func (c *Client) Job(ctx context.Context, id string) (*server.JobStatus, error) {
+	var st server.JobStatus
+	if err := c.doJSON(ctx, http.MethodGet, "/v1/jobs/"+id, nil, &st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// Wait polls until the job reaches a terminal state and returns it.
+func (c *Client) Wait(ctx context.Context, id string) (*server.JobStatus, error) {
+	interval := c.PollInterval
+	if interval <= 0 {
+		interval = 100 * time.Millisecond
+	}
+	for {
+		st, err := c.Job(ctx, id)
+		if err != nil {
+			return nil, err
+		}
+		switch st.State {
+		case server.StateDone, server.StateFailed, server.StateCanceled:
+			return st, nil
+		}
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-time.After(interval):
+		}
+	}
+}
+
+// Result fetches the stored canonical result bytes for a content key and
+// their decoded form. The raw bytes are exactly what the daemon stored —
+// print them for -json output and a remote result is byte-identical to a
+// local one.
+func (c *Client) Result(ctx context.Context, key string) (*server.Result, []byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/v1/results/"+key, nil)
+	if err != nil {
+		return nil, nil, err
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, nil, fmt.Errorf("client: GET /v1/results/%s: HTTP %d", key, resp.StatusCode)
+	}
+	res, err := server.DecodeResult(raw)
+	if err != nil {
+		return nil, nil, err
+	}
+	return res, raw, nil
+}
+
+// Catalog fetches the daemon's catalog.
+func (c *Client) Catalog(ctx context.Context) (*server.Catalog, error) {
+	var cat server.Catalog
+	if err := c.doJSON(ctx, http.MethodGet, "/v1/catalog", nil, &cat); err != nil {
+		return nil, err
+	}
+	return &cat, nil
+}
+
+// Metrics fetches the daemon's text-format counters.
+func (c *Client) Metrics(ctx context.Context) (string, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/metrics", nil)
+	if err != nil {
+		return "", err
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return "", err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("client: GET /metrics: HTTP %d", resp.StatusCode)
+	}
+	return string(data), nil
+}
+
+// Events subscribes to a job's SSE stream and invokes fn for every event,
+// historical and live, until the stream ends (the job reached a terminal
+// state) or ctx is cancelled. A cancelled ctx is not an error: the caller
+// chose to stop watching.
+func (c *Client) Events(ctx context.Context, id string, fn func(server.Event)) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/v1/jobs/"+id+"/events", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		if ctx.Err() != nil {
+			return nil
+		}
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("client: GET /v1/jobs/%s/events: HTTP %d", id, resp.StatusCode)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	var data string
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "data:"):
+			data = strings.TrimSpace(strings.TrimPrefix(line, "data:"))
+		case line == "" && data != "":
+			var ev server.Event
+			if err := json.Unmarshal([]byte(data), &ev); err != nil {
+				return fmt.Errorf("client: decoding event: %w", err)
+			}
+			fn(ev)
+			data = ""
+		}
+	}
+	if err := sc.Err(); err != nil && ctx.Err() == nil {
+		return err
+	}
+	return nil
+}

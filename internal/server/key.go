@@ -1,0 +1,40 @@
+package server
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+)
+
+// keyVersion is hashed into every content key. Bump it whenever the
+// canonical spec encoding or the measurement semantics behind it change,
+// so stale stored results from an incompatible daemon can never be served
+// for new requests.
+const keyVersion = "biaslabd/job/v1\n"
+
+// Key returns the content-address of a job: the hex SHA-256 of the
+// canonicalized spec's JSON encoding under the key version. Because
+// Canonicalize applies defaults and zeroes unused fields, every request
+// for the same work — however its optional fields were spelled — hashes to
+// the same key, which is what makes in-flight dedup and the result store
+// line up with measurement identity.
+func Key(spec JobSpec) (string, error) {
+	c, err := spec.Canonicalize()
+	if err != nil {
+		return "", err
+	}
+	return canonicalKey(c), nil
+}
+
+// canonicalKey hashes an already-canonical spec.
+func canonicalKey(c JobSpec) string {
+	b, err := json.Marshal(c)
+	if err != nil {
+		// A JobSpec contains only plain scalar fields; Marshal cannot fail.
+		panic("server: encoding canonical spec: " + err.Error())
+	}
+	h := sha256.New()
+	h.Write([]byte(keyVersion))
+	h.Write(b)
+	return hex.EncodeToString(h.Sum(nil))
+}

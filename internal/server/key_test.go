@@ -1,0 +1,91 @@
+package server_test
+
+import (
+	"testing"
+
+	"biaslab/internal/server"
+)
+
+func mustKey(t *testing.T, spec server.JobSpec) string {
+	t.Helper()
+	key, err := server.Key(spec)
+	if err != nil {
+		t.Fatalf("Key(%+v): %v", spec, err)
+	}
+	return key
+}
+
+// TestKeyCanonicalization: two specs that request the same work must hash
+// to the same content key, however they spell it.
+func TestKeyCanonicalization(t *testing.T) {
+	base := server.JobSpec{Kind: server.KindSweepEnv, Bench: "hmmer"}
+	explicit := server.JobSpec{
+		Kind: server.KindSweepEnv, Bench: "hmmer",
+		Size: "small", Machine: "core2", Personality: "gcc", Step: 128,
+	}
+	if k1, k2 := mustKey(t, base), mustKey(t, explicit); k1 != k2 {
+		t.Errorf("defaulted and explicit specs keyed differently:\n%s\n%s", k1, k2)
+	}
+
+	// Fields the kind does not use must not perturb the key.
+	noisy := base
+	noisy.Orders = 999
+	noisy.N = 7
+	noisy.Tol = 0.5
+	noisy.EnvBytes = 4096
+	noisy.Level = "O3"
+	noisy.Experiment = "F3"
+	if k1, k2 := mustKey(t, base), mustKey(t, noisy); k1 != k2 {
+		t.Errorf("kind-irrelevant fields changed the key:\n%s\n%s", k1, k2)
+	}
+}
+
+// TestKeySeparatesWork: any field the kind does use must separate keys.
+func TestKeySeparatesWork(t *testing.T) {
+	base := server.JobSpec{Kind: server.KindSweepEnv, Bench: "hmmer"}
+	variants := []server.JobSpec{
+		{Kind: server.KindSweepLink, Bench: "hmmer"},
+		{Kind: server.KindSweepEnv, Bench: "libquantum"},
+		{Kind: server.KindSweepEnv, Bench: "hmmer", Machine: "p4"},
+		{Kind: server.KindSweepEnv, Bench: "hmmer", Size: "test"},
+		{Kind: server.KindSweepEnv, Bench: "hmmer", Step: 64},
+		{Kind: server.KindSweepEnv, Bench: "hmmer", Personality: "icc"},
+	}
+	seen := map[string]int{mustKey(t, base): -1}
+	for i, v := range variants {
+		k := mustKey(t, v)
+		if prev, dup := seen[k]; dup {
+			t.Errorf("variant %d collides with %d: %+v", i, prev, v)
+		}
+		seen[k] = i
+	}
+}
+
+// TestKeyRejectsInvalidSpecs: keying validates, so garbage can never be
+// stored under a well-formed key.
+func TestKeyRejectsInvalidSpecs(t *testing.T) {
+	for _, spec := range []server.JobSpec{
+		{},
+		{Kind: "sideways"},
+		{Kind: server.KindSweepEnv},
+		{Kind: server.KindSweepEnv, Bench: "hmmer", Size: "jumbo"},
+		{Kind: server.KindExperiment},
+	} {
+		if _, err := server.Key(spec); err == nil {
+			t.Errorf("Key(%+v) succeeded, want error", spec)
+		}
+	}
+}
+
+// TestKeyIsStable pins the key format: a version-prefixed SHA-256 hex
+// digest. If this test breaks, stored results from older daemons are
+// orphaned — bump keyVersion deliberately, not by accident.
+func TestKeyIsStable(t *testing.T) {
+	key := mustKey(t, server.JobSpec{Kind: server.KindSweepEnv, Bench: "hmmer"})
+	if len(key) != 64 {
+		t.Errorf("key %q is not a SHA-256 hex digest", key)
+	}
+	if again := mustKey(t, server.JobSpec{Kind: server.KindSweepEnv, Bench: "hmmer"}); again != key {
+		t.Errorf("keying is not deterministic: %s vs %s", key, again)
+	}
+}

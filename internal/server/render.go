@@ -1,0 +1,132 @@
+package server
+
+import (
+	"fmt"
+	"strings"
+
+	"biaslab/internal/report"
+)
+
+// The renderers below are the single text/CSV code path for results:
+// cmd/biaslab calls them for local runs, the daemon serves them on
+// GET /v1/results/{key}?format=text|csv, and the client mode renders
+// fetched results through them — which is what makes a remote result
+// byte-identical to the same command run locally.
+
+// RenderText renders a result exactly as the equivalent biaslab subcommand
+// prints it, trailing newline included.
+func RenderText(res *Result) (string, error) {
+	switch res.Kind {
+	case KindRun:
+		r := res.Run
+		if r == nil {
+			return "", fmt.Errorf("server: %s result missing payload", res.Kind)
+		}
+		var sb strings.Builder
+		fmt.Fprintf(&sb, "%s under %s (%s workload)\n\n", r.Benchmark, r.Setup, r.Size)
+		sb.WriteString(r.Counters.String())
+		fmt.Fprintf(&sb, "checksum             %12d\n", r.Checksum)
+		return sb.String(), nil
+	case KindSweepEnv:
+		r := res.EnvSweep
+		if r == nil {
+			return "", fmt.Errorf("server: %s result missing payload", res.Kind)
+		}
+		return envSweepTable(r).String() + "\n" + r.Report.String() + "\n", nil
+	case KindSweepLink:
+		r := res.LinkSweep
+		if r == nil {
+			return "", fmt.Errorf("server: %s result missing payload", res.Kind)
+		}
+		return linkSweepTable(r).String() + "\n" + r.Report.String() + "\n", nil
+	case KindRandomize:
+		r := res.Randomize
+		if r == nil {
+			return "", fmt.Errorf("server: %s result missing payload", res.Kind)
+		}
+		verdict := "INCONCLUSIVE: the interval contains 1.0 — a single-setup paper would still have printed a number"
+		if r.Conclusive {
+			verdict = "the randomized experiment supports a direction: the interval excludes 1.0"
+		}
+		return r.Estimate.String() + "\n" + verdict + "\n", nil
+	case KindExperiment:
+		r := res.Experiment
+		if r == nil {
+			return "", fmt.Errorf("server: %s result missing payload", res.Kind)
+		}
+		return r.Text + "\n", nil
+	}
+	return "", fmt.Errorf("server: cannot render result of kind %q", res.Kind)
+}
+
+// RenderCSV renders a result's CSV form.
+func RenderCSV(res *Result) (string, error) {
+	switch res.Kind {
+	case KindRun:
+		r := res.Run
+		if r == nil {
+			return "", fmt.Errorf("server: %s result missing payload", res.Kind)
+		}
+		var sb strings.Builder
+		sb.WriteString("counter,value\n")
+		fmt.Fprintf(&sb, "cycles,%d\n", r.Cycles)
+		fmt.Fprintf(&sb, "instructions,%d\n", r.Counters.Instructions)
+		fmt.Fprintf(&sb, "checksum,%d\n", r.Checksum)
+		return sb.String(), nil
+	case KindSweepEnv:
+		r := res.EnvSweep
+		if r == nil {
+			return "", fmt.Errorf("server: %s result missing payload", res.Kind)
+		}
+		return envSweepTable(r).CSV(), nil
+	case KindSweepLink:
+		r := res.LinkSweep
+		if r == nil {
+			return "", fmt.Errorf("server: %s result missing payload", res.Kind)
+		}
+		return linkSweepTable(r).CSV(), nil
+	case KindRandomize:
+		r := res.Randomize
+		if r == nil {
+			return "", fmt.Errorf("server: %s result missing payload", res.Kind)
+		}
+		var sb strings.Builder
+		sb.WriteString("setup,speedup\n")
+		for i, sp := range r.Estimate.Speedups {
+			fmt.Fprintf(&sb, "%d,%g\n", i, sp)
+		}
+		return sb.String(), nil
+	case KindExperiment:
+		r := res.Experiment
+		if r == nil {
+			return "", fmt.Errorf("server: %s result missing payload", res.Kind)
+		}
+		return fmt.Sprintf("# %s: %s\n%s", r.ID, r.Title, r.CSV), nil
+	}
+	return "", fmt.Errorf("server: cannot render result of kind %q", res.Kind)
+}
+
+// envSweepTable builds the sweep-env table exactly as cmd/biaslab always
+// rendered it.
+func envSweepTable(r *EnvSweepResult) *report.Table {
+	t := &report.Table{
+		Title:   fmt.Sprintf("O3-over-O2 speedup of %s vs environment size (%s)", r.Benchmark, r.Machine),
+		Headers: []string{"env bytes", "cycles O2", "cycles O3", "speedup"},
+	}
+	for _, p := range r.Points {
+		t.AddRow(p.EnvBytes, p.CyclesBase, p.CyclesOpt, p.Speedup)
+	}
+	return t
+}
+
+// linkSweepTable builds the sweep-link table.
+func linkSweepTable(r *LinkSweepResult) *report.Table {
+	t := &report.Table{
+		Title:   fmt.Sprintf("O3-over-O2 speedup of %s vs link order (%s)", r.Benchmark, r.Machine),
+		Headers: []string{"order", "cycles O2", "cycles O3", "speedup"},
+	}
+	for _, p := range r.Points {
+		t.AddRow(p.Label, p.CyclesBase, p.CyclesOpt, p.Speedup)
+	}
+	return t
+}

@@ -1,0 +1,472 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"sync"
+
+	"biaslab/internal/bench"
+	"biaslab/internal/core"
+	"biaslab/internal/journal"
+)
+
+// Config configures a Server.
+type Config struct {
+	// DataDir holds the result store (results.jsonl) and per-job
+	// checkpoint journals (jobs/<key>.jsonl). One daemon owns a DataDir at
+	// a time.
+	DataDir string
+	// Workers bounds concurrent job execution (default 2). Each job's
+	// sweep additionally parallelizes internally through the Runner.
+	Workers int
+	// QueueCap bounds the number of queued jobs (default 256); submissions
+	// beyond it are rejected with ErrQueueFull rather than buffered
+	// without limit.
+	QueueCap int
+}
+
+// Errors surfaced to the HTTP layer.
+var (
+	// ErrDraining rejects submissions during graceful shutdown.
+	ErrDraining = errors.New("server: draining, not accepting jobs")
+	// ErrQueueFull rejects submissions when the job queue is at capacity.
+	ErrQueueFull = errors.New("server: job queue full")
+)
+
+// Server is the biaslabd engine: a bounded worker pool over the
+// measurement core, a singleflight job table keyed by content hash, and
+// the persistent result store. Construct with New, serve its Handler, and
+// stop with Shutdown.
+type Server struct {
+	cfg     Config
+	store   *Store
+	queue   chan *job
+	ctx     context.Context
+	cancel  context.CancelFunc
+	wg      sync.WaitGroup
+	metrics metrics
+
+	mu       sync.Mutex
+	jobs     map[string]*job // by id
+	active   map[string]*job // queued/running jobs by content key (singleflight)
+	runners  map[bench.Size]*core.Runner
+	nextID   int
+	draining bool
+}
+
+// New opens the store under cfg.DataDir and starts the worker pool.
+func New(cfg Config) (*Server, error) {
+	if cfg.Workers <= 0 {
+		cfg.Workers = 2
+	}
+	if cfg.QueueCap <= 0 {
+		cfg.QueueCap = 256
+	}
+	if cfg.DataDir == "" {
+		return nil, fmt.Errorf("server: Config.DataDir is required")
+	}
+	if err := os.MkdirAll(filepath.Join(cfg.DataDir, "jobs"), 0o755); err != nil {
+		return nil, fmt.Errorf("server: creating data dir: %w", err)
+	}
+	store, err := OpenStore(filepath.Join(cfg.DataDir, "results.jsonl"))
+	if err != nil {
+		return nil, err
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:     cfg,
+		store:   store,
+		queue:   make(chan *job, cfg.QueueCap),
+		ctx:     ctx,
+		cancel:  cancel,
+		jobs:    map[string]*job{},
+		active:  map[string]*job{},
+		runners: map[bench.Size]*core.Runner{},
+	}
+	s.wg.Add(cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
+		go s.worker()
+	}
+	return s, nil
+}
+
+// runner returns the shared Runner for a workload size, creating it on
+// first use with the metrics hook attached. Sharing one Runner per size
+// across all jobs is what makes the daemon's compile/link caches span
+// clients.
+func (s *Server) runner(size bench.Size) *core.Runner {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r, ok := s.runners[size]
+	if !ok {
+		r = core.NewRunner(size)
+		r.OnMeasure = s.metrics.measured
+		s.runners[size] = r
+	}
+	return r
+}
+
+// Submit accepts a job: a store hit returns a job born done (zero new
+// measurements), an identical in-flight job absorbs the submission
+// (singleflight), and anything else is queued for the worker pool.
+func (s *Server) Submit(spec JobSpec) (*SubmitResponse, error) {
+	canonical, err := spec.Canonicalize()
+	if err != nil {
+		return nil, err
+	}
+	key := canonicalKey(canonical)
+
+	// Store hit: the result is already durable; the job exists only so
+	// GET /v1/jobs/{id} and the event stream behave uniformly.
+	if _, ok, err := s.store.Get(key); err != nil {
+		return nil, err
+	} else if ok {
+		s.mu.Lock()
+		if s.draining {
+			s.mu.Unlock()
+			return nil, ErrDraining
+		}
+		j := s.newJobLocked(canonical, key)
+		j.cached = true
+		s.mu.Unlock()
+		j.setState(StateDone, nil)
+		s.metrics.submitted(true)
+		return &SubmitResponse{ID: j.id, Key: key, Cached: true, State: StateDone}, nil
+	}
+
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return nil, ErrDraining
+	}
+	if j, ok := s.active[key]; ok {
+		s.mu.Unlock()
+		s.metrics.submitted(true)
+		return &SubmitResponse{ID: j.id, Key: key, InFlight: true, State: j.State()}, nil
+	}
+	j := s.newJobLocked(canonical, key)
+	s.active[key] = j
+	select {
+	case s.queue <- j:
+	default:
+		delete(s.jobs, j.id)
+		delete(s.active, key)
+		s.mu.Unlock()
+		return nil, ErrQueueFull
+	}
+	s.mu.Unlock()
+	s.metrics.submitted(false)
+	s.metrics.enqueued()
+	return &SubmitResponse{ID: j.id, Key: key, State: StateQueued}, nil
+}
+
+// newJobLocked allocates a job under s.mu.
+func (s *Server) newJobLocked(canonical JobSpec, key string) *job {
+	s.nextID++
+	j := &job{
+		id:      "job-" + strconv.Itoa(s.nextID),
+		key:     key,
+		spec:    canonical,
+		state:   StateQueued,
+		changed: make(chan struct{}),
+	}
+	j.events = append(j.events, Event{Type: "state", State: StateQueued})
+	s.jobs[j.id] = j
+	return j
+}
+
+// Job returns the status of a job by id.
+func (s *Server) Job(id string) (*JobStatus, bool) {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		return nil, false
+	}
+	st := j.status()
+	return &st, true
+}
+
+// Result returns the stored canonical result bytes for a content key.
+func (s *Server) Result(key string) ([]byte, bool, error) {
+	return s.store.Get(key)
+}
+
+// MetricsSnapshot captures the daemon's counters.
+func (s *Server) MetricsSnapshot() Snapshot {
+	s.mu.Lock()
+	byState := map[JobState]uint64{}
+	for _, j := range s.jobs {
+		byState[j.State()]++
+	}
+	s.mu.Unlock()
+	m := &s.metrics
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return Snapshot{
+		JobsSubmitted:  m.jobsSubmitted,
+		Jobs:           byState,
+		CacheHits:      m.cacheHits,
+		CacheMisses:    m.cacheMisses,
+		QueueDepth:     m.queueDepth,
+		Workers:        s.cfg.Workers,
+		WorkersBusy:    m.workersBusy,
+		PointsMeasured: m.pointsMeasured,
+		PointsReplayed: m.pointsReplayed,
+		Measurements:   m.measurements,
+		Instructions:   m.instructions,
+		Cycles:         m.cycles,
+		StoredResults:  s.store.Len(),
+	}
+}
+
+// Shutdown drains the daemon: submissions are rejected, the run context is
+// cancelled so in-flight sweeps stop at the next watchdog poll (their
+// completed points already fsynced in per-job journals), workers are
+// awaited, still-queued jobs are marked canceled, and the store is closed.
+// Resubmitting an interrupted job after a restart resumes from its journal
+// without re-measuring a single completed point.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return nil
+	}
+	s.draining = true
+	s.mu.Unlock()
+
+	s.cancel()
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+	// Workers are gone; whatever is left in the queue never started.
+	for {
+		select {
+		case j := <-s.queue:
+			s.metrics.dequeued()
+			s.finishJob(j, StateCanceled, context.Canceled)
+		default:
+			return s.store.Close()
+		}
+	}
+}
+
+// worker pulls jobs until the run context is cancelled.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for {
+		select {
+		case <-s.ctx.Done():
+			return
+		case j := <-s.queue:
+			s.metrics.dequeued()
+			s.metrics.busy(1)
+			s.runJob(j)
+			s.metrics.busy(-1)
+		}
+	}
+}
+
+// runJob executes one job and resolves it.
+func (s *Server) runJob(j *job) {
+	j.setState(StateRunning, nil)
+	raw, err := s.execute(s.ctx, j)
+	if err != nil {
+		state := StateFailed
+		if errors.Is(err, context.Canceled) || s.ctx.Err() != nil {
+			state = StateCanceled
+		}
+		s.finishJob(j, state, err)
+		return
+	}
+	if err := s.store.Put(j.key, raw); err != nil {
+		s.finishJob(j, StateFailed, err)
+		return
+	}
+	// The per-job checkpoint journal is redundant once the result is
+	// durable; best-effort cleanup.
+	os.Remove(s.jobJournalPath(j.key))
+	s.finishJob(j, StateDone, nil)
+}
+
+// finishJob moves a job to a terminal state and releases its singleflight
+// slot.
+func (s *Server) finishJob(j *job, state JobState, err error) {
+	s.mu.Lock()
+	if s.active[j.key] == j {
+		delete(s.active, j.key)
+	}
+	s.mu.Unlock()
+	j.setState(state, err)
+}
+
+func (s *Server) jobJournalPath(key string) string {
+	return filepath.Join(s.cfg.DataDir, "jobs", key+".jsonl")
+}
+
+// jobCheckpoint opens the job's checkpoint journal and wraps it so every
+// completed point — fresh or replayed from an earlier interrupted run —
+// feeds the job's progress, the SSE event stream, and the daemon's
+// counters. This is the live-progress spine: the same fsynced record that
+// makes a point crash-safe is what announces it to watchers.
+func (s *Server) jobCheckpoint(j *job) (core.Checkpoint, func(), error) {
+	jn, err := journal.Open(s.jobJournalPath(j.key))
+	if err != nil {
+		return nil, nil, err
+	}
+	ck := core.WithProgress(jn, func(key string, replayed bool) {
+		j.point(key, replayed)
+		s.metrics.point(replayed)
+	})
+	return ck, func() { jn.Close() }, nil
+}
+
+// execute runs the measurement a job names through the shared Execute
+// path, wiring the job's checkpoint journal and progress into it, and
+// returns the canonical result encoding.
+func (s *Server) execute(ctx context.Context, j *job) ([]byte, error) {
+	spec := j.spec
+	size, err := parseSize(spec.Size)
+	if err != nil {
+		return nil, err
+	}
+	var ck core.Checkpoint
+	switch spec.Kind {
+	case KindSweepEnv, KindSweepLink, KindExperiment:
+		jobCk, closeCk, err := s.jobCheckpoint(j)
+		if err != nil {
+			return nil, err
+		}
+		defer closeCk()
+		ck = jobCk
+	}
+	res, err := Execute(ctx, s.runner(size), spec, ck, j.setTotal)
+	if err != nil {
+		return nil, err
+	}
+	switch {
+	case res.Run != nil:
+		j.point("run", false)
+		s.metrics.point(false)
+	case res.Randomize != nil:
+		j.setDone(res.Randomize.Estimate.N)
+	}
+	return EncodeResult(res)
+}
+
+// job is one submitted measurement job.
+type job struct {
+	id     string
+	key    string
+	spec   JobSpec // canonical
+	cached bool
+
+	mu       sync.Mutex
+	state    JobState
+	progress Progress
+	errDet   *ErrorDetail
+	events   []Event
+	changed  chan struct{} // closed and replaced on every event append
+}
+
+// State returns the job's current state.
+func (j *job) State() JobState {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state
+}
+
+// status snapshots the job for GET /v1/jobs/{id}.
+func (j *job) status() JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return JobStatus{
+		ID:       j.id,
+		Key:      j.key,
+		Spec:     j.spec,
+		State:    j.state,
+		Cached:   j.cached,
+		Progress: j.progress,
+		Error:    j.errDet,
+	}
+}
+
+// emitLocked appends an event and wakes subscribers. Callers hold j.mu.
+func (j *job) emitLocked(ev Event) {
+	j.events = append(j.events, ev)
+	close(j.changed)
+	j.changed = make(chan struct{})
+}
+
+// setState transitions the job and emits a state event; err (when
+// non-nil) is recorded as the job's typed failure detail.
+func (j *job) setState(state JobState, err error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.state = state
+	if err != nil {
+		j.errDet = newErrorDetail(err)
+	}
+	j.emitLocked(Event{Type: "state", State: state, Done: j.progress.Done, Total: j.progress.Total, Error: j.errDet})
+}
+
+// setTotal sets the expected point count.
+func (j *job) setTotal(n int) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.progress.Total = n
+}
+
+// setDone pins the completed count (randomize jobs, which report progress
+// only at the end).
+func (j *job) setDone(n int) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.progress.Done = n
+}
+
+// point records one completed sweep point and emits a point event.
+func (j *job) point(key string, replayed bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.progress.Done++
+	if replayed {
+		j.progress.Replayed++
+	}
+	j.emitLocked(Event{
+		Type:     "point",
+		Key:      key,
+		Replayed: replayed,
+		Done:     j.progress.Done,
+		Total:    j.progress.Total,
+	})
+}
+
+// terminal reports whether the state is final.
+func terminal(state JobState) bool {
+	return state == StateDone || state == StateFailed || state == StateCanceled
+}
+
+// eventsSince returns the events from index i on, a channel that is
+// closed when more arrive, and whether the job has reached a terminal
+// state. The SSE handler drains events, then waits on the channel.
+func (j *job) eventsSince(i int) ([]Event, <-chan struct{}, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if i > len(j.events) {
+		i = len(j.events)
+	}
+	evs := append([]Event(nil), j.events[i:]...)
+	return evs, j.changed, terminal(j.state)
+}

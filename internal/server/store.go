@@ -1,0 +1,52 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"biaslab/internal/journal"
+)
+
+// Store is the persistent content-addressed result store: content key →
+// canonical result encoding. It reuses internal/journal's fsynced JSONL
+// discipline, so a stored result survives a kill at any instant and the
+// bytes read back are exactly the bytes stored — cached results are
+// byte-identical to fresh ones across restarts. One Store (and one daemon)
+// owns a store file at a time; the journal does not support multi-process
+// sharing.
+type Store struct {
+	j *journal.Journal
+}
+
+// OpenStore opens (creating if absent) the store at path and loads every
+// intact record, tolerating the torn final line of a mid-write kill.
+func OpenStore(path string) (*Store, error) {
+	j, err := journal.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("server: opening result store: %w", err)
+	}
+	return &Store{j: j}, nil
+}
+
+// Get returns the stored canonical result bytes for key.
+func (s *Store) Get(key string) ([]byte, bool, error) {
+	var raw json.RawMessage
+	ok, err := s.j.Lookup(key, &raw)
+	if err != nil || !ok {
+		return nil, false, err
+	}
+	return raw, true, nil
+}
+
+// Put durably stores the canonical result bytes under key before
+// returning. raw must be valid JSON (it always is: every caller encodes
+// through EncodeResult).
+func (s *Store) Put(key string, raw []byte) error {
+	return s.j.Record(key, json.RawMessage(raw))
+}
+
+// Len returns the number of stored results.
+func (s *Store) Len() int { return s.j.Len() }
+
+// Close syncs and closes the store.
+func (s *Store) Close() error { return s.j.Close() }

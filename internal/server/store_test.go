@@ -1,0 +1,53 @@
+package server_test
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+
+	"biaslab/internal/server"
+)
+
+// TestStoreRoundTripAndPersistence: stored result bytes come back verbatim,
+// and survive a close/reopen cycle — the property that lets a restarted
+// daemon serve cache hits byte-identical to the run that produced them.
+func TestStoreRoundTripAndPersistence(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "results.jsonl")
+	st, err := server.OpenStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw := []byte(`{"kind":"run","spec":{"kind":"run","size":"test","bench":"hmmer"},"run":{"cycles":12345}}`)
+	if err := st.Put("k1", raw); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := st.Get("k1")
+	if err != nil || !ok {
+		t.Fatalf("Get = %v, %v; want hit", ok, err)
+	}
+	if !bytes.Equal(got, raw) {
+		t.Errorf("stored bytes changed:\nput %s\ngot %s", raw, got)
+	}
+	if _, ok, _ := st.Get("absent"); ok {
+		t.Error("Get of unknown key reported a hit")
+	}
+	if st.Len() != 1 {
+		t.Errorf("Len = %d, want 1", st.Len())
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, err := server.OpenStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Close()
+	got2, ok, err := st2.Get("k1")
+	if err != nil || !ok {
+		t.Fatalf("Get after reopen = %v, %v; want hit", ok, err)
+	}
+	if !bytes.Equal(got2, raw) {
+		t.Errorf("reopened store changed the bytes:\nput %s\ngot %s", raw, got2)
+	}
+}

@@ -44,6 +44,7 @@ package biaslab
 import (
 	"context"
 
+	"biaslab/internal/analysis"
 	"biaslab/internal/bench"
 	"biaslab/internal/compiler"
 	"biaslab/internal/core"
@@ -124,6 +125,17 @@ type (
 	Stage = core.Stage
 	// Checkpoint persists completed sweep points for crash-safe resume.
 	Checkpoint = core.Checkpoint
+	// EnvPlan is the bias oracle's measurement plan for an env sweep — the
+	// predicted transition boundaries an adaptive sweep measures around.
+	EnvPlan = analysis.EnvPlan
+	// AdaptiveSweepStats is the adaptive sweep's measurement ledger.
+	AdaptiveSweepStats = core.AdaptiveSweepStats
+	// MachineConfig describes a simulated machine for Runner.RegisterMachine;
+	// CacheConfig, PredictorConfig and Penalties are its components.
+	MachineConfig   = machine.Config
+	CacheConfig     = machine.CacheConfig
+	PredictorConfig = machine.PredictorConfig
+	Penalties       = machine.Penalties
 )
 
 // Pipeline stages, re-exported for errors.As inspection of failures.
@@ -182,6 +194,21 @@ func EnvSweepCheckpointed(ctx context.Context, r *Runner, b *BenchmarkProgram, s
 
 // DefaultEnvSizes returns the canonical 0–4 KiB environment sweep.
 func DefaultEnvSizes(step uint64) []uint64 { return core.DefaultEnvSizes(step) }
+
+// PlanEnvSweep asks the bias oracle for an env sweep's predicted transition
+// boundaries — the plan EnvSweepAdaptive measures against.
+func PlanEnvSweep(r *Runner, b *BenchmarkProgram, setup Setup, sizes []uint64) (*EnvPlan, error) {
+	return core.PlanEnvSweep(r, b, setup, sizes)
+}
+
+// EnvSweepAdaptive is EnvSweep guided by the bias oracle: it measures the
+// predicted transition boundaries plus verification points, interpolates
+// plateaus that verify, and re-measures densely any plateau whose
+// verification fails — byte-identical to EnvSweep when predictions hold,
+// still correct when they don't.
+func EnvSweepAdaptive(ctx context.Context, r *Runner, b *BenchmarkProgram, setup Setup, sizes []uint64, ck Checkpoint) ([]EnvPoint, AdaptiveSweepStats, error) {
+	return core.EnvSweepAdaptive(ctx, r, b, setup, sizes, ck)
+}
 
 // LinkSweep measures the speedup under default, alphabetical, and n random
 // link orders.

@@ -1,0 +1,97 @@
+// Command benchjson converts `go test -bench` text output on stdin into a
+// JSON document on stdout, one record per benchmark result line. CI uses it
+// to publish the throughput numbers (BENCH_6.json) as a diffable artifact;
+// it has no knowledge of specific benchmarks and passes every metric pair
+// through verbatim.
+//
+// A benchmark line has the shape
+//
+//	BenchmarkSimulator-8   3   27026000 ns/op   80.7 Minstr/s   147 allocs/op
+//
+// i.e. name, iteration count, then (value, unit) pairs. Everything else
+// (experiment artifacts printed by the benchmarks, PASS/ok trailers) is
+// ignored.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+type result struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	Metrics    map[string]float64 `json:"metrics"`
+}
+
+func main() {
+	var results []result
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		if r, ok := parseLine(sc.Text()); ok {
+			results = append(results, r)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if len(results) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark result lines on stdin")
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(results); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+// parseLine parses one benchmark result line; ok is false for any line that
+// is not one (artifact output, headers, PASS/ok trailers).
+func parseLine(line string) (result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return result{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return result{}, false
+	}
+	r := result{
+		// Strip the -GOMAXPROCS suffix so records compare across runners.
+		Name:       strings.TrimSuffix(fields[0], "-"+lastDashPart(fields[0])),
+		Iterations: iters,
+		Metrics:    map[string]float64{},
+	}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return result{}, false
+		}
+		r.Metrics[fields[i+1]] = v
+	}
+	if len(r.Metrics) == 0 {
+		return result{}, false
+	}
+	return r, true
+}
+
+// lastDashPart returns the text after the final '-' when it is numeric (the
+// GOMAXPROCS suffix), else an impossible sentinel so TrimSuffix is a no-op.
+func lastDashPart(name string) string {
+	i := strings.LastIndexByte(name, '-')
+	if i < 0 {
+		return "\x00"
+	}
+	if _, err := strconv.ParseInt(name[i+1:], 10, 64); err != nil {
+		return "\x00"
+	}
+	return name[i+1:]
+}

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -10,6 +11,7 @@ import (
 	"biaslab/internal/bench"
 	"biaslab/internal/cmini"
 	"biaslab/internal/compiler"
+	"biaslab/internal/core"
 	"biaslab/internal/linker"
 	"biaslab/internal/machine"
 	"biaslab/internal/report"
@@ -116,6 +118,36 @@ func (a *app) cmdPredict(args []string) error {
 	if !ok {
 		return usageErrorf("unknown machine %q (try 'biaslab list')", *machineName)
 	}
+
+	if a.jsonOut {
+		// Emit the measurement plan for an adaptive env sweep: the merged
+		// O2+O3 EnvPlan, built through the very function the adaptive sweep
+		// calls, so what this command prints is exactly what the planner
+		// consumes. -O3 is moot here (the plan always covers both levels).
+		var sizes []uint64
+		if *step == 0 {
+			*step = 8
+		}
+		for e := uint64(24); e <= *maxEnv; e += *step {
+			sizes = append(sizes, e)
+		}
+		setup := core.DefaultSetup(*machineName)
+		if *icc {
+			setup.Compiler.Personality = compiler.ICC
+		}
+		r := core.NewRunner(bench.Size(a.size))
+		plan, err := core.PlanEnvSweep(r, b, setup, sizes)
+		if err != nil {
+			return err
+		}
+		out, err := json.MarshalIndent(plan, "", "  ")
+		if err != nil {
+			return err
+		}
+		fmt.Println(string(out))
+		return nil
+	}
+
 	ccfg := compiler.Config{Level: compiler.O2}
 	if *o3 {
 		ccfg.Level = compiler.O3

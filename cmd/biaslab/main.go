@@ -4,12 +4,12 @@
 // Usage:
 //
 //	biaslab run -bench perlbench -machine core2 [-env 512] [-O2|-O3] [-icc]
-//	biaslab sweep-env -bench perlbench -machine core2 [-step 128]
+//	biaslab sweep-env -bench perlbench -machine core2 [-step 128] [-adaptive]
 //	biaslab sweep-link -bench gcc -machine core2 [-orders 16]
 //	biaslab randomize -bench perlbench -machine core2 [-n 16]
 //	biaslab causal -bench perlbench -machine core2
 //	biaslab vet [files.cm...]
-//	biaslab predict -bench hmmer -machine core2 [-step 8] [-perms 24]
+//	biaslab predict -bench hmmer -machine core2 [-step 8] [-perms 24] [-json]
 //	biaslab survey
 //	biaslab experiment F3          # any of F1–F9, T1–T4
 //	biaslab all                    # every experiment, in order
@@ -179,7 +179,7 @@ func (a *app) dispatch(cmd string, cmdArgs []string) error {
 	if a.server != "" && !serviceCommands[cmd] {
 		return usageErrorf("%s runs locally only; -server supports run, sweep-env, sweep-link, randomize, experiment, all and list", cmd)
 	}
-	if a.jsonOut && (!serviceCommands[cmd] || cmd == "all") {
+	if a.jsonOut && cmd != "predict" && (!serviceCommands[cmd] || cmd == "all") {
 		return usageErrorf("-json is not supported for %s", cmd)
 	}
 	switch cmd {
@@ -301,15 +301,17 @@ func (a *app) cmdSweepEnv(args []string) error {
 	benchName := benchFlag(fs)
 	machineName := machineFlag(fs)
 	step := fs.Uint64("step", 128, "environment-size step in bytes")
+	adaptive := fs.Bool("adaptive", false, "oracle-guided sweep: measure predicted boundaries, verify and interpolate plateaus")
 	if err := fs.Parse(args); err != nil {
 		return usageError{err}
 	}
 	return a.runSpec(server.JobSpec{
-		Kind:    server.KindSweepEnv,
-		Size:    a.size.String(),
-		Bench:   *benchName,
-		Machine: *machineName,
-		Step:    *step,
+		Kind:     server.KindSweepEnv,
+		Size:     a.size.String(),
+		Bench:    *benchName,
+		Machine:  *machineName,
+		Step:     *step,
+		Adaptive: *adaptive,
 	})
 }
 

@@ -1,0 +1,5 @@
+package analysis
+
+// signPerm is exposed to the package's external tests (they live in
+// analysis_test so they can drive the oracle through internal/core).
+var SignPerm = signPerm

@@ -1,8 +1,9 @@
-package analysis
+package analysis_test
 
 import (
 	"testing"
 
+	"biaslab/internal/analysis"
 	"biaslab/internal/bench"
 	"biaslab/internal/compiler"
 	"biaslab/internal/linker"
@@ -20,7 +21,7 @@ func TestLinkOrderMap(t *testing.T) {
 	}
 	cfg := xvalConfigA()
 
-	lm, err := BuildLinkOrderMap(objs, cfg, linker.Options{}, 720)
+	lm, err := analysis.BuildLinkOrderMap(objs, cfg, linker.Options{}, 720)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -46,7 +47,7 @@ func TestLinkOrderMap(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	direct := signPerm(exe, cfg, base.Order)
+	direct := analysis.SignPerm(exe, cfg, base.Order)
 	if direct.LayoutSig != base.LayoutSig {
 		t.Fatal("baseline signature does not match a direct link of the same order")
 	}
@@ -55,7 +56,7 @@ func TestLinkOrderMap(t *testing.T) {
 	}
 
 	// Determinism: rebuilding the map yields identical signatures.
-	lm2, err := BuildLinkOrderMap(objs, cfg, linker.Options{}, 720)
+	lm2, err := analysis.BuildLinkOrderMap(objs, cfg, linker.Options{}, 720)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -67,7 +68,7 @@ func TestLinkOrderMap(t *testing.T) {
 
 	// Equal layout signatures must agree on everything the signature is
 	// supposed to summarize.
-	byClass := map[uint64]LinkPerm{}
+	byClass := map[uint64]analysis.LinkPerm{}
 	for _, p := range lm.Perms {
 		q, seen := byClass[p.LayoutSig]
 		if !seen {
@@ -92,7 +93,7 @@ func TestLinkOrderMap(t *testing.T) {
 	// Object padding is the layout knob the paper turns; with a pad that is
 	// not a multiple of the fetch block, permutations must produce at least
 	// two different misaligned-entry counts.
-	lmPad, err := BuildLinkOrderMap(objs, cfg, linker.Options{PadObjects: 24}, 720)
+	lmPad, err := analysis.BuildLinkOrderMap(objs, cfg, linker.Options{PadObjects: 24}, 720)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -115,7 +116,7 @@ func TestLinkOrderMapTruncation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	lm, err := BuildLinkOrderMap(objs, xvalConfigB(), linker.Options{}, 2)
+	lm, err := analysis.BuildLinkOrderMap(objs, xvalConfigB(), linker.Options{}, 2)
 	if err != nil {
 		t.Fatal(err)
 	}

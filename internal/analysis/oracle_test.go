@@ -1,9 +1,10 @@
-package analysis
+package analysis_test
 
 import (
 	"context"
 	"testing"
 
+	"biaslab/internal/analysis"
 	"biaslab/internal/bench"
 	"biaslab/internal/core"
 	"biaslab/internal/machine"
@@ -93,7 +94,7 @@ func TestOracleCrossValidation(t *testing.T) {
 				if err != nil {
 					t.Fatal(err)
 				}
-				o, err := NewOracle(exe, nil, cfg, []string{b.Name}, 0)
+				o, err := analysis.NewOracle(exe, nil, cfg, []string{b.Name}, 0)
 				if err != nil {
 					t.Fatal(err)
 				}

@@ -1,0 +1,80 @@
+package analysis
+
+import "fmt"
+
+// EnvPlan is the oracle's product in measurement-planning form: over one
+// environment-size grid, the points whose predicted memory-system signature
+// differs from their left neighbour. Between two consecutive boundaries the
+// oracle predicts constant measured cycles, so an adaptive sweep need only
+// measure the boundaries (plus whatever verification points it wants) and
+// interpolate the plateaus.
+//
+// The struct is the shared contract between `biaslab predict -json` and the
+// adaptive sweep planner in internal/core: what the command emits is exactly
+// what the planner consumes.
+type EnvPlan struct {
+	Bench   string   `json:"bench"`
+	Machine string   `json:"machine"`
+	Sizes   []uint64 `json:"sizes"`
+	// Boundaries are indices into Sizes where the predicted signature
+	// differs from the previous grid point's, under any contributing
+	// conflict map. Index 0 is never a boundary (it has no left neighbour).
+	Boundaries []int `json:"boundaries"`
+	// Exact reports whether every contributing map claimed exactness (no
+	// approximate footprint, no set pressure, no unmodelled mechanism).
+	// Inexact plans are still useful — the adaptive sweep verifies each
+	// plateau empirically and falls back to dense measurement where the
+	// prediction fails — but they carry no standalone guarantee.
+	Exact   bool     `json:"exact"`
+	Reasons []string `json:"reasons,omitempty"`
+}
+
+// NewEnvPlan merges one or more conflict maps computed over the same grid —
+// typically one per compiler level, since an env sweep measures both O2 and
+// O3 binaries — into a single plan whose boundaries are the union of every
+// map's predicted transitions.
+func NewEnvPlan(benchName, machineName string, sizes []uint64, maps ...*ConflictMap) (*EnvPlan, error) {
+	if len(maps) == 0 {
+		return nil, fmt.Errorf("analysis: NewEnvPlan needs at least one conflict map")
+	}
+	p := &EnvPlan{Bench: benchName, Machine: machineName, Sizes: sizes, Exact: true}
+	mark := make([]bool, len(sizes))
+	seenReason := map[string]bool{}
+	addReason := func(r string) {
+		if !seenReason[r] {
+			seenReason[r] = true
+			p.Reasons = append(p.Reasons, r)
+		}
+	}
+	for _, cm := range maps {
+		if len(cm.Sizes) != len(sizes) {
+			return nil, fmt.Errorf("analysis: conflict map grid has %d sizes, plan grid %d", len(cm.Sizes), len(sizes))
+		}
+		for i, sz := range cm.Sizes {
+			if sz != sizes[i] {
+				return nil, fmt.Errorf("analysis: conflict map grid differs from plan grid at index %d (%d vs %d)", i, sz, sizes[i])
+			}
+		}
+		for i := 1; i < len(cm.Signatures); i++ {
+			if !cm.Signatures[i].same(cm.Signatures[i-1]) {
+				mark[i] = true
+			}
+		}
+		if cm.Approx {
+			p.Exact = false
+			for _, r := range cm.ApproxReasons {
+				addReason(r)
+			}
+		}
+		if cm.PressureAnywhere {
+			p.Exact = false
+			addReason("set pressure at some grid point")
+		}
+	}
+	for i, m := range mark {
+		if m {
+			p.Boundaries = append(p.Boundaries, i)
+		}
+	}
+	return p, nil
+}

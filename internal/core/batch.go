@@ -1,0 +1,119 @@
+package core
+
+import (
+	"context"
+	"fmt"
+
+	"biaslab/internal/bench"
+	"biaslab/internal/faultinject"
+	"biaslab/internal/loader"
+	"biaslab/internal/machine"
+)
+
+// measureBatchSize bounds how many setups run concurrently through
+// machine.RunBatch. Each member pins an image (up to 16 MiB of simulated
+// memory) and a machine for the duration of the chunk, so the bound keeps a
+// long adaptive sweep's working set in the tens of megabytes instead of
+// letting it scale with the sweep length.
+const measureBatchSize = 8
+
+// MeasureBatch measures b under every setup, interleaving the run stage of
+// up to measureBatchSize setups through machine.RunBatch so the execute
+// engines share dispatch overhead and stay hot in cache. Results arrive in
+// setup order and are identical — bit for bit, counter for counter — to
+// calling Measure once per setup: compilation, linking, and loading go
+// through the same caches and the same fault boundaries, and the batched
+// engine is differentially tested against the reference stepper.
+//
+// On any member's failure the whole chunk is abandoned: a *MeasurementError
+// is returned and the chunk's machines and images are dropped, never
+// recycled, exactly as Measure drops them.
+func (r *Runner) MeasureBatch(ctx context.Context, b *bench.Benchmark, setups []Setup) ([]*Measurement, error) {
+	out := make([]*Measurement, len(setups))
+	for start := 0; start < len(setups); start += measureBatchSize {
+		end := start + measureBatchSize
+		if end > len(setups) {
+			end = len(setups)
+		}
+		if err := r.measureChunk(ctx, b, setups[start:end], out[start:end]); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// measureChunk runs one bounded chunk of setups through the staged
+// pipeline: compile+link+load each member (cached stages deduplicate the
+// work), then one batched run stage for the whole chunk.
+func (r *Runner) measureChunk(ctx context.Context, b *bench.Benchmark, setups []Setup, out []*Measurement) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+
+	sids := make([]string, len(setups))
+	imgs := make([]*loader.Image, len(setups))
+	for i, s := range setups {
+		sids[i] = setupID(b, s)
+		exe, err := r.stagedExecutable(b, s, sids[i])
+		if err != nil {
+			return err
+		}
+		img, err := r.stagedLoad(b, s, sids[i], exe)
+		if err != nil {
+			return err
+		}
+		imgs[i] = img
+	}
+
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+
+	var results []*machine.Result
+	ms := make([]*machine.Machine, len(setups))
+	// The batched run is one fault boundary: a panic or injected fault in
+	// any member abandons the chunk, and every machine and image is dropped
+	// rather than recycled — same policy as measure(), widened to the chunk.
+	if err := runStage(StageMeasure, b.Name, setups[0], func() error {
+		for _, sid := range sids {
+			if err := faultinject.Check("measure", sid); err != nil {
+				return err
+			}
+		}
+		for i, s := range setups {
+			m, err := r.acquireMachine(s.Machine)
+			if err != nil {
+				return err
+			}
+			ms[i] = m
+		}
+		var err error
+		results, err = machine.RunBatch(ctx, ms, imgs, r.MaxInstructions)
+		if err != nil {
+			return fmt.Errorf("core: batched run of %s: %w", b.Name, err)
+		}
+		for i, res := range results {
+			if err := r.checkOracle(b.Name, res.Checksum, setups[i]); err != nil {
+				return err
+			}
+		}
+		return nil
+	}); err != nil {
+		return err
+	}
+
+	for i, res := range results {
+		r.releaseMachine(setups[i].Machine, ms[i])
+		imgs[i].Release()
+		out[i] = &Measurement{
+			Setup:    setups[i],
+			Cycles:   res.Counters.Cycles,
+			Counters: res.Counters,
+			Checksum: res.Checksum,
+		}
+		if r.OnMeasure != nil {
+			r.OnMeasure(out[i])
+		}
+	}
+	return nil
+}

@@ -10,6 +10,7 @@ import (
 	"biaslab/internal/bench"
 	"biaslab/internal/compiler"
 	"biaslab/internal/faultinject"
+	"biaslab/internal/ir"
 	"biaslab/internal/linker"
 	"biaslab/internal/loader"
 	"biaslab/internal/machine"
@@ -46,6 +47,7 @@ type Runner struct {
 
 	mu        sync.Mutex
 	objCache  map[objKey][]*obj.Object
+	progCache map[objKey]*ir.Program     // IR kept alongside objects for the bias oracle
 	compiling map[objKey]*sync.WaitGroup // in-flight compiles (singleflight)
 	linkCache map[linkKey]*linker.Executable
 	linking   map[linkKey]*sync.WaitGroup   // in-flight links (singleflight)
@@ -97,6 +99,7 @@ func NewRunner(size bench.Size) *Runner {
 		Size:            size,
 		MaxInstructions: 1 << 31,
 		objCache:        map[objKey][]*obj.Object{},
+		progCache:       map[objKey]*ir.Program{},
 		compiling:       map[objKey]*sync.WaitGroup{},
 		linkCache:       map[linkKey]*linker.Executable{},
 		linking:         map[linkKey]*sync.WaitGroup{},
@@ -125,11 +128,12 @@ func (r *Runner) objects(b *bench.Benchmark, cfg compiler.Config) ([]*obj.Object
 		r.compiling[key] = wg
 		r.mu.Unlock()
 
-		objs, _, err := compiler.Compile(b.Sources(r.Size), cfg)
+		objs, prog, err := compiler.Compile(b.Sources(r.Size), cfg)
 		r.mu.Lock()
 		delete(r.compiling, key)
 		if err == nil {
 			r.objCache[key] = objs
+			r.progCache[key] = prog
 		}
 		r.mu.Unlock()
 		wg.Done()
@@ -138,6 +142,18 @@ func (r *Runner) objects(b *bench.Benchmark, cfg compiler.Config) ([]*obj.Object
 		}
 		return objs, nil
 	}
+}
+
+// program returns the cached IR program for (b, cfg), compiling if needed.
+// The oracle uses it to size address-taken frame slots exactly; predictions
+// from a nil program would merely be flagged approximate.
+func (r *Runner) program(b *bench.Benchmark, cfg compiler.Config) (*ir.Program, error) {
+	if _, err := r.objects(b, cfg); err != nil {
+		return nil, err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.progCache[objKey{bench: b.Name, cfg: cfg}], nil
 }
 
 // linked returns the executable for b's objects under the given order and
@@ -339,14 +355,17 @@ func runStage(stage Stage, benchName string, setup Setup, fn func() error) error
 	return &MeasurementError{Stage: stage, Benchmark: benchName, Setup: setup, Cause: err, Attempts: attempts}
 }
 
-// measure contains the shared body of Measure and MeasureProfiled: the
-// four-stage pipeline (compile, link, load, measure), each stage behind
-// the runStage fault boundary and a fault-injection hook.
-func (r *Runner) measure(ctx context.Context, b *bench.Benchmark, setup Setup, profiled bool) (*measured, error) {
-	if err := ctx.Err(); err != nil {
-		return nil, err
-	}
+// setupID is the fault-injection key of one (benchmark, setup) — rendered
+// once per measurement instead of once per stage, since Setup.String is a
+// handful of allocations and the hot sweep path runs four stages per point.
+func setupID(b *bench.Benchmark, setup Setup) string {
+	return b.Name + "/" + setup.String()
+}
 
+// stagedExecutable runs the compile and link stages for (b, setup) behind
+// the runStage fault boundary — the shared front half of measure and
+// MeasureBatch. sid must be setupID(b, setup).
+func (r *Runner) stagedExecutable(b *bench.Benchmark, setup Setup, sid string) (*linker.Executable, error) {
 	var objs []*obj.Object
 	if err := runStage(StageCompile, b.Name, setup, func() error {
 		if err := faultinject.Check("compile", b.Name+"/"+setup.Compiler.String()); err != nil {
@@ -361,7 +380,7 @@ func (r *Runner) measure(ctx context.Context, b *bench.Benchmark, setup Setup, p
 
 	var exe *linker.Executable
 	if err := runStage(StageLink, b.Name, setup, func() error {
-		if err := faultinject.Check("link", b.Name+"/"+setup.String()); err != nil {
+		if err := faultinject.Check("link", sid); err != nil {
 			return err
 		}
 		ordered := objs
@@ -380,14 +399,15 @@ func (r *Runner) measure(ctx context.Context, b *bench.Benchmark, setup Setup, p
 	}); err != nil {
 		return nil, err
 	}
+	return exe, nil
+}
 
-	if err := ctx.Err(); err != nil {
-		return nil, err
-	}
-
+// stagedLoad runs the load stage behind the runStage fault boundary. sid
+// must be setupID(b, setup).
+func (r *Runner) stagedLoad(b *bench.Benchmark, setup Setup, sid string, exe *linker.Executable) (*loader.Image, error) {
 	var img *loader.Image
 	if err := runStage(StageLoad, b.Name, setup, func() error {
-		if err := faultinject.Check("load", b.Name+"/"+setup.String()); err != nil {
+		if err := faultinject.Check("load", sid); err != nil {
 			return err
 		}
 		envBytes := setup.EnvBytes
@@ -407,10 +427,35 @@ func (r *Runner) measure(ctx context.Context, b *bench.Benchmark, setup Setup, p
 	}); err != nil {
 		return nil, err
 	}
+	return img, nil
+}
+
+// measure contains the shared body of Measure and MeasureProfiled: the
+// four-stage pipeline (compile, link, load, measure), each stage behind
+// the runStage fault boundary and a fault-injection hook.
+func (r *Runner) measure(ctx context.Context, b *bench.Benchmark, setup Setup, profiled bool) (*measured, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	sid := setupID(b, setup)
+	exe, err := r.stagedExecutable(b, setup, sid)
+	if err != nil {
+		return nil, err
+	}
+
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	img, err := r.stagedLoad(b, setup, sid, exe)
+	if err != nil {
+		return nil, err
+	}
 
 	var res *machine.Result
 	if err := runStage(StageMeasure, b.Name, setup, func() error {
-		if err := faultinject.Check("measure", b.Name+"/"+setup.String()); err != nil {
+		if err := faultinject.Check("measure", sid); err != nil {
 			return err
 		}
 		m, err := r.acquireMachine(setup.Machine)

@@ -69,12 +69,49 @@ func EnvBytes(env []string) uint64 {
 	return n
 }
 
+// envCacheCap bounds the synthetic-environment memo: an env sweep touches
+// one entry per grid point, so even the paper's densest grid (512 sizes)
+// fits. Eviction is arbitrary — the builder is deterministic, so evicting
+// only costs a rebuild, never changes a result.
+const envCacheCap = 1024
+
+var (
+	envMu    sync.Mutex
+	envCache = map[uint64][]string{}
+)
+
 // SyntheticEnv builds an environment whose EnvBytes is exactly total when
 // total is representable (total == 8, the empty environment, or total ≥ 17,
 // since the smallest variable costs 9 bytes). Unrepresentable totals
 // (0–7 and 9–16) fall back to the empty environment; experiments should
 // sweep over representable sizes and report EnvBytes of what they got.
+//
+// The result is memoized per size and shared between callers — an env sweep
+// measuring two optimization levels at each grid point builds each
+// environment once, not once per load. Callers must treat it as read-only.
 func SyntheticEnv(total uint64) []string {
+	envMu.Lock()
+	if env, ok := envCache[total]; ok {
+		envMu.Unlock()
+		return env
+	}
+	envMu.Unlock()
+	env := buildSyntheticEnv(total)
+	envMu.Lock()
+	if len(envCache) >= envCacheCap {
+		//determlint:allow cache eviction choice never reaches a measurement
+		for k := range envCache {
+			delete(envCache, k)
+			break
+		}
+	}
+	envCache[total] = env
+	envMu.Unlock()
+	return env
+}
+
+// buildSyntheticEnv is the uncached builder behind SyntheticEnv.
+func buildSyntheticEnv(total uint64) []string {
 	const (
 		slot   = isa.WordSize     // one envp pointer
 		minVar = 1 + isa.WordSize // empty string + NUL + pointer

@@ -62,6 +62,11 @@ type Machine struct {
 	// equals the common page cannot stall (aliasing requires differing
 	// pages), which covers the dominant spill/reload pattern.
 	sbKeyPage [512]uint64
+	// sbKeySeq is the issue sequence of the most recent buffered store with
+	// each key. The ring evicts in FIFO (= sequence) order, so while a key's
+	// count is nonzero its most recent store is still buffered — which lets
+	// a single-page key answer the alias window test without scanning.
+	sbKeySeq [512]uint64
 
 	// fetchBits is log2(FetchBlockBytes) when it is a power of two
 	// (fetchPot), letting the front end use a shift instead of a divide.
@@ -188,19 +193,8 @@ func (m *Machine) RunCtx(ctx context.Context, img *loader.Image, maxInstr uint64
 				limit = l
 			}
 		}
-		if instrumented {
-			for !m.halted && m.counters.Instructions < limit {
-				if err := m.step(); err != nil {
-					return nil, err
-				}
-			}
-		} else {
-			// Hot loop: no per-step engine dispatch, no per-step polling.
-			for !m.halted && m.counters.Instructions < limit {
-				if err := m.stepFast(); err != nil {
-					return nil, err
-				}
-			}
+		if err := m.runSlice(limit, instrumented); err != nil {
+			return nil, err
 		}
 		if !m.halted && m.counters.Instructions >= maxInstr {
 			return nil, m.budgetErr(maxInstr)
@@ -270,6 +264,7 @@ func (m *Machine) resetState(img *loader.Image) {
 	m.sbPos = 0
 	m.sbKeyCount = [512]uint16{}
 	m.sbKeyPage = [512]uint64{}
+	m.sbKeySeq = [512]uint64{}
 	m.lastDLine = ^uint64(0)
 	m.lastDPage = ^uint64(0)
 	m.lastILine = ^uint64(0)
@@ -407,6 +402,22 @@ func (m *Machine) alias4K(addr uint64) {
 	if m.sbKeyCount[key] == 0 || m.sbKeyPage[key] == addr>>12 {
 		return
 	}
+	if m.sbKeyPage[key] != mixedPage {
+		// Single-page key on a different page than the load: every buffered
+		// store with this key matches the partial-address tag, so the stall
+		// decision reduces to recency, and the key's most recent store (still
+		// buffered — FIFO eviction) decides the window test.
+		if m.counters.Instructions-m.sbKeySeq[key] <= m.cfg.AliasWindow {
+			m.counters.Alias4KStalls++
+			m.charge(m.cfg.Penalties.Alias4K)
+		}
+		return
+	}
+	if m.counters.Instructions-m.sbKeySeq[key] > m.cfg.AliasWindow {
+		// Even the key's most recent store is outside the window, so no
+		// buffered store with this key can be inside it: skip the scan.
+		return
+	}
 	for i, sa := range m.sbAddr {
 		if sa == ^uint64(0) {
 			continue
@@ -433,6 +444,7 @@ func (m *Machine) recordStore(addr uint64) {
 	m.sbAddr[pos] = addr
 	m.sbSeq[pos] = m.counters.Instructions
 	key := addr >> 3 & 0x1ff
+	m.sbKeySeq[key] = m.counters.Instructions
 	page := addr >> 12
 	if m.sbKeyCount[key] == 0 {
 		m.sbKeyPage[key] = page

@@ -19,9 +19,20 @@ type uop struct {
 	rd      isa.Reg
 	rs1     isa.Reg
 	rs2     isa.Reg
-	memSize uint8  // access width for loads/stores
-	imm     int64  // operand immediate, pre-extended per op semantics
-	target  uint64 // absolute control-transfer target (branch/jmp/jal)
+	memSize uint8 // access width for loads/stores
+	// xop is the threaded engine's dispatch code: uint8(op) for a plain
+	// micro-op, or one of the fused-pair codes (see threaded.go) meaning
+	// "execute this op and the next one under a single dispatch". The plain
+	// op is always preserved alongside, so an engine that ignores xop — or a
+	// branch that lands in the middle of a fused pair — executes the same
+	// instruction stream unfused, bit-identically.
+	xop uint8
+	// tidx is the uop index of the static control-transfer target, or -1
+	// when the target leaves the text segment (the engine then defers to the
+	// stepper, which reports the fault exactly as the reference does).
+	tidx   int32
+	imm    int64  // operand immediate, pre-extended per op semantics
+	target uint64 // absolute control-transfer target (branch/jmp/jal)
 }
 
 // lowerInst turns one decoded instruction at pc into a micro-op.
@@ -50,6 +61,20 @@ func lowerInst(in isa.Inst, pc uint64) uop {
 	case isa.OpJal:
 		u.target = uint64(in.Imm) * isa.InstSize
 	}
+	switch in.Op {
+	case isa.OpAdd, isa.OpSub, isa.OpAnd, isa.OpOr, isa.OpXor,
+		isa.OpSll, isa.OpSrl, isa.OpSra, isa.OpSlt, isa.OpSltu,
+		isa.OpAddi, isa.OpAndi, isa.OpOri, isa.OpXori,
+		isa.OpSlli, isa.OpSrli, isa.OpSrai, isa.OpSlti, isa.OpSltiu, isa.OpLui:
+		// A pure ALU op targeting the hardwired zero register retires with
+		// nop semantics and nop timing (issue + fetch, no events), so lower
+		// it to one. This lets the threaded engine write ALU results without
+		// a per-op zero-register guard. Mul/div keep their op: they charge
+		// event counters (and div can trap) even when the result is dropped.
+		if in.Rd == isa.R0 {
+			u = uop{op: isa.OpNop}
+		}
+	}
 	return u
 }
 
@@ -63,8 +88,17 @@ func predecode(text []byte, textBase uint64, dst []uop) []uop {
 	dst = dst[:n]
 	for i := 0; i < n; i++ {
 		in := isa.DecodeBytes(text[i*isa.InstSize:])
-		dst[i] = lowerInst(in, textBase+uint64(i*isa.InstSize))
+		u := lowerInst(in, textBase+uint64(i*isa.InstSize))
+		u.tidx = -1
+		switch {
+		case in.Op.Class() == isa.ClassBranch, in.Op == isa.OpJmp, in.Op == isa.OpJal:
+			if toff := u.target - textBase; toff < uint64(len(text)) && u.target%uint64(isa.InstSize) == 0 {
+				u.tidx = int32(toff / uint64(isa.InstSize))
+			}
+		}
+		dst[i] = u
 	}
+	fusePairs(dst)
 	return dst
 }
 

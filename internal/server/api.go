@@ -75,6 +75,12 @@ type JobSpec struct {
 	Seed uint64 `json:"seed,omitempty"`
 	// Experiment is the artifact id (F1..F9, T1..T4) for experiment jobs.
 	Experiment string `json:"experiment,omitempty"`
+	// Adaptive switches sweep-env jobs to the oracle-guided adaptive sweep:
+	// measure predicted transition boundaries plus verification points,
+	// interpolate verified plateaus. Results are byte-identical to the dense
+	// sweep when the oracle's predictions verify, but the content key still
+	// differs (omitempty keeps existing dense keys stable).
+	Adaptive bool `json:"adaptive,omitempty"`
 }
 
 // parseSize maps a spec size to the bench workload size.
@@ -151,6 +157,7 @@ func (spec JobSpec) Canonicalize() (JobSpec, error) {
 		if c.Step == 0 {
 			c.Step = 128
 		}
+		c.Adaptive = spec.Adaptive
 	case KindSweepLink:
 		if err := needBench(); err != nil {
 			return JobSpec{}, err
@@ -333,7 +340,10 @@ type EnvSweepResult struct {
 	Benchmark string          `json:"benchmark"`
 	Machine   string          `json:"machine"`
 	Points    []core.EnvPoint `json:"points"`
-	Report    core.BiasReport `json:"report"`
+	// Adaptive carries the oracle-guided sweep's measurement ledger when the
+	// job ran adaptively; nil for dense sweeps.
+	Adaptive *core.AdaptiveSweepStats `json:"adaptive,omitempty"`
+	Report   core.BiasReport          `json:"report"`
 }
 
 // LinkSweepResult is the result payload of a sweep-link job.

@@ -88,7 +88,15 @@ func executeEnvSweep(ctx context.Context, r *core.Runner, spec JobSpec, ck core.
 	}
 	sizes := core.DefaultEnvSizes(spec.Step)
 	onTotal(len(sizes))
-	points, err := core.EnvSweepCheckpointed(ctx, r, b, setup, sizes, ck)
+	var points []core.EnvPoint
+	var adaptive *core.AdaptiveSweepStats
+	if spec.Adaptive {
+		var stats core.AdaptiveSweepStats
+		points, stats, err = core.EnvSweepAdaptive(ctx, r, b, setup, sizes, ck)
+		adaptive = &stats
+	} else {
+		points, err = core.EnvSweepCheckpointed(ctx, r, b, setup, sizes, ck)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -100,6 +108,7 @@ func executeEnvSweep(ctx context.Context, r *core.Runner, spec JobSpec, ck core.
 		Benchmark: b.Name,
 		Machine:   spec.Machine,
 		Points:    points,
+		Adaptive:  adaptive,
 		Report:    core.NewBiasReport(b.Name, spec.Machine, "environment size", speedups),
 	}, nil
 }

@@ -38,6 +38,14 @@ func TestKeyCanonicalization(t *testing.T) {
 	if k1, k2 := mustKey(t, base), mustKey(t, noisy); k1 != k2 {
 		t.Errorf("kind-irrelevant fields changed the key:\n%s\n%s", k1, k2)
 	}
+
+	// Adaptive:false must key identically to a pre-Adaptive dense spec —
+	// omitempty keeps every stored dense sweep reachable.
+	denseExplicit := base
+	denseExplicit.Adaptive = false
+	if k1, k2 := mustKey(t, base), mustKey(t, denseExplicit); k1 != k2 {
+		t.Errorf("Adaptive:false changed the dense key:\n%s\n%s", k1, k2)
+	}
 }
 
 // TestKeySeparatesWork: any field the kind does use must separate keys.
@@ -50,6 +58,7 @@ func TestKeySeparatesWork(t *testing.T) {
 		{Kind: server.KindSweepEnv, Bench: "hmmer", Size: "test"},
 		{Kind: server.KindSweepEnv, Bench: "hmmer", Step: 64},
 		{Kind: server.KindSweepEnv, Bench: "hmmer", Personality: "icc"},
+		{Kind: server.KindSweepEnv, Bench: "hmmer", Adaptive: true},
 	}
 	seen := map[string]int{mustKey(t, base): -1}
 	for i, v := range variants {

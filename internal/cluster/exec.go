@@ -1,0 +1,90 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+
+	"biaslab/internal/core"
+	"biaslab/internal/faultinject"
+	"biaslab/internal/server"
+)
+
+// ExecuteShard measures the given indices of a job's point enumeration
+// and emits each completed point as (index, key, canonical JSON value).
+// It is the unit both sides share: worker executors run it against their
+// own runner, and the coordinator runs it inline when it degrades to
+// local execution. The emitted value bytes are produced by json.Marshal
+// of the same point structs the single-node checkpoint path records, so
+// merging them into the job journal is byte-identical to a single-node
+// run recording them itself.
+//
+// Fault site: "cluster"/"stall/<shard>" turns the shard into a straggler —
+// it blocks until cancelled instead of measuring, which is what the
+// work-stealing chaos tests use to force a steal.
+func ExecuteShard(ctx context.Context, r *core.Runner, spec server.JobSpec, shard string, indices []int, emit func(index int, key string, val json.RawMessage) error) error {
+	if err := faultinject.Check("cluster", "stall/"+shard); err != nil {
+		<-ctx.Done()
+		return ctx.Err()
+	}
+	setup, b, err := server.BaseSetup(spec)
+	if err != nil {
+		return err
+	}
+	// measure resolves one index to its key and value. The full
+	// enumeration is regenerated here (it is a pure function of the spec)
+	// rather than shipped over the wire.
+	var measure func(ctx context.Context, i int) (string, any, error)
+	switch spec.Kind {
+	case server.KindSweepEnv:
+		sizes := core.DefaultEnvSizes(spec.Step)
+		measure = func(ctx context.Context, i int) (string, any, error) {
+			if i < 0 || i >= len(sizes) {
+				return "", nil, fmt.Errorf("cluster: env point index %d out of range [0,%d)", i, len(sizes))
+			}
+			s := setup
+			s.EnvBytes = sizes[i]
+			p, err := core.MeasureEnvPoint(ctx, r, b, setup, sizes[i])
+			return core.PointKey("env", b.Name, s), p, err
+		}
+	case server.KindSweepLink:
+		cands := core.LinkCandidates(r.UnitNames(b), spec.Orders, spec.Seed)
+		measure = func(ctx context.Context, i int) (string, any, error) {
+			if i < 0 || i >= len(cands) {
+				return "", nil, fmt.Errorf("cluster: link point index %d out of range [0,%d)", i, len(cands))
+			}
+			s := setup
+			s.LinkOrder = cands[i].Order
+			p, err := core.MeasureLinkPoint(ctx, r, b, setup, cands[i])
+			return core.PointKey("link", b.Name, s), p, err
+		}
+	case server.KindRandomize:
+		setups := core.RandomSetups(setup, spec.N, len(r.UnitNames(b)), spec.Seed)
+		measure = func(ctx context.Context, i int) (string, any, error) {
+			if i < 0 || i >= len(setups) {
+				return "", nil, fmt.Errorf("cluster: rand point index %d out of range [0,%d)", i, len(setups))
+			}
+			p, err := core.MeasureRandomPoint(ctx, r, b, setups[i])
+			return core.PointKey("rand", b.Name, setups[i]), p, err
+		}
+	default:
+		return fmt.Errorf("cluster: job kind %q is not shardable", spec.Kind)
+	}
+	for _, i := range indices {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		key, v, err := measure(ctx, i)
+		if err != nil {
+			return fmt.Errorf("cluster: shard %s point %d: %w", shard, i, err)
+		}
+		raw, err := json.Marshal(v)
+		if err != nil {
+			return fmt.Errorf("cluster: shard %s encoding point %d: %w", shard, i, err)
+		}
+		if err := emit(i, key, raw); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,126 @@
+//go:build faultinject
+
+package cluster_test
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"biaslab/internal/cluster"
+	"biaslab/internal/faultinject"
+	"biaslab/internal/retry"
+	"biaslab/internal/server"
+)
+
+// These tests require the faultinject build tag:
+//
+//	go test -tags faultinject ./internal/cluster/
+//
+// They drive the cluster's three injection sites — worker kill, heartbeat
+// drop, and shard stall — and prove the recovery machinery converges on
+// byte-identical results every time.
+
+// TestFaultKillWorker: the "kill/<worker>" site crashes w1 mid-sweep — no
+// leave, executors abandoned. Its leases expire, the shards requeue on
+// w2, and the merged result is byte-identical.
+func TestFaultKillWorker(t *testing.T) {
+	faultinject.Reset()
+	t.Cleanup(faultinject.Reset)
+	// Fires on w1's fourth tick, ~100ms in — after it has taken leases.
+	faultinject.Arm(faultinject.Fault{Stage: "cluster", Match: "kill/w1", Mode: faultinject.ModeError, After: 3})
+
+	srv, coord := newClusterServer(t, cluster.CoordinatorConfig{
+		LeaseTTL:   250 * time.Millisecond,
+		Heartbeat:  25 * time.Millisecond,
+		StealAfter: time.Hour, // recovery must come from lease expiry
+		Backoff:    retry.Policy{Base: 5 * time.Millisecond, Cap: 50 * time.Millisecond},
+	})
+	startWorker(t, "w1", cluster.LocalTransport{C: coord})
+	startWorker(t, "w2", cluster.LocalTransport{C: coord})
+	waitWorkers(t, coord, 2)
+
+	spec := server.JobSpec{Kind: server.KindSweepEnv, Size: "test", Bench: "hmmer", Machine: "p4", Step: 256}
+	raw := submitAndFetch(t, srv, spec)
+	if local := localBytes(t, spec); !bytes.Equal(raw, local) {
+		t.Error("result after injected kill differs from single-node result")
+	}
+	if faultinject.Fired() == 0 {
+		t.Fatal("kill fault never fired")
+	}
+	snap := coord.MetricsSnapshot()
+	if snap.LeasesExpired == 0 {
+		t.Error("LeasesExpired = 0: the killed worker's leases never expired")
+	}
+	if snap.ShardsRetried == 0 {
+		t.Error("ShardsRetried = 0: no shard was requeued after the kill")
+	}
+	if snap.MergeConflicts != 0 {
+		t.Errorf("MergeConflicts = %d, want 0", snap.MergeConflicts)
+	}
+}
+
+// TestFaultHeartbeatDrop: the "heartbeat/<worker>" site swallows one
+// beat. The outbox redelivers on the next beat, so nothing is lost and
+// the result is byte-identical.
+func TestFaultHeartbeatDrop(t *testing.T) {
+	faultinject.Reset()
+	t.Cleanup(faultinject.Reset)
+	// Transient: fires exactly once, dropping a single beat mid-job.
+	faultinject.Arm(faultinject.Fault{Stage: "cluster", Match: "heartbeat/w1", Mode: faultinject.ModeTransient, After: 4})
+
+	srv, coord := newClusterServer(t, cluster.CoordinatorConfig{
+		LeaseTTL:  500 * time.Millisecond,
+		Heartbeat: 25 * time.Millisecond,
+	})
+	startWorker(t, "w1", cluster.LocalTransport{C: coord})
+	waitWorkers(t, coord, 1)
+
+	spec := server.JobSpec{Kind: server.KindSweepEnv, Size: "test", Bench: "hmmer", Machine: "p4", Step: 512}
+	raw := submitAndFetch(t, srv, spec)
+	if local := localBytes(t, spec); !bytes.Equal(raw, local) {
+		t.Error("result after dropped heartbeat differs from single-node result")
+	}
+	if faultinject.Fired() == 0 {
+		t.Fatal("heartbeat fault never fired")
+	}
+	if snap := coord.MetricsSnapshot(); snap.MergeConflicts != 0 {
+		t.Errorf("MergeConflicts = %d, want 0", snap.MergeConflicts)
+	}
+}
+
+// TestFaultStallSteal: the "stall/<shard>" site wedges one shard's
+// executor until its context is cancelled. With long leases the lease
+// table never expires it; recovery must come from work-stealing once the
+// queues drain. The stolen copy re-executes (the fault's budget is
+// spent), wins, and the loser's revocation unblocks the wedged executor.
+func TestFaultStallSteal(t *testing.T) {
+	faultinject.Reset()
+	t.Cleanup(faultinject.Reset)
+	faultinject.Arm(faultinject.Fault{Stage: "cluster", Match: "stall/", Mode: faultinject.ModeError, Times: 1})
+
+	srv, coord := newClusterServer(t, cluster.CoordinatorConfig{
+		LeaseTTL:   10 * time.Second, // renewals keep the wedged lease alive
+		Heartbeat:  20 * time.Millisecond,
+		StealAfter: 150 * time.Millisecond,
+	})
+	startWorker(t, "w1", cluster.LocalTransport{C: coord})
+	startWorker(t, "w2", cluster.LocalTransport{C: coord})
+	waitWorkers(t, coord, 2)
+
+	spec := server.JobSpec{Kind: server.KindSweepEnv, Size: "test", Bench: "hmmer", Machine: "p4", Step: 256}
+	raw := submitAndFetch(t, srv, spec)
+	if local := localBytes(t, spec); !bytes.Equal(raw, local) {
+		t.Error("result after stalled shard differs from single-node result")
+	}
+	if faultinject.Fired() == 0 {
+		t.Fatal("stall fault never fired")
+	}
+	snap := coord.MetricsSnapshot()
+	if snap.ShardsStolen == 0 {
+		t.Error("ShardsStolen = 0: the wedged shard was never stolen")
+	}
+	if snap.MergeConflicts != 0 {
+		t.Errorf("MergeConflicts = %d, want 0", snap.MergeConflicts)
+	}
+}

@@ -1,0 +1,100 @@
+package cluster
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+)
+
+// clusterMetrics counts the coordinator's protocol events. Everything the
+// chaos tests assert about — lease expiries, retries, steals — is a
+// counter here, so "the failure machinery actually engaged" is checkable
+// from /metrics rather than from logs.
+type clusterMetrics struct {
+	mu sync.Mutex
+
+	workersJoined uint64
+	workersLeft   uint64
+	workersDead   uint64
+	heartbeats    uint64
+
+	leasesGranted uint64
+	leasesRenewed uint64
+	leasesExpired uint64
+
+	shardsPlanned   uint64
+	shardsCompleted uint64
+	shardsRetried   uint64
+	shardsStolen    uint64
+	shardsLocal     uint64
+
+	pointsIngested  uint64
+	pointsDuplicate uint64
+	mergeConflicts  uint64
+
+	jobsSharded  uint64
+	jobsDegraded uint64
+}
+
+func (m *clusterMetrics) add(field *uint64, n uint64) {
+	m.mu.Lock()
+	*field += n
+	m.mu.Unlock()
+}
+
+// MetricsSnapshot is a point-in-time copy of the coordinator's counters
+// plus the registry's live worker census.
+type MetricsSnapshot struct {
+	WorkersAlive   int    `json:"workers_alive"`
+	WorkersSuspect int    `json:"workers_suspect"`
+	WorkersJoined  uint64 `json:"workers_joined"`
+	WorkersLeft    uint64 `json:"workers_left"`
+	WorkersDead    uint64 `json:"workers_dead"`
+	Heartbeats     uint64 `json:"heartbeats"`
+
+	LeasesGranted uint64 `json:"leases_granted"`
+	LeasesRenewed uint64 `json:"leases_renewed"`
+	LeasesExpired uint64 `json:"leases_expired"`
+
+	ShardsPlanned   uint64 `json:"shards_planned"`
+	ShardsCompleted uint64 `json:"shards_completed"`
+	ShardsRetried   uint64 `json:"shards_retried"`
+	ShardsStolen    uint64 `json:"shards_stolen"`
+	ShardsLocal     uint64 `json:"shards_local"`
+
+	PointsIngested  uint64 `json:"points_ingested"`
+	PointsDuplicate uint64 `json:"points_duplicate"`
+	MergeConflicts  uint64 `json:"merge_conflicts"`
+
+	JobsSharded  uint64 `json:"jobs_sharded"`
+	JobsDegraded uint64 `json:"jobs_degraded"`
+}
+
+// Render writes the snapshot in the same text exposition format the
+// daemon's /metrics uses; the server appends it after its own counters.
+func (s MetricsSnapshot) Render() string {
+	var b strings.Builder
+	line := func(name string, v uint64) {
+		fmt.Fprintf(&b, "biaslabd_cluster_%s %d\n", name, v)
+	}
+	line("workers_alive", uint64(s.WorkersAlive))
+	line("workers_suspect", uint64(s.WorkersSuspect))
+	line("workers_joined_total", s.WorkersJoined)
+	line("workers_left_total", s.WorkersLeft)
+	line("workers_dead_total", s.WorkersDead)
+	line("heartbeats_total", s.Heartbeats)
+	line("leases_granted_total", s.LeasesGranted)
+	line("leases_renewed_total", s.LeasesRenewed)
+	line("leases_expired_total", s.LeasesExpired)
+	line("shards_planned_total", s.ShardsPlanned)
+	line("shards_completed_total", s.ShardsCompleted)
+	line("shards_retried_total", s.ShardsRetried)
+	line("shards_stolen_total", s.ShardsStolen)
+	line("shards_local_total", s.ShardsLocal)
+	line("points_ingested_total", s.PointsIngested)
+	line("points_duplicate_total", s.PointsDuplicate)
+	line("merge_conflicts_total", s.MergeConflicts)
+	line("jobs_sharded_total", s.JobsSharded)
+	line("jobs_degraded_total", s.JobsDegraded)
+	return b.String()
+}

@@ -1,0 +1,74 @@
+package cluster
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// vnodes is how many virtual nodes each worker contributes to the ring.
+// Enough to spread shards evenly across a handful of workers without
+// making membership changes expensive.
+const vnodes = 32
+
+// ring is a consistent-hash ring over worker ids. Shards are placed by
+// hashing their id and walking clockwise to the next virtual node, so
+// when a worker joins or leaves only the shards adjacent to its virtual
+// nodes move — every other shard keeps its preferred worker, and with it
+// the compile/link cache that worker has already warmed for the job.
+type ring struct {
+	points []ringPoint // sorted by hash
+}
+
+type ringPoint struct {
+	hash   uint64
+	worker string
+}
+
+func hash64(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	// FNV of short, near-identical strings ("w1#0", "w1#1", …) clusters;
+	// a splitmix64-style finalizer spreads the vnodes over the ring.
+	x := h.Sum64()
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// Add inserts a worker's virtual nodes.
+func (r *ring) Add(worker string) {
+	for i := 0; i < vnodes; i++ {
+		r.points = append(r.points, ringPoint{hash64(fmt.Sprintf("%s#%d", worker, i)), worker})
+	}
+	sort.Slice(r.points, func(i, j int) bool { return r.points[i].hash < r.points[j].hash })
+}
+
+// Remove deletes a worker's virtual nodes.
+func (r *ring) Remove(worker string) {
+	kept := r.points[:0]
+	for _, p := range r.points {
+		if p.worker != worker {
+			kept = append(kept, p)
+		}
+	}
+	r.points = kept
+}
+
+// Place returns the preferred worker for a key, or "" on an empty ring.
+// Placement is a preference, not a constraint: the coordinator assigns a
+// shard elsewhere rather than leave a worker idle.
+func (r *ring) Place(key string) string {
+	if len(r.points) == 0 {
+		return ""
+	}
+	h := hash64(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.points[i].worker
+}

@@ -1,0 +1,63 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestRingPlacementStability: when a worker leaves, only the shards it
+// owned move; every other shard keeps its preferred worker. This is the
+// property that preserves warm compile/link caches across membership
+// churn.
+func TestRingPlacementStability(t *testing.T) {
+	var r ring
+	workers := []string{"w1", "w2", "w3"}
+	for _, w := range workers {
+		r.Add(w)
+	}
+	keys := make([]string, 100)
+	before := map[string]string{}
+	for i := range keys {
+		keys[i] = fmt.Sprintf("job-abc-s%02d", i)
+		before[keys[i]] = r.Place(keys[i])
+	}
+	r.Remove("w2")
+	moved := 0
+	for _, k := range keys {
+		after := r.Place(k)
+		if after == "w2" {
+			t.Fatalf("key %s still placed on removed worker", k)
+		}
+		if before[k] != "w2" && after != before[k] {
+			moved++
+		}
+	}
+	if moved != 0 {
+		t.Errorf("%d keys not owned by the removed worker moved anyway", moved)
+	}
+}
+
+// TestRingSpread: placement over several workers uses all of them.
+func TestRingSpread(t *testing.T) {
+	var r ring
+	for _, w := range []string{"w1", "w2", "w3"} {
+		r.Add(w)
+	}
+	got := map[string]int{}
+	for i := 0; i < 300; i++ {
+		got[r.Place(fmt.Sprintf("shard-%d", i))]++
+	}
+	for _, w := range []string{"w1", "w2", "w3"} {
+		if got[w] == 0 {
+			t.Errorf("worker %s received no placements: %v", w, got)
+		}
+	}
+}
+
+// TestRingEmpty: an empty ring places nowhere.
+func TestRingEmpty(t *testing.T) {
+	var r ring
+	if got := r.Place("anything"); got != "" {
+		t.Errorf("empty ring placed on %q", got)
+	}
+}

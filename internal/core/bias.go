@@ -34,6 +34,35 @@ func sweepKey(kind string, benchName string, s Setup) string {
 	return kind + "/" + benchName + "/" + s.String()
 }
 
+// PointKey returns the checkpoint-journal key of one sweep point — the
+// same key the checkpointed sweeps record under. Kinds in use: "env"
+// (environment-size sweeps), "link" (link-order sweeps), and "rand"
+// (randomized-setup estimates). Exported so a cluster worker measuring a
+// shard of a sweep produces records in exactly the single-node journal
+// namespace; the byte-identical merge contract depends on it.
+func PointKey(kind, benchName string, s Setup) string {
+	return sweepKey(kind, benchName, s)
+}
+
+// MeasureEnvPoint measures one environment-size sweep point: b's
+// O3-over-O2 speedup with setup's environment forced to size bytes. It is
+// the unit of work EnvSweepCheckpointed runs per point, exported as the
+// shard-execution primitive for distributed sweeps.
+func MeasureEnvPoint(ctx context.Context, r *Runner, b *bench.Benchmark, setup Setup, size uint64) (EnvPoint, error) {
+	s := setup
+	s.EnvBytes = size
+	speedup, mb, mo, err := r.Speedup(ctx, b, s, compiler.O2, compiler.O3)
+	if err != nil {
+		return EnvPoint{}, err
+	}
+	return EnvPoint{
+		EnvBytes:   size,
+		CyclesBase: mb.Cycles,
+		CyclesOpt:  mo.Cycles,
+		Speedup:    speedup,
+	}, nil
+}
+
 // EnvSweepCheckpointed is EnvSweep with journal-based checkpoint/resume:
 // every completed point is recorded in ck before the sweep moves on, and
 // points already recorded (a resumed run) are replayed without
@@ -65,19 +94,13 @@ func EnvSweepCheckpointed(ctx context.Context, r *Runner, b *bench.Benchmark, se
 	}
 	err := ForEach(ctx, len(pending), 0, func(ctx context.Context, pi int) error {
 		i := pending[pi]
-		s := setup
-		s.EnvBytes = sizes[i]
-		speedup, mb, mo, err := r.Speedup(ctx, b, s, compiler.O2, compiler.O3)
+		p, err := MeasureEnvPoint(ctx, r, b, setup, sizes[i])
 		if err != nil {
 			return err
 		}
-		p := EnvPoint{
-			EnvBytes:   sizes[i],
-			CyclesBase: mb.Cycles,
-			CyclesOpt:  mo.Cycles,
-			Speedup:    speedup,
-		}
 		if ck != nil {
+			s := setup
+			s.EnvBytes = sizes[i]
 			if err := ck.Record(sweepKey("env", b.Name, s), p); err != nil {
 				return err
 			}
@@ -138,30 +161,62 @@ func LinkSweep(ctx context.Context, r *Runner, b *bench.Benchmark, setup Setup, 
 	return LinkSweepCheckpointed(ctx, r, b, setup, n, seed, nil)
 }
 
+// LinkCandidate is one labelled link order of a link sweep: the default
+// order, the alphabetical order, or a seeded random permutation.
+type LinkCandidate struct {
+	Label string
+	Order []int
+}
+
+// LinkCandidates enumerates the link orders a link sweep measures — the
+// default order, the alphabetical order, and n seeded random permutations.
+// The set is a pure function of (names, n, seed), which is what lets a
+// resumed or distributed sweep regenerate exactly the candidates an
+// earlier run measured.
+func LinkCandidates(names []string, n int, seed uint64) []LinkCandidate {
+	rng := stats.NewRNG(seed)
+	cands := []LinkCandidate{
+		{"default", IdentityOrder(len(names))},
+		{"alphabetical", AlphabeticalOrder(names)},
+	}
+	for i := 0; i < n; i++ {
+		cands = append(cands, LinkCandidate{fmt.Sprintf("random%02d", i), RandomOrder(len(names), rng)})
+	}
+	return cands
+}
+
+// MeasureLinkPoint measures one link-order sweep point: b's O3-over-O2
+// speedup under candidate c's link order. The shard-execution primitive
+// for distributed link sweeps, and the unit of work behind
+// LinkSweepCheckpointed.
+func MeasureLinkPoint(ctx context.Context, r *Runner, b *bench.Benchmark, setup Setup, c LinkCandidate) (LinkPoint, error) {
+	s := setup
+	s.LinkOrder = c.Order
+	speedup, mb, mo, err := r.Speedup(ctx, b, s, compiler.O2, compiler.O3)
+	if err != nil {
+		return LinkPoint{}, err
+	}
+	return LinkPoint{
+		Label:      c.Label,
+		Order:      c.Order,
+		CyclesBase: mb.Cycles,
+		CyclesOpt:  mo.Cycles,
+		Speedup:    speedup,
+	}, nil
+}
+
 // LinkSweepCheckpointed is LinkSweep with checkpoint/resume; see
 // EnvSweepCheckpointed for the journal and partial-result contract. The
 // permutation set depends only on (n, seed), so a resumed run regenerates
 // the same candidates and replays the recorded ones.
 func LinkSweepCheckpointed(ctx context.Context, r *Runner, b *bench.Benchmark, setup Setup, n int, seed uint64, ck Checkpoint) ([]LinkPoint, error) {
-	names := r.UnitNames(b)
-	rng := stats.NewRNG(seed)
-	type cand struct {
-		label string
-		order []int
-	}
-	cands := []cand{
-		{"default", IdentityOrder(len(names))},
-		{"alphabetical", AlphabeticalOrder(names)},
-	}
-	for i := 0; i < n; i++ {
-		cands = append(cands, cand{fmt.Sprintf("random%02d", i), RandomOrder(len(names), rng)})
-	}
+	cands := LinkCandidates(r.UnitNames(b), n, seed)
 	points := make([]LinkPoint, len(cands))
 	done := make([]bool, len(cands))
 	pending := make([]int, 0, len(cands))
 	for i, c := range cands {
 		s := setup
-		s.LinkOrder = c.order
+		s.LinkOrder = c.Order
 		if ck != nil {
 			var p LinkPoint
 			ok, err := ck.Lookup(sweepKey("link", b.Name, s), &p)
@@ -172,7 +227,7 @@ func LinkSweepCheckpointed(ctx context.Context, r *Runner, b *bench.Benchmark, s
 				// The stored point carries cycles and speedup; the label and
 				// order are regenerated, so keep the fresh ones (identical by
 				// construction) to avoid aliasing journal-owned slices.
-				p.Label, p.Order = c.label, c.order
+				p.Label, p.Order = c.Label, c.Order
 				points[i], done[i] = p, true
 				continue
 			}
@@ -181,21 +236,13 @@ func LinkSweepCheckpointed(ctx context.Context, r *Runner, b *bench.Benchmark, s
 	}
 	err := ForEach(ctx, len(pending), 0, func(ctx context.Context, pi int) error {
 		i := pending[pi]
-		c := cands[i]
-		s := setup
-		s.LinkOrder = c.order
-		speedup, mb, mo, err := r.Speedup(ctx, b, s, compiler.O2, compiler.O3)
+		p, err := MeasureLinkPoint(ctx, r, b, setup, cands[i])
 		if err != nil {
 			return err
 		}
-		p := LinkPoint{
-			Label:      c.label,
-			Order:      c.order,
-			CyclesBase: mb.Cycles,
-			CyclesOpt:  mo.Cycles,
-			Speedup:    speedup,
-		}
 		if ck != nil {
+			s := setup
+			s.LinkOrder = cands[i].Order
 			if err := ck.Record(sweepKey("link", b.Name, s), p); err != nil {
 				return err
 			}

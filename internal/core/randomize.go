@@ -65,17 +65,70 @@ func (e RobustEstimate) Conclusive() bool {
 	return !e.TInterval.Contains(1.0)
 }
 
+// RandomPoint is the checkpoint value of one randomized-setup measurement:
+// the speedup at that setup. A float64 survives the JSON round trip
+// exactly (encoding/json emits the shortest representation that parses
+// back to the same value), so replaying a recorded point is bit-identical
+// to re-measuring it.
+type RandomPoint struct {
+	Speedup float64 `json:"speedup"`
+}
+
+// MeasureRandomPoint measures b's O3-over-O2 speedup at one randomized
+// setup — the unit of work behind EstimateSpeedup, exported as the
+// shard-execution primitive for distributed randomize jobs. Its checkpoint
+// key is PointKey("rand", b.Name, s).
+func MeasureRandomPoint(ctx context.Context, r *Runner, b *bench.Benchmark, s Setup) (RandomPoint, error) {
+	sp, _, _, err := r.Speedup(ctx, b, s, compiler.O2, compiler.O3)
+	if err != nil {
+		return RandomPoint{}, err
+	}
+	return RandomPoint{Speedup: sp}, nil
+}
+
 // EstimateSpeedup runs benchmark b under n randomized setups and returns
 // the robust estimate of the O3-over-O2 speedup.
 func EstimateSpeedup(ctx context.Context, r *Runner, b *bench.Benchmark, base Setup, n int, seed uint64) (*RobustEstimate, error) {
+	return EstimateSpeedupCheckpointed(ctx, r, b, base, n, seed, nil)
+}
+
+// EstimateSpeedupCheckpointed is EstimateSpeedup with journal-based
+// checkpoint/resume: each setup's speedup is recorded under
+// PointKey("rand", b.Name, setup) as it completes, and recorded points are
+// replayed instead of re-measured, so an interrupted randomize run resumes
+// where it stopped with bit-identical output. Two drawn setups that happen
+// to coincide share a key; the second replays the first's value, which is
+// exactly what re-measuring would produce.
+func EstimateSpeedupCheckpointed(ctx context.Context, r *Runner, b *bench.Benchmark, base Setup, n int, seed uint64, ck Checkpoint) (*RobustEstimate, error) {
 	setups := RandomSetups(base, n, len(r.UnitNames(b)), seed)
 	speedups := make([]float64, n)
-	err := ForEach(ctx, n, 0, func(ctx context.Context, i int) error {
-		sp, _, _, err := r.Speedup(ctx, b, setups[i], compiler.O2, compiler.O3)
+	pending := make([]int, 0, n)
+	for i, s := range setups {
+		if ck != nil {
+			var p RandomPoint
+			ok, err := ck.Lookup(sweepKey("rand", b.Name, s), &p)
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				speedups[i] = p.Speedup
+				continue
+			}
+		}
+		pending = append(pending, i)
+	}
+	err := ForEach(ctx, len(pending), 0, func(ctx context.Context, pi int) error {
+		i := pending[pi]
+		p, err := MeasureRandomPoint(ctx, r, b, setups[i])
 		if err != nil {
 			return err
 		}
-		speedups[i] = sp
+		if ck != nil {
+			if err := ck.Record(sweepKey("rand", b.Name, setups[i]), p); err != nil {
+				return err
+			}
+		}
+		speedups[i] = p.Speedup
 		return nil
 	})
 	if err != nil {

@@ -119,6 +119,17 @@ func (j *Journal) Lookup(key string, out any) (bool, error) {
 	return true, nil
 }
 
+// Raw returns the stored encoding of a key verbatim, without decoding.
+// The cluster coordinator uses it to assert that a duplicate shard
+// delivery is byte-identical to the copy already merged — the
+// determinism check behind "duplicates are safe".
+func (j *Journal) Raw(key string) (json.RawMessage, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	raw, ok := j.entries[key]
+	return raw, ok
+}
+
 // Record implements core.Checkpoint: the record is appended, flushed, and
 // fsynced before Record returns, so every point a sweep reports complete
 // survives an immediately following kill.

@@ -1,0 +1,104 @@
+// Package retry implements capped exponential backoff with deterministic
+// jitter. It is the one backoff policy shared by everything in the lab
+// that retries: the HTTP client's transient-failure retries, the cluster
+// worker's heartbeat transport, and the coordinator's shard-requeue
+// schedule.
+//
+// Jitter is deterministic on purpose: the delay for (key, attempt) is a
+// pure function of the policy's Seed, so a retry schedule that provoked a
+// failure can be replayed exactly — the same discipline
+// internal/faultinject applies to fault arrival.
+package retry
+
+import (
+	"context"
+	"hash/fnv"
+	"strconv"
+	"time"
+)
+
+// Policy describes a capped exponential backoff with deterministic jitter.
+// The zero value is usable and selects the defaults documented per field.
+type Policy struct {
+	// Attempts bounds the total tries, including the first (default 5).
+	Attempts int
+	// Base is the backoff before the first retry (default 50ms); each
+	// further retry doubles it.
+	Base time.Duration
+	// Cap bounds the backoff growth (default 2s).
+	Cap time.Duration
+	// Seed feeds the jitter hash (default 1).
+	Seed uint64
+}
+
+func (p Policy) withDefaults() Policy {
+	if p.Attempts <= 0 {
+		p.Attempts = 5
+	}
+	if p.Base <= 0 {
+		p.Base = 50 * time.Millisecond
+	}
+	if p.Cap <= 0 {
+		p.Cap = 2 * time.Second
+	}
+	if p.Seed == 0 {
+		p.Seed = 1
+	}
+	return p
+}
+
+// Delay returns the backoff before retry attempt (1-based: attempt 1 is
+// the delay after the first failure) of the operation named key:
+// min(Cap, Base·2^(attempt−1)), jittered into [½,1]× by a hash of
+// (Seed, key, attempt). The result depends only on the policy and the
+// arguments, never on wall clock or global RNG.
+func (p Policy) Delay(key string, attempt int) time.Duration {
+	p = p.withDefaults()
+	if attempt < 1 {
+		attempt = 1
+	}
+	d := p.Base
+	for i := 1; i < attempt && d < p.Cap; i++ {
+		d *= 2
+	}
+	if d > p.Cap {
+		d = p.Cap
+	}
+	// Jitter into [½,1]× so synchronized retriers spread out without ever
+	// shortening the schedule below half the nominal backoff.
+	h := fnv.New64a()
+	h.Write([]byte(strconv.FormatUint(p.Seed, 16)))
+	h.Write([]byte{0})
+	h.Write([]byte(key))
+	h.Write([]byte{0})
+	h.Write([]byte(strconv.Itoa(attempt)))
+	frac := float64(h.Sum64()%1_000_000) / 1_000_000
+	return time.Duration(float64(d) * (0.5 + 0.5*frac))
+}
+
+// Do runs fn up to Attempts times. After a failure that retryable reports
+// as transient, Do sleeps Delay(key, attempt) — honoring ctx cancellation —
+// and tries again; a non-transient failure or an exhausted budget returns
+// the last error. retryable may be nil, which retries every error.
+func (p Policy) Do(ctx context.Context, key string, retryable func(error) bool, fn func() error) error {
+	p = p.withDefaults()
+	var err error
+	for attempt := 1; ; attempt++ {
+		if err = ctx.Err(); err != nil {
+			return err
+		}
+		if err = fn(); err == nil {
+			return nil
+		}
+		if attempt >= p.Attempts || (retryable != nil && !retryable(err)) {
+			return err
+		}
+		t := time.NewTimer(p.Delay(key, attempt))
+		select {
+		case <-ctx.Done():
+			t.Stop()
+			return err
+		case <-t.C:
+		}
+	}
+}

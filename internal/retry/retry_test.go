@@ -1,0 +1,97 @@
+package retry
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestDelayDeterministic: the schedule is a pure function of
+// (policy, key, attempt).
+func TestDelayDeterministic(t *testing.T) {
+	p := Policy{Base: 10 * time.Millisecond, Cap: time.Second, Seed: 7}
+	for attempt := 1; attempt <= 8; attempt++ {
+		if a, b := p.Delay("k", attempt), p.Delay("k", attempt); a != b {
+			t.Fatalf("attempt %d: %v != %v", attempt, a, b)
+		}
+	}
+	if p.Delay("k", 1) == p.Delay("other", 1) {
+		t.Error("different keys produced identical jitter; suspicious hash")
+	}
+}
+
+// TestDelayGrowthAndCap: nominal backoff doubles per attempt, jitter stays
+// within [½,1]× nominal, and the cap bounds growth.
+func TestDelayGrowthAndCap(t *testing.T) {
+	p := Policy{Base: 10 * time.Millisecond, Cap: 80 * time.Millisecond}
+	for attempt := 1; attempt <= 10; attempt++ {
+		nominal := 10 * time.Millisecond << (attempt - 1)
+		if nominal > p.Cap {
+			nominal = p.Cap
+		}
+		d := p.Delay("k", attempt)
+		if d < nominal/2 || d > nominal {
+			t.Errorf("attempt %d: delay %v outside [%v, %v]", attempt, d, nominal/2, nominal)
+		}
+	}
+}
+
+// TestDoRetriesTransient: Do retries transient failures and stops on
+// success.
+func TestDoRetriesTransient(t *testing.T) {
+	p := Policy{Attempts: 5, Base: time.Microsecond, Cap: time.Microsecond}
+	calls := 0
+	err := p.Do(context.Background(), "k", nil, func() error {
+		calls++
+		if calls < 3 {
+			return errors.New("flaky")
+		}
+		return nil
+	})
+	if err != nil || calls != 3 {
+		t.Fatalf("Do = %v after %d calls, want nil after 3", err, calls)
+	}
+}
+
+// TestDoStopsOnPermanent: a non-retryable error short-circuits the budget.
+func TestDoStopsOnPermanent(t *testing.T) {
+	p := Policy{Attempts: 5, Base: time.Microsecond}
+	perm := errors.New("permanent")
+	calls := 0
+	err := p.Do(context.Background(), "k", func(err error) bool { return false }, func() error {
+		calls++
+		return perm
+	})
+	if !errors.Is(err, perm) || calls != 1 {
+		t.Fatalf("Do = %v after %d calls, want permanent after 1", err, calls)
+	}
+}
+
+// TestDoExhaustsBudget: the last error surfaces when attempts run out.
+func TestDoExhaustsBudget(t *testing.T) {
+	p := Policy{Attempts: 3, Base: time.Microsecond, Cap: time.Microsecond}
+	flaky := errors.New("flaky")
+	calls := 0
+	err := p.Do(context.Background(), "k", nil, func() error { calls++; return flaky })
+	if !errors.Is(err, flaky) || calls != 3 {
+		t.Fatalf("Do = %v after %d calls, want flaky after 3", err, calls)
+	}
+}
+
+// TestDoHonorsContext: cancellation mid-backoff returns promptly with the
+// last failure.
+func TestDoHonorsContext(t *testing.T) {
+	p := Policy{Attempts: 3, Base: time.Hour, Cap: time.Hour}
+	ctx, cancel := context.WithCancel(context.Background())
+	flaky := errors.New("flaky")
+	go func() { time.Sleep(10 * time.Millisecond); cancel() }()
+	start := time.Now()
+	err := p.Do(ctx, "k", nil, func() error { return flaky })
+	if !errors.Is(err, flaky) {
+		t.Fatalf("Do = %v, want the last failure", err)
+	}
+	if time.Since(start) > 10*time.Second {
+		t.Fatal("Do slept through cancellation")
+	}
+}

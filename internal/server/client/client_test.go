@@ -1,0 +1,182 @@
+package client_test
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"biaslab/internal/retry"
+	"biaslab/internal/server"
+	"biaslab/internal/server/client"
+)
+
+func testClient(url string) *client.Client {
+	c := client.New(url)
+	c.PollInterval = time.Millisecond
+	c.Retry = retry.Policy{Attempts: 3, Base: time.Millisecond, Cap: 5 * time.Millisecond}
+	return c
+}
+
+// TestSubmitRetriesTransient: 5xx responses are server trouble — the
+// client retries with backoff until the daemon recovers. Submission is
+// retry-safe because the server deduplicates by content key.
+func TestSubmitRetriesTransient(t *testing.T) {
+	var mu sync.Mutex
+	calls := 0
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		calls++
+		n := calls
+		mu.Unlock()
+		if n <= 2 {
+			http.Error(w, `{"error":"restarting"}`, http.StatusServiceUnavailable)
+			return
+		}
+		json.NewEncoder(w).Encode(server.SubmitResponse{ID: "j1", Key: "k1", State: server.StateQueued})
+	}))
+	defer ts.Close()
+
+	sub, err := testClient(ts.URL).Submit(context.Background(), server.JobSpec{Kind: server.KindRun, Size: "test", Bench: "hmmer", Machine: "p4"})
+	if err != nil {
+		t.Fatalf("Submit did not survive transient 503s: %v", err)
+	}
+	if sub.ID != "j1" {
+		t.Errorf("ID = %q, want j1", sub.ID)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if calls != 3 {
+		t.Errorf("server saw %d requests, want 3 (two failures + success)", calls)
+	}
+}
+
+// TestSubmitDoesNotRetryCallerMistakes: a 4xx is permanent; retrying
+// would just repeat the mistake.
+func TestSubmitDoesNotRetryCallerMistakes(t *testing.T) {
+	var mu sync.Mutex
+	calls := 0
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		calls++
+		mu.Unlock()
+		http.Error(w, `{"error":"no such benchmark"}`, http.StatusBadRequest)
+	}))
+	defer ts.Close()
+
+	if _, err := testClient(ts.URL).Submit(context.Background(), server.JobSpec{Kind: server.KindRun}); err == nil {
+		t.Fatal("Submit swallowed a 400")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if calls != 1 {
+		t.Errorf("server saw %d requests, want exactly 1 (no retry on 4xx)", calls)
+	}
+}
+
+// TestSubmitRetriesConnectionRefused: a daemon that is briefly down
+// (restart, deploy) refuses connections at the TCP level; the client
+// retries those too.
+func TestSubmitRetriesConnectionRefused(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		json.NewEncoder(w).Encode(server.SubmitResponse{ID: "j1", Key: "k1", State: server.StateQueued})
+	}))
+	url := ts.URL
+	ts.Close() // the port now refuses connections
+
+	c := testClient(url)
+	if _, err := c.Submit(context.Background(), server.JobSpec{Kind: server.KindRun}); err == nil {
+		t.Fatal("Submit succeeded against a dead daemon")
+	}
+	// All attempts must have been spent on the network error before giving
+	// up — observable through the error being a dial failure, not a status.
+}
+
+// writeEvent emits one SSE frame in the server's wire format.
+func writeEvent(w http.ResponseWriter, idx int, ev server.Event) {
+	data, _ := json.Marshal(ev)
+	fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", idx, ev.Type, data)
+}
+
+// TestEventsReconnectResumes: when the stream drops mid-job (EOF with no
+// terminal event), the client reconnects with ?since=<next unseen index>
+// and the combined delivery is exactly-once, in order.
+func TestEventsReconnectResumes(t *testing.T) {
+	var mu sync.Mutex
+	conns := 0
+	var sinces []string
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		conns++
+		n := conns
+		sinces = append(sinces, r.URL.Query().Get("since"))
+		mu.Unlock()
+		w.Header().Set("Content-Type", "text/event-stream")
+		if n == 1 {
+			// Three point events, then the connection dies mid-job.
+			for i := 0; i < 3; i++ {
+				writeEvent(w, i, server.Event{Type: "point", Key: fmt.Sprintf("p%d", i), Done: i + 1, Total: 6})
+			}
+			return
+		}
+		// Resumed connection: the rest of the job, ending terminally.
+		for i := 3; i < 5; i++ {
+			writeEvent(w, i, server.Event{Type: "point", Key: fmt.Sprintf("p%d", i), Done: i + 1, Total: 6})
+		}
+		writeEvent(w, 5, server.Event{Type: "state", State: server.StateDone})
+	}))
+	defer ts.Close()
+
+	var got []server.Event
+	if err := testClient(ts.URL).Events(context.Background(), "j1", func(ev server.Event) {
+		got = append(got, ev)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 6 {
+		t.Fatalf("delivered %d events, want 6 exactly-once", len(got))
+	}
+	for i := 0; i < 5; i++ {
+		if want := fmt.Sprintf("p%d", i); got[i].Key != want {
+			t.Errorf("event %d = %q, want %q (order or dedup broken)", i, got[i].Key, want)
+		}
+	}
+	if got[5].State != server.StateDone {
+		t.Errorf("final event state = %q, want done", got[5].State)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(sinces) != 2 || sinces[0] != "" || sinces[1] != "3" {
+		t.Errorf("since parameters = %v, want [\"\" \"3\"]", sinces)
+	}
+}
+
+// TestEventsGivesUpWithoutProgress: a stream that keeps dying without
+// delivering anything exhausts the reconnect budget instead of spinning
+// forever.
+func TestEventsGivesUpWithoutProgress(t *testing.T) {
+	var mu sync.Mutex
+	conns := 0
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		conns++
+		mu.Unlock()
+		w.Header().Set("Content-Type", "text/event-stream")
+		// EOF immediately: no events, no terminal state.
+	}))
+	defer ts.Close()
+
+	err := testClient(ts.URL).Events(context.Background(), "j1", func(server.Event) {})
+	if err == nil {
+		t.Fatal("Events returned nil for a stream that never finished")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if conns < 2 {
+		t.Errorf("client gave up after %d connections without using its reconnect budget", conns)
+	}
+}

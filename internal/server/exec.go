@@ -33,7 +33,7 @@ func Execute(ctx context.Context, r *core.Runner, spec JobSpec, ck core.Checkpoi
 	case KindSweepLink:
 		res.LinkSweep, err = executeLinkSweep(ctx, r, spec, ck, onTotal)
 	case KindRandomize:
-		res.Randomize, err = executeRandomize(ctx, r, spec, onTotal)
+		res.Randomize, err = executeRandomize(ctx, r, spec, ck, onTotal)
 	case KindExperiment:
 		res.Experiment, err = executeExperiment(ctx, r, spec, ck)
 	default:
@@ -45,8 +45,11 @@ func Execute(ctx context.Context, r *core.Runner, spec JobSpec, ck core.Checkpoi
 	return res, nil
 }
 
-// baseSetup builds the setup a canonical spec starts from.
-func baseSetup(spec JobSpec) (core.Setup, *bench.Benchmark, error) {
+// BaseSetup builds the setup a canonical spec starts from and resolves its
+// benchmark. Exported for the cluster package, whose shard planner and
+// shard executor must derive exactly the setups the single-node path
+// measures.
+func BaseSetup(spec JobSpec) (core.Setup, *bench.Benchmark, error) {
 	b, ok := bench.ByName(spec.Bench)
 	if !ok {
 		return core.Setup{}, nil, fmt.Errorf("server: unknown benchmark %q", spec.Bench)
@@ -61,7 +64,7 @@ func baseSetup(spec JobSpec) (core.Setup, *bench.Benchmark, error) {
 }
 
 func executeRun(ctx context.Context, r *core.Runner, spec JobSpec, onTotal func(int)) (*RunResult, error) {
-	setup, b, err := baseSetup(spec)
+	setup, b, err := BaseSetup(spec)
 	if err != nil {
 		return nil, err
 	}
@@ -82,7 +85,7 @@ func executeRun(ctx context.Context, r *core.Runner, spec JobSpec, onTotal func(
 }
 
 func executeEnvSweep(ctx context.Context, r *core.Runner, spec JobSpec, ck core.Checkpoint, onTotal func(int)) (*EnvSweepResult, error) {
-	setup, b, err := baseSetup(spec)
+	setup, b, err := BaseSetup(spec)
 	if err != nil {
 		return nil, err
 	}
@@ -114,7 +117,7 @@ func executeEnvSweep(ctx context.Context, r *core.Runner, spec JobSpec, ck core.
 }
 
 func executeLinkSweep(ctx context.Context, r *core.Runner, spec JobSpec, ck core.Checkpoint, onTotal func(int)) (*LinkSweepResult, error) {
-	setup, b, err := baseSetup(spec)
+	setup, b, err := BaseSetup(spec)
 	if err != nil {
 		return nil, err
 	}
@@ -135,17 +138,19 @@ func executeLinkSweep(ctx context.Context, r *core.Runner, spec JobSpec, ck core
 	}, nil
 }
 
-func executeRandomize(ctx context.Context, r *core.Runner, spec JobSpec, onTotal func(int)) (*RandomizeResult, error) {
-	setup, b, err := baseSetup(spec)
+func executeRandomize(ctx context.Context, r *core.Runner, spec JobSpec, ck core.Checkpoint, onTotal func(int)) (*RandomizeResult, error) {
+	setup, b, err := BaseSetup(spec)
 	if err != nil {
 		return nil, err
 	}
 	onTotal(spec.N)
 	var est *core.RobustEstimate
 	if spec.Tol > 0 {
+		// Adaptive sampling's setup count depends on interim intervals, so
+		// it is not checkpointed: a resumed run must re-decide when to stop.
 		est, err = core.EstimateSpeedupAdaptive(ctx, r, b, setup, spec.Tol, 4, spec.N, spec.Seed)
 	} else {
-		est, err = core.EstimateSpeedup(ctx, r, b, setup, spec.N, spec.Seed)
+		est, err = core.EstimateSpeedupCheckpointed(ctx, r, b, setup, spec.N, spec.Seed, ck)
 	}
 	if err != nil {
 		return nil, err

@@ -5,17 +5,19 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 )
 
 // Handler returns the daemon's HTTP API:
 //
 //	POST /v1/jobs                submit a job (JobSpec → SubmitResponse)
 //	GET  /v1/jobs/{id}           job status (JobStatus)
-//	GET  /v1/jobs/{id}/events    SSE stream of per-point progress
+//	GET  /v1/jobs/{id}/events    SSE stream of per-point progress (?since=N)
 //	GET  /v1/results/{key}       stored result; ?format=json|text|csv
 //	GET  /v1/catalog             benchmarks, machines, experiments
 //	GET  /metrics                text-format counters
-//	GET  /healthz                liveness (503 while draining)
+//	GET  /healthz                liveness: 200 whenever the process is up
+//	GET  /readyz                 readiness: 503 while draining
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
@@ -25,6 +27,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/catalog", s.handleCatalog)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	return mux
 }
 
@@ -77,7 +80,9 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 // handleEvents streams a job's events as SSE: every event already
 // recorded is replayed first (late subscribers see the full history), then
 // new events as they happen; the stream ends when the job reaches a
-// terminal state.
+// terminal state. Each event carries its absolute index as the SSE id;
+// a reconnecting client passes ?since=N (the index after the last event it
+// saw) to receive exactly the events it missed — no duplicates, no gaps.
 func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	j, ok := s.jobs[r.PathValue("id")]
@@ -85,6 +90,15 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		writeError(w, http.StatusNotFound, fmt.Errorf("no job %q", r.PathValue("id")))
 		return
+	}
+	idx := 0
+	if since := r.URL.Query().Get("since"); since != "" {
+		n, err := strconv.Atoi(since)
+		if err != nil || n < 0 {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad since %q", since))
+			return
+		}
+		idx = n
 	}
 	fl, ok := w.(http.Flusher)
 	if !ok {
@@ -97,15 +111,14 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	h.Set("Connection", "keep-alive")
 	w.WriteHeader(http.StatusOK)
 
-	idx := 0
 	for {
 		evs, changed, done := j.eventsSince(idx)
-		for _, ev := range evs {
+		for i, ev := range evs {
 			data, err := json.Marshal(ev)
 			if err != nil {
 				return
 			}
-			fmt.Fprintf(w, "event: %s\ndata: %s\n\n", ev.Type, data)
+			fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", idx+i, ev.Type, data)
 		}
 		idx += len(evs)
 		fl.Flush()
@@ -165,11 +178,29 @@ func (s *Server) handleCatalog(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	extra := s.extraMetrics
+	s.mu.Unlock()
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	fmt.Fprint(w, s.MetricsSnapshot().Render())
+	if extra != nil {
+		fmt.Fprint(w, extra())
+	}
 }
 
+// handleHealthz is the liveness probe: 200 whenever the process is up,
+// even while draining — a draining daemon is alive and must not be
+// restarted out from under its in-flight checkpoint writes.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+// handleReadyz is the readiness probe: 503 while draining (the daemon is
+// alive but must receive no new work). The cluster coordinator's worker
+// health checks use this endpoint, so a draining worker stops receiving
+// shard assignments before its executor stops.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	draining := s.draining
 	s.mu.Unlock()

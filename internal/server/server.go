@@ -37,6 +37,44 @@ var (
 	ErrQueueFull = errors.New("server: job queue full")
 )
 
+// ErrNotSharded is returned by a ShardRunner that declines a job — most
+// importantly when zero workers are alive — telling the server to degrade
+// gracefully to ordinary local execution.
+var ErrNotSharded = errors.New("server: job not sharded, execute locally")
+
+// ShardRunner distributes a shardable job's pending points across a
+// cluster of worker daemons. It must journal every completed point into jn
+// under the job's single-node checkpoint keys (announcing each through
+// onPoint exactly once: replayed for points already in jn, fresh for
+// points delivered by workers) and return only when every point of the job
+// is in jn — at which point the server assembles the final result by
+// replaying jn through the ordinary execution path, so the cluster result
+// is byte-identical to a single-node run by construction.
+//
+// Implemented by internal/cluster.Coordinator; the indirection exists
+// because the cluster package builds on this package's wire types.
+type ShardRunner interface {
+	RunSharded(ctx context.Context, jobKey string, spec JobSpec, jn *journal.Journal, onPoint func(key string, replayed bool), onTotal func(int)) error
+}
+
+// Shardable reports whether a canonical spec names a job the cluster can
+// shard: a job whose result decomposes into an enumerable set of
+// independent points. Adaptive sweeps (the measurement set depends on
+// oracle verification at runtime) and adaptive randomize (the sample count
+// depends on interim intervals) stay coordinator-local, as do run and
+// experiment jobs.
+func Shardable(spec JobSpec) bool {
+	switch spec.Kind {
+	case KindSweepEnv:
+		return !spec.Adaptive
+	case KindSweepLink:
+		return true
+	case KindRandomize:
+		return spec.Tol == 0
+	}
+	return false
+}
+
 // Server is the biaslabd engine: a bounded worker pool over the
 // measurement core, a singleflight job table keyed by content hash, and
 // the persistent result store. Construct with New, serve its Handler, and
@@ -56,6 +94,27 @@ type Server struct {
 	runners  map[bench.Size]*core.Runner
 	nextID   int
 	draining bool
+
+	// Cluster integration, set by SetCluster before serving.
+	sharder      ShardRunner
+	extraMetrics func() string
+}
+
+// SetCluster attaches a cluster coordinator: sh takes over execution of
+// Shardable jobs (falling back to local execution when it returns
+// ErrNotSharded), and metrics (optional) is appended verbatim to the
+// /metrics exposition. Call before the server starts accepting jobs.
+func (s *Server) SetCluster(sh ShardRunner, metrics func() string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.sharder = sh
+	s.extraMetrics = metrics
+}
+
+func (s *Server) shardRunner() ShardRunner {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sharder
 }
 
 // New opens the store under cfg.DataDir and starts the worker pool.
@@ -94,11 +153,12 @@ func New(cfg Config) (*Server, error) {
 	return s, nil
 }
 
-// runner returns the shared Runner for a workload size, creating it on
+// Runner returns the shared Runner for a workload size, creating it on
 // first use with the metrics hook attached. Sharing one Runner per size
 // across all jobs is what makes the daemon's compile/link caches span
-// clients.
-func (s *Server) runner(size bench.Size) *core.Runner {
+// clients — and, exported, what lets a cluster worker or coordinator
+// execute shards through the same caches.
+func (s *Server) Runner(size bench.Size) *core.Runner {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	r, ok := s.runners[size]
@@ -334,16 +394,28 @@ func (s *Server) jobCheckpoint(j *job) (core.Checkpoint, func(), error) {
 
 // execute runs the measurement a job names through the shared Execute
 // path, wiring the job's checkpoint journal and progress into it, and
-// returns the canonical result encoding.
+// returns the canonical result encoding. When a cluster ShardRunner is
+// attached and the job is Shardable, execution is distributed first and
+// degrades to the local path if the cluster declines (zero workers alive).
 func (s *Server) execute(ctx context.Context, j *job) ([]byte, error) {
 	spec := j.spec
 	size, err := parseSize(spec.Size)
 	if err != nil {
 		return nil, err
 	}
+	if sh := s.shardRunner(); sh != nil && Shardable(spec) {
+		raw, err := s.executeSharded(ctx, sh, j)
+		if err == nil || !errors.Is(err, ErrNotSharded) {
+			return raw, err
+		}
+		// Zero workers alive: degrade gracefully to local execution. The
+		// job journal is shared between both paths, so any points a
+		// previous partial cluster run delivered are replayed, not lost.
+	}
 	var ck core.Checkpoint
-	switch spec.Kind {
-	case KindSweepEnv, KindSweepLink, KindExperiment:
+	switch {
+	case spec.Kind == KindSweepEnv, spec.Kind == KindSweepLink, spec.Kind == KindExperiment,
+		spec.Kind == KindRandomize && spec.Tol == 0:
 		jobCk, closeCk, err := s.jobCheckpoint(j)
 		if err != nil {
 			return nil, err
@@ -351,7 +423,7 @@ func (s *Server) execute(ctx context.Context, j *job) ([]byte, error) {
 		defer closeCk()
 		ck = jobCk
 	}
-	res, err := Execute(ctx, s.runner(size), spec, ck, j.setTotal)
+	res, err := Execute(ctx, s.Runner(size), spec, ck, j.setTotal)
 	if err != nil {
 		return nil, err
 	}
@@ -361,6 +433,39 @@ func (s *Server) execute(ctx context.Context, j *job) ([]byte, error) {
 		s.metrics.point(false)
 	case res.Randomize != nil:
 		j.setDone(res.Randomize.Estimate.N)
+	}
+	return EncodeResult(res)
+}
+
+// executeSharded runs a shardable job through the cluster: the coordinator
+// fans the pending points out to workers and journals every completed
+// point into the job's ordinary checkpoint journal; the server then
+// assembles the final result by replaying that journal through the shared
+// Execute path — zero new measurements, and byte-identical to a
+// single-node run because it *is* the single-node code path over the same
+// journal namespace.
+func (s *Server) executeSharded(ctx context.Context, sh ShardRunner, j *job) ([]byte, error) {
+	size, err := parseSize(j.spec.Size)
+	if err != nil {
+		return nil, err
+	}
+	jn, err := journal.Open(s.jobJournalPath(j.key))
+	if err != nil {
+		return nil, err
+	}
+	defer jn.Close()
+	onPoint := func(key string, replayed bool) {
+		j.point(key, replayed)
+		s.metrics.point(replayed)
+	}
+	if err := sh.RunSharded(ctx, j.key, j.spec, jn, onPoint, j.setTotal); err != nil {
+		return nil, err
+	}
+	// Assembly replays the now-complete journal without the progress
+	// wrapper: every point was already announced exactly once above.
+	res, err := Execute(ctx, s.Runner(size), j.spec, jn, nil)
+	if err != nil {
+		return nil, err
 	}
 	return EncodeResult(res)
 }

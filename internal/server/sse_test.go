@@ -1,0 +1,161 @@
+package server_test
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+
+	"biaslab/internal/server"
+)
+
+// TestHealthzReadyzSplit: liveness and readiness are distinct probes. A
+// draining daemon is still alive — /healthz answers 200 so supervisors
+// don't kill it mid-drain — but it is no longer ready, so /readyz flips
+// to 503 and load balancers (and the cluster coordinator's join probe)
+// stop routing to it.
+func TestHealthzReadyzSplit(t *testing.T) {
+	srv := newServer(t, t.TempDir(), 1)
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	get := func(path string) int {
+		t.Helper()
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if got := get("/healthz"); got != http.StatusOK {
+		t.Errorf("/healthz before drain = %d, want 200", got)
+	}
+	if got := get("/readyz"); got != http.StatusOK {
+		t.Errorf("/readyz before drain = %d, want 200", got)
+	}
+	if err := srv.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if got := get("/healthz"); got != http.StatusOK {
+		t.Errorf("/healthz while draining = %d, want 200 (liveness must not flap)", got)
+	}
+	if got := get("/readyz"); got != http.StatusServiceUnavailable {
+		t.Errorf("/readyz while draining = %d, want 503", got)
+	}
+}
+
+// sseEvent is one parsed frame of an event stream.
+type sseEvent struct {
+	id   int
+	data string
+}
+
+// readEvents consumes SSE frames from a response body until limit events
+// have arrived (limit < 0 reads to stream end).
+func readEvents(t *testing.T, body *bufio.Scanner, limit int) []sseEvent {
+	t.Helper()
+	var evs []sseEvent
+	id := -1
+	for (limit < 0 || len(evs) < limit) && body.Scan() {
+		line := body.Text()
+		switch {
+		case strings.HasPrefix(line, "id:"):
+			n, err := strconv.Atoi(strings.TrimSpace(strings.TrimPrefix(line, "id:")))
+			if err != nil {
+				t.Fatalf("bad id line %q: %v", line, err)
+			}
+			id = n
+		case strings.HasPrefix(line, "data:"):
+			evs = append(evs, sseEvent{id: id, data: strings.TrimSpace(strings.TrimPrefix(line, "data:"))})
+		}
+	}
+	return evs
+}
+
+// TestEventsResumeExactlyOnce: drop an SSE consumer mid-sweep, reconnect
+// with ?since=<next>, and the combined stream must carry every event
+// exactly once — sequential ids, no duplicates, no gaps — ending in a
+// terminal state event.
+func TestEventsResumeExactlyOnce(t *testing.T) {
+	srv := newServer(t, t.TempDir(), 2)
+	defer srv.Shutdown(context.Background())
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	sub, err := srv.Submit(sweepSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream := func(since int) (*http.Response, *bufio.Scanner) {
+		t.Helper()
+		url := fmt.Sprintf("%s/v1/jobs/%s/events", ts.URL, sub.ID)
+		if since > 0 {
+			url += fmt.Sprintf("?since=%d", since)
+		}
+		resp, err := http.Get(url)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("events stream returned %d", resp.StatusCode)
+		}
+		sc := bufio.NewScanner(resp.Body)
+		sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+		return resp, sc
+	}
+
+	// First connection: read a handful of events, then drop the link.
+	resp, sc := stream(0)
+	head := readEvents(t, sc, 5)
+	resp.Body.Close()
+	if len(head) != 5 {
+		t.Fatalf("first connection delivered %d events, want 5", len(head))
+	}
+
+	// Resume from the next unseen index and consume to the stream's end.
+	next := head[len(head)-1].id + 1
+	resp, sc = stream(next)
+	tail := readEvents(t, sc, -1)
+	resp.Body.Close()
+
+	all := append(head, tail...)
+	for i, ev := range all {
+		if ev.id != i {
+			t.Fatalf("event %d has id %d: resumed stream has a gap or duplicate", i, ev.id)
+		}
+	}
+	last := all[len(all)-1]
+	if !strings.Contains(last.data, `"state":"done"`) {
+		t.Errorf("stream did not end in a done state event: %s", last.data)
+	}
+	waitDone(t, srv, sub.ID)
+}
+
+// TestEventsBadSince: a malformed resume index is the caller's mistake.
+func TestEventsBadSince(t *testing.T) {
+	srv := newServer(t, t.TempDir(), 1)
+	defer srv.Shutdown(context.Background())
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	sub, err := srv.Submit(server.JobSpec{Kind: server.KindRun, Size: "test", Bench: "libquantum", Machine: "core2", Level: "O3"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, srv, sub.ID)
+	for _, since := range []string{"abc", "-1"} {
+		resp, err := http.Get(fmt.Sprintf("%s/v1/jobs/%s/events?since=%s", ts.URL, sub.ID, since))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("since=%s returned %d, want 400", since, resp.StatusCode)
+		}
+	}
+}

@@ -1,0 +1,68 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"biaslab"
+	"biaslab/internal/audit"
+)
+
+// cmdAudit statically audits experiment spec files for benchmarking
+// crimes — no measurements are run. Files are JSON job specs (single, an
+// array audited as one comparison, or a stored result envelope), with `//`
+// comments and `//audit:allow <rule>` suppression directives. Exit status
+// is 1 when any unsuppressed error-severity finding remains, so the
+// command gates in CI exactly like `biaslab vet`.
+func (a *app) cmdAudit(args []string) error {
+	fs := flag.NewFlagSet("audit", flag.ContinueOnError)
+	if err := fs.Parse(args); err != nil {
+		return usageError{err}
+	}
+	files := fs.Args()
+	if len(files) == 0 {
+		return usageErrorf("audit needs spec files (biaslab audit examples/specs/*.json)")
+	}
+
+	var ins []audit.Spec
+	for _, f := range files {
+		loaded, err := audit.LoadFile(f)
+		if err != nil {
+			return err
+		}
+		ins = append(ins, loaded...)
+	}
+
+	// One lazily built Runner per workload size: the oracle-backed rules
+	// compile and link through its caches but never simulate.
+	runners := map[biaslab.Size]*biaslab.Runner{}
+	auditor := audit.New(func(size biaslab.Size) *biaslab.Runner {
+		r, ok := runners[size]
+		if !ok {
+			r = biaslab.NewRunner(size)
+			runners[size] = r
+		}
+		return r
+	})
+
+	rep, err := auditor.AuditSet(ins)
+	if err != nil {
+		return err
+	}
+	if a.jsonOut {
+		b, err := json.Marshal(rep)
+		if err != nil {
+			return err
+		}
+		os.Stdout.Write(b)
+		fmt.Println()
+	} else {
+		fmt.Print(rep.String())
+	}
+	if !rep.OK {
+		return fmt.Errorf("audit: %d gating finding(s)", rep.Gating)
+	}
+	return nil
+}

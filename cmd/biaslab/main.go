@@ -9,6 +9,7 @@
 //	biaslab randomize -bench perlbench -machine core2 [-n 16]
 //	biaslab causal -bench perlbench -machine core2
 //	biaslab vet [files.cm...]
+//	biaslab audit specs/*.json     # flag benchmarking crimes; exit 1 on findings
 //	biaslab predict -bench hmmer -machine core2 [-step 8] [-perms 24] [-json]
 //	biaslab survey
 //	biaslab experiment F3          # any of F1–F9, T1–T4
@@ -179,7 +180,7 @@ func (a *app) dispatch(cmd string, cmdArgs []string) error {
 	if a.server != "" && !serviceCommands[cmd] {
 		return usageErrorf("%s runs locally only; -server supports run, sweep-env, sweep-link, randomize, experiment, all and list", cmd)
 	}
-	if a.jsonOut && cmd != "predict" && (!serviceCommands[cmd] || cmd == "all") {
+	if a.jsonOut && cmd != "predict" && cmd != "audit" && (!serviceCommands[cmd] || cmd == "all") {
 		return usageErrorf("-json is not supported for %s", cmd)
 	}
 	switch cmd {
@@ -199,6 +200,8 @@ func (a *app) dispatch(cmd string, cmdArgs []string) error {
 		return a.cmdCompare(cmdArgs)
 	case "vet":
 		return a.cmdVet(cmdArgs)
+	case "audit":
+		return a.cmdAudit(cmdArgs)
 	case "predict":
 		return a.cmdPredict(cmdArgs)
 	case "survey":
@@ -229,6 +232,7 @@ subcommands:
   profile    per-function cycle attribution for one run
   compare    robust A/B comparison of two toolchain configs across setups
   vet        lint benchmark programs (or .cm files); exit 1 on findings
+  audit      flag benchmarking crimes in experiment spec files; exit 1 on findings
   predict    static bias oracle: predicted env/link-order sensitivity
   survey     print the 133-paper literature-survey table
   experiment regenerate one artifact by id (F1..F9, T1..T4)

@@ -44,6 +44,16 @@ func (a *app) remoteResult(spec server.JobSpec) (*server.Result, []byte, error) 
 	if err != nil {
 		return nil, nil, err
 	}
+	// Daemon-side audit findings are advisory on a normal submission;
+	// surface them on stderr so the rendered result stays byte-identical
+	// to a local run.
+	for _, f := range sub.Audit {
+		suffix := ""
+		if f.Suppressed {
+			suffix = " (suppressed)"
+		}
+		fmt.Fprintf(os.Stderr, "biaslab: audit %s %s: %s%s\n", f.Severity, f.Rule, f.Message, suffix)
+	}
 	if sub.Cached {
 		fmt.Fprintf(os.Stderr, "biaslab: %s: result %s served from cache\n", a.server, sub.Key)
 	} else {

@@ -42,6 +42,7 @@ import (
 	"syscall"
 	"time"
 
+	"biaslab/internal/audit"
 	"biaslab/internal/cluster"
 	"biaslab/internal/retry"
 	"biaslab/internal/server"
@@ -118,6 +119,10 @@ func serve(opts serveOptions) error {
 		ProbeReady: cluster.ProbeReadyHTTP(&http.Client{Timeout: 5 * time.Second}),
 	})
 	srv.SetCluster(coord, func() string { return coord.MetricsSnapshot().Render() })
+	// Every submission is audited for benchmarking crimes (findings ride
+	// the submit response; ?strict=1 rejects). The auditor plans through
+	// the daemon's shared Runner, so its compile/link work is cached.
+	srv.SetAuditor(audit.New(srv.Runner))
 	mux := http.NewServeMux()
 	mux.Handle("/", srv.Handler())
 	coord.Register(mux)

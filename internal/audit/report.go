@@ -1,0 +1,95 @@
+package audit
+
+import (
+	"fmt"
+	"strings"
+
+	"biaslab/internal/server"
+)
+
+// Entry is one finding bound to the spec it was found against.
+type Entry struct {
+	// Subject names the audited spec: its file path when it came from a
+	// file, else a kind/bench/machine summary.
+	Subject string  `json:"subject"`
+	Finding Finding `json:"finding"`
+}
+
+// Report is the outcome of auditing a set of specs: every finding, plus
+// tallies and the gating verdict. Its JSON form is the `biaslab audit
+// -json` output.
+type Report struct {
+	// Specs is how many specs were audited.
+	Specs int `json:"specs"`
+	// Findings lists every finding in render order: per-spec findings in
+	// input order, then cross-spec findings.
+	Findings []Entry `json:"findings,omitempty"`
+	// Errors / Warnings / Suppressed tally the findings; Suppressed counts
+	// findings of either severity covered by an allow.
+	Errors     int `json:"errors"`
+	Warnings   int `json:"warnings"`
+	Suppressed int `json:"suppressed"`
+	// Gating counts unsuppressed errors: the findings that make OK false,
+	// `biaslab audit` exit 1, and ?strict=1 reject.
+	Gating int `json:"gating"`
+	// OK is the verdict: no gating findings.
+	OK bool `json:"ok"`
+}
+
+// add records a spec's findings.
+func (rep *Report) add(in Spec, fs []Finding) {
+	rep.Specs++
+	for _, f := range fs {
+		rep.Findings = append(rep.Findings, Entry{Subject: subject(in), Finding: f})
+	}
+}
+
+// addEntry records a cross-spec finding.
+func (rep *Report) addEntry(e Entry) {
+	rep.Findings = append(rep.Findings, e)
+}
+
+// tally recomputes the counters and verdict from Findings.
+func (rep *Report) tally() {
+	rep.Errors, rep.Warnings, rep.Suppressed, rep.Gating = 0, 0, 0, 0
+	for _, e := range rep.Findings {
+		f := e.Finding
+		if f.Suppressed {
+			rep.Suppressed++
+		}
+		switch {
+		case f.Severity == server.AuditError:
+			rep.Errors++
+			if !f.Suppressed {
+				rep.Gating++
+			}
+		default:
+			rep.Warnings++
+		}
+	}
+	rep.OK = rep.Gating == 0
+}
+
+// String renders the human report, one line per finding plus a verdict —
+// the `biaslab audit` text output, styled after `go vet`:
+//
+//	examples/specs/guilty.json: error single-setup: randomize with n=1 ... (suppressed)
+//	audit: 3 spec(s), 1 error(s) (1 suppressed), 0 warning(s) — ok
+func (rep *Report) String() string {
+	var sb strings.Builder
+	for _, e := range rep.Findings {
+		f := e.Finding
+		suffix := ""
+		if f.Suppressed {
+			suffix = " (suppressed)"
+		}
+		fmt.Fprintf(&sb, "%s: %s %s: %s%s\n", e.Subject, f.Severity, f.Rule, f.Message, suffix)
+	}
+	verdict := "ok"
+	if !rep.OK {
+		verdict = fmt.Sprintf("FAIL (%d gating)", rep.Gating)
+	}
+	fmt.Fprintf(&sb, "audit: %d spec(s), %d error(s) (%d suppressed), %d warning(s) — %s\n",
+		rep.Specs, rep.Errors, rep.Suppressed, rep.Warnings, verdict)
+	return sb.String()
+}

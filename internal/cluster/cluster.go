@@ -120,6 +120,12 @@ type ShardAssignment struct {
 	// Spec is the job's canonical spec; the worker derives the full point
 	// enumeration from it and measures only Indices.
 	Spec server.JobSpec `json:"spec"`
+	// Audit is the submitting coordinator's audit verdict for the job's
+	// spec, inherited verbatim by every shard: workers never re-audit an
+	// assignment, so a spec the coordinator accepted (clean, warned, or
+	// guilty-but-suppressed) executes on the whole fleet under the
+	// coordinator's judgment.
+	Audit []server.AuditFinding `json:"audit,omitempty"`
 	// Indices are the positions (into the planner's point enumeration)
 	// this shard covers.
 	Indices []int `json:"indices"`

@@ -65,7 +65,7 @@ func (cfg CoordinatorConfig) withDefaults() CoordinatorConfig {
 		cfg.StealAfter = 2 * cfg.LeaseTTL
 	}
 	if cfg.Clock == nil {
-		cfg.Clock = time.Now
+		cfg.Clock = time.Now //determlint:allow lease/heartbeat wall clock, injected as fakeClock in tests
 	}
 	return cfg
 }
@@ -103,6 +103,7 @@ type shardState struct {
 type clusterJob struct {
 	key     string
 	spec    server.JobSpec
+	audit   []server.AuditFinding
 	jn      *journal.Journal
 	onPoint func(key string, replayed bool)
 
@@ -206,7 +207,7 @@ func (c *Coordinator) Leave(req LeaveRequest) {
 // dropWorkerLocked removes a worker from the registry and ring and
 // releases its leases (requeueing shards left copyless).
 func (c *Coordinator) dropWorkerLocked(w *workerState, now time.Time) {
-	for id, sh := range w.held {
+	for id, sh := range w.held { //determlint:allow lease release; per-shard deletes are order-independent
 		delete(sh.copies, w.id)
 		delete(w.held, id)
 		if !sh.completed && !sh.job.finished && len(sh.copies) == 0 {
@@ -281,6 +282,7 @@ func (c *Coordinator) Heartbeat(req HeartbeatRequest) (HeartbeatResponse, error)
 			Job:     sh.job.key,
 			Shard:   sh.id,
 			Spec:    sh.job.spec,
+			Audit:   sh.job.audit,
 			Indices: sh.indices,
 			Stolen:  stolen,
 		})
@@ -294,7 +296,7 @@ func (c *Coordinator) Heartbeat(req HeartbeatRequest) (HeartbeatResponse, error)
 // straggler whose sole lease has been running longer than StealAfter.
 func (c *Coordinator) pickShardLocked(w *workerState, now time.Time) (*shardState, bool) {
 	var first *shardState
-	for _, job := range c.jobs {
+	for _, job := range c.jobs { //determlint:allow assignment choice; results are assignment-order-independent by the merge discipline
 		for _, sh := range job.pending {
 			if sh.notBefore.After(now) {
 				continue
@@ -313,7 +315,7 @@ func (c *Coordinator) pickShardLocked(w *workerState, now time.Time) (*shardStat
 		return first, false
 	}
 	// Work stealing: no queued work anywhere, so chase stragglers.
-	for _, job := range c.jobs {
+	for _, job := range c.jobs { //determlint:allow steal-candidate scan; any straggler is a valid victim
 		for _, sh := range c.jobShardsLocked(job) {
 			if sh.completed || sh.queued || len(sh.copies) != 1 {
 				continue
@@ -321,7 +323,7 @@ func (c *Coordinator) pickShardLocked(w *workerState, now time.Time) (*shardStat
 			if _, mine := sh.copies[w.id]; mine {
 				continue
 			}
-			for _, l := range sh.copies {
+			for _, l := range sh.copies { //determlint:allow existence check over lease ages
 				if now.Sub(l.granted) >= c.cfg.StealAfter {
 					return sh, true
 				}
@@ -334,7 +336,7 @@ func (c *Coordinator) pickShardLocked(w *workerState, now time.Time) (*shardStat
 // jobShardsLocked returns a job's shards in deterministic id order.
 func (c *Coordinator) jobShardsLocked(job *clusterJob) []*shardState {
 	var out []*shardState
-	for _, sh := range c.shards {
+	for _, sh := range c.shards { //determlint:allow collected then sorted by id below
 		if sh.job == job {
 			out = append(out, sh)
 		}
@@ -390,7 +392,7 @@ func (c *Coordinator) shardDoneLocked(w *workerState, res ShardResult, now time.
 	c.m.add(&c.m.shardsCompleted, 1)
 	// Other copies (stolen or stale) lose the race; their holders are
 	// told via Revoked on their next heartbeat.
-	for wid := range sh.copies {
+	for wid := range sh.copies { //determlint:allow revocation; per-worker deletes are order-independent
 		if ow, ok := c.ws[wid]; ok {
 			delete(ow.held, sh.id)
 		}
@@ -460,11 +462,11 @@ func (c *Coordinator) finishJobLocked(job *clusterJob, err error) {
 	job.finished = true
 	job.err = err
 	job.pending = nil
-	for id, sh := range c.shards {
+	for id, sh := range c.shards { //determlint:allow job teardown; per-shard deletes are order-independent
 		if sh.job != job {
 			continue
 		}
-		for wid := range sh.copies {
+		for wid := range sh.copies { //determlint:allow job teardown; per-worker deletes are order-independent
 			if w, ok := c.ws[wid]; ok {
 				delete(w.held, id)
 			}
@@ -477,17 +479,17 @@ func (c *Coordinator) finishJobLocked(job *clusterJob, err error) {
 
 // sweepLocked expires stale leases and drops dead workers.
 func (c *Coordinator) sweepLocked(now time.Time) {
-	for _, w := range c.ws {
+	for _, w := range c.ws { //determlint:allow liveness sweep; per-worker drops are order-independent
 		if now.Sub(w.lastBeat) > 3*c.cfg.LeaseTTL {
 			c.dropWorkerLocked(w, now)
 			c.m.add(&c.m.workersDead, 1)
 		}
 	}
-	for _, sh := range c.shards {
+	for _, sh := range c.shards { //determlint:allow lease-expiry sweep; per-shard requeues are order-independent
 		if sh.completed {
 			continue
 		}
-		for wid, l := range sh.copies {
+		for wid, l := range sh.copies { //determlint:allow lease-expiry sweep; per-copy expiries are order-independent
 			if now.After(l.expiry) {
 				delete(sh.copies, wid)
 				if w, ok := c.ws[wid]; ok {
@@ -505,7 +507,7 @@ func (c *Coordinator) sweepLocked(now time.Time) {
 // aliveLocked counts workers whose last heartbeat is within the TTL.
 func (c *Coordinator) aliveLocked(now time.Time) int {
 	n := 0
-	for _, w := range c.ws {
+	for _, w := range c.ws { //determlint:allow counting only
 		if now.Sub(w.lastBeat) <= c.cfg.LeaseTTL {
 			n++
 		}
@@ -520,7 +522,7 @@ func (c *Coordinator) aliveLocked(now time.Time) int {
 // the server takes its ordinary local path; if the fleet dies mid-job the
 // coordinator executes the remaining shards inline — same journal, same
 // keys, so the hand-off is seamless in both directions.
-func (c *Coordinator) RunSharded(ctx context.Context, jobKey string, spec server.JobSpec, jn *journal.Journal, onPoint func(key string, replayed bool), onTotal func(int)) error {
+func (c *Coordinator) RunSharded(ctx context.Context, jobKey string, spec server.JobSpec, audit []server.AuditFinding, jn *journal.Journal, onPoint func(key string, replayed bool), onTotal func(int)) error {
 	size, err := bench.ParseSize(spec.Size)
 	if err != nil {
 		return err
@@ -570,6 +572,7 @@ func (c *Coordinator) RunSharded(ctx context.Context, jobKey string, spec server
 	job := &clusterJob{
 		key:       jobKey,
 		spec:      spec,
+		audit:     audit,
 		jn:        jn,
 		onPoint:   onPoint,
 		points:    points,
@@ -655,7 +658,7 @@ func (c *Coordinator) MetricsSnapshot() MetricsSnapshot {
 	c.mu.Lock()
 	now := c.cfg.Clock()
 	alive, suspect := 0, 0
-	for _, w := range c.ws {
+	for _, w := range c.ws { //determlint:allow counting only
 		if now.Sub(w.lastBeat) <= c.cfg.LeaseTTL {
 			alive++
 		} else {
@@ -695,7 +698,7 @@ func (c *Coordinator) Status() StatusResponse {
 	c.mu.Lock()
 	now := c.cfg.Clock()
 	var workers []WorkerStatus
-	for _, w := range c.ws {
+	for _, w := range c.ws { //determlint:allow collected then sorted by worker id below
 		state := "alive"
 		if now.Sub(w.lastBeat) > c.cfg.LeaseTTL {
 			state = "suspect"

@@ -88,7 +88,7 @@ func startJob(t *testing.T, c *Coordinator, key string, spec server.JobSpec) (*j
 	}
 	errCh := make(chan error, 1)
 	go func() {
-		errCh <- c.RunSharded(context.Background(), key, spec, jn, nil, nil)
+		errCh <- c.RunSharded(context.Background(), key, spec, nil, jn, nil, nil)
 	}()
 	deadline := time.Now().Add(5 * time.Second)
 	for {
@@ -366,7 +366,7 @@ func TestNoWorkersDeclines(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer jn.Close()
-	err = c.RunSharded(context.Background(), "job-none", spec, jn, nil, nil)
+	err = c.RunSharded(context.Background(), "job-none", spec, nil, jn, nil, nil)
 	if !errors.Is(err, server.ErrNotSharded) {
 		t.Fatalf("got %v, want ErrNotSharded", err)
 	}
@@ -397,7 +397,7 @@ func TestFullyJournalledJobNeedsNoCluster(t *testing.T) {
 		}
 	}
 	replayed := 0
-	err = c.RunSharded(context.Background(), "job-replay", spec, jn, func(key string, r bool) {
+	err = c.RunSharded(context.Background(), "job-replay", spec, nil, jn, func(key string, r bool) {
 		if r {
 			replayed++
 		}

@@ -176,7 +176,7 @@ func (w *Worker) beat(ctx context.Context) error {
 		Points: append([]PointRecord(nil), w.outbox...),
 		Done:   append([]ShardResult(nil), w.doneBox...),
 	}
-	for id := range w.held {
+	for id := range w.held { //determlint:allow lease-renewal set; the coordinator treats Held as a set
 		req.Held = append(req.Held, id)
 	}
 	sentPoints, sentDone := len(w.outbox), len(w.doneBox)
@@ -252,7 +252,7 @@ func (w *Worker) start(ctx context.Context, a ShardAssignment) {
 func (w *Worker) cancelAll() {
 	w.mu.Lock()
 	runs := make([]*shardRun, 0, len(w.held))
-	for id, run := range w.held {
+	for id, run := range w.held { //determlint:allow cancellation; per-run cancels are order-independent
 		runs = append(runs, run)
 		delete(w.held, id)
 	}

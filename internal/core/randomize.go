@@ -40,7 +40,8 @@ func RandomSetups(base Setup, n, numUnits int, seed uint64) []Setup {
 }
 
 // RobustEstimate is the randomized-setup estimate of a speedup: a mean over
-// n random setups with both t and bootstrap confidence intervals.
+// n random setups with t, bootstrap and hierarchical confidence intervals
+// plus the median-based Speedup-Test verdict.
 type RobustEstimate struct {
 	Benchmark string
 	Machine   string
@@ -52,6 +53,15 @@ type RobustEstimate struct {
 	// MedianCI is the distribution-free order-statistic interval for the
 	// median — the robust alternative later methodology work recommends.
 	MedianCI stats.Interval
+	// HierCI is the Kalibera & Jones random-effects bootstrap interval over
+	// setup×repetition. The simulator is deterministic, so each setup
+	// contributes one repetition and the interval reduces to a setup-level
+	// bootstrap — exactly the variance randomization turns bias into. This
+	// is the interval behind the headline "faster by x% ± y%" report.
+	HierCI stats.Interval
+	// Test is the median-based Speedup-Test (Touati et al.): a sign test of
+	// H0 "median speedup = 1", distribution-free where the t interval is not.
+	Test stats.SpeedupTestResult
 }
 
 func (e RobustEstimate) String() string {
@@ -59,10 +69,60 @@ func (e RobustEstimate) String() string {
 		e.Benchmark, e.Machine, e.N, e.Mean, e.TInterval, e.Bootstrap, e.MedianCI)
 }
 
+// EffectPct returns the effect size as a percentage with its 95% half-width:
+// the hierarchical interval's midpoint and half-width, in "O3 is x% ± y%
+// faster" units (positive = faster).
+func (e RobustEstimate) EffectPct() (center, half float64) {
+	center = ((e.HierCI.Lo+e.HierCI.Hi)/2 - 1) * 100
+	half = e.HierCI.Width() / 2 * 100
+	return center, half
+}
+
+// EffectString renders the headline effect-size report the paper asks
+// evaluations to print instead of a bare point estimate: a direction only
+// when the interval supports one, always with the uncertainty attached.
+func (e RobustEstimate) EffectString() string {
+	center, half := e.EffectPct()
+	level := e.HierCI.Level * 100
+	switch {
+	case e.HierCI.Lo > 1:
+		return fmt.Sprintf("effect: O3 faster by %.2f%% ± %.2f%% at %.0f%%", center, half, level)
+	case e.HierCI.Hi < 1:
+		return fmt.Sprintf("effect: O3 slower by %.2f%% ± %.2f%% at %.0f%%", -center, half, level)
+	}
+	return fmt.Sprintf("effect: %+.2f%% ± %.2f%% at %.0f%% — interval spans no effect", center, half, level)
+}
+
 // Conclusive reports whether the interval excludes 1.0 — i.e. whether the
 // randomized experiment actually supports a direction for the effect.
 func (e RobustEstimate) Conclusive() bool {
 	return !e.TInterval.Contains(1.0)
+}
+
+// newRobustEstimate assembles the estimate from measured per-setup
+// speedups. Both resamplers are seeded from the experiment's identity
+// (bench, machine, sample count, seed) via stats.SeedFrom — the same
+// identity fields the daemon's content key hashes — so every interval is a
+// pure function of the spec: byte-identical across runs, between local and
+// remote execution, and after a checkpoint resume.
+func newRobustEstimate(benchName, machineName string, speedups []float64, seed uint64) *RobustEstimate {
+	nStr := fmt.Sprintf("%d/%d", len(speedups), seed)
+	groups := make([][]float64, len(speedups))
+	for i := range speedups {
+		groups[i] = speedups[i : i+1]
+	}
+	return &RobustEstimate{
+		Benchmark: benchName,
+		Machine:   machineName,
+		N:         len(speedups),
+		Speedups:  speedups,
+		Mean:      stats.Mean(speedups),
+		TInterval: stats.TInterval(speedups, 0.95),
+		Bootstrap: stats.BootstrapMeanInterval(speedups, 0.95, 1000, stats.NewRNG(stats.SeedFrom("boot", benchName, machineName, nStr))),
+		MedianCI:  stats.MedianInterval(speedups, 0.95),
+		HierCI:    stats.HierarchicalCI(groups, 0.95, 1000, stats.NewRNG(stats.SeedFrom("hier", benchName, machineName, nStr))),
+		Test:      stats.SpeedupTest(speedups, 0.95),
+	}
 }
 
 // RandomPoint is the checkpoint value of one randomized-setup measurement:
@@ -134,17 +194,7 @@ func EstimateSpeedupCheckpointed(ctx context.Context, r *Runner, b *bench.Benchm
 	if err != nil {
 		return nil, err
 	}
-	rng := stats.NewRNG(seed ^ 0xB0075)
-	return &RobustEstimate{
-		Benchmark: b.Name,
-		Machine:   base.Machine,
-		N:         n,
-		Speedups:  speedups,
-		Mean:      stats.Mean(speedups),
-		TInterval: stats.TInterval(speedups, 0.95),
-		Bootstrap: stats.BootstrapMeanInterval(speedups, 0.95, 1000, rng),
-		MedianCI:  stats.MedianInterval(speedups, 0.95),
-	}, nil
+	return newRobustEstimate(b.Name, base.Machine, speedups, seed), nil
 }
 
 // SingleSetupVerdicts contrasts the randomized estimate with what a
@@ -224,15 +274,5 @@ func EstimateSpeedupAdaptive(ctx context.Context, r *Runner, b *bench.Benchmark,
 			}
 		}
 	}
-	rng := stats.NewRNG(seed ^ 0xADA9)
-	return &RobustEstimate{
-		Benchmark: b.Name,
-		Machine:   base.Machine,
-		N:         len(speedups),
-		Speedups:  speedups,
-		Mean:      stats.Mean(speedups),
-		TInterval: stats.TInterval(speedups, 0.95),
-		Bootstrap: stats.BootstrapMeanInterval(speedups, 0.95, 1000, rng),
-		MedianCI:  stats.MedianInterval(speedups, 0.95),
-	}, nil
+	return newRobustEstimate(b.Name, base.Machine, speedups, seed), nil
 }

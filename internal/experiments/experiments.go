@@ -293,7 +293,7 @@ func (l *Lab) Figure9() (*Result, error) {
 	labels := []string{}
 	means := map[string]float64{}
 	intervals := map[string]stats.Interval{}
-	t := &report.Table{Headers: []string{"benchmark", "robust mean", "95% CI", "conclusive", "setupA", "inCI", "setupB", "inCI"}}
+	t := &report.Table{Headers: []string{"benchmark", "robust mean", "95% CI", "effect ± (95%)", "sign-test", "conclusive", "setupA", "inCI", "setupB", "inCI"}}
 	for _, b := range bench.All() {
 		est, err := core.EstimateSpeedup(l.ctx, l.Runner, b, core.DefaultSetup("core2"), l.opt.RandomSetups, l.opt.Seed)
 		if err != nil {
@@ -310,7 +310,11 @@ func (l *Lab) Figure9() (*Result, error) {
 			return nil, err
 		}
 		sort.Slice(verdicts, func(i, j int) bool { return verdicts[i].Label < verdicts[j].Label })
-		t.AddRow(b.Name, est.Mean, est.TInterval.String(), est.Conclusive(),
+		center, half := est.EffectPct()
+		t.AddRow(b.Name, est.Mean, est.TInterval.String(),
+			fmt.Sprintf("%+.2f%%±%.2f%%", center, half),
+			fmt.Sprintf("%s p=%.3f", est.Test.Verdict, est.Test.P),
+			est.Conclusive(),
 			verdicts[0].Speedup, verdicts[0].InInterval,
 			verdicts[1].Speedup, verdicts[1].InInterval)
 	}

@@ -7,8 +7,10 @@
 //
 // Package patterns are directories, with "..." expanding recursively.
 // Without -all, only the measured roots (internal/machine, internal/isa,
-// internal/core) are checked — the determinism contract applies to the
-// measurement core, not to drivers or tests. Exit status is 1 when any
+// internal/core, internal/stats, internal/audit, internal/server,
+// internal/cluster) are checked — the determinism contract applies to the
+// measurement core and the serving layers whose output must be
+// byte-identical, not to drivers or tests. Exit status is 1 when any
 // finding is reported, 2 on usage or I/O errors.
 package main
 
@@ -24,11 +26,19 @@ import (
 )
 
 // measuredRoots are the packages the determinism contract covers, relative
-// to the module root.
+// to the module root: the measurement core proper, plus the serving layers
+// whose output must be byte-identical across runs (results, rendered
+// reports, audit findings) and the statistics package behind every
+// interval. Genuine wall-clock machinery (cluster leases, heartbeats)
+// carries //determlint:allow annotations at each use.
 var measuredRoots = []string{
 	filepath.Join("internal", "machine"),
 	filepath.Join("internal", "isa"),
 	filepath.Join("internal", "core"),
+	filepath.Join("internal", "stats"),
+	filepath.Join("internal", "audit"),
+	filepath.Join("internal", "server"),
+	filepath.Join("internal", "cluster"),
 }
 
 func main() {

@@ -81,6 +81,13 @@ type JobSpec struct {
 	// sweep when the oracle's predictions verify, but the content key still
 	// differs (omitempty keeps existing dense keys stable).
 	Adaptive bool `json:"adaptive,omitempty"`
+	// AuditAllow suppresses the named audit rules for this spec (the
+	// spec-field form of an //audit:allow directive). Suppressions are
+	// metadata about how the experiment is judged, not about what it
+	// measures, so Canonicalize drops the field and it never perturbs the
+	// content key: a suppressed and an unsuppressed spec for the same work
+	// share one cached result.
+	AuditAllow []string `json:"audit_allow,omitempty"`
 }
 
 // parseSize maps a spec size to the bench workload size.
@@ -284,6 +291,60 @@ type Progress struct {
 	Total int `json:"total,omitempty"`
 }
 
+// AuditSeverity grades an audit finding.
+type AuditSeverity string
+
+// Audit severities: errors gate (CLI exit 1, ?strict=1 rejection), warnings
+// inform.
+const (
+	AuditError AuditSeverity = "error"
+	AuditWarn  AuditSeverity = "warn"
+)
+
+// AuditFinding is one benchmarking crime flagged against a spec — the wire
+// form shared by the audit CLI, the daemon's submit response, and cluster
+// shard assignments (which inherit the submitting coordinator's verdict).
+type AuditFinding struct {
+	// Rule is the stable rule id (e.g. "single-setup").
+	Rule     string        `json:"rule"`
+	Severity AuditSeverity `json:"severity"`
+	Message  string        `json:"message"`
+	// Suppressed marks a finding covered by an //audit:allow directive or
+	// the spec's audit_allow field: still reported, no longer gating.
+	Suppressed bool `json:"suppressed,omitempty"`
+}
+
+// Gating reports whether the finding blocks under strict gating: an
+// unsuppressed error.
+func (f AuditFinding) Gating() bool {
+	return f.Severity == AuditError && !f.Suppressed
+}
+
+// SpecAuditor statically audits a job spec for benchmarking crimes before
+// any cycles are spent on it. Implemented by internal/audit; the
+// indirection exists because the audit package builds on this package's
+// spec and wire types (the same inversion as ShardRunner).
+type SpecAuditor interface {
+	AuditSpec(spec JobSpec) ([]AuditFinding, error)
+}
+
+// AuditRejectedError is the typed rejection of a criminal spec under
+// ?strict=1, carrying the findings so the HTTP layer can return them to
+// the client.
+type AuditRejectedError struct {
+	Findings []AuditFinding
+}
+
+func (e *AuditRejectedError) Error() string {
+	n := 0
+	for _, f := range e.Findings {
+		if f.Gating() {
+			n++
+		}
+	}
+	return fmt.Sprintf("server: audit rejected spec under strict mode: %d gating finding(s)", n)
+}
+
 // JobStatus is the GET /v1/jobs/{id} response.
 type JobStatus struct {
 	ID       string       `json:"id"`
@@ -293,6 +354,8 @@ type JobStatus struct {
 	Cached   bool         `json:"cached"`
 	Progress Progress     `json:"progress"`
 	Error    *ErrorDetail `json:"error,omitempty"`
+	// Audit carries the findings recorded against the spec at submission.
+	Audit []AuditFinding `json:"audit,omitempty"`
 }
 
 // SubmitResponse is the POST /v1/jobs response.
@@ -306,6 +369,11 @@ type SubmitResponse struct {
 	// and this submission was deduplicated onto it.
 	InFlight bool     `json:"in_flight"`
 	State    JobState `json:"state"`
+	// Audit lists the benchmarking crimes the daemon's auditor flagged in
+	// the spec (empty when clean or no auditor is attached). Findings are
+	// advisory unless the submission used ?strict=1, which rejects specs
+	// with unsuppressed error findings instead of running them.
+	Audit []AuditFinding `json:"audit,omitempty"`
 }
 
 // Event is one SSE progress event on GET /v1/jobs/{id}/events.

@@ -1,0 +1,181 @@
+package server_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"biaslab/internal/audit"
+	"biaslab/internal/server"
+)
+
+// criminalSpec is the paper's titular crime: a one-setup "comparison".
+func criminalSpec() server.JobSpec {
+	return server.JobSpec{Kind: server.KindRandomize, Size: "test", Bench: "hmmer", N: 1}
+}
+
+func postJob(t *testing.T, ts *httptest.Server, spec server.JobSpec, strict bool) (*http.Response, []byte) {
+	t.Helper()
+	body, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	url := ts.URL + "/v1/jobs"
+	if strict {
+		url += "?strict=1"
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	return resp, buf.Bytes()
+}
+
+// decodeSubmit parses a SubmitResponse into a fresh struct (reusing one
+// across decodes would let absent fields keep stale values).
+func decodeSubmit(t *testing.T, body []byte) server.SubmitResponse {
+	t.Helper()
+	var sub server.SubmitResponse
+	if err := json.Unmarshal(body, &sub); err != nil {
+		t.Fatal(err)
+	}
+	return sub
+}
+
+// TestStrictSubmitRejectsCriminalSpec is the daemon-side audit acceptance
+// test: ?strict=1 rejects a guilty spec with 422 and the findings, the
+// same spec without strict runs with the findings attached as advisory,
+// a suppression restores strict admission, and the biaslabd_audit_*
+// metrics record all of it.
+func TestStrictSubmitRejectsCriminalSpec(t *testing.T) {
+	srv := newServer(t, t.TempDir(), 2)
+	defer srv.Shutdown(context.Background())
+	srv.SetAuditor(audit.New(srv.Runner))
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	// Strict: rejected before any queueing, with the charges in the body.
+	resp, body := postJob(t, ts, criminalSpec(), true)
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("strict submit status = %d, want 422 (body %s)", resp.StatusCode, body)
+	}
+	var rejection struct {
+		Error string                `json:"error"`
+		Audit []server.AuditFinding `json:"audit"`
+	}
+	if err := json.Unmarshal(body, &rejection); err != nil {
+		t.Fatal(err)
+	}
+	if len(rejection.Audit) == 0 || rejection.Audit[0].Rule != audit.RuleSingleSetup {
+		t.Fatalf("rejection body missing findings: %s", body)
+	}
+	snap := srv.MetricsSnapshot()
+	if snap.AuditRejected != 1 || snap.AuditFlagged != 1 {
+		t.Fatalf("AuditRejected=%d AuditFlagged=%d, want 1/1", snap.AuditRejected, snap.AuditFlagged)
+	}
+
+	// Non-strict: the same spec is admitted, findings attached as advisory.
+	resp, body = postJob(t, ts, criminalSpec(), false)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("advisory submit status = %d (body %s)", resp.StatusCode, body)
+	}
+	sub := decodeSubmit(t, body)
+	if len(sub.Audit) == 0 || sub.Audit[0].Rule != audit.RuleSingleSetup || sub.Audit[0].Suppressed {
+		t.Fatalf("advisory submission missing unsuppressed findings: %s", body)
+	}
+	st := waitDone(t, srv, sub.ID)
+	if st.State != server.StateDone {
+		t.Fatalf("advisory criminal job state = %s, err %v", st.State, st.Error)
+	}
+	if len(st.Audit) == 0 {
+		t.Fatal("job status lost the audit findings")
+	}
+
+	// Suppressed: the guilty spec with audit_allow passes strict. Its
+	// result is already cached — strict auditing must still have run.
+	suppressed := criminalSpec()
+	suppressed.AuditAllow = []string{audit.RuleSingleSetup}
+	resp, body = postJob(t, ts, suppressed, true)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("suppressed strict submit status = %d (body %s)", resp.StatusCode, body)
+	}
+	sub = decodeSubmit(t, body)
+	if !sub.Cached {
+		t.Error("suppression changed the content key: suppressed resubmission missed the cache")
+	}
+	if len(sub.Audit) != 1 || !sub.Audit[0].Suppressed {
+		t.Fatalf("suppressed submission findings = %s", body)
+	}
+
+	// Clean spec: counted clean, no findings.
+	clean := criminalSpec()
+	clean.N = 16
+	resp, body = postJob(t, ts, clean, true)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("clean strict submit status = %d (body %s)", resp.StatusCode, body)
+	}
+	sub = decodeSubmit(t, body)
+	if len(sub.Audit) != 0 {
+		t.Fatalf("clean spec flagged: %s", body)
+	}
+	waitDone(t, srv, sub.ID)
+
+	snap = srv.MetricsSnapshot()
+	if snap.AuditClean != 1 {
+		t.Errorf("AuditClean = %d, want 1", snap.AuditClean)
+	}
+	if snap.AuditFlagged != 3 {
+		t.Errorf("AuditFlagged = %d, want 3", snap.AuditFlagged)
+	}
+	if snap.AuditSuppressed != 1 {
+		t.Errorf("AuditSuppressed = %d, want 1", snap.AuditSuppressed)
+	}
+	if snap.AuditRejected != 1 {
+		t.Errorf("AuditRejected = %d, want 1", snap.AuditRejected)
+	}
+
+	// The counters are served on /metrics in text form.
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(mresp.Body)
+	for _, line := range []string{
+		"biaslabd_audit_specs_clean_total 1",
+		"biaslabd_audit_specs_flagged_total 3",
+		"biaslabd_audit_findings_suppressed_total 1",
+		"biaslabd_audit_rejected_total 1",
+	} {
+		if !strings.Contains(buf.String(), line) {
+			t.Errorf("/metrics missing %q:\n%s", line, buf.String())
+		}
+	}
+}
+
+// TestNoAuditorIsNoop: a daemon without an attached auditor admits
+// everything, strict or not — auditing is opt-in wiring, not a hard
+// dependency of the server package.
+func TestNoAuditorIsNoop(t *testing.T) {
+	srv := newServer(t, t.TempDir(), 1)
+	defer srv.Shutdown(context.Background())
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	resp, body := postJob(t, ts, criminalSpec(), true)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("auditor-less strict submit status = %d (body %s)", resp.StatusCode, body)
+	}
+	sub := decodeSubmit(t, body)
+	if len(sub.Audit) != 0 {
+		t.Fatalf("auditor-less daemon produced findings: %s", body)
+	}
+	waitDone(t, srv, sub.ID)
+}

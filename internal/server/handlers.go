@@ -10,7 +10,8 @@ import (
 
 // Handler returns the daemon's HTTP API:
 //
-//	POST /v1/jobs                submit a job (JobSpec → SubmitResponse)
+//	POST /v1/jobs                submit a job (JobSpec → SubmitResponse);
+//	                             ?strict=1 rejects audited-criminal specs (422)
 //	GET  /v1/jobs/{id}           job status (JobStatus)
 //	GET  /v1/jobs/{id}/events    SSE stream of per-point progress (?since=N)
 //	GET  /v1/results/{key}       stored result; ?format=json|text|csv
@@ -48,18 +49,31 @@ func writeError(w http.ResponseWriter, status int, err error) {
 	writeJSON(w, status, apiError{Error: err.Error()})
 }
 
+// auditRejection is the JSON body of a ?strict=1 rejection: the error plus
+// the findings that caused it, so the client can print the charges.
+type auditRejection struct {
+	Error string         `json:"error"`
+	Audit []AuditFinding `json:"audit"`
+}
+
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	var spec JobSpec
 	if err := json.NewDecoder(r.Body).Decode(&spec); err != nil {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding job spec: %w", err))
 		return
 	}
-	resp, err := s.Submit(spec)
+	strict := r.URL.Query().Get("strict") == "1"
+	resp, err := s.SubmitStrict(spec, strict)
+	var rejected *AuditRejectedError
 	switch {
 	case errors.Is(err, ErrDraining):
 		writeError(w, http.StatusServiceUnavailable, err)
 	case errors.Is(err, ErrQueueFull):
 		writeError(w, http.StatusServiceUnavailable, err)
+	case errors.As(err, &rejected):
+		// The spec is well-formed but commits benchmarking crimes the
+		// caller asked us to gate on: unprocessable, with the findings.
+		writeJSON(w, http.StatusUnprocessableEntity, auditRejection{Error: err.Error(), Audit: rejected.Findings})
 	case err != nil:
 		// Submission errors are spec validation failures: the caller's fault.
 		writeError(w, http.StatusBadRequest, err)

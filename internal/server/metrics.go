@@ -25,6 +25,12 @@ type metrics struct {
 	measurements uint64
 	instructions uint64
 	cycles       uint64
+	// Audit outcomes at submission: clean vs flagged specs, suppressed
+	// findings, strict-mode rejections.
+	auditClean      uint64
+	auditFlagged    uint64
+	auditSuppressed uint64
+	auditRejects    uint64
 }
 
 func (m *metrics) submitted(cacheHit bool) {
@@ -50,6 +56,25 @@ func (m *metrics) point(replayed bool) {
 	} else {
 		m.pointsMeasured++
 	}
+}
+
+// audited records one spec passing through the auditor at submission.
+func (m *metrics) audited(flagged bool, suppressed int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if flagged {
+		m.auditFlagged++
+	} else {
+		m.auditClean++
+	}
+	m.auditSuppressed += uint64(suppressed)
+}
+
+// auditRejected records one strict-mode rejection.
+func (m *metrics) auditRejected() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.auditRejects++
 }
 
 // measured is the Runner's OnMeasure hook target.
@@ -78,6 +103,11 @@ type Snapshot struct {
 	Measurements   uint64
 	Instructions   uint64
 	Cycles         uint64
+	// Audit outcomes at submission.
+	AuditClean      uint64
+	AuditFlagged    uint64
+	AuditSuppressed uint64
+	AuditRejected   uint64
 	// StoredResults is the result store's current size.
 	StoredResults int
 }
@@ -100,6 +130,10 @@ func (s Snapshot) Render() string {
 	fmt.Fprintf(&sb, "biaslabd_measurements_total %d\n", s.Measurements)
 	fmt.Fprintf(&sb, "biaslabd_instructions_retired_total %d\n", s.Instructions)
 	fmt.Fprintf(&sb, "biaslabd_cycles_total %d\n", s.Cycles)
+	fmt.Fprintf(&sb, "biaslabd_audit_specs_clean_total %d\n", s.AuditClean)
+	fmt.Fprintf(&sb, "biaslabd_audit_specs_flagged_total %d\n", s.AuditFlagged)
+	fmt.Fprintf(&sb, "biaslabd_audit_findings_suppressed_total %d\n", s.AuditSuppressed)
+	fmt.Fprintf(&sb, "biaslabd_audit_rejected_total %d\n", s.AuditRejected)
 	fmt.Fprintf(&sb, "biaslabd_stored_results %d\n", s.StoredResults)
 	return sb.String()
 }

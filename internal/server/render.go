@@ -48,7 +48,10 @@ func RenderText(res *Result) (string, error) {
 		if r.Conclusive {
 			verdict = "the randomized experiment supports a direction: the interval excludes 1.0"
 		}
-		return r.Estimate.String() + "\n" + verdict + "\n", nil
+		return r.Estimate.String() + "\n" +
+			r.Estimate.EffectString() + "\n" +
+			r.Estimate.Test.String() + "\n" +
+			verdict + "\n", nil
 	case KindExperiment:
 		r := res.Experiment
 		if r == nil {
@@ -95,6 +98,15 @@ func RenderCSV(res *Result) (string, error) {
 		for i, sp := range r.Estimate.Speedups {
 			fmt.Fprintf(&sb, "%d,%g\n", i, sp)
 		}
+		// Effect-size footer: the same hierarchical interval and
+		// Speedup-Test verdict the text renderer prints, as summary rows.
+		center, half := r.Estimate.EffectPct()
+		fmt.Fprintf(&sb, "effect_pct,%g\n", center)
+		fmt.Fprintf(&sb, "effect_pct_half_width_95,%g\n", half)
+		fmt.Fprintf(&sb, "hier_ci_lo,%g\n", r.Estimate.HierCI.Lo)
+		fmt.Fprintf(&sb, "hier_ci_hi,%g\n", r.Estimate.HierCI.Hi)
+		fmt.Fprintf(&sb, "speedup_test_verdict,%s\n", r.Estimate.Test.Verdict)
+		fmt.Fprintf(&sb, "speedup_test_p,%g\n", r.Estimate.Test.P)
 		return sb.String(), nil
 	case KindExperiment:
 		r := res.Experiment

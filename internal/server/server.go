@@ -53,8 +53,15 @@ var ErrNotSharded = errors.New("server: job not sharded, execute locally")
 //
 // Implemented by internal/cluster.Coordinator; the indirection exists
 // because the cluster package builds on this package's wire types.
+//
+// audit is the verdict the submitting coordinator's auditor recorded
+// against the spec (nil when clean or unaudited). It travels with every
+// shard assignment so workers inherit the coordinator's verdict instead of
+// re-auditing — in particular, a suppressed guilty spec the coordinator
+// accepted must execute on workers whose own strict policy would have
+// rejected a fresh submission of it.
 type ShardRunner interface {
-	RunSharded(ctx context.Context, jobKey string, spec JobSpec, jn *journal.Journal, onPoint func(key string, replayed bool), onTotal func(int)) error
+	RunSharded(ctx context.Context, jobKey string, spec JobSpec, audit []AuditFinding, jn *journal.Journal, onPoint func(key string, replayed bool), onTotal func(int)) error
 }
 
 // Shardable reports whether a canonical spec names a job the cluster can
@@ -98,6 +105,26 @@ type Server struct {
 	// Cluster integration, set by SetCluster before serving.
 	sharder      ShardRunner
 	extraMetrics func() string
+
+	// Audit integration, set by SetAuditor before serving.
+	auditor SpecAuditor
+}
+
+// SetAuditor attaches a spec auditor: every submission is audited
+// statically before any cycles are spent, findings ride along in the
+// submit response and job status, and ?strict=1 submissions with
+// unsuppressed error findings are rejected. Call before the server starts
+// accepting jobs.
+func (s *Server) SetAuditor(a SpecAuditor) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.auditor = a
+}
+
+func (s *Server) specAuditor() SpecAuditor {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.auditor
 }
 
 // SetCluster attaches a cluster coordinator: sh takes over execution of
@@ -174,11 +201,29 @@ func (s *Server) Runner(size bench.Size) *core.Runner {
 // measurements), an identical in-flight job absorbs the submission
 // (singleflight), and anything else is queued for the worker pool.
 func (s *Server) Submit(spec JobSpec) (*SubmitResponse, error) {
+	return s.SubmitStrict(spec, false)
+}
+
+// SubmitStrict is Submit with the audit gate armed: when strict is true
+// and the attached auditor records an unsuppressed error-severity finding,
+// the spec is rejected with *AuditRejectedError before any queueing,
+// caching or measurement happens — the daemon refuses to bless a criminal
+// experiment even when its result is already cached.
+func (s *Server) SubmitStrict(spec JobSpec, strict bool) (*SubmitResponse, error) {
 	canonical, err := spec.Canonicalize()
 	if err != nil {
 		return nil, err
 	}
 	key := canonicalKey(canonical)
+
+	// Static audit first: it spends no cycles (the rules read the spec and
+	// the bias oracle's compile-time artifacts) and its verdict shapes the
+	// rest of the submission. The raw spec is audited, not the canonical
+	// one, because AuditAllow suppressions are dropped by Canonicalize.
+	findings, err := s.auditSubmission(spec, strict)
+	if err != nil {
+		return nil, err
+	}
 
 	// Store hit: the result is already durable; the job exists only so
 	// GET /v1/jobs/{id} and the event stream behave uniformly.
@@ -190,12 +235,12 @@ func (s *Server) Submit(spec JobSpec) (*SubmitResponse, error) {
 			s.mu.Unlock()
 			return nil, ErrDraining
 		}
-		j := s.newJobLocked(canonical, key)
+		j := s.newJobLocked(canonical, key, findings)
 		j.cached = true
 		s.mu.Unlock()
 		j.setState(StateDone, nil)
 		s.metrics.submitted(true)
-		return &SubmitResponse{ID: j.id, Key: key, Cached: true, State: StateDone}, nil
+		return &SubmitResponse{ID: j.id, Key: key, Cached: true, State: StateDone, Audit: findings}, nil
 	}
 
 	s.mu.Lock()
@@ -206,9 +251,9 @@ func (s *Server) Submit(spec JobSpec) (*SubmitResponse, error) {
 	if j, ok := s.active[key]; ok {
 		s.mu.Unlock()
 		s.metrics.submitted(true)
-		return &SubmitResponse{ID: j.id, Key: key, InFlight: true, State: j.State()}, nil
+		return &SubmitResponse{ID: j.id, Key: key, InFlight: true, State: j.State(), Audit: findings}, nil
 	}
-	j := s.newJobLocked(canonical, key)
+	j := s.newJobLocked(canonical, key, findings)
 	s.active[key] = j
 	select {
 	case s.queue <- j:
@@ -221,16 +266,46 @@ func (s *Server) Submit(spec JobSpec) (*SubmitResponse, error) {
 	s.mu.Unlock()
 	s.metrics.submitted(false)
 	s.metrics.enqueued()
-	return &SubmitResponse{ID: j.id, Key: key, State: StateQueued}, nil
+	return &SubmitResponse{ID: j.id, Key: key, State: StateQueued, Audit: findings}, nil
+}
+
+// auditSubmission runs the attached auditor (if any) over the raw spec,
+// maintains the audit counters, and enforces strict gating.
+func (s *Server) auditSubmission(spec JobSpec, strict bool) ([]AuditFinding, error) {
+	auditor := s.specAuditor()
+	if auditor == nil {
+		return nil, nil
+	}
+	findings, err := auditor.AuditSpec(spec)
+	if err != nil {
+		return nil, fmt.Errorf("server: auditing spec: %w", err)
+	}
+	gating := 0
+	suppressed := 0
+	for _, f := range findings {
+		if f.Gating() {
+			gating++
+		}
+		if f.Suppressed {
+			suppressed++
+		}
+	}
+	s.metrics.audited(len(findings) > 0, suppressed)
+	if strict && gating > 0 {
+		s.metrics.auditRejected()
+		return nil, &AuditRejectedError{Findings: findings}
+	}
+	return findings, nil
 }
 
 // newJobLocked allocates a job under s.mu.
-func (s *Server) newJobLocked(canonical JobSpec, key string) *job {
+func (s *Server) newJobLocked(canonical JobSpec, key string, audit []AuditFinding) *job {
 	s.nextID++
 	j := &job{
 		id:      "job-" + strconv.Itoa(s.nextID),
 		key:     key,
 		spec:    canonical,
+		audit:   audit,
 		state:   StateQueued,
 		changed: make(chan struct{}),
 	}
@@ -260,7 +335,7 @@ func (s *Server) Result(key string) ([]byte, bool, error) {
 func (s *Server) MetricsSnapshot() Snapshot {
 	s.mu.Lock()
 	byState := map[JobState]uint64{}
-	for _, j := range s.jobs {
+	for _, j := range s.jobs { //determlint:allow counting by state only
 		byState[j.State()]++
 	}
 	s.mu.Unlock()
@@ -268,19 +343,23 @@ func (s *Server) MetricsSnapshot() Snapshot {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	return Snapshot{
-		JobsSubmitted:  m.jobsSubmitted,
-		Jobs:           byState,
-		CacheHits:      m.cacheHits,
-		CacheMisses:    m.cacheMisses,
-		QueueDepth:     m.queueDepth,
-		Workers:        s.cfg.Workers,
-		WorkersBusy:    m.workersBusy,
-		PointsMeasured: m.pointsMeasured,
-		PointsReplayed: m.pointsReplayed,
-		Measurements:   m.measurements,
-		Instructions:   m.instructions,
-		Cycles:         m.cycles,
-		StoredResults:  s.store.Len(),
+		JobsSubmitted:   m.jobsSubmitted,
+		Jobs:            byState,
+		CacheHits:       m.cacheHits,
+		CacheMisses:     m.cacheMisses,
+		QueueDepth:      m.queueDepth,
+		Workers:         s.cfg.Workers,
+		WorkersBusy:     m.workersBusy,
+		PointsMeasured:  m.pointsMeasured,
+		PointsReplayed:  m.pointsReplayed,
+		Measurements:    m.measurements,
+		Instructions:    m.instructions,
+		Cycles:          m.cycles,
+		AuditClean:      m.auditClean,
+		AuditFlagged:    m.auditFlagged,
+		AuditSuppressed: m.auditSuppressed,
+		AuditRejected:   m.auditRejects,
+		StoredResults:   s.store.Len(),
 	}
 }
 
@@ -458,7 +537,7 @@ func (s *Server) executeSharded(ctx context.Context, sh ShardRunner, j *job) ([]
 		j.point(key, replayed)
 		s.metrics.point(replayed)
 	}
-	if err := sh.RunSharded(ctx, j.key, j.spec, jn, onPoint, j.setTotal); err != nil {
+	if err := sh.RunSharded(ctx, j.key, j.spec, j.audit, jn, onPoint, j.setTotal); err != nil {
 		return nil, err
 	}
 	// Assembly replays the now-complete journal without the progress
@@ -475,6 +554,7 @@ type job struct {
 	id     string
 	key    string
 	spec   JobSpec // canonical
+	audit  []AuditFinding
 	cached bool
 
 	mu       sync.Mutex
@@ -504,6 +584,7 @@ func (j *job) status() JobStatus {
 		Cached:   j.cached,
 		Progress: j.progress,
 		Error:    j.errDet,
+		Audit:    j.audit,
 	}
 }
 

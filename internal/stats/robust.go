@@ -1,0 +1,199 @@
+// Rigorous effect-size statistics for randomized-setup experiments: the
+// hierarchical random-effects bootstrap of Kalibera & Jones ("Rigorous
+// benchmarking in reasonable time"), the median-based Speedup-Test of
+// Touati et al., and the sample-size planning that grounds the audit
+// rules' thresholds. Everything here is deterministic: resamplers are
+// seeded explicitly (SeedFrom) so a confidence interval is a pure function
+// of the data and the experiment's identity, byte-identical across runs,
+// processes and machines.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// SeedFrom derives a deterministic RNG seed from an experiment's identity —
+// typically the fields that make up its content key (kind, bench, machine,
+// n, seed). FNV-64a over the parts with a separator, so distinct identities
+// collide no more often than any 64-bit hash and the same identity always
+// resamples identically.
+func SeedFrom(parts ...string) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, p := range parts {
+		for i := 0; i < len(p); i++ {
+			h ^= uint64(p[i])
+			h *= prime64
+		}
+		h ^= 0x1F // separator: ("ab","c") and ("a","bc") hash apart
+		h *= prime64
+	}
+	return h
+}
+
+// MinSamples returns the smallest sample size n ≥ 2 for which a Student-t
+// confidence interval at the given level has half-width ≤ halfWidth,
+// assuming the sample standard deviation is sigma: the planning inverse of
+// TInterval, and the statistical grounding behind the auditor's
+// insufficient-repetition rule. sigma and halfWidth share units (for
+// speedup ratios, 0.01 = one percentage point).
+func MinSamples(sigma, halfWidth, level float64) int {
+	if sigma <= 0 || halfWidth <= 0 {
+		panic("stats: MinSamples needs positive sigma and halfWidth")
+	}
+	const limit = 4096
+	for n := 2; n <= limit; n++ {
+		if tCritical(n-1, level)*sigma/math.Sqrt(float64(n)) <= halfWidth {
+			return n
+		}
+	}
+	return limit
+}
+
+// HierarchicalCI returns a percentile-bootstrap confidence interval for the
+// grand mean of a two-level experiment — groups are randomized setups,
+// group members are repetitions within a setup — following the
+// random-effects resampling of Kalibera & Jones: each bootstrap replicate
+// redraws setups with replacement, then redraws repetitions within each
+// drawn setup, so the interval reflects both between-setup variance (the
+// measurement bias the paper studies) and within-setup variance. With one
+// repetition per setup (biaslab's deterministic simulator) the inner level
+// is degenerate and the interval reduces to a setup-level bootstrap, which
+// is exactly the variance that remains. The estimator is the mean of group
+// means (balanced weighting: a setup's evidence does not grow with its
+// repetition count).
+func HierarchicalCI(groups [][]float64, level float64, iters int, rng *RNG) Interval {
+	if len(groups) == 0 {
+		panic("stats: HierarchicalCI of empty sample")
+	}
+	for _, g := range groups {
+		if len(g) == 0 {
+			panic("stats: HierarchicalCI group with no repetitions")
+		}
+	}
+	if iters <= 0 {
+		iters = 1000
+	}
+	means := make([]float64, iters)
+	for b := 0; b < iters; b++ {
+		var sum float64
+		for i := 0; i < len(groups); i++ {
+			g := groups[rng.Intn(len(groups))]
+			var gs float64
+			for j := 0; j < len(g); j++ {
+				gs += g[rng.Intn(len(g))]
+			}
+			sum += gs / float64(len(g))
+		}
+		means[b] = sum / float64(len(groups))
+	}
+	sort.Float64s(means)
+	alpha := (1 - level) / 2
+	return Interval{
+		Lo:    Quantile(means, alpha),
+		Hi:    Quantile(means, 1-alpha),
+		Level: level,
+	}
+}
+
+// SpeedupVerdict is the outcome of a SpeedupTest.
+type SpeedupVerdict string
+
+// Speedup-Test verdicts.
+const (
+	// VerdictFaster: the optimized configuration is faster (median speedup
+	// above 1) at the test's level.
+	VerdictFaster SpeedupVerdict = "faster"
+	// VerdictSlower: the optimized configuration is slower.
+	VerdictSlower SpeedupVerdict = "slower"
+	// VerdictInconclusive: the sign test cannot reject "no effect".
+	VerdictInconclusive SpeedupVerdict = "inconclusive"
+)
+
+// SpeedupTestResult is the outcome of the median-based Speedup-Test.
+type SpeedupTestResult struct {
+	// N is the number of per-setup speedup ratios tested.
+	N int `json:"n"`
+	// Median is the sample median speedup ratio.
+	Median float64 `json:"median"`
+	// Wins counts setups with speedup > 1, Losses speedup < 1; ties (exactly
+	// 1.0) are discarded, as in the classical sign test.
+	Wins   int `json:"wins"`
+	Losses int `json:"losses"`
+	Ties   int `json:"ties"`
+	// P is the two-sided sign-test p-value for H0: median speedup = 1.
+	P float64 `json:"p"`
+	// Level is the confidence level the verdict was decided at.
+	Level float64 `json:"level"`
+	// Verdict is faster/slower/inconclusive at Level.
+	Verdict SpeedupVerdict `json:"verdict"`
+}
+
+func (t SpeedupTestResult) String() string {
+	return fmt.Sprintf("speedup-test: %s (median %.4f, %d/%d setups faster, sign-test p=%.3f at %.0f%%)",
+		t.Verdict, t.Median, t.Wins, t.Wins+t.Losses, t.P, t.Level*100)
+}
+
+// SpeedupTest runs the median-based Speedup-Test of Touati et al. on
+// per-setup speedup ratios: a two-sided sign test of H0 "the median
+// speedup is 1" (no effect). Unlike a t interval on the mean, it is
+// distribution-free and immune to the heavy tails and outlier setups that
+// measurement bias produces: each randomized setup contributes only the
+// sign of its ratio. The verdict declares a direction only when the exact
+// binomial p-value beats 1−level.
+func SpeedupTest(speedups []float64, level float64) SpeedupTestResult {
+	if len(speedups) == 0 {
+		panic("stats: SpeedupTest of empty sample")
+	}
+	sorted := append([]float64(nil), speedups...)
+	sort.Float64s(sorted)
+	t := SpeedupTestResult{
+		N:       len(speedups),
+		Median:  Quantile(sorted, 0.5),
+		Level:   level,
+		Verdict: VerdictInconclusive,
+	}
+	for _, sp := range speedups {
+		switch {
+		case sp > 1:
+			t.Wins++
+		case sp < 1:
+			t.Losses++
+		default:
+			t.Ties++
+		}
+	}
+	m := t.Wins + t.Losses
+	if m == 0 {
+		// Every setup tied at exactly 1.0: no evidence either way.
+		t.P = 1
+		return t
+	}
+	// Two-sided exact binomial tail: P(B ≥ max(wins, losses)) doubled,
+	// B ~ Binomial(m, 1/2).
+	k := t.Wins
+	if t.Losses > k {
+		k = t.Losses
+	}
+	var tail float64
+	for i := k; i <= m; i++ {
+		tail += binomPMF(m, i)
+	}
+	t.P = 2 * tail
+	if t.P > 1 {
+		t.P = 1
+	}
+	if t.P <= 1-level {
+		if t.Wins > t.Losses {
+			t.Verdict = VerdictFaster
+		} else {
+			t.Verdict = VerdictSlower
+		}
+	}
+	return t
+}

@@ -1,0 +1,156 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"testing"
+)
+
+func TestSeedFrom(t *testing.T) {
+	a := SeedFrom("randomize", "hmmer", "core2")
+	if a != SeedFrom("randomize", "hmmer", "core2") {
+		t.Fatal("SeedFrom is not deterministic")
+	}
+	if a == SeedFrom("randomize", "hmmer", "p4") {
+		t.Fatal("SeedFrom ignores its parts")
+	}
+	// The separator must keep part boundaries significant.
+	if SeedFrom("ab", "c") == SeedFrom("a", "bc") {
+		t.Fatal("SeedFrom collapses part boundaries")
+	}
+}
+
+func TestMinSamples(t *testing.T) {
+	// The audit grounding case: prior σ = 0.015, target half-width 0.01.
+	n := MinSamples(0.015, 0.01, 0.95)
+	if n < 2 || n > 4096 {
+		t.Fatalf("MinSamples out of range: %d", n)
+	}
+	// Verify the defining property: n suffices, n-1 does not.
+	half := func(n int) float64 {
+		return tCritical(n-1, 0.95) * 0.015 / math.Sqrt(float64(n))
+	}
+	if half(n) > 0.01 {
+		t.Fatalf("n=%d does not reach the target half-width: %v", n, half(n))
+	}
+	if n > 2 && half(n-1) <= 0.01 {
+		t.Fatalf("n=%d is not minimal: n-1 already reaches %v", n, half(n-1))
+	}
+	// Zero-variance-ish sigma needs almost nothing; huge targets likewise.
+	if got := MinSamples(0.001, 0.5, 0.95); got != 2 {
+		t.Fatalf("tiny sigma should need n=2, got %d", got)
+	}
+	// Tighter targets need more samples, monotonically.
+	if MinSamples(0.015, 0.005, 0.95) <= n {
+		t.Fatal("halving the target half-width should raise the required n")
+	}
+}
+
+func TestHierarchicalCI(t *testing.T) {
+	// Two-level sample with real between- and within-group variance.
+	groups := [][]float64{
+		{1.00, 1.02, 0.98},
+		{1.10, 1.12, 1.08},
+		{0.95, 0.97, 0.93},
+		{1.05, 1.03, 1.07},
+		{1.01, 0.99, 1.00},
+	}
+	iv := HierarchicalCI(groups, 0.95, 2000, NewRNG(7))
+	if iv.Lo > iv.Hi {
+		t.Fatalf("inverted interval %v", iv)
+	}
+	// The grand mean of group means must be covered.
+	var grand float64
+	for _, g := range groups {
+		grand += Mean(g)
+	}
+	grand /= float64(len(groups))
+	if !iv.Contains(grand) {
+		t.Fatalf("interval %v does not contain the grand mean %v", iv, grand)
+	}
+	// Singleton groups (one repetition per setup) must degrade to a
+	// setup-level bootstrap, not panic or collapse.
+	singles := [][]float64{{1.0}, {1.1}, {0.9}, {1.05}, {0.95}, {1.02}}
+	iv2 := HierarchicalCI(singles, 0.95, 2000, NewRNG(7))
+	if iv2.Width() <= 0 {
+		t.Fatalf("singleton-group interval degenerate: %v", iv2)
+	}
+}
+
+// TestHierarchicalCIDeterministic is the regression test for the
+// determinism satellite: with the resampler seeded from the experiment's
+// identity, the formatted interval must be byte-identical across runs.
+func TestHierarchicalCIDeterministic(t *testing.T) {
+	groups := [][]float64{{1.01, 1.02}, {0.98, 0.97}, {1.05, 1.06}, {1.00, 1.01}}
+	render := func() string {
+		rng := NewRNG(SeedFrom("hier", "hmmer", "core2", "4", "1"))
+		iv := HierarchicalCI(groups, 0.95, 1000, rng)
+		return fmt.Sprintf("%.17g %.17g %.17g", iv.Lo, iv.Hi, iv.Level)
+	}
+	first := render()
+	for i := 0; i < 3; i++ {
+		if got := render(); got != first {
+			t.Fatalf("run %d produced %q, first run %q", i, got, first)
+		}
+	}
+}
+
+// TestBootstrapDeterministic pins the one-level bootstrap the same way.
+func TestBootstrapDeterministic(t *testing.T) {
+	xs := []float64{1.0, 1.1, 0.9, 1.05, 0.95, 1.02, 1.01, 0.99}
+	render := func() string {
+		rng := NewRNG(SeedFrom("boot", "hmmer", "core2", "8", "1"))
+		iv := BootstrapMeanInterval(xs, 0.95, 1000, rng)
+		return fmt.Sprintf("%.17g %.17g", iv.Lo, iv.Hi)
+	}
+	first := render()
+	if render() != first || render() != first {
+		t.Fatal("BootstrapMeanInterval output varies across identically seeded runs")
+	}
+}
+
+func TestSpeedupTest(t *testing.T) {
+	// Overwhelming wins: verdict faster with a small p.
+	fast := []float64{1.02, 1.03, 1.01, 1.04, 1.02, 1.05, 1.01, 1.03, 1.02, 1.04}
+	res := SpeedupTest(fast, 0.95)
+	if res.Verdict != VerdictFaster {
+		t.Fatalf("want faster, got %+v", res)
+	}
+	if res.Wins != 10 || res.Losses != 0 {
+		t.Fatalf("miscounted signs: %+v", res)
+	}
+	if res.P > 0.05 {
+		t.Fatalf("10/10 wins should be significant: p=%v", res.P)
+	}
+
+	// Mirror image: slower.
+	slow := make([]float64, len(fast))
+	for i, sp := range fast {
+		slow[i] = 2 - sp
+	}
+	if got := SpeedupTest(slow, 0.95); got.Verdict != VerdictSlower {
+		t.Fatalf("want slower, got %+v", got)
+	}
+
+	// Balanced signs: inconclusive with p = 1-ish.
+	mixed := []float64{1.02, 0.98, 1.01, 0.99, 1.03, 0.97}
+	got := SpeedupTest(mixed, 0.95)
+	if got.Verdict != VerdictInconclusive {
+		t.Fatalf("want inconclusive, got %+v", got)
+	}
+	if got.P < 0.5 {
+		t.Fatalf("3/3 split should have a large p, got %v", got.P)
+	}
+
+	// Small n can never be significant: 4 wins out of 4 has p = 0.125.
+	tiny := SpeedupTest([]float64{1.1, 1.1, 1.1, 1.1}, 0.95)
+	if tiny.Verdict != VerdictInconclusive {
+		t.Fatalf("n=4 must be inconclusive at 95%%: %+v", tiny)
+	}
+
+	// Ties are discarded, not counted as evidence.
+	ties := SpeedupTest([]float64{1, 1, 1, 1}, 0.95)
+	if ties.Verdict != VerdictInconclusive || ties.P != 1 || ties.Ties != 4 {
+		t.Fatalf("all-ties sample mishandled: %+v", ties)
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"biaslab/internal/compiler"
 	"biaslab/internal/core"
 	"biaslab/internal/linker"
+	"biaslab/internal/loader"
 	"biaslab/internal/machine"
 	"biaslab/internal/report"
 )
@@ -97,18 +98,28 @@ func sortedNames(m map[string]string) []string {
 // cmdPredict runs the bias oracle: it compiles and links one benchmark,
 // statically extracts its stack footprint, and prints the predicted
 // env-size transition points plus the link-permutation layout classes —
-// without simulating a single cycle.
+// without simulating a single cycle. -channel selects which perturbation
+// is analyzed: env (stack displacement, the default), pad (inter-object
+// text padding) or base (image-base displacement); the code channels go
+// through the dataflow comparator, which proves pairs of layouts equal or
+// different instead of predicting from one binary.
 func (a *app) cmdPredict(args []string) error {
 	fs := flag.NewFlagSet("predict", flag.ContinueOnError)
 	benchName := benchFlag(fs)
 	machineName := machineFlag(fs)
-	step := fs.Uint64("step", 8, "environment-size grid step in bytes")
-	maxEnv := fs.Uint64("max-env", 2048, "largest environment size on the grid")
+	channel := fs.String("channel", "env", "prediction channel: env, pad, base")
+	step := fs.Uint64("step", 8, "environment-size grid step in bytes (channel env)")
+	maxEnv := fs.Uint64("max-env", 2048, "largest environment size on the grid (channel env)")
 	perms := fs.Int("perms", 24, "link permutations to enumerate (cap)")
 	o3 := fs.Bool("O3", false, "compile at -O3 (default -O2)")
 	icc := fs.Bool("icc", false, "use the icc personality (default gcc)")
 	if err := fs.Parse(args); err != nil {
 		return usageError{err}
+	}
+	switch *channel {
+	case "env", "pad", "base":
+	default:
+		return usageErrorf("unknown channel %q: use env, pad or base", *channel)
 	}
 	b, err := lookupBench(*benchName)
 	if err != nil {
@@ -120,23 +131,32 @@ func (a *app) cmdPredict(args []string) error {
 	}
 
 	if a.jsonOut {
-		// Emit the measurement plan for an adaptive env sweep: the merged
-		// O2+O3 EnvPlan, built through the very function the adaptive sweep
-		// calls, so what this command prints is exactly what the planner
-		// consumes. -O3 is moot here (the plan always covers both levels).
-		var sizes []uint64
-		if *step == 0 {
-			*step = 8
-		}
-		for e := uint64(24); e <= *maxEnv; e += *step {
-			sizes = append(sizes, e)
-		}
+		// Emit the measurement plan for an adaptive sweep of the selected
+		// channel: the merged O2+O3 EnvPlan, built through the very function
+		// the adaptive sweep calls, so what this command prints is exactly
+		// what the planner consumes. -O3 is moot here (the plan always
+		// covers both levels).
 		setup := core.DefaultSetup(*machineName)
 		if *icc {
 			setup.Compiler.Personality = compiler.ICC
 		}
 		r := core.NewRunner(bench.Size(a.size))
-		plan, err := core.PlanEnvSweep(r, b, setup, sizes)
+		var plan *analysis.EnvPlan
+		switch *channel {
+		case "pad":
+			plan, err = core.PlanPadSweep(r, b, setup, core.DefaultPadSizes())
+		case "base":
+			plan, err = core.PlanBaseSweep(r, b, setup, core.DefaultTextBases())
+		default:
+			var sizes []uint64
+			if *step == 0 {
+				*step = 8
+			}
+			for e := uint64(24); e <= *maxEnv; e += *step {
+				sizes = append(sizes, e)
+			}
+			plan, err = core.PlanEnvSweep(r, b, setup, sizes)
+		}
 		if err != nil {
 			return err
 		}
@@ -166,6 +186,43 @@ func (a *app) cmdPredict(args []string) error {
 	if err != nil {
 		return err
 	}
+
+	if *channel != "env" {
+		// Code channels: link the executable at every grid value, run the
+		// dataflow engine over each, and print the comparator's pairwise
+		// verdicts for the compiled level.
+		values := core.DefaultPadSizes()
+		linkOpts := func(v uint64) linker.Options { return linker.Options{PadObjects: v} }
+		if *channel == "base" {
+			values = core.DefaultTextBases()
+			linkOpts = func(v uint64) linker.Options { return linker.Options{TextBase: v} }
+		}
+		layouts := make([]*analysis.ChannelLayout, 0, len(values))
+		for _, v := range values {
+			exe, err := linker.Link(objs, linkOpts(v))
+			if err != nil {
+				return err
+			}
+			cl, err := analysis.NewChannelLayout(v, exe, prog)
+			if err != nil {
+				return err
+			}
+			layouts = append(layouts, cl)
+		}
+		sp := loader.InitialSP(loader.Options{
+			Env:  loader.SyntheticEnv(core.DefaultEnvBytes),
+			Args: []string{b.Name},
+		})
+		cm := analysis.BuildChannelConflictMap(b.Name, *machineName, *channel, cfg, sp, layouts)
+		if a.csv {
+			fmt.Print(report.ChannelMapCSV(cm))
+			return nil
+		}
+		fmt.Printf("bias oracle: %s compiled %s, machine %s (%s workload)\n\n", b.Name, ccfg, *machineName, a.size)
+		fmt.Print(report.ChannelMapText(cm))
+		return nil
+	}
+
 	exe, err := linker.Link(objs, linker.Options{})
 	if err != nil {
 		return err

@@ -5,12 +5,14 @@
 //
 //	biaslab run -bench perlbench -machine core2 [-env 512] [-O2|-O3] [-icc]
 //	biaslab sweep-env -bench perlbench -machine core2 [-step 128] [-adaptive]
+//	biaslab sweep-pad -bench hmmer -machine core2 [-adaptive]
+//	biaslab sweep-base -bench hmmer -machine core2 [-adaptive]
 //	biaslab sweep-link -bench gcc -machine core2 [-orders 16]
 //	biaslab randomize -bench perlbench -machine core2 [-n 16]
 //	biaslab causal -bench perlbench -machine core2
 //	biaslab vet [files.cm...]
 //	biaslab audit specs/*.json     # flag benchmarking crimes; exit 1 on findings
-//	biaslab predict -bench hmmer -machine core2 [-step 8] [-perms 24] [-json]
+//	biaslab predict -bench hmmer -machine core2 [-channel env|pad|base] [-step 8] [-perms 24] [-json]
 //	biaslab survey
 //	biaslab experiment F3          # any of F1–F9, T1–T4
 //	biaslab all                    # every experiment, in order
@@ -19,7 +21,7 @@
 // Global flags (before the subcommand): -size test|small|ref, -csv,
 // -json, -timeout, -journal, -resume, -server.
 //
-// With -server URL, run/sweep-env/sweep-link/randomize/experiment/all/list
+// With -server URL, run/sweep-*/randomize/experiment/all/list
 // execute on a biaslabd daemon instead of in-process: the job is submitted
 // over HTTP, per-point progress streams to stderr, and the stored result is
 // rendered through the same code paths as a local run — so remote output is
@@ -51,6 +53,7 @@ import (
 	"syscall"
 
 	"biaslab"
+	"biaslab/internal/bench"
 	"biaslab/internal/compiler"
 	"biaslab/internal/report"
 	"biaslab/internal/server"
@@ -172,13 +175,14 @@ func run(args []string) int {
 // serviceCommands are the subcommands that map onto biaslabd job kinds and
 // so accept -server (remote execution) and -json (canonical result JSON).
 var serviceCommands = map[string]bool{
-	"run": true, "sweep-env": true, "sweep-link": true, "randomize": true,
+	"run": true, "sweep-env": true, "sweep-pad": true, "sweep-base": true,
+	"sweep-link": true, "randomize": true,
 	"experiment": true, "figure": true, "table": true, "all": true, "list": true,
 }
 
 func (a *app) dispatch(cmd string, cmdArgs []string) error {
 	if a.server != "" && !serviceCommands[cmd] {
-		return usageErrorf("%s runs locally only; -server supports run, sweep-env, sweep-link, randomize, experiment, all and list", cmd)
+		return usageErrorf("%s runs locally only; -server supports run, sweep-env, sweep-pad, sweep-base, sweep-link, randomize, experiment, all and list", cmd)
 	}
 	if a.jsonOut && cmd != "predict" && cmd != "audit" && (!serviceCommands[cmd] || cmd == "all") {
 		return usageErrorf("-json is not supported for %s", cmd)
@@ -188,6 +192,10 @@ func (a *app) dispatch(cmd string, cmdArgs []string) error {
 		return a.cmdRun(cmdArgs)
 	case "sweep-env":
 		return a.cmdSweepEnv(cmdArgs)
+	case "sweep-pad":
+		return a.cmdSweepChannel(server.KindSweepPad, cmdArgs)
+	case "sweep-base":
+		return a.cmdSweepChannel(server.KindSweepBase, cmdArgs)
 	case "sweep-link":
 		return a.cmdSweepLink(cmdArgs)
 	case "randomize":
@@ -226,6 +234,8 @@ func usage() {
 subcommands:
   run        measure one benchmark under one setup
   sweep-env  vary the UNIX environment size, report the speedup swing
+  sweep-pad  vary inter-object text padding, report the speedup swing
+  sweep-base vary the image base address, report the speedup swing
   sweep-link vary the link order, report the speedup swing
   randomize  estimate a speedup over randomized setups (the paper's remedy)
   causal     intervene on stack placement, rank hardware-event correlates
@@ -233,7 +243,7 @@ subcommands:
   compare    robust A/B comparison of two toolchain configs across setups
   vet        lint benchmark programs (or .cm files); exit 1 on findings
   audit      flag benchmarking crimes in experiment spec files; exit 1 on findings
-  predict    static bias oracle: predicted env/link-order sensitivity
+  predict    static bias oracle: predicted env/pad/base/link-order sensitivity
   survey     print the 133-paper literature-survey table
   experiment regenerate one artifact by id (F1..F9, T1..T4)
   all        regenerate every artifact
@@ -269,7 +279,12 @@ func machineFlag(fs *flag.FlagSet) *string {
 func lookupBench(name string) (*biaslab.BenchmarkProgram, error) {
 	b, ok := biaslab.Benchmark(name)
 	if !ok {
-		return nil, usageErrorf("unknown benchmark %q (try 'biaslab list')", name)
+		names := make([]string, 0, len(bench.All()))
+		for _, known := range bench.All() {
+			names = append(names, known.Name)
+		}
+		return nil, usageErrorf("unknown benchmark %q; available: %s (see 'biaslab list')",
+			name, strings.Join(names, ", "))
 	}
 	return b, nil
 }
@@ -315,6 +330,26 @@ func (a *app) cmdSweepEnv(args []string) error {
 		Bench:    *benchName,
 		Machine:  *machineName,
 		Step:     *step,
+		Adaptive: *adaptive,
+	})
+}
+
+// cmdSweepChannel is the shared body of sweep-pad and sweep-base: both
+// sweep a scalar code-placement value over its canonical grid, so the spec
+// carries only the adaptive bit.
+func (a *app) cmdSweepChannel(kind string, args []string) error {
+	fs := flag.NewFlagSet(kind, flag.ContinueOnError)
+	benchName := benchFlag(fs)
+	machineName := machineFlag(fs)
+	adaptive := fs.Bool("adaptive", false, "comparator-guided sweep: measure where layouts provably differ, verify and interpolate proven-equal plateaus")
+	if err := fs.Parse(args); err != nil {
+		return usageError{err}
+	}
+	return a.runSpec(server.JobSpec{
+		Kind:     kind,
+		Size:     a.size.String(),
+		Bench:    *benchName,
+		Machine:  *machineName,
 		Adaptive: *adaptive,
 	})
 }

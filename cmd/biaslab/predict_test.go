@@ -1,0 +1,64 @@
+package main
+
+import (
+	"io"
+	"os"
+	"strings"
+	"testing"
+)
+
+// captureStderrRun invokes the CLI entry point with stderr captured: the
+// channel the diagnostics travel on.
+func captureStderrRun(t *testing.T, args ...string) (string, int) {
+	t.Helper()
+	old := os.Stderr
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stderr = w
+	outCh := make(chan string)
+	go func() {
+		b, _ := io.ReadAll(r)
+		outCh <- string(b)
+	}()
+	code := run(args)
+	w.Close()
+	os.Stderr = old
+	return <-outCh, code
+}
+
+// TestPredictUnknownBenchmark locks the contract for a typo'd -bench: exit
+// code 2 (usage error, not a failed experiment) and a diagnostic that names
+// the bad benchmark and lists every available one, in both the text and
+// -json modes.
+func TestPredictUnknownBenchmark(t *testing.T) {
+	cases := [][]string{
+		{"-size", "test", "predict", "-bench", "nosuch", "-machine", "p4"},
+		{"-size", "test", "-json", "predict", "-bench", "nosuch", "-machine", "p4"},
+	}
+	for _, args := range cases {
+		errOut, code := captureStderrRun(t, args...)
+		if code != 2 {
+			t.Errorf("run(%v) = exit %d, want 2", args, code)
+		}
+		for _, want := range []string{`unknown benchmark "nosuch"`, "available:", "hmmer"} {
+			if !strings.Contains(errOut, want) {
+				t.Errorf("run(%v) stderr %q does not mention %q", args, errOut, want)
+			}
+		}
+	}
+}
+
+// TestPredictUnknownChannel: -channel is a closed enum; anything else is a
+// usage error naming the valid values.
+func TestPredictUnknownChannel(t *testing.T) {
+	errOut, code := captureStderrRun(t,
+		"-size", "test", "predict", "-bench", "hmmer", "-machine", "p4", "-channel", "moonphase")
+	if code != 2 {
+		t.Errorf("unknown channel: exit %d, want 2", code)
+	}
+	if !strings.Contains(errOut, `unknown channel "moonphase"`) {
+		t.Errorf("stderr %q does not name the bad channel", errOut)
+	}
+}

@@ -1,0 +1,211 @@
+package dataflow
+
+import (
+	"fmt"
+	"sort"
+
+	"biaslab/internal/isa"
+	"biaslab/internal/linker"
+)
+
+// buildCFG decodes one function and partitions it into basic blocks with
+// successor edges and postdominator-derived must-execute marks.
+func buildCFG(exe *linker.Executable, fr *linker.FuncRange) (*FuncInfo, error) {
+	fi := &FuncInfo{Name: fr.Name, Addr: fr.Addr, Size: fr.Size}
+	start := fr.Addr - exe.TextBase
+	end := start + fr.Size
+	if fr.Addr < exe.TextBase || end > uint64(len(exe.Text)) || end < start {
+		return nil, fmt.Errorf("dataflow: function %s extends past text", fr.Name)
+	}
+	n := int(fr.Size) / isa.InstSize
+	if n == 0 {
+		fi.Blocks = []*Block{{Start: fr.Addr, End: fr.Addr}}
+		return fi, nil
+	}
+
+	// Leaders: function entry, every in-function transfer target, and every
+	// instruction after a block-ending transfer.
+	leader := make([]bool, n)
+	leader[0] = true
+	inFunc := func(pc uint64) (int, bool) {
+		if pc < fr.Addr || pc >= fr.Addr+fr.Size || (pc-fr.Addr)%isa.InstSize != 0 {
+			return 0, false
+		}
+		return int(pc-fr.Addr) / isa.InstSize, true
+	}
+	for i := 0; i < n; i++ {
+		pc := fr.Addr + uint64(i*isa.InstSize)
+		in := isa.DecodeBytes(exe.Text[start+uint64(i*isa.InstSize):])
+		switch {
+		case in.Op.IsBranch():
+			target := uint64(int64(pc) + int64(isa.InstSize) + int64(in.Imm)*isa.InstSize)
+			if ti, ok := inFunc(target); ok {
+				leader[ti] = true
+			}
+			if i+1 < n {
+				leader[i+1] = true
+			}
+		case in.Op == isa.OpJmp:
+			target := uint64(int64(pc) + int64(isa.InstSize) + int64(in.Imm)*isa.InstSize)
+			if ti, ok := inFunc(target); ok {
+				leader[ti] = true
+			}
+			if i+1 < n {
+				leader[i+1] = true
+			}
+		case in.Op == isa.OpJalr && in.Rd == isa.R0, in.Op == isa.OpHalt:
+			// Return (or halt): ends the block; the next instruction, if
+			// any, starts a new one.
+			if i+1 < n {
+				leader[i+1] = true
+			}
+		}
+	}
+
+	// Blocks in address order.
+	blockAt := map[uint64]int{}
+	for i := 0; i < n; i++ {
+		if leader[i] {
+			b := &Block{Start: fr.Addr + uint64(i*isa.InstSize)}
+			blockAt[b.Start] = len(fi.Blocks)
+			fi.Blocks = append(fi.Blocks, b)
+		}
+	}
+	for bi, b := range fi.Blocks {
+		if bi+1 < len(fi.Blocks) {
+			b.End = fi.Blocks[bi+1].Start
+		} else {
+			b.End = fr.Addr + fr.Size
+		}
+	}
+
+	// Successor edges from each block's final instruction. Transfers that
+	// leave the function (tail-jumps the code generator never emits, or
+	// corrupt immediates met while fuzzing) become exits.
+	for _, b := range fi.Blocks {
+		if b.End == b.Start {
+			continue
+		}
+		lastPC := b.End - uint64(isa.InstSize)
+		in := isa.DecodeBytes(exe.Text[start+(lastPC-fr.Addr):])
+		next := b.End
+		addSucc := func(pc uint64) {
+			if idx, ok := blockAt[pc]; ok {
+				b.Succs = append(b.Succs, idx)
+			}
+		}
+		switch {
+		case in.Op.IsBranch():
+			addSucc(uint64(int64(lastPC) + int64(isa.InstSize) + int64(in.Imm)*isa.InstSize))
+			addSucc(next)
+		case in.Op == isa.OpJmp:
+			addSucc(uint64(int64(lastPC) + int64(isa.InstSize) + int64(in.Imm)*isa.InstSize))
+		case in.Op == isa.OpJalr && in.Rd == isa.R0, in.Op == isa.OpHalt:
+			// No successors: function exit.
+		default:
+			addSucc(next)
+		}
+	}
+
+	markMustExec(fi)
+	return fi, nil
+}
+
+// markMustExec sets Block.MustExec on blocks that postdominate the entry
+// block: blocks every complete run of the function executes. Computed with
+// the standard iterative intersection over the reverse CFG, with a virtual
+// exit joining every block that has no successors.
+func markMustExec(fi *FuncInfo) {
+	n := len(fi.Blocks)
+	if n == 0 {
+		return
+	}
+	// reachable from entry, so unreachable padding blocks do not distort
+	// the intersection.
+	reach := make([]bool, n)
+	var dfs func(int)
+	dfs = func(i int) {
+		if reach[i] {
+			return
+		}
+		reach[i] = true
+		for _, s := range fi.Blocks[i].Succs {
+			dfs(s)
+		}
+	}
+	dfs(0)
+
+	const exit = -1
+	// pdom[i] holds the current postdominator set of block i as a bitset.
+	words := (n + 63) / 64
+	full := make([]uint64, words)
+	for i := 0; i < n; i++ {
+		full[i/64] |= 1 << (i % 64)
+	}
+	pdom := make([][]uint64, n)
+	for i := range pdom {
+		pdom[i] = append([]uint64(nil), full...)
+	}
+	exits := []int{}
+	for i, b := range fi.Blocks {
+		if reach[i] && len(b.Succs) == 0 {
+			exits = append(exits, i)
+		}
+	}
+	if len(exits) == 0 {
+		// No path to exit (decode garbage or an infinite loop): nothing can
+		// be claimed must-execute beyond the entry block itself.
+		fi.Blocks[0].MustExec = true
+		return
+	}
+	_ = exit
+	changed := true
+	for changed {
+		changed = false
+		for i := n - 1; i >= 0; i-- {
+			if !reach[i] {
+				continue
+			}
+			b := fi.Blocks[i]
+			cur := make([]uint64, words)
+			if len(b.Succs) == 0 {
+				// Only itself.
+			} else {
+				for w := range cur {
+					cur[w] = full[w]
+				}
+				for _, s := range b.Succs {
+					for w := range cur {
+						cur[w] &= pdom[s][w]
+					}
+				}
+			}
+			cur[i/64] |= 1 << (i % 64)
+			for w := range cur {
+				if cur[w] != pdom[i][w] {
+					pdom[i] = cur
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	for i := range fi.Blocks {
+		if reach[i] && pdom[0][i/64]&(1<<(i%64)) != 0 {
+			fi.Blocks[i].MustExec = true
+		}
+	}
+}
+
+// blockOf returns the index of the block containing pc, or -1.
+func (fi *FuncInfo) blockOf(pc uint64) int {
+	i := sort.Search(len(fi.Blocks), func(i int) bool { return fi.Blocks[i].Start > pc })
+	if i == 0 {
+		return -1
+	}
+	b := fi.Blocks[i-1]
+	if pc >= b.End {
+		return -1
+	}
+	return i - 1
+}

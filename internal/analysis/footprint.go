@@ -4,20 +4,23 @@ import (
 	"fmt"
 	"sort"
 
+	"biaslab/internal/analysis/dataflow"
 	"biaslab/internal/ir"
 	"biaslab/internal/isa"
 	"biaslab/internal/linker"
 )
 
-// Stack-footprint extraction: stage 2's first half. The code generator has
-// one discipline the extractor exploits — SP is written exactly twice per
-// function (prologue `addi sp, sp, -frame`, epilogue `addi sp, sp, +frame`),
-// and every frame access carries its offset as a static immediate, either on
-// a load/store based on SP or on an `addi rd, sp, off` slot-address
-// materialization. So a linear scan of the predecoded text recovers, per
-// function, the exact byte intervals of its frame the code can touch; a walk
-// of the (static, `jal`-only) call graph then turns per-function intervals
-// into whole-program displacements below the initial stack pointer.
+// Stack-footprint extraction: stage 2's first half. Per-function frame
+// intervals come from the interprocedural dataflow engine when it can prove
+// them exact — value-range interpretation bounds every SP-relative access,
+// resolves jalr targets through data tables, and composes the bytes a callee
+// touches through a pointer into the caller's frame. Functions the engine
+// cannot model exactly fall back to the original linear text scan, which
+// over-approximates address-taken slots from IR slot sizes and flags the
+// footprint approximate. A walk of the resolved call graph then turns
+// per-function intervals into whole-program displacements below the initial
+// stack pointer; recursive components descend to the engine's proven frame
+// bound where one exists instead of flagging the footprint approximate.
 
 // Interval is a half-open byte range [Lo, Hi).
 type Interval struct {
@@ -33,15 +36,17 @@ type StackFootprint struct {
 	// MaxDepth is the deepest byte below the initial SP (-min Lo).
 	MaxDepth int64
 	// Approx is set when the extractor met a construct it cannot model
-	// exactly: recursion, indirect calls, or pointer-typed slot addresses
-	// whose extent had to be taken from IR slot sizes. Predictions from an
-	// approximate footprint may over-count touched lines.
+	// exactly: recursion with no provable depth bound, unresolved indirect
+	// calls, or pointer-typed slot addresses whose extent had to be taken
+	// from IR slot sizes. Predictions from an approximate footprint may
+	// over-count touched lines.
 	Approx bool
-	// ApproxReasons says why, one entry per construct class encountered.
+	// ApproxReasons says why, one entry per construct class encountered,
+	// deduplicated and sorted.
 	ApproxReasons []string
 }
 
-// funcFrame is the per-function result of the text scan.
+// funcFrame is the per-function result of the fallback text scan.
 type funcFrame struct {
 	name    string
 	addr    uint64
@@ -52,9 +57,9 @@ type funcFrame struct {
 }
 
 // ExtractStackFootprint computes the stack footprint of a linked executable.
-// prog, when non-nil, supplies IR slot sizes for address-taken frame slots
-// (the one case the text does not spell out the extent); nil degrades to a
-// conservative estimate and an Approx flag.
+// prog, when non-nil, supplies IR slot sizes for address-taken frame slots in
+// the fallback path (the one case the text does not spell out the extent);
+// nil degrades to a conservative estimate and an Approx flag.
 func ExtractStackFootprint(exe *linker.Executable, prog *ir.Program) (*StackFootprint, error) {
 	if len(exe.Funcs) == 0 {
 		return nil, fmt.Errorf("analysis: executable has no function symbols")
@@ -74,9 +79,18 @@ func ExtractStackFootprint(exe *linker.Executable, prog *ir.Program) (*StackFoot
 		return nil, fmt.Errorf("analysis: entry %#x is not a known function", entry)
 	}
 
+	// The dataflow engine is strictly an upgrade: any function it proves
+	// exact uses its intervals, resolved calls, and recursion bounds; any it
+	// cannot, and the whole program if it errors out, keep the scan results.
+	df, dfErr := dataflow.Analyze(exe)
+	if dfErr != nil {
+		df = nil
+	}
+
 	fp := &StackFootprint{}
 	seen := map[depthKey]bool{}
 	onPath := map[uint64]bool{}
+	sccLive := map[int]int64{}
 	var walk func(addr uint64, depth int64)
 	walk = func(addr uint64, depth int64) {
 		ff, ok := frames[addr]
@@ -94,15 +108,54 @@ func ExtractStackFootprint(exe *linker.Executable, prog *ir.Program) (*StackFoot
 			fp.note("call graph exceeds %d (function, depth) pairs", maxDepthPairs)
 			return
 		}
-		seen[key] = true
-		if onPath[addr] {
-			fp.note("recursion through %s", ff.name)
-			return
+
+		// Recursion control. A recursive SCC with a proven frame bound
+		// descends until that many component frames are live on the path and
+		// then stops: the bound says no real execution stacks more, so the
+		// cut loses nothing and the footprint stays exact. Everything else
+		// keeps the legacy cycle check.
+		var dfi *dataflow.FuncInfo
+		bounded := false
+		var scc int
+		if df != nil {
+			dfi = df.Funcs[addr]
+			scc = df.SCCID[addr]
+			if df.Recursive[scc] {
+				if bound, okB := df.Bounds[scc]; okB {
+					if sccLive[scc] >= bound {
+						return
+					}
+					bounded = true
+				}
+			}
 		}
-		onPath[addr] = true
-		defer delete(onPath, addr)
+		if bounded {
+			sccLive[scc]++
+			defer func() { sccLive[scc]-- }()
+		} else {
+			if onPath[addr] {
+				fp.note("recursion through %s", ff.name)
+				return
+			}
+			onPath[addr] = true
+			defer delete(onPath, addr)
+		}
+		seen[key] = true
 
 		base := depth + ff.frame // total bytes below initial SP at f's body
+		if dfi != nil && dfi.Exact {
+			for _, iv := range dfi.Touched {
+				fp.Intervals = append(fp.Intervals, Interval{Lo: iv.Lo - base, Hi: iv.Hi - base})
+			}
+			for range dfi.UnresolvedJalr {
+				fp.note("%s: indirect call (jalr)", ff.name)
+			}
+			for _, c := range dfi.Calls {
+				composePointerArgs(fp, df, ff, prog, &c, base)
+				walk(c.Target, base)
+			}
+			return
+		}
 		for _, iv := range ff.touched {
 			fp.Intervals = append(fp.Intervals, Interval{Lo: iv.Lo - base, Hi: iv.Hi - base})
 		}
@@ -124,7 +177,48 @@ func ExtractStackFootprint(exe *linker.Executable, prog *ir.Program) (*StackFoot
 			fp.MaxDepth = -iv.Lo
 		}
 	}
+	sort.Strings(fp.ApproxReasons)
 	return fp, nil
+}
+
+// composePointerArgs folds a callee's pointer-relative footprint into the
+// caller's frame for every argument that is a pointer into it. The callee's
+// ParamTouched intervals are relative to the passed pointer; shifting by the
+// pointer's frame offset lands them in the caller's frame. A full-span marker
+// means the callee's arithmetic on the pointer was unbounded, so the interval
+// is clipped to the pointed-to slot's extent (from the IR, approximate when
+// the function has several slots) — the same slot axiom the legacy scan used.
+func composePointerArgs(fp *StackFootprint, df *dataflow.Info, ff *funcFrame, prog *ir.Program, c *dataflow.Call, base int64) {
+	callee := df.Funcs[c.Target]
+	if callee == nil {
+		return
+	}
+	for j, a := range c.Args {
+		if a.Kind != dataflow.ArgSP {
+			continue
+		}
+		frameOff := a.SPOff + ff.frame // offset of the pointer in caller's frame
+		for _, iv := range callee.ParamTouched[j] {
+			lo, hi := iv.Lo, iv.Hi
+			if hi-lo >= dataflow.MaxParamSpan {
+				ext, exact := slotExtent(prog, ff.name, ff.frame, frameOff)
+				lo, hi = 0, ext
+				if !exact {
+					fp.note("%s: address-taken frame slot at offset %d with unknown extent", ff.name, frameOff)
+				}
+			}
+			alo, ahi := frameOff+lo, frameOff+hi
+			if alo < 0 {
+				alo = 0
+			}
+			if ff.frame > 0 && ahi > ff.frame {
+				ahi = ff.frame
+			}
+			if ahi > alo {
+				fp.Intervals = append(fp.Intervals, Interval{Lo: alo - base, Hi: ahi - base})
+			}
+		}
+	}
 }
 
 type depthKey struct {
@@ -136,9 +230,17 @@ type depthKey struct {
 // dozen pairs, so hitting this means something degenerate.
 const maxDepthPairs = 4096
 
+// note records an approximation reason once; repeats at other call sites or
+// depths add nothing.
 func (fp *StackFootprint) note(format string, args ...any) {
 	fp.Approx = true
-	fp.ApproxReasons = append(fp.ApproxReasons, fmt.Sprintf(format, args...))
+	s := fmt.Sprintf(format, args...)
+	for _, r := range fp.ApproxReasons {
+		if r == s {
+			return
+		}
+	}
+	fp.ApproxReasons = append(fp.ApproxReasons, s)
 }
 
 // scanFunc decodes one function's text and extracts its frame size, touched

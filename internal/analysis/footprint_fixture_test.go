@@ -1,0 +1,414 @@
+package analysis_test
+
+import (
+	"strings"
+	"testing"
+
+	"biaslab/internal/analysis"
+	"biaslab/internal/analysis/dataflow"
+	"biaslab/internal/compiler"
+	"biaslab/internal/isa"
+	"biaslab/internal/linker"
+	"biaslab/internal/loader"
+	"biaslab/internal/machine"
+	"biaslab/internal/obj"
+)
+
+// These fixtures pin the exact-vs-approximate frontier of the footprint
+// analysis: each names one construct the dataflow engine must either see
+// through (and stay exact) or refuse honestly (and report why). Every
+// fixture is also cross-validated against the simulator by stack painting:
+// the deepest byte the program actually writes below its initial SP must be
+// covered by the static MaxDepth, whatever the classification.
+
+func compileFixture(t *testing.T, src string) *linker.Executable {
+	t.Helper()
+	objs, _, err := compiler.Compile([]compiler.Source{{Name: "fixture", Text: src}}, compiler.Config{Level: compiler.O2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exe, err := linker.Link(objs, linker.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return exe
+}
+
+// deepestWrite runs exe and reports how many bytes below the initial SP the
+// program wrote, found by painting the stack with a sentinel and scanning
+// for the lowest repainted byte. Writes are a lower bound on the true
+// footprint (reads leave no trace), which is exactly the direction a
+// soundness check needs.
+func deepestWrite(t *testing.T, exe *linker.Executable) uint64 {
+	t.Helper()
+	img, err := loader.Load(exe, loader.Options{
+		Env:  loader.SyntheticEnv(512),
+		Args: []string{"fixture"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const paint = 1 << 16
+	lo := img.SP - paint
+	const sentinel = 0xA5
+	for a := lo; a < img.SP; a++ {
+		img.Mem[a] = sentinel
+	}
+	cfg, ok := machine.ConfigByName("core2")
+	if !ok {
+		t.Fatal("core2 not registered")
+	}
+	res, err := machine.New(cfg).Run(img, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ExitCode != 0 {
+		t.Fatalf("fixture exited %d", res.ExitCode)
+	}
+	for a := lo; a < img.SP; a++ {
+		if img.Mem[a] != sentinel {
+			return img.SP - a
+		}
+	}
+	return 0
+}
+
+// checkSound asserts the footprint covers every byte the simulator saw
+// written below SP.
+func checkSound(t *testing.T, fp *analysis.StackFootprint, written uint64) {
+	t.Helper()
+	if int64(written) > fp.MaxDepth {
+		t.Errorf("simulator wrote %d bytes below SP but static MaxDepth is only %d", written, fp.MaxDepth)
+	}
+}
+
+const fixtureDirectRec = `
+int fact(int n) {
+	int local[8];
+	local[n & 7] = n;
+	if (n <= 1) {
+		return local[n & 7];
+	}
+	return n * fact(n - 1);
+}
+void main() {
+	checksum(fact(10));
+}
+`
+
+// TestFootprintDirectRecursion: self-recursion on a provably decreasing
+// parameter. The engine must prove a frame bound, keep the footprint exact,
+// and the bound must cover the simulated recursion depth.
+func TestFootprintDirectRecursion(t *testing.T) {
+	exe := compileFixture(t, fixtureDirectRec)
+	info, err := dataflow.Analyze(exe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fact := exe.Symbols["fact"]
+	scc := info.SCCID[fact]
+	if !info.Recursive[scc] {
+		t.Fatal("fact not marked recursive")
+	}
+	if bound, ok := info.Bounds[scc]; !ok {
+		t.Error("no frame bound proven for fact(n-1) recursion")
+	} else if bound < 10 {
+		t.Errorf("frame bound %d cannot cover fact(10)'s 10 live frames", bound)
+	}
+	fp, err := analysis.ExtractStackFootprint(exe, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fp.Approx {
+		t.Errorf("bounded direct recursion should stay exact; reasons: %v", fp.ApproxReasons)
+	}
+	checkSound(t, fp, deepestWrite(t, exe))
+}
+
+const fixtureMutualRec = `
+int isEven(int n) {
+	int pad[4];
+	pad[n & 3] = n;
+	if (n == 0) {
+		return 1 - pad[3] + pad[3];
+	}
+	return isOdd(n - 1);
+}
+int isOdd(int n) {
+	if (n == 0) {
+		return 0;
+	}
+	return isEven(n - 1);
+}
+void main() {
+	checksum(isEven(9) * 10 + isOdd(9));
+}
+`
+
+// TestFootprintMutualRecursion: a two-function cycle. Same contract as
+// direct recursion — the decreasing-parameter induction spans the component.
+func TestFootprintMutualRecursion(t *testing.T) {
+	exe := compileFixture(t, fixtureMutualRec)
+	info, err := dataflow.Analyze(exe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	even, odd := exe.Symbols["isEven"], exe.Symbols["isOdd"]
+	if info.SCCID[even] != info.SCCID[odd] {
+		t.Fatal("isEven and isOdd not in one SCC")
+	}
+	scc := info.SCCID[even]
+	if !info.Recursive[scc] {
+		t.Fatal("mutual recursion not marked recursive")
+	}
+	fp, err := analysis.ExtractStackFootprint(exe, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bound, ok := info.Bounds[scc]; ok {
+		if bound < 10 {
+			t.Errorf("frame bound %d cannot cover isEven(9)'s 10 live frames", bound)
+		}
+		if fp.Approx {
+			t.Errorf("bounded mutual recursion should stay exact; reasons: %v", fp.ApproxReasons)
+		}
+	} else {
+		// The engine may decline the cross-function induction; then the
+		// footprint must degrade honestly, naming the recursion.
+		if !fp.Approx {
+			t.Error("unbounded mutual recursion cannot be exact")
+		}
+		wantReason(t, fp, "recursion")
+	}
+	checkSound(t, fp, deepestWrite(t, exe))
+}
+
+const fixtureUnboundedRec = `
+int collatz(int n, int steps) {
+	int scratch[2];
+	scratch[n & 1] = steps;
+	if (n == 1) {
+		return scratch[1 & n];
+	}
+	if ((n & 1) == 1) {
+		return collatz(3 * n + 1, steps + 1);
+	}
+	return collatz(n / 2, steps + 1);
+}
+void main() {
+	checksum(collatz(27, 0));
+}
+`
+
+// TestFootprintUnboundedRecursion: recursion with no decreasing measure the
+// engine can prove (3n+1 grows). The footprint must be approximate, the
+// reason must name the recursion, and the reasons list must be sorted and
+// deduplicated — the satellite contract for ApproxReasons.
+func TestFootprintUnboundedRecursion(t *testing.T) {
+	exe := compileFixture(t, fixtureUnboundedRec)
+	info, err := dataflow.Analyze(exe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scc := info.SCCID[exe.Symbols["collatz"]]
+	if !info.Recursive[scc] {
+		t.Fatal("collatz not marked recursive")
+	}
+	if bound, ok := info.Bounds[scc]; ok {
+		t.Fatalf("engine claims frame bound %d for a Collatz recursion", bound)
+	}
+	fp, err := analysis.ExtractStackFootprint(exe, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fp.Approx {
+		t.Fatal("unbounded recursion classified exact")
+	}
+	wantReason(t, fp, "recursion")
+	for i := 1; i < len(fp.ApproxReasons); i++ {
+		if fp.ApproxReasons[i] <= fp.ApproxReasons[i-1] {
+			t.Errorf("ApproxReasons not sorted/deduped: %v", fp.ApproxReasons)
+		}
+	}
+	// The simulator demonstrates why the Approx flag matters: collatz(27)
+	// recurses 112 deep and writes far below the static MaxDepth. An exact
+	// claim here would be a lie — which is the property this fixture pins.
+	if written := deepestWrite(t, exe); int64(written) <= fp.MaxDepth {
+		t.Errorf("fixture too shallow to demonstrate unsoundness of an exact claim: wrote %d, MaxDepth %d", written, fp.MaxDepth)
+	}
+}
+
+func wantReason(t *testing.T, fp *analysis.StackFootprint, frag string) {
+	t.Helper()
+	for _, r := range fp.ApproxReasons {
+		if strings.Contains(r, frag) {
+			return
+		}
+	}
+	t.Errorf("no ApproxReason mentions %q: %v", frag, fp.ApproxReasons)
+}
+
+// asmFunc assembles one function body into an object symbol.
+type asmFunc struct {
+	name string
+	code []isa.Inst
+}
+
+// buildJalrTable hand-assembles the program cmini cannot write: an indirect
+// call through a table of function addresses in .data. _start masks an index
+// to {0, 8}, loads the table entry and jalr's through it; the two callees
+// have different frame depths.
+//
+//	_start: idx = cycles() & 8        // runtime value, statically in {0,8}
+//	        target = table[idx/8]
+//	        jalr target
+//	        halt
+func buildJalrTable(t *testing.T) *linker.Executable {
+	t.Helper()
+	funcs := []asmFunc{
+		{"main", []isa.Inst{
+			{Op: isa.OpAddi, Rd: isa.SP, Rs1: isa.SP, Imm: -16},
+			{Op: isa.OpStq, Rs2: isa.RA, Rs1: isa.SP, Imm: 8},
+			{Op: isa.OpAddi, Rd: isa.A0, Rs1: isa.R0, Imm: isa.SysCycles},
+			{Op: isa.OpSys, Rd: isa.R0, Rs1: isa.A0},              // RV ← cycle count: a runtime value
+			{Op: isa.OpAndi, Rd: isa.T0, Rs1: isa.RV, Imm: 8},     // idx ∈ {0, 8}
+			{Op: isa.OpLui, Rd: isa.AT, Imm: 0},                   // hi16(table), reloc
+			{Op: isa.OpOri, Rd: isa.AT, Rs1: isa.AT, Imm: 0},      // lo16(table), reloc
+			{Op: isa.OpAdd, Rd: isa.AT, Rs1: isa.AT, Rs2: isa.T0}, // &table[idx/8]
+			{Op: isa.OpLdq, Rd: isa.T1, Rs1: isa.AT},              // target
+			{Op: isa.OpJalr, Rd: isa.RA, Rs1: isa.T1},             // indirect call
+			{Op: isa.OpLdq, Rd: isa.RA, Rs1: isa.SP, Imm: 8},
+			{Op: isa.OpAddi, Rd: isa.SP, Rs1: isa.SP, Imm: 16},
+			{Op: isa.OpJalr, Rd: isa.R0, Rs1: isa.RA}, // return to crt0
+		}},
+		{"shallow", []isa.Inst{
+			{Op: isa.OpAddi, Rd: isa.SP, Rs1: isa.SP, Imm: -16},
+			{Op: isa.OpStq, Rs2: isa.RA, Rs1: isa.SP, Imm: 8},
+			{Op: isa.OpAddi, Rd: isa.SP, Rs1: isa.SP, Imm: 16},
+			{Op: isa.OpJalr, Rd: isa.R0, Rs1: isa.RA}, // return
+		}},
+		{"deep", []isa.Inst{
+			{Op: isa.OpAddi, Rd: isa.SP, Rs1: isa.SP, Imm: -256},
+			{Op: isa.OpStq, Rs2: isa.RA, Rs1: isa.SP, Imm: 248},
+			{Op: isa.OpStq, Rs2: isa.RA, Rs1: isa.SP}, // touch the frame bottom
+			{Op: isa.OpLdq, Rd: isa.RA, Rs1: isa.SP, Imm: 248},
+			{Op: isa.OpAddi, Rd: isa.SP, Rs1: isa.SP, Imm: 256},
+			{Op: isa.OpJalr, Rd: isa.R0, Rs1: isa.RA}, // return
+		}},
+	}
+
+	o := &obj.Object{Name: "jalrfix"}
+	var text []byte
+	for _, f := range funcs {
+		start := uint64(len(text))
+		for i, in := range f.code {
+			if f.name == "main" && in.Op == isa.OpLui {
+				o.Relocs = append(o.Relocs, obj.Reloc{Kind: obj.RelocHi16, Section: obj.SecText, Offset: start + uint64(i)*4, Sym: "table"})
+			}
+			if f.name == "main" && in.Op == isa.OpOri {
+				o.Relocs = append(o.Relocs, obj.Reloc{Kind: obj.RelocLo16, Section: obj.SecText, Offset: start + uint64(i)*4, Sym: "table"})
+			}
+			text = isa.EncodeTo(text, in)
+		}
+		o.Symbols = append(o.Symbols, obj.Symbol{
+			Name: f.name, Kind: obj.SymFunc, Section: obj.SecText,
+			Offset: start, Size: uint64(len(text)) - start, Align: 4,
+		})
+	}
+	o.Text = text
+	// table: two 8-byte function addresses, patched by abs64 relocs.
+	o.Data = make([]byte, 16)
+	o.Symbols = append(o.Symbols, obj.Symbol{
+		Name: "table", Kind: obj.SymData, Section: obj.SecData, Offset: 0, Size: 16, Align: 8,
+	})
+	o.Relocs = append(o.Relocs,
+		obj.Reloc{Kind: obj.RelocAbs64, Section: obj.SecData, Offset: 0, Sym: "shallow"},
+		obj.Reloc{Kind: obj.RelocAbs64, Section: obj.SecData, Offset: 8, Sym: "deep"},
+	)
+	exe, err := linker.Link([]*obj.Object{o}, linker.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return exe
+}
+
+// TestFootprintJalrThroughTable: the dataflow engine must resolve an
+// indirect call through a constant table of function addresses to the exact
+// target set — both callees become calls, the footprint stays exact, and
+// MaxDepth covers the deeper callee.
+func TestFootprintJalrThroughTable(t *testing.T) {
+	exe := buildJalrTable(t)
+	info, err := dataflow.Analyze(exe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	main := info.Funcs[exe.Symbols["main"]]
+	if len(main.UnresolvedJalr) != 0 {
+		t.Fatalf("table jalr left unresolved at %x", main.UnresolvedJalr)
+	}
+	targets := map[uint64]bool{}
+	for _, c := range main.Calls {
+		if c.Indirect {
+			targets[c.Target] = true
+		}
+	}
+	for _, name := range []string{"shallow", "deep"} {
+		if !targets[exe.Symbols[name]] {
+			t.Errorf("indirect call set missing %s; got %v", name, targets)
+		}
+	}
+	fp, err := analysis.ExtractStackFootprint(exe, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fp.Approx {
+		t.Errorf("resolved table jalr should stay exact; reasons: %v", fp.ApproxReasons)
+	}
+	if fp.MaxDepth < 256 {
+		t.Errorf("MaxDepth %d does not cover deep's 256-byte frame", fp.MaxDepth)
+	}
+	checkSound(t, fp, deepestWrite(t, exe))
+}
+
+// TestFootprintUnresolvableJalr: an indirect call whose target register
+// comes from an opaque runtime value must be reported as unresolved and
+// force the footprint approximate with an honest reason.
+func TestFootprintUnresolvableJalr(t *testing.T) {
+	code := []isa.Inst{
+		{Op: isa.OpAddi, Rd: isa.A0, Rs1: isa.R0, Imm: isa.SysCycles},
+		{Op: isa.OpSys, Rd: isa.R0, Rs1: isa.A0}, // RV ← cycles: opaque
+		{Op: isa.OpBeq, Rd: isa.R0, Rs1: isa.RV, Rs2: isa.R0, Imm: 1},
+		{Op: isa.OpJalr, Rd: isa.RA, Rs1: isa.RV}, // target unknowable
+		{Op: isa.OpJalr, Rd: isa.R0, Rs1: isa.RA}, // return to crt0
+	}
+	o := &obj.Object{Name: "badjalr"}
+	var text []byte
+	for _, in := range code {
+		text = isa.EncodeTo(text, in)
+	}
+	o.Text = text
+	o.Symbols = []obj.Symbol{{Name: "main", Kind: obj.SymFunc, Section: obj.SecText, Offset: 0, Size: uint64(len(text)), Align: 4}}
+	exe, err := linker.Link([]*obj.Object{o}, linker.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := dataflow.Analyze(exe)
+	if err != nil {
+		t.Fatal(err)
+	}
+	main := info.Funcs[exe.Symbols["main"]]
+	if len(main.UnresolvedJalr) == 0 {
+		t.Fatal("opaque jalr target was not reported unresolved")
+	}
+	if !info.AllReachable {
+		t.Error("an unresolved jalr must make reachability conservative")
+	}
+	fp, err := analysis.ExtractStackFootprint(exe, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fp.Approx {
+		t.Fatal("unresolved indirect call classified exact")
+	}
+	wantReason(t, fp, "indirect")
+}

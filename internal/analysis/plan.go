@@ -1,6 +1,9 @@
 package analysis
 
-import "fmt"
+import (
+	"fmt"
+	"sort"
+)
 
 // EnvPlan is the oracle's product in measurement-planning form: over one
 // environment-size grid, the points whose predicted memory-system signature
@@ -13,8 +16,13 @@ import "fmt"
 // adaptive sweep planner in internal/core: what the command emits is exactly
 // what the planner consumes.
 type EnvPlan struct {
-	Bench   string   `json:"bench"`
-	Machine string   `json:"machine"`
+	Bench   string `json:"bench"`
+	Machine string `json:"machine"`
+	// Channel names the layout perturbation the grid walks: "env" (stack
+	// displacement via environment bytes), "pad" (inter-object text padding),
+	// "base" (image-base displacement), or "link" (link order). Empty means
+	// "env" (plans predate the field).
+	Channel string   `json:"channel,omitempty"`
 	Sizes   []uint64 `json:"sizes"`
 	// Boundaries are indices into Sizes where the predicted signature
 	// differs from the previous grid point's, under any contributing
@@ -76,5 +84,65 @@ func NewEnvPlan(benchName, machineName string, sizes []uint64, maps ...*Conflict
 			p.Boundaries = append(p.Boundaries, i)
 		}
 	}
+	sort.Strings(p.Reasons)
+	return p, nil
+}
+
+// NewChannelPlan merges one or more channel conflict maps computed over the
+// same grid into a plan. The mapping from pairwise verdicts to boundaries is
+// conservative: a plateau extends across grid point i only when every
+// contributing map proved point i EQUAL to point i-1; any TRANSITION or
+// UNKNOWN consecutive pair becomes a boundary. The plan is Exact only when
+// every consecutive pair was decided (no UNKNOWN) and no map was approximate
+// — then every claimed plateau is a proof, and every boundary is either a
+// proven transition or honestly absent from the guarantee.
+func NewChannelPlan(benchName, machineName string, values []uint64, maps ...*ChannelConflictMap) (*EnvPlan, error) {
+	if len(maps) == 0 {
+		return nil, fmt.Errorf("analysis: NewChannelPlan needs at least one channel conflict map")
+	}
+	p := &EnvPlan{Bench: benchName, Machine: machineName, Channel: maps[0].Channel, Sizes: values, Exact: true}
+	mark := make([]bool, len(values))
+	seenReason := map[string]bool{}
+	addReason := func(r string) {
+		if !seenReason[r] {
+			seenReason[r] = true
+			p.Reasons = append(p.Reasons, r)
+		}
+	}
+	for _, cm := range maps {
+		if cm.Channel != p.Channel {
+			return nil, fmt.Errorf("analysis: mixed channels %q and %q in one plan", p.Channel, cm.Channel)
+		}
+		if len(cm.Values) != len(values) {
+			return nil, fmt.Errorf("analysis: channel map grid has %d values, plan grid %d", len(cm.Values), len(values))
+		}
+		for i, v := range cm.Values {
+			if v != values[i] {
+				return nil, fmt.Errorf("analysis: channel map grid differs from plan grid at index %d (%d vs %d)", i, v, values[i])
+			}
+		}
+		for i := 1; i < len(values); i++ {
+			pr := cm.Pair(i-1, i)
+			if pr == nil || pr.Verdict != VerdictEqual {
+				mark[i] = true
+			}
+			if pr != nil && pr.Verdict == VerdictUnknown {
+				p.Exact = false
+				addReason(fmt.Sprintf("undecided pair %d→%d: %s", values[i-1], values[i], pr.Reason))
+			}
+		}
+		if cm.Approx {
+			p.Exact = false
+			for _, r := range cm.ApproxReasons {
+				addReason(r)
+			}
+		}
+	}
+	for i, m := range mark {
+		if m {
+			p.Boundaries = append(p.Boundaries, i)
+		}
+	}
+	sort.Strings(p.Reasons)
 	return p, nil
 }

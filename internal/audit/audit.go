@@ -18,6 +18,13 @@
 //	unrandomized-sensitive    a fixed-setup run of a benchmark the bias
 //	                          oracle predicts is env-sensitive; the number
 //	                          depends on an unreported setup choice.
+//	unrandomized-sensitive-pad / -base
+//	                          the same crime through a code-placement
+//	                          channel: the dataflow comparator *proves* the
+//	                          benchmark's cycles move under inter-object
+//	                          text padding (pad) or an image-base
+//	                          displacement (base), so a fixed-layout run
+//	                          reports one arbitrary point of that swing.
 //	incommensurable-machines  one conclusion pooled across machines with
 //	                          different cache/TLB geometries.
 //	inconclusive-interval     a direction claimed from a result whose
@@ -37,6 +44,7 @@ import (
 	"biaslab/internal/analysis"
 	"biaslab/internal/bench"
 	"biaslab/internal/core"
+	"biaslab/internal/linker"
 	"biaslab/internal/machine"
 	"biaslab/internal/server"
 	"biaslab/internal/stats"
@@ -45,19 +53,22 @@ import (
 // Rule ids, stable across releases: suppressions and CI greps depend on
 // them.
 const (
-	RuleSingleSetup     = "single-setup"
-	RuleFewSetups       = "insufficient-setups"
-	RuleCoarseGrid      = "coarse-env-grid"
-	RuleUnrandomized    = "unrandomized-sensitive"
-	RuleIncommensurable = "incommensurable-machines"
-	RuleInconclusive    = "inconclusive-interval"
+	RuleSingleSetup      = "single-setup"
+	RuleFewSetups        = "insufficient-setups"
+	RuleCoarseGrid       = "coarse-env-grid"
+	RuleUnrandomized     = "unrandomized-sensitive"
+	RuleUnrandomizedPad  = "unrandomized-sensitive-pad"
+	RuleUnrandomizedBase = "unrandomized-sensitive-base"
+	RuleIncommensurable  = "incommensurable-machines"
+	RuleInconclusive     = "inconclusive-interval"
 )
 
 // Rules lists every rule id in catalog order.
 func Rules() []string {
 	return []string{
 		RuleSingleSetup, RuleFewSetups, RuleCoarseGrid,
-		RuleUnrandomized, RuleIncommensurable, RuleInconclusive,
+		RuleUnrandomized, RuleUnrandomizedPad, RuleUnrandomizedBase,
+		RuleIncommensurable, RuleInconclusive,
 	}
 }
 
@@ -284,9 +295,61 @@ func (a *Auditor) ruleOracle(c server.JobSpec) ([]Finding, error) {
 		if err != nil {
 			return nil, err
 		}
-		return ruleUnrandomized(c, plan), nil
+		fs := ruleUnrandomized(c, plan)
+		chFs, err := a.ruleUnrandomizedChannels(c)
+		if err != nil {
+			return nil, err
+		}
+		return append(fs, chFs...), nil
 	}
 	return nil, nil
+}
+
+// ruleUnrandomizedChannels covers the code-placement variants of
+// unrandomized-sensitive. For each channel it plans a minimal two-point
+// probe — the unperturbed layout against a 4-byte perturbation, the
+// smallest displacement the channel can apply — and fires only when the
+// plan is exact with a boundary: the comparator *proved* the two layouts
+// measure differently, so a fixed-layout number depends on a layout choice
+// the spec never reports. An undecided pair stays silent — the auditor
+// accuses only on proof.
+func (a *Auditor) ruleUnrandomizedChannels(c server.JobSpec) ([]Finding, error) {
+	size, err := bench.ParseSize(c.Size)
+	if err != nil {
+		return nil, err
+	}
+	setup, b, err := server.BaseSetup(c)
+	if err != nil {
+		return nil, err
+	}
+	r := a.runner(size)
+	probes := []struct {
+		rule    string
+		knob    string
+		values  []uint64
+		planner func(*core.Runner, *bench.Benchmark, core.Setup, []uint64) (*analysis.EnvPlan, error)
+	}{
+		{RuleUnrandomizedPad, "inter-object text padding", []uint64{0, 4}, core.PlanPadSweep},
+		{RuleUnrandomizedBase, "image base", []uint64{linker.DefaultTextBase, linker.DefaultTextBase + 4}, core.PlanBaseSweep},
+	}
+	var fs []Finding
+	for _, p := range probes {
+		plan, err := p.planner(r, b, setup, p.values)
+		if err != nil {
+			return nil, err
+		}
+		if !plan.Exact || len(plan.Boundaries) == 0 {
+			continue
+		}
+		fs = append(fs, Finding{
+			Rule:     p.rule,
+			Severity: server.AuditWarn,
+			Message: fmt.Sprintf(
+				"the dataflow comparator proves %s@%s is sensitive to %s (a 4-byte shift provably changes its cycle count): a fixed-layout run measures one arbitrary point of that swing; sweep the channel (kind=sweep-%s) or randomize the setup",
+				c.Bench, c.Machine, p.knob, plan.Channel),
+		})
+	}
+	return fs, nil
 }
 
 // ruleCoarseGrid flags a dense sweep whose step strides over predicted

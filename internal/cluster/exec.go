@@ -47,6 +47,28 @@ func ExecuteShard(ctx context.Context, r *core.Runner, spec server.JobSpec, shar
 			p, err := core.MeasureEnvPoint(ctx, r, b, setup, sizes[i])
 			return core.PointKey("env", b.Name, s), p, err
 		}
+	case server.KindSweepPad:
+		values := core.DefaultPadSizes()
+		measure = func(ctx context.Context, i int) (string, any, error) {
+			if i < 0 || i >= len(values) {
+				return "", nil, fmt.Errorf("cluster: pad point index %d out of range [0,%d)", i, len(values))
+			}
+			s := setup
+			s.TextPad = values[i]
+			p, err := core.MeasurePadPoint(ctx, r, b, setup, values[i])
+			return core.PointKey("pad", b.Name, s), p, err
+		}
+	case server.KindSweepBase:
+		values := core.DefaultTextBases()
+		measure = func(ctx context.Context, i int) (string, any, error) {
+			if i < 0 || i >= len(values) {
+				return "", nil, fmt.Errorf("cluster: base point index %d out of range [0,%d)", i, len(values))
+			}
+			s := setup
+			s.TextBase = values[i]
+			p, err := core.MeasureBasePoint(ctx, r, b, setup, values[i])
+			return core.PointKey("base", b.Name, s), p, err
+		}
 	case server.KindSweepLink:
 		cands := core.LinkCandidates(r.UnitNames(b), spec.Orders, spec.Seed)
 		measure = func(ctx context.Context, i int) (string, any, error) {

@@ -37,6 +37,18 @@ func Points(r *core.Runner, spec server.JobSpec) ([]Point, error) {
 			s.EnvBytes = sz
 			points = append(points, Point{i, core.PointKey("env", b.Name, s)})
 		}
+	case server.KindSweepPad:
+		for i, v := range core.DefaultPadSizes() {
+			s := setup
+			s.TextPad = v
+			points = append(points, Point{i, core.PointKey("pad", b.Name, s)})
+		}
+	case server.KindSweepBase:
+		for i, v := range core.DefaultTextBases() {
+			s := setup
+			s.TextBase = v
+			points = append(points, Point{i, core.PointKey("base", b.Name, s)})
+		}
 	case server.KindSweepLink:
 		for i, c := range core.LinkCandidates(r.UnitNames(b), spec.Orders, spec.Seed) {
 			s := setup

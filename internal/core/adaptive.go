@@ -109,41 +109,77 @@ func EnvSweepAdaptive(ctx context.Context, r *Runner, b *bench.Benchmark, setup 
 // tests can force a deliberately wrong plan and assert the dense fallback
 // restores correctness.
 func envSweepPlanned(ctx context.Context, r *Runner, b *bench.Benchmark, setup Setup, sizes []uint64, plan *analysis.EnvPlan, ck Checkpoint) ([]EnvPoint, AdaptiveSweepStats, error) {
-	n := len(sizes)
+	return plannedSweep(ctx, r, b, "env", sizes, plan, ck, sweepOps[EnvPoint]{
+		setupAt: func(i int) Setup {
+			s := setup
+			s.EnvBytes = sizes[i]
+			return s
+		},
+		makePoint: func(i int, base, opt uint64) EnvPoint {
+			return EnvPoint{
+				EnvBytes:   sizes[i],
+				CyclesBase: base,
+				CyclesOpt:  opt,
+				Speedup:    float64(base) / float64(opt),
+			}
+		},
+		cycles: func(p EnvPoint) (uint64, uint64) { return p.CyclesBase, p.CyclesOpt },
+		revalue: func(p EnvPoint, i int) EnvPoint {
+			p.EnvBytes = sizes[i]
+			return p
+		},
+	})
+}
+
+// sweepOps adapts one sweep's point type to the generic planned-sweep
+// engine: how a grid index becomes a Setup, how a measurement becomes a
+// point, how to read a point's cycle pair, and how to re-label a plateau
+// representative for an interpolated index.
+type sweepOps[T any] struct {
+	setupAt   func(i int) Setup
+	makePoint func(i int, base, opt uint64) T
+	cycles    func(p T) (uint64, uint64)
+	revalue   func(p T, i int) T
+}
+
+// plannedSweep is the oracle-guided measurement engine shared by the env,
+// pad, and base adaptive sweeps: measure the predicted transition boundaries,
+// a guard band before each, and one interior spot check per plateau; verify
+// every plateau empirically (all held points must agree exactly on both
+// cycle counts); interpolate verified plateau interiors and densely
+// re-measure failed ones. kind is the checkpoint namespace; the journal keys
+// match the corresponding dense sweep's exactly.
+func plannedSweep[T any](ctx context.Context, r *Runner, b *bench.Benchmark, kind string, grid []uint64, plan *analysis.EnvPlan, ck Checkpoint, ops sweepOps[T]) ([]T, AdaptiveSweepStats, error) {
+	n := len(grid)
 	stats := AdaptiveSweepStats{
 		GridPoints: n,
 		Boundaries: len(plan.Boundaries),
 		PlanExact:  plan.Exact,
 	}
 	if len(plan.Sizes) != n {
-		return nil, stats, fmt.Errorf("core: env plan grid has %d sizes, sweep grid %d", len(plan.Sizes), n)
+		return nil, stats, fmt.Errorf("core: %s plan grid has %d sizes, sweep grid %d", kind, len(plan.Sizes), n)
 	}
 	for i, sz := range plan.Sizes {
-		if sz != sizes[i] {
-			return nil, stats, fmt.Errorf("core: env plan grid differs from sweep grid at index %d (%d vs %d)", i, sz, sizes[i])
+		if sz != grid[i] {
+			return nil, stats, fmt.Errorf("core: %s plan grid differs from sweep grid at index %d (%d vs %d)", kind, i, sz, grid[i])
 		}
 	}
 	prev := 0
 	for _, bi := range plan.Boundaries {
 		if bi <= prev || bi >= n {
-			return nil, stats, fmt.Errorf("core: env plan boundaries %v not strictly increasing within (0,%d)", plan.Boundaries, n)
+			return nil, stats, fmt.Errorf("core: %s plan boundaries %v not strictly increasing within (0,%d)", kind, plan.Boundaries, n)
 		}
 		prev = bi
 	}
 
-	points := make([]EnvPoint, n)
+	points := make([]T, n)
 	done := make([]bool, n)
-	pointSetup := func(i int) Setup {
-		s := setup
-		s.EnvBytes = sizes[i]
-		return s
-	}
 	for i := 0; i < n; i++ {
 		if ck == nil {
 			break
 		}
-		var p EnvPoint
-		ok, err := ck.Lookup(sweepKey("env", b.Name, pointSetup(i)), &p)
+		var p T
+		ok, err := ck.Lookup(sweepKey(kind, b.Name, ops.setupAt(i)), &p)
 		if err != nil {
 			return nil, stats, err
 		}
@@ -167,7 +203,7 @@ func envSweepPlanned(ctx context.Context, r *Runner, b *bench.Benchmark, setup S
 			chunk := idxs[start:end]
 			setups := make([]Setup, 0, 2*len(chunk))
 			for _, i := range chunk {
-				s := pointSetup(i)
+				s := ops.setupAt(i)
 				setups = append(setups, s.WithLevel(compiler.O2), s.WithLevel(compiler.O3))
 			}
 			ms, err := r.MeasureBatch(ctx, b, setups)
@@ -176,14 +212,9 @@ func envSweepPlanned(ctx context.Context, r *Runner, b *bench.Benchmark, setup S
 			}
 			for k, i := range chunk {
 				mb, mo := ms[2*k], ms[2*k+1]
-				p := EnvPoint{
-					EnvBytes:   sizes[i],
-					CyclesBase: mb.Cycles,
-					CyclesOpt:  mo.Cycles,
-					Speedup:    float64(mb.Cycles) / float64(mo.Cycles),
-				}
+				p := ops.makePoint(i, mb.Cycles, mo.Cycles)
 				if ck != nil {
-					if err := ck.Record(sweepKey("env", b.Name, pointSetup(i)), p); err != nil {
+					if err := ck.Record(sweepKey(kind, b.Name, ops.setupAt(i)), p); err != nil {
 						return err
 					}
 				}
@@ -193,10 +224,10 @@ func envSweepPlanned(ctx context.Context, r *Runner, b *bench.Benchmark, setup S
 		}
 		return nil
 	}
-	fail := func(err error) ([]EnvPoint, AdaptiveSweepStats, error) {
+	fail := func(err error) ([]T, AdaptiveSweepStats, error) {
 		completed := gatherDone(points, done)
-		return completed, stats, fmt.Errorf("core: env sweep of %s incomplete (%d of %d points measured): %w",
-			b.Name, len(completed), n, err)
+		return completed, stats, fmt.Errorf("core: %s sweep of %s incomplete (%d of %d points measured): %w",
+			kind, b.Name, len(completed), n, err)
 	}
 
 	// Plateaus: [start of grid or a boundary, next boundary). Within each,
@@ -236,9 +267,10 @@ func envSweepPlanned(ctx context.Context, r *Runner, b *bench.Benchmark, setup S
 	for k := range starts {
 		lo, hi := plateau(k)
 		agree := true
-		rep := points[lo]
+		repBase, repOpt := ops.cycles(points[lo])
 		for i := lo; i <= hi; i++ {
-			if done[i] && (points[i].CyclesBase != rep.CyclesBase || points[i].CyclesOpt != rep.CyclesOpt) {
+			cb, co := ops.cycles(points[i])
+			if done[i] && (cb != repBase || co != repOpt) {
 				agree = false
 				break
 			}
@@ -260,10 +292,9 @@ func envSweepPlanned(ctx context.Context, r *Runner, b *bench.Benchmark, setup S
 			if done[i] {
 				continue
 			}
-			p := rep
-			p.EnvBytes = sizes[i]
+			p := ops.revalue(points[lo], i)
 			if ck != nil {
-				if err := ck.Record(sweepKey("env", b.Name, pointSetup(i)), p); err != nil {
+				if err := ck.Record(sweepKey(kind, b.Name, ops.setupAt(i)), p); err != nil {
 					return fail(err)
 				}
 			}

@@ -70,6 +70,7 @@ type linkKey struct {
 	cfg   compiler.Config
 	order string // LinkOrder encoded as text ([]int is not comparable)
 	pad   uint64
+	base  uint64
 }
 
 // orderKey encodes a link order for use in a map key.
@@ -167,6 +168,7 @@ func (r *Runner) linked(b *bench.Benchmark, setup Setup, ordered []*obj.Object) 
 		cfg:   setup.Compiler,
 		order: orderKey(setup.LinkOrder),
 		pad:   setup.TextPad,
+		base:  setup.TextBase,
 	}
 	for {
 		r.mu.Lock()
@@ -184,7 +186,7 @@ func (r *Runner) linked(b *bench.Benchmark, setup Setup, ordered []*obj.Object) 
 		r.linking[key] = wg
 		r.mu.Unlock()
 
-		exe, err := linker.Link(ordered, linker.Options{PadObjects: setup.TextPad})
+		exe, err := linker.Link(ordered, linker.Options{PadObjects: setup.TextPad, TextBase: setup.TextBase})
 		r.mu.Lock()
 		delete(r.linking, key)
 		if err == nil {

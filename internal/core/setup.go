@@ -40,6 +40,9 @@ type Setup struct {
 	// space randomization, available to the setup randomizer as a third
 	// factor beyond environment size and link order.
 	TextPad uint64
+	// TextBase relocates the whole image to this base address — the
+	// ASLR-style displacement channel. Zero means the linker default.
+	TextBase uint64
 }
 
 // DefaultEnvBytes is the environment size used when a setup leaves it zero:
@@ -58,6 +61,9 @@ func (s Setup) String() string {
 	}
 	if s.TextPad != 0 {
 		fmt.Fprintf(&sb, " pad=%d", s.TextPad)
+	}
+	if s.TextBase != 0 {
+		fmt.Fprintf(&sb, " base=%#x", s.TextBase)
 	}
 	return sb.String()
 }

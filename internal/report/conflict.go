@@ -51,6 +51,54 @@ func ConflictMapCSV(cm *analysis.ConflictMap) string {
 	return t.CSV()
 }
 
+// ChannelMapText renders a channel conflict map: the comparator's verdict
+// for every consecutive pair of grid values, then the full pairwise verdict
+// counts. Consecutive pairs are what a plan turns into plateaus and
+// boundaries; the totals say how much of the grid the proofs covered.
+func ChannelMapText(cm *analysis.ChannelConflictMap) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "predicted %s-channel sensitivity of %s on %s\n", cm.Channel, cm.Bench, cm.Machine)
+	if len(cm.Values) > 0 {
+		fmt.Fprintf(&sb, "grid: %d values in [%d, %d]\n", len(cm.Values), cm.Values[0], cm.Values[len(cm.Values)-1])
+	}
+	if cm.Approx {
+		fmt.Fprintf(&sb, "APPROXIMATE: %s\n", strings.Join(cm.ApproxReasons, "; "))
+	}
+	sb.WriteByte('\n')
+	t := &Table{Headers: []string{"pair", "verdict", "reason"}}
+	for i := 1; i < len(cm.Values); i++ {
+		p := cm.Pair(i-1, i)
+		if p == nil {
+			continue
+		}
+		t.AddRow(fmt.Sprintf("%d→%d", cm.Values[i-1], cm.Values[i]), p.Verdict.String(), p.Reason)
+	}
+	sb.WriteString(t.String())
+	var eq, tr, un int
+	for _, p := range cm.Pairs {
+		switch p.Verdict {
+		case analysis.VerdictEqual:
+			eq++
+		case analysis.VerdictTransition:
+			tr++
+		default:
+			un++
+		}
+	}
+	fmt.Fprintf(&sb, "\nall %d pairs: %d proven equal, %d proven transitions, %d undecided\n",
+		len(cm.Pairs), eq, tr, un)
+	return sb.String()
+}
+
+// ChannelMapCSV is the replottable twin of ChannelMapText, over every pair.
+func ChannelMapCSV(cm *analysis.ChannelConflictMap) string {
+	t := &Table{Headers: []string{"value_i", "value_j", "verdict", "reason"}}
+	for _, p := range cm.Pairs {
+		t.AddRow(cm.Values[p.I], cm.Values[p.J], p.Verdict.String(), p.Reason)
+	}
+	return t.CSV()
+}
+
 // LinkOrderText renders the permutation half of the conflict map: every
 // enumerated link order with its predicted alignment exposure, baseline
 // first.

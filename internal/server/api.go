@@ -35,6 +35,8 @@ const (
 	KindRun        = "run"
 	KindSweepEnv   = "sweep-env"
 	KindSweepLink  = "sweep-link"
+	KindSweepPad   = "sweep-pad"
+	KindSweepBase  = "sweep-base"
 	KindRandomize  = "randomize"
 	KindExperiment = "experiment"
 )
@@ -75,11 +77,12 @@ type JobSpec struct {
 	Seed uint64 `json:"seed,omitempty"`
 	// Experiment is the artifact id (F1..F9, T1..T4) for experiment jobs.
 	Experiment string `json:"experiment,omitempty"`
-	// Adaptive switches sweep-env jobs to the oracle-guided adaptive sweep:
-	// measure predicted transition boundaries plus verification points,
-	// interpolate verified plateaus. Results are byte-identical to the dense
-	// sweep when the oracle's predictions verify, but the content key still
-	// differs (omitempty keeps existing dense keys stable).
+	// Adaptive switches sweep-env, sweep-pad and sweep-base jobs to the
+	// oracle-guided adaptive sweep: measure predicted transition boundaries
+	// plus verification points, interpolate verified plateaus. Results are
+	// byte-identical to the dense sweep when the oracle's predictions
+	// verify, but the content key still differs (omitempty keeps existing
+	// dense keys stable).
 	Adaptive bool `json:"adaptive,omitempty"`
 	// AuditAllow suppresses the named audit rules for this spec (the
 	// spec-field form of an //audit:allow directive). Suppressions are
@@ -163,6 +166,14 @@ func (spec JobSpec) Canonicalize() (JobSpec, error) {
 		c.Step = spec.Step
 		if c.Step == 0 {
 			c.Step = 128
+		}
+		c.Adaptive = spec.Adaptive
+	case KindSweepPad, KindSweepBase:
+		// The grid is canonical (DefaultPadSizes / DefaultTextBases), so the
+		// spec carries no grid parameters: two requests for the same channel
+		// sweep always share a content key.
+		if err := needBench(); err != nil {
+			return JobSpec{}, err
 		}
 		c.Adaptive = spec.Adaptive
 	case KindSweepLink:
@@ -414,6 +425,20 @@ type EnvSweepResult struct {
 	Report   core.BiasReport          `json:"report"`
 }
 
+// ChannelSweepResult is the result payload of a sweep-pad or sweep-base
+// job: one scalar code-layout channel swept over its canonical grid.
+type ChannelSweepResult struct {
+	Benchmark string `json:"benchmark"`
+	Machine   string `json:"machine"`
+	// Channel is "pad" or "base".
+	Channel string              `json:"channel"`
+	Points  []core.ChannelPoint `json:"points"`
+	// Adaptive carries the comparator-guided sweep's measurement ledger
+	// when the job ran adaptively; nil for dense sweeps.
+	Adaptive *core.AdaptiveSweepStats `json:"adaptive,omitempty"`
+	Report   core.BiasReport          `json:"report"`
+}
+
 // LinkSweepResult is the result payload of a sweep-link job.
 type LinkSweepResult struct {
 	Benchmark string           `json:"benchmark"`
@@ -443,13 +468,14 @@ type ExperimentResult struct {
 // what the store persists and what GET /v1/results/{key} serves verbatim,
 // so a cached result is byte-identical to a fresh one.
 type Result struct {
-	Kind       string            `json:"kind"`
-	Spec       JobSpec           `json:"spec"`
-	Run        *RunResult        `json:"run,omitempty"`
-	EnvSweep   *EnvSweepResult   `json:"env_sweep,omitempty"`
-	LinkSweep  *LinkSweepResult  `json:"link_sweep,omitempty"`
-	Randomize  *RandomizeResult  `json:"randomize,omitempty"`
-	Experiment *ExperimentResult `json:"experiment,omitempty"`
+	Kind         string              `json:"kind"`
+	Spec         JobSpec             `json:"spec"`
+	Run          *RunResult          `json:"run,omitempty"`
+	EnvSweep     *EnvSweepResult     `json:"env_sweep,omitempty"`
+	LinkSweep    *LinkSweepResult    `json:"link_sweep,omitempty"`
+	ChannelSweep *ChannelSweepResult `json:"channel_sweep,omitempty"`
+	Randomize    *RandomizeResult    `json:"randomize,omitempty"`
+	Experiment   *ExperimentResult   `json:"experiment,omitempty"`
 }
 
 // EncodeResult renders the canonical encoding of a result: compact JSON

@@ -32,6 +32,8 @@ func Execute(ctx context.Context, r *core.Runner, spec JobSpec, ck core.Checkpoi
 		res.EnvSweep, err = executeEnvSweep(ctx, r, spec, ck, onTotal)
 	case KindSweepLink:
 		res.LinkSweep, err = executeLinkSweep(ctx, r, spec, ck, onTotal)
+	case KindSweepPad, KindSweepBase:
+		res.ChannelSweep, err = executeChannelSweep(ctx, r, spec, ck, onTotal)
 	case KindRandomize:
 		res.Randomize, err = executeRandomize(ctx, r, spec, ck, onTotal)
 	case KindExperiment:
@@ -113,6 +115,46 @@ func executeEnvSweep(ctx context.Context, r *core.Runner, spec JobSpec, ck core.
 		Points:    points,
 		Adaptive:  adaptive,
 		Report:    core.NewBiasReport(b.Name, spec.Machine, "environment size", speedups),
+	}, nil
+}
+
+func executeChannelSweep(ctx context.Context, r *core.Runner, spec JobSpec, ck core.Checkpoint, onTotal func(int)) (*ChannelSweepResult, error) {
+	setup, b, err := BaseSetup(spec)
+	if err != nil {
+		return nil, err
+	}
+	channel, factor := "pad", "text padding"
+	values := core.DefaultPadSizes()
+	sweep, adaptiveSweep := core.PadSweepCheckpointed, core.PadSweepAdaptive
+	if spec.Kind == KindSweepBase {
+		channel, factor = "base", "image base"
+		values = core.DefaultTextBases()
+		sweep, adaptiveSweep = core.BaseSweepCheckpointed, core.BaseSweepAdaptive
+	}
+	onTotal(len(values))
+	var points []core.ChannelPoint
+	var adaptive *core.AdaptiveSweepStats
+	if spec.Adaptive {
+		var stats core.AdaptiveSweepStats
+		points, stats, err = adaptiveSweep(ctx, r, b, setup, values, ck)
+		adaptive = &stats
+	} else {
+		points, err = sweep(ctx, r, b, setup, values, ck)
+	}
+	if err != nil {
+		return nil, err
+	}
+	speedups := make([]float64, len(points))
+	for i, p := range points {
+		speedups[i] = p.Speedup
+	}
+	return &ChannelSweepResult{
+		Benchmark: b.Name,
+		Machine:   spec.Machine,
+		Channel:   channel,
+		Points:    points,
+		Adaptive:  adaptive,
+		Report:    core.NewBiasReport(b.Name, spec.Machine, factor, speedups),
 	}, nil
 }
 

@@ -39,6 +39,12 @@ func RenderText(res *Result) (string, error) {
 			return "", fmt.Errorf("server: %s result missing payload", res.Kind)
 		}
 		return linkSweepTable(r).String() + "\n" + r.Report.String() + "\n", nil
+	case KindSweepPad, KindSweepBase:
+		r := res.ChannelSweep
+		if r == nil {
+			return "", fmt.Errorf("server: %s result missing payload", res.Kind)
+		}
+		return channelSweepTable(r).String() + "\n" + r.Report.String() + "\n", nil
 	case KindRandomize:
 		r := res.Randomize
 		if r == nil {
@@ -88,6 +94,12 @@ func RenderCSV(res *Result) (string, error) {
 			return "", fmt.Errorf("server: %s result missing payload", res.Kind)
 		}
 		return linkSweepTable(r).CSV(), nil
+	case KindSweepPad, KindSweepBase:
+		r := res.ChannelSweep
+		if r == nil {
+			return "", fmt.Errorf("server: %s result missing payload", res.Kind)
+		}
+		return channelSweepTable(r).CSV(), nil
 	case KindRandomize:
 		r := res.Randomize
 		if r == nil {
@@ -127,6 +139,22 @@ func envSweepTable(r *EnvSweepResult) *report.Table {
 	}
 	for _, p := range r.Points {
 		t.AddRow(p.EnvBytes, p.CyclesBase, p.CyclesOpt, p.Speedup)
+	}
+	return t
+}
+
+// channelSweepTable builds the sweep-pad / sweep-base table.
+func channelSweepTable(r *ChannelSweepResult) *report.Table {
+	header := "pad bytes"
+	if r.Channel == "base" {
+		header = "text base"
+	}
+	t := &report.Table{
+		Title:   fmt.Sprintf("O3-over-O2 speedup of %s vs %s (%s)", r.Benchmark, header, r.Machine),
+		Headers: []string{header, "cycles O2", "cycles O3", "speedup"},
+	}
+	for _, p := range r.Points {
+		t.AddRow(p.Value, p.CyclesBase, p.CyclesOpt, p.Speedup)
 	}
 	return t
 }

@@ -72,7 +72,7 @@ type ShardRunner interface {
 // experiment jobs.
 func Shardable(spec JobSpec) bool {
 	switch spec.Kind {
-	case KindSweepEnv:
+	case KindSweepEnv, KindSweepPad, KindSweepBase:
 		return !spec.Adaptive
 	case KindSweepLink:
 		return true
@@ -493,7 +493,8 @@ func (s *Server) execute(ctx context.Context, j *job) ([]byte, error) {
 	}
 	var ck core.Checkpoint
 	switch {
-	case spec.Kind == KindSweepEnv, spec.Kind == KindSweepLink, spec.Kind == KindExperiment,
+	case spec.Kind == KindSweepEnv, spec.Kind == KindSweepPad, spec.Kind == KindSweepBase,
+		spec.Kind == KindSweepLink, spec.Kind == KindExperiment,
 		spec.Kind == KindRandomize && spec.Tol == 0:
 		jobCk, closeCk, err := s.jobCheckpoint(j)
 		if err != nil {

@@ -218,6 +218,33 @@ func BenchmarkMeasureRepeated(b *testing.B) {
 	b.ReportMetric(float64(instrs)/b.Elapsed().Seconds()/1e6, "Minstr/s")
 }
 
+// BenchmarkCoRun measures co-run simulation throughput: subject and
+// co-runner stepped through ONE shared cache/TLB/predictor hierarchy in
+// deterministic round-robin quanta. Warm Runner, so this is the pure
+// interleaved-execute cost; the Minstr/s metric counts the subject's
+// retired instructions only, making it directly comparable to
+// BenchmarkMeasureRepeated's solo figure — the gap is the price of
+// tenancy (two images resident plus memo flushes at quantum boundaries).
+func BenchmarkCoRun(b *testing.B) {
+	r := biaslab.NewRunner(benchSize())
+	bm, _ := biaslab.Benchmark("sjeng")
+	setup := biaslab.DefaultSetup("core2")
+	setup.CoRunner = biaslab.CoRunner{Bench: "sjeng"}
+	if _, err := r.Measure(context.Background(), bm, setup); err != nil {
+		b.Fatal(err) // warm the compile/link caches for both tenants
+	}
+	b.ResetTimer()
+	var instrs uint64
+	for i := 0; i < b.N; i++ {
+		m, err := r.Measure(context.Background(), bm, setup)
+		if err != nil {
+			b.Fatal(err)
+		}
+		instrs += m.Counters.Instructions
+	}
+	b.ReportMetric(float64(instrs)/b.Elapsed().Seconds()/1e6, "Minstr/s")
+}
+
 // BenchmarkToolchain measures the compile+link path alone.
 func BenchmarkToolchain(b *testing.B) {
 	bm, _ := biaslab.Benchmark("gcc")

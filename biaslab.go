@@ -94,6 +94,10 @@ type (
 	EnvPoint = core.EnvPoint
 	// LinkPoint is one link order's measurement in a sweep.
 	LinkPoint = core.LinkPoint
+	// TenantPoint is one co-runner's sample in a tenant sweep.
+	TenantPoint = core.TenantPoint
+	// CoRunner configures a co-running tenant on the shared machine.
+	CoRunner = core.CoRunner
 	// RobustEstimate is the randomized-setup speedup estimate.
 	RobustEstimate = core.RobustEstimate
 	// CausalReport is the outcome of an intervention study.
@@ -220,6 +224,18 @@ func LinkSweep(ctx context.Context, r *Runner, b *BenchmarkProgram, setup Setup,
 func LinkSweepCheckpointed(ctx context.Context, r *Runner, b *BenchmarkProgram, setup Setup, n int, seed uint64, ck Checkpoint) ([]LinkPoint, error) {
 	return core.LinkSweepCheckpointed(ctx, r, b, setup, n, seed, ck)
 }
+
+// TenantSweep measures b's O3-over-O2 speedup against every co-runner in
+// corunners (core.TenantIdle for an idle machine), sharing one machine's
+// cache/TLB/predictor hierarchy between subject and tenant.
+func TenantSweep(ctx context.Context, r *Runner, b *BenchmarkProgram, setup Setup, corunners []string) ([]TenantPoint, error) {
+	return core.TenantSweep(ctx, r, b, setup, corunners)
+}
+
+// DefaultCoRunners is the canonical co-runner panel the tenant sweep
+// measures: an idle machine plus a spread of cache-light to cache-hungry
+// tenants.
+func DefaultCoRunners() []string { return core.DefaultCoRunners() }
 
 // EstimateSpeedup runs the paper's remedy: n randomized setups and a
 // confidence interval for the speedup.

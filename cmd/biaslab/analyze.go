@@ -6,9 +6,11 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strings"
 
 	"biaslab/internal/analysis"
 	"biaslab/internal/bench"
+	"biaslab/internal/channels"
 	"biaslab/internal/cmini"
 	"biaslab/internal/compiler"
 	"biaslab/internal/core"
@@ -107,7 +109,7 @@ func (a *app) cmdPredict(args []string) error {
 	fs := flag.NewFlagSet("predict", flag.ContinueOnError)
 	benchName := benchFlag(fs)
 	machineName := machineFlag(fs)
-	channel := fs.String("channel", "env", "prediction channel: env, pad, base")
+	channel := fs.String("channel", "env", "prediction channel: "+strings.Join(channels.OracleNames(), ", "))
 	step := fs.Uint64("step", 8, "environment-size grid step in bytes (channel env)")
 	maxEnv := fs.Uint64("max-env", 2048, "largest environment size on the grid (channel env)")
 	perms := fs.Int("perms", 24, "link permutations to enumerate (cap)")
@@ -116,10 +118,16 @@ func (a *app) cmdPredict(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return usageError{err}
 	}
-	switch *channel {
-	case "env", "pad", "base":
-	default:
-		return usageErrorf("unknown channel %q: use env, pad or base", *channel)
+	if ch, ok := channels.ByName(*channel); !ok || !ch.Oracle {
+		// The registry decides what predict can analyze. The tenant channel
+		// is registered but deliberately not predictable: shared-state
+		// displacement depends on both tenants' dynamic reference streams,
+		// so the honest answer is UNKNOWN — measure it (sweep-tenant).
+		if ok {
+			return usageErrorf("channel %q has no static oracle (co-run interference is UNKNOWN until measured; use 'biaslab %s'); predictable channels: %s",
+				*channel, ch.JobKind, strings.Join(channels.OracleNames(), ", "))
+		}
+		return usageErrorf("unknown channel %q: use %s", *channel, strings.Join(channels.OracleNames(), ", "))
 	}
 	b, err := lookupBench(*benchName)
 	if err != nil {

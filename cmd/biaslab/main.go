@@ -3,12 +3,14 @@
 //
 // Usage:
 //
-//	biaslab run -bench perlbench -machine core2 [-env 512] [-O2|-O3] [-icc]
+//	biaslab run -bench perlbench -machine core2 [-env 512] [-O2|-O3] [-icc] [-co-bench milc]
 //	biaslab sweep-env -bench perlbench -machine core2 [-step 128] [-adaptive]
 //	biaslab sweep-pad -bench hmmer -machine core2 [-adaptive]
 //	biaslab sweep-base -bench hmmer -machine core2 [-adaptive]
 //	biaslab sweep-link -bench gcc -machine core2 [-orders 16]
-//	biaslab randomize -bench perlbench -machine core2 [-n 16]
+//	biaslab sweep-tenant -bench hmmer -machine core2 [-co-level O2] [-quantum 4096]
+//	biaslab randomize -bench perlbench -machine core2 [-n 16] [-co-random|-co-bench milc]
+//	biaslab spec run|expand|validate specs.json
 //	biaslab causal -bench perlbench -machine core2
 //	biaslab vet [files.cm...]
 //	biaslab audit specs/*.json     # flag benchmarking crimes; exit 1 on findings
@@ -54,6 +56,7 @@ import (
 
 	"biaslab"
 	"biaslab/internal/bench"
+	"biaslab/internal/channels"
 	"biaslab/internal/compiler"
 	"biaslab/internal/report"
 	"biaslab/internal/server"
@@ -174,32 +177,35 @@ func run(args []string) int {
 
 // serviceCommands are the subcommands that map onto biaslabd job kinds and
 // so accept -server (remote execution) and -json (canonical result JSON).
-var serviceCommands = map[string]bool{
-	"run": true, "sweep-env": true, "sweep-pad": true, "sweep-base": true,
-	"sweep-link": true, "randomize": true,
-	"experiment": true, "figure": true, "table": true, "all": true, "list": true,
-}
+// Every sweep kind in the channel registry is one.
+var serviceCommands = func() map[string]bool {
+	m := map[string]bool{
+		"run": true, "randomize": true, "spec": true,
+		"experiment": true, "figure": true, "table": true, "all": true, "list": true,
+	}
+	for _, ch := range channels.All() {
+		m[ch.JobKind] = true
+	}
+	return m
+}()
 
 func (a *app) dispatch(cmd string, cmdArgs []string) error {
 	if a.server != "" && !serviceCommands[cmd] {
-		return usageErrorf("%s runs locally only; -server supports run, sweep-env, sweep-pad, sweep-base, sweep-link, randomize, experiment, all and list", cmd)
+		return usageErrorf("%s runs locally only; -server supports run, sweep-env, sweep-pad, sweep-base, sweep-link, sweep-tenant, randomize, spec, experiment, all and list", cmd)
 	}
 	if a.jsonOut && cmd != "predict" && cmd != "audit" && (!serviceCommands[cmd] || cmd == "all") {
 		return usageErrorf("-json is not supported for %s", cmd)
 	}
+	if ch, ok := channels.ByJobKind(cmd); ok {
+		return a.cmdSweep(ch, cmdArgs)
+	}
 	switch cmd {
 	case "run":
 		return a.cmdRun(cmdArgs)
-	case "sweep-env":
-		return a.cmdSweepEnv(cmdArgs)
-	case "sweep-pad":
-		return a.cmdSweepChannel(server.KindSweepPad, cmdArgs)
-	case "sweep-base":
-		return a.cmdSweepChannel(server.KindSweepBase, cmdArgs)
-	case "sweep-link":
-		return a.cmdSweepLink(cmdArgs)
 	case "randomize":
 		return a.cmdRandomize(cmdArgs)
+	case "spec":
+		return a.cmdSpec(cmdArgs)
 	case "causal":
 		return a.cmdCausal(cmdArgs)
 	case "profile":
@@ -232,12 +238,14 @@ func usage() {
 	fmt.Fprint(os.Stderr, `biaslab — a measurement-bias laboratory (ASPLOS 2009 reproduction)
 
 subcommands:
-  run        measure one benchmark under one setup
+  run        measure one benchmark under one setup (optionally with a co-runner)
   sweep-env  vary the UNIX environment size, report the speedup swing
   sweep-pad  vary inter-object text padding, report the speedup swing
   sweep-base vary the image base address, report the speedup swing
   sweep-link vary the link order, report the speedup swing
+  sweep-tenant vary the co-running benchmark, report the speedup swing
   randomize  estimate a speedup over randomized setups (the paper's remedy)
+  spec       validate, expand or run a declarative bias-on-demand spec file
   causal     intervene on stack placement, rank hardware-event correlates
   profile    per-function cycle attribution for one run
   compare    robust A/B comparison of two toolchain configs across setups
@@ -296,6 +304,9 @@ func (a *app) cmdRun(args []string) error {
 	env := fs.Uint64("env", 512, "environment size in bytes")
 	o3 := fs.Bool("O3", false, "compile at -O3 (default -O2)")
 	icc := fs.Bool("icc", false, "use the icc personality (default gcc)")
+	coBench := fs.String("co-bench", "", "co-run this benchmark through the shared cache/TLB/predictor hierarchy")
+	coLevel := fs.String("co-level", "", "co-runner optimization level (default O2)")
+	quantum := fs.Uint64("quantum", 0, "interleave quantum in retired instructions (0 = engine default)")
 	if err := fs.Parse(args); err != nil {
 		return usageError{err}
 	}
@@ -305,6 +316,9 @@ func (a *app) cmdRun(args []string) error {
 		Bench:    *benchName,
 		Machine:  *machineName,
 		EnvBytes: *env,
+		CoBench:  *coBench,
+		CoLevel:  *coLevel,
+		Quantum:  *quantum,
 	}
 	if *o3 {
 		spec.Level = "O3"
@@ -315,62 +329,73 @@ func (a *app) cmdRun(args []string) error {
 	return a.runSpec(spec)
 }
 
-func (a *app) cmdSweepEnv(args []string) error {
-	fs := flag.NewFlagSet("sweep-env", flag.ContinueOnError)
-	benchName := benchFlag(fs)
-	machineName := machineFlag(fs)
-	step := fs.Uint64("step", 128, "environment-size step in bytes")
-	adaptive := fs.Bool("adaptive", false, "oracle-guided sweep: measure predicted boundaries, verify and interpolate plateaus")
-	if err := fs.Parse(args); err != nil {
-		return usageError{err}
-	}
-	return a.runSpec(server.JobSpec{
-		Kind:     server.KindSweepEnv,
-		Size:     a.size.String(),
-		Bench:    *benchName,
-		Machine:  *machineName,
-		Step:     *step,
-		Adaptive: *adaptive,
-	})
+// sweepFlagSpec declares the extra flags one sweep kind takes; the flag
+// names, defaults and help strings are those of the former per-kind
+// subcommands, verbatim, so collapsing them changed no behavior.
+type sweepFlagSpec struct {
+	step     bool   // -step (env)
+	adaptive string // -adaptive help text, "" = no such flag
+	orders   bool   // -orders and -seed (link)
+	tenant   bool   // -co-level and -quantum (tenant)
 }
 
-// cmdSweepChannel is the shared body of sweep-pad and sweep-base: both
-// sweep a scalar code-placement value over its canonical grid, so the spec
-// carries only the adaptive bit.
-func (a *app) cmdSweepChannel(kind string, args []string) error {
-	fs := flag.NewFlagSet(kind, flag.ContinueOnError)
-	benchName := benchFlag(fs)
-	machineName := machineFlag(fs)
-	adaptive := fs.Bool("adaptive", false, "comparator-guided sweep: measure where layouts provably differ, verify and interpolate proven-equal plateaus")
-	if err := fs.Parse(args); err != nil {
-		return usageError{err}
-	}
-	return a.runSpec(server.JobSpec{
-		Kind:     kind,
-		Size:     a.size.String(),
-		Bench:    *benchName,
-		Machine:  *machineName,
-		Adaptive: *adaptive,
-	})
+var sweepFlagSpecs = map[string]sweepFlagSpec{
+	"env":    {step: true, adaptive: "oracle-guided sweep: measure predicted boundaries, verify and interpolate plateaus"},
+	"pad":    {adaptive: "comparator-guided sweep: measure where layouts provably differ, verify and interpolate proven-equal plateaus"},
+	"base":   {adaptive: "comparator-guided sweep: measure where layouts provably differ, verify and interpolate proven-equal plateaus"},
+	"link":   {orders: true},
+	"tenant": {tenant: true},
 }
 
-func (a *app) cmdSweepLink(args []string) error {
-	fs := flag.NewFlagSet("sweep-link", flag.ContinueOnError)
+// cmdSweep is the one sweep subcommand behind every channel in the
+// registry: registry entry in, job spec out.
+func (a *app) cmdSweep(ch channels.Channel, args []string) error {
+	sf := sweepFlagSpecs[ch.Name]
+	fs := flag.NewFlagSet(ch.JobKind, flag.ContinueOnError)
 	benchName := benchFlag(fs)
 	machineName := machineFlag(fs)
-	orders := fs.Int("orders", 16, "number of random link orders")
-	seed := fs.Uint64("seed", 1, "random seed")
+	var step, seed, quantum *uint64
+	var adaptive *bool
+	var orders *int
+	var coLevel *string
+	if sf.step {
+		step = fs.Uint64("step", 128, "environment-size step in bytes")
+	}
+	if sf.adaptive != "" {
+		adaptive = fs.Bool("adaptive", false, sf.adaptive)
+	}
+	if sf.orders {
+		orders = fs.Int("orders", 16, "number of random link orders")
+		seed = fs.Uint64("seed", 1, "random seed")
+	}
+	if sf.tenant {
+		coLevel = fs.String("co-level", "O2", "co-runner optimization level")
+		quantum = fs.Uint64("quantum", 0, "interleave quantum in retired instructions (0 = engine default)")
+	}
 	if err := fs.Parse(args); err != nil {
 		return usageError{err}
 	}
-	return a.runSpec(server.JobSpec{
-		Kind:    server.KindSweepLink,
+	spec := server.JobSpec{
+		Kind:    ch.JobKind,
 		Size:    a.size.String(),
 		Bench:   *benchName,
 		Machine: *machineName,
-		Orders:  *orders,
-		Seed:    *seed,
-	})
+	}
+	if step != nil {
+		spec.Step = *step
+	}
+	if adaptive != nil {
+		spec.Adaptive = *adaptive
+	}
+	if orders != nil {
+		spec.Orders = *orders
+		spec.Seed = *seed
+	}
+	if coLevel != nil {
+		spec.CoLevel = *coLevel
+		spec.Quantum = *quantum
+	}
+	return a.runSpec(spec)
 }
 
 func (a *app) cmdRandomize(args []string) error {
@@ -380,17 +405,21 @@ func (a *app) cmdRandomize(args []string) error {
 	n := fs.Int("n", 16, "number of randomized setups (max, when -tol is set)")
 	seed := fs.Uint64("seed", 1, "random seed")
 	tol := fs.Float64("tol", 0, "adaptive mode: stop when the 95% CI half-width falls below this (e.g. 0.005)")
+	coBench := fs.String("co-bench", "", "pin this benchmark as a fixed co-runner on the shared machine (the auditor will object)")
+	coRandom := fs.Bool("co-random", false, "randomize the co-runner over the canonical panel, idle included")
 	if err := fs.Parse(args); err != nil {
 		return usageError{err}
 	}
 	return a.runSpec(server.JobSpec{
-		Kind:    server.KindRandomize,
-		Size:    a.size.String(),
-		Bench:   *benchName,
-		Machine: *machineName,
-		N:       *n,
-		Seed:    *seed,
-		Tol:     *tol,
+		Kind:     server.KindRandomize,
+		Size:     a.size.String(),
+		Bench:    *benchName,
+		Machine:  *machineName,
+		N:        *n,
+		Seed:     *seed,
+		Tol:      *tol,
+		CoBench:  *coBench,
+		CoRandom: *coRandom,
 	})
 }
 
@@ -592,6 +621,14 @@ func (a *app) cmdList() error {
 		fmt.Printf("  %-11s %-15s %s\n", b.Name, b.Spec, b.Kernel)
 	}
 	fmt.Printf("\nmachines: %s\n", strings.Join(cat.Machines, ", "))
+	fmt.Println("bias channels:")
+	for _, ch := range cat.Channels {
+		oracle := ""
+		if ch.Oracle {
+			oracle = "  (predictable: biaslab predict)"
+		}
+		fmt.Printf("  %-7s %-13s %s%s\n", ch.Name, ch.Kind, ch.Factor, oracle)
+	}
 	fmt.Printf("experiments: %s\n", strings.Join(cat.Experiments, ", "))
 	fmt.Println("static analysis: vet (cmini lint), predict (bias oracle conflict map)")
 	return nil

@@ -151,6 +151,48 @@ func TestServerModeByteIdentical(t *testing.T) {
 	}
 }
 
+// TestServerModeTenantSweepByteIdentical: the co-run interference sweep,
+// run locally and against a live daemon, prints byte-identical output in
+// every rendering — the same end-to-end guarantee the other channels have.
+func TestServerModeTenantSweepByteIdentical(t *testing.T) {
+	srv, err := server.New(server.Config{DataDir: t.TempDir(), Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Shutdown(context.Background())
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	sweep := []string{"sweep-tenant", "-bench", "sjeng", "-machine", "core2"}
+	for _, mode := range []struct {
+		name string
+		flag []string
+	}{
+		{"text", nil},
+		{"csv", []string{"-csv"}},
+		{"json", []string{"-json"}},
+	} {
+		local, code := captureRun(t, append(append([]string{"-size", "test"}, mode.flag...), sweep...)...)
+		if code != 0 {
+			t.Fatalf("%s: local run exited %d", mode.name, code)
+		}
+		remote, code := captureRun(t, append(append([]string{"-size", "test", "-server", ts.URL}, mode.flag...), sweep...)...)
+		if code != 0 {
+			t.Fatalf("%s: remote run exited %d", mode.name, code)
+		}
+		if local != remote {
+			t.Errorf("%s output differs between local and -server:\n-- local --\n%s-- remote --\n%s", mode.name, local, remote)
+		}
+		if local == "" {
+			t.Errorf("%s output empty", mode.name)
+		}
+	}
+	m := srv.MetricsSnapshot()
+	if m.CacheMisses != 1 || m.CacheHits != 2 {
+		t.Errorf("daemon saw %d misses / %d hits, want 1/2", m.CacheMisses, m.CacheHits)
+	}
+}
+
 // TestServerFlagValidation: flag combinations that cannot work must exit 2.
 func TestServerFlagValidation(t *testing.T) {
 	cases := [][]string{

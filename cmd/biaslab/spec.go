@@ -1,0 +1,62 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"biaslab/internal/spec"
+)
+
+// cmdSpec handles the declarative bias-on-demand spec files:
+//
+//	biaslab spec validate files...  check each file against the schema
+//	biaslab spec expand files...    print the compiled jobs as JSON
+//	biaslab spec run files...       execute every compiled job in order
+//
+// `spec run` goes through the same runSpec path as the hand-written
+// subcommands, so it honors -server, -csv and -json (one JSON document
+// per job) and its output is byte-identical to issuing the equivalent
+// commands by hand.
+func (a *app) cmdSpec(args []string) error {
+	if len(args) == 0 {
+		return usageErrorf("spec needs a verb: validate, expand or run")
+	}
+	verb, files := args[0], args[1:]
+	switch verb {
+	case "validate", "expand", "run":
+	default:
+		return usageErrorf("unknown spec verb %q: use validate, expand or run", verb)
+	}
+	if len(files) == 0 {
+		return usageErrorf("spec %s needs at least one file", verb)
+	}
+	for _, path := range files {
+		f, err := spec.ParseFile(path)
+		if err != nil {
+			return err
+		}
+		jobs, err := f.Compile()
+		if err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		switch verb {
+		case "validate":
+			fmt.Printf("%s: ok (%d job(s))\n", path, len(jobs))
+		case "expand":
+			out, err := json.MarshalIndent(jobs, "", "  ")
+			if err != nil {
+				return err
+			}
+			fmt.Println(string(out))
+		case "run":
+			for _, job := range jobs {
+				fmt.Fprintf(os.Stderr, "biaslab: spec %s: %s %s\n", path, job.Kind, job.Bench)
+				if err := a.runSpec(job); err != nil {
+					return fmt.Errorf("%s: %s: %w", path, job.Kind, err)
+				}
+			}
+		}
+	}
+	return nil
+}

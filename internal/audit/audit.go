@@ -27,6 +27,16 @@
 //	                          reports one arbitrary point of that swing.
 //	incommensurable-machines  one conclusion pooled across machines with
 //	                          different cache/TLB geometries.
+//	fixed-corunner-sensitive  a randomized estimate measured entirely under
+//	                          one pinned co-runner: every setup shares that
+//	                          tenant's interference, so the estimate is
+//	                          conditional on an unreported tenancy choice —
+//	                          the measured co-runner swing flips O2-vs-O3
+//	                          verdicts (EXPERIMENTS.md, E10).
+//	idle-machine-only         a spec that declares a shared deployment
+//	                          context ("serving") but measures only on an
+//	                          idle machine — no co-runner fixed, randomized
+//	                          or swept.
 //	inconclusive-interval     a direction claimed from a result whose
 //	                          confidence interval spans no effect.
 //
@@ -60,6 +70,8 @@ const (
 	RuleUnrandomizedPad  = "unrandomized-sensitive-pad"
 	RuleUnrandomizedBase = "unrandomized-sensitive-base"
 	RuleIncommensurable  = "incommensurable-machines"
+	RuleFixedCoRunner    = "fixed-corunner-sensitive"
+	RuleIdleMachine      = "idle-machine-only"
 	RuleInconclusive     = "inconclusive-interval"
 )
 
@@ -68,7 +80,8 @@ func Rules() []string {
 	return []string{
 		RuleSingleSetup, RuleFewSetups, RuleCoarseGrid,
 		RuleUnrandomized, RuleUnrandomizedPad, RuleUnrandomizedBase,
-		RuleIncommensurable, RuleInconclusive,
+		RuleIncommensurable, RuleFixedCoRunner, RuleIdleMachine,
+		RuleInconclusive,
 	}
 }
 
@@ -151,6 +164,7 @@ func (a *Auditor) auditOne(in Spec) ([]Finding, error) {
 	}
 	var fs []Finding
 	fs = append(fs, ruleRepetitions(c, in.Spec.Tol > 0)...)
+	fs = append(fs, ruleTenancy(c, in.Spec.Context)...)
 	oracleFs, err := a.ruleOracle(c)
 	if err != nil {
 		return nil, err
@@ -244,6 +258,37 @@ func ruleRepetitions(c server.JobSpec, adaptive bool) []Finding {
 			"n=%d randomized setups is statistically insufficient: with prior setup-variance σ₀=%.3f, a 95%% t interval needs n ≥ %d to reach a ±%.0f%%-point half-width (t(n−1)·σ₀/√n ≤ %.2f)",
 			c.N, SigmaSetup, min, TargetHalfWidth*100, TargetHalfWidth),
 	}}
+}
+
+// ruleTenancy covers the multi-tenant interference crimes. The context
+// argument is the raw spec's deployment-context declaration: Canonicalize
+// drops it (judgment metadata, never part of the content key), so it is
+// threaded in alongside the canonical spec, like the adaptive flag in
+// ruleRepetitions.
+func ruleTenancy(c server.JobSpec, context string) []Finding {
+	var fs []Finding
+	if c.Kind == server.KindRandomize && c.CoBench != "" {
+		fs = append(fs, Finding{
+			Rule:     RuleFixedCoRunner,
+			Severity: server.AuditError,
+			Message: fmt.Sprintf(
+				"randomize pins %s as the only co-runner: every setup shares one tenant's interference, so the estimate is conditional on an unreported tenancy choice — the measured co-runner swing flips O2-vs-O3 verdicts (EXPERIMENTS.md, E10); randomize the tenant too (co_random) or sweep it (kind=sweep-tenant)",
+				c.CoBench),
+		})
+	}
+	if context == "serving" {
+		interference := c.CoBench != "" || c.CoRandom || c.Kind == server.KindSweepTenant
+		if !interference {
+			fs = append(fs, Finding{
+				Rule:     RuleIdleMachine,
+				Severity: server.AuditWarn,
+				Message: fmt.Sprintf(
+					"the spec claims a %q deployment context but every measurement runs on an idle machine: co-run interference is part of the claimed workload; sweep it (kind=sweep-tenant), randomize it (co_random) or at least fix a representative tenant (co_bench)",
+					context),
+			})
+		}
+	}
+	return fs
 }
 
 // fineGridStep is the oracle-plan grid resolution: one stack slot (8

@@ -120,6 +120,50 @@ func TestRuleTable(t *testing.T) {
 			rule:   audit.RuleUnrandomized,
 			guilty: false,
 		},
+		{
+			name:     "fixed-corunner-sensitive guilty pinned tenant",
+			spec:     server.JobSpec{Kind: "randomize", Bench: "sjeng", Machine: "core2", Size: "test", N: 16, CoBench: "sjeng"},
+			rule:     audit.RuleFixedCoRunner,
+			guilty:   true,
+			severity: server.AuditError,
+		},
+		{
+			name:   "fixed-corunner-sensitive innocent randomized tenant",
+			spec:   server.JobSpec{Kind: "randomize", Bench: "sjeng", Machine: "core2", Size: "test", N: 16, CoRandom: true},
+			rule:   audit.RuleFixedCoRunner,
+			guilty: false,
+		},
+		{
+			name:   "fixed-corunner-sensitive innocent idle randomize",
+			spec:   server.JobSpec{Kind: "randomize", Bench: "sjeng", Machine: "core2", Size: "test", N: 16},
+			rule:   audit.RuleFixedCoRunner,
+			guilty: false,
+		},
+		{
+			name:     "idle-machine-only guilty serving context without interference",
+			spec:     server.JobSpec{Kind: "randomize", Bench: "hmmer", Size: "test", N: 16, Context: "serving"},
+			rule:     audit.RuleIdleMachine,
+			guilty:   true,
+			severity: server.AuditWarn,
+		},
+		{
+			name:   "idle-machine-only innocent randomized tenant",
+			spec:   server.JobSpec{Kind: "randomize", Bench: "hmmer", Size: "test", N: 16, CoRandom: true, Context: "serving"},
+			rule:   audit.RuleIdleMachine,
+			guilty: false,
+		},
+		{
+			name:   "idle-machine-only innocent tenant sweep",
+			spec:   server.JobSpec{Kind: "sweep-tenant", Bench: "hmmer", Size: "test", Context: "serving"},
+			rule:   audit.RuleIdleMachine,
+			guilty: false,
+		},
+		{
+			name:   "idle-machine-only innocent without context claim",
+			spec:   server.JobSpec{Kind: "randomize", Bench: "hmmer", Size: "test", N: 16},
+			rule:   audit.RuleIdleMachine,
+			guilty: false,
+		},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -7,6 +7,7 @@ import (
 	"strings"
 
 	"biaslab/internal/server"
+	"biaslab/internal/spec"
 )
 
 // Spec files are JSON with `//` line comments, because suppressions live
@@ -52,6 +53,28 @@ func ParseFile(path string, raw []byte) ([]Spec, error) {
 		ins := make([]Spec, len(specs))
 		for i, s := range specs {
 			ins[i] = Spec{File: fmt.Sprintf("%s[%d]", path, i), Spec: s, Allow: allow}
+		}
+		return ins, nil
+	}
+
+	// A declarative bias-on-demand file compiles into jobs; each compiled
+	// job is audited as its own spec, so the whole comparison the file
+	// describes is judged together (cross-spec rules included). The file's
+	// audit_allow field is already stamped onto every compiled job by the
+	// compiler; //audit:allow directives are honored here like anywhere
+	// else.
+	if spec.IsDeclarative([]byte(trimmed)) {
+		f, err := spec.Parse([]byte(trimmed))
+		if err != nil {
+			return nil, fmt.Errorf("audit: %s: %w", path, err)
+		}
+		jobs, err := f.Compile()
+		if err != nil {
+			return nil, fmt.Errorf("audit: %s: %w", path, err)
+		}
+		ins := make([]Spec, len(jobs))
+		for i, job := range jobs {
+			ins[i] = Spec{File: fmt.Sprintf("%s[%d]", path, i), Spec: job, Allow: allow}
 		}
 		return ins, nil
 	}

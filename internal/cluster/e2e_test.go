@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"errors"
+	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"sync"
@@ -158,11 +159,13 @@ func TestClusterByteIdentity(t *testing.T) {
 	specs := []server.JobSpec{
 		{Kind: server.KindSweepEnv, Size: "test", Bench: "hmmer", Machine: "p4", Step: 256},
 		{Kind: server.KindSweepLink, Size: "test", Bench: "hmmer", Machine: "p4", Orders: 4},
+		{Kind: server.KindSweepTenant, Size: "test", Bench: "sjeng", Machine: "core2"},
 		{Kind: server.KindRandomize, Size: "test", Bench: "hmmer", Machine: "p4", N: 6},
+		{Kind: server.KindRandomize, Size: "test", Bench: "sjeng", Machine: "core2", N: 6, CoRandom: true},
 	}
-	for _, spec := range specs {
+	for i, spec := range specs {
 		spec := spec
-		t.Run(spec.Kind, func(t *testing.T) {
+		t.Run(fmt.Sprintf("%d-%s", i, spec.Kind), func(t *testing.T) {
 			raw := submitAndFetch(t, srv, spec)
 			if local := localBytes(t, spec); !bytes.Equal(raw, local) {
 				t.Errorf("cluster result differs from single-node result\ncluster: %s\nlocal:   %s", raw, local)
@@ -170,8 +173,8 @@ func TestClusterByteIdentity(t *testing.T) {
 		})
 	}
 	snap := coord.MetricsSnapshot()
-	if snap.JobsSharded != 3 {
-		t.Errorf("JobsSharded = %d, want 3", snap.JobsSharded)
+	if snap.JobsSharded != uint64(len(specs)) {
+		t.Errorf("JobsSharded = %d, want %d", snap.JobsSharded, len(specs))
 	}
 	if snap.PointsIngested == 0 {
 		t.Error("no points flowed through the cluster")

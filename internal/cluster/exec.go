@@ -80,8 +80,17 @@ func ExecuteShard(ctx context.Context, r *core.Runner, spec server.JobSpec, shar
 			p, err := core.MeasureLinkPoint(ctx, r, b, setup, cands[i])
 			return core.PointKey("link", b.Name, s), p, err
 		}
+	case server.KindSweepTenant:
+		corunners := core.DefaultCoRunners()
+		measure = func(ctx context.Context, i int) (string, any, error) {
+			if i < 0 || i >= len(corunners) {
+				return "", nil, fmt.Errorf("cluster: tenant point index %d out of range [0,%d)", i, len(corunners))
+			}
+			p, err := core.MeasureTenantPoint(ctx, r, b, setup, corunners[i])
+			return core.TenantPointKey(b.Name, setup, corunners[i]), p, err
+		}
 	case server.KindRandomize:
-		setups := core.RandomSetups(setup, spec.N, len(r.UnitNames(b)), spec.Seed)
+		setups := randomSetups(r, b, setup, spec)
 		measure = func(ctx context.Context, i int) (string, any, error) {
 			if i < 0 || i >= len(setups) {
 				return "", nil, fmt.Errorf("cluster: rand point index %d out of range [0,%d)", i, len(setups))

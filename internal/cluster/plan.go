@@ -3,6 +3,7 @@ package cluster
 import (
 	"fmt"
 
+	"biaslab/internal/bench"
 	"biaslab/internal/core"
 	"biaslab/internal/server"
 )
@@ -55,14 +56,28 @@ func Points(r *core.Runner, spec server.JobSpec) ([]Point, error) {
 			s.LinkOrder = c.Order
 			points = append(points, Point{i, core.PointKey("link", b.Name, s)})
 		}
+	case server.KindSweepTenant:
+		for i, co := range core.DefaultCoRunners() {
+			points = append(points, Point{i, core.TenantPointKey(b.Name, setup, co)})
+		}
 	case server.KindRandomize:
-		for i, s := range core.RandomSetups(setup, spec.N, len(r.UnitNames(b)), spec.Seed) {
+		for i, s := range randomSetups(r, b, setup, spec) {
 			points = append(points, Point{i, core.PointKey("rand", b.Name, s)})
 		}
 	default:
 		return nil, fmt.Errorf("cluster: job kind %q is not shardable", spec.Kind)
 	}
 	return points, nil
+}
+
+// randomSetups derives a randomize job's setups — with the co-runner as
+// one more randomized factor when the spec asks for it. One function so
+// the planner and the shard executor cannot disagree on the draw.
+func randomSetups(r *core.Runner, b *bench.Benchmark, setup core.Setup, spec server.JobSpec) []core.Setup {
+	if spec.CoRandom {
+		return core.RandomSetupsTenant(setup, spec.N, len(r.UnitNames(b)), spec.Seed, core.DefaultCoRunners())
+	}
+	return core.RandomSetups(setup, spec.N, len(r.UnitNames(b)), spec.Seed)
 }
 
 // planShards groups the pending point indices of a job into shards of at

@@ -40,6 +40,41 @@ func TestSetupHelpers(t *testing.T) {
 	}
 }
 
+// TestSetupStringCoRunner pins the CoRunner rendering contract that
+// checkpoint keys depend on: a zero co-runner renders NOTHING — so every
+// legacy checkpoint key is byte-identical to its pre-tenancy form — and a
+// configured one renders its full identity.
+func TestSetupStringCoRunner(t *testing.T) {
+	s := DefaultSetup("core2")
+	legacy := s.String()
+	if strings.Contains(legacy, "corun") {
+		t.Fatalf("zero co-runner leaked into Setup.String: %s", legacy)
+	}
+	s.CoRunner = CoRunner{Bench: "milc", Level: "O3", Quantum: 1024}
+	if got := s.String(); !strings.Contains(got, " corun=milc:O3/q1024") {
+		t.Errorf("String missing co-runner: %s", got)
+	}
+	if got := (CoRunner{Bench: "milc"}).String(); got != "milc" {
+		t.Errorf("defaulted co-runner renders %q, want bare bench name", got)
+	}
+
+	// Tenant point keys: deterministic, and separated by co-runner identity.
+	base := DefaultSetup("core2")
+	idle := TenantPointKey("sjeng", base, TenantIdle)
+	milc := TenantPointKey("sjeng", base, "milc")
+	if idle == milc {
+		t.Error("idle and milc tenant points share a key")
+	}
+	if again := TenantPointKey("sjeng", base, "milc"); again != milc {
+		t.Errorf("tenant keying not deterministic: %s vs %s", again, milc)
+	}
+	// The idle tenant point keys identically whether spelled "idle" or "":
+	// both mean the machine to itself.
+	if empty := TenantPointKey("sjeng", base, ""); empty != idle {
+		t.Errorf("idle spellings diverge: %s vs %s", empty, idle)
+	}
+}
+
 func TestOrders(t *testing.T) {
 	if got := IdentityOrder(3); got[0] != 0 || got[1] != 1 || got[2] != 2 {
 		t.Error("identity order wrong")

@@ -15,6 +15,7 @@ import (
 	"biaslab/internal/loader"
 	"biaslab/internal/machine"
 	"biaslab/internal/obj"
+	"biaslab/internal/tenancy"
 )
 
 // Measurement is the outcome of running one benchmark under one setup.
@@ -456,7 +457,16 @@ func (r *Runner) measure(ctx context.Context, b *bench.Benchmark, setup Setup, p
 	}
 
 	var res *machine.Result
-	if err := runStage(StageMeasure, b.Name, setup, func() error {
+	if !setup.CoRunner.IsZero() {
+		if profiled {
+			return nil, fmt.Errorf("core: profiling is not supported under a co-runner")
+		}
+		res, err = r.measureCoRun(ctx, b, setup, sid, img)
+		if err != nil {
+			// The image is dropped, not released (see below).
+			return nil, err
+		}
+	} else if err := runStage(StageMeasure, b.Name, setup, func() error {
 		if err := faultinject.Check("measure", sid); err != nil {
 			return err
 		}
@@ -495,6 +505,95 @@ func (r *Runner) measure(ctx context.Context, b *bench.Benchmark, setup Setup, p
 		r.OnMeasure(out.m)
 	}
 	return out, nil
+}
+
+// CoRunnerSetup derives the co-runner's own complete Setup from the
+// subject's: same machine model and compiler personality, the co-runner's
+// own optimization level (default O2), a default environment, and the
+// displaced text base of the tenancy address-space plan. Everything else
+// stays at channel-off defaults — the co-runner is a fixed background
+// load, not a second experiment.
+func CoRunnerSetup(setup Setup) (Setup, error) {
+	level := compiler.O2
+	if setup.CoRunner.Level != "" {
+		l, err := compiler.ParseLevel(setup.CoRunner.Level)
+		if err != nil {
+			return Setup{}, fmt.Errorf("core: co-runner level: %w", err)
+		}
+		level = l
+	}
+	return Setup{
+		Machine:  setup.Machine,
+		Compiler: compiler.Config{Level: level, Personality: setup.Compiler.Personality},
+		EnvBytes: DefaultEnvBytes,
+		TextBase: linker.DefaultTextBase + tenancy.CoRunnerOffset,
+	}, nil
+}
+
+// measureCoRun is the StageMeasure path for setups with a co-runner: it
+// builds the co-runner's image through the same staged, fault-bounded
+// compile/link/load pipeline (and the same caches) as any subject, then
+// steps both tenants through one shared hierarchy. The returned result is
+// the subject's; the co-runner's result is consumed here for its oracle
+// check — interference must change either tenant's timing only, never
+// its output.
+func (r *Runner) measureCoRun(ctx context.Context, b *bench.Benchmark, setup Setup, sid string, subject *loader.Image) (*machine.Result, error) {
+	coBench, ok := bench.ByName(setup.CoRunner.Bench)
+	if !ok {
+		return nil, fmt.Errorf("core: unknown co-runner benchmark %q", setup.CoRunner.Bench)
+	}
+	coSetup, err := CoRunnerSetup(setup)
+	if err != nil {
+		return nil, err
+	}
+	coSid := setupID(coBench, coSetup)
+	coExe, err := r.stagedExecutable(coBench, coSetup, coSid)
+	if err != nil {
+		return nil, err
+	}
+	var coImg *loader.Image
+	if err := runStage(StageLoad, coBench.Name, coSetup, func() error {
+		if err := faultinject.Check("load", coSid); err != nil {
+			return err
+		}
+		var err error
+		coImg, err = loader.Load(coExe, tenancy.CoRunnerLoadOptions(
+			loader.SyntheticEnv(coSetup.EnvBytes), []string{coBench.Name}))
+		if err != nil {
+			return fmt.Errorf("core: loading co-runner %s: %w", coBench.Name, err)
+		}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+
+	var res *machine.Result
+	if err := runStage(StageMeasure, b.Name, setup, func() error {
+		if err := faultinject.Check("measure", sid); err != nil {
+			return err
+		}
+		cfg, err := r.machineConfig(setup.Machine)
+		if err != nil {
+			return err
+		}
+		subjRes, coRes, err := tenancy.CoRun(ctx, cfg, subject, coImg, setup.CoRunner.Quantum, r.MaxInstructions)
+		if err != nil {
+			return fmt.Errorf("core: co-running %s with %s: %w", b.Name, coBench.Name, err)
+		}
+		if err := r.checkOracle(b.Name, subjRes.Checksum, setup); err != nil {
+			return err
+		}
+		if err := r.checkOracle(coBench.Name, coRes.Checksum, coSetup); err != nil {
+			return err
+		}
+		res = subjRes
+		return nil
+	}); err != nil {
+		// Both images are dropped, not released, on failure.
+		return nil, err
+	}
+	coImg.Release()
+	return res, nil
 }
 
 // RegisterMachine makes a custom machine configuration available under the

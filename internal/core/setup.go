@@ -43,6 +43,46 @@ type Setup struct {
 	// TextBase relocates the whole image to this base address — the
 	// ASLR-style displacement channel. Zero means the linker default.
 	TextBase uint64
+	// CoRunner co-schedules a second benchmark through the same cache/TLB/
+	// predictor hierarchy — the multi-tenant interference channel. The zero
+	// value means an idle machine (every pre-existing setup).
+	CoRunner CoRunner
+}
+
+// CoRunner names the tenant sharing the machine with the measured
+// benchmark: which program, at which optimization level, interleaved at
+// which granularity. Like every other Setup channel it is a value type
+// whose zero value means "channel off".
+type CoRunner struct {
+	// Bench is the co-running benchmark's name; empty disables the channel.
+	Bench string
+	// Level is the co-runner's own optimization level ("O0".."O3"; empty
+	// means O2). The co-runner's level is part of the *setup*, never of the
+	// comparison — both the O2 and the O3 measurement of the subject run
+	// against the identical co-runner.
+	Level string
+	// Quantum is the round-robin interleave granularity in retired
+	// instructions; 0 means the tenancy engine's default.
+	Quantum uint64
+}
+
+// IsZero reports whether the channel is off (no co-runner configured).
+func (c CoRunner) IsZero() bool { return c.Bench == "" }
+
+// String renders the co-runner compactly, omitting defaulted knobs, e.g.
+// "milc", "milc:O3" or "milc:O3/q4096".
+func (c CoRunner) String() string {
+	if c.IsZero() {
+		return ""
+	}
+	s := c.Bench
+	if c.Level != "" {
+		s += ":" + c.Level
+	}
+	if c.Quantum != 0 {
+		s += fmt.Sprintf("/q%d", c.Quantum)
+	}
+	return s
 }
 
 // DefaultEnvBytes is the environment size used when a setup leaves it zero:
@@ -64,6 +104,9 @@ func (s Setup) String() string {
 	}
 	if s.TextBase != 0 {
 		fmt.Fprintf(&sb, " base=%#x", s.TextBase)
+	}
+	if !s.CoRunner.IsZero() {
+		fmt.Fprintf(&sb, " corun=%s", s.CoRunner)
 	}
 	return sb.String()
 }

@@ -24,21 +24,24 @@ import (
 	"fmt"
 
 	"biaslab/internal/bench"
+	"biaslab/internal/channels"
 	"biaslab/internal/compiler"
 	"biaslab/internal/core"
 	"biaslab/internal/experiments"
 	"biaslab/internal/machine"
+	"biaslab/internal/tenancy"
 )
 
 // Job kinds accepted by POST /v1/jobs.
 const (
-	KindRun        = "run"
-	KindSweepEnv   = "sweep-env"
-	KindSweepLink  = "sweep-link"
-	KindSweepPad   = "sweep-pad"
-	KindSweepBase  = "sweep-base"
-	KindRandomize  = "randomize"
-	KindExperiment = "experiment"
+	KindRun         = "run"
+	KindSweepEnv    = "sweep-env"
+	KindSweepLink   = "sweep-link"
+	KindSweepPad    = "sweep-pad"
+	KindSweepBase   = "sweep-base"
+	KindSweepTenant = "sweep-tenant"
+	KindRandomize   = "randomize"
+	KindExperiment  = "experiment"
 )
 
 // JobSpec is one measurement request. Fields that do not apply to a kind
@@ -84,6 +87,29 @@ type JobSpec struct {
 	// verify, but the content key still differs (omitempty keeps existing
 	// dense keys stable).
 	Adaptive bool `json:"adaptive,omitempty"`
+	// CoBench pins a co-running benchmark on the shared machine for run
+	// and randomize jobs: the multi-tenant interference channel. Empty
+	// means an idle machine (every pre-existing spec). sweep-tenant jobs
+	// sweep the co-runner identity over the canonical panel, so they
+	// reject the field.
+	CoBench string `json:"co_bench,omitempty"`
+	// CoLevel is the co-runner's own optimization level (default O2 when
+	// a co-runner is in play; zeroed otherwise).
+	CoLevel string `json:"co_level,omitempty"`
+	// Quantum is the co-run interleave granularity in retired instructions
+	// (defaulted when a co-runner is in play; zeroed otherwise).
+	Quantum uint64 `json:"quantum,omitempty"`
+	// CoRandom switches randomize jobs to treat the co-runner as one more
+	// randomized nuisance factor, drawn per setup from the canonical
+	// panel (idle included). Mutually exclusive with CoBench — fixing the
+	// tenant is exactly the crime randomization removes.
+	CoRandom bool `json:"co_random,omitempty"`
+	// Context names the deployment context the conclusion claims to
+	// generalize to (e.g. "serving"). It is judgment metadata for the
+	// auditor — a "serving" claim backed only by idle-machine setups is
+	// flagged — not a measurement parameter, so Canonicalize drops it and
+	// it never perturbs the content key.
+	Context string `json:"context,omitempty"`
 	// AuditAllow suppresses the named audit rules for this spec (the
 	// spec-field form of an //audit:allow directive). Suppressions are
 	// metadata about how the experiment is judged, not about what it
@@ -143,6 +169,37 @@ func (spec JobSpec) Canonicalize() (JobSpec, error) {
 		return nil
 	}
 
+	// coDefaults canonicalizes the co-run parameters once a co-runner is
+	// in play: explicit defaults, so a defaulted and an explicit spec for
+	// the same co-run share one content key.
+	coDefaults := func() error {
+		c.CoLevel = spec.CoLevel
+		if c.CoLevel == "" {
+			c.CoLevel = "O2"
+		}
+		if _, err := compiler.ParseLevel(c.CoLevel); err != nil {
+			return fmt.Errorf("co-runner level: %w", err)
+		}
+		c.Quantum = spec.Quantum
+		if c.Quantum == 0 {
+			c.Quantum = tenancy.DefaultQuantum
+		}
+		return nil
+	}
+	// coBench validates and adopts a fixed co-runner when the spec names
+	// one; without one the co-run fields stay zeroed (an idle machine,
+	// byte-identical to every pre-existing spec).
+	coBench := func() error {
+		if spec.CoBench == "" {
+			return nil
+		}
+		if _, ok := bench.ByName(spec.CoBench); !ok {
+			return fmt.Errorf("unknown co-runner benchmark %q", spec.CoBench)
+		}
+		c.CoBench = spec.CoBench
+		return coDefaults()
+	}
+
 	switch spec.Kind {
 	case KindRun:
 		if err := needBench(); err != nil {
@@ -158,6 +215,9 @@ func (spec JobSpec) Canonicalize() (JobSpec, error) {
 		c.EnvBytes = spec.EnvBytes
 		if c.EnvBytes == 0 {
 			c.EnvBytes = core.DefaultEnvBytes
+		}
+		if err := coBench(); err != nil {
+			return JobSpec{}, err
 		}
 	case KindSweepEnv:
 		if err := needBench(); err != nil {
@@ -188,6 +248,20 @@ func (spec JobSpec) Canonicalize() (JobSpec, error) {
 		if c.Seed == 0 {
 			c.Seed = 1
 		}
+	case KindSweepTenant:
+		// The co-runner identity IS the swept factor, over the canonical
+		// panel (core.DefaultCoRunners): like sweep-pad's grid, the panel is
+		// canonical so the spec carries no point list. CoLevel and Quantum
+		// are fixed attributes of the whole panel.
+		if err := needBench(); err != nil {
+			return JobSpec{}, err
+		}
+		if spec.CoBench != "" {
+			return JobSpec{}, fmt.Errorf("sweep-tenant sweeps the co-runner identity; co_bench would fix it (use kind=run or randomize for a pinned co-runner)")
+		}
+		if err := coDefaults(); err != nil {
+			return JobSpec{}, err
+		}
 	case KindRandomize:
 		if err := needBench(); err != nil {
 			return JobSpec{}, err
@@ -203,6 +277,20 @@ func (spec JobSpec) Canonicalize() (JobSpec, error) {
 		c.Seed = spec.Seed
 		if c.Seed == 0 {
 			c.Seed = 1
+		}
+		if spec.CoRandom && spec.CoBench != "" {
+			return JobSpec{}, fmt.Errorf("co_random randomizes the co-runner; co_bench fixes it — pick one")
+		}
+		if spec.CoRandom {
+			if spec.Tol > 0 {
+				return JobSpec{}, fmt.Errorf("co_random does not compose with adaptive sampling (tol); use a fixed n")
+			}
+			c.CoRandom = true
+			if err := coDefaults(); err != nil {
+				return JobSpec{}, err
+			}
+		} else if err := coBench(); err != nil {
+			return JobSpec{}, err
 		}
 	case KindExperiment:
 		c.Experiment = spec.Experiment
@@ -447,6 +535,19 @@ type LinkSweepResult struct {
 	Report    core.BiasReport  `json:"report"`
 }
 
+// TenantSweepResult is the result payload of a sweep-tenant job: the
+// subject's O2-vs-O3 comparison repeated with each panel co-runner
+// sharing the machine, idle first.
+type TenantSweepResult struct {
+	Benchmark string `json:"benchmark"`
+	Machine   string `json:"machine"`
+	// CoLevel and Quantum are the fixed co-run parameters of the panel.
+	CoLevel string             `json:"co_level"`
+	Quantum uint64             `json:"quantum"`
+	Points  []core.TenantPoint `json:"points"`
+	Report  core.BiasReport    `json:"report"`
+}
+
 // RandomizeResult is the result payload of a randomize job.
 type RandomizeResult struct {
 	Estimate core.RobustEstimate `json:"estimate"`
@@ -474,6 +575,7 @@ type Result struct {
 	EnvSweep     *EnvSweepResult     `json:"env_sweep,omitempty"`
 	LinkSweep    *LinkSweepResult    `json:"link_sweep,omitempty"`
 	ChannelSweep *ChannelSweepResult `json:"channel_sweep,omitempty"`
+	TenantSweep  *TenantSweepResult  `json:"tenant_sweep,omitempty"`
 	Randomize    *RandomizeResult    `json:"randomize,omitempty"`
 	Experiment   *ExperimentResult   `json:"experiment,omitempty"`
 }
@@ -501,16 +603,28 @@ type BenchmarkInfo struct {
 	Kernel string `json:"kernel"`
 }
 
+// ChannelInfo is one bias channel in the catalog: the registry entry's
+// wire form.
+type ChannelInfo struct {
+	Name string `json:"name"`
+	// Kind is the job kind that sweeps the channel.
+	Kind   string `json:"kind"`
+	Factor string `json:"factor"`
+	// Oracle marks channels `biaslab predict` can analyze statically.
+	Oracle bool `json:"oracle,omitempty"`
+}
+
 // Catalog is the GET /v1/catalog response and the biaslab list -json
 // output: what this lab can measure.
 type Catalog struct {
 	Benchmarks  []BenchmarkInfo `json:"benchmarks"`
 	Machines    []string        `json:"machines"`
+	Channels    []ChannelInfo   `json:"channels"`
 	Experiments []string        `json:"experiments"`
 }
 
 // NewCatalog builds the catalog from the built-in suite, machine models,
-// and experiment registry.
+// channel registry, and experiment registry.
 func NewCatalog() *Catalog {
 	c := &Catalog{
 		Machines:    []string{"p4", "core2", "m5"},
@@ -518,6 +632,9 @@ func NewCatalog() *Catalog {
 	}
 	for _, b := range bench.All() {
 		c.Benchmarks = append(c.Benchmarks, BenchmarkInfo{Name: b.Name, Spec: b.Spec, Kernel: b.Kernel})
+	}
+	for _, ch := range channels.All() {
+		c.Channels = append(c.Channels, ChannelInfo{Name: ch.Name, Kind: ch.JobKind, Factor: ch.Factor, Oracle: ch.Oracle})
 	}
 	return c
 }

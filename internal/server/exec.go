@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"biaslab/internal/bench"
+	"biaslab/internal/channels"
 	"biaslab/internal/core"
 	"biaslab/internal/experiments"
 )
@@ -34,6 +35,8 @@ func Execute(ctx context.Context, r *core.Runner, spec JobSpec, ck core.Checkpoi
 		res.LinkSweep, err = executeLinkSweep(ctx, r, spec, ck, onTotal)
 	case KindSweepPad, KindSweepBase:
 		res.ChannelSweep, err = executeChannelSweep(ctx, r, spec, ck, onTotal)
+	case KindSweepTenant:
+		res.TenantSweep, err = executeTenantSweep(ctx, r, spec, ck, onTotal)
 	case KindRandomize:
 		res.Randomize, err = executeRandomize(ctx, r, spec, ck, onTotal)
 	case KindExperiment:
@@ -62,6 +65,11 @@ func BaseSetup(spec JobSpec) (core.Setup, *bench.Benchmark, error) {
 	}
 	setup := core.DefaultSetup(spec.Machine)
 	setup.Compiler = cfg
+	// The co-run parameters ride on the setup. For kinds that vary the
+	// co-runner (sweep-tenant, randomize with co_random) CoBench is empty
+	// here: the setup carries the fixed level and quantum while the sweep
+	// or the draw fills in each point's identity.
+	setup.CoRunner = core.CoRunner{Bench: spec.CoBench, Level: spec.CoLevel, Quantum: spec.Quantum}
 	return setup, b, nil
 }
 
@@ -180,6 +188,32 @@ func executeLinkSweep(ctx context.Context, r *core.Runner, spec JobSpec, ck core
 	}, nil
 }
 
+func executeTenantSweep(ctx context.Context, r *core.Runner, spec JobSpec, ck core.Checkpoint, onTotal func(int)) (*TenantSweepResult, error) {
+	setup, b, err := BaseSetup(spec)
+	if err != nil {
+		return nil, err
+	}
+	ch, _ := channels.ByName("tenant")
+	corunners := core.DefaultCoRunners()
+	onTotal(len(corunners))
+	points, err := core.TenantSweepCheckpointed(ctx, r, b, setup, corunners, ck)
+	if err != nil {
+		return nil, err
+	}
+	speedups := make([]float64, len(points))
+	for i, p := range points {
+		speedups[i] = p.Speedup
+	}
+	return &TenantSweepResult{
+		Benchmark: b.Name,
+		Machine:   spec.Machine,
+		CoLevel:   spec.CoLevel,
+		Quantum:   spec.Quantum,
+		Points:    points,
+		Report:    core.NewBiasReport(b.Name, spec.Machine, ch.Factor, speedups),
+	}, nil
+}
+
 func executeRandomize(ctx context.Context, r *core.Runner, spec JobSpec, ck core.Checkpoint, onTotal func(int)) (*RandomizeResult, error) {
 	setup, b, err := BaseSetup(spec)
 	if err != nil {
@@ -187,11 +221,14 @@ func executeRandomize(ctx context.Context, r *core.Runner, spec JobSpec, ck core
 	}
 	onTotal(spec.N)
 	var est *core.RobustEstimate
-	if spec.Tol > 0 {
+	switch {
+	case spec.Tol > 0:
 		// Adaptive sampling's setup count depends on interim intervals, so
 		// it is not checkpointed: a resumed run must re-decide when to stop.
 		est, err = core.EstimateSpeedupAdaptive(ctx, r, b, setup, spec.Tol, 4, spec.N, spec.Seed)
-	} else {
+	case spec.CoRandom:
+		est, err = core.EstimateSpeedupTenantCheckpointed(ctx, r, b, setup, spec.N, spec.Seed, ck)
+	default:
 		est, err = core.EstimateSpeedupCheckpointed(ctx, r, b, setup, spec.N, spec.Seed, ck)
 	}
 	if err != nil {

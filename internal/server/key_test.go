@@ -70,6 +70,56 @@ func TestKeySeparatesWork(t *testing.T) {
 	}
 }
 
+// TestKeyTenantFields pins the co-run fields' keying contract: a spec
+// without a co-runner keys exactly as it did before the fields existed
+// (every stored pre-tenancy result stays reachable), judgment metadata
+// never perturbs the key, and the fields that do change the work separate
+// keys.
+func TestKeyTenantFields(t *testing.T) {
+	legacy := server.JobSpec{Kind: server.KindRandomize, Bench: "sjeng", Machine: "core2", N: 16}
+
+	// Context is judgment metadata — audited, never measured.
+	claimed := legacy
+	claimed.Context = "serving"
+	if k1, k2 := mustKey(t, legacy), mustKey(t, claimed); k1 != k2 {
+		t.Errorf("context perturbed the key:\n%s\n%s", k1, k2)
+	}
+
+	// Co fields on a kind that does not use them must not perturb the key.
+	noisy := server.JobSpec{Kind: server.KindSweepEnv, Bench: "hmmer", CoBench: "milc", CoLevel: "O3", Quantum: 999}
+	if k1, k2 := mustKey(t, server.JobSpec{Kind: server.KindSweepEnv, Bench: "hmmer"}), mustKey(t, noisy); k1 != k2 {
+		t.Errorf("co fields perturbed a sweep-env key:\n%s\n%s", k1, k2)
+	}
+
+	// Defaulted and explicit co parameters share one key.
+	base := server.JobSpec{Kind: server.KindSweepTenant, Bench: "sjeng", Machine: "core2"}
+	explicit := base
+	explicit.CoLevel = "O2"
+	explicit.Quantum = 4096
+	if k1, k2 := mustKey(t, base), mustKey(t, explicit); k1 != k2 {
+		t.Errorf("defaulted and explicit co-run specs keyed differently:\n%s\n%s", k1, k2)
+	}
+
+	// The fields that change the work separate keys.
+	pinned := legacy
+	pinned.CoBench = "sjeng"
+	randomized := legacy
+	randomized.CoRandom = true
+	fastSlice := base
+	fastSlice.Quantum = 1024
+	seen := map[string]string{}
+	for name, s := range map[string]server.JobSpec{
+		"legacy": legacy, "pinned": pinned, "randomized": randomized,
+		"sweep": base, "sweep-q1024": fastSlice,
+	} { //determlint:allow collision check is order-independent
+		k := mustKey(t, s)
+		if prev, dup := seen[k]; dup {
+			t.Errorf("%s collides with %s", name, prev)
+		}
+		seen[k] = name
+	}
+}
+
 // TestKeyRejectsInvalidSpecs: keying validates, so garbage can never be
 // stored under a well-formed key.
 func TestKeyRejectsInvalidSpecs(t *testing.T) {

@@ -45,6 +45,12 @@ func RenderText(res *Result) (string, error) {
 			return "", fmt.Errorf("server: %s result missing payload", res.Kind)
 		}
 		return channelSweepTable(r).String() + "\n" + r.Report.String() + "\n", nil
+	case KindSweepTenant:
+		r := res.TenantSweep
+		if r == nil {
+			return "", fmt.Errorf("server: %s result missing payload", res.Kind)
+		}
+		return tenantSweepTable(r).String() + "\n" + r.Report.String() + "\n", nil
 	case KindRandomize:
 		r := res.Randomize
 		if r == nil {
@@ -100,6 +106,12 @@ func RenderCSV(res *Result) (string, error) {
 			return "", fmt.Errorf("server: %s result missing payload", res.Kind)
 		}
 		return channelSweepTable(r).CSV(), nil
+	case KindSweepTenant:
+		r := res.TenantSweep
+		if r == nil {
+			return "", fmt.Errorf("server: %s result missing payload", res.Kind)
+		}
+		return tenantSweepTable(r).CSV(), nil
 	case KindRandomize:
 		r := res.Randomize
 		if r == nil {
@@ -155,6 +167,19 @@ func channelSweepTable(r *ChannelSweepResult) *report.Table {
 	}
 	for _, p := range r.Points {
 		t.AddRow(p.Value, p.CyclesBase, p.CyclesOpt, p.Speedup)
+	}
+	return t
+}
+
+// tenantSweepTable builds the sweep-tenant table.
+func tenantSweepTable(r *TenantSweepResult) *report.Table {
+	t := &report.Table{
+		Title: fmt.Sprintf("O3-over-O2 speedup of %s vs co-runner at %s, quantum %d (%s)",
+			r.Benchmark, r.CoLevel, r.Quantum, r.Machine),
+		Headers: []string{"co-runner", "cycles O2", "cycles O3", "speedup"},
+	}
+	for _, p := range r.Points {
+		t.AddRow(p.CoRunner, p.CyclesBase, p.CyclesOpt, p.Speedup)
 	}
 	return t
 }

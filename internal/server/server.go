@@ -74,7 +74,7 @@ func Shardable(spec JobSpec) bool {
 	switch spec.Kind {
 	case KindSweepEnv, KindSweepPad, KindSweepBase:
 		return !spec.Adaptive
-	case KindSweepLink:
+	case KindSweepLink, KindSweepTenant:
 		return true
 	case KindRandomize:
 		return spec.Tol == 0
@@ -494,7 +494,7 @@ func (s *Server) execute(ctx context.Context, j *job) ([]byte, error) {
 	var ck core.Checkpoint
 	switch {
 	case spec.Kind == KindSweepEnv, spec.Kind == KindSweepPad, spec.Kind == KindSweepBase,
-		spec.Kind == KindSweepLink, spec.Kind == KindExperiment,
+		spec.Kind == KindSweepLink, spec.Kind == KindSweepTenant, spec.Kind == KindExperiment,
 		spec.Kind == KindRandomize && spec.Tol == 0:
 		jobCk, closeCk, err := s.jobCheckpoint(j)
 		if err != nil {

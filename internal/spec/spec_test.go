@@ -1,0 +1,191 @@
+package spec_test
+
+import (
+	"strings"
+	"testing"
+
+	"biaslab/internal/server"
+	"biaslab/internal/spec"
+	"biaslab/internal/tenancy"
+)
+
+// minimal returns a parseable file body with the given channels block.
+func minimal(channels string) []byte {
+	return []byte(`{"bench": "hmmer", "machine": "core2", "size": "test", "channels": {` + channels + `}}`)
+}
+
+func mustCompile(t *testing.T, raw []byte) []server.JobSpec {
+	t.Helper()
+	f, err := spec.Parse(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs, err := f.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return jobs
+}
+
+// TestParseCommentsAndAllow: whole-line comments are stripped and
+// //audit:allow directives fold into the audit_allow field, so the
+// suppression rides onto every compiled job.
+func TestParseCommentsAndAllow(t *testing.T) {
+	raw := []byte(`// a comment
+//audit:allow single-setup
+{"bench": "hmmer", "size": "test",
+ // interior comment
+ "channels": {"env": {"mode": "swept"}}}`)
+	f, err := spec.Parse(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.AuditAllow) != 1 || f.AuditAllow[0] != "single-setup" {
+		t.Fatalf("AuditAllow = %v, want [single-setup]", f.AuditAllow)
+	}
+	jobs, err := f.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 1 || len(jobs[0].AuditAllow) != 1 {
+		t.Fatalf("compiled jobs = %+v, want one job carrying the suppression", jobs)
+	}
+}
+
+// TestParseUnknownField: a typo must be an error, never silently ignored.
+func TestParseUnknownField(t *testing.T) {
+	_, err := spec.Parse([]byte(`{"bench": "hmmer", "chanels": {}}`))
+	if err == nil {
+		t.Fatal("unknown field accepted")
+	}
+}
+
+func TestIsDeclarative(t *testing.T) {
+	if !spec.IsDeclarative(minimal(`"env": {"mode": "swept"}`)) {
+		t.Error("declarative file not detected")
+	}
+	if !spec.IsDeclarative([]byte("// comment\n" + string(minimal(`"env": {"mode": "swept"}`)))) {
+		t.Error("commented declarative file not detected")
+	}
+	if spec.IsDeclarative([]byte(`{"kind": "randomize", "bench": "hmmer", "n": 16}`)) {
+		t.Error("plain JobSpec misdetected as declarative")
+	}
+	if spec.IsDeclarative([]byte(`not json`)) {
+		t.Error("garbage misdetected as declarative")
+	}
+}
+
+// TestCompileSweptOrder: one sweep job per swept channel, emitted in
+// registry order regardless of map order, with the CLI's historical
+// defaults filled in explicitly.
+func TestCompileSweptOrder(t *testing.T) {
+	jobs := mustCompile(t, minimal(
+		`"tenant": {"mode": "swept"}, "link": {"mode": "swept"}, "env": {"mode": "swept"}`))
+	var kinds []string
+	for _, j := range jobs {
+		kinds = append(kinds, j.Kind)
+	}
+	want := []string{server.KindSweepEnv, server.KindSweepLink, server.KindSweepTenant}
+	if strings.Join(kinds, ",") != strings.Join(want, ",") {
+		t.Fatalf("kinds = %v, want %v (registry order)", kinds, want)
+	}
+	if jobs[0].Step != spec.DefaultStep {
+		t.Errorf("env step = %d, want default %d", jobs[0].Step, spec.DefaultStep)
+	}
+	if jobs[1].Orders != spec.DefaultOrders || jobs[1].Seed != spec.DefaultSeed {
+		t.Errorf("link orders/seed = %d/%d, want defaults %d/%d",
+			jobs[1].Orders, jobs[1].Seed, spec.DefaultOrders, spec.DefaultSeed)
+	}
+}
+
+// TestCompileRandomized: any randomized channel produces exactly one
+// randomize job; a randomized tenant sets co_random on it.
+func TestCompileRandomized(t *testing.T) {
+	jobs := mustCompile(t, minimal(
+		`"env": {"mode": "randomized"}, "tenant": {"mode": "randomized", "quantum": 1024}`))
+	if len(jobs) != 1 {
+		t.Fatalf("got %d jobs, want 1", len(jobs))
+	}
+	j := jobs[0]
+	if j.Kind != server.KindRandomize || !j.CoRandom {
+		t.Fatalf("job = %+v, want randomize with co_random", j)
+	}
+	if j.N != spec.DefaultN || j.Seed != spec.DefaultSeed {
+		t.Errorf("n/seed = %d/%d, want defaults %d/%d", j.N, j.Seed, spec.DefaultN, spec.DefaultSeed)
+	}
+	if j.Quantum != 1024 {
+		t.Errorf("quantum = %d, want 1024", j.Quantum)
+	}
+	c, err := j.Canonicalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.CoLevel != "O2" {
+		t.Errorf("canonical co_level = %q, want O2", c.CoLevel)
+	}
+}
+
+// TestCompileFixedTenantOnRandomize: a fixed co_bench under an otherwise
+// randomized experiment compiles faithfully — the crime is the auditor's
+// to flag, not the compiler's to repair.
+func TestCompileFixedTenantOnRandomize(t *testing.T) {
+	jobs := mustCompile(t, minimal(
+		`"env": {"mode": "randomized"}, "tenant": {"mode": "fixed", "co_bench": "milc"}`))
+	if len(jobs) != 1 || jobs[0].CoBench != "milc" || jobs[0].CoRandom {
+		t.Fatalf("jobs = %+v, want one randomize job with co_bench=milc", jobs)
+	}
+}
+
+// TestCompileAllFixed: nothing swept or randomized lowers to a single
+// fixed-setup run carrying the fixed channels' values.
+func TestCompileAllFixed(t *testing.T) {
+	jobs := mustCompile(t, minimal(
+		`"env": {"mode": "fixed", "env_bytes": 768}, "tenant": {"mode": "fixed", "co_bench": "lbm"}`))
+	if len(jobs) != 1 {
+		t.Fatalf("got %d jobs, want 1", len(jobs))
+	}
+	j := jobs[0]
+	if j.Kind != server.KindRun || j.EnvBytes != 768 || j.CoBench != "lbm" {
+		t.Fatalf("job = %+v, want run with env_bytes=768 co_bench=lbm", j)
+	}
+	c, err := j.Canonicalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Quantum != tenancy.DefaultQuantum {
+		t.Errorf("canonical quantum = %d, want default %d", c.Quantum, tenancy.DefaultQuantum)
+	}
+}
+
+// TestCompileErrors: the schema rejects, with a named reason, everything
+// it cannot faithfully lower.
+func TestCompileErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		raw  string
+		want string
+	}{
+		{"missing bench", `{"channels": {"env": {"mode": "swept"}}}`, "missing bench"},
+		{"unknown bench", `{"bench": "nope", "channels": {"env": {"mode": "swept"}}}`, "unknown benchmark"},
+		{"unknown machine", `{"bench": "hmmer", "machine": "z80", "channels": {"env": {"mode": "swept"}}}`, "unknown machine"},
+		{"empty channels", `{"bench": "hmmer", "channels": {}}`, "empty channels"},
+		{"unknown channel", `{"bench": "hmmer", "channels": {"moonphase": {"mode": "swept"}}}`, "unknown channel"},
+		{"missing mode", `{"bench": "hmmer", "channels": {"env": {}}}`, "missing mode"},
+		{"unknown mode", `{"bench": "hmmer", "channels": {"env": {"mode": "jittered"}}}`, "unknown mode"},
+		{"inapplicable param", `{"bench": "hmmer", "channels": {"link": {"mode": "swept", "step": 8}}}`, "does not apply"},
+		{"randomized tenant pinned", `{"bench": "hmmer", "channels": {"tenant": {"mode": "randomized", "co_bench": "mcf"}}}`, "co_bench would fix the tenant"},
+		{"unknown co-runner", `{"bench": "hmmer", "channels": {"tenant": {"mode": "fixed", "co_bench": "doom"}}}`, "unknown co-runner"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			f, err := spec.Parse([]byte(tc.raw))
+			if err != nil {
+				t.Fatal(err)
+			}
+			err = f.Validate()
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("Validate() = %v, want error containing %q", err, tc.want)
+			}
+		})
+	}
+}
